@@ -1,0 +1,66 @@
+// Figure 3 — "System Call Latency".
+//
+// Paper: "The overhead charged on individual system calls by the Parrot
+// adapter. Most calls are slowed by an order of magnitude." Measured on a
+// 2.8 GHz Pentium 4 with 1000 cycles of 100,000 iterations per call.
+//
+// This bench is a *real measurement*, not a simulation: the same
+// self-timing worker binary runs each system call in a loop, once natively
+// and once under the parrot ptrace tracer (src/parrot). The tracer is a
+// pass-through — the slowdown is purely the per-call context switches of
+// the debugging interface, exactly the cost the paper's figure charges.
+#include "bench/common.h"
+#include "bench/worker_util.h"
+
+int main(int, char** argv) {
+  using namespace tss::bench;
+  if (!tss::parrot::tracer_supported()) {
+    std::printf("parrot tracer unsupported on this platform; skipping\n");
+    return 0;
+  }
+  std::string worker = find_worker(argv[0]);
+  std::string scratch =
+      "/tmp/tss-fig3-scratch-" + std::to_string(::getpid());
+
+  struct Case {
+    const char* name;
+    const char* call;
+    long iterations_native;
+    long iterations_traced;
+  };
+  // Traced runs use fewer iterations: each call costs microseconds there.
+  const Case cases[] = {
+      {"getpid", "getpid", 400000, 40000},
+      {"stat", "stat", 200000, 30000},
+      {"open/close", "open-close", 100000, 15000},
+      {"read 1b", "read-1", 200000, 30000},
+      {"read 8kb", "read-8k", 100000, 20000},
+      {"write 1b", "write-1", 200000, 30000},
+      {"write 8kb", "write-8k", 100000, 20000},
+  };
+
+  print_header("Figure 3: system call latency, plain Unix vs through Parrot",
+               "Real ptrace measurement on this host. Paper shape: most "
+               "calls slowed by an order of magnitude.");
+  print_row({"call", "unix", "parrot", "slowdown"});
+
+  for (const Case& c : cases) {
+    auto native = run_worker(
+        worker, {c.call, std::to_string(c.iterations_native), scratch},
+        /*traced=*/false, "ns_per_call");
+    auto traced = run_worker(
+        worker, {c.call, std::to_string(c.iterations_traced), scratch},
+        /*traced=*/true, "ns_per_call");
+    if (!native.ok() || !traced.ok()) {
+      print_row({c.name, "error", "error", "-"});
+      continue;
+    }
+    double slowdown = static_cast<double>(traced.value()) /
+                      static_cast<double>(std::max<int64_t>(1, native.value()));
+    print_row({c.name, fmt_us(static_cast<double>(native.value())),
+               fmt_us(static_cast<double>(traced.value())),
+               fmt_double(slowdown, 1) + "x"});
+  }
+  ::unlink(scratch.c_str());
+  return 0;
+}

@@ -1,0 +1,265 @@
+// Figure 4 — "I/O Call Latency".
+//
+// Paper: the latency of single I/O calls over a 1 Gb/s Ethernet, comparing
+// Parrot+CFS, kernel NFS (caching off), and Parrot+DSFS. Expected shape:
+//   - Parrot+CFS is comparable to (and for stat/open slightly better than)
+//     Unix+NFS, because Chirp needs no per-component lookups;
+//   - CFS wins on the 8 KB transfers, which NFS splits into 4 KB RPCs;
+//   - DSFS matches CFS for reads/writes but pays ~2x on metadata
+//     operations (stub fetch + data-server op);
+//   - all of this dwarfs the Parrot trap overhead of Figure 3.
+//
+// The Chirp columns run the real protocol (encoder/parser/SessionCore) over
+// the simulated 1 Gb/s cluster; the NFS column is the modeled baseline
+// (per-component LOOKUP, 4 KB transfer cap) on the same network. A fixed
+// per-call trap cost — the Figure 3 measurement — is added to the Parrot
+// columns.
+#include <map>
+
+#include "bench/common.h"
+#include "sim/chirp_sim.h"
+
+namespace tss::bench {
+namespace {
+
+using sim::Cluster;
+using sim::Engine;
+using sim::SimChirpClient;
+using sim::SimChirpServer;
+using sim::Task;
+
+// Representative Parrot trap cost per application call (see Figure 3; the
+// paper's point is that this is an order of magnitude *below* the network
+// latencies in this figure).
+constexpr Nanos kTrapOverhead = 6 * kMicrosecond;
+
+constexpr int kIterations = 64;
+
+chirp::OpenFlags flags_of(const char* s) {
+  return chirp::OpenFlags::parse(s).value();
+}
+
+using Results = std::map<std::string, double>;
+
+Task<void> measure_cfs(Engine& engine, SimChirpClient& client, Results* out) {
+  auto connected = co_await client.connect();
+  if (!connected.ok()) co_return;
+
+  // Setup: /f holds 8 KB, cache-warm after the first accesses.
+  auto setup_fd = co_await client.open("/f", flags_of("wc"), 0644);
+  if (!setup_fd.ok()) co_return;
+  (void)co_await client.pwrite(setup_fd.value(), 8192, 0);
+  (void)co_await client.close_fd(setup_fd.value());
+  (void)co_await client.stat("/f");
+
+  Nanos t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) (void)co_await client.stat("/f");
+  (*out)["stat"] = double(engine.now() - t0) / kIterations;
+
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    auto fd = co_await client.open("/f", flags_of("r"), 0);
+    if (fd.ok()) (void)co_await client.close_fd(fd.value());
+  }
+  (*out)["open/close"] = double(engine.now() - t0) / (kIterations);
+
+  auto rfd = co_await client.open("/f", flags_of("rw"), 0);
+  if (!rfd.ok()) co_return;
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    (void)co_await client.pread(rfd.value(), 1, 0);
+  }
+  (*out)["read 1b"] = double(engine.now() - t0) / kIterations;
+
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    (void)co_await client.pread(rfd.value(), 8192, 0);
+  }
+  (*out)["read 8kb"] = double(engine.now() - t0) / kIterations;
+
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    (void)co_await client.pwrite(rfd.value(), 1, 0);
+  }
+  (*out)["write 1b"] = double(engine.now() - t0) / kIterations;
+
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    (void)co_await client.pwrite(rfd.value(), 8192, 0);
+  }
+  (*out)["write 8kb"] = double(engine.now() - t0) / kIterations;
+}
+
+// DSFS: metadata operations touch the directory server (stub fetch) and the
+// data server; reads/writes go directly to the data server.
+Task<void> measure_dsfs(Engine& engine, SimChirpClient& dir_client,
+                        SimChirpClient& data_client, Results* out) {
+  if (!(co_await dir_client.connect()).ok()) co_return;
+  if (!(co_await data_client.connect()).ok()) co_return;
+
+  fs::Stub stub{"data", "/vol/data42"};
+  if (!(co_await dir_client.mkdir("/tree")).ok()) co_return;
+  if (!(co_await dir_client.putfile("/tree/f", stub.serialize())).ok()) {
+    co_return;
+  }
+  if (!(co_await data_client.mkdir("/vol")).ok()) co_return;
+  auto setup_fd = co_await data_client.open("/vol/data42", flags_of("wc"), 0644);
+  if (!setup_fd.ok()) co_return;
+  (void)co_await data_client.pwrite(setup_fd.value(), 8192, 0);
+  (void)co_await data_client.close_fd(setup_fd.value());
+
+  Nanos t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    auto text = co_await dir_client.getfile("/tree/f");
+    if (!text.ok()) co_return;
+    auto parsed = fs::Stub::parse(text.value());
+    if (!parsed.ok()) co_return;
+    (void)co_await data_client.stat(parsed.value().data_path);
+  }
+  (*out)["stat"] = double(engine.now() - t0) / kIterations;
+
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    auto text = co_await dir_client.getfile("/tree/f");
+    if (!text.ok()) co_return;
+    auto fd = co_await data_client.open("/vol/data42", flags_of("r"), 0);
+    if (fd.ok()) (void)co_await data_client.close_fd(fd.value());
+  }
+  (*out)["open/close"] = double(engine.now() - t0) / kIterations;
+
+  // Once open, access is direct: identical to CFS.
+  auto rfd = co_await data_client.open("/vol/data42", flags_of("rw"), 0);
+  if (!rfd.ok()) co_return;
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    (void)co_await data_client.pread(rfd.value(), 1, 0);
+  }
+  (*out)["read 1b"] = double(engine.now() - t0) / kIterations;
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    (void)co_await data_client.pread(rfd.value(), 8192, 0);
+  }
+  (*out)["read 8kb"] = double(engine.now() - t0) / kIterations;
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    (void)co_await data_client.pwrite(rfd.value(), 1, 0);
+  }
+  (*out)["write 1b"] = double(engine.now() - t0) / kIterations;
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    (void)co_await data_client.pwrite(rfd.value(), 8192, 0);
+  }
+  (*out)["write 8kb"] = double(engine.now() - t0) / kIterations;
+}
+
+// NFS baseline model on the same simulated network: request-response RPCs,
+// per-component LOOKUP, 4 KB transfer ceiling, ~kernel-grade server CPU.
+constexpr Nanos kNfsServerCpu = 25 * kMicrosecond;
+constexpr uint64_t kNfsHeader = 96;
+
+Task<void> nfs_rpc(Cluster& cluster, int client, int server,
+                   uint64_t request_payload, uint64_t response_payload) {
+  co_await cluster.transfer(client, server, kNfsHeader + request_payload);
+  co_await cluster.engine().sleep_for(kNfsServerCpu);
+  co_await cluster.transfer(server, client, kNfsHeader + response_payload);
+}
+
+Task<void> measure_nfs(Engine& engine, Cluster& cluster, int client,
+                       int server, Results* out) {
+  // stat of /f: LOOKUP(f) + GETATTR.
+  Nanos t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    co_await nfs_rpc(cluster, client, server, 0, 64);  // lookup
+    co_await nfs_rpc(cluster, client, server, 0, 64);  // getattr
+  }
+  (*out)["stat"] = double(engine.now() - t0) / kIterations;
+
+  // open/close: LOOKUP + GETATTR (access check); close is client-local.
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    co_await nfs_rpc(cluster, client, server, 0, 64);
+    co_await nfs_rpc(cluster, client, server, 0, 64);
+  }
+  (*out)["open/close"] = double(engine.now() - t0) / kIterations;
+
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    co_await nfs_rpc(cluster, client, server, 0, 1);
+  }
+  (*out)["read 1b"] = double(engine.now() - t0) / kIterations;
+
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    co_await nfs_rpc(cluster, client, server, 0, 4096);
+    co_await nfs_rpc(cluster, client, server, 0, 4096);
+  }
+  (*out)["read 8kb"] = double(engine.now() - t0) / kIterations;
+
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    co_await nfs_rpc(cluster, client, server, 1, 0);
+  }
+  (*out)["write 1b"] = double(engine.now() - t0) / kIterations;
+
+  t0 = engine.now();
+  for (int i = 0; i < kIterations; i++) {
+    co_await nfs_rpc(cluster, client, server, 4096, 0);
+    co_await nfs_rpc(cluster, client, server, 4096, 0);
+  }
+  (*out)["write 8kb"] = double(engine.now() - t0) / kIterations;
+}
+
+}  // namespace
+}  // namespace tss::bench
+
+int main() {
+  using namespace tss::bench;
+  using namespace tss;
+
+  Results cfs, dsfs, nfs;
+  {
+    sim::Engine engine;
+    sim::Cluster cluster(engine, sim::Cluster::Config{});
+    sim::SimChirpServer cfs_server(cluster, sim::SimChirpServer::Options{});
+    int client_node = cluster.add_node();
+    sim::SimChirpClient client(cluster, client_node, cfs_server, "client");
+    spawn(engine, measure_cfs(engine, client, &cfs));
+    engine.run();
+  }
+  {
+    sim::Engine engine;
+    sim::Cluster cluster(engine, sim::Cluster::Config{});
+    sim::SimChirpServer dir_server(cluster, sim::SimChirpServer::Options{});
+    sim::SimChirpServer data_server(cluster, sim::SimChirpServer::Options{});
+    int client_node = cluster.add_node();
+    sim::SimChirpClient dir_client(cluster, client_node, dir_server, "client");
+    sim::SimChirpClient data_client(cluster, client_node, data_server,
+                                    "client");
+    spawn(engine, measure_dsfs(engine, dir_client, data_client, &dsfs));
+    engine.run();
+  }
+  {
+    sim::Engine engine;
+    sim::Cluster cluster(engine, sim::Cluster::Config{});
+    int server_node = cluster.add_node();
+    int client_node = cluster.add_node();
+    spawn(engine,
+          measure_nfs(engine, cluster, client_node, server_node, &nfs));
+    engine.run();
+  }
+
+  print_header(
+      "Figure 4: I/O call latency over a simulated 1 Gb/s Ethernet",
+      "Chirp columns run the real protocol/session code over the simulated\n"
+      "cluster, plus the Figure 3 trap cost (~6 us) on each Parrot call.\n"
+      "Paper shape: CFS <= NFS on stat/open (no lookups) and on the 8 KB\n"
+      "transfers (no 4 KB RPC split); DSFS ~2x CFS on metadata only.");
+  print_row({"call", "parrot+cfs", "unix+nfs", "parrot+dsfs"});
+  for (const char* op : {"stat", "open/close", "read 1b", "read 8kb",
+                         "write 1b", "write 8kb"}) {
+    double trap = static_cast<double>(kTrapOverhead);
+    print_row({op, fmt_us(cfs[op] + trap), fmt_us(nfs[op]),
+               fmt_us(dsfs[op] + trap)});
+  }
+  return 0;
+}

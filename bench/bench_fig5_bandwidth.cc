@@ -1,0 +1,150 @@
+// Figure 5 — "Single Client Bandwidth".
+//
+// Paper: "The maximum bandwidth achieved writing 16MB in various block
+// sizes", comparing local Unix writes, the same writes through Parrot, a
+// Parrot+CFS over gigabit Ethernet, and Unix+NFS. Expected shape:
+//   Unix local (798 MB/s there)  >>  Parrot local (431 MB/s; one extra copy
+//   + trap per call)  >>  network ceiling  >=  Parrot+CFS (~80 of 128 MB/s)
+//   >>  Unix+NFS (~10 MB/s, pinned by 4 KB request-response RPCs).
+//
+// The two local rows are *real measurements* (a self-timing copy worker,
+// run natively and under the ptrace tracer). The two network rows run over
+// the simulated 1 Gb/s cluster: Chirp with one pwrite RPC per application
+// block, NFS with the 4 KB transfer ceiling.
+#include "bench/common.h"
+#include "bench/worker_util.h"
+#include "sim/chirp_sim.h"
+
+namespace tss::bench {
+namespace {
+
+using sim::Cluster;
+using sim::Engine;
+using sim::SimChirpClient;
+using sim::SimChirpServer;
+using sim::Task;
+
+constexpr uint64_t kTotalBytes = 16 << 20;
+
+// Simulated Chirp write: one pwrite RPC per block on one connection.
+Task<void> cfs_copy(Engine& engine, SimChirpClient& client, uint64_t block,
+                    double* mb_per_sec) {
+  if (!(co_await client.connect()).ok()) co_return;
+  auto fd = co_await client.open("/copy", chirp::OpenFlags::parse("wct").value(),
+                                 0644);
+  if (!fd.ok()) co_return;
+  Nanos t0 = engine.now();
+  uint64_t offset = 0;
+  while (offset < kTotalBytes) {
+    uint64_t n = std::min(block, kTotalBytes - offset);
+    auto wrote = co_await client.pwrite(fd.value(), n, (int64_t)offset);
+    if (!wrote.ok()) co_return;
+    offset += n;
+  }
+  double seconds = double(engine.now() - t0) / 1e9;
+  *mb_per_sec = double(kTotalBytes) / 1e6 / seconds;
+}
+
+// Simulated NFS write: request-response RPCs capped at 4 KB each.
+Task<void> nfs_copy(Engine& engine, Cluster& cluster, int client, int server,
+                    uint64_t block, double* mb_per_sec) {
+  constexpr uint64_t kNfsMax = 4096;
+  constexpr Nanos kServerCpu = 25 * kMicrosecond;
+  Nanos t0 = engine.now();
+  uint64_t offset = 0;
+  while (offset < kTotalBytes) {
+    uint64_t app_block = std::min(block, kTotalBytes - offset);
+    uint64_t sent = 0;
+    while (sent < app_block) {
+      uint64_t n = std::min(kNfsMax, app_block - sent);
+      co_await cluster.transfer(client, server, 96 + n);
+      co_await engine.sleep_for(kServerCpu);
+      co_await cluster.transfer(server, client, 96);
+      sent += n;
+    }
+    offset += app_block;
+  }
+  double seconds = double(engine.now() - t0) / 1e9;
+  *mb_per_sec = double(kTotalBytes) / 1e6 / seconds;
+}
+
+double run_cfs(uint64_t block) {
+  Engine engine;
+  Cluster cluster(engine, Cluster::Config{});
+  SimChirpServer server(cluster, SimChirpServer::Options{});
+  int node = cluster.add_node();
+  SimChirpClient client(cluster, node, server, "client");
+  double result = 0;
+  spawn(engine, cfs_copy(engine, client, block, &result));
+  engine.run();
+  return result;
+}
+
+double run_nfs(uint64_t block) {
+  Engine engine;
+  Cluster cluster(engine, Cluster::Config{});
+  int server = cluster.add_node();
+  int client = cluster.add_node();
+  double result = 0;
+  spawn(engine, nfs_copy(engine, cluster, client, server, block, &result));
+  engine.run();
+  return result;
+}
+
+}  // namespace
+}  // namespace tss::bench
+
+int main(int, char** argv) {
+  using namespace tss::bench;
+
+  std::string worker = find_worker(argv[0]);
+  // Prefer a memory-backed target so the local rows measure the software
+  // path, not this host's storage.
+  std::string scratch_dir = "/dev/shm";
+  if (::access(scratch_dir.c_str(), W_OK) != 0) scratch_dir = "/tmp";
+  std::string scratch =
+      scratch_dir + "/tss-fig5-" + std::to_string(::getpid());
+
+  const uint64_t blocks[] = {1024,      4096,      16384,    65536,
+                             262144,    1 << 20,   4 << 20,  8 << 20};
+
+  print_header(
+      "Figure 5: single-client bandwidth writing 16 MB vs block size",
+      "unix/parrot rows: real measurement on this host (memory-backed "
+      "file).\ncfs/nfs rows: simulated 1 Gb/s Ethernet (128 MB/s raw).\n"
+      "Paper shape: unix >> parrot >> wire limit >= parrot+cfs >> unix+nfs.");
+  print_row({"block", "unix MB/s", "parrot MB/s", "parrot+cfs", "unix+nfs"});
+
+  bool traced_ok = tss::parrot::tracer_supported();
+  for (uint64_t block : blocks) {
+    auto native = run_worker(
+        worker,
+        {"copy", std::to_string(kTotalBytes), scratch, std::to_string(block)},
+        /*traced=*/false, "elapsed_ns");
+    std::string native_s = "error", traced_s = "n/a";
+    if (native.ok()) {
+      native_s = fmt_double(double(kTotalBytes) / 1e6 /
+                            (double(native.value()) / 1e9));
+    }
+    if (traced_ok) {
+      auto traced = run_worker(worker,
+                               {"copy", std::to_string(kTotalBytes), scratch,
+                                std::to_string(block)},
+                               /*traced=*/true, "elapsed_ns");
+      if (traced.ok()) {
+        traced_s = fmt_double(double(kTotalBytes) / 1e6 /
+                              (double(traced.value()) / 1e9));
+      } else {
+        traced_s = "error";
+      }
+    }
+
+    std::string label = block >= (1 << 20)
+                            ? std::to_string(block >> 20) + "MB"
+                            : std::to_string(block >> 10) + "KB";
+    print_row({label, native_s, traced_s, fmt_double(run_cfs(block)),
+               fmt_double(run_nfs(block))});
+  }
+  ::unlink(scratch.c_str());
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 6 — "DSFS Scalability: Net-Bound".
+//
+// Paper setup: 128 files of 1 MB in a DSFS served by 1-8 servers on a
+// 1 Gb/s switch; all data fits in the servers' buffer caches. Expected
+// shape: one server saturates one port at just over 100 MB/s; adding
+// servers raises throughput until ~3 servers saturate the switch backplane
+// near 300 MB/s.
+#include "bench/common.h"
+
+int main() {
+  using namespace tss::bench;
+  print_header(
+      "Figure 6: DSFS scalability, net-bound (128 x 1 MB, simulated cluster)",
+      "16 clients read random whole files; all data cache-resident.\n"
+      "Paper shape: ~100 MB/s at 1 server; backplane saturation ~300 MB/s "
+      "at >=3 servers.");
+
+  print_row({"servers", "MB/s", "sim seconds", "cache hit %"});
+  for (int servers = 1; servers <= 8; servers++) {
+    DsfsScalingParams params;
+    params.num_servers = servers;
+    params.num_files = 128;
+    params.file_bytes = 1 << 20;
+    params.reads_per_client = 100;
+    DsfsScalingResult r = run_dsfs_scaling(params);
+    double hit_pct =
+        100.0 * static_cast<double>(r.cache_hits) /
+        static_cast<double>(std::max<uint64_t>(1, r.cache_hits + r.cache_misses));
+    print_row({std::to_string(servers), fmt_double(r.mb_per_sec),
+               fmt_double(r.seconds, 2), fmt_double(hit_pct)});
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 8 — "DSFS Scalability: Disk-Bound".
+//
+// Paper setup: 1280 files of 10 MB (12 800 MB) in a DSFS with 1-8 servers;
+// no configuration can cache the dataset. Expected shape: a single server
+// sustains ~10 MB/s (raw disk streaming rate); throughput increases roughly
+// linearly with the number of servers.
+#include "bench/common.h"
+
+int main() {
+  using namespace tss::bench;
+  print_header(
+      "Figure 8: DSFS scalability, disk-bound (1280 x 10 MB, simulated "
+      "cluster)",
+      "16 clients read random whole files; dataset >> aggregate cache.\n"
+      "Paper shape: ~10 MB/s per server, linear scaling with servers.");
+
+  print_row({"servers", "MB/s", "sim seconds", "cache hit %"});
+  for (int servers = 1; servers <= 8; servers++) {
+    DsfsScalingParams params;
+    params.num_servers = servers;
+    params.num_files = 1280;
+    params.file_bytes = 10 << 20;
+    params.reads_per_client = 12;
+    DsfsScalingResult r = run_dsfs_scaling(params);
+    double hit_pct =
+        100.0 * static_cast<double>(r.cache_hits) /
+        static_cast<double>(std::max<uint64_t>(1, r.cache_hits + r.cache_misses));
+    print_row({std::to_string(servers), fmt_double(r.mb_per_sec),
+               fmt_double(r.seconds, 2), fmt_double(hit_pct)});
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+#include "bench/common.h"
+
+#include <memory>
+
+#include "sim/engine.h"
+
+namespace tss::bench {
+
+namespace {
+
+using sim::Cluster;
+using sim::Engine;
+using sim::SimChirpClient;
+using sim::SimChirpServer;
+using sim::Task;
+
+chirp::OpenFlags read_flags() { return chirp::OpenFlags::parse("r").value(); }
+
+// One client's workload: `reads` random whole-file reads through the DSFS
+// protocol sequence (stub getfile on the directory server, then open /
+// pread loop / close on the data server).
+Task<void> dsfs_client(Engine& engine, std::vector<SimChirpClient*> conns,
+                       int dir_server_index, int num_files, uint64_t file_bytes,
+                       int reads, uint64_t seed, uint64_t* bytes_out) {
+  Rng rng(seed);
+  for (SimChirpClient* conn : conns) {
+    auto connected = co_await conn->connect();
+    if (!connected.ok()) co_return;
+  }
+  constexpr uint64_t kReadChunk = 1 << 20;
+  for (int r = 0; r < reads; r++) {
+    int file = static_cast<int>(rng.below(static_cast<uint64_t>(num_files)));
+    // Stub fetch from the directory server.
+    auto stub_text = co_await conns[static_cast<size_t>(dir_server_index)]
+                         ->getfile("/tree/file" + std::to_string(file));
+    if (!stub_text.ok()) co_return;
+    auto stub = fs::Stub::parse(stub_text.value());
+    if (!stub.ok()) co_return;
+    int data_server = std::stoi(stub.value().server.substr(6));  // "server<i>"
+
+    // Direct access to the data server.
+    auto fd = co_await conns[static_cast<size_t>(data_server)]->open(
+        stub.value().data_path, read_flags(), 0);
+    if (!fd.ok()) co_return;
+    uint64_t offset = 0;
+    while (true) {
+      uint64_t want = std::min(kReadChunk, file_bytes - offset);
+      if (want == 0) break;
+      auto n = co_await conns[static_cast<size_t>(data_server)]->pread(
+          fd.value(), want, static_cast<int64_t>(offset));
+      if (!n.ok() || n.value() == 0) break;
+      offset += n.value();
+      *bytes_out += n.value();
+    }
+    auto closed =
+        co_await conns[static_cast<size_t>(data_server)]->close_fd(fd.value());
+    (void)closed;
+  }
+  (void)engine;
+}
+
+}  // namespace
+
+DsfsScalingResult run_dsfs_scaling(const DsfsScalingParams& params) {
+  Engine engine;
+  Cluster cluster(engine, Cluster::Config{});
+
+  // Servers: index 0 is the DSFS directory server — either double-duty
+  // (also holding data) or dedicated, per params.dedicated_directory.
+  std::vector<std::unique_ptr<SimChirpServer>> servers;
+  int total_servers =
+      params.num_servers + (params.dedicated_directory ? 1 : 0);
+  for (int s = 0; s < total_servers; s++) {
+    SimChirpServer::Options options;
+    options.backend.cache_bytes = params.cache_bytes;
+    servers.push_back(std::make_unique<SimChirpServer>(cluster, options));
+  }
+  int first_data = params.dedicated_directory ? 1 : 0;
+
+  // Populate: stubs on the directory server (real content), data files
+  // round-robin across servers (synthetic, no timing during setup).
+  auto ignore = servers[0]->backend().mkdir("/tree", 0755);
+  (void)ignore;
+  servers[0]->backend().take_completion();
+  for (int f = 0; f < params.num_files; f++) {
+    int owner = first_data + f % params.num_servers;
+    std::string data_path = "/vol/data" + std::to_string(f);
+    fs::Stub stub{"server" + std::to_string(owner), data_path};
+    auto put = servers[0]->backend().write_file(
+        "/tree/file" + std::to_string(f), stub.serialize(), 0644);
+    (void)put;
+    auto preload = servers[static_cast<size_t>(owner)]->backend().preload_file(
+        data_path, params.file_bytes);
+    (void)preload;
+  }
+  for (auto& server : servers) server->backend().take_completion();
+  if (params.warm_cache) {
+    for (int f = 0; f < params.num_files; f++) {
+      int owner = first_data + f % params.num_servers;
+      auto warmed = servers[static_cast<size_t>(owner)]->backend().warm_file(
+          "/vol/data" + std::to_string(f));
+      (void)warmed;
+    }
+  }
+
+  // Clients: one node each, one connection per server per client.
+  std::vector<std::unique_ptr<SimChirpClient>> connections;
+  std::vector<uint64_t> bytes(static_cast<size_t>(params.num_clients), 0);
+  for (int c = 0; c < params.num_clients; c++) {
+    int node = cluster.add_node();
+    std::vector<SimChirpClient*> conns;
+    for (int s = 0; s < total_servers; s++) {
+      connections.push_back(std::make_unique<SimChirpClient>(
+          cluster, node, *servers[static_cast<size_t>(s)],
+          "client" + std::to_string(c)));
+      conns.push_back(connections.back().get());
+    }
+    spawn(engine,
+          dsfs_client(engine, conns, /*dir_server_index=*/0, params.num_files,
+                      params.file_bytes, params.reads_per_client,
+                      params.seed + static_cast<uint64_t>(c) * 7919,
+                      &bytes[static_cast<size_t>(c)]));
+  }
+
+  Nanos end = engine.run();
+
+  DsfsScalingResult result;
+  for (uint64_t b : bytes) result.bytes_read += b;
+  result.seconds = static_cast<double>(end) / 1e9;
+  result.mb_per_sec =
+      static_cast<double>(result.bytes_read) / 1e6 / result.seconds;
+  for (auto& server : servers) {
+    result.cache_hits += server->backend().cache().hits();
+    result.cache_misses += server->backend().cache().misses();
+  }
+  return result;
+}
+
+}  // namespace tss::bench

@@ -1,0 +1,86 @@
+// Shared infrastructure for the experiment harnesses in bench/.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (see DESIGN.md §2 for the index and EXPERIMENTS.md for
+// paper-vs-measured results). Figures 6-8 share the DSFS scaling harness
+// defined here.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fs/stub.h"
+#include "sim/chirp_sim.h"
+#include "sim/cluster.h"
+#include "util/rand.h"
+
+namespace tss::bench {
+
+// ---------------------------------------------------------------------------
+// Output helpers: fixed-width tables in the style of the paper's figures.
+
+inline void print_header(const std::string& title, const std::string& note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 16) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt_double(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string fmt_us(double nanos) {
+  return fmt_double(nanos / 1000.0, 1) + " us";
+}
+
+// ---------------------------------------------------------------------------
+// DSFS scaling harness (Figures 6, 7, 8).
+//
+// Builds a DSFS on the simulated cluster: server 0 serves double duty as
+// directory server; data files are spread round-robin. Clients repeatedly
+// pick a file at random and read it whole, exactly the load generator of §7:
+// "clients ... select large files randomly and read them out of the
+// filesystem". Each logical read mirrors DistFs: fetch the stub from the
+// directory server, then open/pread.../close on the data server.
+
+struct DsfsScalingParams {
+  int num_servers = 1;
+  int num_clients = 16;
+  int num_files = 128;
+  uint64_t file_bytes = 1 << 20;
+  int reads_per_client = 100;
+  uint64_t cache_bytes = 512ull << 20;
+  // Touch files into cache before measuring (steady state, as in the
+  // paper's cache-resident configurations). Files are warmed in order, so
+  // when the per-server share exceeds the cache only the tail stays
+  // resident — the mixed/disk regimes emerge naturally.
+  bool warm_cache = true;
+  // §5: "A single file server might be dedicated for use as a DSFS
+  // directory, or it might serve double duty as both directory and file
+  // server." false = server 0 double-duties (the default elsewhere);
+  // true = one extra server holds only the directory tree.
+  bool dedicated_directory = false;
+  uint64_t seed = 20050101;
+};
+
+struct DsfsScalingResult {
+  double mb_per_sec = 0;
+  double seconds = 0;
+  uint64_t bytes_read = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+DsfsScalingResult run_dsfs_scaling(const DsfsScalingParams& params);
+
+}  // namespace tss::bench

@@ -1,0 +1,67 @@
+// Helpers for benches that execute the tss_syscall_worker binary, natively
+// or under the parrot tracer, and read back its self-measured timing.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "parrot/tracer.h"
+#include "util/result.h"
+#include "util/strings.h"
+
+namespace tss::bench {
+
+// Locates the worker binary next to this bench binary's build tree:
+// build/bench/<bench> -> build/src/parrot/tss_syscall_worker. The
+// TSS_SYSCALL_WORKER environment variable overrides.
+inline std::string find_worker(const char* argv0) {
+  if (const char* env = std::getenv("TSS_SYSCALL_WORKER")) return env;
+  std::string self(argv0);
+  size_t slash = self.rfind('/');
+  std::string dir = slash == std::string::npos ? "." : self.substr(0, slash);
+  return dir + "/../src/parrot/tss_syscall_worker";
+}
+
+// Runs the worker (optionally traced) and returns the printed value of the
+// first "<label> <number>" line in its stdout.
+inline Result<int64_t> run_worker(const std::string& worker,
+                                  const std::vector<std::string>& args,
+                                  bool traced, const std::string& label) {
+  std::string out_path =
+      "/tmp/tss-bench-worker-" + std::to_string(::getpid()) + ".out";
+  std::string command = worker;
+  for (const std::string& a : args) command += " " + a;
+  command += " > " + out_path;
+
+  if (traced) {
+    auto stats = parrot::trace_run({"/bin/sh", "-c", command});
+    if (!stats.ok()) return std::move(stats).take_error();
+    if (stats.value().exit_code != 0) {
+      return Error(EIO, "traced worker exited " +
+                            std::to_string(stats.value().exit_code));
+    }
+  } else {
+    int rc = std::system(command.c_str());
+    if (rc != 0) return Error(EIO, "worker exited nonzero");
+  }
+
+  std::ifstream in(out_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  ::unlink(out_path.c_str());
+  for (const std::string& line : split(buffer.str(), '\n')) {
+    auto words = split_words(line);
+    if (words.size() == 2 && words[0] == label) {
+      auto n = parse_i64(words[1]);
+      if (n) return *n;
+    }
+  }
+  return Error(EPROTO, "worker output missing " + label);
+}
+
+}  // namespace tss::bench

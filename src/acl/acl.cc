@@ -1,0 +1,169 @@
+#include "acl/acl.h"
+
+#include "util/strings.h"
+
+namespace tss::acl {
+
+namespace {
+
+std::optional<Rights> letter_to_right(char c) {
+  switch (c) {
+    case 'r':
+      return kRead;
+    case 'w':
+      return kWrite;
+    case 'l':
+      return kList;
+    case 'd':
+      return kDelete;
+    case 'a':
+      return kAdmin;
+    default:
+      return std::nullopt;
+  }
+}
+
+void append_letters(std::string& out, Rights rights) {
+  if (rights & kRead) out += 'r';
+  if (rights & kWrite) out += 'w';
+  if (rights & kList) out += 'l';
+  if (rights & kDelete) out += 'd';
+  if (rights & kAdmin) out += 'a';
+}
+
+}  // namespace
+
+Result<ParsedRights> parse_rights(std::string_view token) {
+  ParsedRights out;
+  if (token == "-") return out;
+  size_t i = 0;
+  bool saw_reserve = false;
+  while (i < token.size()) {
+    char c = token[i];
+    if (c == 'v') {
+      if (saw_reserve) {
+        return Error(EINVAL, "duplicate v group in rights");
+      }
+      saw_reserve = true;
+      out.rights |= kReserve;
+      i++;
+      if (i < token.size() && token[i] == '(') {
+        size_t close = token.find(')', i);
+        if (close == std::string_view::npos) {
+          return Error(EINVAL, "unterminated v( in rights");
+        }
+        for (size_t j = i + 1; j < close; j++) {
+          auto r = letter_to_right(token[j]);
+          if (!r) {
+            return Error(EINVAL, std::string("bad right in v(): ") + token[j]);
+          }
+          out.reserve |= *r;
+        }
+        i = close + 1;
+      }
+      continue;
+    }
+    auto r = letter_to_right(c);
+    if (!r) return Error(EINVAL, std::string("bad right letter: ") + c);
+    out.rights |= *r;
+    i++;
+  }
+  return out;
+}
+
+std::string format_rights(Rights rights, Rights reserve) {
+  std::string out;
+  append_letters(out, rights);
+  if (rights & kReserve) {
+    out += 'v';
+    out += '(';
+    append_letters(out, reserve);
+    out += ')';
+  }
+  if (out.empty()) out = "-";
+  return out;
+}
+
+bool Entry::matches(std::string_view subject_name) const {
+  return wildcard_match(subject, subject_name);
+}
+
+Result<Acl> Acl::parse(std::string_view text) {
+  Acl acl;
+  for (const std::string& raw_line : split(text, '\n')) {
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    auto words = split_words(line);
+    if (words.size() != 2) {
+      return Error(EINVAL, "bad ACL line: " + std::string(line));
+    }
+    TSS_ASSIGN_OR_RETURN(ParsedRights parsed, parse_rights(words[1]));
+    acl.entries_.push_back(Entry{words[0], parsed.rights, parsed.reserve});
+  }
+  return acl;
+}
+
+std::string Acl::serialize() const {
+  std::string out;
+  for (const Entry& e : entries_) {
+    out += e.subject;
+    out += ' ';
+    out += format_rights(e.rights, e.reserve);
+    out += '\n';
+  }
+  return out;
+}
+
+bool Acl::check(std::string_view subject, Rights wanted) const {
+  if (wanted == kNoRights) return true;
+  return (rights_for(subject) & wanted) == wanted;
+}
+
+Rights Acl::rights_for(std::string_view subject) const {
+  Rights held = kNoRights;
+  for (const Entry& e : entries_) {
+    if (e.matches(subject)) held |= e.rights;
+  }
+  return held;
+}
+
+std::optional<Rights> Acl::reserve_rights_for(std::string_view subject) const {
+  bool any = false;
+  Rights granted = kNoRights;
+  for (const Entry& e : entries_) {
+    if ((e.rights & kReserve) && e.matches(subject)) {
+      any = true;
+      granted |= e.reserve;
+    }
+  }
+  if (!any) return std::nullopt;
+  return granted;
+}
+
+void Acl::set(std::string_view subject_pattern, Rights rights,
+              Rights reserve) {
+  for (size_t i = 0; i < entries_.size(); i++) {
+    if (entries_[i].subject == subject_pattern) {
+      if (rights == kNoRights) {
+        entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      } else {
+        entries_[i].rights = rights;
+        entries_[i].reserve = reserve;
+      }
+      return;
+    }
+  }
+  if (rights != kNoRights) {
+    entries_.push_back(Entry{std::string(subject_pattern), rights, reserve});
+  }
+}
+
+Acl Acl::fresh_for(std::string_view subject, Rights granted) {
+  Acl acl;
+  if (granted != kNoRights) {
+    acl.entries_.push_back(Entry{std::string(subject), granted, kNoRights});
+  }
+  return acl;
+}
+
+}  // namespace tss::acl

@@ -1,0 +1,103 @@
+// Per-directory access control lists, exactly as described in §4 of the
+// paper.
+//
+// Each entry pairs a wildcard *subject* (a free-form "method:name" identity
+// from the virtual user space, e.g. "hostname:*.cse.nd.edu" or
+// "globus:/O=Notre_Dame/*") with a set of rights:
+//
+//   R  read files            W  write / create files
+//   L  list the directory    D  delete files
+//   A  administer (modify this ACL)
+//   V(...) the *reserve* right: the subject may mkdir here, and the fresh
+//          directory is initialized with an ACL granting that subject only
+//          the rights named inside the parentheses.
+//
+// Rights from multiple matching entries accumulate (union), as do the
+// parenthesized reserve sets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tss::acl {
+
+enum Right : uint8_t {
+  kRead = 1u << 0,
+  kWrite = 1u << 1,
+  kList = 1u << 2,
+  kDelete = 1u << 3,
+  kAdmin = 1u << 4,
+  kReserve = 1u << 5,
+};
+
+using Rights = uint8_t;
+
+constexpr Rights kNoRights = 0;
+constexpr Rights kAllRights =
+    kRead | kWrite | kList | kDelete | kAdmin | kReserve;
+
+// Parses a rights token: lowercase letters from {r,w,l,d,a} plus at most one
+// "v" or "v(...)" group, e.g. "rwl", "rwla", "v(rwl)", "rlv(rwla)", "-" (no
+// rights). Returns (rights, reserve_rights); the kReserve bit is set in
+// rights iff a v group is present.
+struct ParsedRights {
+  Rights rights = kNoRights;
+  Rights reserve = kNoRights;  // rights granted inside v(...)
+};
+Result<ParsedRights> parse_rights(std::string_view token);
+
+// Formats rights (+ reserve set) back to the token form; "-" when empty.
+std::string format_rights(Rights rights, Rights reserve);
+
+// One ACL line.
+struct Entry {
+  std::string subject;  // wildcard pattern over "method:name"
+  Rights rights = kNoRights;
+  Rights reserve = kNoRights;
+
+  bool matches(std::string_view subject_name) const;
+};
+
+class Acl {
+ public:
+  Acl() = default;
+
+  // Parses the on-disk / on-wire text format: one "subject rights" pair per
+  // line; blank lines and '#' comments ignored.
+  static Result<Acl> parse(std::string_view text);
+
+  std::string serialize() const;
+
+  // Does `subject` hold every right in `wanted`?
+  bool check(std::string_view subject, Rights wanted) const;
+
+  // Union of all rights held by `subject`.
+  Rights rights_for(std::string_view subject) const;
+
+  // Union of the reserve sets of every entry matching `subject`, or nullopt
+  // if no matching entry carries V. This is the rights set a reserved mkdir
+  // grants the caller in the new directory.
+  std::optional<Rights> reserve_rights_for(std::string_view subject) const;
+
+  // Replaces any exact-pattern entry for `subject_pattern`, or appends.
+  // Setting empty rights removes the entry.
+  void set(std::string_view subject_pattern, Rights rights, Rights reserve);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  // The ACL a reserved mkdir creates: the concrete calling subject with the
+  // parent's reserve set (per the paper's /backup example, the caller does
+  // NOT get A unless the parent's v(...) included it).
+  static Acl fresh_for(std::string_view subject, Rights granted);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tss::acl

@@ -1,0 +1,288 @@
+#include "adapter/adapter.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/path.h"
+#include "util/strings.h"
+
+namespace tss::adapter {
+
+Adapter::Adapter(Options options) : options_(std::move(options)) {}
+
+Adapter::~Adapter() = default;
+
+void Adapter::mount(const std::string& logical_prefix, fs::FileSystem* fs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  mounts_.emplace_back(path::sanitize(logical_prefix), fs);
+}
+
+Result<void> Adapter::load_mountlist(const std::string& text) {
+  TSS_ASSIGN_OR_RETURN(MountList list, MountList::parse(text));
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const MountEntry& entry : list.entries()) {
+    mounts_list_.add(entry.logical, entry.target);
+  }
+  return Result<void>::success();
+}
+
+Result<fs::FileSystem*> Adapter::cfs_for(const std::string& hostport) {
+  // Caller holds mutex_.
+  auto it = cfs_cache_.find(hostport);
+  if (it != cfs_cache_.end()) return it->second.get();
+  TSS_ASSIGN_OR_RETURN(net::Endpoint endpoint, net::Endpoint::parse(hostport));
+  fs::CfsFs::Options cfs_options;
+  cfs_options.retry = options_.retry;
+  cfs_options.sync_writes = options_.sync_writes;
+  auto cfs = std::make_unique<fs::CfsFs>(
+      fs::chirp_connector(endpoint, options_.credentials, options_.io_timeout),
+      cfs_options);
+  fs::FileSystem* raw = cfs.get();
+  cfs_cache_[hostport] = std::move(cfs);
+  return raw;
+}
+
+Result<Adapter::Resolved> Adapter::resolve(const std::string& p) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // 1. Mountlist rewrite (logical names -> targets).
+  std::string canonical = mounts_list_.translate(p);
+
+  // 2. Explicit mounts, longest prefix wins.
+  const std::pair<std::string, fs::FileSystem*>* best = nullptr;
+  for (const auto& entry : mounts_) {
+    if (path::is_within(entry.first, canonical)) {
+      if (!best || entry.first.size() > best->first.size()) best = &entry;
+    }
+  }
+  if (best) {
+    std::string residual = canonical.substr(best->first.size());
+    return Resolved{best->second, path::sanitize(residual)};
+  }
+
+  // 3. The default namespace: /cfs/<host:port>/... auto-mounts that
+  // server; /dsfs/<host:port>@<volume>/... auto-mounts a self-describing
+  // DSFS volume (§6's mountlist example).
+  auto components = path::components(canonical);
+  if (components.size() >= 2 &&
+      (components[0] == "cfs" || components[0] == "dsfs")) {
+    fs::FileSystem* mounted = nullptr;
+    if (components[0] == "cfs") {
+      TSS_ASSIGN_OR_RETURN(mounted, cfs_for(components[1]));
+    } else {
+      TSS_ASSIGN_OR_RETURN(mounted, dsfs_for(components[1]));
+    }
+    std::string residual = "/";
+    for (size_t i = 2; i < components.size(); i++) {
+      residual = path::join(residual, components[i]);
+    }
+    return Resolved{mounted, residual};
+  }
+
+  return Error(ENOENT, "path outside the tactical namespace: " + canonical);
+}
+
+Result<fs::FileSystem*> Adapter::dsfs_for(const std::string& spec) {
+  // Caller holds mutex_. spec = "<host:port>@<volume>".
+  auto it = dsfs_cache_.find(spec);
+  if (it != dsfs_cache_.end()) return it->second->filesystem();
+  size_t at = spec.rfind('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= spec.size()) {
+    return Error(EINVAL, "dsfs path needs <host:port>@<volume>: " + spec);
+  }
+  TSS_ASSIGN_OR_RETURN(net::Endpoint directory_server,
+                       net::Endpoint::parse(spec.substr(0, at)));
+  DsfsMountOptions options;
+  options.credentials = options_.credentials;
+  options.retry = options_.retry;
+  options.io_timeout = options_.io_timeout;
+  TSS_ASSIGN_OR_RETURN(
+      auto mount, mount_volume(directory_server, spec.substr(at + 1), options));
+  fs::FileSystem* raw = mount->filesystem();
+  dsfs_cache_[spec] = std::move(mount);
+  return raw;
+}
+
+Result<int> Adapter::open(const std::string& p, int posix_flags,
+                          uint32_t mode) {
+  TSS_ASSIGN_OR_RETURN(Resolved r, resolve(p));
+  fs::OpenFlags flags = fs::OpenFlags::from_posix(posix_flags);
+  if (options_.sync_writes) flags.sync = true;
+  TSS_ASSIGN_OR_RETURN(auto file, r.fs->open(r.path, flags, mode));
+  std::lock_guard<std::mutex> lock(mutex_);
+  int fd = next_fd_++;
+  fds_[fd] = OpenFd{std::move(file), 0, flags.append};
+  return fd;
+}
+
+Result<size_t> Adapter::read(int fd, void* buf, size_t size) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return Error(EBADF, "bad adapter fd");
+  OpenFd& entry = it->second;
+  int64_t offset = entry.offset;
+  fs::File* file = entry.file.get();
+  lock.unlock();
+  TSS_ASSIGN_OR_RETURN(size_t n, file->pread(buf, size, offset));
+  lock.lock();
+  // Re-find: a concurrent close may have invalidated the entry.
+  it = fds_.find(fd);
+  if (it != fds_.end()) it->second.offset = offset + static_cast<int64_t>(n);
+  return n;
+}
+
+Result<size_t> Adapter::write(int fd, const void* buf, size_t size) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return Error(EBADF, "bad adapter fd");
+  OpenFd& entry = it->second;
+  fs::File* file = entry.file.get();
+  int64_t offset = entry.offset;
+  bool append = entry.append;
+  lock.unlock();
+  if (append) {
+    TSS_ASSIGN_OR_RETURN(fs::StatInfo info, file->fstat());
+    offset = static_cast<int64_t>(info.size);
+  }
+  TSS_ASSIGN_OR_RETURN(size_t n, file->pwrite(buf, size, offset));
+  lock.lock();
+  it = fds_.find(fd);
+  if (it != fds_.end()) it->second.offset = offset + static_cast<int64_t>(n);
+  return n;
+}
+
+Result<size_t> Adapter::pread(int fd, void* buf, size_t size, int64_t offset) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return Error(EBADF, "bad adapter fd");
+  fs::File* file = it->second.file.get();
+  lock.unlock();
+  return file->pread(buf, size, offset);
+}
+
+Result<size_t> Adapter::pwrite(int fd, const void* buf, size_t size,
+                               int64_t offset) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return Error(EBADF, "bad adapter fd");
+  fs::File* file = it->second.file.get();
+  lock.unlock();
+  return file->pwrite(buf, size, offset);
+}
+
+Result<int64_t> Adapter::lseek(int fd, int64_t offset, int whence) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return Error(EBADF, "bad adapter fd");
+  int64_t base;
+  switch (whence) {
+    case SEEK_SET:
+      base = 0;
+      break;
+    case SEEK_CUR:
+      base = it->second.offset;
+      break;
+    case SEEK_END: {
+      fs::File* file = it->second.file.get();
+      lock.unlock();
+      TSS_ASSIGN_OR_RETURN(fs::StatInfo info, file->fstat());
+      lock.lock();
+      it = fds_.find(fd);
+      if (it == fds_.end()) return Error(EBADF, "bad adapter fd");
+      base = static_cast<int64_t>(info.size);
+      break;
+    }
+    default:
+      return Error(EINVAL, "bad whence");
+  }
+  int64_t target = base + offset;
+  if (target < 0) return Error(EINVAL, "negative seek");
+  it->second.offset = target;
+  return target;
+}
+
+Result<void> Adapter::fsync(int fd) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return Error(EBADF, "bad adapter fd");
+  fs::File* file = it->second.file.get();
+  lock.unlock();
+  return file->fsync();
+}
+
+Result<void> Adapter::close(int fd) {
+  std::unique_ptr<fs::File> file;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) return Error(EBADF, "bad adapter fd");
+    file = std::move(it->second.file);
+    fds_.erase(it);
+  }
+  return file->close();
+}
+
+Result<fs::StatInfo> Adapter::fstat(int fd) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return Error(EBADF, "bad adapter fd");
+  fs::File* file = it->second.file.get();
+  lock.unlock();
+  return file->fstat();
+}
+
+Result<fs::StatInfo> Adapter::stat(const std::string& p) {
+  TSS_ASSIGN_OR_RETURN(Resolved r, resolve(p));
+  return r.fs->stat(r.path);
+}
+
+Result<void> Adapter::unlink(const std::string& p) {
+  TSS_ASSIGN_OR_RETURN(Resolved r, resolve(p));
+  return r.fs->unlink(r.path);
+}
+
+Result<void> Adapter::rename(const std::string& from, const std::string& to) {
+  TSS_ASSIGN_OR_RETURN(Resolved rf, resolve(from));
+  TSS_ASSIGN_OR_RETURN(Resolved rt, resolve(to));
+  if (rf.fs != rt.fs) {
+    return Error(EXDEV, "rename across abstractions");
+  }
+  return rf.fs->rename(rf.path, rt.path);
+}
+
+Result<void> Adapter::mkdir(const std::string& p, uint32_t mode) {
+  TSS_ASSIGN_OR_RETURN(Resolved r, resolve(p));
+  return r.fs->mkdir(r.path, mode);
+}
+
+Result<void> Adapter::rmdir(const std::string& p) {
+  TSS_ASSIGN_OR_RETURN(Resolved r, resolve(p));
+  return r.fs->rmdir(r.path);
+}
+
+Result<void> Adapter::truncate(const std::string& p, uint64_t size) {
+  TSS_ASSIGN_OR_RETURN(Resolved r, resolve(p));
+  return r.fs->truncate(r.path, size);
+}
+
+Result<std::vector<fs::DirEntry>> Adapter::readdir(const std::string& p) {
+  TSS_ASSIGN_OR_RETURN(Resolved r, resolve(p));
+  return r.fs->readdir(r.path);
+}
+
+Result<std::string> Adapter::read_file(const std::string& p) {
+  TSS_ASSIGN_OR_RETURN(Resolved r, resolve(p));
+  return r.fs->read_file(r.path);
+}
+
+Result<void> Adapter::write_file(const std::string& p, std::string_view data,
+                                 uint32_t mode) {
+  TSS_ASSIGN_OR_RETURN(Resolved r, resolve(p));
+  return r.fs->write_file(r.path, data, mode);
+}
+
+size_t Adapter::open_fd_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fds_.size();
+}
+
+}  // namespace tss::adapter

@@ -1,0 +1,121 @@
+// The adapter: what Parrot does for an application, as a library.
+//
+// "A TSS provides an adapter that securely and transparently connects
+// existing applications to abstractions without special privileges or code
+// changes." (§2) The ptrace trapping mechanism itself lives in src/parrot/;
+// this class is everything above the trap: the namespace, the descriptor
+// table, and the recovery/consistency policy.
+//
+// Namespace (§6):
+//  * "By default, the adapter presents each abstraction as a new top-level
+//    entry in the directory hierarchy with the second-level name identifying
+//    a host or volume": paths of the form /cfs/<host:port>/... auto-mount a
+//    CfsFs for that server on first use.
+//  * A mountlist maps logical names to those targets.
+//  * Abstractions built elsewhere (a DistFs, a LocalFs) can be mounted
+//    explicitly with mount().
+//
+// Descriptor semantics: Chirp I/O uses explicit offsets, so the adapter owns
+// the current-position state (open/read/write/lseek), exactly as Parrot
+// maintains Unix descriptor state above the Chirp RPCs.
+//
+// The adapter performs no buffering or caching; `sync_writes` transparently
+// appends O_SYNC to every open (§6).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "adapter/dsfs_mount.h"
+#include "adapter/mountlist.h"
+#include "auth/auth.h"
+#include "fs/cfs.h"
+#include "fs/filesystem.h"
+
+namespace tss::adapter {
+
+class Adapter {
+ public:
+  struct Options {
+    // Credentials offered (in order) when auto-connecting to Chirp servers.
+    std::vector<std::shared_ptr<auth::ClientCredential>> credentials;
+    fs::RetryPolicy retry;     // §6 reconnect policy for auto-mounted CFS
+    bool sync_writes = false;  // §6 synchronous-write switch
+    Nanos io_timeout = 30 * kSecond;
+  };
+
+  explicit Adapter(Options options);
+  ~Adapter();
+
+  // --- Namespace management ------------------------------------------------
+  // The default namespace auto-mounts two path families (§6):
+  //   /cfs/<host:port>/...           one Chirp server, untranslated
+  //   /dsfs/<host:port>@<volume>/... a self-describing DSFS volume
+  //
+  // Mounts an externally owned abstraction at a logical prefix.
+  void mount(const std::string& logical_prefix, fs::FileSystem* fs);
+  // Installs mountlist entries (logical -> /cfs/... target or mounted name).
+  Result<void> load_mountlist(const std::string& text);
+
+  // Resolution result; exposed for tests and the parrot tracer.
+  struct Resolved {
+    fs::FileSystem* fs = nullptr;
+    std::string path;  // path within `fs`
+  };
+  Result<Resolved> resolve(const std::string& path);
+
+  // --- POSIX-like surface --------------------------------------------------
+  Result<int> open(const std::string& path, int posix_flags,
+                   uint32_t mode = 0644);
+  Result<size_t> read(int fd, void* buf, size_t size);
+  Result<size_t> write(int fd, const void* buf, size_t size);
+  Result<size_t> pread(int fd, void* buf, size_t size, int64_t offset);
+  Result<size_t> pwrite(int fd, const void* buf, size_t size, int64_t offset);
+  Result<int64_t> lseek(int fd, int64_t offset, int whence);
+  Result<void> fsync(int fd);
+  Result<void> close(int fd);
+  Result<fs::StatInfo> fstat(int fd);
+
+  Result<fs::StatInfo> stat(const std::string& path);
+  Result<void> unlink(const std::string& path);
+  // Cross-abstraction renames fail with EXDEV, as for Unix mount points.
+  Result<void> rename(const std::string& from, const std::string& to);
+  Result<void> mkdir(const std::string& path, uint32_t mode = 0755);
+  Result<void> rmdir(const std::string& path);
+  Result<void> truncate(const std::string& path, uint64_t size);
+  Result<std::vector<fs::DirEntry>> readdir(const std::string& path);
+
+  // Whole-file convenience (used by the parrot tracer's fetch path).
+  Result<std::string> read_file(const std::string& path);
+  Result<void> write_file(const std::string& path, std::string_view data,
+                          uint32_t mode = 0644);
+
+  // Count of live descriptors (for leak checks in tests).
+  size_t open_fd_count();
+
+ private:
+  // Returns (creating on first use) the CfsFs for "host:port".
+  Result<fs::FileSystem*> cfs_for(const std::string& hostport);
+  // Returns (mounting on first use) the DSFS named "host:port@volume".
+  Result<fs::FileSystem*> dsfs_for(const std::string& spec);
+
+  Options options_;
+  MountList mounts_list_;
+  std::mutex mutex_;
+  std::vector<std::pair<std::string, fs::FileSystem*>> mounts_;  // explicit
+  std::map<std::string, std::unique_ptr<fs::CfsFs>> cfs_cache_;
+  std::map<std::string, std::unique_ptr<DsfsMount>> dsfs_cache_;
+
+  struct OpenFd {
+    std::unique_ptr<fs::File> file;
+    int64_t offset = 0;
+    bool append = false;
+  };
+  std::map<int, OpenFd> fds_;
+  int next_fd_ = 3;
+};
+
+}  // namespace tss::adapter

@@ -1,0 +1,62 @@
+// AdapterFs: the adapter's namespace presented back as a FileSystem.
+//
+// Recursive abstraction, once more: the adapter consumes FileSystems and —
+// with this shim — implements one, so any component written against the
+// FileSystem interface (the SP5 workload, GEMS, another DistFs...) can run
+// on top of the full mountlist namespace.
+#pragma once
+
+#include "adapter/adapter.h"
+#include "fs/filesystem.h"
+
+namespace tss::adapter {
+
+class AdapterFs final : public fs::FileSystem {
+ public:
+  explicit AdapterFs(Adapter& adapter) : adapter_(adapter) {}
+
+  Result<std::unique_ptr<fs::File>> open(const std::string& path,
+                                         const fs::OpenFlags& flags,
+                                         uint32_t mode) override {
+    TSS_ASSIGN_OR_RETURN(Adapter::Resolved r, adapter_.resolve(path));
+    return r.fs->open(r.path, flags, mode);
+  }
+  using FileSystem::open;
+
+  Result<fs::StatInfo> stat(const std::string& path) override {
+    return adapter_.stat(path);
+  }
+  Result<void> unlink(const std::string& path) override {
+    return adapter_.unlink(path);
+  }
+  Result<void> rename(const std::string& from,
+                      const std::string& to) override {
+    return adapter_.rename(from, to);
+  }
+  Result<void> mkdir(const std::string& path, uint32_t mode) override {
+    return adapter_.mkdir(path, mode);
+  }
+  using FileSystem::mkdir;
+  Result<void> rmdir(const std::string& path) override {
+    return adapter_.rmdir(path);
+  }
+  Result<void> truncate(const std::string& path, uint64_t size) override {
+    return adapter_.truncate(path, size);
+  }
+  Result<std::vector<fs::DirEntry>> readdir(const std::string& path) override {
+    return adapter_.readdir(path);
+  }
+  Result<std::string> read_file(const std::string& path) override {
+    return adapter_.read_file(path);
+  }
+  Result<void> write_file(const std::string& path, std::string_view data,
+                          uint32_t mode) override {
+    return adapter_.write_file(path, data, mode);
+  }
+  using FileSystem::write_file;
+
+ private:
+  Adapter& adapter_;
+};
+
+}  // namespace tss::adapter

@@ -1,0 +1,122 @@
+#include "adapter/dsfs_mount.h"
+
+#include "fs/subtree.h"
+
+#include "util/path.h"
+#include "util/strings.h"
+
+namespace tss::adapter {
+
+namespace {
+constexpr const char* kManifestName = ".tssvol";
+constexpr const char* kTreeName = "tree";
+}  // namespace
+
+std::string VolumeManifest::serialize() const {
+  std::string out = "tssvol v1\n";
+  out += "datadir " + url_encode(data_dir) + "\n";
+  for (const auto& [name, endpoint] : servers) {
+    out += "server " + url_encode(name) + " " + endpoint.to_string() + "\n";
+  }
+  return out;
+}
+
+Result<VolumeManifest> VolumeManifest::parse(std::string_view text) {
+  auto lines = split(text, '\n');
+  if (lines.empty() || trim(lines[0]) != "tssvol v1") {
+    return Error(EINVAL, "not a tssvol manifest");
+  }
+  VolumeManifest manifest;
+  for (size_t i = 1; i < lines.size(); i++) {
+    auto words = split_words(lines[i]);
+    if (words.empty()) continue;
+    if (words[0] == "datadir" && words.size() >= 2) {
+      manifest.data_dir = url_decode(words[1]);
+    } else if (words[0] == "server" && words.size() >= 3) {
+      TSS_ASSIGN_OR_RETURN(net::Endpoint endpoint,
+                           net::Endpoint::parse(words[2]));
+      manifest.servers[url_decode(words[1])] = endpoint;
+    } else {
+      return Error(EINVAL, "bad manifest line: " + lines[i]);
+    }
+  }
+  if (manifest.servers.empty()) {
+    return Error(EINVAL, "manifest lists no data servers");
+  }
+  if (manifest.data_dir.empty()) {
+    return Error(EINVAL, "manifest missing datadir");
+  }
+  return manifest;
+}
+
+namespace {
+
+std::unique_ptr<fs::CfsFs> connect_cfs(const net::Endpoint& endpoint,
+                                       const DsfsMountOptions& options) {
+  fs::CfsFs::Options cfs_options;
+  cfs_options.retry = options.retry;
+  return std::make_unique<fs::CfsFs>(
+      fs::chirp_connector(endpoint, options.credentials, options.io_timeout),
+      cfs_options);
+}
+
+}  // namespace
+
+Result<void> create_volume(const net::Endpoint& directory_server,
+                           const std::string& volume,
+                           const std::map<std::string, net::Endpoint>& servers,
+                           const DsfsMountOptions& options) {
+  if (servers.empty()) return Error(EINVAL, "volume needs data servers");
+  std::string volume_root = path::sanitize("/" + volume);
+
+  VolumeManifest manifest;
+  manifest.servers = servers;
+  manifest.data_dir = path::join(volume_root, "data");
+
+  auto directory = connect_cfs(directory_server, options);
+  TSS_RETURN_IF_ERROR(fs::mkdir_recursive(*directory, volume_root));
+  TSS_RETURN_IF_ERROR(
+      fs::mkdir_recursive(*directory, path::join(volume_root, kTreeName)));
+  TSS_RETURN_IF_ERROR(directory->write_file(
+      path::join(volume_root, kManifestName), manifest.serialize()));
+
+  for (const auto& [name, endpoint] : servers) {
+    auto data = connect_cfs(endpoint, options);
+    TSS_RETURN_IF_ERROR(fs::mkdir_recursive(*data, manifest.data_dir));
+  }
+  return Result<void>::success();
+}
+
+Result<std::unique_ptr<DsfsMount>> mount_volume(
+    const net::Endpoint& directory_server, const std::string& volume,
+    const DsfsMountOptions& options) {
+  std::string volume_root = path::sanitize("/" + volume);
+  auto mount = std::make_unique<DsfsMount>();
+  mount->directory_mount = connect_cfs(directory_server, options);
+
+  TSS_ASSIGN_OR_RETURN(
+      std::string manifest_text,
+      mount->directory_mount->read_file(
+          path::join(volume_root, kManifestName)));
+  TSS_ASSIGN_OR_RETURN(VolumeManifest manifest,
+                       VolumeManifest::parse(manifest_text));
+
+  std::map<std::string, fs::FileSystem*> data_servers;
+  for (const auto& [name, endpoint] : manifest.servers) {
+    mount->data_mounts.push_back(connect_cfs(endpoint, options));
+    data_servers[name] = mount->data_mounts.back().get();
+  }
+
+  // The metadata filesystem is the volume's tree directory on the
+  // directory server, presented as its own root via SubtreeFs.
+  mount->metadata_view = std::make_unique<fs::SubtreeFs>(
+      mount->directory_mount.get(), path::join(volume_root, kTreeName));
+
+  fs::DistFs::Options dist_options;
+  dist_options.volume = manifest.data_dir;
+  mount->dsfs = std::make_unique<fs::DistFs>(mount->metadata_view.get(),
+                                             data_servers, dist_options);
+  return mount;
+}
+
+}  // namespace tss::adapter

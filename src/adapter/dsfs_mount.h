@@ -1,0 +1,69 @@
+// Self-describing DSFS volumes and their adapter mounts.
+//
+// The paper's mountlist example maps "/data" to
+// "/dsfs/archive.cse.nd.edu@run5/data" (§6): a DSFS is named by its
+// directory server plus a volume name. For a client to mount it knowing
+// only that pair, the volume must describe itself — so a volume is a
+// directory on the directory server containing:
+//
+//   /<volume>/.tssvol     the manifest: data server names and endpoints
+//   /<volume>/tree        the DSFS directory tree (stub files)
+//
+// create_volume() writes that layout; mount_volume() reads the manifest,
+// connects a CfsFs to every data server, and assembles the DistFs. The
+// Adapter uses these to auto-mount "/dsfs/<host:port>@<volume>/..." paths.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auth/auth.h"
+#include "fs/cfs.h"
+#include "fs/dist.h"
+#include "fs/subtree.h"
+
+namespace tss::adapter {
+
+// Manifest contents.
+struct VolumeManifest {
+  // name -> endpoint of every data server.
+  std::map<std::string, net::Endpoint> servers;
+  // Data directory on each data server (the DistFs volume path).
+  std::string data_dir;
+
+  std::string serialize() const;
+  static Result<VolumeManifest> parse(std::string_view text);
+};
+
+// A mounted DSFS: owns the connections, the tree view, and the DistFs
+// that uses them (declaration order matters for destruction).
+struct DsfsMount {
+  std::unique_ptr<fs::CfsFs> directory_mount;
+  std::vector<std::unique_ptr<fs::CfsFs>> data_mounts;
+  std::unique_ptr<fs::SubtreeFs> metadata_view;
+  std::unique_ptr<fs::DistFs> dsfs;
+
+  fs::FileSystem* filesystem() { return dsfs.get(); }
+};
+
+struct DsfsMountOptions {
+  std::vector<std::shared_ptr<auth::ClientCredential>> credentials;
+  fs::RetryPolicy retry;
+  Nanos io_timeout = 30 * kSecond;
+};
+
+// Creates the volume layout on the directory server: manifest, tree
+// directory, and the data directory on every listed data server.
+Result<void> create_volume(const net::Endpoint& directory_server,
+                           const std::string& volume,
+                           const std::map<std::string, net::Endpoint>& servers,
+                           const DsfsMountOptions& options);
+
+// Mounts an existing volume by reading its manifest.
+Result<std::unique_ptr<DsfsMount>> mount_volume(
+    const net::Endpoint& directory_server, const std::string& volume,
+    const DsfsMountOptions& options);
+
+}  // namespace tss::adapter

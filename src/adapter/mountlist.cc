@@ -1,0 +1,42 @@
+#include "adapter/mountlist.h"
+
+#include "util/path.h"
+#include "util/strings.h"
+
+namespace tss::adapter {
+
+Result<MountList> MountList::parse(std::string_view text) {
+  MountList list;
+  for (const std::string& raw : split(text, '\n')) {
+    std::string_view line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    auto words = split_words(line);
+    if (words.size() != 2) {
+      return Error(EINVAL, "bad mountlist line: " + std::string(line));
+    }
+    list.add(words[0], words[1]);
+  }
+  return list;
+}
+
+void MountList::add(const std::string& logical, const std::string& target) {
+  entries_.push_back(
+      MountEntry{path::sanitize(logical), path::sanitize(target)});
+}
+
+std::string MountList::translate(const std::string& p) const {
+  std::string canonical = path::sanitize(p);
+  const MountEntry* best = nullptr;
+  for (const MountEntry& entry : entries_) {
+    if (path::is_within(entry.logical, canonical)) {
+      if (!best || entry.logical.size() > best->logical.size()) {
+        best = &entry;
+      }
+    }
+  }
+  if (!best) return canonical;
+  std::string residual = canonical.substr(best->logical.size());
+  return path::sanitize(best->target + residual);
+}
+
+}  // namespace tss::adapter

@@ -1,0 +1,42 @@
+// Mountlists: the adapter's private-namespace mechanism.
+//
+// "An application can be given a 'mountlist' that creates a private
+// namespace by mapping logical names to external abstractions. For example:
+//      /usr/local   /cfs/shared.cse.nd.edu/software
+//      /data        /dsfs/archive.cse.nd.edu@run5/data         " (§6)
+//
+// A mountlist is parsed into (logical prefix, target) pairs; resolution is
+// longest-prefix-wins, with the residual path appended to the target.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tss::adapter {
+
+struct MountEntry {
+  std::string logical;  // canonical logical prefix, e.g. "/usr/local"
+  std::string target;   // canonical target, e.g. "/cfs/host:9094/software"
+};
+
+class MountList {
+ public:
+  // One "logical target" pair per line; blanks and '#' comments ignored.
+  static Result<MountList> parse(std::string_view text);
+
+  void add(const std::string& logical, const std::string& target);
+
+  // Rewrites `path` through the longest matching logical prefix; returns
+  // the path unchanged when nothing matches.
+  std::string translate(const std::string& path) const;
+
+  const std::vector<MountEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<MountEntry> entries_;
+};
+
+}  // namespace tss::adapter

@@ -1,0 +1,65 @@
+#include "adapter/pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace tss::adapter {
+
+Result<Pool> discover_pool(const net::Endpoint& catalog,
+                           const PoolPolicy& policy,
+                           const PoolOptions& options) {
+  TSS_ASSIGN_OR_RETURN(auto listing, catalog::query(catalog));
+
+  // Filter by policy.
+  std::vector<catalog::ServerReport> candidates;
+  for (const catalog::ServerReport& report : listing) {
+    if (report.free_bytes < policy.min_free_bytes) continue;
+    if (!wildcard_match(policy.owner_pattern, report.owner)) continue;
+    candidates.push_back(report);
+  }
+  // Most free space first; deterministic tie-break by address.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const catalog::ServerReport& a, const catalog::ServerReport& b) {
+              if (a.free_bytes != b.free_bytes) {
+                return a.free_bytes > b.free_bytes;
+              }
+              return a.address.to_string() < b.address.to_string();
+            });
+  if (policy.max_servers > 0 && candidates.size() > policy.max_servers) {
+    candidates.resize(policy.max_servers);
+  }
+
+  Pool pool;
+  for (const catalog::ServerReport& report : candidates) {
+    fs::CfsFs::Options cfs_options;
+    cfs_options.retry = options.retry;
+    auto mount = std::make_unique<fs::CfsFs>(
+        fs::chirp_connector(report.address, options.credentials,
+                            options.io_timeout),
+        cfs_options);
+    // Catalog data is stale: probe before admitting the server.
+    auto probe = mount->statfs();
+    if (!probe.ok()) {
+      TSS_DEBUG("pool") << "skipping " << report.address.to_string() << ": "
+                        << probe.error().to_string();
+      pool.skipped.push_back(report.name.empty()
+                                 ? report.address.to_string()
+                                 : report.name);
+      continue;
+    }
+    std::string name = report.name.empty() ? report.address.to_string()
+                                           : report.name;
+    // Disambiguate duplicate names by address.
+    if (pool.servers.count(name)) name += "@" + report.address.to_string();
+    pool.mounts.push_back(std::move(mount));
+    pool.servers[name] = pool.mounts.back().get();
+  }
+  if (pool.servers.empty()) {
+    return Error(ENODEV, "no usable servers in catalog listing");
+  }
+  return pool;
+}
+
+}  // namespace tss::adapter

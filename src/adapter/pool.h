@@ -1,0 +1,56 @@
+// Catalog-driven pool construction.
+//
+// "Users and abstractions contact catalogs directly in order to discover new
+// storage resources" (§2). discover_pool() queries a catalog, filters the
+// listing by the caller's policy (minimum free space, owner pattern — the
+// Independence principle: pick only servers you trust), mounts a CfsFs per
+// surviving server, and hands back a name->FileSystem map ready to drop into
+// a DistFs, Gems, ReplicatedFs or StripedFs.
+//
+// Catalog data "is necessarily stale" (§4): a server may be gone or full by
+// the time we connect. Unreachable servers are skipped (reported in
+// `skipped`), not fatal — the pool is whatever is actually there.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auth/auth.h"
+#include "catalog/catalog.h"
+#include "fs/cfs.h"
+
+namespace tss::adapter {
+
+struct PoolPolicy {
+  // Only servers advertising at least this much free space.
+  uint64_t min_free_bytes = 0;
+  // Only servers whose owner subject matches this wildcard ("*" = anyone;
+  // narrow it to implement the paper's "only from people I trust").
+  std::string owner_pattern = "*";
+  // Cap on pool size (0 = unlimited). Servers with the most free space win.
+  size_t max_servers = 0;
+};
+
+struct Pool {
+  // Owns the connections; `servers` maps catalog names to them.
+  std::vector<std::unique_ptr<fs::CfsFs>> mounts;
+  std::map<std::string, fs::FileSystem*> servers;
+  // Catalog entries that matched the policy but could not be contacted.
+  std::vector<std::string> skipped;
+};
+
+struct PoolOptions {
+  std::vector<std::shared_ptr<auth::ClientCredential>> credentials;
+  fs::RetryPolicy retry;
+  Nanos io_timeout = 30 * kSecond;
+};
+
+// Queries `catalog` and builds a pool per the policy. Fails only if the
+// catalog itself is unreachable or nothing usable remains.
+Result<Pool> discover_pool(const net::Endpoint& catalog,
+                           const PoolPolicy& policy,
+                           const PoolOptions& options);
+
+}  // namespace tss::adapter

@@ -1,0 +1,41 @@
+#include "auth/auth.h"
+
+namespace tss::auth {
+
+Result<Subject> Subject::parse(std::string_view s) {
+  size_t colon = s.find(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= s.size()) {
+    return Error(EINVAL, "bad subject: " + std::string(s));
+  }
+  return Subject{std::string(s.substr(0, colon)),
+                 std::string(s.substr(colon + 1))};
+}
+
+void ServerAuth::add(std::unique_ptr<ServerMethod> method) {
+  std::string name = method->method();
+  methods_[name] = std::move(method);
+}
+
+bool ServerAuth::has(const std::string& method) const {
+  return methods_.count(method) > 0;
+}
+
+std::vector<std::string> ServerAuth::methods() const {
+  std::vector<std::string> out;
+  out.reserve(methods_.size());
+  for (const auto& [name, _] : methods_) out.push_back(name);
+  return out;
+}
+
+Result<Subject> ServerAuth::attempt(const std::string& method,
+                                    const PeerInfo& peer,
+                                    const std::string& arg, ChallengeIo& io) {
+  auto it = methods_.find(method);
+  if (it == methods_.end()) {
+    return Error(ENOSYS, "auth method not enabled: " + method);
+  }
+  return it->second->authenticate(peer, arg, io);
+}
+
+}  // namespace tss::auth

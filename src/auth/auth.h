@@ -1,0 +1,111 @@
+// Authentication framework: the "fully virtual user space" of §3/§4.
+//
+// Identities are free-form strings of the form "method:name" — never local
+// uids — produced by pluggable authenticators. The paper's four methods are
+// implemented:
+//
+//   hostname  — the client is identified as the (reverse-resolved) domain
+//               name of the connecting host.
+//   unix      — filesystem challenge/response: the server asks the client to
+//               touch a file in a shared directory and infers the identity
+//               from the created file's owner. Only works client/server on
+//               the same host, which is exactly its use in the paper.
+//   globus    — Grid Security Infrastructure. Simulated here: a CA-keyed MAC
+//               stands in for the X.509 signature; the observable behaviour
+//               (DN-shaped subjects like "globus:/O=Notre_Dame/...", expiry,
+//               unforgeability without the CA key) is preserved. See
+//               DESIGN.md §3.
+//   kerberos  — ticket from a toy KDC, MAC'd with the service's key (which
+//               is why the real server "requires it to run as root to access
+//               the host key"; here the key is just a file).
+//
+// The wire handshake (carried inside the Chirp connection) is:
+//   client:  auth <method> <arg>
+//   server:  challenge <data>        (zero or more rounds)
+//   client:  <response line>
+//   server:  ok <subject>   |   error <message>
+// A client may attempt any number of methods in order; the first success
+// binds the session to that single subject (one set of credentials per
+// session, as the paper specifies).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tss::auth {
+
+// An authenticated identity in the virtual user space.
+struct Subject {
+  std::string method;
+  std::string name;
+
+  std::string to_string() const { return method + ":" + name; }
+  static Result<Subject> parse(std::string_view s);
+  bool operator==(const Subject&) const = default;
+};
+
+// What the server knows about the peer before authentication.
+struct PeerInfo {
+  std::string ip;        // e.g. "127.0.0.1"
+  std::string hostname;  // reverse-resolved name, may be empty
+};
+
+// Transport hook for challenge rounds; implemented over the Chirp stream.
+class ChallengeIo {
+ public:
+  virtual ~ChallengeIo() = default;
+  virtual Result<void> send_challenge(const std::string& data) = 0;
+  virtual Result<std::string> read_response() = 0;
+};
+
+// Unix-seconds source, injectable for expiry tests.
+using TimeFn = std::function<int64_t()>;
+TimeFn real_time_fn();
+
+// ---------------------------------------------------------------------------
+// Server side.
+
+class ServerMethod {
+ public:
+  virtual ~ServerMethod() = default;
+  virtual std::string method() const = 0;
+  // Runs one authentication attempt. `arg` is the client's hello argument.
+  virtual Result<Subject> authenticate(const PeerInfo& peer,
+                                       const std::string& arg,
+                                       ChallengeIo& io) = 0;
+};
+
+// Registry of enabled methods; a Chirp server owns one.
+class ServerAuth {
+ public:
+  void add(std::unique_ptr<ServerMethod> method);
+  bool has(const std::string& method) const;
+  std::vector<std::string> methods() const;
+
+  Result<Subject> attempt(const std::string& method, const PeerInfo& peer,
+                          const std::string& arg, ChallengeIo& io);
+
+ private:
+  std::map<std::string, std::unique_ptr<ServerMethod>> methods_;
+};
+
+// ---------------------------------------------------------------------------
+// Client side.
+
+class ClientCredential {
+ public:
+  virtual ~ClientCredential() = default;
+  virtual std::string method() const = 0;
+  // Argument for the "auth <method> <arg>" hello. "-" when not applicable.
+  virtual Result<std::string> hello_arg() = 0;
+  // Answer a server challenge.
+  virtual Result<std::string> answer(const std::string& challenge) = 0;
+};
+
+}  // namespace tss::auth

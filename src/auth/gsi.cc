@@ -1,0 +1,83 @@
+#include "auth/gsi.h"
+
+#include <ctime>
+
+#include "util/checksum.h"
+#include "util/strings.h"
+
+namespace tss::auth {
+
+TimeFn real_time_fn() {
+  return [] { return static_cast<int64_t>(::time(nullptr)); };
+}
+
+namespace {
+std::string gsi_signing_payload(const std::string& dn, int64_t expires,
+                                const std::string& ca) {
+  return dn + "|" + std::to_string(expires) + "|" + ca;
+}
+}  // namespace
+
+std::string GsiCa::issue(const std::string& dn, int64_t expires_unix) const {
+  std::string mac =
+      weak_mac(key_, gsi_signing_payload(dn, expires_unix, name_));
+  return "dn=" + url_encode(dn) + "&expires=" + std::to_string(expires_unix) +
+         "&ca=" + url_encode(name_) + "&mac=" + mac;
+}
+
+Result<GsiCredentialFields> parse_gsi_credential(const std::string& token) {
+  GsiCredentialFields out;
+  for (const std::string& pair : split(token, '&')) {
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Error(EINVAL, "gsi: malformed credential field");
+    }
+    std::string key = pair.substr(0, eq);
+    std::string value = pair.substr(eq + 1);
+    if (key == "dn") {
+      out.dn = url_decode(value);
+    } else if (key == "expires") {
+      auto n = parse_i64(value);
+      if (!n) return Error(EINVAL, "gsi: bad expiry");
+      out.expires = *n;
+    } else if (key == "ca") {
+      out.ca = url_decode(value);
+    } else if (key == "mac") {
+      out.mac = value;
+    } else {
+      return Error(EINVAL, "gsi: unknown credential field: " + key);
+    }
+  }
+  if (out.dn.empty() || out.mac.empty() || out.ca.empty()) {
+    return Error(EINVAL, "gsi: incomplete credential");
+  }
+  return out;
+}
+
+GsiServerMethod::GsiServerMethod(TimeFn time_fn)
+    : time_fn_(std::move(time_fn)) {}
+
+void GsiServerMethod::trust(const GsiCa& ca) { trusted_[ca.name()] = ca.key(); }
+
+Result<Subject> GsiServerMethod::authenticate(const PeerInfo& peer,
+                                              const std::string& arg,
+                                              ChallengeIo& io) {
+  (void)peer;
+  (void)io;
+  TSS_ASSIGN_OR_RETURN(GsiCredentialFields cred, parse_gsi_credential(arg));
+  auto it = trusted_.find(cred.ca);
+  if (it == trusted_.end()) {
+    return Error(EACCES, "gsi: untrusted CA: " + cred.ca);
+  }
+  std::string expected =
+      weak_mac(it->second, gsi_signing_payload(cred.dn, cred.expires, cred.ca));
+  if (expected != cred.mac) {
+    return Error(EACCES, "gsi: bad credential signature");
+  }
+  if (cred.expires <= time_fn_()) {
+    return Error(EACCES, "gsi: credential expired");
+  }
+  return Subject{"globus", cred.dn};
+}
+
+}  // namespace tss::auth

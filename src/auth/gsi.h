@@ -1,0 +1,77 @@
+// The `globus` method: simulated Grid Security Infrastructure.
+//
+// Real GSI authenticates with X.509 proxy certificates signed by a CA. The
+// simulation (documented in DESIGN.md §3) keeps the interface shape: a
+// *credential* names a distinguished-name subject and an expiry, and carries
+// a tag only the CA key can mint. Servers trust one or more CAs and verify
+// tags; the resulting subject is "globus:<DN>", which is what the paper's
+// ACLs (e.g. "globus:/O=Notre_Dame/*") match against.
+//
+// Credential wire form (one token, no spaces):
+//   dn=<urlenc DN>&expires=<unix seconds>&ca=<ca name>&mac=<hex>
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "auth/auth.h"
+
+namespace tss::auth {
+
+// A certificate authority: issues credentials. In a real deployment this is
+// `grid-proxy-init`; here any test can stand up its own CA.
+class GsiCa {
+ public:
+  GsiCa(std::string name, std::string key)
+      : name_(std::move(name)), key_(std::move(key)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& key() const { return key_; }
+
+  // Issues a credential for `dn` valid until `expires_unix`.
+  std::string issue(const std::string& dn, int64_t expires_unix) const;
+
+ private:
+  std::string name_;
+  std::string key_;
+};
+
+// Parsed credential fields (exposed for tests).
+struct GsiCredentialFields {
+  std::string dn;
+  int64_t expires = 0;
+  std::string ca;
+  std::string mac;
+};
+Result<GsiCredentialFields> parse_gsi_credential(const std::string& token);
+
+class GsiServerMethod final : public ServerMethod {
+ public:
+  explicit GsiServerMethod(TimeFn time_fn = real_time_fn());
+  // Trust `ca` for verification. A server may trust several CAs.
+  void trust(const GsiCa& ca);
+
+  std::string method() const override { return "globus"; }
+  Result<Subject> authenticate(const PeerInfo& peer, const std::string& arg,
+                               ChallengeIo& io) override;
+
+ private:
+  std::map<std::string, std::string> trusted_;  // ca name -> key
+  TimeFn time_fn_;
+};
+
+class GsiClientCredential final : public ClientCredential {
+ public:
+  explicit GsiClientCredential(std::string credential)
+      : credential_(std::move(credential)) {}
+  std::string method() const override { return "globus"; }
+  Result<std::string> hello_arg() override { return credential_; }
+  Result<std::string> answer(const std::string&) override {
+    return Error(EPROTO, "globus method has no challenge");
+  }
+
+ private:
+  std::string credential_;
+};
+
+}  // namespace tss::auth

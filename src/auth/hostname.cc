@@ -1,0 +1,34 @@
+#include "auth/hostname.h"
+
+namespace tss::auth {
+
+HostnameResolver default_hostname_resolver() {
+  return [](const std::string& ip) -> std::string {
+    if (ip == "127.0.0.1" || ip == "::1") return "localhost";
+    return ip;
+  };
+}
+
+HostnameServerMethod::HostnameServerMethod(HostnameResolver resolver)
+    : resolver_(resolver ? std::move(resolver) : nullptr) {}
+
+Result<Subject> HostnameServerMethod::authenticate(const PeerInfo& peer,
+                                                   const std::string& arg,
+                                                   ChallengeIo& io) {
+  (void)arg;
+  (void)io;
+  std::string name;
+  if (resolver_) {
+    name = resolver_(peer.ip);
+  } else if (!peer.hostname.empty()) {
+    name = peer.hostname;
+  } else {
+    name = default_hostname_resolver()(peer.ip);
+  }
+  if (name.empty()) {
+    return Error(EACCES, "hostname: peer address unresolvable");
+  }
+  return Subject{"hostname", name};
+}
+
+}  // namespace tss::auth

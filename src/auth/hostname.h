@@ -1,0 +1,42 @@
+// The `hostname` method: the weakest identity in the paper — the client is
+// simply whoever the connecting host claims to be by reverse DNS. Useful for
+// ACLs like "hostname:*.cse.nd.edu rwl". The resolver is injectable so tests
+// and the simulator can model arbitrary cluster name spaces.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "auth/auth.h"
+
+namespace tss::auth {
+
+// Maps a peer IP to a domain name; empty result means unresolvable.
+using HostnameResolver = std::function<std::string(const std::string& ip)>;
+
+// Default resolver: trusts PeerInfo.hostname if present, else maps loopback
+// addresses to "localhost", else uses the IP literal itself.
+HostnameResolver default_hostname_resolver();
+
+class HostnameServerMethod final : public ServerMethod {
+ public:
+  explicit HostnameServerMethod(HostnameResolver resolver = nullptr);
+  std::string method() const override { return "hostname"; }
+  Result<Subject> authenticate(const PeerInfo& peer, const std::string& arg,
+                               ChallengeIo& io) override;
+
+ private:
+  HostnameResolver resolver_;
+};
+
+class HostnameClientCredential final : public ClientCredential {
+ public:
+  std::string method() const override { return "hostname"; }
+  Result<std::string> hello_arg() override { return std::string("-"); }
+  Result<std::string> answer(const std::string&) override {
+    return Error(EPROTO, "hostname method has no challenge");
+  }
+};
+
+}  // namespace tss::auth

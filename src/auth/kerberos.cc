@@ -1,0 +1,107 @@
+#include "auth/kerberos.h"
+
+#include "util/checksum.h"
+#include "util/strings.h"
+
+namespace tss::auth {
+
+namespace {
+std::string ticket_payload(const std::string& client,
+                           const std::string& service, int64_t expires) {
+  return client + "|" + service + "|" + std::to_string(expires);
+}
+}  // namespace
+
+void Kdc::add_principal(const std::string& principal, const std::string& key) {
+  principals_[principal] = key;
+}
+
+void Kdc::add_service(const std::string& service, const std::string& key) {
+  services_[service] = key;
+}
+
+Result<std::string> Kdc::issue_ticket(const std::string& principal,
+                                      const std::string& user_key,
+                                      const std::string& service,
+                                      int64_t expires_unix) const {
+  auto pit = principals_.find(principal);
+  if (pit == principals_.end() || pit->second != user_key) {
+    return Error(EACCES, "kdc: bad principal or key");
+  }
+  auto sit = services_.find(service);
+  if (sit == services_.end()) {
+    return Error(EACCES, "kdc: unknown service: " + service);
+  }
+  std::string mac =
+      weak_mac(sit->second, ticket_payload(principal, service, expires_unix));
+  return "client=" + url_encode(principal) + "&service=" +
+         url_encode(service) + "&expires=" + std::to_string(expires_unix) +
+         "&mac=" + mac;
+}
+
+Result<std::string> Kdc::service_key(const std::string& service) const {
+  auto it = services_.find(service);
+  if (it == services_.end()) {
+    return Error(ENOENT, "kdc: unknown service: " + service);
+  }
+  return it->second;
+}
+
+Result<KrbTicketFields> parse_krb_ticket(const std::string& token) {
+  KrbTicketFields out;
+  for (const std::string& pair : split(token, '&')) {
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Error(EINVAL, "kerberos: malformed ticket field");
+    }
+    std::string key = pair.substr(0, eq);
+    std::string value = pair.substr(eq + 1);
+    if (key == "client") {
+      out.client = url_decode(value);
+    } else if (key == "service") {
+      out.service = url_decode(value);
+    } else if (key == "expires") {
+      auto n = parse_i64(value);
+      if (!n) return Error(EINVAL, "kerberos: bad expiry");
+      out.expires = *n;
+    } else if (key == "mac") {
+      out.mac = value;
+    } else {
+      return Error(EINVAL, "kerberos: unknown ticket field: " + key);
+    }
+  }
+  if (out.client.empty() || out.service.empty() || out.mac.empty()) {
+    return Error(EINVAL, "kerberos: incomplete ticket");
+  }
+  return out;
+}
+
+KerberosServerMethod::KerberosServerMethod(std::string service,
+                                           std::string service_key,
+                                           TimeFn time_fn)
+    : service_(std::move(service)),
+      service_key_(std::move(service_key)),
+      time_fn_(std::move(time_fn)) {}
+
+Result<Subject> KerberosServerMethod::authenticate(const PeerInfo& peer,
+                                                   const std::string& arg,
+                                                   ChallengeIo& io) {
+  (void)peer;
+  (void)io;
+  TSS_ASSIGN_OR_RETURN(KrbTicketFields ticket, parse_krb_ticket(arg));
+  if (ticket.service != service_) {
+    return Error(EACCES, "kerberos: ticket is for service " + ticket.service);
+  }
+  std::string expected = weak_mac(
+      service_key_,
+      ticket_payload(ticket.client, ticket.service, ticket.expires));
+  if (expected != ticket.mac) {
+    return Error(EACCES, "kerberos: bad ticket MAC");
+  }
+  if (ticket.expires <= time_fn_()) {
+    return Error(EACCES, "kerberos: ticket expired");
+  }
+  return Subject{"kerberos", ticket.client};
+}
+
+}  // namespace tss::auth

@@ -1,0 +1,81 @@
+// The `kerberos` method: simulated ticket-based authentication.
+//
+// A toy KDC holds a principal database (principal -> user key) and a service
+// key table. A client proves knowledge of its user key to obtain a service
+// ticket; the ticket is MAC'd with the *service's* key, so the file server
+// can verify it offline — this mirrors the real system, where the server
+// needs access to the host key (hence "requires it to run as root"; here the
+// key is handed to the server in its configuration).
+//
+// Ticket wire form (one token):
+//   client=<urlenc principal>&service=<urlenc service>&expires=<unix>&mac=<hex>
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "auth/auth.h"
+
+namespace tss::auth {
+
+class Kdc {
+ public:
+  // Registers a user principal with its long-term key.
+  void add_principal(const std::string& principal, const std::string& key);
+  // Registers a service (e.g. "chirp/host5.nd.edu") with its service key.
+  void add_service(const std::string& service, const std::string& key);
+
+  // Issues a service ticket if `user_key` matches the principal's key.
+  Result<std::string> issue_ticket(const std::string& principal,
+                                   const std::string& user_key,
+                                   const std::string& service,
+                                   int64_t expires_unix) const;
+
+  // The service key, needed to configure the verifying server (plays the
+  // role of the host keytab).
+  Result<std::string> service_key(const std::string& service) const;
+
+ private:
+  std::map<std::string, std::string> principals_;
+  std::map<std::string, std::string> services_;
+};
+
+struct KrbTicketFields {
+  std::string client;
+  std::string service;
+  int64_t expires = 0;
+  std::string mac;
+};
+Result<KrbTicketFields> parse_krb_ticket(const std::string& token);
+
+class KerberosServerMethod final : public ServerMethod {
+ public:
+  // `service` is this server's principal; `service_key` its keytab entry.
+  KerberosServerMethod(std::string service, std::string service_key,
+                       TimeFn time_fn = real_time_fn());
+
+  std::string method() const override { return "kerberos"; }
+  Result<Subject> authenticate(const PeerInfo& peer, const std::string& arg,
+                               ChallengeIo& io) override;
+
+ private:
+  std::string service_;
+  std::string service_key_;
+  TimeFn time_fn_;
+};
+
+class KerberosClientCredential final : public ClientCredential {
+ public:
+  explicit KerberosClientCredential(std::string ticket)
+      : ticket_(std::move(ticket)) {}
+  std::string method() const override { return "kerberos"; }
+  Result<std::string> hello_arg() override { return ticket_; }
+  Result<std::string> answer(const std::string&) override {
+    return Error(EPROTO, "kerberos method has no challenge");
+  }
+
+ private:
+  std::string ticket_;
+};
+
+}  // namespace tss::auth

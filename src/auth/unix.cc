@@ -1,0 +1,67 @@
+#include "auth/unix.h"
+
+#include <fcntl.h>
+#include <pwd.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/strings.h"
+
+namespace tss::auth {
+
+std::string username_for_uid(unsigned uid) {
+  passwd pwd{};
+  passwd* result = nullptr;
+  char buf[4096];
+  if (getpwuid_r(uid, &pwd, buf, sizeof buf, &result) == 0 &&
+      result != nullptr) {
+    return result->pw_name;
+  }
+  return "uid" + std::to_string(uid);
+}
+
+UnixServerMethod::UnixServerMethod(std::string challenge_dir, uint64_t seed)
+    : challenge_dir_(std::move(challenge_dir)),
+      rng_(seed ? seed : static_cast<uint64_t>(::getpid()) * 2654435761ULL ^
+                       static_cast<uint64_t>(::time(nullptr))) {}
+
+Result<Subject> UnixServerMethod::authenticate(const PeerInfo& peer,
+                                               const std::string& arg,
+                                               ChallengeIo& io) {
+  (void)peer;
+  (void)arg;
+  std::string challenge_path =
+      challenge_dir_ + "/tss-unix-" + rng_.hex(24);
+  TSS_RETURN_IF_ERROR(io.send_challenge(challenge_path));
+  TSS_ASSIGN_OR_RETURN(std::string response, io.read_response());
+  if (response != "done") {
+    return Error(EACCES, "unix: client declined challenge");
+  }
+  struct stat st{};
+  int rc = ::lstat(challenge_path.c_str(), &st);
+  // Remove the challenge file regardless of outcome.
+  ::unlink(challenge_path.c_str());
+  if (rc != 0) {
+    return Error(EACCES, "unix: challenge file not created");
+  }
+  if (!S_ISREG(st.st_mode)) {
+    return Error(EACCES, "unix: challenge path is not a regular file");
+  }
+  return Subject{"unix", username_for_uid(st.st_uid)};
+}
+
+Result<std::string> UnixClientCredential::answer(
+    const std::string& challenge) {
+  // Refuse challenge paths that contain traversal tricks; a malicious server
+  // must not be able to make us create files at arbitrary names.
+  if (challenge.find("..") != std::string::npos || challenge.empty() ||
+      challenge[0] != '/') {
+    return Error(EACCES, "unix: suspicious challenge path");
+  }
+  int fd = ::open(challenge.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0600);
+  if (fd < 0) return Error::from_errno("unix: create challenge file");
+  ::close(fd);
+  return std::string("done");
+}
+
+}  // namespace tss::auth

@@ -1,0 +1,45 @@
+// The `unix` method: "the server challenges the client to touch a file in
+// /tmp and then infers the client's identity from the response" (§4).
+//
+// The server creates a random path name under a challenge directory shared
+// with the client (only possible when both run on the same host — its actual
+// deployment in the paper), the client creates the file, and the server
+// stats it and maps the owning uid to a username via the local password
+// database. No secret ever crosses the wire; possession of the local uid IS
+// the credential.
+#pragma once
+
+#include <string>
+
+#include "auth/auth.h"
+#include "util/rand.h"
+
+namespace tss::auth {
+
+class UnixServerMethod final : public ServerMethod {
+ public:
+  // challenge_dir must be writable by legitimate clients ("/tmp" in the
+  // paper; tests use a private temp dir).
+  explicit UnixServerMethod(std::string challenge_dir, uint64_t seed = 0);
+  std::string method() const override { return "unix"; }
+  Result<Subject> authenticate(const PeerInfo& peer, const std::string& arg,
+                               ChallengeIo& io) override;
+
+ private:
+  std::string challenge_dir_;
+  Rng rng_;
+};
+
+class UnixClientCredential final : public ClientCredential {
+ public:
+  std::string method() const override { return "unix"; }
+  Result<std::string> hello_arg() override { return std::string("-"); }
+  // The challenge is the path to touch; answers "done" after creating it.
+  Result<std::string> answer(const std::string& challenge) override;
+};
+
+// Maps a uid to a username ("uid<N>" if not in the password db). Exposed for
+// tests.
+std::string username_for_uid(unsigned uid);
+
+}  // namespace tss::auth

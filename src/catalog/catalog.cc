@@ -1,0 +1,285 @@
+#include "catalog/catalog.h"
+
+#include <condition_variable>
+
+#include "net/line_stream.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace tss::catalog {
+
+std::string ServerReport::encode() const {
+  return "name=" + url_encode(name) + "&owner=" + url_encode(owner) +
+         "&addr=" + url_encode(address.to_string()) +
+         "&total=" + std::to_string(total_bytes) +
+         "&free=" + std::to_string(free_bytes) +
+         "&acl=" + url_encode(root_acl);
+}
+
+Result<ServerReport> ServerReport::decode(const std::string& token) {
+  ServerReport report;
+  bool have_addr = false;
+  for (const std::string& pair : split(token, '&')) {
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Error(EINVAL, "catalog: malformed report field");
+    }
+    std::string key = pair.substr(0, eq);
+    std::string value = url_decode(pair.substr(eq + 1));
+    if (key == "name") {
+      report.name = value;
+    } else if (key == "owner") {
+      report.owner = value;
+    } else if (key == "addr") {
+      TSS_ASSIGN_OR_RETURN(report.address, net::Endpoint::parse(value));
+      have_addr = true;
+    } else if (key == "total") {
+      auto n = parse_u64(value);
+      if (!n) return Error(EINVAL, "catalog: bad total");
+      report.total_bytes = *n;
+    } else if (key == "free") {
+      auto n = parse_u64(value);
+      if (!n) return Error(EINVAL, "catalog: bad free");
+      report.free_bytes = *n;
+    } else if (key == "acl") {
+      report.root_acl = value;
+    } else {
+      // Unknown keys are skipped for forward compatibility.
+    }
+  }
+  if (!have_addr) return Error(EINVAL, "catalog: report missing address");
+  return report;
+}
+
+CatalogServer::CatalogServer(Options options, Clock* clock)
+    : options_(options),
+      clock_(clock ? clock : &RealClock::instance()) {}
+
+CatalogServer::~CatalogServer() { stop(); }
+
+Result<void> CatalogServer::start() {
+  return loop_.start(options_.host, options_.port, [this](net::TcpSocket s) {
+    serve_connection(std::move(s));
+  });
+}
+
+void CatalogServer::stop() { loop_.stop(); }
+
+void CatalogServer::accept_report(const ServerReport& report) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& record = records_[report.address.to_string()];
+  record.report = report;
+  record.last_seen = clock_->now();
+}
+
+void CatalogServer::purge_expired() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Nanos cutoff = clock_->now() - options_.timeout;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.last_seen < cutoff) {
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<ServerRecord> CatalogServer::list() {
+  purge_expired();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ServerRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [addr, record] : records_) out.push_back(record);
+  return out;
+}
+
+size_t CatalogServer::size() {
+  purge_expired();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::string CatalogServer::render_text() {
+  std::string out;
+  for (const ServerRecord& record : list()) {
+    out += record.report.encode();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string CatalogServer::render_json() {
+  std::string out = "[\n";
+  bool first = true;
+  for (const ServerRecord& record : list()) {
+    if (!first) out += ",\n";
+    first = false;
+    const ServerReport& r = record.report;
+    out += "  {\"name\": \"" + json_escape(r.name) + "\", \"owner\": \"" +
+           json_escape(r.owner) + "\", \"addr\": \"" +
+           json_escape(r.address.to_string()) + "\", \"total\": " +
+           std::to_string(r.total_bytes) + ", \"free\": " +
+           std::to_string(r.free_bytes) + ", \"acl\": \"" +
+           json_escape(r.root_acl) + "\"}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void CatalogServer::serve_connection(net::TcpSocket sock) {
+  net::LineStream stream(std::move(sock), 10 * kSecond);
+  while (true) {
+    auto line = stream.read_line();
+    if (!line.ok()) return;
+    auto words = split_words(line.value());
+    if (words.empty()) continue;
+
+    if (words[0] == "report" && words.size() >= 2) {
+      auto report = ServerReport::decode(words[1]);
+      if (report.ok()) {
+        accept_report(report.value());
+        if (!stream.send_line("ok").ok()) return;
+      } else {
+        if (!stream.send_line("error " + url_encode(report.error().message))
+                 .ok()) {
+          return;
+        }
+      }
+      continue;
+    }
+
+    if (words[0] == "list") {
+      std::string format = words.size() > 1 ? words[1] : "text";
+      std::string body =
+          format == "json" ? render_json() : render_text();
+      stream.write_line("ok " + std::to_string(body.size()));
+      stream.write_blob(body.data(), body.size());
+      if (!stream.flush().ok()) return;
+      continue;
+    }
+
+    if (!stream.send_line("error unknown-command").ok()) return;
+  }
+}
+
+Result<void> send_report(const net::Endpoint& catalog,
+                         const ServerReport& report, Nanos timeout) {
+  TSS_ASSIGN_OR_RETURN(net::TcpSocket sock,
+                       net::TcpSocket::connect(catalog, timeout));
+  net::LineStream stream(std::move(sock), timeout);
+  TSS_RETURN_IF_ERROR(stream.send_line("report " + report.encode()));
+  TSS_ASSIGN_OR_RETURN(std::string response, stream.read_line());
+  if (response != "ok") {
+    return Error(EPROTO, "catalog rejected report: " + response);
+  }
+  return Result<void>::success();
+}
+
+Result<std::vector<ServerReport>> query(const net::Endpoint& catalog,
+                                        Nanos timeout) {
+  TSS_ASSIGN_OR_RETURN(net::TcpSocket sock,
+                       net::TcpSocket::connect(catalog, timeout));
+  net::LineStream stream(std::move(sock), timeout);
+  TSS_RETURN_IF_ERROR(stream.send_line("list text"));
+  TSS_ASSIGN_OR_RETURN(std::string header, stream.read_line());
+  auto words = split_words(header);
+  if (words.size() != 2 || words[0] != "ok") {
+    return Error(EPROTO, "catalog: bad listing header: " + header);
+  }
+  auto size = parse_u64(words[1]);
+  if (!size) return Error(EPROTO, "catalog: bad listing size");
+  std::string body(static_cast<size_t>(*size), '\0');
+  if (*size > 0) {
+    TSS_RETURN_IF_ERROR(stream.read_blob(body.data(), body.size()));
+  }
+  std::vector<ServerReport> reports;
+  for (const std::string& line : split(body, '\n')) {
+    if (trim(line).empty()) continue;
+    TSS_ASSIGN_OR_RETURN(ServerReport report,
+                         ServerReport::decode(std::string(trim(line))));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+Reporter::Reporter(std::vector<net::Endpoint> catalogs, Snapshot snapshot,
+                   Nanos period)
+    : catalogs_(std::move(catalogs)),
+      snapshot_(std::move(snapshot)),
+      period_(period) {}
+
+Reporter::~Reporter() { stop(); }
+
+void Reporter::report_now() {
+  ServerReport report = snapshot_();
+  for (const net::Endpoint& catalog : catalogs_) {
+    auto rc = send_report(catalog, report);
+    if (!rc.ok()) {
+      TSS_DEBUG("catalog") << "report to " << catalog.to_string()
+                           << " failed: " << rc.error().to_string();
+    }
+  }
+}
+
+void Reporter::start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+  }
+  thread_ = std::thread([this] {
+    report_now();
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (running_) {
+      cv_.wait_for(lock, std::chrono::nanoseconds(period_),
+                   [this] { return !running_; });
+      if (!running_) break;
+      lock.unlock();
+      report_now();
+      lock.lock();
+    }
+  });
+}
+
+void Reporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace tss::catalog

@@ -1,0 +1,127 @@
+// The catalog service: storage discovery for a TSS.
+//
+// "Each file server periodically reports itself to one or more catalogs,
+// describing its current state, owner, access controls, and other details.
+// The catalogs in turn publish an aggregate list of the file servers in a
+// variety of data formats." (§2, §4)
+//
+// A report is one line on a short-lived TCP connection; listings are served
+// as plain text or JSON. Records expire after a configurable timeout ("if a
+// server does not report to a catalog after a configurable timeout, it is
+// removed from the listing"). All catalog data is necessarily stale —
+// abstractions must revalidate against the file servers themselves.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server_loop.h"
+#include "net/socket.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace tss::catalog {
+
+// What a file server says about itself.
+struct ServerReport {
+  std::string name;       // server's self-chosen name (usually its hostname)
+  std::string owner;      // owner subject, e.g. "unix:dthain"
+  net::Endpoint address;  // where to reach the Chirp service
+  uint64_t total_bytes = 0;
+  uint64_t free_bytes = 0;
+  std::string root_acl;   // serialized top-level ACL
+
+  // Wire form: "report k=v&k=v..." with percent-encoded values.
+  std::string encode() const;
+  static Result<ServerReport> decode(const std::string& token);
+};
+
+// A report plus catalog bookkeeping.
+struct ServerRecord {
+  ServerReport report;
+  Nanos last_seen = 0;
+};
+
+// The catalog server.
+class CatalogServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    Nanos timeout = 5 * 60 * kSecond;  // staleness eviction window
+  };
+
+  explicit CatalogServer(Options options, Clock* clock = nullptr);
+  ~CatalogServer();
+
+  Result<void> start();
+  void stop();
+  uint16_t port() const { return loop_.port(); }
+  net::Endpoint endpoint() const {
+    return net::Endpoint{options_.host, loop_.port()};
+  }
+
+  // Direct (in-process) interface, also used by the wire handlers.
+  void accept_report(const ServerReport& report);
+  std::vector<ServerRecord> list();          // purges expired records first
+  size_t size();                             // after purge
+  void purge_expired();
+
+  // Listing renderers ("a variety of data formats").
+  std::string render_text();
+  std::string render_json();
+
+ private:
+  void serve_connection(net::TcpSocket sock);
+
+  Options options_;
+  Clock* clock_;
+  net::ServerLoop loop_;
+  std::mutex mutex_;
+  std::map<std::string, ServerRecord> records_;  // keyed by address string
+};
+
+// --- Client side ------------------------------------------------------------
+
+// Sends one report to one catalog (one-shot connection).
+Result<void> send_report(const net::Endpoint& catalog,
+                         const ServerReport& report,
+                         Nanos timeout = 5 * kSecond);
+
+// Fetches and parses the catalog listing.
+Result<std::vector<ServerReport>> query(const net::Endpoint& catalog,
+                                        Nanos timeout = 5 * kSecond);
+
+// Background reporter: periodically pushes a snapshot (produced by a
+// callback, so space numbers stay fresh) to one or more catalogs. This is
+// the client half of "each file server periodically reports itself to one
+// or more catalogs".
+class Reporter {
+ public:
+  using Snapshot = std::function<ServerReport()>;
+
+  Reporter(std::vector<net::Endpoint> catalogs, Snapshot snapshot,
+           Nanos period);
+  ~Reporter();
+
+  void start();
+  void stop();
+  // Pushes one report immediately (also used by start()).
+  void report_now();
+
+ private:
+  std::vector<net::Endpoint> catalogs_;
+  Snapshot snapshot_;
+  Nanos period_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool running_ = false;
+};
+
+}  // namespace tss::catalog

@@ -1,0 +1,58 @@
+// Storage backend interface behind a Chirp server.
+//
+// "Files and directories are stored without transformation in an ordinary
+// filesystem on the host machine" (§4). PosixBackend does exactly that under
+// an export root with the software chroot applied. The simulator provides a
+// second implementation whose contents are synthetic but whose timing comes
+// from a disk + buffer-cache model, so the same server session logic runs in
+// both worlds.
+//
+// All paths crossing this interface are canonical virtual paths ("/a/b") —
+// sanitization happens before the backend is reached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chirp/protocol.h"
+#include "util/result.h"
+
+namespace tss::chirp {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  // Handle-based file I/O. The handle namespace is backend-private; the
+  // session layer maps wire fds to handles.
+  virtual Result<int> open(const std::string& path, const OpenFlags& flags,
+                           uint32_t mode) = 0;
+  virtual Result<size_t> pread(int handle, void* data, size_t size,
+                               int64_t offset) = 0;
+  virtual Result<size_t> pwrite(int handle, const void* data, size_t size,
+                                int64_t offset) = 0;
+  virtual Result<void> fsync(int handle) = 0;
+  virtual Result<void> close(int handle) = 0;
+  virtual Result<StatInfo> fstat(int handle) = 0;
+
+  // Namespace operations.
+  virtual Result<StatInfo> stat(const std::string& path) = 0;
+  virtual Result<void> unlink(const std::string& path) = 0;
+  virtual Result<void> rename(const std::string& from,
+                              const std::string& to) = 0;
+  virtual Result<void> mkdir(const std::string& path, uint32_t mode) = 0;
+  virtual Result<void> rmdir(const std::string& path) = 0;
+  virtual Result<void> truncate(const std::string& path, uint64_t size) = 0;
+  virtual Result<std::vector<DirEntry>> readdir(const std::string& path) = 0;
+
+  // Whole-file convenience used for ACL files and streaming RPCs.
+  virtual Result<std::string> read_file(const std::string& path) = 0;
+  virtual Result<void> write_file(const std::string& path,
+                                  std::string_view data, uint32_t mode) = 0;
+
+  // Space accounting for catalog reports: {total bytes, free bytes}.
+  virtual Result<std::pair<uint64_t, uint64_t>> statfs() = 0;
+};
+
+}  // namespace tss::chirp

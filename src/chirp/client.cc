@@ -1,0 +1,345 @@
+#include "chirp/client.h"
+
+#include "util/strings.h"
+
+namespace tss::chirp {
+
+Result<Client> Client::connect(const net::Endpoint& server, Options options) {
+  TSS_ASSIGN_OR_RETURN(net::TcpSocket sock,
+                       net::TcpSocket::connect(server, options.timeout));
+  Client client(net::LineStream(std::move(sock), options.timeout), server);
+  Request version;
+  version.op = Op::kVersion;
+  version.version = kProtocolVersion;
+  TSS_ASSIGN_OR_RETURN(Response resp, client.roundtrip(version));
+  if (!resp.ok()) return Error(resp.err, resp.message);
+  return client;
+}
+
+Result<Response> Client::roundtrip(const Request& request,
+                                   const void* payload) {
+  stream_.write_line(encode_request(request));
+  uint64_t body = request.payload_len();
+  if (body > 0) {
+    if (!payload) return Error(EINVAL, "request requires payload");
+    stream_.write_blob(payload, static_cast<size_t>(body));
+  }
+  TSS_RETURN_IF_ERROR(stream_.flush());
+  TSS_ASSIGN_OR_RETURN(std::string line, stream_.read_line());
+  TSS_ASSIGN_OR_RETURN(Response resp, parse_response_line(line));
+  return resp;
+}
+
+Result<auth::Subject> Client::authenticate(
+    auth::ClientCredential& credential) {
+  Request req;
+  req.op = Op::kAuth;
+  req.auth_method = credential.method();
+  TSS_ASSIGN_OR_RETURN(req.auth_arg, credential.hello_arg());
+  stream_.write_line(encode_request(req));
+  TSS_RETURN_IF_ERROR(stream_.flush());
+
+  // Zero or more challenge rounds, then ok/error.
+  while (true) {
+    TSS_ASSIGN_OR_RETURN(std::string line, stream_.read_line());
+    if (starts_with(line, "challenge ")) {
+      std::string data = url_decode(line.substr(10));
+      TSS_ASSIGN_OR_RETURN(std::string answer, credential.answer(data));
+      TSS_RETURN_IF_ERROR(stream_.send_line(url_encode(answer)));
+      continue;
+    }
+    TSS_ASSIGN_OR_RETURN(Response resp, parse_response_line(line));
+    if (!resp.ok()) return Error(resp.err, resp.message);
+    if (resp.args.empty()) return Error(EPROTO, "auth ok without subject");
+    return auth::Subject::parse(url_decode(resp.args[0]));
+  }
+}
+
+Result<auth::Subject> Client::authenticate_any(
+    const std::vector<auth::ClientCredential*>& credentials) {
+  Error last(EACCES, "no credentials offered");
+  for (auth::ClientCredential* credential : credentials) {
+    auto subject = authenticate(*credential);
+    if (subject.ok()) return subject;
+    last = std::move(subject).take_error();
+    // A transport error ends the attempt sequence; an auth refusal does not.
+    if (last.code == EPIPE || last.code == ECONNRESET ||
+        last.code == ETIMEDOUT) {
+      break;
+    }
+  }
+  return last;
+}
+
+namespace {
+Result<int64_t> ok_i64(const Response& resp, size_t index) {
+  if (!resp.ok()) return Error(resp.err, resp.message);
+  if (index >= resp.args.size()) return Error(EPROTO, "short ok reply");
+  auto n = parse_i64(resp.args[index]);
+  if (!n) return Error(EPROTO, "bad integer in reply");
+  return *n;
+}
+Result<void> ok_void(const Response& resp) {
+  if (!resp.ok()) return Error(resp.err, resp.message);
+  return Result<void>::success();
+}
+}  // namespace
+
+Result<int64_t> Client::open(const std::string& path, const OpenFlags& flags,
+                             uint32_t mode) {
+  Request req;
+  req.op = Op::kOpen;
+  req.path = path;
+  req.flags = flags;
+  req.mode = mode;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  return ok_i64(resp, 0);
+}
+
+Result<size_t> Client::pread(int64_t fd, void* data, size_t size,
+                             int64_t offset) {
+  Request req;
+  req.op = Op::kPread;
+  req.fd = fd;
+  req.length = size;
+  req.offset = offset;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  TSS_ASSIGN_OR_RETURN(int64_t n, ok_i64(resp, 0));
+  if (n < 0 || static_cast<size_t>(n) > size) {
+    return Error(EPROTO, "bad pread length");
+  }
+  if (n > 0) {
+    TSS_RETURN_IF_ERROR(stream_.read_blob(data, static_cast<size_t>(n)));
+  }
+  return static_cast<size_t>(n);
+}
+
+Result<size_t> Client::pwrite(int64_t fd, const void* data, size_t size,
+                              int64_t offset) {
+  Request req;
+  req.op = Op::kPwrite;
+  req.fd = fd;
+  req.length = size;
+  req.offset = offset;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req, data));
+  TSS_ASSIGN_OR_RETURN(int64_t n, ok_i64(resp, 0));
+  return static_cast<size_t>(n);
+}
+
+Result<void> Client::fsync(int64_t fd) {
+  Request req;
+  req.op = Op::kFsync;
+  req.fd = fd;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  return ok_void(resp);
+}
+
+Result<void> Client::close_fd(int64_t fd) {
+  Request req;
+  req.op = Op::kClose;
+  req.fd = fd;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  return ok_void(resp);
+}
+
+Result<StatInfo> Client::stat(const std::string& path) {
+  Request req;
+  req.op = Op::kStat;
+  req.path = path;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  if (!resp.ok()) return Error(resp.err, resp.message);
+  return StatInfo::parse(resp.args, 0);
+}
+
+Result<StatInfo> Client::fstat(int64_t fd) {
+  Request req;
+  req.op = Op::kFstat;
+  req.fd = fd;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  if (!resp.ok()) return Error(resp.err, resp.message);
+  return StatInfo::parse(resp.args, 0);
+}
+
+Result<void> Client::unlink(const std::string& path) {
+  Request req;
+  req.op = Op::kUnlink;
+  req.path = path;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  return ok_void(resp);
+}
+
+Result<void> Client::rename(const std::string& from, const std::string& to) {
+  Request req;
+  req.op = Op::kRename;
+  req.path = from;
+  req.path2 = to;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  return ok_void(resp);
+}
+
+Result<void> Client::mkdir(const std::string& path, uint32_t mode) {
+  Request req;
+  req.op = Op::kMkdir;
+  req.path = path;
+  req.mode = mode;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  return ok_void(resp);
+}
+
+Result<void> Client::rmdir(const std::string& path) {
+  Request req;
+  req.op = Op::kRmdir;
+  req.path = path;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  return ok_void(resp);
+}
+
+Result<void> Client::truncate(const std::string& path, uint64_t size) {
+  Request req;
+  req.op = Op::kTruncate;
+  req.path = path;
+  req.length = size;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  return ok_void(resp);
+}
+
+Result<std::vector<DirEntry>> Client::getdir(const std::string& path) {
+  Request req;
+  req.op = Op::kGetdir;
+  req.path = path;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  TSS_ASSIGN_OR_RETURN(int64_t count, ok_i64(resp, 0));
+  std::vector<DirEntry> entries;
+  entries.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; i++) {
+    TSS_ASSIGN_OR_RETURN(std::string line, stream_.read_line());
+    TSS_ASSIGN_OR_RETURN(DirEntry entry, parse_dirent(line));
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Result<std::string> Client::getfile(const std::string& path) {
+  Request req;
+  req.op = Op::kGetfile;
+  req.path = path;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  TSS_ASSIGN_OR_RETURN(int64_t size, ok_i64(resp, 0));
+  std::string data;
+  data.resize(static_cast<size_t>(size));
+  if (size > 0) {
+    TSS_RETURN_IF_ERROR(stream_.read_blob(data.data(), data.size()));
+  }
+  return data;
+}
+
+Result<void> Client::putfile(const std::string& path, std::string_view data,
+                             uint32_t mode) {
+  Request req;
+  req.op = Op::kPutfile;
+  req.path = path;
+  req.mode = mode;
+  req.length = data.size();
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req, data.data()));
+  return ok_void(resp);
+}
+
+Result<uint64_t> Client::getfile_to(const std::string& path,
+                                    const Sink& sink) {
+  Request req;
+  req.op = Op::kGetfile;
+  req.path = path;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  TSS_ASSIGN_OR_RETURN(int64_t size, ok_i64(resp, 0));
+  uint64_t remaining = static_cast<uint64_t>(size);
+  std::string buffer;
+  buffer.resize(256 * 1024);
+  while (remaining > 0) {
+    size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(remaining, buffer.size()));
+    TSS_RETURN_IF_ERROR(stream_.read_blob(buffer.data(), chunk));
+    TSS_RETURN_IF_ERROR(sink(std::string_view(buffer.data(), chunk)));
+    remaining -= chunk;
+  }
+  return static_cast<uint64_t>(size);
+}
+
+Result<void> Client::putfile_from(const std::string& path, uint64_t size,
+                                  const Source& source, uint32_t mode) {
+  Request req;
+  req.op = Op::kPutfile;
+  req.path = path;
+  req.mode = mode;
+  req.length = size;
+  stream_.write_line(encode_request(req));
+  std::string buffer;
+  buffer.resize(256 * 1024);
+  uint64_t remaining = size;
+  while (remaining > 0) {
+    size_t want = static_cast<size_t>(
+        std::min<uint64_t>(remaining, buffer.size()));
+    TSS_ASSIGN_OR_RETURN(size_t got, source(buffer.data(), want));
+    if (got == 0 || got > want) {
+      // The payload length is already promised on the wire; a short source
+      // would desynchronize the stream, so poison the connection.
+      stream_.close();
+      return Error(EIO, "putfile source ended prematurely");
+    }
+    stream_.write_blob(buffer.data(), got);
+    TSS_RETURN_IF_ERROR(stream_.flush());
+    remaining -= got;
+  }
+  TSS_RETURN_IF_ERROR(stream_.flush());
+  TSS_ASSIGN_OR_RETURN(std::string line, stream_.read_line());
+  TSS_ASSIGN_OR_RETURN(Response resp, parse_response_line(line));
+  return ok_void(resp);
+}
+
+Result<std::string> Client::getacl(const std::string& path) {
+  Request req;
+  req.op = Op::kGetacl;
+  req.path = path;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  TSS_ASSIGN_OR_RETURN(int64_t size, ok_i64(resp, 0));
+  std::string text;
+  text.resize(static_cast<size_t>(size));
+  if (size > 0) {
+    TSS_RETURN_IF_ERROR(stream_.read_blob(text.data(), text.size()));
+  }
+  return text;
+}
+
+Result<void> Client::setacl(const std::string& path,
+                            const std::string& subject,
+                            const std::string& rights) {
+  Request req;
+  req.op = Op::kSetacl;
+  req.path = path;
+  req.acl_subject = subject;
+  req.acl_rights = rights;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  return ok_void(resp);
+}
+
+Result<std::string> Client::whoami() {
+  Request req;
+  req.op = Op::kWhoami;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  if (!resp.ok()) return Error(resp.err, resp.message);
+  if (resp.args.empty()) return Error(EPROTO, "short whoami reply");
+  return url_decode(resp.args[0]);
+}
+
+Result<std::pair<uint64_t, uint64_t>> Client::statfs() {
+  Request req;
+  req.op = Op::kStatfs;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  if (!resp.ok()) return Error(resp.err, resp.message);
+  if (resp.args.size() < 2) return Error(EPROTO, "short statfs reply");
+  auto total = parse_u64(resp.args[0]);
+  auto free_bytes = parse_u64(resp.args[1]);
+  if (!total || !free_bytes) return Error(EPROTO, "bad statfs reply");
+  return std::make_pair(*total, *free_bytes);
+}
+
+}  // namespace tss::chirp

@@ -1,0 +1,102 @@
+// Blocking Chirp client.
+//
+// Mirrors the RPC fragment printed in §4 of the paper:
+//
+//   conn = chirp_connect(host, port, timeout);
+//   chirp_open(conn, path, flags, mode, timeout);
+//   chirp_pread(conn, fd, data, length, off, timeout);
+//   ...
+//
+// pread/pwrite take explicit offsets — "the client is responsible for
+// maintaining state such as the current file descriptor position" — which is
+// exactly what the adapter layer does. getfile/putfile stream whole files
+// over the same connection as control.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "auth/auth.h"
+#include "chirp/protocol.h"
+#include "net/line_stream.h"
+
+namespace tss::chirp {
+
+class Client {
+ public:
+  struct Options {
+    Nanos timeout = 30 * kSecond;
+  };
+
+  // Connects and performs the version handshake.
+  static Result<Client> connect(const net::Endpoint& server, Options options);
+  static Result<Client> connect(const net::Endpoint& server) {
+    return connect(server, Options{});
+  }
+
+  Client() = default;
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  bool connected() const { return stream_.valid(); }
+  void close() { stream_.close(); }
+  const net::Endpoint& server() const { return server_; }
+
+  // Attempts one authentication method.
+  Result<auth::Subject> authenticate(auth::ClientCredential& credential);
+  // Tries each credential in order until one succeeds (the paper: "a client
+  // may attempt any number of authentication methods in any order").
+  Result<auth::Subject> authenticate_any(
+      const std::vector<auth::ClientCredential*>& credentials);
+
+  // --- Unix-like RPCs ------------------------------------------------------
+  Result<int64_t> open(const std::string& path, const OpenFlags& flags,
+                       uint32_t mode = 0644);
+  Result<size_t> pread(int64_t fd, void* data, size_t size, int64_t offset);
+  Result<size_t> pwrite(int64_t fd, const void* data, size_t size,
+                        int64_t offset);
+  Result<void> fsync(int64_t fd);
+  Result<void> close_fd(int64_t fd);
+  Result<StatInfo> stat(const std::string& path);
+  Result<StatInfo> fstat(int64_t fd);
+  Result<void> unlink(const std::string& path);
+  Result<void> rename(const std::string& from, const std::string& to);
+  Result<void> mkdir(const std::string& path, uint32_t mode = 0755);
+  Result<void> rmdir(const std::string& path);
+  Result<void> truncate(const std::string& path, uint64_t size);
+  Result<std::vector<DirEntry>> getdir(const std::string& path);
+
+  // --- Streaming and management RPCs ---------------------------------------
+  Result<std::string> getfile(const std::string& path);
+  Result<void> putfile(const std::string& path, std::string_view data,
+                       uint32_t mode = 0644);
+
+  // Streaming variants for files too large to hold in memory: the sink is
+  // called with successive chunks; the source must deliver exactly `size`
+  // bytes into the buffer it is given, returning how many it wrote (0 =
+  // premature end, which aborts the transfer and the connection).
+  using Sink = std::function<Result<void>(std::string_view chunk)>;
+  using Source = std::function<Result<size_t>(char* buffer, size_t capacity)>;
+  Result<uint64_t> getfile_to(const std::string& path, const Sink& sink);
+  Result<void> putfile_from(const std::string& path, uint64_t size,
+                            const Source& source, uint32_t mode = 0644);
+  Result<std::string> getacl(const std::string& path);
+  Result<void> setacl(const std::string& path, const std::string& subject,
+                      const std::string& rights);
+  Result<std::string> whoami();
+  Result<std::pair<uint64_t, uint64_t>> statfs();
+
+ private:
+  explicit Client(net::LineStream stream, net::Endpoint server)
+      : stream_(std::move(stream)), server_(std::move(server)) {}
+
+  // Sends a request (+payload), reads the response line.
+  Result<Response> roundtrip(const Request& request,
+                             const void* payload = nullptr);
+
+  net::LineStream stream_;
+  net::Endpoint server_;
+};
+
+}  // namespace tss::chirp

@@ -1,0 +1,199 @@
+#include "chirp/posix_backend.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/statvfs.h>
+#include <unistd.h>
+
+#include "util/path.h"
+
+namespace tss::chirp {
+
+namespace {
+StatInfo stat_from_host(const struct stat& st) {
+  StatInfo info;
+  info.size = static_cast<uint64_t>(st.st_size);
+  info.mode = st.st_mode & 07777;
+  info.mtime = st.st_mtime;
+  info.inode = st.st_ino;
+  info.is_dir = S_ISDIR(st.st_mode);
+  return info;
+}
+}  // namespace
+
+PosixBackend::PosixBackend(std::string root) : root_(std::move(root)) {
+  while (root_.size() > 1 && root_.back() == '/') root_.pop_back();
+}
+
+PosixBackend::~PosixBackend() {
+  for (auto& [handle, fd] : handles_) ::close(fd);
+}
+
+std::string PosixBackend::host_path(const std::string& canonical) const {
+  return path::to_host(root_, canonical);
+}
+
+Result<int> PosixBackend::host_fd(int handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Error(EBADF, "bad backend handle");
+  return it->second;
+}
+
+Result<int> PosixBackend::open(const std::string& path, const OpenFlags& flags,
+                               uint32_t mode) {
+  int fd = ::open(host_path(path).c_str(), flags.to_posix(),
+                  static_cast<mode_t>(mode));
+  if (fd < 0) return Error::from_errno("open " + path);
+  std::lock_guard<std::mutex> lock(mutex_);
+  int handle = next_handle_++;
+  handles_[handle] = fd;
+  return handle;
+}
+
+Result<size_t> PosixBackend::pread(int handle, void* data, size_t size,
+                                   int64_t offset) {
+  TSS_ASSIGN_OR_RETURN(int fd, host_fd(handle));
+  ssize_t n = ::pread(fd, data, size, offset);
+  if (n < 0) return Error::from_errno("pread");
+  return static_cast<size_t>(n);
+}
+
+Result<size_t> PosixBackend::pwrite(int handle, const void* data, size_t size,
+                                    int64_t offset) {
+  TSS_ASSIGN_OR_RETURN(int fd, host_fd(handle));
+  ssize_t n = ::pwrite(fd, data, size, offset);
+  if (n < 0) return Error::from_errno("pwrite");
+  return static_cast<size_t>(n);
+}
+
+Result<void> PosixBackend::fsync(int handle) {
+  TSS_ASSIGN_OR_RETURN(int fd, host_fd(handle));
+  if (::fsync(fd) < 0) return Error::from_errno("fsync");
+  return Result<void>::success();
+}
+
+Result<void> PosixBackend::close(int handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Error(EBADF, "bad backend handle");
+  ::close(it->second);
+  handles_.erase(it);
+  return Result<void>::success();
+}
+
+Result<StatInfo> PosixBackend::fstat(int handle) {
+  TSS_ASSIGN_OR_RETURN(int fd, host_fd(handle));
+  struct stat st{};
+  if (::fstat(fd, &st) < 0) return Error::from_errno("fstat");
+  return stat_from_host(st);
+}
+
+Result<StatInfo> PosixBackend::stat(const std::string& path) {
+  struct stat st{};
+  if (::lstat(host_path(path).c_str(), &st) < 0) {
+    return Error::from_errno("stat " + path);
+  }
+  return stat_from_host(st);
+}
+
+Result<void> PosixBackend::unlink(const std::string& path) {
+  if (::unlink(host_path(path).c_str()) < 0) {
+    return Error::from_errno("unlink " + path);
+  }
+  return Result<void>::success();
+}
+
+Result<void> PosixBackend::rename(const std::string& from,
+                                  const std::string& to) {
+  if (::rename(host_path(from).c_str(), host_path(to).c_str()) < 0) {
+    return Error::from_errno("rename " + from);
+  }
+  return Result<void>::success();
+}
+
+Result<void> PosixBackend::mkdir(const std::string& path, uint32_t mode) {
+  if (::mkdir(host_path(path).c_str(), static_cast<mode_t>(mode)) < 0) {
+    return Error::from_errno("mkdir " + path);
+  }
+  return Result<void>::success();
+}
+
+Result<void> PosixBackend::rmdir(const std::string& path) {
+  if (::rmdir(host_path(path).c_str()) < 0) {
+    return Error::from_errno("rmdir " + path);
+  }
+  return Result<void>::success();
+}
+
+Result<void> PosixBackend::truncate(const std::string& path, uint64_t size) {
+  if (::truncate(host_path(path).c_str(), static_cast<off_t>(size)) < 0) {
+    return Error::from_errno("truncate " + path);
+  }
+  return Result<void>::success();
+}
+
+Result<std::vector<DirEntry>> PosixBackend::readdir(const std::string& path) {
+  std::string host = host_path(path);
+  DIR* dir = ::opendir(host.c_str());
+  if (!dir) return Error::from_errno("opendir " + path);
+  std::vector<DirEntry> entries;
+  while (dirent* de = ::readdir(dir)) {
+    std::string name = de->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st{};
+    if (::lstat((host + "/" + name).c_str(), &st) != 0) continue;
+    entries.push_back(DirEntry{std::move(name), stat_from_host(st)});
+  }
+  ::closedir(dir);
+  return entries;
+}
+
+Result<std::string> PosixBackend::read_file(const std::string& path) {
+  int fd = ::open(host_path(path).c_str(), O_RDONLY);
+  if (fd < 0) return Error::from_errno("open " + path);
+  std::string data;
+  char buf[64 * 1024];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      int e = errno;
+      ::close(fd);
+      return Error::from_errno(e, "read " + path);
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return data;
+}
+
+Result<void> PosixBackend::write_file(const std::string& path,
+                                      std::string_view data, uint32_t mode) {
+  int fd = ::open(host_path(path).c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                  static_cast<mode_t>(mode));
+  if (fd < 0) return Error::from_errno("open " + path);
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      int e = errno;
+      ::close(fd);
+      return Error::from_errno(e, "write " + path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return Result<void>::success();
+}
+
+Result<std::pair<uint64_t, uint64_t>> PosixBackend::statfs() {
+  struct statvfs sv{};
+  if (::statvfs(root_.c_str(), &sv) < 0) return Error::from_errno("statvfs");
+  uint64_t total = static_cast<uint64_t>(sv.f_blocks) * sv.f_frsize;
+  uint64_t free_bytes = static_cast<uint64_t>(sv.f_bavail) * sv.f_frsize;
+  return std::make_pair(total, free_bytes);
+}
+
+}  // namespace tss::chirp

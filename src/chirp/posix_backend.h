@@ -1,0 +1,61 @@
+// Chirp backend over a real host filesystem.
+//
+// The export root is any directory the server's owner chooses ("allowing any
+// user to export fresh space or existing data", §4). Virtual paths map under
+// the root; callers have already applied path::sanitize, so nothing here can
+// escape it.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "chirp/backend.h"
+
+namespace tss::chirp {
+
+class PosixBackend final : public Backend {
+ public:
+  explicit PosixBackend(std::string root);
+  ~PosixBackend() override;
+
+  PosixBackend(const PosixBackend&) = delete;
+  PosixBackend& operator=(const PosixBackend&) = delete;
+
+  Result<int> open(const std::string& path, const OpenFlags& flags,
+                   uint32_t mode) override;
+  Result<size_t> pread(int handle, void* data, size_t size,
+                       int64_t offset) override;
+  Result<size_t> pwrite(int handle, const void* data, size_t size,
+                        int64_t offset) override;
+  Result<void> fsync(int handle) override;
+  Result<void> close(int handle) override;
+  Result<StatInfo> fstat(int handle) override;
+
+  Result<StatInfo> stat(const std::string& path) override;
+  Result<void> unlink(const std::string& path) override;
+  Result<void> rename(const std::string& from, const std::string& to) override;
+  Result<void> mkdir(const std::string& path, uint32_t mode) override;
+  Result<void> rmdir(const std::string& path) override;
+  Result<void> truncate(const std::string& path, uint64_t size) override;
+  Result<std::vector<DirEntry>> readdir(const std::string& path) override;
+
+  Result<std::string> read_file(const std::string& path) override;
+  Result<void> write_file(const std::string& path, std::string_view data,
+                          uint32_t mode) override;
+
+  Result<std::pair<uint64_t, uint64_t>> statfs() override;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string host_path(const std::string& canonical) const;
+  Result<int> host_fd(int handle);
+
+  std::string root_;
+  std::mutex mutex_;
+  std::map<int, int> handles_;  // backend handle -> host fd
+  int next_handle_ = 1;
+};
+
+}  // namespace tss::chirp

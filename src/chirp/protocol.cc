@@ -1,0 +1,397 @@
+#include "chirp/protocol.h"
+
+#include <fcntl.h>
+
+#include "util/strings.h"
+
+namespace tss::chirp {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kVersion:
+      return "version";
+    case Op::kAuth:
+      return "auth";
+    case Op::kOpen:
+      return "open";
+    case Op::kPread:
+      return "pread";
+    case Op::kPwrite:
+      return "pwrite";
+    case Op::kFsync:
+      return "fsync";
+    case Op::kClose:
+      return "close";
+    case Op::kStat:
+      return "stat";
+    case Op::kFstat:
+      return "fstat";
+    case Op::kUnlink:
+      return "unlink";
+    case Op::kRename:
+      return "rename";
+    case Op::kMkdir:
+      return "mkdir";
+    case Op::kRmdir:
+      return "rmdir";
+    case Op::kGetdir:
+      return "getdir";
+    case Op::kGetfile:
+      return "getfile";
+    case Op::kPutfile:
+      return "putfile";
+    case Op::kGetacl:
+      return "getacl";
+    case Op::kSetacl:
+      return "setacl";
+    case Op::kWhoami:
+      return "whoami";
+    case Op::kStatfs:
+      return "statfs";
+    case Op::kTruncate:
+      return "truncate";
+  }
+  return "?";
+}
+
+std::string OpenFlags::encode() const {
+  std::string s;
+  if (read) s += 'r';
+  if (write) s += 'w';
+  if (create) s += 'c';
+  if (truncate) s += 't';
+  if (exclusive) s += 'x';
+  if (append) s += 'a';
+  if (sync) s += 's';
+  if (s.empty()) s = "-";
+  return s;
+}
+
+Result<OpenFlags> OpenFlags::parse(std::string_view s) {
+  OpenFlags f;
+  if (s == "-") return f;
+  for (char c : s) {
+    switch (c) {
+      case 'r':
+        f.read = true;
+        break;
+      case 'w':
+        f.write = true;
+        break;
+      case 'c':
+        f.create = true;
+        break;
+      case 't':
+        f.truncate = true;
+        break;
+      case 'x':
+        f.exclusive = true;
+        break;
+      case 'a':
+        f.append = true;
+        break;
+      case 's':
+        f.sync = true;
+        break;
+      default:
+        return Error(EINVAL, std::string("bad open flag: ") + c);
+    }
+  }
+  return f;
+}
+
+int OpenFlags::to_posix() const {
+  int flags;
+  if (read && write) {
+    flags = O_RDWR;
+  } else if (write) {
+    flags = O_WRONLY;
+  } else {
+    flags = O_RDONLY;
+  }
+  if (create) flags |= O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  if (exclusive) flags |= O_EXCL;
+  if (append) flags |= O_APPEND;
+  if (sync) flags |= O_SYNC;
+  return flags;
+}
+
+OpenFlags OpenFlags::from_posix(int flags) {
+  OpenFlags f;
+  int acc = flags & O_ACCMODE;
+  f.read = acc == O_RDONLY || acc == O_RDWR;
+  f.write = acc == O_WRONLY || acc == O_RDWR;
+  f.create = flags & O_CREAT;
+  f.truncate = flags & O_TRUNC;
+  f.exclusive = flags & O_EXCL;
+  f.append = flags & O_APPEND;
+  f.sync = flags & O_SYNC;
+  return f;
+}
+
+std::string StatInfo::encode() const {
+  return std::to_string(size) + " " + std::to_string(mode) + " " +
+         std::to_string(mtime) + " " + std::to_string(inode) + " " +
+         (is_dir ? "d" : "f");
+}
+
+Result<StatInfo> StatInfo::parse(const std::vector<std::string>& args,
+                                 size_t first) {
+  if (args.size() < first + 5) return Error(EPROTO, "short stat reply");
+  StatInfo s;
+  auto size = parse_u64(args[first]);
+  auto mode = parse_u64(args[first + 1]);
+  auto mtime = parse_i64(args[first + 2]);
+  auto inode = parse_u64(args[first + 3]);
+  if (!size || !mode || !mtime || !inode) {
+    return Error(EPROTO, "bad stat fields");
+  }
+  s.size = *size;
+  s.mode = static_cast<uint32_t>(*mode);
+  s.mtime = *mtime;
+  s.inode = *inode;
+  s.is_dir = args[first + 4] == "d";
+  return s;
+}
+
+std::string encode_dirent(const DirEntry& e) {
+  return url_encode(e.name) + " " + e.info.encode();
+}
+
+Result<DirEntry> parse_dirent(const std::string& line) {
+  auto words = split_words(line);
+  if (words.size() < 6) return Error(EPROTO, "short dirent line");
+  DirEntry e;
+  e.name = url_decode(words[0]);
+  TSS_ASSIGN_OR_RETURN(e.info, StatInfo::parse(words, 1));
+  return e;
+}
+
+uint64_t Request::payload_len() const {
+  if (op == Op::kPwrite || op == Op::kPutfile) return length;
+  return 0;
+}
+
+std::string encode_request(const Request& r) {
+  std::string line = op_name(r.op);
+  auto add = [&line](const std::string& tok) {
+    line += ' ';
+    line += tok;
+  };
+  switch (r.op) {
+    case Op::kVersion:
+      add(std::to_string(r.version));
+      break;
+    case Op::kAuth:
+      add(r.auth_method);
+      add(r.auth_arg.empty() ? "-" : url_encode(r.auth_arg));
+      break;
+    case Op::kOpen:
+      add(url_encode(r.path));
+      add(r.flags.encode());
+      add(std::to_string(r.mode));
+      break;
+    case Op::kPread:
+    case Op::kPwrite:
+      add(std::to_string(r.fd));
+      add(std::to_string(r.length));
+      add(std::to_string(r.offset));
+      break;
+    case Op::kFsync:
+    case Op::kClose:
+    case Op::kFstat:
+      add(std::to_string(r.fd));
+      break;
+    case Op::kStat:
+    case Op::kUnlink:
+    case Op::kRmdir:
+    case Op::kGetdir:
+    case Op::kGetfile:
+    case Op::kGetacl:
+      add(url_encode(r.path));
+      break;
+    case Op::kRename:
+      add(url_encode(r.path));
+      add(url_encode(r.path2));
+      break;
+    case Op::kMkdir:
+      add(url_encode(r.path));
+      add(std::to_string(r.mode));
+      break;
+    case Op::kPutfile:
+      add(url_encode(r.path));
+      add(std::to_string(r.mode));
+      add(std::to_string(r.length));
+      break;
+    case Op::kSetacl:
+      add(url_encode(r.path));
+      add(url_encode(r.acl_subject));
+      add(r.acl_rights);
+      break;
+    case Op::kWhoami:
+    case Op::kStatfs:
+      break;
+    case Op::kTruncate:
+      add(url_encode(r.path));
+      add(std::to_string(r.length));
+      break;
+  }
+  return line;
+}
+
+namespace {
+Result<int64_t> arg_i64(const std::vector<std::string>& w, size_t i) {
+  if (i >= w.size()) return Error(EPROTO, "missing argument");
+  auto n = parse_i64(w[i]);
+  if (!n) return Error(EPROTO, "bad integer argument: " + w[i]);
+  return *n;
+}
+Result<uint64_t> arg_u64(const std::vector<std::string>& w, size_t i) {
+  if (i >= w.size()) return Error(EPROTO, "missing argument");
+  auto n = parse_u64(w[i]);
+  if (!n) return Error(EPROTO, "bad integer argument: " + w[i]);
+  return *n;
+}
+Result<std::string> arg_path(const std::vector<std::string>& w, size_t i) {
+  if (i >= w.size()) return Error(EPROTO, "missing path argument");
+  return url_decode(w[i]);
+}
+}  // namespace
+
+Result<Request> parse_request_line(const std::string& line) {
+  auto words = split_words(line);
+  if (words.empty()) return Error(EPROTO, "empty request");
+  Request r;
+  const std::string& cmd = words[0];
+
+  if (cmd == "version") {
+    r.op = Op::kVersion;
+    TSS_ASSIGN_OR_RETURN(int64_t v, arg_i64(words, 1));
+    r.version = static_cast<int>(v);
+    return r;
+  }
+  if (cmd == "auth") {
+    r.op = Op::kAuth;
+    if (words.size() < 3) return Error(EPROTO, "auth needs method and arg");
+    r.auth_method = words[1];
+    r.auth_arg = words[2] == "-" ? "" : url_decode(words[2]);
+    return r;
+  }
+  if (cmd == "open") {
+    r.op = Op::kOpen;
+    TSS_ASSIGN_OR_RETURN(r.path, arg_path(words, 1));
+    if (words.size() < 3) return Error(EPROTO, "open needs flags");
+    TSS_ASSIGN_OR_RETURN(r.flags, OpenFlags::parse(words[2]));
+    TSS_ASSIGN_OR_RETURN(uint64_t mode, arg_u64(words, 3));
+    r.mode = static_cast<uint32_t>(mode);
+    return r;
+  }
+  if (cmd == "pread" || cmd == "pwrite") {
+    r.op = cmd == "pread" ? Op::kPread : Op::kPwrite;
+    TSS_ASSIGN_OR_RETURN(r.fd, arg_i64(words, 1));
+    TSS_ASSIGN_OR_RETURN(r.length, arg_u64(words, 2));
+    TSS_ASSIGN_OR_RETURN(r.offset, arg_i64(words, 3));
+    if (r.length > kMaxRpcPayload) {
+      return Error(EMSGSIZE, "rpc payload too large");
+    }
+    return r;
+  }
+  if (cmd == "fsync" || cmd == "close" || cmd == "fstat") {
+    r.op = cmd == "fsync" ? Op::kFsync
+                          : (cmd == "close" ? Op::kClose : Op::kFstat);
+    TSS_ASSIGN_OR_RETURN(r.fd, arg_i64(words, 1));
+    return r;
+  }
+  if (cmd == "stat" || cmd == "unlink" || cmd == "rmdir" || cmd == "getdir" ||
+      cmd == "getfile" || cmd == "getacl") {
+    r.op = cmd == "stat"      ? Op::kStat
+           : cmd == "unlink"  ? Op::kUnlink
+           : cmd == "rmdir"   ? Op::kRmdir
+           : cmd == "getdir"  ? Op::kGetdir
+           : cmd == "getfile" ? Op::kGetfile
+                              : Op::kGetacl;
+    TSS_ASSIGN_OR_RETURN(r.path, arg_path(words, 1));
+    return r;
+  }
+  if (cmd == "rename") {
+    r.op = Op::kRename;
+    TSS_ASSIGN_OR_RETURN(r.path, arg_path(words, 1));
+    TSS_ASSIGN_OR_RETURN(r.path2, arg_path(words, 2));
+    return r;
+  }
+  if (cmd == "mkdir") {
+    r.op = Op::kMkdir;
+    TSS_ASSIGN_OR_RETURN(r.path, arg_path(words, 1));
+    TSS_ASSIGN_OR_RETURN(uint64_t mode, arg_u64(words, 2));
+    r.mode = static_cast<uint32_t>(mode);
+    return r;
+  }
+  if (cmd == "putfile") {
+    r.op = Op::kPutfile;
+    TSS_ASSIGN_OR_RETURN(r.path, arg_path(words, 1));
+    TSS_ASSIGN_OR_RETURN(uint64_t mode, arg_u64(words, 2));
+    r.mode = static_cast<uint32_t>(mode);
+    TSS_ASSIGN_OR_RETURN(r.length, arg_u64(words, 3));
+    return r;
+  }
+  if (cmd == "setacl") {
+    r.op = Op::kSetacl;
+    TSS_ASSIGN_OR_RETURN(r.path, arg_path(words, 1));
+    TSS_ASSIGN_OR_RETURN(r.acl_subject, arg_path(words, 2));
+    if (words.size() < 4) return Error(EPROTO, "setacl needs rights");
+    r.acl_rights = words[3];
+    return r;
+  }
+  if (cmd == "whoami") {
+    r.op = Op::kWhoami;
+    return r;
+  }
+  if (cmd == "statfs") {
+    r.op = Op::kStatfs;
+    return r;
+  }
+  if (cmd == "truncate") {
+    r.op = Op::kTruncate;
+    TSS_ASSIGN_OR_RETURN(r.path, arg_path(words, 1));
+    TSS_ASSIGN_OR_RETURN(r.length, arg_u64(words, 2));
+    return r;
+  }
+  return Error(ENOSYS, "unknown rpc: " + cmd);
+}
+
+std::string encode_response_line(const Response& r) {
+  if (r.err != 0) {
+    return "error " + std::to_string(r.err) + " " + url_encode(r.message);
+  }
+  std::string line = "ok";
+  for (const std::string& a : r.args) {
+    line += ' ';
+    line += a;
+  }
+  return line;
+}
+
+Result<Response> parse_response_line(const std::string& line) {
+  auto words = split_words(line);
+  if (words.empty()) return Error(EPROTO, "empty response");
+  Response r;
+  if (words[0] == "ok") {
+    r.args.assign(words.begin() + 1, words.end());
+    return r;
+  }
+  if (words[0] == "error") {
+    if (words.size() < 2) return Error(EPROTO, "short error response");
+    auto code = parse_i64(words[1]);
+    if (!code) return Error(EPROTO, "bad error code");
+    r.err = static_cast<int>(*code);
+    if (r.err == 0) return Error(EPROTO, "error response with code 0");
+    r.message = words.size() > 2 ? url_decode(words[2]) : "";
+    return r;
+  }
+  // Challenge lines are handled at a different layer; anything else here is
+  // a protocol violation.
+  return Error(EPROTO, "bad response: " + line);
+}
+
+}  // namespace tss::chirp

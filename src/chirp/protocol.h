@@ -1,0 +1,171 @@
+// The Chirp wire protocol.
+//
+// "Each file server exports a Unix-like protocol over TCP" (§4). Requests are
+// single ASCII lines — an RPC name followed by space-separated arguments,
+// with file names percent-encoded — optionally followed by a binary payload
+// whose length was named on the line. Responses are an "ok ..." line (plus
+// payload) or an "error <errno> <message>".
+//
+// All file data travels on the same connection as control, which lets one
+// TCP window serve many files back-to-back (the paper contrasts this with
+// FTP's per-file data connections and their repeated slow starts).
+//
+// This header is deliberately sans-IO: encoding/parsing only. The same code
+// drives the real TCP server/client and the discrete-event simulator, which
+// is what makes the simulated experiments measure the actual protocol.
+//
+// RPC set (a superset of the fragment printed in the paper):
+//   version <n>
+//   auth <method> <arg>                      (challenge rounds may follow)
+//   open <path> <flags> <mode>            -> ok <fd>
+//   pread <fd> <length> <offset>          -> ok <n>  + n payload bytes
+//   pwrite <fd> <length> <offset>         -> (length payload bytes)  ok <n>
+//   fsync <fd>                            -> ok
+//   close <fd>                            -> ok
+//   stat <path>                           -> ok <size> <mode> <mtime> <inode> <f|d>
+//   fstat <fd>                            -> ok <size> <mode> <mtime> <inode> <f|d>
+//   unlink <path>                         -> ok
+//   rename <old> <new>                    -> ok
+//   mkdir <path> <mode>                   -> ok
+//   rmdir <path>                          -> ok
+//   getdir <path>                         -> ok <count>  + count listing lines
+//   getfile <path>                        -> ok <size>  + size payload bytes
+//   putfile <path> <mode> <size>          -> (size payload bytes)  ok
+//   getacl <path>                         -> ok <bytes>  + ACL text payload
+//   setacl <path> <subject> <rights>      -> ok
+//   whoami                                -> ok <subject>
+//   statfs                                -> ok <total_bytes> <free_bytes>
+//   truncate <path> <size>                -> ok
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tss::chirp {
+
+constexpr int kProtocolVersion = 1;
+
+// Maximum size of a single pread/pwrite payload. Larger application reads
+// are segmented by the client; getfile/putfile stream without this limit.
+constexpr uint64_t kMaxRpcPayload = 16 * 1024 * 1024;
+
+enum class Op {
+  kVersion,
+  kAuth,
+  kOpen,
+  kPread,
+  kPwrite,
+  kFsync,
+  kClose,
+  kStat,
+  kFstat,
+  kUnlink,
+  kRename,
+  kMkdir,
+  kRmdir,
+  kGetdir,
+  kGetfile,
+  kPutfile,
+  kGetacl,
+  kSetacl,
+  kWhoami,
+  kStatfs,
+  kTruncate,
+};
+
+const char* op_name(Op op);
+
+// Symbolic open flags: 'r' read, 'w' write, 'c' create, 't' truncate,
+// 'x' exclusive, 'a' append, 's' sync. E.g. "wctx" = create-exclusive write.
+struct OpenFlags {
+  bool read = false;
+  bool write = false;
+  bool create = false;
+  bool truncate = false;
+  bool exclusive = false;
+  bool append = false;
+  bool sync = false;
+
+  std::string encode() const;
+  static Result<OpenFlags> parse(std::string_view s);
+  int to_posix() const;
+  static OpenFlags from_posix(int flags);
+};
+
+// File metadata carried by stat/fstat and long directory listings.
+struct StatInfo {
+  uint64_t size = 0;
+  uint32_t mode = 0;     // permission bits only
+  int64_t mtime = 0;     // unix seconds
+  uint64_t inode = 0;    // identity for the adapter's stale-handle check
+  bool is_dir = false;
+
+  std::string encode() const;
+  static Result<StatInfo> parse(const std::vector<std::string>& args,
+                                size_t first);
+};
+
+// One entry of a getdir listing line: "<urlenc name> <stat fields>".
+struct DirEntry {
+  std::string name;
+  StatInfo info;
+};
+std::string encode_dirent(const DirEntry& e);
+Result<DirEntry> parse_dirent(const std::string& line);
+
+// A parsed request. `payload_len` is how many payload bytes follow the line
+// (pwrite/putfile); the transport layer delivers them separately.
+struct Request {
+  Op op = Op::kVersion;
+  std::string path;
+  std::string path2;      // rename target
+  int64_t fd = -1;
+  uint64_t length = 0;    // pread/pwrite/putfile byte count
+  int64_t offset = 0;
+  uint32_t mode = 0644;
+  OpenFlags flags;
+  int version = kProtocolVersion;
+  std::string auth_method;
+  std::string auth_arg;
+  std::string acl_subject;
+  std::string acl_rights;
+
+  // Payload byte count that follows the request line on the wire.
+  uint64_t payload_len() const;
+};
+
+// Client-side: encodes a request to its wire line (no trailing newline).
+std::string encode_request(const Request& r);
+
+// Server-side: parses one wire line into a Request.
+Result<Request> parse_request_line(const std::string& line);
+
+// A response. On success `args` carries the ok-line tokens after "ok";
+// `payload_size` names the bytes that follow (pread/getfile/getacl/getdir
+// carry payloads or extra lines).
+struct Response {
+  int err = 0;            // errno-style; 0 == ok
+  std::string message;    // error text (urlencoded on the wire)
+  std::vector<std::string> args;
+  uint64_t payload_size = 0;
+
+  bool ok() const { return err == 0; }
+  static Response failure(const Error& e) {
+    return Response{e.code, e.message, {}, 0};
+  }
+  static Response failure(int err, std::string msg) {
+    return Response{err, std::move(msg), {}, 0};
+  }
+};
+
+// Encodes the response status line (no trailing newline).
+std::string encode_response_line(const Response& r);
+
+// Client-side: parses a response status line.
+Result<Response> parse_response_line(const std::string& line);
+
+}  // namespace tss::chirp

@@ -1,0 +1,75 @@
+// The Chirp personal file server over real TCP.
+//
+// "A basic file server can be deployed by an ordinary user, who runs a
+// single command with no configuration" (§3, Rapid Deployment). Construction
+// takes an export root and an owner subject; start() binds (ephemeral ports
+// supported) and serves until stop(). Each connection gets its own thread
+// pumping a SessionCore; disconnect drops all session state, per the paper's
+// failure semantics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "auth/auth.h"
+#include "chirp/backend.h"
+#include "chirp/session.h"
+#include "net/server_loop.h"
+
+namespace tss::chirp {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;            // 0 = ephemeral
+  std::string owner;            // owner subject, e.g. "unix:dthain"
+  acl::Acl root_acl;            // policy for "/" until a .__acl__ exists
+  Nanos io_timeout = 30 * kSecond;
+};
+
+class Server {
+ public:
+  // Backend and auth registry are injected so tests can fake either; the
+  // common case is a PosixBackend plus hostname/unix methods (see
+  // make_default_auth below).
+  Server(ServerOptions options, std::unique_ptr<Backend> backend,
+         std::unique_ptr<auth::ServerAuth> auth);
+  ~Server();
+
+  Result<void> start();
+  void stop();
+
+  uint16_t port() const { return loop_.port(); }
+  net::Endpoint endpoint() const {
+    return net::Endpoint{options_.host, loop_.port()};
+  }
+  Backend& backend() { return *backend_; }
+  const ServerOptions& options() const { return options_; }
+
+  // Builds a report snapshot for catalog registration: owner, address,
+  // space, root ACL.
+  struct Info {
+    std::string owner;
+    net::Endpoint endpoint;
+    uint64_t total_bytes = 0;
+    uint64_t free_bytes = 0;
+    std::string root_acl;
+  };
+  Info info() const;
+
+ private:
+  void serve_connection(net::TcpSocket sock);
+
+  ServerOptions options_;
+  std::unique_ptr<Backend> backend_;
+  std::unique_ptr<auth::ServerAuth> auth_;
+  ServerConfig config_;
+  net::ServerLoop loop_;
+};
+
+// Convenience: the default method set an unprivileged owner would enable —
+// `hostname` and `unix` (challenge directory defaults to /tmp).
+std::unique_ptr<auth::ServerAuth> make_default_auth(
+    const std::string& unix_challenge_dir = "/tmp");
+
+}  // namespace tss::chirp

@@ -1,0 +1,461 @@
+#include "chirp/session.h"
+
+#include "util/logging.h"
+#include "util/path.h"
+#include "util/strings.h"
+
+namespace tss::chirp {
+
+bool names_acl_file(const std::string& canonical_path) {
+  return path::basename(canonical_path) == kAclFileName;
+}
+
+SessionCore::SessionCore(const ServerConfig& config, Backend& backend,
+                         auth::PeerInfo peer)
+    : config_(config), backend_(backend), peer_(std::move(peer)) {}
+
+SessionCore::~SessionCore() { close_all(); }
+
+void SessionCore::close_all() {
+  for (auto& [fd, file] : fds_) {
+    (void)backend_.close(file.backend_handle);
+  }
+  fds_.clear();
+}
+
+Result<auth::Subject> SessionCore::authenticate(const std::string& method,
+                                                const std::string& arg,
+                                                auth::ChallengeIo& io) {
+  if (authenticated()) {
+    return Error(EPERM, "already authenticated; one credential per session");
+  }
+  if (!config_.auth) {
+    return Error(ENOSYS, "no authentication methods enabled");
+  }
+  auto subject = config_.auth->attempt(method, peer_, arg, io);
+  if (subject.ok()) {
+    subject_ = subject.value();
+    TSS_DEBUG("chirp") << "authenticated " << subject_->to_string();
+  }
+  return subject;
+}
+
+bool SessionCore::is_owner() const {
+  return authenticated() && subject_->to_string() == config_.owner;
+}
+
+Result<int> SessionCore::stream_open_read(const std::string& p,
+                                          uint64_t* size_out) {
+  std::string canonical = path::sanitize(p);
+  if (!authenticated()) return Error(EACCES, "not authenticated");
+  if (names_acl_file(canonical)) return Error(EACCES, "reserved name");
+  if (!permits(path::dirname(canonical), acl::kRead)) {
+    return Error(EACCES, "permission denied");
+  }
+  TSS_ASSIGN_OR_RETURN(int handle,
+                       backend_.open(canonical, OpenFlags::parse("r").value(),
+                                     0));
+  auto info = backend_.fstat(handle);
+  if (!info.ok()) {
+    (void)backend_.close(handle);
+    return std::move(info).take_error();
+  }
+  if (info.value().is_dir) {
+    (void)backend_.close(handle);
+    return Error(EISDIR, "is a directory: " + canonical);
+  }
+  *size_out = info.value().size;
+  return handle;
+}
+
+Result<int> SessionCore::stream_open_write(const std::string& p,
+                                           uint32_t mode) {
+  std::string canonical = path::sanitize(p);
+  if (!authenticated()) return Error(EACCES, "not authenticated");
+  if (names_acl_file(canonical)) return Error(EACCES, "reserved name");
+  if (!permits(path::dirname(canonical), acl::kWrite)) {
+    return Error(EACCES, "permission denied");
+  }
+  return backend_.open(canonical, OpenFlags::parse("wct").value(), mode);
+}
+
+void SessionCore::stream_close(int backend_handle) {
+  (void)backend_.close(backend_handle);
+}
+
+acl::Acl SessionCore::effective_acl(const std::string& dir) {
+  std::string current = dir;
+  while (true) {
+    auto text = backend_.read_file(path::join(current, kAclFileName));
+    if (text.ok()) {
+      auto parsed = acl::Acl::parse(text.value());
+      if (parsed.ok()) return parsed.value();
+      TSS_WARN("chirp") << "corrupt ACL in " << current << ": "
+                        << parsed.error().to_string();
+      return acl::Acl();  // corrupt ACL fails closed
+    }
+    if (current == "/") break;
+    current = path::dirname(current);
+  }
+  return config_.root_acl;
+}
+
+bool SessionCore::permits(const std::string& dir, acl::Rights rights) {
+  if (!authenticated()) return false;
+  if (is_owner()) return true;
+  return effective_acl(dir).check(subject_->to_string(), rights);
+}
+
+Response SessionCore::handle(const Request& raw, Payload payload,
+                             std::string* response_payload) {
+  // Software chroot: every client-supplied path is clamped to the export
+  // root before anything else looks at it.
+  Request r = raw;
+  if (!r.path.empty()) r.path = path::sanitize(r.path);
+  if (!r.path2.empty()) r.path2 = path::sanitize(r.path2);
+  if (r.op == Op::kVersion) {
+    Response resp;
+    resp.args.push_back(std::to_string(kProtocolVersion));
+    return resp;
+  }
+  if (!authenticated()) {
+    return Response::failure(EACCES, "not authenticated");
+  }
+  // Reserved-name guard: the ACL file is only reachable via getacl/setacl.
+  switch (r.op) {
+    case Op::kOpen:
+    case Op::kStat:
+    case Op::kUnlink:
+    case Op::kGetfile:
+    case Op::kPutfile:
+    case Op::kTruncate:
+      if (names_acl_file(r.path)) {
+        return Response::failure(EACCES, "reserved name");
+      }
+      break;
+    case Op::kRename:
+      if (names_acl_file(r.path) || names_acl_file(r.path2)) {
+        return Response::failure(EACCES, "reserved name");
+      }
+      break;
+    default:
+      break;
+  }
+
+  switch (r.op) {
+    case Op::kOpen:
+      return do_open(r);
+    case Op::kPread:
+      return do_pread(r, response_payload);
+    case Op::kPwrite:
+      return do_pwrite(r, payload);
+    case Op::kFsync: {
+      auto it = fds_.find(r.fd);
+      if (it == fds_.end()) return Response::failure(EBADF, "bad fd");
+      auto rc = backend_.fsync(it->second.backend_handle);
+      if (!rc.ok()) return Response::failure(rc.error());
+      return Response{};
+    }
+    case Op::kClose: {
+      auto it = fds_.find(r.fd);
+      if (it == fds_.end()) return Response::failure(EBADF, "bad fd");
+      (void)backend_.close(it->second.backend_handle);
+      fds_.erase(it);
+      return Response{};
+    }
+    case Op::kStat:
+      return do_stat(r);
+    case Op::kFstat:
+      return do_fstat(r);
+    case Op::kUnlink:
+      return do_unlink(r);
+    case Op::kRename:
+      return do_rename(r);
+    case Op::kMkdir:
+      return do_mkdir(r);
+    case Op::kRmdir:
+      return do_rmdir(r);
+    case Op::kGetdir:
+      return do_getdir(r, response_payload);
+    case Op::kGetfile:
+      return do_getfile(r, response_payload);
+    case Op::kPutfile:
+      return do_putfile(r, payload);
+    case Op::kGetacl:
+      return do_getacl(r, response_payload);
+    case Op::kSetacl:
+      return do_setacl(r);
+    case Op::kWhoami: {
+      Response resp;
+      resp.args.push_back(url_encode(subject_->to_string()));
+      return resp;
+    }
+    case Op::kStatfs:
+      return do_statfs();
+    case Op::kTruncate:
+      return do_truncate(r);
+    case Op::kVersion:
+    case Op::kAuth:
+      break;
+  }
+  return Response::failure(ENOSYS, "unhandled rpc");
+}
+
+Response SessionCore::do_open(const Request& r) {
+  std::string dir = path::dirname(r.path);
+  acl::Rights needed = acl::kNoRights;
+  if (r.flags.read) needed |= acl::kRead;
+  if (r.flags.write || r.flags.create || r.flags.truncate ||
+      r.flags.append) {
+    needed |= acl::kWrite;
+  }
+  if (needed == acl::kNoRights) needed = acl::kRead;
+  if (!permits(dir, needed)) {
+    return Response::failure(EACCES, "permission denied");
+  }
+  auto handle = backend_.open(r.path, r.flags, r.mode);
+  if (!handle.ok()) return Response::failure(handle.error());
+  int64_t fd = next_fd_++;
+  fds_[fd] = OpenFile{handle.value(), r.path};
+  Response resp;
+  resp.args.push_back(std::to_string(fd));
+  return resp;
+}
+
+Response SessionCore::do_pread(const Request& r, std::string* out) {
+  auto it = fds_.find(r.fd);
+  if (it == fds_.end()) return Response::failure(EBADF, "bad fd");
+  size_t want = static_cast<size_t>(r.length);
+  size_t old = out->size();
+  out->resize(old + want);
+  auto n = backend_.pread(it->second.backend_handle, out->data() + old, want,
+                          r.offset);
+  if (!n.ok()) {
+    out->resize(old);
+    return Response::failure(n.error());
+  }
+  out->resize(old + n.value());
+  Response resp;
+  resp.args.push_back(std::to_string(n.value()));
+  resp.payload_size = n.value();
+  return resp;
+}
+
+Response SessionCore::do_pwrite(const Request& r, Payload payload) {
+  auto it = fds_.find(r.fd);
+  if (it == fds_.end()) return Response::failure(EBADF, "bad fd");
+  auto n = backend_.pwrite(it->second.backend_handle, payload.data,
+                           static_cast<size_t>(payload.size), r.offset);
+  if (!n.ok()) return Response::failure(n.error());
+  Response resp;
+  resp.args.push_back(std::to_string(n.value()));
+  return resp;
+}
+
+Response SessionCore::do_stat(const Request& r) {
+  if (!permits(path::dirname(r.path), acl::kList)) {
+    return Response::failure(EACCES, "permission denied");
+  }
+  auto info = backend_.stat(r.path);
+  if (!info.ok()) return Response::failure(info.error());
+  Response resp;
+  resp.args = split_words(info.value().encode());
+  return resp;
+}
+
+Response SessionCore::do_fstat(const Request& r) {
+  auto it = fds_.find(r.fd);
+  if (it == fds_.end()) return Response::failure(EBADF, "bad fd");
+  auto info = backend_.fstat(it->second.backend_handle);
+  if (!info.ok()) return Response::failure(info.error());
+  Response resp;
+  resp.args = split_words(info.value().encode());
+  return resp;
+}
+
+Response SessionCore::do_unlink(const Request& r) {
+  if (!permits(path::dirname(r.path), acl::kDelete)) {
+    return Response::failure(EACCES, "permission denied");
+  }
+  auto rc = backend_.unlink(r.path);
+  if (!rc.ok()) return Response::failure(rc.error());
+  return Response{};
+}
+
+Response SessionCore::do_rename(const Request& r) {
+  if (!permits(path::dirname(r.path), acl::kDelete) ||
+      !permits(path::dirname(r.path2), acl::kWrite)) {
+    return Response::failure(EACCES, "permission denied");
+  }
+  auto rc = backend_.rename(r.path, r.path2);
+  if (!rc.ok()) return Response::failure(rc.error());
+  return Response{};
+}
+
+Response SessionCore::do_mkdir(const Request& r) {
+  if (r.path == "/") return Response::failure(EEXIST, "root exists");
+  std::string parent = path::dirname(r.path);
+  bool inherit;
+  acl::Rights fresh_rights = acl::kNoRights;
+  if (is_owner() || permits(parent, acl::kWrite)) {
+    inherit = true;
+  } else {
+    // Reserve right: mkdir allowed, fresh ACL grants the caller exactly the
+    // parent entry's parenthesized rights (§4's /backup example).
+    auto reserve =
+        effective_acl(parent).reserve_rights_for(subject_->to_string());
+    if (!reserve.has_value()) {
+      return Response::failure(EACCES, "permission denied");
+    }
+    inherit = false;
+    fresh_rights = *reserve;
+  }
+  auto rc = backend_.mkdir(r.path, r.mode);
+  if (!rc.ok()) return Response::failure(rc.error());
+  acl::Acl new_acl = inherit
+                         ? effective_acl(parent)
+                         : acl::Acl::fresh_for(subject_->to_string(),
+                                               fresh_rights);
+  auto wrote = backend_.write_file(path::join(r.path, kAclFileName),
+                                   new_acl.serialize(), 0644);
+  if (!wrote.ok()) {
+    // Roll back so we never leave a directory with no enforceable policy.
+    (void)backend_.rmdir(r.path);
+    return Response::failure(wrote.error());
+  }
+  return Response{};
+}
+
+Response SessionCore::do_rmdir(const Request& r) {
+  if (!permits(path::dirname(r.path), acl::kDelete)) {
+    return Response::failure(EACCES, "permission denied");
+  }
+  // The directory's own ACL file does not count as content.
+  std::string acl_path = path::join(r.path, kAclFileName);
+  auto listing = backend_.readdir(r.path);
+  if (listing.ok()) {
+    bool only_acl = true;
+    for (const DirEntry& e : listing.value()) {
+      if (e.name != kAclFileName) {
+        only_acl = false;
+        break;
+      }
+    }
+    if (only_acl) (void)backend_.unlink(acl_path);
+  }
+  auto rc = backend_.rmdir(r.path);
+  if (!rc.ok()) return Response::failure(rc.error());
+  return Response{};
+}
+
+Response SessionCore::do_getdir(const Request& r, std::string* out) {
+  if (!permits(r.path, acl::kList)) {
+    return Response::failure(EACCES, "permission denied");
+  }
+  auto entries = backend_.readdir(r.path);
+  if (!entries.ok()) return Response::failure(entries.error());
+  uint64_t count = 0;
+  std::string body;
+  for (const DirEntry& e : entries.value()) {
+    if (e.name == kAclFileName) continue;
+    body += encode_dirent(e);
+    body += '\n';
+    count++;
+  }
+  out->append(body);
+  Response resp;
+  resp.args.push_back(std::to_string(count));
+  resp.payload_size = body.size();
+  return resp;
+}
+
+Response SessionCore::do_getfile(const Request& r, std::string* out) {
+  if (!permits(path::dirname(r.path), acl::kRead)) {
+    return Response::failure(EACCES, "permission denied");
+  }
+  auto data = backend_.read_file(r.path);
+  if (!data.ok()) return Response::failure(data.error());
+  Response resp;
+  resp.args.push_back(std::to_string(data.value().size()));
+  resp.payload_size = data.value().size();
+  out->append(data.value());
+  return resp;
+}
+
+Response SessionCore::do_putfile(const Request& r, Payload payload) {
+  if (!permits(path::dirname(r.path), acl::kWrite)) {
+    return Response::failure(EACCES, "permission denied");
+  }
+  // Stream through open/pwrite/close rather than write_file so that
+  // backends which accept size-only (synthetic) payloads see the true
+  // length; payload.data is always real on the TCP path.
+  OpenFlags flags;
+  flags.write = true;
+  flags.create = true;
+  flags.truncate = true;
+  auto handle = backend_.open(r.path, flags, r.mode);
+  if (!handle.ok()) return Response::failure(handle.error());
+  auto n = backend_.pwrite(handle.value(), payload.data,
+                           static_cast<size_t>(payload.size), 0);
+  (void)backend_.close(handle.value());
+  if (!n.ok()) return Response::failure(n.error());
+  if (n.value() != payload.size) {
+    return Response::failure(EIO, "short putfile write");
+  }
+  return Response{};
+}
+
+Response SessionCore::do_getacl(const Request& r, std::string* out) {
+  // getacl targets a directory; a file path is resolved to its directory.
+  std::string dir = r.path;
+  auto info = backend_.stat(r.path);
+  if (info.ok() && !info.value().is_dir) dir = path::dirname(r.path);
+  if (!permits(dir, acl::kList)) {
+    return Response::failure(EACCES, "permission denied");
+  }
+  std::string text = effective_acl(dir).serialize();
+  Response resp;
+  resp.args.push_back(std::to_string(text.size()));
+  resp.payload_size = text.size();
+  out->append(text);
+  return resp;
+}
+
+Response SessionCore::do_setacl(const Request& r) {
+  if (!permits(r.path, acl::kAdmin)) {
+    return Response::failure(EACCES, "permission denied");
+  }
+  auto info = backend_.stat(r.path);
+  if (!info.ok()) return Response::failure(info.error());
+  if (!info.value().is_dir) {
+    return Response::failure(ENOTDIR, "setacl target must be a directory");
+  }
+  auto parsed = acl::parse_rights(r.acl_rights);
+  if (!parsed.ok()) return Response::failure(parsed.error());
+  acl::Acl acl = effective_acl(r.path);
+  acl.set(r.acl_subject, parsed.value().rights, parsed.value().reserve);
+  auto rc = backend_.write_file(path::join(r.path, kAclFileName),
+                                acl.serialize(), 0644);
+  if (!rc.ok()) return Response::failure(rc.error());
+  return Response{};
+}
+
+Response SessionCore::do_truncate(const Request& r) {
+  if (!permits(path::dirname(r.path), acl::kWrite)) {
+    return Response::failure(EACCES, "permission denied");
+  }
+  auto rc = backend_.truncate(r.path, r.length);
+  if (!rc.ok()) return Response::failure(rc.error());
+  return Response{};
+}
+
+Response SessionCore::do_statfs() {
+  auto space = backend_.statfs();
+  if (!space.ok()) return Response::failure(space.error());
+  Response resp;
+  resp.args.push_back(std::to_string(space.value().first));
+  resp.args.push_back(std::to_string(space.value().second));
+  return resp;
+}
+
+}  // namespace tss::chirp

@@ -1,0 +1,144 @@
+// Per-connection server session: authentication state, ACL enforcement, fd
+// table, and RPC dispatch.
+//
+// SessionCore is sans-IO: it consumes parsed Requests and produces Responses
+// against a Backend. The real TCP server (server.cc) and the discrete-event
+// simulator both pump it, so ACL semantics and protocol behaviour are
+// identical in both worlds.
+//
+// Rights enforcement (per §4 of the paper):
+//   open for read            R   on the containing directory
+//   open for write/create    W   on the containing directory
+//   stat                     L   on the containing directory
+//   getdir                   L   on the directory itself
+//   unlink                   D   on the containing directory
+//   rename                   D   on the source dir and W on the target dir
+//   mkdir                    W   on the parent, else the reserve right V
+//   rmdir                    D   on the parent
+//   getacl                   L   on the directory
+//   setacl                   A   on the directory
+// The server owner passes every check ("the owner of a file server retains
+// access to all data on that server").
+//
+// ACLs live in a ".__acl__" file per directory, managed exclusively through
+// getacl/setacl; the name is hidden from listings and refused by direct file
+// operations. A directory without its own ACL file inherits the nearest
+// ancestor's ACL, which is what lets an owner export pre-existing data
+// without a setup pass. mkdir in a directory where the caller holds V
+// initializes the new directory with a fresh ACL granting the caller exactly
+// the parenthesized reserve rights; mkdir under W copies the parent's ACL.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "acl/acl.h"
+#include "auth/auth.h"
+#include "chirp/backend.h"
+#include "chirp/protocol.h"
+
+namespace tss::chirp {
+
+// The ACL file name reserved inside every directory.
+inline constexpr const char* kAclFileName = ".__acl__";
+
+// Server-wide configuration shared by all sessions.
+struct ServerConfig {
+  // The owner's subject ("unix:dthain"); passes all ACL checks.
+  std::string owner;
+  // Root directory ACL used when "/" has no .__acl__ file yet.
+  acl::Acl root_acl;
+  // Enabled authentication methods. Not owned.
+  auth::ServerAuth* auth = nullptr;
+};
+
+class SessionCore {
+ public:
+  SessionCore(const ServerConfig& config, Backend& backend,
+              auth::PeerInfo peer);
+  ~SessionCore();
+
+  SessionCore(const SessionCore&) = delete;
+  SessionCore& operator=(const SessionCore&) = delete;
+
+  // --- Authentication -----------------------------------------------------
+  bool authenticated() const { return subject_.has_value(); }
+  const auth::Subject& subject() const { return *subject_; }
+
+  // Runs one auth attempt. On success the session is bound to the subject;
+  // only one credential set may be used per session.
+  Result<auth::Subject> authenticate(const std::string& method,
+                                     const std::string& arg,
+                                     auth::ChallengeIo& io);
+
+  // --- Dispatch -----------------------------------------------------------
+  // Handles one RPC. `payload` carries the request body for pwrite/putfile
+  // (data may be null with size set only when the backend is synthetic).
+  // Response body bytes (pread/getfile/getacl/getdir listings) are appended
+  // to *response_payload.
+  struct Payload {
+    const char* data = nullptr;
+    uint64_t size = 0;
+  };
+  Response handle(const Request& request, Payload payload,
+                  std::string* response_payload);
+
+  // Releases all open handles — the disconnect semantics of §4: "the server
+  // frees all resources associated with that connection".
+  void close_all();
+
+  // --- Streaming transport hooks -------------------------------------------
+  // getfile/putfile bodies can be arbitrarily large; transports that stream
+  // them chunkwise (instead of buffering, as handle() does) validate and
+  // open through these. Both apply the same sanitization, reserved-name
+  // guard, and ACL checks as the buffered path and return a backend handle
+  // the transport drives directly; stream_close() releases it.
+  Result<int> stream_open_read(const std::string& path, uint64_t* size_out);
+  Result<int> stream_open_write(const std::string& path, uint32_t mode);
+  void stream_close(int backend_handle);
+  Backend& backend() { return backend_; }
+
+ private:
+  // Loads the effective ACL for a directory: its own .__acl__, else the
+  // nearest ancestor's, else the configured root ACL.
+  acl::Acl effective_acl(const std::string& dir);
+  // Does the session's subject hold `rights` in `dir`? Owner always does.
+  bool permits(const std::string& dir, acl::Rights rights);
+  bool is_owner() const;
+
+  Response do_open(const Request& r);
+  Response do_pread(const Request& r, std::string* out);
+  Response do_pwrite(const Request& r, Payload payload);
+  Response do_stat(const Request& r);
+  Response do_fstat(const Request& r);
+  Response do_unlink(const Request& r);
+  Response do_rename(const Request& r);
+  Response do_mkdir(const Request& r);
+  Response do_rmdir(const Request& r);
+  Response do_getdir(const Request& r, std::string* out);
+  Response do_getfile(const Request& r, std::string* out);
+  Response do_putfile(const Request& r, Payload payload);
+  Response do_getacl(const Request& r, std::string* out);
+  Response do_setacl(const Request& r);
+  Response do_truncate(const Request& r);
+  Response do_statfs();
+
+  const ServerConfig& config_;
+  Backend& backend_;
+  auth::PeerInfo peer_;
+  std::optional<auth::Subject> subject_;
+
+  struct OpenFile {
+    int backend_handle = -1;
+    std::string path;
+  };
+  std::map<int64_t, OpenFile> fds_;
+  int64_t next_fd_ = 3;  // mimic Unix: 0-2 reserved
+};
+
+// True if `path`'s final component is the reserved ACL file name.
+bool names_acl_file(const std::string& canonical_path);
+
+}  // namespace tss::chirp

@@ -1,0 +1,110 @@
+#include "db/client.h"
+
+#include "util/strings.h"
+
+namespace tss::db {
+
+Result<Client> Client::connect(const net::Endpoint& server, Options options) {
+  TSS_ASSIGN_OR_RETURN(net::TcpSocket sock,
+                       net::TcpSocket::connect(server, options.timeout));
+  return Client(net::LineStream(std::move(sock), options.timeout));
+}
+
+Result<std::vector<std::string>> Client::roundtrip(const std::string& line) {
+  TSS_RETURN_IF_ERROR(stream_.send_line(line));
+  TSS_ASSIGN_OR_RETURN(std::string response, stream_.read_line());
+  auto words = split_words(response);
+  if (words.empty()) return Error(EPROTO, "db: empty response");
+  if (words[0] == "ok") {
+    words.erase(words.begin());
+    return words;
+  }
+  if (words[0] == "error" && words.size() >= 2) {
+    auto code = parse_i64(words[1]);
+    if (!code || *code == 0) return Error(EPROTO, "db: bad error code");
+    return Error(static_cast<int>(*code),
+                 words.size() > 2 ? url_decode(words[2]) : "db error");
+  }
+  return Error(EPROTO, "db: bad response: " + response);
+}
+
+Result<std::vector<Record>> Client::read_records(uint64_t count) {
+  std::vector<Record> out;
+  out.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; i++) {
+    TSS_ASSIGN_OR_RETURN(std::string line, stream_.read_line());
+    TSS_ASSIGN_OR_RETURN(Record record, decode_record(line));
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+Result<void> Client::mktable(const std::string& table,
+                             const std::vector<std::string>& indexed_fields) {
+  std::string fields;
+  for (size_t i = 0; i < indexed_fields.size(); i++) {
+    if (i) fields += ',';
+    fields += indexed_fields[i];
+  }
+  TSS_ASSIGN_OR_RETURN(auto args,
+                       roundtrip("mktable " + table + " " + fields));
+  (void)args;
+  return Result<void>::success();
+}
+
+Result<void> Client::put(const std::string& table, const Record& record) {
+  TSS_ASSIGN_OR_RETURN(auto args,
+                       roundtrip("put " + table + " " + encode_record(record)));
+  (void)args;
+  return Result<void>::success();
+}
+
+Result<Record> Client::get(const std::string& table, const std::string& id) {
+  TSS_ASSIGN_OR_RETURN(auto args,
+                       roundtrip("get " + table + " " + url_encode(id)));
+  if (args.empty()) return Record{};
+  return decode_record(args[0]);
+}
+
+Result<void> Client::del(const std::string& table, const std::string& id) {
+  TSS_ASSIGN_OR_RETURN(auto args,
+                       roundtrip("del " + table + " " + url_encode(id)));
+  (void)args;
+  return Result<void>::success();
+}
+
+Result<std::vector<Record>> Client::query(const std::string& table,
+                                          const std::string& field,
+                                          const std::string& value) {
+  TSS_ASSIGN_OR_RETURN(
+      auto args, roundtrip("query " + table + " " + url_encode(field) + " " +
+                           url_encode(value)));
+  if (args.empty()) return Error(EPROTO, "db: short query reply");
+  auto count = parse_u64(args[0]);
+  if (!count) return Error(EPROTO, "db: bad query count");
+  return read_records(*count);
+}
+
+Result<std::vector<Record>> Client::scan(const std::string& table) {
+  TSS_ASSIGN_OR_RETURN(auto args, roundtrip("scan " + table));
+  if (args.empty()) return Error(EPROTO, "db: short scan reply");
+  auto count = parse_u64(args[0]);
+  if (!count) return Error(EPROTO, "db: bad scan count");
+  return read_records(*count);
+}
+
+Result<uint64_t> Client::count(const std::string& table) {
+  TSS_ASSIGN_OR_RETURN(auto args, roundtrip("count " + table));
+  if (args.empty()) return Error(EPROTO, "db: short count reply");
+  auto n = parse_u64(args[0]);
+  if (!n) return Error(EPROTO, "db: bad count");
+  return *n;
+}
+
+Result<void> Client::sync() {
+  TSS_ASSIGN_OR_RETURN(auto args, roundtrip("sync"));
+  (void)args;
+  return Result<void>::success();
+}
+
+}  // namespace tss::db

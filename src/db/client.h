@@ -1,0 +1,48 @@
+// Database client for the DSDB: thin blocking wrapper over the db protocol.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "net/line_stream.h"
+
+namespace tss::db {
+
+class Client {
+ public:
+  struct Options {
+    Nanos timeout = 30 * kSecond;
+  };
+
+  static Result<Client> connect(const net::Endpoint& server, Options options);
+  static Result<Client> connect(const net::Endpoint& server) {
+    return connect(server, Options{});
+  }
+
+  Client() = default;
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+  bool connected() const { return stream_.valid(); }
+
+  Result<void> mktable(const std::string& table,
+                       const std::vector<std::string>& indexed_fields);
+  Result<void> put(const std::string& table, const Record& record);
+  Result<Record> get(const std::string& table, const std::string& id);
+  Result<void> del(const std::string& table, const std::string& id);
+  Result<std::vector<Record>> query(const std::string& table,
+                                    const std::string& field,
+                                    const std::string& value);
+  Result<std::vector<Record>> scan(const std::string& table);
+  Result<uint64_t> count(const std::string& table);
+  Result<void> sync();
+
+ private:
+  explicit Client(net::LineStream stream) : stream_(std::move(stream)) {}
+  Result<std::vector<std::string>> roundtrip(const std::string& line);
+  Result<std::vector<Record>> read_records(uint64_t count);
+
+  net::LineStream stream_;
+};
+
+}  // namespace tss::db

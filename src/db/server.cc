@@ -1,0 +1,202 @@
+#include "db/server.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "net/line_stream.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace tss::db {
+
+Server::Server(Options options) : options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+Result<void> Server::start() {
+  if (!options_.snapshot_dir.empty()) {
+    TSS_RETURN_IF_ERROR(recover());
+  }
+  return loop_.start(options_.host, options_.port, [this](net::TcpSocket s) {
+    serve_connection(std::move(s));
+  });
+}
+
+void Server::stop() {
+  if (!loop_.running()) return;
+  loop_.stop();
+  if (!options_.snapshot_dir.empty()) {
+    auto rc = snapshot_all();
+    if (!rc.ok()) {
+      TSS_WARN("db") << "snapshot on stop failed: " << rc.error().to_string();
+    }
+  }
+}
+
+Table& Server::table(const std::string& name,
+                     std::vector<std::string> indexed_fields) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    it = tables_
+             .emplace(name, std::make_unique<Table>(std::move(indexed_fields)))
+             .first;
+  }
+  return *it->second;
+}
+
+Result<void> Server::snapshot_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, table] : tables_) {
+    std::string path = options_.snapshot_dir + "/" + name + ".tbl";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Error(EIO, "db: cannot write snapshot " + path);
+    // Indexed fields on the first line so recovery rebuilds the indexes.
+    out << "#index " << join_words(table->indexed_fields()) << "\n";
+    out << table->serialize();
+  }
+  return Result<void>::success();
+}
+
+Result<void> Server::recover() {
+  DIR* dir = ::opendir(options_.snapshot_dir.c_str());
+  if (!dir) return Result<void>::success();  // nothing to recover
+  while (dirent* de = ::readdir(dir)) {
+    std::string name = de->d_name;
+    if (!ends_with(name, ".tbl")) continue;
+    std::ifstream in(options_.snapshot_dir + "/" + name);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string content = buffer.str();
+
+    std::vector<std::string> indexed;
+    std::string body = content;
+    if (starts_with(content, "#index ")) {
+      size_t nl = content.find('\n');
+      indexed = split_words(content.substr(7, nl - 7));
+      body = content.substr(nl + 1);
+    }
+    std::string table_name = name.substr(0, name.size() - 4);
+    Table& t = table(table_name, indexed);
+    auto rc = t.load(body);
+    if (!rc.ok()) {
+      ::closedir(dir);
+      return Error(rc.error().code,
+                   "db: recover " + table_name + ": " + rc.error().message);
+    }
+  }
+  ::closedir(dir);
+  return Result<void>::success();
+}
+
+void Server::serve_connection(net::TcpSocket sock) {
+  net::LineStream stream(std::move(sock), options_.io_timeout);
+  while (true) {
+    auto line = stream.read_line();
+    if (!line.ok()) return;
+    auto w = split_words(line.value());
+    if (w.empty()) continue;
+    const std::string& cmd = w[0];
+
+    auto fail = [&](int code, const std::string& msg) {
+      stream.write_line("error " + std::to_string(code) + " " +
+                        url_encode(msg));
+    };
+    auto lookup_table = [&](const std::string& name) -> Table* {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = tables_.find(name);
+      return it == tables_.end() ? nullptr : it->second.get();
+    };
+
+    if (cmd == "mktable" && w.size() >= 2) {
+      std::vector<std::string> fields;
+      if (w.size() >= 3) fields = split(w[2], ',');
+      table(w[1], fields);
+      stream.write_line("ok");
+    } else if (cmd == "put" && w.size() >= 3) {
+      Table* t = lookup_table(w[1]);
+      if (!t) {
+        fail(ENOENT, "no such table: " + w[1]);
+      } else {
+        auto record = decode_record(w[2]);
+        if (!record.ok()) {
+          fail(record.error().code, record.error().message);
+        } else {
+          std::lock_guard<std::mutex> lock(mutex_);
+          auto rc = t->put(record.value());
+          if (!rc.ok()) {
+            fail(rc.error().code, rc.error().message);
+          } else {
+            stream.write_line("ok");
+          }
+        }
+      }
+    } else if (cmd == "get" && w.size() >= 3) {
+      Table* t = lookup_table(w[1]);
+      if (!t) {
+        fail(ENOENT, "no such table: " + w[1]);
+      } else {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto record = t->get(url_decode(w[2]));
+        if (!record.ok()) {
+          fail(record.error().code, record.error().message);
+        } else {
+          stream.write_line("ok " + encode_record(record.value()));
+        }
+      }
+    } else if (cmd == "del" && w.size() >= 3) {
+      Table* t = lookup_table(w[1]);
+      if (!t) {
+        fail(ENOENT, "no such table: " + w[1]);
+      } else {
+        std::lock_guard<std::mutex> lock(mutex_);
+        t->remove(url_decode(w[2]));
+        stream.write_line("ok");
+      }
+    } else if ((cmd == "query" && w.size() >= 4) ||
+               (cmd == "scan" && w.size() >= 2)) {
+      Table* t = lookup_table(w[1]);
+      if (!t) {
+        fail(ENOENT, "no such table: " + w[1]);
+      } else {
+        std::vector<Record> records;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (cmd == "query") {
+            records = t->query(url_decode(w[2]), url_decode(w[3]));
+          } else {
+            t->scan([&records](const Record& r) { records.push_back(r); });
+          }
+        }
+        stream.write_line("ok " + std::to_string(records.size()));
+        for (const Record& r : records) stream.write_line(encode_record(r));
+      }
+    } else if (cmd == "count" && w.size() >= 2) {
+      Table* t = lookup_table(w[1]);
+      if (!t) {
+        fail(ENOENT, "no such table: " + w[1]);
+      } else {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stream.write_line("ok " + std::to_string(t->size()));
+      }
+    } else if (cmd == "sync") {
+      auto rc = options_.snapshot_dir.empty() ? Result<void>::success()
+                                              : snapshot_all();
+      if (!rc.ok()) {
+        fail(rc.error().code, rc.error().message);
+      } else {
+        stream.write_line("ok");
+      }
+    } else {
+      fail(ENOSYS, "unknown db command: " + cmd);
+    }
+
+    if (!stream.flush().ok()) return;
+  }
+}
+
+}  // namespace tss::db

@@ -1,0 +1,60 @@
+// Database server: tables over TCP, with optional snapshot persistence.
+//
+// Protocol (line-oriented, framing as elsewhere):
+//   mktable <name> <field,field,...>      -> ok        (idempotent)
+//   put <table> <urlenc record>           -> ok
+//   get <table> <id>                      -> ok <urlenc record>
+//   del <table> <id>                      -> ok
+//   query <table> <field> <value>         -> ok <count>  + count record lines
+//   scan <table>                          -> ok <count>  + count record lines
+//   count <table>                         -> ok <n>
+//   sync                                  -> ok        (snapshot to disk)
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "db/table.h"
+#include "net/server_loop.h"
+
+namespace tss::db {
+
+class Server {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    // When non-empty, tables snapshot to "<dir>/<table>.tbl" on sync and on
+    // stop, and are recovered from there on start.
+    std::string snapshot_dir;
+    Nanos io_timeout = 30 * kSecond;
+  };
+
+  explicit Server(Options options);
+  ~Server();
+
+  Result<void> start();
+  void stop();
+  uint16_t port() const { return loop_.port(); }
+  net::Endpoint endpoint() const {
+    return net::Endpoint{options_.host, loop_.port()};
+  }
+
+  // In-process access (the sim drivers and tests use this directly).
+  Table& table(const std::string& name,
+               std::vector<std::string> indexed_fields = {});
+  Result<void> snapshot_all();
+
+ private:
+  void serve_connection(net::TcpSocket sock);
+  Result<void> recover();
+
+  Options options_;
+  net::ServerLoop loop_;
+  std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace tss::db

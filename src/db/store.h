@@ -1,0 +1,85 @@
+// Store: uniform record access to one table, in-process or remote.
+//
+// The DSDB's clients (GEMS above all) speak this interface, so the same
+// auditor/replicator logic runs against an embedded Table (tests, single-
+// process deployments) or against a db::Server across the network — the
+// "database server" of §5's DSDB.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/client.h"
+#include "db/table.h"
+
+namespace tss::db {
+
+class Store {
+ public:
+  virtual ~Store() = default;
+  virtual Result<void> put(const Record& record) = 0;
+  virtual Result<Record> get(const std::string& id) = 0;
+  virtual Result<void> remove(const std::string& id) = 0;
+  virtual Result<std::vector<Record>> query(const std::string& field,
+                                            const std::string& value) = 0;
+  virtual Result<std::vector<Record>> scan() = 0;
+};
+
+// In-process store over a borrowed Table.
+class TableStore final : public Store {
+ public:
+  explicit TableStore(Table* table) : table_(table) {}
+
+  Result<void> put(const Record& record) override {
+    return table_->put(record);
+  }
+  Result<Record> get(const std::string& id) override {
+    return table_->get(id);
+  }
+  Result<void> remove(const std::string& id) override {
+    table_->remove(id);
+    return Result<void>::success();
+  }
+  Result<std::vector<Record>> query(const std::string& field,
+                                    const std::string& value) override {
+    return table_->query(field, value);
+  }
+  Result<std::vector<Record>> scan() override {
+    std::vector<Record> out;
+    table_->scan([&out](const Record& r) { out.push_back(r); });
+    return out;
+  }
+
+ private:
+  Table* table_;
+};
+
+// Remote store over a borrowed db::Client connection and table name.
+class RemoteStore final : public Store {
+ public:
+  RemoteStore(Client* client, std::string table)
+      : client_(client), table_(std::move(table)) {}
+
+  Result<void> put(const Record& record) override {
+    return client_->put(table_, record);
+  }
+  Result<Record> get(const std::string& id) override {
+    return client_->get(table_, id);
+  }
+  Result<void> remove(const std::string& id) override {
+    return client_->del(table_, id);
+  }
+  Result<std::vector<Record>> query(const std::string& field,
+                                    const std::string& value) override {
+    return client_->query(table_, field, value);
+  }
+  Result<std::vector<Record>> scan() override {
+    return client_->scan(table_);
+  }
+
+ private:
+  Client* client_;
+  std::string table_;
+};
+
+}  // namespace tss::db

@@ -1,0 +1,144 @@
+#include "db/table.h"
+
+#include "util/strings.h"
+
+namespace tss::db {
+
+std::string encode_record(const Record& record) {
+  std::string out;
+  for (const auto& [key, value] : record) {
+    if (!out.empty()) out += '&';
+    out += url_encode(key);
+    out += '=';
+    out += url_encode(value);
+  }
+  return out;
+}
+
+Result<Record> decode_record(const std::string& token) {
+  Record record;
+  if (token.empty()) return record;
+  for (const std::string& pair : split(token, '&')) {
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Error(EINVAL, "db: malformed record field: " + pair);
+    }
+    record[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+  }
+  return record;
+}
+
+Table::Table(std::vector<std::string> indexed_fields)
+    : indexed_(std::move(indexed_fields)) {}
+
+void Table::index_insert(const Record& record) {
+  auto id_it = record.find(kIdField);
+  for (const std::string& field : indexed_) {
+    auto it = record.find(field);
+    if (it != record.end()) {
+      index_[field][it->second].insert(id_it->second);
+    }
+  }
+}
+
+void Table::index_remove(const Record& record) {
+  auto id_it = record.find(kIdField);
+  for (const std::string& field : indexed_) {
+    auto it = record.find(field);
+    if (it != record.end()) {
+      auto& bucket = index_[field][it->second];
+      bucket.erase(id_it->second);
+      if (bucket.empty()) index_[field].erase(it->second);
+    }
+  }
+}
+
+Result<void> Table::put(const Record& record) {
+  auto id_it = record.find(kIdField);
+  if (id_it == record.end() || id_it->second.empty()) {
+    return Error(EINVAL, "db: record missing id");
+  }
+  auto existing = records_.find(id_it->second);
+  if (existing != records_.end()) {
+    index_remove(existing->second);
+  }
+  records_[id_it->second] = record;
+  index_insert(record);
+  return Result<void>::success();
+}
+
+Result<Record> Table::get(const std::string& id) const {
+  auto it = records_.find(id);
+  if (it == records_.end()) return Error(ENOENT, "db: no record: " + id);
+  return it->second;
+}
+
+void Table::remove(const std::string& id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) return;
+  index_remove(it->second);
+  records_.erase(it);
+}
+
+std::vector<Record> Table::query(const std::string& field,
+                                 const std::string& value) const {
+  std::vector<Record> out;
+  auto field_index = index_.find(field);
+  bool indexed =
+      std::find(indexed_.begin(), indexed_.end(), field) != indexed_.end();
+  if (indexed) {
+    if (field_index != index_.end()) {
+      auto bucket = field_index->second.find(value);
+      if (bucket != field_index->second.end()) {
+        for (const std::string& id : bucket->second) {
+          out.push_back(records_.at(id));
+        }
+      }
+    }
+    return out;
+  }
+  for (const auto& [id, record] : records_) {
+    auto it = record.find(field);
+    if (it != record.end() && it->second == value) out.push_back(record);
+  }
+  return out;
+}
+
+void Table::scan(const std::function<void(const Record&)>& visit) const {
+  for (const auto& [id, record] : records_) visit(record);
+}
+
+std::vector<std::string> Table::ids() const {
+  std::vector<std::string> out;
+  out.reserve(records_.size());
+  for (const auto& [id, record] : records_) out.push_back(id);
+  return out;
+}
+
+std::string Table::serialize() const {
+  std::string out;
+  for (const auto& [id, record] : records_) {
+    out += encode_record(record);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<void> Table::load(const std::string& snapshot) {
+  std::map<std::string, Record> loaded;
+  for (const std::string& line : split(snapshot, '\n')) {
+    if (trim(line).empty()) continue;
+    TSS_ASSIGN_OR_RETURN(Record record, decode_record(std::string(trim(line))));
+    auto id_it = record.find(kIdField);
+    if (id_it == record.end()) {
+      return Error(EINVAL, "db: snapshot record missing id");
+    }
+    loaded[id_it->second] = std::move(record);
+  }
+  records_ = std::move(loaded);
+  index_.clear();
+  for (const auto& [id, record] : records_) index_insert(record);
+  return Result<void>::success();
+}
+
+}  // namespace tss::db

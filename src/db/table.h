@@ -1,0 +1,72 @@
+// Embedded table store: the database substrate under the DSDB/GEMS
+// abstraction.
+//
+// "The DSDB is similar to the DSFS, except that a database server is used to
+// store file metadata as well as pointers to files. A user queries the
+// database to yield the names of matching files, and then accesses them
+// directly with the adapter." (§5)
+//
+// A Table holds records (string field -> string value maps) keyed by an "id"
+// field, with equality-query secondary indexes on declared fields. State can
+// be snapshotted to and recovered from a text stream — which is also what
+// makes the §5 claim "the database could even be recovered automatically by
+// rescanning the existing file data" testable here.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tss::db {
+
+// A record: flat string fields. "id" is the primary key.
+using Record = std::map<std::string, std::string>;
+
+inline constexpr const char* kIdField = "id";
+
+// Wire/snapshot form: "k=v&k=v" with percent-encoded keys and values.
+std::string encode_record(const Record& record);
+Result<Record> decode_record(const std::string& token);
+
+class Table {
+ public:
+  // `indexed_fields` get equality-lookup secondary indexes.
+  explicit Table(std::vector<std::string> indexed_fields = {});
+
+  // Inserts or replaces the record with the same id. Requires an id field.
+  Result<void> put(const Record& record);
+  Result<Record> get(const std::string& id) const;
+  // Removing a missing id is not an error (idempotent).
+  void remove(const std::string& id);
+
+  // All records whose `field` equals `value`. O(log n + matches) for
+  // indexed fields; full scan otherwise.
+  std::vector<Record> query(const std::string& field,
+                            const std::string& value) const;
+
+  // Visits every record; the visitor may not mutate the table.
+  void scan(const std::function<void(const Record&)>& visit) const;
+  std::vector<std::string> ids() const;
+
+  size_t size() const { return records_.size(); }
+  const std::vector<std::string>& indexed_fields() const { return indexed_; }
+
+  // Snapshot round trip: one encoded record per line.
+  std::string serialize() const;
+  Result<void> load(const std::string& snapshot);  // replaces contents
+
+ private:
+  void index_insert(const Record& record);
+  void index_remove(const Record& record);
+
+  std::vector<std::string> indexed_;
+  std::map<std::string, Record> records_;  // id -> record
+  // field -> (value -> ids)
+  std::map<std::string, std::map<std::string, std::set<std::string>>> index_;
+};
+
+}  // namespace tss::db

@@ -1,0 +1,345 @@
+#include "fs/cfs.h"
+
+#include "util/logging.h"
+#include "util/path.h"
+
+namespace tss::fs {
+
+namespace {
+constexpr size_t kIoChunk = 1 << 20;  // segment large pread/pwrite requests
+}
+
+// An open CFS file. All operations funnel through the owning CfsFs so that
+// reconnection can atomically swap the underlying remote descriptor.
+class CfsFile final : public File {
+ public:
+  CfsFile(CfsFs& fs, uint64_t id, CfsFs::OpenState* state)
+      : fs_(fs), id_(id), state_(state) {}
+  ~CfsFile() override { (void)close(); }
+
+  Result<size_t> pread(void* data, size_t size, int64_t offset) override {
+    char* out = static_cast<char*>(data);
+    size_t done = 0;
+    while (done < size) {
+      size_t chunk = std::min(size - done, kIoChunk);
+      TSS_ASSIGN_OR_RETURN(size_t n, rpc_pread(out + done, chunk,
+                                               offset + (int64_t)done));
+      done += n;
+      if (n < chunk) break;  // EOF
+    }
+    return done;
+  }
+
+  Result<size_t> pwrite(const void* data, size_t size,
+                        int64_t offset) override {
+    const char* in = static_cast<const char*>(data);
+    size_t done = 0;
+    while (done < size) {
+      size_t chunk = std::min(size - done, kIoChunk);
+      TSS_ASSIGN_OR_RETURN(size_t n, rpc_pwrite(in + done, chunk,
+                                                offset + (int64_t)done));
+      if (n == 0) return Error(EIO, "short remote write");
+      done += n;
+    }
+    return done;
+  }
+
+  Result<void> fsync() override {
+    if (!state_) return Error(EBADF, "file closed");
+    return fs_.with_client<void>([this](chirp::Client& c) -> Result<void> {
+      if (state_->stale) return Error(ESTALE, "stale file handle");
+      return c.fsync(state_->remote_fd);
+    });
+  }
+
+  Result<StatInfo> fstat() override {
+    if (!state_) return Error(EBADF, "file closed");
+    return fs_.with_client<StatInfo>(
+        [this](chirp::Client& c) -> Result<StatInfo> {
+          if (state_->stale) return Error(ESTALE, "stale file handle");
+          return c.fstat(state_->remote_fd);
+        });
+  }
+
+  Result<void> close() override {
+    if (!state_) return Result<void>::success();
+    CfsFs::OpenState* state = state_;
+    state_ = nullptr;
+    auto rc = fs_.with_client<void>(
+        [state](chirp::Client& c) -> Result<void> {
+          if (state->stale) return Result<void>::success();
+          return c.close_fd(state->remote_fd);
+        });
+    {
+      std::lock_guard<std::mutex> lock(fs_.mutex_);
+      fs_.open_files_.erase(id_);
+    }
+    delete state;
+    // A close that failed because the connection is gone is still a close:
+    // the server already dropped the descriptor.
+    if (!rc.ok() && CfsFs::is_transport_error(rc.error().code)) {
+      return Result<void>::success();
+    }
+    return rc;
+  }
+
+ private:
+  Result<size_t> rpc_pread(void* data, size_t size, int64_t offset) {
+    if (!state_) return Error(EBADF, "file closed");
+    return fs_.with_client<size_t>(
+        [this, data, size, offset](chirp::Client& c) -> Result<size_t> {
+          if (state_->stale) return Error(ESTALE, "stale file handle");
+          return c.pread(state_->remote_fd, data, size, offset);
+        });
+  }
+  Result<size_t> rpc_pwrite(const void* data, size_t size, int64_t offset) {
+    if (!state_) return Error(EBADF, "file closed");
+    return fs_.with_client<size_t>(
+        [this, data, size, offset](chirp::Client& c) -> Result<size_t> {
+          if (state_->stale) return Error(ESTALE, "stale file handle");
+          return c.pwrite(state_->remote_fd, data, size, offset);
+        });
+  }
+
+  CfsFs& fs_;
+  uint64_t id_;
+  CfsFs::OpenState* state_;
+};
+
+CfsFs::CfsFs(ConnectFn connect, Options options, Clock* clock)
+    : connect_(std::move(connect)),
+      options_(options),
+      clock_(clock ? clock : &RealClock::instance()) {}
+
+CfsFs::~CfsFs() = default;
+
+bool CfsFs::is_transport_error(int code) {
+  return code == EPIPE || code == ECONNRESET || code == ETIMEDOUT ||
+         code == ECONNREFUSED || code == EHOSTUNREACH || code == ENETDOWN ||
+         code == ENETUNREACH || code == EBADF;
+}
+
+bool CfsFs::connected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_.has_value() && client_->connected();
+}
+
+Result<void> CfsFs::ensure_connected_locked() {
+  if (client_.has_value() && client_->connected()) {
+    return Result<void>::success();
+  }
+  return reconnect_locked();
+}
+
+Result<void> CfsFs::reconnect_locked() {
+  client_.reset();
+  Nanos delay = options_.retry.base_delay;
+  Error last(EHOSTUNREACH, "never attempted");
+  for (int attempt = 0; attempt < options_.retry.max_attempts; attempt++) {
+    if (attempt > 0) {
+      // "attempting to reconnect to the server with an exponentially
+      // increasing delay" (§6).
+      clock_->sleep_for(delay);
+      delay = std::min(delay * 2, options_.retry.max_delay);
+    }
+    auto client = connect_();
+    if (!client.ok()) {
+      last = std::move(client).take_error();
+      continue;
+    }
+    client_ = std::move(client).value();
+    reconnects_++;
+
+    // Re-open every registered file and verify identity via inode: "it uses
+    // stat to verify that the file has the same inode number as before. If
+    // it does not, ... the client receives a 'stale file handle' error" (§6).
+    bool transport_failed = false;
+    for (auto& [id, state] : open_files_) {
+      if (state->stale) continue;
+      auto fd = client_->open(state->path, state->reopen_flags, state->mode);
+      if (!fd.ok()) {
+        if (is_transport_error(fd.error().code)) {
+          transport_failed = true;
+          break;
+        }
+        state->stale = true;  // deleted while we were gone
+        continue;
+      }
+      auto info = client_->fstat(fd.value());
+      if (!info.ok()) {
+        if (is_transport_error(info.error().code)) {
+          transport_failed = true;
+          break;
+        }
+        state->stale = true;
+        continue;
+      }
+      if (info.value().inode != state->inode) {
+        // Renamed or replaced between open and reconnect.
+        (void)client_->close_fd(fd.value());
+        state->stale = true;
+        continue;
+      }
+      state->remote_fd = fd.value();
+    }
+    if (transport_failed) {
+      client_.reset();
+      last = Error(ECONNRESET, "connection lost during file re-open");
+      continue;
+    }
+    return Result<void>::success();
+  }
+  return last;
+}
+
+template <typename T>
+Result<T> CfsFs::with_client(
+    const std::function<Result<T>(chirp::Client&)>& op) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // One reconnect incident per call: establish, run, and if the connection
+  // died mid-operation, re-establish once and retry.
+  for (int round = 0; round < 2; round++) {
+    TSS_RETURN_IF_ERROR(ensure_connected_locked());
+    auto result = op(*client_);
+    if (result.ok() || !is_transport_error(result.code())) {
+      return result;
+    }
+    TSS_DEBUG("cfs") << "transport error (" << result.code()
+                     << "), reconnecting";
+    client_.reset();
+  }
+  return Error(ECONNRESET, "connection lost and retry failed");
+}
+
+Result<std::unique_ptr<File>> CfsFs::open(const std::string& p,
+                                          const OpenFlags& flags,
+                                          uint32_t mode) {
+  std::string canonical = path::sanitize(p);
+  OpenFlags effective = flags;
+  if (options_.sync_writes) effective.sync = true;
+
+  OpenFlags reopen = effective;
+  reopen.create = false;
+  reopen.truncate = false;
+  reopen.exclusive = false;
+
+  struct OpenResult {
+    int64_t fd;
+    uint64_t inode;
+  };
+  auto opened = with_client<OpenResult>(
+      [&](chirp::Client& c) -> Result<OpenResult> {
+        TSS_ASSIGN_OR_RETURN(int64_t fd, c.open(canonical, effective, mode));
+        auto info = c.fstat(fd);
+        if (!info.ok()) return std::move(info).take_error();
+        return OpenResult{fd, info.value().inode};
+      });
+  if (!opened.ok()) return std::move(opened).take_error();
+
+  auto* state = new OpenState{canonical, reopen, mode, opened.value().fd,
+                              opened.value().inode, false};
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_file_id_++;
+    open_files_[id] = state;
+  }
+  return std::unique_ptr<File>(new CfsFile(*this, id, state));
+}
+
+Result<StatInfo> CfsFs::stat(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  return with_client<StatInfo>(
+      [&](chirp::Client& c) { return c.stat(canonical); });
+}
+
+Result<void> CfsFs::unlink(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  return with_client<void>(
+      [&](chirp::Client& c) { return c.unlink(canonical); });
+}
+
+Result<void> CfsFs::rename(const std::string& from, const std::string& to) {
+  std::string f = path::sanitize(from), t = path::sanitize(to);
+  return with_client<void>([&](chirp::Client& c) { return c.rename(f, t); });
+}
+
+Result<void> CfsFs::mkdir(const std::string& p, uint32_t mode) {
+  std::string canonical = path::sanitize(p);
+  return with_client<void>(
+      [&](chirp::Client& c) { return c.mkdir(canonical, mode); });
+}
+
+Result<void> CfsFs::rmdir(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  return with_client<void>(
+      [&](chirp::Client& c) { return c.rmdir(canonical); });
+}
+
+Result<void> CfsFs::truncate(const std::string& p, uint64_t size) {
+  std::string canonical = path::sanitize(p);
+  return with_client<void>(
+      [&](chirp::Client& c) { return c.truncate(canonical, size); });
+}
+
+Result<std::vector<DirEntry>> CfsFs::readdir(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  return with_client<std::vector<DirEntry>>(
+      [&](chirp::Client& c) { return c.getdir(canonical); });
+}
+
+Result<std::string> CfsFs::read_file(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  return with_client<std::string>(
+      [&](chirp::Client& c) { return c.getfile(canonical); });
+}
+
+Result<void> CfsFs::write_file(const std::string& p, std::string_view data,
+                               uint32_t mode) {
+  std::string canonical = path::sanitize(p);
+  return with_client<void>(
+      [&](chirp::Client& c) { return c.putfile(canonical, data, mode); });
+}
+
+Result<std::string> CfsFs::getacl(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  return with_client<std::string>(
+      [&](chirp::Client& c) { return c.getacl(canonical); });
+}
+
+Result<void> CfsFs::setacl(const std::string& p, const std::string& subject,
+                           const std::string& rights) {
+  std::string canonical = path::sanitize(p);
+  return with_client<void>(
+      [&](chirp::Client& c) { return c.setacl(canonical, subject, rights); });
+}
+
+Result<std::string> CfsFs::whoami() {
+  return with_client<std::string>([](chirp::Client& c) { return c.whoami(); });
+}
+
+Result<std::pair<uint64_t, uint64_t>> CfsFs::statfs() {
+  return with_client<std::pair<uint64_t, uint64_t>>(
+      [](chirp::Client& c) { return c.statfs(); });
+}
+
+CfsFs::ConnectFn chirp_connector(
+    net::Endpoint server,
+    std::vector<std::shared_ptr<auth::ClientCredential>> credentials,
+    Nanos timeout) {
+  return [server, credentials = std::move(credentials),
+          timeout]() -> Result<chirp::Client> {
+    chirp::Client::Options options;
+    options.timeout = timeout;
+    TSS_ASSIGN_OR_RETURN(chirp::Client client,
+                         chirp::Client::connect(server, options));
+    std::vector<auth::ClientCredential*> raw;
+    raw.reserve(credentials.size());
+    for (const auto& c : credentials) raw.push_back(c.get());
+    auto subject = client.authenticate_any(raw);
+    if (!subject.ok()) return std::move(subject).take_error();
+    return client;
+  };
+}
+
+}  // namespace tss::fs

@@ -1,0 +1,126 @@
+// CfsFs: the paper's *central filesystem* (CFS) abstraction.
+//
+// "The user simply accesses files and directories on a single file server
+// without translation. ... CFS is roughly analogous to NFS, except that it
+// provides grid security and Unix-like consistency by dispensing with
+// buffering and caching." (§5)
+//
+// No client-side caching of any kind: every operation is one or more Chirp
+// RPCs issued in order (the Direct Access principle of §3).
+//
+// Recovery semantics follow §6 exactly: on a lost connection the filesystem
+// reconnects with exponentially increasing delay (bounded by the policy's
+// retry limit); open files are transparently re-opened and their inode
+// numbers verified with stat — a changed inode means the file was renamed or
+// deleted behind our back, and the caller receives a "stale file handle"
+// error (ESTALE) as in NFS.
+//
+// The O_SYNC pass-through switch of §6 is the `sync_writes` option: when
+// set, the sync flag is appended to every open.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "chirp/client.h"
+#include "fs/filesystem.h"
+#include "util/clock.h"
+
+namespace tss::fs {
+
+struct RetryPolicy {
+  int max_attempts = 5;                  // reconnect attempts per incident
+  Nanos base_delay = 50 * kMillisecond;  // doubled after each failure
+  Nanos max_delay = 5 * kSecond;
+};
+
+class CfsFs final : public FileSystem {
+ public:
+  // Connects *and authenticates*; called initially and on every reconnect.
+  using ConnectFn = std::function<Result<chirp::Client>()>;
+
+  struct Options {
+    RetryPolicy retry;
+    bool sync_writes = false;  // §6: transparently append O_SYNC to opens
+  };
+
+  CfsFs(ConnectFn connect, Options options, Clock* clock = nullptr);
+  CfsFs(ConnectFn connect) : CfsFs(std::move(connect), Options{}) {}
+  ~CfsFs() override;
+
+  Result<std::unique_ptr<File>> open(const std::string& path,
+                                     const OpenFlags& flags,
+                                     uint32_t mode) override;
+  using FileSystem::open;
+  Result<StatInfo> stat(const std::string& path) override;
+  Result<void> unlink(const std::string& path) override;
+  Result<void> rename(const std::string& from, const std::string& to) override;
+  Result<void> mkdir(const std::string& path, uint32_t mode) override;
+  using FileSystem::mkdir;
+  Result<void> rmdir(const std::string& path) override;
+  Result<void> truncate(const std::string& path, uint64_t size) override;
+  Result<std::vector<DirEntry>> readdir(const std::string& path) override;
+
+  // Streaming overrides: one getfile/putfile RPC instead of a pread loop.
+  Result<std::string> read_file(const std::string& path) override;
+  Result<void> write_file(const std::string& path, std::string_view data,
+                          uint32_t mode) override;
+  using FileSystem::write_file;
+
+  // Management passthroughs.
+  Result<std::string> getacl(const std::string& path);
+  Result<void> setacl(const std::string& path, const std::string& subject,
+                      const std::string& rights);
+  Result<std::string> whoami();
+  Result<std::pair<uint64_t, uint64_t>> statfs();
+
+  // Observability for tests and the experiments.
+  uint64_t reconnect_count() const { return reconnects_; }
+  bool connected();
+
+ private:
+  friend class CfsFile;
+
+  struct OpenState {
+    std::string path;
+    OpenFlags reopen_flags;  // original flags minus create/truncate/exclusive
+    uint32_t mode = 0644;
+    int64_t remote_fd = -1;
+    uint64_t inode = 0;
+    bool stale = false;
+  };
+
+  // Runs `op` against a live client, transparently reconnecting (and
+  // re-opening files) on transport errors. `op` may be retried; it must be
+  // idempotent or the caller must accept at-least-once semantics (standard
+  // for stateless-protocol recovery, and why Chirp I/O uses explicit
+  // offsets).
+  template <typename T>
+  Result<T> with_client(const std::function<Result<T>(chirp::Client&)>& op);
+
+  Result<void> ensure_connected_locked();
+  // Re-establishes the connection with exponential backoff and re-opens
+  // every registered file, marking inode mismatches stale.
+  Result<void> reconnect_locked();
+  static bool is_transport_error(int code);
+
+  ConnectFn connect_;
+  Options options_;
+  Clock* clock_;
+  std::mutex mutex_;
+  std::optional<chirp::Client> client_;
+  std::map<uint64_t, OpenState*> open_files_;
+  uint64_t next_file_id_ = 1;
+  uint64_t reconnects_ = 0;
+};
+
+// Convenience ConnectFn for the common case: connect to `server` and
+// authenticate with each credential in order.
+CfsFs::ConnectFn chirp_connector(
+    net::Endpoint server,
+    std::vector<std::shared_ptr<auth::ClientCredential>> credentials,
+    Nanos timeout = 30 * kSecond);
+
+}  // namespace tss::fs

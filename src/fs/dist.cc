@@ -1,0 +1,224 @@
+#include "fs/dist.h"
+
+#include <unistd.h>
+
+#include <ctime>
+
+#include "util/path.h"
+
+namespace tss::fs {
+
+DistFs::DistFs(FileSystem* metadata, std::map<std::string, FileSystem*> servers,
+               Options options)
+    : metadata_(metadata),
+      servers_(std::move(servers)),
+      options_(std::move(options)),
+      rng_(options_.name_seed
+               ? options_.name_seed
+               : static_cast<uint64_t>(::time(nullptr)) * 2654435761ULL ^
+                     static_cast<uint64_t>(::getpid())) {
+  for (const auto& [name, fs] : servers_) server_names_.push_back(name);
+  if (options_.client_id.empty()) {
+    options_.client_id = "c" + std::to_string(::getpid());
+  }
+  options_.volume = path::sanitize(options_.volume);
+}
+
+Result<void> DistFs::fault(const std::string& point) {
+  if (fault_hook_) return fault_hook_(point);
+  return Result<void>::success();
+}
+
+FileSystem* DistFs::server_for(const std::string& name) {
+  auto it = servers_.find(name);
+  return it == servers_.end() ? nullptr : it->second;
+}
+
+std::string DistFs::generate_data_name() {
+  // "a unique data file name is generated from the client's IP address,
+  // current time, and a random number" (§5).
+  return "file-" + options_.client_id + "-" +
+         std::to_string(::time(nullptr)) + "-" + rng_.hex(12);
+}
+
+Result<void> DistFs::format() {
+  for (const auto& [name, fs] : servers_) {
+    auto rc = mkdir_recursive(*fs, options_.volume);
+    if (!rc.ok()) {
+      return Error(rc.error().code,
+                   "format " + name + ": " + rc.error().message);
+    }
+  }
+  return Result<void>::success();
+}
+
+Result<std::unique_ptr<File>> DistFs::open(const std::string& p,
+                                           const OpenFlags& flags,
+                                           uint32_t mode) {
+  std::string canonical = path::sanitize(p);
+
+  // Fast path: the stub already exists.
+  auto stub_text = metadata_->read_file(canonical);
+  if (stub_text.ok()) {
+    if (flags.create && flags.exclusive) {
+      return Error(EEXIST, "file exists: " + canonical);
+    }
+    TSS_ASSIGN_OR_RETURN(Stub stub, Stub::parse(stub_text.value()));
+    FileSystem* server = server_for(stub.server);
+    if (!server) {
+      return Error(EHOSTUNREACH, "unknown data server: " + stub.server);
+    }
+    OpenFlags data_flags = flags;
+    data_flags.create = false;     // data file identity is fixed by the stub
+    data_flags.exclusive = false;
+    auto file = server->open(stub.data_path, data_flags, mode);
+    if (!file.ok() && file.error().code == ENOENT) {
+      // Dangling stub from a crash between steps 2 and 3: "an attempt to
+      // open such a file yields 'file not found'" (§5).
+      return Error(ENOENT, "dangling stub (no data file): " + canonical);
+    }
+    return file;
+  }
+  if (stub_text.error().code != ENOENT) {
+    return std::move(stub_text).take_error();
+  }
+  if (!flags.create) {
+    return Error(ENOENT, "no such file: " + canonical);
+  }
+  if (server_names_.empty()) {
+    return Error(ENODEV, "distfs has no data servers");
+  }
+
+  // Step 1: choose a server and generate a unique data file name.
+  const std::string& server_name =
+      server_names_[rng_.below(server_names_.size())];
+  FileSystem* server = servers_[server_name];
+  Stub stub{server_name, path::join(options_.volume, generate_data_name())};
+
+  // Step 2: create the stub entry with an exclusive open, so a name
+  // collision between two processes aborts file creation.
+  auto stub_file =
+      metadata_->open(canonical, OpenFlags::parse("wcx").value(), 0644);
+  if (!stub_file.ok()) {
+    if (stub_file.error().code == EEXIST) {
+      if (flags.exclusive) return Error(EEXIST, "file exists: " + canonical);
+      // Lost the race: another client created it; open theirs.
+      OpenFlags retry = flags;
+      retry.create = false;
+      return open(canonical, retry, mode);
+    }
+    return std::move(stub_file).take_error();
+  }
+  std::string text = stub.serialize();
+  auto wrote = stub_file.value()->pwrite(text.data(), text.size(), 0);
+  if (!wrote.ok()) return std::move(wrote).take_error();
+  TSS_RETURN_IF_ERROR(stub_file.value()->close());
+
+  // Crash injection point: stub exists, data file does not.
+  TSS_RETURN_IF_ERROR(fault("stub-created"));
+
+  // Step 3: create the data file.
+  OpenFlags data_flags = flags;
+  data_flags.create = true;
+  data_flags.exclusive = false;
+  return server->open(stub.data_path, data_flags, mode);
+}
+
+Result<Stub> DistFs::locate(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  TSS_ASSIGN_OR_RETURN(std::string text, metadata_->read_file(canonical));
+  return Stub::parse(text);
+}
+
+Result<StatInfo> DistFs::stat(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  // Read the stub straight away (one metadata round trip); a directory
+  // answers EISDIR and is stat'ed directly. Files then cost one more round
+  // trip to the data server: "DSFS has slower stat and open calls because
+  // stub file lookups require multiple round trips" (Fig 4) — twice the
+  // CFS latency, not three times.
+  auto text = metadata_->read_file(canonical);
+  if (!text.ok()) {
+    if (text.error().code == EISDIR) return metadata_->stat(canonical);
+    return std::move(text).take_error();
+  }
+  TSS_ASSIGN_OR_RETURN(Stub stub, Stub::parse(text.value()));
+  FileSystem* server = server_for(stub.server);
+  if (!server) {
+    return Error(EHOSTUNREACH, "unknown data server: " + stub.server);
+  }
+  auto info = server->stat(stub.data_path);
+  if (!info.ok() && info.error().code == ENOENT) {
+    return Error(ENOENT, "dangling stub: " + canonical);
+  }
+  return info;
+}
+
+Result<void> DistFs::unlink(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  TSS_ASSIGN_OR_RETURN(std::string text, metadata_->read_file(canonical));
+  TSS_ASSIGN_OR_RETURN(Stub stub, Stub::parse(text));
+  FileSystem* server = server_for(stub.server);
+  if (server) {
+    // "deletion is performed by removing the data file, then the stub
+    // file" (§5) — the failure mode is again a dangling stub, never an
+    // unreferenced data file.
+    auto rc = server->unlink(stub.data_path);
+    if (!rc.ok() && rc.error().code != ENOENT) return rc;
+  }
+  TSS_RETURN_IF_ERROR(fault("data-deleted"));
+  return metadata_->unlink(canonical);
+}
+
+Result<void> DistFs::rename(const std::string& from, const std::string& to) {
+  std::string source = path::sanitize(from);
+  std::string target = path::sanitize(to);
+  // Renaming a file onto itself is a no-op; in particular it must not
+  // treat its own data file as a replaced target's garbage.
+  if (source == target) {
+    TSS_RETURN_IF_ERROR(metadata_->stat(source));
+    return Result<void>::success();
+  }
+  // The source must exist before we touch anything at the target.
+  TSS_RETURN_IF_ERROR(metadata_->stat(source));
+  // A rename over an existing file replaces its stub; that file's data
+  // must be removed first or it becomes exactly the "unreferenced garbage"
+  // the §5 ordering exists to prevent. Data before stub, as in unlink
+  // (a crash between the two steps leaves a dangling target stub — the
+  // §5-sanctioned failure mode).
+  auto old_stub_text = metadata_->read_file(target);
+  if (old_stub_text.ok()) {
+    auto old_stub = Stub::parse(old_stub_text.value());
+    if (old_stub.ok()) {
+      if (FileSystem* server = server_for(old_stub.value().server)) {
+        auto rc = server->unlink(old_stub.value().data_path);
+        if (!rc.ok() && rc.error().code != ENOENT) return rc;
+      }
+    }
+  }
+  // Name-only from here: the stub moves; the source's data file stays put.
+  return metadata_->rename(source, target);
+}
+
+Result<void> DistFs::mkdir(const std::string& p, uint32_t mode) {
+  return metadata_->mkdir(p, mode);
+}
+
+Result<void> DistFs::rmdir(const std::string& p) { return metadata_->rmdir(p); }
+
+Result<void> DistFs::truncate(const std::string& p, uint64_t size) {
+  TSS_ASSIGN_OR_RETURN(Stub stub, locate(p));
+  FileSystem* server = server_for(stub.server);
+  if (!server) {
+    return Error(EHOSTUNREACH, "unknown data server: " + stub.server);
+  }
+  return server->truncate(stub.data_path, size);
+}
+
+Result<std::vector<DirEntry>> DistFs::readdir(const std::string& p) {
+  // Listing is a pure directory-tree operation. Entry sizes for files are
+  // stub sizes; true sizes require stat (which contacts the data server).
+  return metadata_->readdir(p);
+}
+
+}  // namespace tss::fs

@@ -1,0 +1,76 @@
+#include "fs/filesystem.h"
+
+#include "util/path.h"
+
+namespace tss::fs {
+
+Result<std::string> FileSystem::read_file(const std::string& p) {
+  TSS_ASSIGN_OR_RETURN(auto file, open(p, OpenFlags::parse("r").value()));
+  std::string data;
+  char buf[64 * 1024];
+  int64_t offset = 0;
+  while (true) {
+    TSS_ASSIGN_OR_RETURN(size_t n, file->pread(buf, sizeof buf, offset));
+    if (n == 0) break;
+    data.append(buf, n);
+    offset += static_cast<int64_t>(n);
+  }
+  return data;
+}
+
+Result<void> FileSystem::write_file(const std::string& p,
+                                    std::string_view data, uint32_t mode) {
+  TSS_ASSIGN_OR_RETURN(auto file,
+                       open(p, OpenFlags::parse("wct").value(), mode));
+  size_t written = 0;
+  while (written < data.size()) {
+    TSS_ASSIGN_OR_RETURN(
+        size_t n, file->pwrite(data.data() + written, data.size() - written,
+                               static_cast<int64_t>(written)));
+    if (n == 0) return Error(EIO, "short write");
+    written += n;
+  }
+  return file->close();
+}
+
+Result<void> mkdir_recursive(FileSystem& fs, const std::string& p,
+                             uint32_t mode) {
+  std::string canonical = path::sanitize(p);
+  std::string current = "/";
+  for (const std::string& component : path::components(canonical)) {
+    current = path::join(current, component);
+    auto rc = fs.mkdir(current, mode);
+    if (!rc.ok() && rc.error().code != EEXIST) {
+      return rc;
+    }
+  }
+  return Result<void>::success();
+}
+
+Result<uint64_t> copy_file(FileSystem& src, const std::string& src_path,
+                           FileSystem& dst, const std::string& dst_path,
+                           size_t chunk_size) {
+  TSS_ASSIGN_OR_RETURN(auto in,
+                       src.open(src_path, OpenFlags::parse("r").value()));
+  TSS_ASSIGN_OR_RETURN(
+      auto out, dst.open(dst_path, OpenFlags::parse("wct").value(), 0644));
+  std::string buf(chunk_size, '\0');
+  int64_t offset = 0;
+  while (true) {
+    TSS_ASSIGN_OR_RETURN(size_t n, in->pread(buf.data(), buf.size(), offset));
+    if (n == 0) break;
+    size_t written = 0;
+    while (written < n) {
+      TSS_ASSIGN_OR_RETURN(
+          size_t w, out->pwrite(buf.data() + written, n - written,
+                                offset + static_cast<int64_t>(written)));
+      if (w == 0) return Error(EIO, "short write during copy");
+      written += w;
+    }
+    offset += static_cast<int64_t>(n);
+  }
+  TSS_RETURN_IF_ERROR(out->close());
+  return static_cast<uint64_t>(offset);
+}
+
+}  // namespace tss::fs

@@ -1,0 +1,92 @@
+// The recursive storage abstraction interface.
+//
+// "A TSS uses the same interface at every layer from the file server all the
+// way up to the user interface: a filesystem with the familiar interface of
+// open, read, rename, and so forth." (§3)
+//
+// Every abstraction in this library both *consumes* and *implements* this
+// interface:
+//
+//   LocalFs   — a host directory (the degenerate case; also the substrate a
+//               Chirp server exports).
+//   CfsFs     — the paper's central filesystem: one Chirp server, untranslated.
+//   DistFs    — the stub-file distributed filesystems. With a LocalFs as its
+//               metadata filesystem it is the paper's DPFS; with a CfsFs it
+//               is the DSFS. That one-line difference *is* the recursive
+//               abstraction argument.
+//   DsdbFs    — (gems/) the distributed shared database, which stores file
+//               metadata in a database server instead of a directory tree.
+//
+// Like the Chirp protocol, reads and writes take explicit offsets; current-
+// position state belongs to the adapter's descriptor table.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chirp/protocol.h"
+#include "util/result.h"
+
+namespace tss::fs {
+
+using chirp::DirEntry;
+using chirp::OpenFlags;
+using chirp::StatInfo;
+
+// An open file. Closing is idempotent; destruction closes.
+class File {
+ public:
+  virtual ~File() = default;
+  virtual Result<size_t> pread(void* data, size_t size, int64_t offset) = 0;
+  virtual Result<size_t> pwrite(const void* data, size_t size,
+                                int64_t offset) = 0;
+  virtual Result<void> fsync() = 0;
+  virtual Result<StatInfo> fstat() = 0;
+  virtual Result<void> close() = 0;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual Result<std::unique_ptr<File>> open(const std::string& path,
+                                             const OpenFlags& flags,
+                                             uint32_t mode) = 0;
+  Result<std::unique_ptr<File>> open(const std::string& path,
+                                     const OpenFlags& flags) {
+    return open(path, flags, 0644);
+  }
+
+  virtual Result<StatInfo> stat(const std::string& path) = 0;
+  virtual Result<void> unlink(const std::string& path) = 0;
+  virtual Result<void> rename(const std::string& from,
+                              const std::string& to) = 0;
+  virtual Result<void> mkdir(const std::string& path, uint32_t mode) = 0;
+  Result<void> mkdir(const std::string& path) { return mkdir(path, 0755); }
+  virtual Result<void> rmdir(const std::string& path) = 0;
+  virtual Result<void> truncate(const std::string& path, uint64_t size) = 0;
+  virtual Result<std::vector<DirEntry>> readdir(const std::string& path) = 0;
+
+  // Whole-file convenience. Default implementations loop over open/pread/
+  // pwrite; abstractions with cheaper streaming paths (CfsFs uses Chirp's
+  // getfile/putfile) override them.
+  virtual Result<std::string> read_file(const std::string& path);
+  virtual Result<void> write_file(const std::string& path,
+                                  std::string_view data, uint32_t mode);
+  Result<void> write_file(const std::string& path, std::string_view data) {
+    return write_file(path, data, 0644);
+  }
+};
+
+// Recursively creates every directory on `path` (mkdir -p).
+Result<void> mkdir_recursive(FileSystem& fs, const std::string& path,
+                             uint32_t mode = 0755);
+
+// Copies one file between (possibly different) filesystems in fixed-size
+// chunks; the building block replication is made of.
+Result<uint64_t> copy_file(FileSystem& src, const std::string& src_path,
+                           FileSystem& dst, const std::string& dst_path,
+                           size_t chunk_size = 1 << 20);
+
+}  // namespace tss::fs

@@ -1,0 +1,93 @@
+#include "fs/local.h"
+
+#include "util/path.h"
+
+namespace tss::fs {
+
+namespace {
+
+class LocalFile final : public File {
+ public:
+  LocalFile(chirp::PosixBackend& backend, int handle)
+      : backend_(backend), handle_(handle) {}
+  ~LocalFile() override { (void)close(); }
+
+  Result<size_t> pread(void* data, size_t size, int64_t offset) override {
+    if (handle_ < 0) return Error(EBADF, "file closed");
+    return backend_.pread(handle_, data, size, offset);
+  }
+  Result<size_t> pwrite(const void* data, size_t size,
+                        int64_t offset) override {
+    if (handle_ < 0) return Error(EBADF, "file closed");
+    return backend_.pwrite(handle_, data, size, offset);
+  }
+  Result<void> fsync() override {
+    if (handle_ < 0) return Error(EBADF, "file closed");
+    return backend_.fsync(handle_);
+  }
+  Result<StatInfo> fstat() override {
+    if (handle_ < 0) return Error(EBADF, "file closed");
+    return backend_.fstat(handle_);
+  }
+  Result<void> close() override {
+    if (handle_ < 0) return Result<void>::success();
+    auto rc = backend_.close(handle_);
+    handle_ = -1;
+    return rc;
+  }
+
+ private:
+  chirp::PosixBackend& backend_;
+  int handle_;
+};
+
+}  // namespace
+
+LocalFs::LocalFs(std::string root) : backend_(std::move(root)) {}
+
+Result<std::unique_ptr<File>> LocalFs::open(const std::string& p,
+                                            const OpenFlags& flags,
+                                            uint32_t mode) {
+  TSS_ASSIGN_OR_RETURN(int handle,
+                       backend_.open(path::sanitize(p), flags, mode));
+  return std::unique_ptr<File>(new LocalFile(backend_, handle));
+}
+
+Result<StatInfo> LocalFs::stat(const std::string& p) {
+  return backend_.stat(path::sanitize(p));
+}
+
+Result<void> LocalFs::unlink(const std::string& p) {
+  return backend_.unlink(path::sanitize(p));
+}
+
+Result<void> LocalFs::rename(const std::string& from, const std::string& to) {
+  return backend_.rename(path::sanitize(from), path::sanitize(to));
+}
+
+Result<void> LocalFs::mkdir(const std::string& p, uint32_t mode) {
+  return backend_.mkdir(path::sanitize(p), mode);
+}
+
+Result<void> LocalFs::rmdir(const std::string& p) {
+  return backend_.rmdir(path::sanitize(p));
+}
+
+Result<void> LocalFs::truncate(const std::string& p, uint64_t size) {
+  return backend_.truncate(path::sanitize(p), size);
+}
+
+Result<std::vector<DirEntry>> LocalFs::readdir(const std::string& p) {
+  return backend_.readdir(path::sanitize(p));
+}
+
+Result<std::string> LocalFs::read_file(const std::string& p) {
+  return backend_.read_file(path::sanitize(p));
+}
+
+Result<void> LocalFs::write_file(const std::string& p, std::string_view data,
+                                 uint32_t mode) {
+  return backend_.write_file(path::sanitize(p), data, mode);
+}
+
+}  // namespace tss::fs

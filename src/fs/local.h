@@ -1,0 +1,46 @@
+// LocalFs: a host directory presented through the FileSystem interface.
+//
+// This is both the bottom of every abstraction stack (a Chirp server's
+// export is a local directory) and the metadata store of the DPFS, whose
+// "directory structure is stored in a local Unix filesystem chosen by the
+// user" (§5). Implemented by adapting chirp::PosixBackend, so host-path
+// mapping and software-chroot behaviour are identical to what the file
+// server enforces.
+#pragma once
+
+#include <memory>
+
+#include "chirp/posix_backend.h"
+#include "fs/filesystem.h"
+
+namespace tss::fs {
+
+class LocalFs final : public FileSystem {
+ public:
+  explicit LocalFs(std::string root);
+
+  Result<std::unique_ptr<File>> open(const std::string& path,
+                                     const OpenFlags& flags,
+                                     uint32_t mode) override;
+  using FileSystem::open;
+  Result<StatInfo> stat(const std::string& path) override;
+  Result<void> unlink(const std::string& path) override;
+  Result<void> rename(const std::string& from, const std::string& to) override;
+  Result<void> mkdir(const std::string& path, uint32_t mode) override;
+  using FileSystem::mkdir;
+  Result<void> rmdir(const std::string& path) override;
+  Result<void> truncate(const std::string& path, uint64_t size) override;
+  Result<std::vector<DirEntry>> readdir(const std::string& path) override;
+
+  Result<std::string> read_file(const std::string& path) override;
+  Result<void> write_file(const std::string& path, std::string_view data,
+                          uint32_t mode) override;
+  using FileSystem::write_file;
+
+  const std::string& root() const { return backend_.root(); }
+
+ private:
+  chirp::PosixBackend backend_;
+};
+
+}  // namespace tss::fs

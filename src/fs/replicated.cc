@@ -1,0 +1,216 @@
+#include "fs/replicated.h"
+
+#include "util/logging.h"
+#include "util/path.h"
+
+namespace tss::fs {
+
+namespace {
+
+// An open replicated file: writes fan out to every replica that opened;
+// reads come from the first live one.
+class ReplicatedFile final : public File {
+ public:
+  explicit ReplicatedFile(std::vector<std::unique_ptr<File>> files)
+      : files_(std::move(files)) {}
+
+  Result<size_t> pread(void* data, size_t size, int64_t offset) override {
+    Error last(EIO, "no replica answered");
+    for (auto& file : files_) {
+      if (!file) continue;
+      auto n = file->pread(data, size, offset);
+      if (n.ok()) return n;
+      last = std::move(n).take_error();
+    }
+    return last;
+  }
+
+  Result<size_t> pwrite(const void* data, size_t size,
+                        int64_t offset) override {
+    std::optional<size_t> wrote;
+    Error last(EIO, "no replica accepted the write");
+    for (auto& file : files_) {
+      if (!file) continue;
+      auto n = file->pwrite(data, size, offset);
+      if (n.ok()) {
+        wrote = n.value();
+      } else {
+        last = std::move(n).take_error();
+        // The replica diverged; drop it from this handle so reads don't
+        // see stale data through it.
+        TSS_WARN("replicated") << "replica write failed: " << last.to_string();
+        file.reset();
+      }
+    }
+    if (!wrote) return last;
+    return *wrote;
+  }
+
+  Result<void> fsync() override {
+    Result<void> result = Result<void>::success();
+    bool any = false;
+    for (auto& file : files_) {
+      if (!file) continue;
+      auto rc = file->fsync();
+      if (rc.ok()) {
+        any = true;
+      } else {
+        result = std::move(rc);
+      }
+    }
+    if (any) return Result<void>::success();
+    return result;
+  }
+
+  Result<StatInfo> fstat() override {
+    Error last(EIO, "no replica answered");
+    for (auto& file : files_) {
+      if (!file) continue;
+      auto info = file->fstat();
+      if (info.ok()) return info;
+      last = std::move(info).take_error();
+    }
+    return last;
+  }
+
+  Result<void> close() override {
+    Result<void> result = Result<void>::success();
+    for (auto& file : files_) {
+      if (!file) continue;
+      auto rc = file->close();
+      if (!rc.ok()) result = std::move(rc);
+      file.reset();
+    }
+    return result;
+  }
+
+  ~ReplicatedFile() override { (void)close(); }
+
+ private:
+  std::vector<std::unique_ptr<File>> files_;
+};
+
+}  // namespace
+
+ReplicatedFs::ReplicatedFs(std::vector<FileSystem*> replicas)
+    : replicas_(std::move(replicas)) {}
+
+template <typename Fn>
+Result<void> ReplicatedFs::broadcast(Fn&& fn) {
+  bool any = false;
+  Error last(EIO, "no replica reachable");
+  for (FileSystem* replica : replicas_) {
+    auto rc = fn(*replica);
+    if (rc.ok()) {
+      any = true;
+    } else {
+      last = std::move(rc).take_error();
+    }
+  }
+  if (any) return Result<void>::success();
+  return last;
+}
+
+Result<std::unique_ptr<File>> ReplicatedFs::open(const std::string& p,
+                                                 const OpenFlags& flags,
+                                                 uint32_t mode) {
+  std::string canonical = path::sanitize(p);
+  std::vector<std::unique_ptr<File>> files;
+  bool any = false;
+  Error last(EIO, "no replica reachable");
+  for (FileSystem* replica : replicas_) {
+    auto file = replica->open(canonical, flags, mode);
+    if (file.ok()) {
+      files.push_back(std::move(file).value());
+      any = true;
+    } else {
+      last = std::move(file).take_error();
+      files.push_back(nullptr);
+      // A hard semantic refusal (EEXIST on O_EXCL) must win over partial
+      // success — otherwise exclusive create loses its meaning.
+      if (last.code == EEXIST && flags.exclusive) return last;
+    }
+  }
+  if (!any) return last;
+  return std::unique_ptr<File>(new ReplicatedFile(std::move(files)));
+}
+
+Result<StatInfo> ReplicatedFs::stat(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  Error last(EIO, "no replica reachable");
+  for (FileSystem* replica : replicas_) {
+    auto info = replica->stat(canonical);
+    if (info.ok()) return info;
+    last = std::move(info).take_error();
+  }
+  return last;
+}
+
+Result<void> ReplicatedFs::unlink(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  return broadcast([&](FileSystem& fs) { return fs.unlink(canonical); });
+}
+
+Result<void> ReplicatedFs::rename(const std::string& from,
+                                  const std::string& to) {
+  std::string f = path::sanitize(from), t = path::sanitize(to);
+  return broadcast([&](FileSystem& fs) { return fs.rename(f, t); });
+}
+
+Result<void> ReplicatedFs::mkdir(const std::string& p, uint32_t mode) {
+  std::string canonical = path::sanitize(p);
+  return broadcast([&](FileSystem& fs) { return fs.mkdir(canonical, mode); });
+}
+
+Result<void> ReplicatedFs::rmdir(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  return broadcast([&](FileSystem& fs) { return fs.rmdir(canonical); });
+}
+
+Result<void> ReplicatedFs::truncate(const std::string& p, uint64_t size) {
+  std::string canonical = path::sanitize(p);
+  return broadcast(
+      [&](FileSystem& fs) { return fs.truncate(canonical, size); });
+}
+
+Result<std::vector<DirEntry>> ReplicatedFs::readdir(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  Error last(EIO, "no replica reachable");
+  for (FileSystem* replica : replicas_) {
+    auto entries = replica->readdir(canonical);
+    if (entries.ok()) return entries;
+    last = std::move(entries).take_error();
+  }
+  return last;
+}
+
+Result<int> ReplicatedFs::repair(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  // Source: the first replica holding the file.
+  FileSystem* source = nullptr;
+  for (FileSystem* replica : replicas_) {
+    if (replica->stat(canonical).ok()) {
+      source = replica;
+      break;
+    }
+  }
+  if (!source) return Error(ENOENT, "no replica holds " + canonical);
+  TSS_ASSIGN_OR_RETURN(std::string golden, source->read_file(canonical));
+
+  int repaired = 0;
+  for (FileSystem* replica : replicas_) {
+    if (replica == source) continue;
+    auto current = replica->read_file(canonical);
+    if (current.ok() && current.value() == golden) continue;
+    auto rc = replica->write_file(canonical, golden);
+    if (!rc.ok() && rc.error().code == ENOENT) {
+      // A replacement replica may lack the parent directories entirely.
+      auto made = mkdir_recursive(*replica, path::dirname(canonical));
+      if (made.ok()) rc = replica->write_file(canonical, golden);
+    }
+    if (rc.ok()) repaired++;
+  }
+  return repaired;
+}
+
+}  // namespace tss::fs

@@ -1,0 +1,55 @@
+// ReplicatedFs: transparent N-way replication — one of the §10 future-work
+// abstractions ("one may imagine filesystems that transparently stripe,
+// replicate, and version data"), built the way the paper prescribes: as
+// just another recursive abstraction over the FileSystem interface.
+//
+// Semantics: every mutation is broadcast to all replicas; reads are served
+// by the first replica that answers (failover order = construction order).
+// A mutation that fails on some replicas but succeeds on at least one
+// reports success and leaves the failed replicas *diverged*; repair() makes
+// replicas converge again by copying from the first reachable one — the
+// same repair shape as the GEMS replicator, at filesystem granularity.
+//
+// This is deliberately the "simplest available solution" (§1): no quorums,
+// no versions vectors. Trust and placement decisions stay with the user.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fs/filesystem.h"
+
+namespace tss::fs {
+
+class ReplicatedFs final : public FileSystem {
+ public:
+  // Replicas are borrowed and must outlive the ReplicatedFs. At least one.
+  explicit ReplicatedFs(std::vector<FileSystem*> replicas);
+
+  Result<std::unique_ptr<File>> open(const std::string& path,
+                                     const OpenFlags& flags,
+                                     uint32_t mode) override;
+  using FileSystem::open;
+  Result<StatInfo> stat(const std::string& path) override;
+  Result<void> unlink(const std::string& path) override;
+  Result<void> rename(const std::string& from, const std::string& to) override;
+  Result<void> mkdir(const std::string& path, uint32_t mode) override;
+  using FileSystem::mkdir;
+  Result<void> rmdir(const std::string& path) override;
+  Result<void> truncate(const std::string& path, uint64_t size) override;
+  Result<std::vector<DirEntry>> readdir(const std::string& path) override;
+
+  // Re-synchronizes `path` (a file) on all replicas from the first replica
+  // that holds it. Returns the number of replicas repaired.
+  Result<int> repair(const std::string& path);
+
+  size_t replica_count() const { return replicas_.size(); }
+
+ private:
+  template <typename Fn>
+  Result<void> broadcast(Fn&& fn);
+
+  std::vector<FileSystem*> replicas_;
+};
+
+}  // namespace tss::fs

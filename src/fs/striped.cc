@@ -1,0 +1,228 @@
+#include "fs/striped.h"
+
+#include "util/path.h"
+
+namespace tss::fs {
+
+namespace {
+
+class StripedFile final : public File {
+ public:
+  StripedFile(std::vector<std::unique_ptr<File>> columns, uint64_t stripe)
+      : columns_(std::move(columns)), stripe_(stripe) {}
+  ~StripedFile() override { (void)close(); }
+
+  Result<size_t> pread(void* data, size_t size, int64_t offset) override {
+    return for_each_extent(
+        offset, size,
+        [&](size_t member, uint64_t member_offset, char* p, size_t n,
+            size_t* moved) -> Result<void> {
+          TSS_ASSIGN_OR_RETURN(
+              *moved, columns_[member]->pread(
+                          p, n, static_cast<int64_t>(member_offset)));
+          return Result<void>::success();
+        },
+        static_cast<char*>(data), /*stop_on_short=*/true);
+  }
+
+  Result<size_t> pwrite(const void* data, size_t size,
+                        int64_t offset) override {
+    return for_each_extent(
+        offset, size,
+        [&](size_t member, uint64_t member_offset, char* p, size_t n,
+            size_t* moved) -> Result<void> {
+          TSS_ASSIGN_OR_RETURN(
+              *moved, columns_[member]->pwrite(
+                          p, n, static_cast<int64_t>(member_offset)));
+          if (*moved != n) return Error(EIO, "short stripe write");
+          return Result<void>::success();
+        },
+        static_cast<char*>(const_cast<void*>(data)),
+        /*stop_on_short=*/false);
+  }
+
+  Result<void> fsync() override {
+    for (auto& column : columns_) {
+      if (column) TSS_RETURN_IF_ERROR(column->fsync());
+    }
+    return Result<void>::success();
+  }
+
+  Result<StatInfo> fstat() override {
+    StatInfo info;
+    bool first = true;
+    for (auto& column : columns_) {
+      if (!column) continue;
+      TSS_ASSIGN_OR_RETURN(StatInfo column_info, column->fstat());
+      if (first) {
+        info = column_info;
+        first = false;
+      } else {
+        info.size += column_info.size;
+      }
+    }
+    return info;
+  }
+
+  Result<void> close() override {
+    Result<void> result = Result<void>::success();
+    for (auto& column : columns_) {
+      if (!column) continue;
+      auto rc = column->close();
+      if (!rc.ok()) result = std::move(rc);
+      column.reset();
+    }
+    return result;
+  }
+
+ private:
+  // Walks the stripe extents covering [offset, offset+size), invoking
+  // `body(member, member_offset, buffer, extent_len, &moved)`. A short
+  // extent (moved < extent length) ends a read at logical EOF.
+  template <typename Body>
+  Result<size_t> for_each_extent(int64_t offset, size_t size, Body&& body,
+                                 char* buffer, bool stop_on_short) {
+    if (offset < 0) return Error(EINVAL, "negative offset");
+    size_t members = columns_.size();
+    uint64_t logical = static_cast<uint64_t>(offset);
+    size_t done = 0;
+    while (done < size) {
+      uint64_t block = logical / stripe_;
+      size_t member = static_cast<size_t>(block % members);
+      uint64_t within = logical % stripe_;
+      uint64_t member_offset = (block / members) * stripe_ + within;
+      size_t extent =
+          static_cast<size_t>(std::min<uint64_t>(size - done, stripe_ - within));
+      size_t moved = 0;
+      TSS_RETURN_IF_ERROR(
+          body(member, member_offset, buffer + done, extent, &moved));
+      done += moved;
+      logical += moved;
+      if (moved < extent && stop_on_short) break;  // EOF on a read
+    }
+    return done;
+  }
+
+  std::vector<std::unique_ptr<File>> columns_;
+  uint64_t stripe_;
+};
+
+}  // namespace
+
+StripedFs::StripedFs(std::vector<FileSystem*> members, uint64_t stripe_size)
+    : members_(std::move(members)), stripe_size_(stripe_size) {}
+
+StripedFs::Location StripedFs::locate(uint64_t logical_offset) const {
+  uint64_t block = logical_offset / stripe_size_;
+  size_t member = static_cast<size_t>(block % members_.size());
+  uint64_t member_offset = (block / members_.size()) * stripe_size_ +
+                           logical_offset % stripe_size_;
+  return Location{member, member_offset};
+}
+
+Result<std::unique_ptr<File>> StripedFs::open(const std::string& p,
+                                              const OpenFlags& flags,
+                                              uint32_t mode) {
+  std::string canonical = path::sanitize(p);
+  std::vector<std::unique_ptr<File>> columns;
+  columns.reserve(members_.size());
+  for (FileSystem* member : members_) {
+    auto file = member->open(canonical, flags, mode);
+    if (!file.ok()) {
+      // All-or-nothing: a striped file is unusable with a missing column.
+      return std::move(file).take_error();
+    }
+    columns.push_back(std::move(file).value());
+  }
+  return std::unique_ptr<File>(
+      new StripedFile(std::move(columns), stripe_size_));
+}
+
+Result<StatInfo> StripedFs::stat(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  StatInfo info;
+  bool first = true;
+  for (FileSystem* member : members_) {
+    TSS_ASSIGN_OR_RETURN(StatInfo column, member->stat(canonical));
+    if (first) {
+      info = column;
+      first = false;
+    } else {
+      info.size += column.size;
+    }
+  }
+  return info;
+}
+
+Result<void> StripedFs::unlink(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  for (FileSystem* member : members_) {
+    auto rc = member->unlink(canonical);
+    if (!rc.ok() && rc.error().code != ENOENT) return rc;
+  }
+  return Result<void>::success();
+}
+
+Result<void> StripedFs::rename(const std::string& from,
+                               const std::string& to) {
+  std::string f = path::sanitize(from), t = path::sanitize(to);
+  for (FileSystem* member : members_) {
+    TSS_RETURN_IF_ERROR(member->rename(f, t));
+  }
+  return Result<void>::success();
+}
+
+Result<void> StripedFs::mkdir(const std::string& p, uint32_t mode) {
+  std::string canonical = path::sanitize(p);
+  for (FileSystem* member : members_) {
+    auto rc = member->mkdir(canonical, mode);
+    if (!rc.ok() && rc.error().code != EEXIST) return rc;
+  }
+  return Result<void>::success();
+}
+
+Result<void> StripedFs::rmdir(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  for (FileSystem* member : members_) {
+    auto rc = member->rmdir(canonical);
+    if (!rc.ok() && rc.error().code != ENOENT) return rc;
+  }
+  return Result<void>::success();
+}
+
+Result<void> StripedFs::truncate(const std::string& p, uint64_t size) {
+  std::string canonical = path::sanitize(p);
+  // Column c keeps: full stripes for blocks < size/stripe plus the partial
+  // block if it lands on c.
+  uint64_t full_blocks = size / stripe_size_;
+  uint64_t tail = size % stripe_size_;
+  size_t members = members_.size();
+  for (size_t m = 0; m < members; m++) {
+    // Number of complete stripe units on member m.
+    uint64_t units = full_blocks / members +
+                     ((full_blocks % members) > m ? 1 : 0);
+    uint64_t member_size = units * stripe_size_;
+    if (tail > 0 && static_cast<size_t>(full_blocks % members) == m) {
+      member_size += tail;
+    }
+    TSS_RETURN_IF_ERROR(members_[m]->truncate(canonical, member_size));
+  }
+  return Result<void>::success();
+}
+
+Result<std::vector<DirEntry>> StripedFs::readdir(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  // Names from the first member; sizes aggregated across members.
+  TSS_ASSIGN_OR_RETURN(auto entries, members_[0]->readdir(canonical));
+  for (auto& entry : entries) {
+    if (entry.info.is_dir) continue;
+    for (size_t m = 1; m < members_.size(); m++) {
+      auto column =
+          members_[m]->stat(path::join(canonical, entry.name));
+      if (column.ok()) entry.info.size += column.value().size;
+    }
+  }
+  return entries;
+}
+
+}  // namespace tss::fs

@@ -1,0 +1,57 @@
+// StripedFs: transparent block striping across servers — the other §10
+// future-work abstraction, again as a plain recursive FileSystem.
+//
+// A logical file's bytes are distributed round-robin in fixed-size stripe
+// units over N underlying filesystems; the same path exists on every
+// member, holding that member's stripe column. Byte b of the logical file
+// lives on member (b / stripe_size) % N, at member offset
+// ((b / stripe_size) / N) * stripe_size + b % stripe_size.
+//
+// Aggregate bandwidth scales with members (each large read fans out), which
+// is exactly why the paper floats striping as a DSFS variation. Namespace
+// operations broadcast; the logical size is the sum of the column sizes.
+// Sparse logical files are not supported (columns would be ambiguous).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fs/filesystem.h"
+
+namespace tss::fs {
+
+class StripedFs final : public FileSystem {
+ public:
+  // Members are borrowed and must outlive the StripedFs. At least one.
+  StripedFs(std::vector<FileSystem*> members, uint64_t stripe_size = 64 * 1024);
+
+  Result<std::unique_ptr<File>> open(const std::string& path,
+                                     const OpenFlags& flags,
+                                     uint32_t mode) override;
+  using FileSystem::open;
+  Result<StatInfo> stat(const std::string& path) override;
+  Result<void> unlink(const std::string& path) override;
+  Result<void> rename(const std::string& from, const std::string& to) override;
+  Result<void> mkdir(const std::string& path, uint32_t mode) override;
+  using FileSystem::mkdir;
+  Result<void> rmdir(const std::string& path) override;
+  Result<void> truncate(const std::string& path, uint64_t size) override;
+  Result<std::vector<DirEntry>> readdir(const std::string& path) override;
+
+  uint64_t stripe_size() const { return stripe_size_; }
+  size_t member_count() const { return members_.size(); }
+
+  // Maps a logical offset to (member index, member offset); exposed for
+  // tests of the striping arithmetic.
+  struct Location {
+    size_t member;
+    uint64_t offset;
+  };
+  Location locate(uint64_t logical_offset) const;
+
+ private:
+  std::vector<FileSystem*> members_;
+  uint64_t stripe_size_;
+};
+
+}  // namespace tss::fs

@@ -1,0 +1,35 @@
+#include "fs/stub.h"
+
+#include "util/strings.h"
+
+namespace tss::fs {
+
+std::string Stub::serialize() const {
+  return "tssstub v1\nserver " + url_encode(server) + "\npath " +
+         url_encode(data_path) + "\n";
+}
+
+Result<Stub> Stub::parse(std::string_view text) {
+  auto lines = split(text, '\n');
+  if (lines.empty() || trim(lines[0]) != "tssstub v1") {
+    return Error(EINVAL, "not a stub file");
+  }
+  Stub stub;
+  for (size_t i = 1; i < lines.size(); i++) {
+    auto words = split_words(lines[i]);
+    if (words.empty()) continue;
+    if (words[0] == "server" && words.size() >= 2) {
+      stub.server = url_decode(words[1]);
+    } else if (words[0] == "path" && words.size() >= 2) {
+      stub.data_path = url_decode(words[1]);
+    } else {
+      return Error(EINVAL, "bad stub line: " + lines[i]);
+    }
+  }
+  if (stub.server.empty() || stub.data_path.empty()) {
+    return Error(EINVAL, "incomplete stub");
+  }
+  return stub;
+}
+
+}  // namespace tss::fs

@@ -1,0 +1,24 @@
+// Stub files: the pointers a distributed TSS filesystem stores where its
+// directory tree indicates a file.
+//
+// "Where the directory structure indicates a file, it instead contains a
+// stub file pointing to the file data elsewhere" (§5). A stub names the data
+// server (by the name it was mounted under) and the data file's path within
+// that server, e.g. the paper's /paper.txt -> host5:/mydpfs/file596.
+#pragma once
+
+#include <string>
+
+#include "util/result.h"
+
+namespace tss::fs {
+
+struct Stub {
+  std::string server;     // data server name as mounted in the DistFs
+  std::string data_path;  // canonical path of the data file on that server
+
+  std::string serialize() const;
+  static Result<Stub> parse(std::string_view text);
+};
+
+}  // namespace tss::fs

@@ -1,0 +1,64 @@
+// SubtreeFs: a filesystem view rooted at a subdirectory of another
+// filesystem — the smallest possible recursive abstraction, and the glue
+// that lets one server host several independent structures (a DSFS volume's
+// tree, another user's workspace, ...) without them knowing their own
+// position in the host's namespace.
+#pragma once
+
+#include "fs/filesystem.h"
+#include "util/path.h"
+
+namespace tss::fs {
+
+class SubtreeFs final : public FileSystem {
+ public:
+  // `base` is borrowed; `prefix` is the canonical subtree root within it.
+  SubtreeFs(FileSystem* base, std::string prefix)
+      : base_(base), prefix_(path::sanitize(prefix)) {}
+
+  Result<std::unique_ptr<File>> open(const std::string& p,
+                                     const OpenFlags& flags,
+                                     uint32_t mode) override {
+    return base_->open(path::join(prefix_, p), flags, mode);
+  }
+  using FileSystem::open;
+  Result<StatInfo> stat(const std::string& p) override {
+    return base_->stat(path::join(prefix_, p));
+  }
+  Result<void> unlink(const std::string& p) override {
+    return base_->unlink(path::join(prefix_, p));
+  }
+  Result<void> rename(const std::string& from,
+                      const std::string& to) override {
+    return base_->rename(path::join(prefix_, from), path::join(prefix_, to));
+  }
+  Result<void> mkdir(const std::string& p, uint32_t mode) override {
+    return base_->mkdir(path::join(prefix_, p), mode);
+  }
+  using FileSystem::mkdir;
+  Result<void> rmdir(const std::string& p) override {
+    return base_->rmdir(path::join(prefix_, p));
+  }
+  Result<void> truncate(const std::string& p, uint64_t size) override {
+    return base_->truncate(path::join(prefix_, p), size);
+  }
+  Result<std::vector<DirEntry>> readdir(const std::string& p) override {
+    return base_->readdir(path::join(prefix_, p));
+  }
+  Result<std::string> read_file(const std::string& p) override {
+    return base_->read_file(path::join(prefix_, p));
+  }
+  Result<void> write_file(const std::string& p, std::string_view data,
+                          uint32_t mode) override {
+    return base_->write_file(path::join(prefix_, p), data, mode);
+  }
+  using FileSystem::write_file;
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  FileSystem* base_;
+  std::string prefix_;
+};
+
+}  // namespace tss::fs

@@ -1,0 +1,173 @@
+#include "fs/versioned.h"
+
+#include <algorithm>
+
+#include "util/path.h"
+#include "util/strings.h"
+
+namespace tss::fs {
+
+VersionedFs::VersionedFs(FileSystem* base) : base_(base) {}
+
+std::string VersionedFs::version_dir(const std::string& canonical) const {
+  // Fully escape the path (including '/') so every versioned path maps to
+  // exactly one flat directory; otherwise a numeric path component could
+  // collide with a snapshot file of its parent.
+  std::string token = url_encode(canonical);
+  std::string escaped;
+  for (char ch : token) {
+    if (ch == '/') {
+      escaped += "%2F";
+    } else {
+      escaped += ch;
+    }
+  }
+  return std::string(kVersionRoot) + "/" + escaped;
+}
+
+Result<int> VersionedFs::next_sequence(const std::string& canonical) {
+  auto entries = base_->readdir(version_dir(canonical));
+  if (!entries.ok()) return 1;
+  int highest = 0;
+  for (const DirEntry& e : entries.value()) {
+    auto n = parse_i64(e.name);
+    if (n && *n > highest) highest = static_cast<int>(*n);
+  }
+  return highest + 1;
+}
+
+Result<void> VersionedFs::snapshot(const std::string& canonical) {
+  auto info = base_->stat(canonical);
+  if (!info.ok()) {
+    // Nothing to preserve (new file): fine.
+    if (info.error().code == ENOENT) return Result<void>::success();
+    return std::move(info).take_error();
+  }
+  if (info.value().is_dir) return Result<void>::success();
+
+  std::string dir = version_dir(canonical);
+  TSS_RETURN_IF_ERROR(mkdir_recursive(*base_, dir));
+  TSS_ASSIGN_OR_RETURN(int sequence, next_sequence(canonical));
+  TSS_ASSIGN_OR_RETURN(std::string content, base_->read_file(canonical));
+  return base_->write_file(dir + "/" + std::to_string(sequence), content);
+}
+
+Result<std::unique_ptr<File>> VersionedFs::open(const std::string& p,
+                                                const OpenFlags& flags,
+                                                uint32_t mode) {
+  std::string canonical = path::sanitize(p);
+  if (path::is_within(kVersionRoot, canonical)) {
+    return Error(EACCES, "the version tree is managed, not written directly");
+  }
+  bool mutates =
+      flags.write || flags.truncate || flags.append || flags.create;
+  if (mutates) {
+    TSS_RETURN_IF_ERROR(snapshot(canonical));
+  }
+  return base_->open(canonical, flags, mode);
+}
+
+Result<StatInfo> VersionedFs::stat(const std::string& p) {
+  return base_->stat(path::sanitize(p));
+}
+
+Result<void> VersionedFs::unlink(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  if (path::is_within(kVersionRoot, canonical)) {
+    return Error(EACCES, "the version tree is managed, not written directly");
+  }
+  TSS_RETURN_IF_ERROR(snapshot(canonical));
+  return base_->unlink(canonical);
+}
+
+Result<void> VersionedFs::rename(const std::string& from,
+                                 const std::string& to) {
+  std::string f = path::sanitize(from), t = path::sanitize(to);
+  if (path::is_within(kVersionRoot, f) || path::is_within(kVersionRoot, t)) {
+    return Error(EACCES, "the version tree is managed, not written directly");
+  }
+  // The destination (if it exists) is about to be overwritten; the source
+  // keeps its history under its old name for forensic lookup.
+  TSS_RETURN_IF_ERROR(snapshot(t));
+  TSS_RETURN_IF_ERROR(snapshot(f));
+  return base_->rename(f, t);
+}
+
+Result<void> VersionedFs::mkdir(const std::string& p, uint32_t mode) {
+  return base_->mkdir(path::sanitize(p), mode);
+}
+
+Result<void> VersionedFs::rmdir(const std::string& p) {
+  return base_->rmdir(path::sanitize(p));
+}
+
+Result<void> VersionedFs::truncate(const std::string& p, uint64_t size) {
+  std::string canonical = path::sanitize(p);
+  TSS_RETURN_IF_ERROR(snapshot(canonical));
+  return base_->truncate(canonical, size);
+}
+
+Result<std::vector<DirEntry>> VersionedFs::readdir(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  TSS_ASSIGN_OR_RETURN(auto entries, base_->readdir(canonical));
+  if (canonical == "/") {
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [](const DirEntry& e) {
+                                   return e.name == ".versions";
+                                 }),
+                  entries.end());
+  }
+  return entries;
+}
+
+Result<std::vector<VersionedFs::VersionInfo>> VersionedFs::versions(
+    const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  auto entries = base_->readdir(version_dir(canonical));
+  if (!entries.ok()) {
+    if (entries.error().code == ENOENT) return std::vector<VersionInfo>{};
+    return std::move(entries).take_error();
+  }
+  std::vector<VersionInfo> out;
+  for (const DirEntry& e : entries.value()) {
+    auto n = parse_i64(e.name);
+    if (!n) continue;
+    out.push_back(VersionInfo{static_cast<int>(*n), e.info.size,
+                              e.info.mtime});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const VersionInfo& a, const VersionInfo& b) {
+              return a.sequence < b.sequence;
+            });
+  return out;
+}
+
+Result<std::string> VersionedFs::read_version(const std::string& p,
+                                              int sequence) {
+  std::string canonical = path::sanitize(p);
+  return base_->read_file(version_dir(canonical) + "/" +
+                          std::to_string(sequence));
+}
+
+Result<void> VersionedFs::restore(const std::string& p, int sequence) {
+  std::string canonical = path::sanitize(p);
+  TSS_ASSIGN_OR_RETURN(std::string old, read_version(canonical, sequence));
+  TSS_RETURN_IF_ERROR(snapshot(canonical));  // restore is undoable
+  return base_->write_file(canonical, old);
+}
+
+Result<void> VersionedFs::purge_versions(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  std::string dir = version_dir(canonical);
+  auto entries = base_->readdir(dir);
+  if (!entries.ok()) {
+    if (entries.error().code == ENOENT) return Result<void>::success();
+    return std::move(entries).take_error();
+  }
+  for (const DirEntry& e : entries.value()) {
+    TSS_RETURN_IF_ERROR(base_->unlink(dir + "/" + e.name));
+  }
+  return base_->rmdir(dir);
+}
+
+}  // namespace tss::fs

@@ -1,0 +1,71 @@
+// VersionedFs: transparent versioning — the last of the §10 future-work
+// abstractions, and the mechanism behind the paper's closing application
+// sketch: "A TSS is a natural platform for distributed backups, allowing
+// cooperating users to easily record many backup images, thus allowing for
+// on-line perusal, recovery, and forensic analysis of data over time."
+//
+// A recursive wrapper over any FileSystem: before a file is modified
+// (opened writable, truncated, unlinked, or renamed over), its current
+// content is snapshotted into a hidden ".versions" tree on the same
+// underlying filesystem. Old versions can be listed, read, and restored.
+// Stack it over a CfsFs and the version history lives on the file server,
+// visible to every client; over a ReplicatedFs and the history itself is
+// replicated — abstractions compose, which is the paper's whole point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fs/filesystem.h"
+
+namespace tss::fs {
+
+class VersionedFs final : public FileSystem {
+ public:
+  // `base` is borrowed and must outlive the VersionedFs.
+  explicit VersionedFs(FileSystem* base);
+
+  struct VersionInfo {
+    int sequence = 0;       // 1-based, ascending by age (1 = oldest)
+    uint64_t size = 0;
+    int64_t mtime = 0;      // when the snapshot was taken (backing mtime)
+  };
+
+  Result<std::unique_ptr<File>> open(const std::string& path,
+                                     const OpenFlags& flags,
+                                     uint32_t mode) override;
+  using FileSystem::open;
+  Result<StatInfo> stat(const std::string& path) override;
+  Result<void> unlink(const std::string& path) override;
+  Result<void> rename(const std::string& from, const std::string& to) override;
+  Result<void> mkdir(const std::string& path, uint32_t mode) override;
+  using FileSystem::mkdir;
+  Result<void> rmdir(const std::string& path) override;
+  Result<void> truncate(const std::string& path, uint64_t size) override;
+  Result<std::vector<DirEntry>> readdir(const std::string& path) override;
+
+  // --- Version management ------------------------------------------------
+  // All snapshots of `path`, oldest first (empty if never modified).
+  Result<std::vector<VersionInfo>> versions(const std::string& path);
+  // Content of one snapshot.
+  Result<std::string> read_version(const std::string& path, int sequence);
+  // Restores a snapshot as the current content (the pre-restore content is
+  // snapshotted first, so a restore is itself undoable).
+  Result<void> restore(const std::string& path, int sequence);
+  // Drops all snapshots of `path` (reclaim space).
+  Result<void> purge_versions(const std::string& path);
+
+  // The hidden directory versions live under.
+  static constexpr const char* kVersionRoot = "/.versions";
+
+ private:
+  // Directory holding `path`'s snapshots: /.versions/<urlencoded path>.
+  std::string version_dir(const std::string& canonical) const;
+  // Snapshots the current content of `canonical` if it exists as a file.
+  Result<void> snapshot(const std::string& canonical);
+  Result<int> next_sequence(const std::string& canonical);
+
+  FileSystem* base_;
+};
+
+}  // namespace tss::fs

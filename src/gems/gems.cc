@@ -1,0 +1,289 @@
+#include "gems/gems.h"
+
+#include <algorithm>
+#include <ctime>
+
+#include "util/checksum.h"
+#include "util/logging.h"
+#include "util/path.h"
+#include "util/strings.h"
+
+namespace tss::gems {
+
+std::string encode_replicas(const std::vector<Replica>& replicas) {
+  std::string out;
+  for (const Replica& r : replicas) {
+    if (!out.empty()) out += ',';
+    out += url_encode(r.server);
+    out += ':';
+    out += url_encode(r.path);
+  }
+  return out;
+}
+
+std::vector<Replica> decode_replicas(const std::string& encoded) {
+  std::vector<Replica> out;
+  if (encoded.empty()) return out;
+  for (const std::string& token : split(encoded, ',')) {
+    size_t colon = token.find(':');
+    if (colon == std::string::npos) continue;
+    out.push_back(Replica{url_decode(token.substr(0, colon)),
+                          url_decode(token.substr(colon + 1))});
+  }
+  return out;
+}
+
+Gems::Gems(db::Store* catalog, std::map<std::string, fs::FileSystem*> servers,
+           GemsOptions options)
+    : catalog_(catalog),
+      servers_(std::move(servers)),
+      options_(std::move(options)),
+      rng_(options_.name_seed ? options_.name_seed
+                              : static_cast<uint64_t>(::time(nullptr))) {
+  for (const auto& [name, fs] : servers_) server_names_.push_back(name);
+  options_.volume = path::sanitize(options_.volume);
+}
+
+Result<void> Gems::format() {
+  for (const auto& [name, fs] : servers_) {
+    TSS_RETURN_IF_ERROR(fs::mkdir_recursive(*fs, options_.volume));
+  }
+  return Result<void>::success();
+}
+
+std::string Gems::new_data_path(const std::string& logical_name) {
+  return path::join(options_.volume,
+                    url_encode(logical_name) + "." + rng_.hex(10));
+}
+
+Result<void> Gems::ingest(const std::string& logical_name,
+                          std::string_view data,
+                          const std::map<std::string, std::string>& attributes) {
+  if (server_names_.empty()) return Error(ENODEV, "gems: no data servers");
+  if (catalog_->get(logical_name).ok()) {
+    return Error(EEXIST, "gems: dataset exists: " + logical_name);
+  }
+  if (options_.space_budget != 0) {
+    TSS_ASSIGN_OR_RETURN(uint64_t stored, stored_bytes());
+    if (stored + data.size() > options_.space_budget) {
+      return Error(ENOSPC, "gems: space budget exceeded");
+    }
+  }
+
+  const std::string& server_name =
+      server_names_[rng_.below(server_names_.size())];
+  std::string data_path = new_data_path(logical_name);
+  TSS_RETURN_IF_ERROR(
+      servers_[server_name]->write_file(data_path, data, 0644));
+
+  db::Record record;
+  record[db::kIdField] = logical_name;
+  record["size"] = std::to_string(data.size());
+  record["checksum"] = hash_to_hex(fnv1a64(data));
+  record["replicas"] = encode_replicas({Replica{server_name, data_path}});
+  record["problems"] = "";
+  for (const auto& [key, value] : attributes) {
+    if (key == "id" || key == "size" || key == "checksum" ||
+        key == "replicas" || key == "problems") {
+      return Error(EINVAL, "gems: reserved attribute name: " + key);
+    }
+    record[key] = value;
+  }
+  return catalog_->put(record);
+}
+
+Result<std::string> Gems::fetch(const std::string& logical_name) {
+  TSS_ASSIGN_OR_RETURN(db::Record record, catalog_->get(logical_name));
+  Error last(ENOENT, "gems: no live replica of " + logical_name);
+  for (const Replica& replica : decode_replicas(record["replicas"])) {
+    auto it = servers_.find(replica.server);
+    if (it == servers_.end()) continue;
+    auto data = it->second->read_file(replica.path);
+    if (data.ok()) return data;
+    last = std::move(data).take_error();
+  }
+  return last;
+}
+
+Result<std::vector<db::Record>> Gems::search(const std::string& field,
+                                             const std::string& value) const {
+  return catalog_->query(field, value);
+}
+
+Result<db::Record> Gems::record_of(const std::string& logical_name) const {
+  return catalog_->get(logical_name);
+}
+
+Result<uint64_t> Gems::stored_bytes() const {
+  TSS_ASSIGN_OR_RETURN(auto records, catalog_->scan());
+  uint64_t total = 0;
+  for (const db::Record& record : records) {
+    auto size_it = record.find("size");
+    auto replicas_it = record.find("replicas");
+    if (size_it == record.end() || replicas_it == record.end()) continue;
+    auto size = parse_u64(size_it->second);
+    if (!size) continue;
+    total += *size * decode_replicas(replicas_it->second).size();
+  }
+  return total;
+}
+
+Result<int> Gems::replica_count(const std::string& logical_name) const {
+  TSS_ASSIGN_OR_RETURN(db::Record record, catalog_->get(logical_name));
+  return static_cast<int>(decode_replicas(record["replicas"]).size());
+}
+
+Result<void> Gems::verify_replica(const db::Record& record,
+                                  const Replica& replica) {
+  auto it = servers_.find(replica.server);
+  if (it == servers_.end()) {
+    return Error(EHOSTUNREACH, "unknown server " + replica.server);
+  }
+  auto expected_size = parse_u64(record.at("size"));
+  if (!expected_size) return Error(EINVAL, "bad size in record");
+  // Existence + size first (cheap), then content checksum.
+  TSS_ASSIGN_OR_RETURN(fs::StatInfo info, it->second->stat(replica.path));
+  if (info.size != *expected_size) {
+    return Error(EIO, "size mismatch on " + replica.server);
+  }
+  TSS_ASSIGN_OR_RETURN(std::string data, it->second->read_file(replica.path));
+  if (hash_to_hex(fnv1a64(data)) != record.at("checksum")) {
+    return Error(EIO, "checksum mismatch on " + replica.server);
+  }
+  return Result<void>::success();
+}
+
+Result<int> Gems::audit_step() {
+  int problems = 0;
+  std::vector<db::Record> updates;
+  TSS_ASSIGN_OR_RETURN(auto records, catalog_->scan());
+  for (const db::Record& record : records) {
+    std::vector<Replica> live;
+    std::vector<Replica> dead = decode_replicas(record.count("problems")
+                                                    ? record.at("problems")
+                                                    : "");
+    bool changed = false;
+    for (const Replica& replica :
+         decode_replicas(record.at("replicas"))) {
+      auto ok = verify_replica(record, replica);
+      if (ok.ok()) {
+        live.push_back(replica);
+      } else {
+        TSS_DEBUG("gems") << "audit: lost replica of " << record.at("id")
+                          << " on " << replica.server << ": "
+                          << ok.error().to_string();
+        dead.push_back(replica);
+        changed = true;
+        problems++;
+      }
+    }
+    if (changed) {
+      db::Record updated = record;
+      updated["replicas"] = encode_replicas(live);
+      updated["problems"] = encode_replicas(dead);
+      updates.push_back(std::move(updated));
+    }
+  }
+  for (const db::Record& record : updates) {
+    TSS_RETURN_IF_ERROR(catalog_->put(record));
+  }
+  return problems;
+}
+
+Result<bool> Gems::replicate_step() {
+  // Choose the record most in need: fewest live replicas, problems first.
+  std::optional<db::Record> chosen;
+  size_t chosen_live = SIZE_MAX;
+  bool chosen_has_problem = false;
+  TSS_ASSIGN_OR_RETURN(auto records, catalog_->scan());
+  for (const db::Record& record : records) {
+    size_t live = decode_replicas(record.at("replicas")).size();
+    if (live == 0) continue;  // nothing left to copy from
+    bool has_problem = record.count("problems") &&
+                       !record.at("problems").empty();
+    if (options_.max_replicas > 0 &&
+        live >= static_cast<size_t>(options_.max_replicas) && !has_problem) {
+      continue;
+    }
+    if (live >= servers_.size()) continue;  // already everywhere it can be
+    bool better = false;
+    if (!chosen) {
+      better = true;
+    } else if (has_problem != chosen_has_problem) {
+      better = has_problem;
+    } else {
+      better = live < chosen_live;
+    }
+    if (better) {
+      chosen = record;
+      chosen_live = live;
+      chosen_has_problem = has_problem;
+    }
+  }
+  if (!chosen) return false;
+
+  auto size = parse_u64(chosen->at("size"));
+  if (!size) return Error(EINVAL, "gems: bad size in record");
+  if (options_.space_budget != 0) {
+    TSS_ASSIGN_OR_RETURN(uint64_t stored, stored_bytes());
+    if (stored + *size > options_.space_budget) {
+      return false;  // budget reached; nothing to do
+    }
+  }
+
+  std::vector<Replica> live = decode_replicas(chosen->at("replicas"));
+  // A server not currently holding a replica.
+  std::string target;
+  for (const std::string& candidate : server_names_) {
+    bool holds = std::any_of(
+        live.begin(), live.end(),
+        [&](const Replica& r) { return r.server == candidate; });
+    if (!holds) {
+      target = candidate;
+      break;
+    }
+  }
+  if (target.empty()) return false;
+
+  // Copy from the first live replica that works.
+  std::string data_path = new_data_path(chosen->at("id"));
+  bool copied = false;
+  for (const Replica& source : live) {
+    auto src_it = servers_.find(source.server);
+    if (src_it == servers_.end()) continue;
+    auto rc = fs::copy_file(*src_it->second, source.path, *servers_[target],
+                            data_path);
+    if (rc.ok()) {
+      copied = true;
+      break;
+    }
+    TSS_DEBUG("gems") << "replicate: copy from " << source.server
+                      << " failed: " << rc.error().to_string();
+  }
+  if (!copied) {
+    return Error(EIO, "gems: no live source for " + chosen->at("id"));
+  }
+
+  live.push_back(Replica{target, data_path});
+  db::Record updated = *chosen;
+  updated["replicas"] = encode_replicas(live);
+  // A successful repair clears the problem notation (the damage has been
+  // compensated; the dead paths are gone for good).
+  if (chosen_has_problem) updated["problems"] = "";
+  TSS_RETURN_IF_ERROR(catalog_->put(updated));
+  TSS_INFO("gems") << "replicated " << chosen->at("id") << " -> " << target
+                   << " (" << live.size() << " replicas)";
+  return true;
+}
+
+Result<int> Gems::replicate_until_stable(int max_steps) {
+  int copies = 0;
+  for (int i = 0; i < max_steps; i++) {
+    TSS_ASSIGN_OR_RETURN(bool progressed, replicate_step());
+    if (!progressed) break;
+    copies++;
+  }
+  return copies;
+}
+
+}  // namespace tss::gems

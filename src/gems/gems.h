@@ -1,0 +1,110 @@
+// GEMS: Grid Enabled Molecular Simulations — the paper's distributed shared
+// database (DSDB) instance (§5, §9).
+//
+// "GEMS stores files on file servers and indexes them with a database. In
+// addition, GEMS dynamically replicates files in order to assure survival.
+// Two active components work in concert to maintain replicas. An *auditor*
+// process periodically scans the database and then verifies the location and
+// integrity of data on file servers. If it discovers that files have been
+// damaged or removed, it makes note of these problems. A *replicator*
+// process examines the notations and then repairs them by re-replicating the
+// remaining copies." (§9)
+//
+// The catalog is a db::Store — an embedded TableStore or a RemoteStore
+// speaking to a db::Server across the network (the full DSDB deployment
+// shape); data servers are FileSystems — CfsFs mounts in a real deployment,
+// LocalFs in tests. Record schema:
+//   id        logical dataset name
+//   size      bytes
+//   checksum  16-hex FNV-1a of the content
+//   replicas  comma-joined "server:path" locations
+//   problems  replicas the auditor found damaged (notation for the
+//             replicator; cleared once repaired)
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/store.h"
+#include "fs/filesystem.h"
+#include "util/rand.h"
+
+namespace tss::gems {
+
+// One replica location.
+struct Replica {
+  std::string server;
+  std::string path;
+  bool operator==(const Replica&) const = default;
+};
+
+std::string encode_replicas(const std::vector<Replica>& replicas);
+std::vector<Replica> decode_replicas(const std::string& encoded);
+
+struct GemsOptions {
+  // Directory on each data server holding GEMS data files.
+  std::string volume = "/gems";
+  // Hard cap on the sum of replica bytes; the replicator fills available
+  // space up to this limit ("the user specifies that up to 40 GB of space
+  // may be used", §9). 0 = no cap.
+  uint64_t space_budget = 0;
+  // Upper bound on replicas per dataset; 0 = bounded only by budget and
+  // server count.
+  int max_replicas = 0;
+  uint64_t name_seed = 0;
+};
+
+class Gems {
+ public:
+  // `catalog` and the mapped data servers are borrowed.
+  Gems(db::Store* catalog, std::map<std::string, fs::FileSystem*> servers,
+       GemsOptions options);
+
+  // Creates the volume directory on every server (idempotent).
+  Result<void> format();
+
+  // --- User operations -------------------------------------------------------
+  // Stores one copy of `data` under `logical_name` with free-form metadata
+  // attributes (simulation parameters etc.), registers the catalog record.
+  Result<void> ingest(const std::string& logical_name, std::string_view data,
+                      const std::map<std::string, std::string>& attributes = {});
+  // Reads the dataset from any live replica (tries them in order).
+  Result<std::string> fetch(const std::string& logical_name);
+  // Metadata search: all records whose attribute `field` equals `value`.
+  Result<std::vector<db::Record>> search(const std::string& field,
+                                         const std::string& value) const;
+  Result<db::Record> record_of(const std::string& logical_name) const;
+
+  // --- Active components ------------------------------------------------------
+  // Auditor pass: verifies every replica of every record (existence, size,
+  // checksum); damaged replicas are noted in the record's `problems` field
+  // and removed from `replicas`. Returns the number of problems discovered.
+  Result<int> audit_step();
+
+  // Replicator step: performs at most one repair/replication — it prefers
+  // records with noted problems or fewest replicas, copies from a surviving
+  // replica to a server that lacks one, within the space budget. Returns
+  // true if a copy was made.
+  Result<bool> replicate_step();
+  // Convenience: run replicate_step until it makes no progress.
+  Result<int> replicate_until_stable(int max_steps = 1 << 20);
+
+  // Total bytes across all replicas recorded in the catalog.
+  Result<uint64_t> stored_bytes() const;
+  // Number of live replicas of one dataset.
+  Result<int> replica_count(const std::string& logical_name) const;
+
+ private:
+  Result<void> verify_replica(const db::Record& record,
+                              const Replica& replica);
+  std::string new_data_path(const std::string& logical_name);
+
+  db::Store* catalog_;
+  std::map<std::string, fs::FileSystem*> servers_;
+  std::vector<std::string> server_names_;
+  GemsOptions options_;
+  Rng rng_;
+};
+
+}  // namespace tss::gems

@@ -1,0 +1,102 @@
+#include "net/line_stream.h"
+
+#include <cstring>
+
+namespace tss::net {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+}
+
+LineStream::LineStream(TcpSocket sock, Nanos timeout)
+    : sock_(std::move(sock)), timeout_(timeout) {}
+
+Result<void> LineStream::fill() {
+  // Compact the consumed prefix occasionally so the buffer doesn't grow.
+  if (rpos_ > 0 && rpos_ == rbuf_.size()) {
+    rbuf_.clear();
+    rpos_ = 0;
+  } else if (rpos_ > kReadChunk) {
+    rbuf_.erase(0, rpos_);
+    rpos_ = 0;
+  }
+  size_t old = rbuf_.size();
+  rbuf_.resize(old + kReadChunk);
+  auto n = sock_.read_some(rbuf_.data() + old, kReadChunk, timeout_);
+  if (!n.ok()) {
+    rbuf_.resize(old);
+    return std::move(n).take_error();
+  }
+  rbuf_.resize(old + n.value());
+  if (n.value() == 0) return Error(EPIPE, "connection closed");
+  return Result<void>::success();
+}
+
+Result<std::string> LineStream::read_line(size_t max_len) {
+  while (true) {
+    size_t nl = rbuf_.find('\n', rpos_);
+    if (nl != std::string::npos) {
+      size_t len = nl - rpos_;
+      if (len > max_len) return Error(EMSGSIZE, "protocol line too long");
+      std::string line = rbuf_.substr(rpos_, len);
+      rpos_ = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (rbuf_.size() - rpos_ > max_len) {
+      return Error(EMSGSIZE, "protocol line too long");
+    }
+    auto rc = fill();
+    if (!rc.ok()) {
+      // EOF exactly at a line boundary is a clean close.
+      if (rc.error().code == EPIPE && rpos_ == rbuf_.size()) {
+        return Error(EPIPE, "connection closed");
+      }
+      if (rc.error().code == EPIPE) {
+        return Error(ECONNRESET, "EOF mid-line");
+      }
+      return std::move(rc).take_error();
+    }
+  }
+}
+
+Result<void> LineStream::read_blob(void* data, size_t size) {
+  char* out = static_cast<char*>(data);
+  size_t copied = 0;
+  // Drain buffered bytes first.
+  size_t buffered = rbuf_.size() - rpos_;
+  if (buffered > 0) {
+    size_t take = std::min(buffered, size);
+    std::memcpy(out, rbuf_.data() + rpos_, take);
+    rpos_ += take;
+    copied = take;
+  }
+  if (copied < size) {
+    TSS_RETURN_IF_ERROR(
+        sock_.read_exact(out + copied, size - copied, timeout_));
+  }
+  return Result<void>::success();
+}
+
+void LineStream::write_line(std::string_view line) {
+  wbuf_.append(line);
+  wbuf_.push_back('\n');
+}
+
+void LineStream::write_blob(const void* data, size_t size) {
+  wbuf_.append(static_cast<const char*>(data), size);
+}
+
+Result<void> LineStream::flush() {
+  if (wbuf_.empty()) return Result<void>::success();
+  auto rc = sock_.write_all(wbuf_.data(), wbuf_.size(), timeout_);
+  wbuf_.clear();
+  return rc;
+}
+
+Result<void> LineStream::send_line(std::string_view line) {
+  write_line(line);
+  return flush();
+}
+
+}  // namespace tss::net

@@ -1,0 +1,65 @@
+// Buffered line+blob framing over a TCP socket.
+//
+// All TSS wire protocols (Chirp, catalog, NFS baseline, db) are line-oriented
+// ASCII control with length-delimited binary payloads, in the style of the
+// real Chirp protocol. LineStream provides buffered reads (so a line and the
+// blob following it cost one recv) and buffered writes with explicit flush
+// (so a request line plus its payload cost one send — important for the
+// latency measurements in Figures 4 and 5).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/socket.h"
+#include "util/result.h"
+
+namespace tss::net {
+
+class LineStream {
+ public:
+  // Default per-operation timeout 30s; override per call site as needed.
+  explicit LineStream(TcpSocket sock, Nanos timeout = 30 * kSecond);
+
+  LineStream(LineStream&&) = default;
+  LineStream& operator=(LineStream&&) = default;
+
+  void set_timeout(Nanos timeout) { timeout_ = timeout; }
+  Nanos timeout() const { return timeout_; }
+
+  // Reads one '\n'-terminated line (terminator stripped; a trailing '\r' is
+  // also stripped for telnet-friendliness). Fails with EMSGSIZE if the line
+  // exceeds max_len, ECONNRESET on EOF mid-line, and returns an empty
+  // optional-style EPIPE error on clean EOF at a line boundary.
+  Result<std::string> read_line(size_t max_len = 64 * 1024);
+
+  // Reads exactly `size` raw bytes (payload following a header line).
+  Result<void> read_blob(void* data, size_t size);
+
+  // Appends a line (terminator added) to the output buffer.
+  void write_line(std::string_view line);
+
+  // Appends raw payload bytes to the output buffer.
+  void write_blob(const void* data, size_t size);
+
+  // Sends everything buffered.
+  Result<void> flush();
+
+  // Convenience: write line, flush, used by simple request/response turns.
+  Result<void> send_line(std::string_view line);
+
+  bool valid() const { return sock_.valid(); }
+  void close() { sock_.close(); }
+  TcpSocket& socket() { return sock_; }
+
+ private:
+  Result<void> fill();
+
+  TcpSocket sock_;
+  Nanos timeout_;
+  std::string rbuf_;
+  size_t rpos_ = 0;
+  std::string wbuf_;
+};
+
+}  // namespace tss::net

@@ -1,0 +1,83 @@
+#include "net/server_loop.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace tss::net {
+
+Result<void> ServerLoop::start(const std::string& host, uint16_t port,
+                               Handler handler) {
+  TSS_ASSIGN_OR_RETURN(listener_, TcpListener::listen(host, port));
+  port_ = listener_.port();
+  handler_ = std::move(handler);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return Result<void>::success();
+}
+
+void ServerLoop::accept_loop() {
+  while (running_.load()) {
+    auto sock = listener_.accept(200 * kMillisecond);
+    if (!sock.ok()) {
+      if (sock.error().code == ETIMEDOUT) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        reap_finished_locked();
+        continue;
+      }
+      if (running_.load()) {
+        TSS_DEBUG("net") << "accept: " << sock.error().to_string();
+      }
+      break;
+    }
+    accepted_.fetch_add(1);
+    Connection conn;
+    // dup the fd so stop() can shutdown() a blocked handler without racing
+    // fd reuse: we own the dup until we close it ourselves.
+    conn.dup_fd = ::dup(sock.value().raw_fd());
+    conn.done = std::make_shared<std::atomic<bool>>(false);
+    auto done = conn.done;
+    conn.thread = std::thread(
+        [this, s = std::move(sock).value(), done]() mutable {
+          handler_(std::move(s));
+          done->store(true);
+        });
+    std::lock_guard<std::mutex> lock(mutex_);
+    conns_.push_back(std::move(conn));
+    reap_finished_locked();
+  }
+}
+
+void ServerLoop::reap_finished_locked() {
+  for (size_t i = 0; i < conns_.size();) {
+    if (conns_[i].done->load()) {
+      if (conns_[i].thread.joinable()) conns_[i].thread.join();
+      if (conns_[i].dup_fd >= 0) ::close(conns_[i].dup_fd);
+      conns_[i] = std::move(conns_.back());
+      conns_.pop_back();
+    } else {
+      i++;
+    }
+  }
+}
+
+void ServerLoop::stop() {
+  if (!running_.exchange(false)) return;
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<Connection> conns;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conns.swap(conns_);
+  }
+  for (auto& c : conns) {
+    if (c.dup_fd >= 0) ::shutdown(c.dup_fd, SHUT_RDWR);
+  }
+  for (auto& c : conns) {
+    if (c.thread.joinable()) c.thread.join();
+    if (c.dup_fd >= 0) ::close(c.dup_fd);
+  }
+}
+
+}  // namespace tss::net

@@ -1,0 +1,67 @@
+// Thread-per-connection accept loop shared by all TSS servers.
+//
+// The paper's servers are single-binary daemons an ordinary user starts with
+// one command. ServerLoop captures the common lifecycle: bind (ephemeral
+// ports supported so tests and rapid deployment need no configuration),
+// accept, hand each connection to a handler on its own thread, and shut down
+// cleanly — on disconnect the handler returns and all per-connection state
+// dies with it, matching Chirp's "server frees all resources associated with
+// that connection" failure semantics.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+#include "util/result.h"
+
+namespace tss::net {
+
+class ServerLoop {
+ public:
+  using Handler = std::function<void(TcpSocket)>;
+
+  ServerLoop() = default;
+  ~ServerLoop() { stop(); }
+  ServerLoop(const ServerLoop&) = delete;
+  ServerLoop& operator=(const ServerLoop&) = delete;
+
+  // Binds and starts the accept thread. host defaults to loopback; port 0
+  // picks an ephemeral port (see port() after start).
+  Result<void> start(const std::string& host, uint16_t port, Handler handler);
+
+  // Stops accepting, forcibly shuts down live connections (handlers observe
+  // EOF), and joins all threads.
+  void stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+  // Number of connections accepted over the loop's lifetime (for tests).
+  uint64_t connections_accepted() const { return accepted_.load(); }
+
+ private:
+  struct Connection {
+    std::thread thread;
+    int dup_fd = -1;  // dup of the connection fd, used to shutdown() on stop
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void accept_loop();
+  void reap_finished_locked();
+
+  TcpListener listener_;
+  Handler handler_;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> accepted_{0};
+  std::thread accept_thread_;
+  std::mutex mutex_;
+  std::vector<Connection> conns_;
+};
+
+}  // namespace tss::net

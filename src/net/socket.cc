@@ -1,0 +1,216 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace tss::net {
+
+namespace {
+
+Result<Endpoint> endpoint_from_sockaddr(const sockaddr_in& sa) {
+  char buf[INET_ADDRSTRLEN];
+  if (!inet_ntop(AF_INET, &sa.sin_addr, buf, sizeof buf)) {
+    return Error::from_errno("inet_ntop");
+  }
+  return Endpoint{buf, ntohs(sa.sin_port)};
+}
+
+int poll_one(int fd, short events, Nanos timeout) {
+  pollfd pfd{fd, events, 0};
+  int ms = timeout < 0 ? -1
+                       : static_cast<int>((timeout + kMillisecond - 1) /
+                                          kMillisecond);
+  return ::poll(&pfd, 1, ms);
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  return host + ":" + std::to_string(port);
+}
+
+Result<Endpoint> Endpoint::parse(const std::string& s) {
+  size_t pos = s.rfind(':');
+  if (pos == std::string::npos || pos == 0 || pos + 1 >= s.size()) {
+    return Error(EINVAL, "bad endpoint: " + s);
+  }
+  auto port = parse_u64(s.substr(pos + 1));
+  if (!port || *port > 65535) {
+    return Error(EINVAL, "bad endpoint port: " + s);
+  }
+  return Endpoint{s.substr(0, pos), static_cast<uint16_t>(*port)};
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpSocket> TcpSocket::connect(const Endpoint& ep, Nanos timeout) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  std::string port_str = std::to_string(ep.port);
+  int rc = ::getaddrinfo(ep.host.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Error(EHOSTUNREACH,
+                 "resolve " + ep.host + ": " + gai_strerror(rc));
+  }
+  Fd fd(::socket(res->ai_family, res->ai_socktype | SOCK_NONBLOCK, 0));
+  if (!fd.valid()) {
+    ::freeaddrinfo(res);
+    return Error::from_errno("socket");
+  }
+  rc = ::connect(fd.get(), res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc < 0 && errno != EINPROGRESS) {
+    return Error::from_errno("connect " + ep.to_string());
+  }
+  if (rc < 0) {
+    int prc = poll_one(fd.get(), POLLOUT, timeout);
+    if (prc == 0) return Error(ETIMEDOUT, "connect " + ep.to_string());
+    if (prc < 0) return Error::from_errno("poll");
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return Error::from_errno("getsockopt");
+    }
+    if (err != 0) {
+      return Error::from_errno(err, "connect " + ep.to_string());
+    }
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpSocket(std::move(fd));
+}
+
+Result<void> TcpSocket::wait_io(bool want_read, Nanos timeout) {
+  int rc = poll_one(fd_.get(), want_read ? POLLIN : POLLOUT, timeout);
+  if (rc == 0) return Error(ETIMEDOUT, "socket timeout");
+  if (rc < 0) return Error::from_errno("poll");
+  return Result<void>::success();
+}
+
+Result<size_t> TcpSocket::read_some(void* data, size_t size, Nanos timeout) {
+  if (!fd_.valid()) return Error(EBADF, "socket closed");
+  while (true) {
+    ssize_t n = ::recv(fd_.get(), data, size, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      TSS_RETURN_IF_ERROR(wait_io(/*want_read=*/true, timeout));
+      continue;
+    }
+    return Error::from_errno("recv");
+  }
+}
+
+Result<void> TcpSocket::read_exact(void* data, size_t size, Nanos timeout) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < size) {
+    TSS_ASSIGN_OR_RETURN(size_t n, read_some(p + got, size - got, timeout));
+    if (n == 0) return Error(ECONNRESET, "unexpected EOF");
+    got += n;
+  }
+  return Result<void>::success();
+}
+
+Result<void> TcpSocket::write_all(const void* data, size_t size,
+                                  Nanos timeout) {
+  if (!fd_.valid()) return Error(EBADF, "socket closed");
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd_.get(), p + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      TSS_RETURN_IF_ERROR(wait_io(/*want_read=*/false, timeout));
+      continue;
+    }
+    return Error::from_errno("send");
+  }
+  return Result<void>::success();
+}
+
+Result<Endpoint> TcpSocket::peer() const {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  if (::getpeername(fd_.get(), reinterpret_cast<sockaddr*>(&sa), &len) < 0) {
+    return Error::from_errno("getpeername");
+  }
+  return endpoint_from_sockaddr(sa);
+}
+
+Result<Endpoint> TcpSocket::local() const {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&sa), &len) < 0) {
+    return Error::from_errno("getsockname");
+  }
+  return endpoint_from_sockaddr(sa);
+}
+
+Result<TcpListener> TcpListener::listen(const std::string& host, uint16_t port,
+                                        int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Error::from_errno("socket");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    if (host == "localhost") {
+      sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    } else {
+      return Error(EINVAL, "bad listen address: " + host);
+    }
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof sa) < 0) {
+    return Error::from_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) < 0) return Error::from_errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    return Error::from_errno("getsockname");
+  }
+  TcpListener listener;
+  listener.fd_ = std::move(fd);
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<TcpSocket> TcpListener::accept(Nanos timeout) {
+  if (!fd_.valid()) return Error(EBADF, "listener closed");
+  int prc = poll_one(fd_.get(), POLLIN, timeout);
+  if (prc == 0) return Error(ETIMEDOUT, "accept timeout");
+  if (prc < 0) return Error::from_errno("poll");
+  int cfd = ::accept4(fd_.get(), nullptr, nullptr, SOCK_NONBLOCK);
+  if (cfd < 0) return Error::from_errno("accept");
+  int one = 1;
+  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpSocket(Fd(cfd));
+}
+
+}  // namespace tss::net

@@ -1,0 +1,106 @@
+// RAII TCP sockets.
+//
+// The Chirp protocol carries control and bulk data over one TCP connection
+// (the paper contrasts this with FTP's separate data channels and the slow
+// starts they cost), so a plain blocking stream socket with timeouts is the
+// only transport primitive the real-network mode needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace tss::net {
+
+// "host:port" endpoint. Host may be a dotted quad or a name resolvable by
+// the system resolver; loopback is the common case in tests and examples.
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+
+  std::string to_string() const;
+  static Result<Endpoint> parse(const std::string& s);
+  bool operator==(const Endpoint&) const = default;
+};
+
+// Owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// A connected TCP stream with deadline-based blocking I/O.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(Fd fd) : fd_(std::move(fd)) {}
+
+  static Result<TcpSocket> connect(const Endpoint& ep, Nanos timeout);
+
+  bool valid() const { return fd_.valid(); }
+  int raw_fd() const { return fd_.get(); }
+  void close() { fd_.reset(); }
+
+  // Reads up to `size` bytes; returns bytes read; 0 means orderly EOF.
+  Result<size_t> read_some(void* data, size_t size, Nanos timeout);
+  // Reads exactly `size` bytes or fails (EOF mid-read is ECONNRESET).
+  Result<void> read_exact(void* data, size_t size, Nanos timeout);
+  // Writes all of `size` bytes or fails.
+  Result<void> write_all(const void* data, size_t size, Nanos timeout);
+
+  // Address of the peer, e.g. "127.0.0.1:45123".
+  Result<Endpoint> peer() const;
+  // Address of the local end.
+  Result<Endpoint> local() const;
+
+ private:
+  Result<void> wait_io(bool want_read, Nanos timeout);
+  Fd fd_;
+};
+
+// A listening TCP socket. Port 0 binds an ephemeral port.
+class TcpListener {
+ public:
+  static Result<TcpListener> listen(const std::string& host, uint16_t port,
+                                    int backlog = 64);
+
+  Result<TcpSocket> accept(Nanos timeout);
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_.valid(); }
+  void close() { fd_.reset(); }
+  int raw_fd() const { return fd_.get(); }
+
+ private:
+  Fd fd_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace tss::net

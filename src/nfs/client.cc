@@ -1,0 +1,225 @@
+#include "nfs/client.h"
+
+#include "util/path.h"
+#include "util/strings.h"
+
+namespace tss::nfs {
+
+Result<Client> Client::connect(const net::Endpoint& server, Options options) {
+  TSS_ASSIGN_OR_RETURN(net::TcpSocket sock,
+                       net::TcpSocket::connect(server, options.timeout));
+  Client client(net::LineStream(std::move(sock), options.timeout));
+  TSS_ASSIGN_OR_RETURN(client.root_, client.mount());
+  return client;
+}
+
+Result<std::vector<std::string>> Client::roundtrip(const std::string& line,
+                                                   const void* payload,
+                                                   size_t payload_size) {
+  stream_.write_line(line);
+  if (payload && payload_size > 0) stream_.write_blob(payload, payload_size);
+  TSS_RETURN_IF_ERROR(stream_.flush());
+  TSS_ASSIGN_OR_RETURN(std::string response, stream_.read_line());
+  auto words = split_words(response);
+  if (words.empty()) return Error(EPROTO, "empty nfs response");
+  if (words[0] == "ok") {
+    words.erase(words.begin());
+    return words;
+  }
+  if (words[0] == "error" && words.size() >= 2) {
+    auto code = parse_i64(words[1]);
+    if (!code || *code == 0) return Error(EPROTO, "bad nfs error code");
+    return Error(static_cast<int>(*code),
+                 words.size() > 2 ? url_decode(words[2]) : "nfs error");
+  }
+  return Error(EPROTO, "bad nfs response: " + response);
+}
+
+Result<FileHandle> Client::mount() {
+  TSS_ASSIGN_OR_RETURN(auto args, roundtrip("mount"));
+  if (args.empty()) return Error(EPROTO, "short mount reply");
+  auto fh = parse_u64(args[0]);
+  if (!fh) return Error(EPROTO, "bad mount filehandle");
+  return *fh;
+}
+
+Result<std::pair<FileHandle, chirp::StatInfo>> Client::lookup(
+    FileHandle dir, const std::string& name) {
+  TSS_ASSIGN_OR_RETURN(
+      auto args, roundtrip("lookup " + std::to_string(dir) + " " +
+                           url_encode(name)));
+  if (args.empty()) return Error(EPROTO, "short lookup reply");
+  auto fh = parse_u64(args[0]);
+  if (!fh) return Error(EPROTO, "bad lookup filehandle");
+  TSS_ASSIGN_OR_RETURN(chirp::StatInfo info, chirp::StatInfo::parse(args, 1));
+  return std::make_pair(*fh, info);
+}
+
+Result<chirp::StatInfo> Client::getattr(FileHandle fh) {
+  TSS_ASSIGN_OR_RETURN(auto args,
+                       roundtrip("getattr " + std::to_string(fh)));
+  return chirp::StatInfo::parse(args, 0);
+}
+
+Result<size_t> Client::read_rpc(FileHandle fh, void* data, size_t size,
+                                int64_t offset) {
+  if (size > kMaxTransfer) return Error(EMSGSIZE, "read exceeds nfs maximum");
+  TSS_ASSIGN_OR_RETURN(
+      auto args, roundtrip("read " + std::to_string(fh) + " " +
+                           std::to_string(offset) + " " +
+                           std::to_string(size)));
+  if (args.empty()) return Error(EPROTO, "short read reply");
+  auto n = parse_u64(args[0]);
+  if (!n || *n > size) return Error(EPROTO, "bad read length");
+  if (*n > 0) {
+    TSS_RETURN_IF_ERROR(stream_.read_blob(data, static_cast<size_t>(*n)));
+  }
+  return static_cast<size_t>(*n);
+}
+
+Result<size_t> Client::write_rpc(FileHandle fh, const void* data, size_t size,
+                                 int64_t offset) {
+  if (size > kMaxTransfer) {
+    return Error(EMSGSIZE, "write exceeds nfs maximum");
+  }
+  TSS_ASSIGN_OR_RETURN(
+      auto args, roundtrip("write " + std::to_string(fh) + " " +
+                               std::to_string(offset) + " " +
+                               std::to_string(size),
+                           data, size));
+  if (args.empty()) return Error(EPROTO, "short write reply");
+  auto n = parse_u64(args[0]);
+  if (!n) return Error(EPROTO, "bad write length");
+  return static_cast<size_t>(*n);
+}
+
+Result<std::pair<FileHandle, chirp::StatInfo>> Client::create(
+    FileHandle dir, const std::string& name, uint32_t mode) {
+  TSS_ASSIGN_OR_RETURN(
+      auto args, roundtrip("create " + std::to_string(dir) + " " +
+                           url_encode(name) + " " + std::to_string(mode)));
+  if (args.empty()) return Error(EPROTO, "short create reply");
+  auto fh = parse_u64(args[0]);
+  if (!fh) return Error(EPROTO, "bad create filehandle");
+  TSS_ASSIGN_OR_RETURN(chirp::StatInfo info, chirp::StatInfo::parse(args, 1));
+  return std::make_pair(*fh, info);
+}
+
+Result<void> Client::remove(FileHandle dir, const std::string& name) {
+  TSS_ASSIGN_OR_RETURN(auto args,
+                       roundtrip("remove " + std::to_string(dir) + " " +
+                                 url_encode(name)));
+  (void)args;
+  return Result<void>::success();
+}
+
+Result<void> Client::rename(FileHandle from_dir, const std::string& from,
+                            FileHandle to_dir, const std::string& to) {
+  TSS_ASSIGN_OR_RETURN(
+      auto args, roundtrip("rename " + std::to_string(from_dir) + " " +
+                           url_encode(from) + " " + std::to_string(to_dir) +
+                           " " + url_encode(to)));
+  (void)args;
+  return Result<void>::success();
+}
+
+Result<FileHandle> Client::mkdir(FileHandle dir, const std::string& name,
+                                 uint32_t mode) {
+  TSS_ASSIGN_OR_RETURN(
+      auto args, roundtrip("mkdir " + std::to_string(dir) + " " +
+                           url_encode(name) + " " + std::to_string(mode)));
+  if (args.empty()) return Error(EPROTO, "short mkdir reply");
+  auto fh = parse_u64(args[0]);
+  if (!fh) return Error(EPROTO, "bad mkdir filehandle");
+  return *fh;
+}
+
+Result<void> Client::rmdir(FileHandle dir, const std::string& name) {
+  TSS_ASSIGN_OR_RETURN(auto args,
+                       roundtrip("rmdir " + std::to_string(dir) + " " +
+                                 url_encode(name)));
+  (void)args;
+  return Result<void>::success();
+}
+
+Result<std::vector<std::string>> Client::readdir(FileHandle fh) {
+  TSS_ASSIGN_OR_RETURN(auto args,
+                       roundtrip("readdir " + std::to_string(fh)));
+  if (args.empty()) return Error(EPROTO, "short readdir reply");
+  auto count = parse_u64(args[0]);
+  if (!count) return Error(EPROTO, "bad readdir count");
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(*count));
+  for (uint64_t i = 0; i < *count; i++) {
+    TSS_ASSIGN_OR_RETURN(std::string line, stream_.read_line());
+    names.push_back(url_decode(line));
+  }
+  return names;
+}
+
+Result<void> Client::truncate(FileHandle fh, uint64_t size) {
+  TSS_ASSIGN_OR_RETURN(auto args,
+                       roundtrip("truncate " + std::to_string(fh) + " " +
+                                 std::to_string(size)));
+  (void)args;
+  return Result<void>::success();
+}
+
+Result<FileHandle> Client::resolve(const std::string& p) {
+  FileHandle fh = root_;
+  for (const std::string& component : path::components(path::sanitize(p))) {
+    TSS_ASSIGN_OR_RETURN(auto next, lookup(fh, component));
+    fh = next.first;
+  }
+  return fh;
+}
+
+Result<chirp::StatInfo> Client::stat(const std::string& p) {
+  TSS_ASSIGN_OR_RETURN(FileHandle fh, resolve(p));
+  return getattr(fh);
+}
+
+Result<FileHandle> Client::open_file(const std::string& p,
+                                     bool create_if_absent, uint32_t mode) {
+  std::string canonical = path::sanitize(p);
+  std::string dir = path::dirname(canonical);
+  std::string name = path::basename(canonical);
+  TSS_ASSIGN_OR_RETURN(FileHandle dir_fh, resolve(dir));
+  auto existing = lookup(dir_fh, name);
+  if (existing.ok()) return existing.value().first;
+  if (!create_if_absent) return std::move(existing).take_error();
+  TSS_ASSIGN_OR_RETURN(auto created, create(dir_fh, name, mode));
+  return created.first;
+}
+
+Result<size_t> Client::pread(FileHandle fh, void* data, size_t size,
+                             int64_t offset) {
+  char* out = static_cast<char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    size_t chunk = std::min<size_t>(size - done, kMaxTransfer);
+    TSS_ASSIGN_OR_RETURN(size_t n,
+                         read_rpc(fh, out + done, chunk,
+                                  offset + static_cast<int64_t>(done)));
+    done += n;
+    if (n < chunk) break;  // EOF
+  }
+  return done;
+}
+
+Result<size_t> Client::pwrite(FileHandle fh, const void* data, size_t size,
+                              int64_t offset) {
+  const char* in = static_cast<const char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    size_t chunk = std::min<size_t>(size - done, kMaxTransfer);
+    TSS_ASSIGN_OR_RETURN(size_t n,
+                         write_rpc(fh, in + done, chunk,
+                                   offset + static_cast<int64_t>(done)));
+    done += n;
+    if (n == 0) break;
+  }
+  return done;
+}
+
+}  // namespace tss::nfs

@@ -1,0 +1,81 @@
+// NFS-baseline client.
+//
+// Performs per-component LOOKUP for every path operation — the name cache is
+// deliberately absent ("we provide a comparison of TSS (with no caching)
+// against NFS (with no caching)", §7). Reads and writes are segmented into
+// kMaxTransfer-byte RPCs, one outstanding at a time, which is the mechanism
+// behind the NFS bandwidth ceiling in Figure 5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chirp/protocol.h"
+#include "net/line_stream.h"
+#include "nfs/wire.h"
+
+namespace tss::nfs {
+
+class Client {
+ public:
+  struct Options {
+    Nanos timeout = 30 * kSecond;
+  };
+
+  static Result<Client> connect(const net::Endpoint& server, Options options);
+  static Result<Client> connect(const net::Endpoint& server) {
+    return connect(server, Options{});
+  }
+
+  Client() = default;
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+  bool connected() const { return stream_.valid(); }
+
+  // --- fh-level RPCs (exposed for tests and precise benchmarking) ---------
+  Result<FileHandle> mount();
+  Result<std::pair<FileHandle, chirp::StatInfo>> lookup(FileHandle dir,
+                                                        const std::string& name);
+  Result<chirp::StatInfo> getattr(FileHandle fh);
+  // Single RPC; size must be <= kMaxTransfer.
+  Result<size_t> read_rpc(FileHandle fh, void* data, size_t size,
+                          int64_t offset);
+  Result<size_t> write_rpc(FileHandle fh, const void* data, size_t size,
+                           int64_t offset);
+  Result<std::pair<FileHandle, chirp::StatInfo>> create(FileHandle dir,
+                                                        const std::string& name,
+                                                        uint32_t mode);
+  Result<void> remove(FileHandle dir, const std::string& name);
+  Result<void> rename(FileHandle from_dir, const std::string& from,
+                      FileHandle to_dir, const std::string& to);
+  Result<FileHandle> mkdir(FileHandle dir, const std::string& name,
+                           uint32_t mode);
+  Result<void> rmdir(FileHandle dir, const std::string& name);
+  Result<std::vector<std::string>> readdir(FileHandle fh);
+  Result<void> truncate(FileHandle fh, uint64_t size);
+
+  // --- path-level convenience (what an application sees) -------------------
+  // Walks the path with one LOOKUP per component, every time.
+  Result<FileHandle> resolve(const std::string& path);
+  // resolve + getattr: the cost profile of stat over NFS.
+  Result<chirp::StatInfo> stat(const std::string& path);
+  // resolve parent + create/lookup: the cost profile of open.
+  Result<FileHandle> open_file(const std::string& path, bool create_if_absent,
+                               uint32_t mode = 0644);
+  // Segmented whole-range I/O in kMaxTransfer chunks.
+  Result<size_t> pread(FileHandle fh, void* data, size_t size, int64_t offset);
+  Result<size_t> pwrite(FileHandle fh, const void* data, size_t size,
+                        int64_t offset);
+
+ private:
+  explicit Client(net::LineStream stream) : stream_(std::move(stream)) {}
+
+  Result<std::vector<std::string>> roundtrip(const std::string& line,
+                                             const void* payload = nullptr,
+                                             size_t payload_size = 0);
+
+  net::LineStream stream_;
+  FileHandle root_ = kInvalidHandle;
+};
+
+}  // namespace tss::nfs

@@ -1,0 +1,61 @@
+// The NFS-baseline server.
+//
+// Exports a host directory through the filehandle protocol described in
+// wire.h. Handles map to paths; a handle whose file has vanished yields
+// ESTALE, which is also what the adapter surfaces for Chirp files whose
+// inode changed — "the client receives a 'stale file handle' error as in
+// NFS" (§6).
+//
+// No authentication and no per-user access control: NFS in the paper's
+// setting "assumes that all machines share a common user database" (§3);
+// the baseline trusts every connection, which is exactly the property the
+// TSS virtual user space is contrasted against.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "chirp/protocol.h"
+#include "net/server_loop.h"
+#include "util/result.h"
+
+namespace tss::nfs {
+
+class Server {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    std::string export_root;
+    Nanos io_timeout = 30 * kSecond;
+  };
+
+  explicit Server(Options options);
+  ~Server();
+
+  Result<void> start();
+  void stop();
+  uint16_t port() const { return loop_.port(); }
+  net::Endpoint endpoint() const {
+    return net::Endpoint{options_.host, loop_.port()};
+  }
+
+ private:
+  void serve_connection(net::TcpSocket sock);
+
+  // Handle table: fh -> canonical virtual path. fh 1 is "/".
+  uint64_t handle_for(const std::string& canonical);
+  Result<std::string> path_for(uint64_t fh);
+  std::string host_path(const std::string& canonical) const;
+
+  Options options_;
+  net::ServerLoop loop_;
+  std::mutex mutex_;
+  std::map<uint64_t, std::string> handle_to_path_;
+  std::map<std::string, uint64_t> path_to_handle_;
+  uint64_t next_handle_ = 2;
+};
+
+}  // namespace tss::nfs

@@ -1,0 +1,39 @@
+// Wire definitions shared by the NFS-baseline server and client.
+//
+// This models the properties the paper attributes to NFS in its
+// measurements (DESIGN.md §3, substitution 4):
+//   - filehandle-based, per-component LOOKUP name resolution
+//     ("CFS has lower latency for stat and open/close, because it does not
+//      require lookup operations to resolve names to inodes", §7);
+//   - READ/WRITE RPCs capped at 4 KB
+//     ("Parrot+CFS achieves higher bandwidth than Unix+NFS because it uses
+//      variable sized messages over TCP instead of 4KB RPC packets", Fig 5);
+//   - strict request-response, one outstanding RPC per connection;
+//   - caching disabled, matching the paper's apples-to-apples comparison.
+//
+// RPCs (line-oriented, same framing conventions as Chirp):
+//   mount                                   -> ok <root_fh>
+//   lookup <dir_fh> <name>                  -> ok <fh> <stat fields>
+//   getattr <fh>                            -> ok <stat fields>
+//   read <fh> <offset> <count<=4096>        -> ok <n> + n payload bytes
+//   write <fh> <offset> <count<=4096>       -> (payload) ok <n>
+//   create <dir_fh> <name> <mode>           -> ok <fh> <stat fields>
+//   remove <dir_fh> <name>                  -> ok
+//   rename <dfh1> <n1> <dfh2> <n2>          -> ok
+//   mkdir <dir_fh> <name> <mode>            -> ok <fh>
+//   rmdir <dir_fh> <name>                   -> ok
+//   readdir <dir_fh>                        -> ok <count> + count name lines
+//   truncate <fh> <size>                    -> ok
+#pragma once
+
+#include <cstdint>
+
+namespace tss::nfs {
+
+// "4KB RPC packets" (§7, Figure 5 caption).
+constexpr uint64_t kMaxTransfer = 4096;
+
+using FileHandle = uint64_t;
+constexpr FileHandle kInvalidHandle = 0;
+
+}  // namespace tss::nfs

@@ -1,0 +1,125 @@
+// Syscall micro-benchmark worker for Figure 3.
+//
+// Performs N iterations of one named system call and reports the mean
+// nanoseconds per call on stdout. The same binary is run natively and under
+// the parrot tracer (bench_fig3_syscall_latency does both); because the
+// worker times its own loop, the difference between the two runs is exactly
+// the trapping overhead the paper's Figure 3 charges to Parrot.
+//
+// Usage: tss_syscall_worker <call> <iterations> <scratch-file>
+//   call: getpid | stat | open-close | read-1 | read-8k | write-1 | write-8k
+#include <fcntl.h>
+#include <sys/syscall.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int fail(const char* msg) {
+  std::perror(msg);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <call> <iterations> <scratch-file>\n", argv[0]);
+    return 2;
+  }
+  std::string call = argv[1];
+  long iterations = std::atol(argv[2]);
+  const char* scratch = argv[3];
+  if (iterations <= 0) return 2;
+
+  // Copy mode (Figure 5): write <iterations> bytes total in blocks of
+  // <block> bytes (block passed via argv[4]); prints total elapsed ns.
+  if (call == "copy") {
+    if (argc < 5) return 2;
+    long block = std::atol(argv[4]);
+    if (block <= 0) return 2;
+    std::string buffer(static_cast<size_t>(block), 'c');
+    int fd = ::open(scratch, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return fail("open copy target");
+    int64_t start = now_ns();
+    long remaining = iterations;  // total bytes in this mode
+    while (remaining > 0) {
+      long n = remaining < block ? remaining : block;
+      if (::write(fd, buffer.data(), static_cast<size_t>(n)) != n) {
+        return fail("copy write");
+      }
+      remaining -= n;
+    }
+    int64_t elapsed = now_ns() - start;
+    ::close(fd);
+    std::printf("elapsed_ns %lld\n", static_cast<long long>(elapsed));
+    return 0;
+  }
+
+  // Prepare the scratch file with enough data for the 8 KB reads.
+  static char block[8192];
+  std::memset(block, 'x', sizeof block);
+  {
+    int fd = ::open(scratch, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return fail("open scratch");
+    if (::write(fd, block, sizeof block) != (ssize_t)sizeof block) {
+      return fail("prime scratch");
+    }
+    ::close(fd);
+  }
+
+  int fd = -1;
+  if (call == "read-1" || call == "read-8k") {
+    fd = ::open(scratch, O_RDONLY);
+    if (fd < 0) return fail("open for read");
+  } else if (call == "write-1" || call == "write-8k") {
+    fd = ::open(scratch, O_WRONLY);
+    if (fd < 0) return fail("open for write");
+  }
+
+  struct stat st{};
+  int64_t start = now_ns();
+  for (long i = 0; i < iterations; i++) {
+    if (call == "getpid") {
+      // glibc caches getpid; use the raw syscall to actually enter the
+      // kernel every iteration.
+      (void)::syscall(SYS_getpid);
+    } else if (call == "stat") {
+      if (::stat(scratch, &st) != 0) return fail("stat");
+    } else if (call == "open-close") {
+      int f = ::open(scratch, O_RDONLY);
+      if (f < 0) return fail("open");
+      ::close(f);
+    } else if (call == "read-1") {
+      if (::pread(fd, block, 1, 0) != 1) return fail("read-1");
+    } else if (call == "read-8k") {
+      if (::pread(fd, block, 8192, 0) != 8192) return fail("read-8k");
+    } else if (call == "write-1") {
+      if (::pwrite(fd, block, 1, 0) != 1) return fail("write-1");
+    } else if (call == "write-8k") {
+      if (::pwrite(fd, block, 8192, 0) != 8192) return fail("write-8k");
+    } else {
+      std::fprintf(stderr, "unknown call: %s\n", call.c_str());
+      return 2;
+    }
+  }
+  int64_t elapsed = now_ns() - start;
+  if (fd >= 0) ::close(fd);
+
+  std::printf("ns_per_call %lld\n",
+              static_cast<long long>(elapsed / iterations));
+  return 0;
+}

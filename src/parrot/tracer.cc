@@ -1,0 +1,249 @@
+#include "parrot/tracer.h"
+
+#include <sys/ptrace.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <sys/user.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <climits>
+#include <csignal>
+#include <cstring>
+#include <map>
+
+#include "util/logging.h"
+#include "util/path.h"
+#include "util/strings.h"
+
+namespace tss::parrot {
+
+#if defined(__x86_64__) && defined(__linux__)
+
+bool tracer_supported() { return true; }
+
+namespace {
+
+// Which argument register carries the pathname for each intercepted syscall.
+// x86-64 syscall args: rdi, rsi, rdx, r10, r8, r9.
+enum class PathArg { kNone, kArg0, kArg1 };
+
+PathArg path_arg_for(long syscall_number) {
+  switch (syscall_number) {
+    case SYS_open:
+    case SYS_stat:
+    case SYS_lstat:
+    case SYS_access:
+    case SYS_readlink:
+    case SYS_execve:
+    case SYS_truncate:
+    case SYS_chdir:
+      return PathArg::kArg0;
+    case SYS_openat:
+    case SYS_newfstatat:
+    case SYS_statx:
+    case SYS_faccessat:
+    case SYS_readlinkat:
+    case SYS_execveat:
+      return PathArg::kArg1;
+    default:
+      return PathArg::kNone;
+  }
+}
+
+unsigned long long* arg_slot(user_regs_struct& regs, PathArg which) {
+  return which == PathArg::kArg0 ? &regs.rdi : &regs.rsi;
+}
+
+// Reads a NUL-terminated string from the child's address space.
+Result<std::string> read_child_string(pid_t pid, unsigned long long addr) {
+  std::string out;
+  char buf[256];
+  while (out.size() < PATH_MAX) {
+    iovec local{buf, sizeof buf};
+    iovec remote{reinterpret_cast<void*>(addr + out.size()), sizeof buf};
+    ssize_t n = process_vm_readv(pid, &local, 1, &remote, 1, 0);
+    if (n <= 0) return Error::from_errno("process_vm_readv");
+    for (ssize_t i = 0; i < n; i++) {
+      if (buf[i] == '\0') return out;
+      out.push_back(buf[i]);
+    }
+  }
+  return Error(ENAMETOOLONG, "child path not terminated");
+}
+
+Result<void> write_child_bytes(pid_t pid, unsigned long long addr,
+                               const void* data, size_t size) {
+  iovec local{const_cast<void*>(data), size};
+  iovec remote{reinterpret_cast<void*>(addr), size};
+  ssize_t n = process_vm_writev(pid, &local, 1, &remote, 1, 0);
+  if (n < 0 || static_cast<size_t>(n) != size) {
+    return Error::from_errno("process_vm_writev");
+  }
+  return Result<void>::success();
+}
+
+}  // namespace
+
+Result<TraceStats> trace_run(const std::vector<std::string>& argv,
+                             const TraceOptions& options) {
+  if (argv.empty()) return Error(EINVAL, "empty argv");
+
+  pid_t pid = ::fork();
+  if (pid < 0) return Error::from_errno("fork");
+  if (pid == 0) {
+    // Child: request tracing and exec. The kernel delivers a SIGTRAP at
+    // exec, handing control to the tracer before the first instruction.
+    ::ptrace(PTRACE_TRACEME, 0, nullptr, nullptr);
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const std::string& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+    args.push_back(nullptr);
+    ::execvp(args[0], args.data());
+    _exit(127);
+  }
+
+  TraceStats stats;
+  int status = 0;
+  if (::waitpid(pid, &status, 0) < 0) return Error::from_errno("waitpid");
+  if (WIFEXITED(status)) {
+    // exec itself failed (binary missing): the child exited before any
+    // trap was delivered.
+    stats.exit_code = WEXITSTATUS(status);
+    return stats;
+  }
+  if (!WIFSTOPPED(status)) {
+    return Error(ECHILD, "child did not stop at exec");
+  }
+  // TRACESYSGOOD distinguishes syscall stops (SIGTRAP|0x80) from genuine
+  // SIGTRAPs; EXITKILL guarantees no orphan if the tracer dies; the
+  // fork/vfork/clone options make children of the application traced too —
+  // real workloads (shells, scripts) fork constantly.
+  ::ptrace(PTRACE_SETOPTIONS, pid, nullptr,
+           PTRACE_O_TRACESYSGOOD | PTRACE_O_EXITKILL | PTRACE_O_TRACEFORK |
+               PTRACE_O_TRACEVFORK | PTRACE_O_TRACECLONE);
+
+  std::string prefix =
+      options.virtual_prefix.empty() ? "" : path::sanitize(options.virtual_prefix);
+
+  // Per-process entry/exit toggle; new children appear via SIGSTOP or the
+  // fork events and are resumed into syscall-stop mode.
+  std::map<pid_t, bool> in_syscall;
+  in_syscall[pid] = false;
+
+  auto resume = [](pid_t p, int sig = 0) {
+    ::ptrace(PTRACE_SYSCALL, p, nullptr,
+             reinterpret_cast<void*>(static_cast<intptr_t>(sig)));
+  };
+  resume(pid);
+
+  while (!in_syscall.empty()) {
+    pid_t stopped = ::waitpid(-1, &status, __WALL);
+    if (stopped < 0) {
+      if (errno == ECHILD) break;
+      return Error::from_errno("waitpid");
+    }
+    if (WIFEXITED(status) || WIFSIGNALED(status)) {
+      if (stopped == pid) {
+        stats.exit_code = WIFEXITED(status) ? WEXITSTATUS(status)
+                                            : 128 + WTERMSIG(status);
+      }
+      in_syscall.erase(stopped);
+      continue;
+    }
+    if (!WIFSTOPPED(status)) continue;
+
+    if (!in_syscall.count(stopped)) {
+      // A newly reported child (fork/clone event delivers it stopped).
+      in_syscall[stopped] = false;
+      resume(stopped);
+      continue;
+    }
+
+    int sig = WSTOPSIG(status);
+    if (sig != (SIGTRAP | 0x80)) {
+      // Swallow trace-event SIGTRAPs (exec, fork notifications); forward
+      // genuine signals to the process.
+      bool trace_event = sig == SIGTRAP || (status >> 16) != 0;
+      resume(stopped, trace_event ? 0 : sig);
+      continue;
+    }
+
+    bool entering = !in_syscall[stopped];
+    in_syscall[stopped] = entering;
+    if (!entering) {
+      resume(stopped);
+      continue;
+    }
+    stats.syscall_count++;
+
+    if (prefix.empty()) {
+      resume(stopped);
+      continue;
+    }
+
+    user_regs_struct regs{};
+    if (::ptrace(PTRACE_GETREGS, stopped, nullptr, &regs) < 0) {
+      resume(stopped);
+      continue;
+    }
+    PathArg which = path_arg_for(static_cast<long>(regs.orig_rax));
+    if (which == PathArg::kNone) {
+      resume(stopped);
+      continue;
+    }
+
+    unsigned long long* slot = arg_slot(regs, which);
+    auto child_path = read_child_string(stopped, *slot);
+    if (child_path.ok()) {
+      std::string canonical = path::sanitize(child_path.value());
+      if (path::is_within(prefix, canonical) && canonical != prefix) {
+        std::string virtual_path = canonical.substr(prefix.size());
+        std::string replacement;
+        if (options.fetch) {
+          auto fetched = options.fetch(virtual_path);
+          if (fetched.ok()) {
+            replacement = fetched.value();
+          } else {
+            stats.fetch_failures++;
+            // Point the syscall at a path that cannot exist so the
+            // application observes ENOENT, the same surface a missing
+            // remote file presents.
+            replacement = "/\x01tss-enoent\x01";
+          }
+        } else {
+          stats.fetch_failures++;
+          replacement = "/\x01tss-enoent\x01";
+        }
+
+        // Plant the replacement string on the child's stack, well below
+        // rsp: the memory only needs to stay intact while the kernel copies
+        // the path, i.e. for the duration of this very syscall.
+        unsigned long long scratch = regs.rsp - 4096;
+        if (write_child_bytes(stopped, scratch, replacement.c_str(),
+                              replacement.size() + 1)
+                .ok()) {
+          *slot = scratch;
+          if (::ptrace(PTRACE_SETREGS, stopped, nullptr, &regs) == 0) {
+            stats.rewrites++;
+          }
+        }
+      }
+    }
+    resume(stopped);
+  }
+  return stats;
+}
+
+#else  // !x86-64 Linux
+
+bool tracer_supported() { return false; }
+
+Result<TraceStats> trace_run(const std::vector<std::string>&,
+                             const TraceOptions&) {
+  return Error(ENOSYS, "ptrace tracer only implemented for x86-64 Linux");
+}
+
+#endif
+
+}  // namespace tss::parrot

@@ -1,0 +1,59 @@
+// The Parrot trapping mechanism: ptrace-based system call interposition.
+//
+// "This adapter connects to an application through the debugging interface
+// and instructs the kernel to intercept all of its system calls. As each
+// call is attempted, the application is halted, and the adapter provides a
+// new implementation." (§6)
+//
+// Two capabilities are provided, both with real PTRACE_SYSCALL machinery
+// (x86-64 Linux):
+//
+//  1. Pass-through tracing: every system call of an unmodified child is
+//     stopped at entry and exit and immediately resumed. This is the
+//     mechanism whose per-call cost Figure 3 measures — the multiple
+//     user/kernel context switches charged on every call.
+//
+//  2. Path redirection: system calls whose path argument falls under a
+//     configured virtual prefix (e.g. "/tss/...") are rewritten in the
+//     stopped child's registers and memory to point at a locally
+//     materialized copy, obtained through a fetch callback (typically an
+//     adapter::Adapter that speaks Chirp). This demonstrates transparent
+//     access for unmodified binaries; it covers the read-path syscalls
+//     (open/openat/stat/access/execve...), a deliberately small slice of
+//     what the full Parrot implements.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tss::parrot {
+
+struct TraceOptions {
+  // When non-empty, paths under this prefix are redirected.
+  std::string virtual_prefix;
+  // Maps a virtual path (prefix stripped, canonical, e.g. "/data/x") to a
+  // host path whose content should be substituted. Failures surface to the
+  // application as ENOENT.
+  std::function<Result<std::string>(const std::string&)> fetch;
+};
+
+struct TraceStats {
+  int exit_code = -1;
+  uint64_t syscall_count = 0;   // number of system calls observed
+  uint64_t rewrites = 0;        // path arguments redirected
+  uint64_t fetch_failures = 0;  // redirections that failed (app saw ENOENT)
+};
+
+// Runs argv[0] with the given arguments under the tracer. Blocks until the
+// child exits.
+Result<TraceStats> trace_run(const std::vector<std::string>& argv,
+                             const TraceOptions& options = {});
+
+// True on platforms where the tracer is implemented (x86-64 Linux).
+bool tracer_supported();
+
+}  // namespace tss::parrot

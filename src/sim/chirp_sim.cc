@@ -1,0 +1,254 @@
+#include "sim/chirp_sim.h"
+
+#include "auth/hostname.h"
+#include "util/strings.h"
+
+namespace tss::sim {
+
+SimChirpServer::SimChirpServer(Cluster& cluster, Options options)
+    : cluster_(cluster), options_(std::move(options)) {
+  node_ = cluster_.add_node();
+  backend_ =
+      std::make_unique<SimBackend>(cluster_.engine(), options_.backend);
+  auth_ = std::make_unique<auth::ServerAuth>();
+  // The hostname resolver trusts the simulated peer identity directly.
+  auth_->add(std::make_unique<auth::HostnameServerMethod>(
+      [](const std::string& ip) { return ip; }));
+  config_.owner = options_.owner;
+  auto acl = acl::Acl::parse(options_.root_acl_text);
+  config_.root_acl = acl.ok() ? acl.value() : acl::Acl();
+  config_.auth = auth_.get();
+}
+
+namespace {
+
+// No-op challenge IO: the only sim auth method (hostname) never challenges.
+class NullChallengeIo final : public auth::ChallengeIo {
+ public:
+  Result<void> send_challenge(const std::string&) override {
+    return Error(EPROTO, "no challenges in simulation");
+  }
+  Result<std::string> read_response() override {
+    return Error(EPROTO, "no challenges in simulation");
+  }
+};
+
+}  // namespace
+
+SimChirpClient::SimChirpClient(Cluster& cluster, int client_node,
+                               SimChirpServer& server, std::string client_host)
+    : cluster_(cluster),
+      client_node_(client_node),
+      server_(server),
+      client_host_(std::move(client_host)) {
+  session_ = std::make_unique<chirp::SessionCore>(
+      server_.config(), server_.backend(),
+      auth::PeerInfo{client_host_, client_host_});
+}
+
+Task<Result<void>> SimChirpClient::connect() {
+  // TCP three-way handshake: one round trip of tiny segments.
+  co_await cluster_.transfer(client_node_, server_.node(), 64);
+  co_await cluster_.transfer(server_.node(), client_node_, 64);
+
+  // version exchange.
+  chirp::Request version;
+  version.op = chirp::Op::kVersion;
+  auto vr = co_await call(version, 0);
+  if (!vr.ok()) co_return std::move(vr).take_error();
+
+  // auth exchange: one RPC; dispatched to the real ServerAuth.
+  chirp::Request auth_req;
+  auth_req.op = chirp::Op::kAuth;
+  auth_req.auth_method = "hostname";
+  auth_req.auth_arg = "-";
+  std::string line = chirp::encode_request(auth_req);
+  co_await cluster_.transfer(client_node_, server_.node(), line.size() + 1);
+  NullChallengeIo io;
+  auto subject = session_->authenticate("hostname", "-", io);
+  co_await cluster_.engine().sleep_for(server_.options().rpc_cpu_cost);
+  co_await cluster_.transfer(server_.node(), client_node_, 64);
+  if (!subject.ok()) co_return std::move(subject).take_error();
+  connected_ = true;
+  co_return Result<void>::success();
+}
+
+Task<Result<SimChirpClient::CallResult>> SimChirpClient::call(
+    chirp::Request request, uint64_t request_payload_size,
+    const char* request_payload_data) {
+  rpcs_++;
+  // Request line (+ body) to the server. The line is produced by the real
+  // encoder so framing overheads are the real ones.
+  std::string line = chirp::encode_request(request);
+  co_await cluster_.transfer(client_node_, server_.node(),
+                             line.size() + 1 + request_payload_size);
+
+  // Server side: real parse, real dispatch against the timed backend.
+  auto parsed = chirp::parse_request_line(line);
+  if (!parsed.ok()) co_return std::move(parsed).take_error();
+  chirp::SessionCore::Payload payload;
+  payload.data = request_payload_data;  // null = synthetic body
+  payload.size = request_payload_size;
+
+  CallResult result;
+  result.response =
+      session_->handle(parsed.value(), payload, &result.payload);
+
+  // Wait for the backend's disk/cache work plus the server's per-RPC CPU.
+  Nanos backend_done = server_.backend().take_completion();
+  Nanos cpu_done = std::max(backend_done, cluster_.engine().now()) +
+                   server_.options().rpc_cpu_cost;
+  co_await cluster_.engine().sleep_until(cpu_done);
+
+  // Response line + payload back to the client.
+  std::string response_line = chirp::encode_response_line(result.response);
+  uint64_t response_bytes =
+      response_line.size() + 1 +
+      std::max<uint64_t>(result.response.payload_size, result.payload.size());
+  co_await cluster_.transfer(server_.node(), client_node_, response_bytes);
+  co_return result;
+}
+
+namespace {
+Result<int64_t> first_arg_i64(const chirp::Response& resp) {
+  if (!resp.ok()) return Error(resp.err, resp.message);
+  if (resp.args.empty()) return Error(EPROTO, "short reply");
+  auto n = parse_i64(resp.args[0]);
+  if (!n) return Error(EPROTO, "bad integer reply");
+  return *n;
+}
+}  // namespace
+
+Task<Result<int64_t>> SimChirpClient::open(std::string path,
+                                           chirp::OpenFlags flags,
+                                           uint32_t mode) {
+  chirp::Request req;
+  req.op = chirp::Op::kOpen;
+  req.path = std::move(path);
+  req.flags = flags;
+  req.mode = mode;
+  auto r = co_await call(req, 0);
+  if (!r.ok()) co_return std::move(r).take_error();
+  co_return first_arg_i64(r.value().response);
+}
+
+Task<Result<uint64_t>> SimChirpClient::pread(int64_t fd, uint64_t size,
+                                             int64_t offset) {
+  chirp::Request req;
+  req.op = chirp::Op::kPread;
+  req.fd = fd;
+  req.length = size;
+  req.offset = offset;
+  auto r = co_await call(req, 0);
+  if (!r.ok()) co_return std::move(r).take_error();
+  auto n = first_arg_i64(r.value().response);
+  if (!n.ok()) co_return std::move(n).take_error();
+  co_return static_cast<uint64_t>(n.value());
+}
+
+Task<Result<uint64_t>> SimChirpClient::pwrite(int64_t fd, uint64_t size,
+                                              int64_t offset) {
+  chirp::Request req;
+  req.op = chirp::Op::kPwrite;
+  req.fd = fd;
+  req.length = size;
+  req.offset = offset;
+  auto r = co_await call(req, size);
+  if (!r.ok()) co_return std::move(r).take_error();
+  auto n = first_arg_i64(r.value().response);
+  if (!n.ok()) co_return std::move(n).take_error();
+  co_return static_cast<uint64_t>(n.value());
+}
+
+Task<Result<void>> SimChirpClient::close_fd(int64_t fd) {
+  chirp::Request req;
+  req.op = chirp::Op::kClose;
+  req.fd = fd;
+  auto r = co_await call(req, 0);
+  if (!r.ok()) co_return std::move(r).take_error();
+  if (!r.value().response.ok()) {
+    co_return Error(r.value().response.err, r.value().response.message);
+  }
+  co_return Result<void>::success();
+}
+
+Task<Result<chirp::StatInfo>> SimChirpClient::stat(std::string path) {
+  chirp::Request req;
+  req.op = chirp::Op::kStat;
+  req.path = std::move(path);
+  auto r = co_await call(req, 0);
+  if (!r.ok()) co_return std::move(r).take_error();
+  if (!r.value().response.ok()) {
+    co_return Error(r.value().response.err, r.value().response.message);
+  }
+  co_return chirp::StatInfo::parse(r.value().response.args, 0);
+}
+
+Task<Result<void>> SimChirpClient::mkdir(std::string path) {
+  chirp::Request req;
+  req.op = chirp::Op::kMkdir;
+  req.path = std::move(path);
+  req.mode = 0755;
+  auto r = co_await call(req, 0);
+  if (!r.ok()) co_return std::move(r).take_error();
+  if (!r.value().response.ok()) {
+    co_return Error(r.value().response.err, r.value().response.message);
+  }
+  co_return Result<void>::success();
+}
+
+Task<Result<void>> SimChirpClient::unlink(std::string path) {
+  chirp::Request req;
+  req.op = chirp::Op::kUnlink;
+  req.path = std::move(path);
+  auto r = co_await call(req, 0);
+  if (!r.ok()) co_return std::move(r).take_error();
+  if (!r.value().response.ok()) {
+    co_return Error(r.value().response.err, r.value().response.message);
+  }
+  co_return Result<void>::success();
+}
+
+Task<Result<std::string>> SimChirpClient::getfile(std::string path) {
+  chirp::Request req;
+  req.op = chirp::Op::kGetfile;
+  req.path = std::move(path);
+  auto r = co_await call(req, 0);
+  if (!r.ok()) co_return std::move(r).take_error();
+  if (!r.value().response.ok()) {
+    co_return Error(r.value().response.err, r.value().response.message);
+  }
+  co_return std::move(r.value().payload);
+}
+
+Task<Result<void>> SimChirpClient::putfile(std::string path,
+                                           std::string data) {
+  // Real-content putfile: the session must see the actual bytes (this is
+  // how stub files get written); timing is identical to a synthetic store.
+  chirp::Request req;
+  req.op = chirp::Op::kPutfile;
+  req.path = std::move(path);
+  req.length = data.size();
+  auto r = co_await call(req, data.size(), data.data());
+  if (!r.ok()) co_return std::move(r).take_error();
+  if (!r.value().response.ok()) {
+    co_return Error(r.value().response.err, r.value().response.message);
+  }
+  co_return Result<void>::success();
+}
+
+Task<Result<void>> SimChirpClient::putfile_synthetic(std::string path,
+                                                     uint64_t size) {
+  chirp::Request req;
+  req.op = chirp::Op::kPutfile;
+  req.path = std::move(path);
+  req.length = size;
+  auto r = co_await call(req, size);
+  if (!r.ok()) co_return std::move(r).take_error();
+  if (!r.value().response.ok()) {
+    co_return Error(r.value().response.err, r.value().response.message);
+  }
+  co_return Result<void>::success();
+}
+
+}  // namespace tss::sim

@@ -1,0 +1,109 @@
+// Chirp over the simulated cluster.
+//
+// SimChirpServer owns a SimBackend plus the *real* server-side machinery
+// (auth registry, ACL-enforcing SessionCore); SimChirpClient issues RPCs as
+// coroutines: the request line is produced by the real encoder, shipped
+// through the cluster's NIC/backplane reservations, parsed by the real
+// parser, dispatched through the real SessionCore against the timed
+// backend, and the response travels back the same way. What differs from
+// the TCP stack is only the transport — which is the point: the simulated
+// experiments exercise the same protocol code as the live system.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "auth/auth.h"
+#include "chirp/session.h"
+#include "sim/cluster.h"
+#include "sim/sim_backend.h"
+
+namespace tss::sim {
+
+class SimChirpServer {
+ public:
+  struct Options {
+    std::string owner = "unix:simowner";
+    std::string root_acl_text = "hostname:* rwldav(rwlda)\n";
+    SimBackend::Config backend;
+    // CPU charged per RPC on top of backend time (request parsing,
+    // dispatch, response marshalling in the user-level server).
+    Nanos rpc_cpu_cost = 15 * kMicrosecond;
+  };
+
+  SimChirpServer(Cluster& cluster, Options options);
+
+  int node() const { return node_; }
+  SimBackend& backend() { return *backend_; }
+  const Options& options() const { return options_; }
+  chirp::ServerConfig& config() { return config_; }
+  auth::ServerAuth& auth() { return *auth_; }
+
+ private:
+  Cluster& cluster_;
+  Options options_;
+  int node_;
+  std::unique_ptr<SimBackend> backend_;
+  std::unique_ptr<auth::ServerAuth> auth_;
+  chirp::ServerConfig config_;
+};
+
+// One client connection: its own node (or a shared client node) and its own
+// authenticated SessionCore on the server, mirroring the per-connection
+// state of the TCP server.
+class SimChirpClient {
+ public:
+  // `client_node` is the cluster node the client runs on. `client_host` is
+  // the identity the hostname method will see ("node3" etc.).
+  SimChirpClient(Cluster& cluster, int client_node, SimChirpServer& server,
+                 std::string client_host);
+
+  // Establishes the session: TCP handshake + version + auth, all charged as
+  // message exchanges.
+  Task<Result<void>> connect();
+
+  // --- RPCs (each is request transfer + server work + response transfer) ---
+  Task<Result<int64_t>> open(std::string path, chirp::OpenFlags flags,
+                             uint32_t mode);
+  // Reads up to `size` bytes at `offset`; payload bytes are *timed* but
+  // discarded (the simulator does not materialize bulk data for the
+  // caller). Returns bytes read.
+  Task<Result<uint64_t>> pread(int64_t fd, uint64_t size, int64_t offset);
+  // Writes `size` synthetic bytes at `offset`.
+  Task<Result<uint64_t>> pwrite(int64_t fd, uint64_t size, int64_t offset);
+  Task<Result<void>> close_fd(int64_t fd);
+  Task<Result<chirp::StatInfo>> stat(std::string path);
+  Task<Result<void>> mkdir(std::string path);
+  Task<Result<void>> unlink(std::string path);
+  // Whole-file fetch returning real content — used for stub files, whose
+  // bytes matter to the client.
+  Task<Result<std::string>> getfile(std::string path);
+  // Whole-file store of real content (stubs, configs).
+  Task<Result<void>> putfile(std::string path, std::string data);
+  // Whole-file synthetic store of `size` bytes (bulk data).
+  Task<Result<void>> putfile_synthetic(std::string path, uint64_t size);
+
+  uint64_t rpcs_issued() const { return rpcs_; }
+
+ private:
+  struct CallResult {
+    chirp::Response response;
+    std::string payload;
+  };
+  // The generic RPC turn. `request_payload_size` models pwrite/putfile
+  // bodies (synthetic); response payload bytes are timed from the session's
+  // declared payload size.
+  Task<Result<CallResult>> call(chirp::Request request,
+                                uint64_t request_payload_size,
+                                const char* request_payload_data = nullptr);
+
+  Cluster& cluster_;
+  int client_node_;
+  SimChirpServer& server_;
+  std::string client_host_;
+  std::unique_ptr<chirp::SessionCore> session_;
+  uint64_t rpcs_ = 0;
+  bool connected_ = false;
+};
+
+}  // namespace tss::sim

@@ -1,0 +1,83 @@
+#include "sim/cluster.h"
+
+#include <vector>
+
+namespace tss::sim {
+
+Cluster::Cluster(Engine& engine, Config config)
+    : engine_(engine),
+      config_(config),
+      backplane_(engine, config.backplane_bytes_per_sec) {}
+
+int Cluster::add_node() {
+  Node node;
+  node.tx = std::make_unique<RateQueue>(engine_, config_.nic_bytes_per_sec);
+  node.rx = std::make_unique<RateQueue>(engine_, config_.nic_bytes_per_sec);
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+Task<void> Cluster::transfer(int from, int to, uint64_t bytes) {
+  // Zero-byte messages still cost a propagation delay.
+  if (bytes == 0) {
+    co_await engine_.sleep_for(config_.link_latency);
+    co_return;
+  }
+  // Chunks pipeline through the three stages: chunk i+1 may enter the
+  // sender port as soon as chunk i has left it (not when it has fully
+  // arrived), so a single flow runs at the slowest stage's rate instead of
+  // paying the whole store-and-forward chain per chunk. A sliding window
+  // bounds bytes in flight, standing in for TCP flow control; the coroutine
+  // yields at every chunk boundary, which is what interleaves concurrent
+  // flows fairly on the shared reservation timelines.
+  constexpr size_t kWindowChunks = 16;
+  std::vector<Nanos> inflight;  // rx completion times, indexed modulo window
+  inflight.reserve(kWindowChunks);
+  size_t sent = 0;
+  uint64_t remaining = bytes;
+  Nanos t = engine_.now();
+  Nanos last_rx = t;
+  while (remaining > 0) {
+    if (sent >= kWindowChunks) {
+      Nanos window_edge = inflight[sent % kWindowChunks];
+      if (window_edge > engine_.now()) {
+        co_await engine_.sleep_until(window_edge);
+      }
+      if (t < window_edge) t = window_edge;
+    }
+    uint64_t chunk = std::min(remaining, config_.transfer_chunk);
+    Nanos tx_done = nodes_[static_cast<size_t>(from)].tx->reserve(t, chunk);
+    Nanos bp_done = backplane_.reserve(tx_done, chunk);
+    Nanos rx_done = nodes_[static_cast<size_t>(to)].rx->reserve(bp_done, chunk);
+    if (sent < kWindowChunks) {
+      inflight.push_back(rx_done);
+    } else {
+      inflight[sent % kWindowChunks] = rx_done;
+    }
+    sent++;
+    last_rx = rx_done;
+    remaining -= chunk;
+    t = tx_done;  // next chunk enters the sender port after this one leaves
+    if (tx_done > engine_.now()) co_await engine_.sleep_until(tx_done);
+  }
+  if (last_rx > engine_.now()) co_await engine_.sleep_until(last_rx);
+  co_await engine_.sleep_for(config_.link_latency);
+}
+
+Nanos Cluster::reserve_transfer(int from, int to, uint64_t bytes) {
+  Nanos t = engine_.now();
+  uint64_t remaining = bytes;
+  Nanos last_rx = t;
+  while (remaining > 0) {
+    uint64_t chunk = std::min(remaining, config_.transfer_chunk);
+    Nanos tx_done = nodes_[static_cast<size_t>(from)].tx->reserve(t, chunk);
+    Nanos bp_done = backplane_.reserve(tx_done, chunk);
+    last_rx = nodes_[static_cast<size_t>(to)].rx->reserve(bp_done, chunk);
+    t = tx_done;
+    remaining -= chunk;
+  }
+  return last_rx + config_.link_latency;
+}
+
+
+}  // namespace tss::sim

@@ -1,0 +1,63 @@
+// The simulated cluster: nodes with NIC ports joined by a commodity switch.
+//
+// Defaults model the paper's testbed (§7): "each node has a 250 GB SATA
+// disk, 512 MB RAM, and a full-duplex gigabit Ethernet connection to a
+// commodity switch". A 1 Gb/s port carries ~112 MB/s of payload after
+// framing/TCP overhead ("one server can transmit at 100 MB/s, near the
+// practical limit of TCP on a 1Gb port"); the inexpensive switch's shared
+// backplane saturates near 300 MB/s (Figure 6).
+//
+// Transfers move chunk-by-chunk through three reservation timelines —
+// sender NIC, backplane, receiver NIC — so concurrent flows share each
+// resource fairly and queueing delay emerges naturally.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/resources.h"
+
+namespace tss::sim {
+
+class Cluster {
+ public:
+  struct Config {
+    double nic_bytes_per_sec = 112.0 * 1000 * 1000;        // ~1 Gb/s payload
+    double backplane_bytes_per_sec = 300.0 * 1000 * 1000;  // commodity switch
+    Nanos link_latency = 75 * kMicrosecond;  // one-way propagation + stack
+    uint64_t transfer_chunk = 64 * 1024;     // pipelining granularity
+  };
+
+  Cluster(Engine& engine, Config config);
+
+  // Adds a node; returns its id. Each node has independent full-duplex
+  // tx/rx port queues.
+  int add_node();
+  size_t node_count() const { return nodes_.size(); }
+
+  // Moves `bytes` from node `from` to node `to`; completes (resumes the
+  // awaiter) when the last byte arrives.
+  Task<void> transfer(int from, int to, uint64_t bytes);
+
+  // Non-coroutine variant used by modeled (non-protocol) flows: reserves
+  // the full path and returns the arrival time without waiting.
+  Nanos reserve_transfer(int from, int to, uint64_t bytes);
+
+  Engine& engine() { return engine_; }
+  const Config& config() const { return config_; }
+  uint64_t backplane_bytes() const { return backplane_.total_bytes(); }
+
+ private:
+  struct Node {
+    std::unique_ptr<RateQueue> tx;
+    std::unique_ptr<RateQueue> rx;
+  };
+
+  Engine& engine_;
+  Config config_;
+  RateQueue backplane_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace tss::sim

@@ -1,0 +1,63 @@
+#include "sim/engine.h"
+
+namespace tss::sim {
+
+void Engine::schedule_at(Nanos at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+Nanos Engine::run() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    event.fn();
+  }
+  return now_;
+}
+
+void Engine::run_until(Nanos deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    event.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+namespace {
+
+// Self-destroying wrapper coroutine used by spawn(). Because final_suspend
+// never suspends, the frame frees itself when the wrapped task completes;
+// the promise constructor receives the coroutine's arguments, which is how
+// it learns which engine's task counter to decrement.
+struct Detached {
+  struct promise_type {
+    Engine* engine;
+    promise_type(Engine& e, Task<void>&) : engine(&e) {}
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() { return {}; }
+    std::suspend_never final_suspend() noexcept {
+      engine->finish_task_internal();
+      return {};
+    }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+Detached run_detached(Engine& engine, Task<void> task) {
+  (void)engine;
+  co_await std::move(task);
+}
+
+}  // namespace
+
+void spawn(Engine& engine, Task<void> task) {
+  engine.start_task_internal();
+  run_detached(engine, std::move(task));
+}
+
+}  // namespace tss::sim

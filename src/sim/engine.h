@@ -1,0 +1,176 @@
+// Discrete-event simulation engine with C++20 coroutine tasks.
+//
+// The paper's scalability and preservation experiments (Figures 6-9, the SP5
+// table) depend on 2005-era hardware limits — 1 Gb/s ports, a 300 MB/s
+// switch backplane, 10 MB/s disks, 512 MB buffer caches. This engine hosts a
+// virtual cluster with those resources so the same protocol code can be
+// driven against them deterministically (DESIGN.md §3, substitution 1).
+//
+// Concurrency model: a single-threaded event loop over virtual time. Client
+// workloads are coroutines (`Task<T>`) that `co_await` timers and resource
+// completions; there is no real blocking and no nondeterminism.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace tss::sim {
+
+class Engine {
+ public:
+  Nanos now() const { return now_; }
+
+  // Schedules `fn` at absolute virtual time `at` (clamped to now).
+  void schedule_at(Nanos at, std::function<void()> fn);
+  void schedule_after(Nanos delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Runs until the event queue is empty. Returns the final virtual time.
+  Nanos run();
+  // Runs until virtual time `deadline` (events at exactly `deadline` run).
+  void run_until(Nanos deadline);
+
+  // Number of spawned coroutines that have not yet finished.
+  size_t pending_tasks() const { return pending_tasks_; }
+
+  // --- Awaitables -----------------------------------------------------------
+  struct SleepAwaiter {
+    Engine& engine;
+    Nanos wake_at;
+    bool await_ready() const { return wake_at <= engine.now(); }
+    void await_suspend(std::coroutine_handle<> handle) {
+      engine.schedule_at(wake_at, [handle] { handle.resume(); });
+    }
+    void await_resume() const {}
+  };
+  SleepAwaiter sleep_until(Nanos at) { return SleepAwaiter{*this, at}; }
+  SleepAwaiter sleep_for(Nanos d) { return SleepAwaiter{*this, now_ + d}; }
+
+  // Internal: task accounting used by spawn(); not for client code.
+  void start_task_internal() { pending_tasks_++; }
+  void finish_task_internal() { pending_tasks_--; }
+
+ private:
+  struct Event {
+    Nanos at;
+    uint64_t seq;  // FIFO tie-break keeps same-time events deterministic
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      return at != other.at ? at > other.at : seq > other.seq;
+    }
+  };
+
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t pending_tasks_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+};
+
+// A lazily-started coroutine returning T. Awaiting a Task starts it and
+// resumes the awaiter when it completes. Tasks are single-consumer and
+// move-only.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    std::optional<T> value;
+    std::coroutine_handle<> continuation;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> handle) noexcept {
+        auto continuation = handle.promise().continuation;
+        return continuation ? continuation : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;
+  }
+  T await_resume() { return std::move(*handle_.promise().value); }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> handle) noexcept {
+        auto continuation = handle.promise().continuation;
+        return continuation ? continuation : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;
+  }
+  void await_resume() {}
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// Runs a Task<void> to completion in the background ("fire and forget"):
+// workload generators are spawned this way. The engine's pending_tasks()
+// counter tracks them; Engine::run() returning with pending_tasks() == 0
+// means every workload finished.
+void spawn(Engine& engine, Task<void> task);
+
+}  // namespace tss::sim

@@ -1,0 +1,70 @@
+#include "sim/resources.h"
+
+namespace tss::sim {
+
+Nanos RateQueue::reserve(Nanos earliest, uint64_t bytes,
+                         Nanos extra_service) {
+  Nanos start = std::max(earliest, std::max(next_free_, engine_.now()));
+  Nanos service =
+      extra_service +
+      static_cast<Nanos>(static_cast<double>(bytes) / bytes_per_sec_ * 1e9);
+  next_free_ = start + service;
+  total_bytes_ += bytes;
+  return next_free_;
+}
+
+Nanos Disk::access(Nanos earliest, uint64_t bytes, bool sequential) {
+  // The seek is service time on the disk itself: it occupies the head, so
+  // it must extend the reservation rather than merely delay its start.
+  return queue_.reserve(earliest, bytes, sequential ? 0 : config_.seek_time);
+}
+
+BufferCache::AccessResult BufferCache::access(uint64_t file_id,
+                                              uint64_t offset,
+                                              uint64_t length) {
+  AccessResult result;
+  if (length == 0) return result;
+  uint64_t first_page = offset / kPageSize;
+  uint64_t last_page = (offset + length - 1) / kPageSize;
+  for (uint64_t page = first_page; page <= last_page; page++) {
+    // Bytes of the request that fall on this page.
+    uint64_t page_start = page * kPageSize;
+    uint64_t page_end = page_start + kPageSize;
+    uint64_t lo = std::max(offset, page_start);
+    uint64_t hi = std::min(offset + length, page_end);
+    uint64_t covered = hi - lo;
+
+    PageKey k = key(file_id, page);
+    auto it = pages_.find(k);
+    if (it != pages_.end()) {
+      result.hit_bytes += covered;
+      hits_++;
+      lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+      result.miss_bytes += covered;
+      misses_++;
+      if (capacity_pages_ > 0) {
+        if (pages_.size() >= capacity_pages_) {
+          pages_.erase(lru_.back());
+          lru_.pop_back();
+        }
+        lru_.push_front(k);
+        pages_[k] = lru_.begin();
+      }
+    }
+  }
+  return result;
+}
+
+void BufferCache::invalidate(uint64_t file_id) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if ((*it >> 24) == file_id) {
+      pages_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace tss::sim

@@ -1,0 +1,106 @@
+// Simulated hardware resources: rate-limited serializers, disks, and buffer
+// caches.
+//
+// Each resource keeps a `next_free` reservation timeline: concurrent users
+// serialize through it, so aggregate throughput converges to the resource's
+// configured rate — which is how saturation effects (a 1 Gb/s port, the
+// 300 MB/s backplane, a 10 MB/s disk) arise from the model rather than being
+// scripted into the benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/engine.h"
+#include "util/clock.h"
+
+namespace tss::sim {
+
+// Serializes work at a fixed byte rate (a NIC port, a switch backplane).
+class RateQueue {
+ public:
+  RateQueue(Engine& engine, double bytes_per_sec)
+      : engine_(engine), bytes_per_sec_(bytes_per_sec) {}
+
+  // Reserves service for `bytes` (plus optional fixed per-request service
+  // overhead, e.g. a disk seek), starting no earlier than `earliest`;
+  // returns the completion time.
+  Nanos reserve(Nanos earliest, uint64_t bytes, Nanos extra_service = 0);
+
+  // Total bytes ever reserved (for utilization reporting).
+  uint64_t total_bytes() const { return total_bytes_; }
+  double bytes_per_sec() const { return bytes_per_sec_; }
+
+ private:
+  Engine& engine_;
+  double bytes_per_sec_;
+  Nanos next_free_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+// A disk: streaming rate plus a seek penalty for non-sequential access.
+// The paper's cluster nodes sustain ~10 MB/s streaming (Figure 8).
+class Disk {
+ public:
+  struct Config {
+    double stream_bytes_per_sec = 10.0 * 1000 * 1000;
+    Nanos seek_time = 8 * kMillisecond;  // average seek + rotational delay
+  };
+
+  Disk(Engine& engine, Config config)
+      : queue_(engine, config.stream_bytes_per_sec), config_(config) {}
+
+  // Reserves a read/write of `bytes`; `sequential` skips the seek charge
+  // (the next request after this one at the following offset is sequential).
+  Nanos access(Nanos earliest, uint64_t bytes, bool sequential);
+
+  uint64_t total_bytes() const { return queue_.total_bytes(); }
+
+ private:
+  RateQueue queue_;
+  Config config_;
+};
+
+// Per-server LRU buffer cache over 64 KB pages. The paper's servers have
+// 512 MB RAM; whether a dataset fits here is exactly what separates the
+// net-bound, mixed, and disk-bound regimes of Figures 6-8.
+class BufferCache {
+ public:
+  static constexpr uint64_t kPageSize = 64 * 1024;
+
+  explicit BufferCache(uint64_t capacity_bytes)
+      : capacity_pages_(capacity_bytes / kPageSize) {}
+
+  struct AccessResult {
+    uint64_t hit_bytes = 0;
+    uint64_t miss_bytes = 0;
+  };
+
+  // Touches the pages covering [offset, offset+length) of file `file_id`.
+  // Missing pages are inserted (evicting LRU pages). Returns the hit/miss
+  // byte split for timing.
+  AccessResult access(uint64_t file_id, uint64_t offset, uint64_t length);
+
+  // Drops every page of `file_id` (file deletion).
+  void invalidate(uint64_t file_id);
+
+  uint64_t resident_pages() const { return pages_.size(); }
+  uint64_t capacity_pages() const { return capacity_pages_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  using PageKey = uint64_t;  // (file_id << 24) | page_index — see access()
+  static PageKey key(uint64_t file_id, uint64_t page) {
+    return (file_id << 24) | (page & 0xFFFFFF);
+  }
+
+  uint64_t capacity_pages_;
+  std::list<PageKey> lru_;  // front = most recent
+  std::unordered_map<PageKey, std::list<PageKey>::iterator> pages_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace tss::sim

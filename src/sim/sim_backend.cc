@@ -1,0 +1,342 @@
+#include "sim/sim_backend.h"
+
+#include <cstring>
+
+#include "util/path.h"
+
+namespace tss::sim {
+
+SimBackend::SimBackend(Engine& engine, Config config)
+    : engine_(engine),
+      config_(config),
+      disk_(engine, config.disk),
+      cache_(config.cache_bytes) {
+  Entry root;
+  root.is_dir = true;
+  root.inode = next_inode_++;
+  tree_["/"] = root;
+}
+
+SimBackend::Entry* SimBackend::find(const std::string& p) {
+  auto it = tree_.find(p);
+  return it == tree_.end() ? nullptr : &it->second;
+}
+
+Result<SimBackend::Entry*> SimBackend::require(const std::string& p) {
+  Entry* e = find(p);
+  if (!e) return Error(ENOENT, "no such file: " + p);
+  return e;
+}
+
+bool SimBackend::parent_exists(const std::string& p) {
+  Entry* parent = find(path::dirname(p));
+  return parent && parent->is_dir;
+}
+
+chirp::StatInfo SimBackend::info_of(const Entry& e) const {
+  chirp::StatInfo info;
+  info.size = e.size;
+  info.mode = e.is_dir ? 0755 : 0644;
+  info.mtime = e.mtime;
+  info.inode = e.inode;
+  info.is_dir = e.is_dir;
+  return info;
+}
+
+void SimBackend::charge_metadata() {
+  Nanos start = std::max(completion_, engine_.now());
+  completion_ = start + config_.metadata_op_cost;
+}
+
+void SimBackend::charge_read(Entry& e, uint64_t offset, uint64_t length,
+                             bool sequential) {
+  Nanos start = std::max(completion_, engine_.now());
+  auto split = cache_.access(e.inode, offset, length);
+  Nanos done = start;
+  if (split.hit_bytes > 0) {
+    done += static_cast<Nanos>(static_cast<double>(split.hit_bytes) /
+                               config_.memory_bytes_per_sec * 1e9);
+  }
+  if (split.miss_bytes > 0) {
+    done = disk_.access(done, split.miss_bytes, sequential);
+  }
+  completion_ = done;
+}
+
+void SimBackend::charge_write(Entry& e, uint64_t offset, uint64_t length) {
+  // Asynchronous writes (the configuration the paper benchmarks): data
+  // lands in the buffer cache at memory speed; the eventual writeback is
+  // not on the request's critical path.
+  Nanos start = std::max(completion_, engine_.now());
+  cache_.access(e.inode, offset, length);
+  completion_ = start + static_cast<Nanos>(static_cast<double>(length) /
+                                           config_.memory_bytes_per_sec * 1e9);
+}
+
+Nanos SimBackend::take_completion() {
+  Nanos done = std::max(completion_, engine_.now());
+  completion_ = 0;
+  return done;
+}
+
+Result<int> SimBackend::open(const std::string& p,
+                             const chirp::OpenFlags& flags, uint32_t mode) {
+  (void)mode;
+  charge_metadata();
+  Entry* e = find(p);
+  if (e && e->is_dir) return Error(EISDIR, "is a directory: " + p);
+  if (e && flags.create && flags.exclusive) {
+    return Error(EEXIST, "file exists: " + p);
+  }
+  if (!e) {
+    if (!flags.create) return Error(ENOENT, "no such file: " + p);
+    if (!parent_exists(p)) return Error(ENOENT, "no parent: " + p);
+    Entry fresh;
+    fresh.inode = next_inode_++;
+    fresh.mtime = engine_.now() / kSecond;
+    tree_[p] = fresh;
+    e = find(p);
+  } else if (flags.truncate) {
+    used_bytes_ -= e->size;
+    e->size = 0;
+    e->content.clear();
+    cache_.invalidate(e->inode);
+  }
+  int handle = next_handle_++;
+  // A fresh handle's first access is never "sequential": the head has to
+  // get there (the inter-file seek that shapes the disk-bound regime).
+  handles_[handle] = OpenHandle{p, UINT64_MAX};
+  return handle;
+}
+
+Result<size_t> SimBackend::pread(int handle, void* data, size_t size,
+                                 int64_t offset) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Error(EBADF, "bad handle");
+  TSS_ASSIGN_OR_RETURN(Entry * e, require(it->second.path));
+  if (offset < 0) return Error(EINVAL, "negative offset");
+  uint64_t off = static_cast<uint64_t>(offset);
+  if (off >= e->size) return size_t{0};
+  size_t n = static_cast<size_t>(std::min<uint64_t>(size, e->size - off));
+  bool sequential = off == it->second.next_sequential_offset;
+  it->second.next_sequential_offset = off + n;
+  charge_read(*e, off, n, sequential);
+  if (data) {
+    if (e->synthetic) {
+      std::memset(data, 0, n);
+    } else {
+      std::memcpy(data, e->content.data() + off, n);
+    }
+  }
+  return n;
+}
+
+Result<size_t> SimBackend::pwrite(int handle, const void* data, size_t size,
+                                  int64_t offset) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Error(EBADF, "bad handle");
+  TSS_ASSIGN_OR_RETURN(Entry * e, require(it->second.path));
+  if (offset < 0) return Error(EINVAL, "negative offset");
+  uint64_t off = static_cast<uint64_t>(offset);
+  uint64_t new_size = std::max<uint64_t>(e->size, off + size);
+  if (data && !e->synthetic) {
+    if (e->content.size() < off + size) e->content.resize(off + size, '\0');
+    std::memcpy(e->content.data() + off, data, size);
+  } else {
+    // Synthetic write: track size only. A real-content file written with a
+    // null payload degrades to synthetic.
+    if (data == nullptr && !e->synthetic && e->size == 0) {
+      e->synthetic = true;
+    }
+    if (data == nullptr) e->synthetic = true;
+    e->content.clear();
+  }
+  used_bytes_ += new_size - e->size;
+  e->size = new_size;
+  e->mtime = engine_.now() / kSecond;
+  charge_write(*e, off, size);
+  return size;
+}
+
+Result<void> SimBackend::fsync(int handle) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Error(EBADF, "bad handle");
+  charge_metadata();
+  return Result<void>::success();
+}
+
+Result<void> SimBackend::close(int handle) {
+  if (handles_.erase(handle) == 0) return Error(EBADF, "bad handle");
+  return Result<void>::success();
+}
+
+Result<chirp::StatInfo> SimBackend::fstat(int handle) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Error(EBADF, "bad handle");
+  charge_metadata();
+  TSS_ASSIGN_OR_RETURN(Entry * e, require(it->second.path));
+  return info_of(*e);
+}
+
+Result<chirp::StatInfo> SimBackend::stat(const std::string& p) {
+  charge_metadata();
+  TSS_ASSIGN_OR_RETURN(Entry * e, require(p));
+  return info_of(*e);
+}
+
+Result<void> SimBackend::unlink(const std::string& p) {
+  charge_metadata();
+  TSS_ASSIGN_OR_RETURN(Entry * e, require(p));
+  if (e->is_dir) return Error(EISDIR, "is a directory: " + p);
+  used_bytes_ -= e->size;
+  cache_.invalidate(e->inode);
+  tree_.erase(p);
+  return Result<void>::success();
+}
+
+Result<void> SimBackend::rename(const std::string& from,
+                                const std::string& to) {
+  charge_metadata();
+  TSS_ASSIGN_OR_RETURN(Entry * e, require(from));
+  if (!parent_exists(to)) return Error(ENOENT, "no parent: " + to);
+  Entry moved = *e;
+  tree_.erase(from);
+  tree_[to] = std::move(moved);
+  return Result<void>::success();
+}
+
+Result<void> SimBackend::mkdir(const std::string& p, uint32_t mode) {
+  (void)mode;
+  charge_metadata();
+  if (find(p)) return Error(EEXIST, "exists: " + p);
+  if (!parent_exists(p)) return Error(ENOENT, "no parent: " + p);
+  Entry dir;
+  dir.is_dir = true;
+  dir.inode = next_inode_++;
+  dir.mtime = engine_.now() / kSecond;
+  tree_[p] = dir;
+  return Result<void>::success();
+}
+
+Result<void> SimBackend::rmdir(const std::string& p) {
+  charge_metadata();
+  TSS_ASSIGN_OR_RETURN(Entry * e, require(p));
+  if (!e->is_dir) return Error(ENOTDIR, "not a directory: " + p);
+  // Any child => not empty. Children sort immediately after "p + '/'".
+  std::string prefix = p == "/" ? "/" : p + "/";
+  auto it = tree_.upper_bound(p);
+  if (it != tree_.end() && path::is_within(p, it->first)) {
+    return Error(ENOTEMPTY, "directory not empty: " + p);
+  }
+  if (p == "/") return Error(EBUSY, "cannot remove root");
+  tree_.erase(p);
+  return Result<void>::success();
+}
+
+Result<void> SimBackend::truncate(const std::string& p, uint64_t size) {
+  charge_metadata();
+  TSS_ASSIGN_OR_RETURN(Entry * e, require(p));
+  if (e->is_dir) return Error(EISDIR, "is a directory: " + p);
+  used_bytes_ += size;
+  used_bytes_ -= e->size;
+  e->size = size;
+  if (!e->synthetic) e->content.resize(size, '\0');
+  return Result<void>::success();
+}
+
+Result<std::vector<chirp::DirEntry>> SimBackend::readdir(
+    const std::string& p) {
+  charge_metadata();
+  TSS_ASSIGN_OR_RETURN(Entry * e, require(p));
+  if (!e->is_dir) return Error(ENOTDIR, "not a directory: " + p);
+  std::vector<chirp::DirEntry> out;
+  std::string prefix = p == "/" ? "/" : p + "/";
+  for (auto it = tree_.upper_bound(prefix);
+       it != tree_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    std::string_view rest(it->first);
+    rest.remove_prefix(prefix.size());
+    if (rest.find('/') != std::string_view::npos) continue;  // grandchild
+    out.push_back(chirp::DirEntry{std::string(rest), info_of(it->second)});
+  }
+  return out;
+}
+
+Result<std::string> SimBackend::read_file(const std::string& p) {
+  TSS_ASSIGN_OR_RETURN(Entry * e, require(p));
+  if (e->is_dir) return Error(EISDIR, "is a directory: " + p);
+  charge_read(*e, 0, e->size, /*sequential=*/true);
+  if (e->synthetic) return std::string(e->size, '\0');
+  return e->content;
+}
+
+Result<void> SimBackend::write_file(const std::string& p,
+                                    std::string_view data, uint32_t mode) {
+  (void)mode;
+  charge_metadata();
+  Entry* e = find(p);
+  if (e && e->is_dir) return Error(EISDIR, "is a directory: " + p);
+  if (!e) {
+    if (!parent_exists(p)) return Error(ENOENT, "no parent: " + p);
+    Entry fresh;
+    fresh.inode = next_inode_++;
+    tree_[p] = fresh;
+    e = find(p);
+  }
+  used_bytes_ += data.size();
+  used_bytes_ -= e->size;
+  e->synthetic = false;
+  e->content.assign(data);
+  e->size = data.size();
+  e->mtime = engine_.now() / kSecond;
+  charge_write(*e, 0, data.size());
+  return Result<void>::success();
+}
+
+Result<std::pair<uint64_t, uint64_t>> SimBackend::statfs() {
+  charge_metadata();
+  uint64_t free_bytes =
+      used_bytes_ >= config_.total_bytes ? 0 : config_.total_bytes - used_bytes_;
+  return std::make_pair(config_.total_bytes, free_bytes);
+}
+
+Result<void> SimBackend::preload_file(const std::string& p, uint64_t size) {
+  std::string canonical = path::sanitize(p);
+  // Create parent directories.
+  std::string dir = path::dirname(canonical);
+  std::vector<std::string> missing;
+  while (dir != "/" && !find(dir)) {
+    missing.push_back(dir);
+    dir = path::dirname(dir);
+  }
+  for (auto it = missing.rbegin(); it != missing.rend(); ++it) {
+    Entry d;
+    d.is_dir = true;
+    d.inode = next_inode_++;
+    tree_[*it] = d;
+  }
+  Entry e;
+  e.synthetic = true;
+  e.size = size;
+  e.inode = next_inode_++;
+  used_bytes_ += size;
+  tree_[canonical] = e;
+  return Result<void>::success();
+}
+
+Result<void> SimBackend::warm_file(const std::string& p) {
+  TSS_ASSIGN_OR_RETURN(Entry * e, require(path::sanitize(p)));
+  cache_.access(e->inode, 0, e->size);
+  return Result<void>::success();
+}
+
+void SimBackend::damage(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  Entry* e = find(canonical);
+  if (!e) return;
+  used_bytes_ -= e->size;
+  cache_.invalidate(e->inode);
+  tree_.erase(canonical);
+}
+
+}  // namespace tss::sim

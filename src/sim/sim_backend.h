@@ -1,0 +1,122 @@
+// SimBackend: a chirp::Backend whose namespace lives in memory and whose
+// timing comes from the disk + buffer-cache model.
+//
+// Small files (ACLs, stub files, configs) keep their real bytes so that the
+// session layer's semantics — ACL enforcement, stub parsing — work
+// unchanged. Bulk data written without a real payload (the simulator's
+// synthetic writes) is stored as a size only; reads of synthetic content
+// return zeros. Either way every data access is charged against the node's
+// disk and buffer cache, which is where the net-bound / mixed / disk-bound
+// regimes of Figures 6-8 come from.
+//
+// Time accounting: backend calls happen synchronously while the simulated
+// server processes one RPC, so each call advances an internal completion
+// cursor starting at engine.now(); the RPC driver awaits take_completion()
+// before sending the response.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "chirp/backend.h"
+#include "sim/resources.h"
+
+namespace tss::sim {
+
+class SimBackend final : public chirp::Backend {
+ public:
+  struct Config {
+    Disk::Config disk;
+    uint64_t cache_bytes = 512ull << 20;  // the paper's 512 MB per node
+    uint64_t total_bytes = 250ull << 30;  // 250 GB SATA disk
+    // CPU+filesystem cost of one metadata operation (open, stat, ...).
+    Nanos metadata_op_cost = 30 * kMicrosecond;
+    // Rate at which cache-resident data is served / async writes absorbed.
+    double memory_bytes_per_sec = 2.0e9;
+  };
+
+  SimBackend(Engine& engine, Config config);
+
+  // --- chirp::Backend -------------------------------------------------------
+  Result<int> open(const std::string& path, const chirp::OpenFlags& flags,
+                   uint32_t mode) override;
+  Result<size_t> pread(int handle, void* data, size_t size,
+                       int64_t offset) override;
+  Result<size_t> pwrite(int handle, const void* data, size_t size,
+                        int64_t offset) override;
+  Result<void> fsync(int handle) override;
+  Result<void> close(int handle) override;
+  Result<chirp::StatInfo> fstat(int handle) override;
+  Result<chirp::StatInfo> stat(const std::string& path) override;
+  Result<void> unlink(const std::string& path) override;
+  Result<void> rename(const std::string& from, const std::string& to) override;
+  Result<void> mkdir(const std::string& path, uint32_t mode) override;
+  Result<void> rmdir(const std::string& path) override;
+  Result<void> truncate(const std::string& path, uint64_t size) override;
+  Result<std::vector<chirp::DirEntry>> readdir(const std::string& path) override;
+  Result<std::string> read_file(const std::string& path) override;
+  Result<void> write_file(const std::string& path, std::string_view data,
+                          uint32_t mode) override;
+  Result<std::pair<uint64_t, uint64_t>> statfs() override;
+
+  // --- Simulation controls ---------------------------------------------------
+  // Completion time of all work charged since the last call; resets the
+  // cursor. Returns at least engine.now().
+  Nanos take_completion();
+
+  // Workload setup without timing: creates a file of `size` bytes
+  // (synthetic) including parent directories.
+  Result<void> preload_file(const std::string& path, uint64_t size);
+  // Failure injection: silently destroys a file (no timing, no errors).
+  void damage(const std::string& path);
+  // Workload setup: touches every page of `path` into the buffer cache
+  // without materializing data or charging time (steady-state warmup).
+  Result<void> warm_file(const std::string& path);
+
+  uint64_t used_bytes() const { return used_bytes_; }
+  BufferCache& cache() { return cache_; }
+  Disk& disk() { return disk_; }
+
+ private:
+  struct Entry {
+    bool is_dir = false;
+    bool synthetic = false;
+    std::string content;      // real bytes when !synthetic
+    uint64_t size = 0;        // logical size (== content.size() if real)
+    uint64_t inode = 0;
+    int64_t mtime = 0;
+  };
+
+  struct OpenHandle {
+    std::string path;
+    // Offset a read must start at to count as sequential; UINT64_MAX on a
+    // fresh handle so the first access pays a seek.
+    uint64_t next_sequential_offset = 0;
+  };
+
+  Entry* find(const std::string& path);
+  Result<Entry*> require(const std::string& path);
+  bool parent_exists(const std::string& path);
+  chirp::StatInfo info_of(const Entry& e) const;
+
+  // Charges `bytes` of data access through cache+disk (reads) or memory
+  // (writes); advances the completion cursor.
+  void charge_metadata();
+  void charge_read(Entry& e, uint64_t offset, uint64_t length,
+                   bool sequential);
+  void charge_write(Entry& e, uint64_t offset, uint64_t length);
+
+  Engine& engine_;
+  Config config_;
+  Disk disk_;
+  BufferCache cache_;
+  std::map<std::string, Entry> tree_;  // canonical path -> entry
+  std::map<int, OpenHandle> handles_;
+  int next_handle_ = 1;
+  uint64_t next_inode_ = 1;
+  uint64_t used_bytes_ = 0;
+  Nanos completion_ = 0;
+};
+
+}  // namespace tss::sim

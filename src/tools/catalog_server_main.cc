@@ -1,0 +1,64 @@
+// tss_catalog_server — run a storage catalog.
+//
+//   tss_catalog_server [--port N] [--host ADDR] [--timeout SECS]
+//
+// Accepts "report ..." lines from file servers and serves "list text|json"
+// listings; records older than --timeout (default 300 s) are evicted. Runs
+// until SIGINT/SIGTERM.
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "catalog/catalog.h"
+#include "tools/flags.h"
+
+namespace {
+std::atomic<bool> g_stop{false};
+void handle_signal(int) { g_stop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tss;
+  auto flags =
+      tools::Flags::parse(argc, argv, {"port", "host", "timeout"});
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\nusage: tss_catalog_server [--port N] "
+                         "[--host ADDR] [--timeout SECS]\n",
+                 flags.error().to_string().c_str());
+    return 2;
+  }
+  const tools::Flags& f = flags.value();
+
+  catalog::CatalogServer::Options options;
+  options.host = f.get_or("host", "127.0.0.1");
+  auto port = f.get_int("port", 0);
+  auto timeout = f.get_int("timeout", 300);
+  if (!port.ok() || !timeout.ok()) {
+    std::fprintf(stderr, "bad numeric flag\n");
+    return 2;
+  }
+  options.port = static_cast<uint16_t>(port.value());
+  options.timeout = timeout.value() * kSecond;
+
+  catalog::CatalogServer server(options);
+  auto started = server.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n",
+                 started.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("tss_catalog_server: listening on %s (timeout %llds)\n",
+              server.endpoint().to_string().c_str(),
+              static_cast<long long>(timeout.value()));
+  std::fflush(stdout);
+
+  ::signal(SIGINT, handle_signal);
+  ::signal(SIGTERM, handle_signal);
+  while (!g_stop.load()) {
+    ::usleep(100 * 1000);
+  }
+  server.stop();
+  return 0;
+}

@@ -1,0 +1,173 @@
+// tss_chirp_server — deploy a personal file server with one command.
+//
+// "A basic file server can be deployed by an ordinary user, who runs a
+// single command with no configuration, setup, or software installation."
+// (§3, Rapid Deployment)
+//
+//   tss_chirp_server --root /scratch/me
+//
+// exports /scratch/me on an ephemeral port with hostname+unix auth and an
+// owner-only ACL, prints the endpoint, and serves until SIGINT/SIGTERM.
+//
+// Options:
+//   --root DIR          directory to export (required)
+//   --port N            TCP port (default 0 = ephemeral)
+//   --host ADDR         listen address (default 127.0.0.1)
+//   --owner SUBJECT     owner subject (default unix:<current user>)
+//   --acl "TEXT"        root ACL text (default: owner everything +
+//                       "unix:* v(rwl)" reservations)
+//   --gsi-ca NAME:KEY   also accept GSI credentials signed by this CA
+//                       (repeatable via comma separation)
+//   --catalog HOST:PORT report to this catalog every --report-period secs
+//   --report-period N   catalog report period in seconds (default 60)
+//   --name NAME         server name in catalog reports (default hostname)
+//   --log-level LEVEL   debug|info|warn|error (default info)
+#include <pwd.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "auth/gsi.h"
+#include "auth/hostname.h"
+#include "auth/unix.h"
+#include "catalog/catalog.h"
+#include "chirp/posix_backend.h"
+#include "chirp/server.h"
+#include "tools/flags.h"
+#include "util/logging.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void handle_signal(int) { g_stop.store(true); }
+
+std::string current_user_subject() {
+  passwd pwd{};
+  passwd* result = nullptr;
+  char buf[4096];
+  if (getpwuid_r(::getuid(), &pwd, buf, sizeof buf, &result) == 0 && result) {
+    return std::string("unix:") + result->pw_name;
+  }
+  return "unix:uid" + std::to_string(::getuid());
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tss_chirp_server --root DIR [--port N] [--host ADDR]\n"
+               "         [--owner SUBJECT] [--acl TEXT] [--gsi-ca NAME:KEY]\n"
+               "         [--catalog HOST:PORT] [--report-period SECS]\n"
+               "         [--name NAME] [--log-level LEVEL]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tss;
+  auto flags = tools::Flags::parse(
+      argc, argv,
+      {"root", "port", "host", "owner", "acl", "gsi-ca", "catalog",
+       "report-period", "name", "log-level"});
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.error().to_string().c_str());
+    return usage();
+  }
+  const tools::Flags& f = flags.value();
+
+  auto root = f.get("root");
+  if (!root) return usage();
+
+  std::string level = f.get_or("log-level", "info");
+  Logger::instance().set_level(level == "debug"  ? LogLevel::kDebug
+                               : level == "warn" ? LogLevel::kWarn
+                               : level == "error" ? LogLevel::kError
+                                                  : LogLevel::kInfo);
+
+  std::string owner = f.get_or("owner", current_user_subject());
+  std::string default_acl = owner + " rwlda\nunix:* v(rwl)\n";
+  auto acl = acl::Acl::parse(f.get_or("acl", default_acl));
+  if (!acl.ok()) {
+    std::fprintf(stderr, "bad --acl: %s\n", acl.error().to_string().c_str());
+    return 2;
+  }
+
+  auto auth = chirp::make_default_auth();
+  if (auto ca_spec = f.get("gsi-ca")) {
+    auto gsi = std::make_unique<auth::GsiServerMethod>();
+    for (const std::string& one : split(*ca_spec, ',')) {
+      size_t colon = one.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--gsi-ca expects NAME:KEY\n");
+        return 2;
+      }
+      gsi->trust(auth::GsiCa(one.substr(0, colon), one.substr(colon + 1)));
+    }
+    auth->add(std::move(gsi));
+  }
+
+  chirp::ServerOptions options;
+  options.host = f.get_or("host", "127.0.0.1");
+  auto port = f.get_int("port", 0);
+  if (!port.ok()) {
+    std::fprintf(stderr, "%s\n", port.error().to_string().c_str());
+    return 2;
+  }
+  options.port = static_cast<uint16_t>(port.value());
+  options.owner = owner;
+  options.root_acl = acl.value();
+
+  chirp::Server server(options,
+                       std::make_unique<chirp::PosixBackend>(*root),
+                       std::move(auth));
+  auto started = server.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n",
+                 started.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("tss_chirp_server: exporting %s on %s (owner %s)\n",
+              root->c_str(), server.endpoint().to_string().c_str(),
+              owner.c_str());
+  std::fflush(stdout);
+
+  // Catalog reporting.
+  std::unique_ptr<catalog::Reporter> reporter;
+  if (auto catalog_addr = f.get("catalog")) {
+    auto endpoint = net::Endpoint::parse(*catalog_addr);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "bad --catalog: %s\n",
+                   endpoint.error().to_string().c_str());
+      return 2;
+    }
+    auto period = f.get_int("report-period", 60);
+    if (!period.ok()) return 2;
+    std::string name = f.get_or("name", "chirp-server");
+    reporter = std::make_unique<catalog::Reporter>(
+        std::vector<net::Endpoint>{endpoint.value()},
+        [&server, name] {
+          auto info = server.info();
+          catalog::ServerReport report;
+          report.name = name;
+          report.owner = info.owner;
+          report.address = info.endpoint;
+          report.total_bytes = info.total_bytes;
+          report.free_bytes = info.free_bytes;
+          report.root_acl = info.root_acl;
+          return report;
+        },
+        period.value() * kSecond);
+    reporter->start();
+  }
+
+  ::signal(SIGINT, handle_signal);
+  ::signal(SIGTERM, handle_signal);
+  while (!g_stop.load()) {
+    ::usleep(100 * 1000);
+  }
+  std::printf("tss_chirp_server: shutting down\n");
+  if (reporter) reporter->stop();
+  server.stop();
+  return 0;
+}

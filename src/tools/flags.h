@@ -1,0 +1,72 @@
+// Minimal command-line flag parsing for the tss_* tools.
+//
+// Supports "--name value", "--name=value", and bare positional arguments.
+// Unknown flags are an error; tools print their own usage.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/strings.h"
+
+namespace tss::tools {
+
+class Flags {
+ public:
+  // `known` lists accepted flag names (without the leading dashes).
+  static Result<Flags> parse(int argc, char** argv,
+                             const std::set<std::string>& known) {
+    Flags flags;
+    for (int i = 1; i < argc; i++) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        flags.positional_.push_back(arg);
+        continue;
+      }
+      std::string name = arg.substr(2);
+      std::string value;
+      size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Error(EINVAL, "flag --" + name + " needs a value");
+      }
+      if (!known.count(name)) {
+        return Error(EINVAL, "unknown flag --" + name);
+      }
+      flags.values_[name] = value;
+    }
+    return flags;
+  }
+
+  std::optional<std::string> get(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::string get_or(const std::string& name,
+                     const std::string& fallback) const {
+    return get(name).value_or(fallback);
+  }
+  Result<int64_t> get_int(const std::string& name, int64_t fallback) const {
+    auto v = get(name);
+    if (!v) return fallback;
+    auto n = parse_i64(*v);
+    if (!n) return Error(EINVAL, "flag --" + name + " must be an integer");
+    return *n;
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tss::tools

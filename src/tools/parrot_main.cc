@@ -1,0 +1,120 @@
+// tss_parrot — run an unmodified command with tactical storage attached.
+//
+//   tss_parrot --map "/tss /cfs/host:9094" -- cat /tss/data/results.txt
+//
+// The §6 adapter as a command: system calls of the child (and its children)
+// are intercepted with ptrace; path arguments under the virtual prefix are
+// fetched through the adapter namespace into a local cache and transparently
+// rewritten. This demo tracer covers the read path (open/stat/access/exec);
+// the library's adapter::Adapter covers the full interface for linked
+// applications.
+//
+// Options (before the "--"):
+//   --map "PREFIX TARGET"   virtual prefix and its adapter target
+//                           (e.g. "/tss /cfs/host:9094/data"); required
+//   --gsi-credential TOKEN  offer a GSI credential when connecting
+//   --cache DIR             where fetched copies land (default: mkdtemp)
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "adapter/adapter.h"
+#include "auth/gsi.h"
+#include "auth/hostname.h"
+#include "auth/unix.h"
+#include "parrot/tracer.h"
+#include "tools/flags.h"
+#include "util/path.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace tss;
+
+  // Split our flags from the command at "--".
+  int split = argc;
+  for (int i = 1; i < argc; i++) {
+    if (std::string(argv[i]) == "--") {
+      split = i;
+      break;
+    }
+  }
+  if (split == argc || split + 1 >= argc) {
+    std::fprintf(stderr,
+                 "usage: tss_parrot --map \"PREFIX TARGET\" "
+                 "[--gsi-credential TOKEN] [--cache DIR] -- command args...\n");
+    return 2;
+  }
+
+  auto flags = tools::Flags::parse(split, argv,
+                                   {"map", "gsi-credential", "cache"});
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.error().to_string().c_str());
+    return 2;
+  }
+  auto map_spec = flags.value().get("map");
+  if (!map_spec) {
+    std::fprintf(stderr, "tss_parrot: --map is required\n");
+    return 2;
+  }
+  auto map_words = split_words(*map_spec);
+  if (map_words.size() != 2) {
+    std::fprintf(stderr, "tss_parrot: --map expects \"PREFIX TARGET\"\n");
+    return 2;
+  }
+  std::string prefix = path::sanitize(map_words[0]);
+
+  if (!parrot::tracer_supported()) {
+    std::fprintf(stderr, "tss_parrot: ptrace tracer unsupported here\n");
+    return 1;
+  }
+
+  adapter::Adapter::Options options;
+  if (auto gsi = flags.value().get("gsi-credential")) {
+    options.credentials.push_back(
+        std::make_shared<auth::GsiClientCredential>(*gsi));
+  }
+  options.credentials.push_back(std::make_shared<auth::UnixClientCredential>());
+  options.credentials.push_back(
+      std::make_shared<auth::HostnameClientCredential>());
+  adapter::Adapter adapter(options);
+  if (auto rc = adapter.load_mountlist(prefix + " " + map_words[1] + "\n");
+      !rc.ok()) {
+    std::fprintf(stderr, "tss_parrot: %s\n", rc.error().to_string().c_str());
+    return 1;
+  }
+
+  std::string cache = flags.value().get_or("cache", "");
+  if (cache.empty()) {
+    char templ[] = "/tmp/tss-parrot-cache-XXXXXX";
+    if (!::mkdtemp(templ)) {
+      std::fprintf(stderr, "tss_parrot: cannot create cache dir\n");
+      return 1;
+    }
+    cache = templ;
+  }
+
+  parrot::TraceOptions trace;
+  trace.virtual_prefix = prefix;
+  uint64_t fetch_count = 0;
+  trace.fetch = [&](const std::string& virtual_path) -> Result<std::string> {
+    auto data = adapter.read_file(prefix + virtual_path);
+    if (!data.ok()) return std::move(data).take_error();
+    std::string local = cache + "/f" + std::to_string(fetch_count++) + "-" +
+                        path::basename(virtual_path);
+    std::ofstream out(local, std::ios::binary | std::ios::trunc);
+    if (!out) return Error(EIO, "cannot write cache copy");
+    out << data.value();
+    return local;
+  };
+
+  std::vector<std::string> command;
+  for (int i = split + 1; i < argc; i++) command.push_back(argv[i]);
+  auto stats = parrot::trace_run(command, trace);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "tss_parrot: %s\n",
+                 stats.error().to_string().c_str());
+    return 1;
+  }
+  return stats.value().exit_code;
+}

@@ -1,0 +1,205 @@
+// tss — command-line client for tactical storage.
+//
+// Remote paths take the form chirp://HOST:PORT/PATH. Subcommands:
+//
+//   tss ls      chirp://h:p/dir              long listing
+//   tss cat     chirp://h:p/file             print file to stdout
+//   tss put     LOCAL chirp://h:p/file       upload
+//   tss get     chirp://h:p/file LOCAL       download
+//   tss mkdir   chirp://h:p/dir
+//   tss rm      chirp://h:p/file
+//   tss rmdir   chirp://h:p/dir
+//   tss mv      chirp://h:p/old /new         rename within one server
+//   tss stat    chirp://h:p/path
+//   tss getacl  chirp://h:p/dir
+//   tss setacl  chirp://h:p/dir SUBJECT RIGHTS
+//   tss whoami  chirp://h:p/
+//   tss df      chirp://h:p/
+//   tss catalog HOST:PORT                    query a catalog
+//
+// Authentication: tries --gsi-credential (if given), then unix, then
+// hostname — "a client may attempt any number of authentication methods in
+// any order" (§4).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "auth/gsi.h"
+#include "auth/hostname.h"
+#include "auth/unix.h"
+#include "catalog/catalog.h"
+#include "chirp/client.h"
+#include "tools/flags.h"
+#include "util/path.h"
+
+namespace {
+
+using namespace tss;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: tss <ls|cat|put|get|mkdir|rm|rmdir|mv|stat|getacl|setacl|"
+      "whoami|df|catalog> args...\n"
+      "       remote paths: chirp://HOST:PORT/PATH\n"
+      "       options: --gsi-credential TOKEN\n");
+  return 2;
+}
+
+struct RemotePath {
+  net::Endpoint server;
+  std::string path;
+};
+
+Result<RemotePath> parse_remote(const std::string& url) {
+  const std::string prefix = "chirp://";
+  if (url.rfind(prefix, 0) != 0) {
+    return Error(EINVAL, "not a chirp:// URL: " + url);
+  }
+  std::string rest = url.substr(prefix.size());
+  size_t slash = rest.find('/');
+  std::string hostport = slash == std::string::npos ? rest
+                                                    : rest.substr(0, slash);
+  std::string p = slash == std::string::npos ? "/" : rest.substr(slash);
+  TSS_ASSIGN_OR_RETURN(net::Endpoint endpoint, net::Endpoint::parse(hostport));
+  return RemotePath{endpoint, path::sanitize(p)};
+}
+
+Result<chirp::Client> connect_and_auth(const net::Endpoint& server,
+                                       const std::optional<std::string>& gsi) {
+  TSS_ASSIGN_OR_RETURN(chirp::Client client, chirp::Client::connect(server));
+  std::vector<std::unique_ptr<auth::ClientCredential>> owned;
+  if (gsi) owned.push_back(std::make_unique<auth::GsiClientCredential>(*gsi));
+  owned.push_back(std::make_unique<auth::UnixClientCredential>());
+  owned.push_back(std::make_unique<auth::HostnameClientCredential>());
+  std::vector<auth::ClientCredential*> credentials;
+  for (auto& c : owned) credentials.push_back(c.get());
+  auto subject = client.authenticate_any(credentials);
+  if (!subject.ok()) return std::move(subject).take_error();
+  return client;
+}
+
+int fail(const Error& e) {
+  std::fprintf(stderr, "tss: %s\n", e.to_string().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = tools::Flags::parse(argc, argv, {"gsi-credential"});
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.error().to_string().c_str());
+    return usage();
+  }
+  const tools::Flags& f = flags.value();
+  const auto& args = f.positional();
+  if (args.empty()) return usage();
+  const std::string& command = args[0];
+  auto gsi = f.get("gsi-credential");
+
+  if (command == "catalog") {
+    if (args.size() < 2) return usage();
+    auto endpoint = net::Endpoint::parse(args[1]);
+    if (!endpoint.ok()) return fail(endpoint.error());
+    auto listing = catalog::query(endpoint.value());
+    if (!listing.ok()) return fail(listing.error());
+    for (const auto& entry : listing.value()) {
+      std::printf("%-24s %-22s owner=%s free=%s\n", entry.name.c_str(),
+                  entry.address.to_string().c_str(), entry.owner.c_str(),
+                  format_bytes(entry.free_bytes).c_str());
+    }
+    return 0;
+  }
+
+  if (args.size() < 2) return usage();
+  if (command == "put" && args.size() < 3) return usage();
+  auto remote = parse_remote(command == "put" ? args[2] : args[1]);
+  if (!remote.ok()) return fail(remote.error());
+  auto client = connect_and_auth(remote.value().server, gsi);
+  if (!client.ok()) return fail(client.error());
+  chirp::Client& c = client.value();
+  const std::string& p = remote.value().path;
+
+  if (command == "ls") {
+    auto entries = c.getdir(p);
+    if (!entries.ok()) return fail(entries.error());
+    for (const auto& e : entries.value()) {
+      std::printf("%c %10llu  %s\n", e.info.is_dir ? 'd' : '-',
+                  static_cast<unsigned long long>(e.info.size),
+                  e.name.c_str());
+    }
+  } else if (command == "cat") {
+    auto data = c.getfile(p);
+    if (!data.ok()) return fail(data.error());
+    std::fwrite(data.value().data(), 1, data.value().size(), stdout);
+  } else if (command == "put") {
+    // Streamed upload: constant memory regardless of file size.
+    std::error_code ec;
+    auto size = std::filesystem::file_size(args[1], ec);
+    if (ec) return fail(Error(ENOENT, "cannot read " + args[1]));
+    std::ifstream in(args[1], std::ios::binary);
+    if (!in) return fail(Error(ENOENT, "cannot read " + args[1]));
+    auto source = [&in](char* buffer, size_t capacity) -> Result<size_t> {
+      in.read(buffer, static_cast<std::streamsize>(capacity));
+      return static_cast<size_t>(in.gcount());
+    };
+    auto rc = c.putfile_from(p, size, source);
+    if (!rc.ok()) return fail(rc.error());
+  } else if (command == "get") {
+    if (args.size() < 3) return usage();
+    std::ofstream out(args[2], std::ios::binary | std::ios::trunc);
+    if (!out) return fail(Error(EIO, "cannot write " + args[2]));
+    auto sink = [&out](std::string_view chunk) -> Result<void> {
+      out.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+      if (!out) return Error(EIO, "local write failed");
+      return Result<void>::success();
+    };
+    auto rc = c.getfile_to(p, sink);
+    if (!rc.ok()) return fail(rc.error());
+  } else if (command == "mkdir") {
+    auto rc = c.mkdir(p, 0755);
+    if (!rc.ok()) return fail(rc.error());
+  } else if (command == "rm") {
+    auto rc = c.unlink(p);
+    if (!rc.ok()) return fail(rc.error());
+  } else if (command == "rmdir") {
+    auto rc = c.rmdir(p);
+    if (!rc.ok()) return fail(rc.error());
+  } else if (command == "mv") {
+    if (args.size() < 3) return usage();
+    auto rc = c.rename(p, path::sanitize(args[2]));
+    if (!rc.ok()) return fail(rc.error());
+  } else if (command == "stat") {
+    auto info = c.stat(p);
+    if (!info.ok()) return fail(info.error());
+    std::printf("%s: %s, %llu bytes, mode %o, inode %llu, mtime %lld\n",
+                p.c_str(), info.value().is_dir ? "directory" : "file",
+                static_cast<unsigned long long>(info.value().size),
+                info.value().mode,
+                static_cast<unsigned long long>(info.value().inode),
+                static_cast<long long>(info.value().mtime));
+  } else if (command == "getacl") {
+    auto acl = c.getacl(p);
+    if (!acl.ok()) return fail(acl.error());
+    std::fputs(acl.value().c_str(), stdout);
+  } else if (command == "setacl") {
+    if (args.size() < 4) return usage();
+    auto rc = c.setacl(p, args[2], args[3]);
+    if (!rc.ok()) return fail(rc.error());
+  } else if (command == "whoami") {
+    auto who = c.whoami();
+    if (!who.ok()) return fail(who.error());
+    std::printf("%s\n", who.value().c_str());
+  } else if (command == "df") {
+    auto space = c.statfs();
+    if (!space.ok()) return fail(space.error());
+    std::printf("total %s, free %s\n",
+                format_bytes(space.value().first).c_str(),
+                format_bytes(space.value().second).c_str());
+  } else {
+    return usage();
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "util/checksum.h"
+
+namespace tss {
+
+namespace {
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t fnv_mix(uint64_t hash, const void* data, size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; i++) {
+    hash ^= p[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Extra avalanche pass so weak_mac output bits all depend on all input bits.
+uint64_t final_mix(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+}  // namespace
+
+uint64_t fnv1a64(const void* data, size_t size) {
+  return fnv_mix(kFnvOffset, data, size);
+}
+
+uint64_t fnv1a64(std::string_view s) { return fnv1a64(s.data(), s.size()); }
+
+void Fnv1a64::update(const void* data, size_t size) {
+  hash_ = fnv_mix(hash_, data, size);
+}
+
+std::string weak_mac(std::string_view key, std::string_view message) {
+  // HMAC-like sandwich: H(key || H(key || message)), with avalanche mixing.
+  uint64_t inner = kFnvOffset;
+  inner = fnv_mix(inner, key.data(), key.size());
+  inner = fnv_mix(inner, message.data(), message.size());
+  inner = final_mix(inner);
+  uint64_t outer = kFnvOffset;
+  outer = fnv_mix(outer, key.data(), key.size());
+  outer = fnv_mix(outer, &inner, sizeof inner);
+  return hash_to_hex(final_mix(outer));
+}
+
+std::string hash_to_hex(uint64_t h) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; i--) {
+    out[static_cast<size_t>(i)] = kDigits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace tss

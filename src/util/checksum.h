@@ -1,0 +1,41 @@
+// Checksums and a keyed MAC.
+//
+// FNV-1a is used for file integrity checks in the GEMS auditor and for
+// content fingerprints in tests. The keyed MAC backs the *simulated* GSI and
+// Kerberos credential systems: it plays the role RSA signatures / DES session
+// keys play in the real Globus and Kerberos, giving the same unforgeability
+// property within the test universe (nobody without the CA/KDC key can mint
+// a credential) without shipping a crypto library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tss {
+
+// 64-bit FNV-1a over a byte range.
+uint64_t fnv1a64(const void* data, size_t size);
+uint64_t fnv1a64(std::string_view s);
+
+// Incremental FNV-1a, for streaming file audits.
+class Fnv1a64 {
+ public:
+  void update(const void* data, size_t size);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ULL;
+};
+
+// Keyed MAC built from iterated FNV mixing (NOT cryptographically strong;
+// a stand-in with the right interface for the simulated credential systems).
+// Returns a 16-hex-character tag.
+std::string weak_mac(std::string_view key, std::string_view message);
+
+// Formats a 64-bit hash as 16 lowercase hex characters.
+std::string hash_to_hex(uint64_t h);
+
+}  // namespace tss

@@ -1,0 +1,23 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace tss {
+
+RealClock& RealClock::instance() {
+  static RealClock clock;
+  return clock;
+}
+
+Nanos RealClock::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealClock::sleep_for(Nanos d) {
+  if (d > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+}
+
+}  // namespace tss

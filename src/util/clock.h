@@ -1,0 +1,50 @@
+// Clock abstraction.
+//
+// Everything time-dependent (catalog staleness, reconnect backoff, replica
+// auditing intervals) takes a Clock so the same code runs against wall time
+// in production and against VirtualClock in tests and in the discrete-event
+// simulator. Times are nanoseconds since an arbitrary epoch.
+#pragma once
+
+#include <cstdint>
+#include <atomic>
+
+namespace tss {
+
+using Nanos = int64_t;
+
+constexpr Nanos kMicrosecond = 1000;
+constexpr Nanos kMillisecond = 1000 * kMicrosecond;
+constexpr Nanos kSecond = 1000 * kMillisecond;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Nanos now() const = 0;
+  // Sleeps `d` nanoseconds of this clock's time. VirtualClock advances
+  // immediately; RealClock actually blocks.
+  virtual void sleep_for(Nanos d) = 0;
+};
+
+// Monotonic wall-clock time.
+class RealClock final : public Clock {
+ public:
+  static RealClock& instance();
+  Nanos now() const override;
+  void sleep_for(Nanos d) override;
+};
+
+// Manually advanced clock for tests and the simulator.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(Nanos start = 0) : now_(start) {}
+  Nanos now() const override { return now_.load(std::memory_order_relaxed); }
+  void sleep_for(Nanos d) override { advance(d); }
+  void advance(Nanos d) { now_.fetch_add(d, std::memory_order_relaxed); }
+  void set(Nanos t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Nanos> now_;
+};
+
+}  // namespace tss

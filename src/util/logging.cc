@@ -1,0 +1,64 @@
+#include "util/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace tss {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  if (!enabled(level)) return;
+  auto now = std::chrono::system_clock::now();
+  std::time_t t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&t, &tm_buf);
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%H:%M:%S", &tm_buf);
+
+  std::string line;
+  line.reserve(component.size() + message.size() + 32);
+  line += stamp;
+  line += ' ';
+  line += log_level_name(level);
+  line += " [";
+  line += component;
+  line += "] ";
+  line += message;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_) {
+    sink_(level, line);
+  } else {
+    std::fputs(line.c_str(), stderr);
+    std::fputc('\n', stderr);
+  }
+}
+
+}  // namespace tss

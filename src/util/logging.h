@@ -1,0 +1,70 @@
+// Minimal leveled, thread-safe logger.
+//
+// Every long-running component (file server, catalog, replicator) logs through
+// this. Output goes to stderr by default; tests can capture it with a sink.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace tss {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* log_level_name(LogLevel level);
+
+// Global logging configuration. Cheap atomic check on the hot path.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  // Replace the output sink (default writes to stderr). Passing nullptr
+  // restores the default sink.
+  void set_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kInfo;
+  std::mutex mutex_;
+  std::function<void(LogLevel, const std::string&)> sink_;
+};
+
+// Stream-style log statement builder.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* component)
+      : level_(level), component_(component) {}
+  ~LogMessage() { Logger::instance().write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace tss
+
+#define TSS_LOG(level, component)                         \
+  if (!::tss::Logger::instance().enabled(level)) {        \
+  } else                                                  \
+    ::tss::LogMessage(level, component)
+
+#define TSS_DEBUG(component) TSS_LOG(::tss::LogLevel::kDebug, component)
+#define TSS_INFO(component) TSS_LOG(::tss::LogLevel::kInfo, component)
+#define TSS_WARN(component) TSS_LOG(::tss::LogLevel::kWarn, component)
+#define TSS_ERROR(component) TSS_LOG(::tss::LogLevel::kError, component)

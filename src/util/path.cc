@@ -1,0 +1,91 @@
+#include "util/path.h"
+
+namespace tss::path {
+
+std::string sanitize(std::string_view raw) {
+  std::vector<std::string_view> stack;
+  size_t i = 0;
+  while (i < raw.size()) {
+    while (i < raw.size() && raw[i] == '/') i++;
+    size_t start = i;
+    while (i < raw.size() && raw[i] != '/') i++;
+    std::string_view comp = raw.substr(start, i - start);
+    if (comp.empty() || comp == ".") continue;
+    if (comp == "..") {
+      if (!stack.empty()) stack.pop_back();
+      continue;  // ".." at root stays at root: this is the chroot clamp.
+    }
+    stack.push_back(comp);
+  }
+  std::string out;
+  if (stack.empty()) return "/";
+  for (std::string_view comp : stack) {
+    out += '/';
+    out += comp;
+  }
+  return out;
+}
+
+bool is_canonical(std::string_view s) {
+  if (s.empty() || s[0] != '/') return false;
+  if (s == "/") return true;
+  if (s.back() == '/') return false;
+  size_t i = 1;
+  while (i < s.size()) {
+    size_t start = i;
+    while (i < s.size() && s[i] != '/') i++;
+    std::string_view comp = s.substr(start, i - start);
+    if (comp.empty() || comp == "." || comp == "..") return false;
+    if (i < s.size()) i++;  // skip '/'
+  }
+  return true;
+}
+
+std::vector<std::string> components(std::string_view canonical) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < canonical.size()) {
+    while (i < canonical.size() && canonical[i] == '/') i++;
+    size_t start = i;
+    while (i < canonical.size() && canonical[i] != '/') i++;
+    if (i > start) out.emplace_back(canonical.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string join(std::string_view canonical_dir, std::string_view suffix) {
+  std::string combined(canonical_dir);
+  combined += '/';
+  combined += suffix;
+  return sanitize(combined);
+}
+
+std::string dirname(std::string_view canonical) {
+  size_t pos = canonical.rfind('/');
+  if (pos == std::string_view::npos || pos == 0) return "/";
+  return std::string(canonical.substr(0, pos));
+}
+
+std::string basename(std::string_view canonical) {
+  size_t pos = canonical.rfind('/');
+  if (pos == std::string_view::npos) return std::string(canonical);
+  return std::string(canonical.substr(pos + 1));
+}
+
+bool is_within(std::string_view canonical_dir, std::string_view p) {
+  if (canonical_dir == "/") return !p.empty() && p[0] == '/';
+  if (p == canonical_dir) return true;
+  return p.size() > canonical_dir.size() &&
+         p.substr(0, canonical_dir.size()) == canonical_dir &&
+         p[canonical_dir.size()] == '/';
+}
+
+std::string to_host(std::string_view root, std::string_view canonical) {
+  std::string out(root);
+  while (!out.empty() && out.back() == '/') out.pop_back();
+  if (canonical != "/") out += canonical;
+  if (out.empty()) out = "/";
+  return out;
+}
+
+}  // namespace tss::path

@@ -1,0 +1,46 @@
+// Path manipulation and the "software chroot" sanitizer.
+//
+// The paper's file server exports a directory chosen by its owner and notes
+// that, because chroot(2) needs root, "the server provides an equivalent
+// facility in software". That facility is here: every client-supplied path is
+// lexically normalized and clamped so that no sequence of "..", ".", "//" or
+// embedded tricks can name anything above the export root.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tss::path {
+
+// Lexically normalizes a client path into canonical absolute form:
+//  - result always begins with '/',
+//  - no "." or empty components,
+//  - ".." is resolved lexically and cannot climb above "/".
+// "foo/../../bar" -> "/bar"; "" and "/" -> "/".
+std::string sanitize(std::string_view raw);
+
+// True if `s` is already in the canonical form produced by sanitize().
+bool is_canonical(std::string_view s);
+
+// Splits a canonical path into components ("/a/b" -> {"a","b"}; "/" -> {}).
+std::vector<std::string> components(std::string_view canonical);
+
+// Joins a canonical directory and a relative or absolute suffix, then
+// sanitizes. join("/a", "b/c") == "/a/b/c"; join("/a", "/b") == "/a/b".
+std::string join(std::string_view canonical_dir, std::string_view suffix);
+
+// "/a/b/c" -> "/a/b"; "/a" -> "/"; "/" -> "/".
+std::string dirname(std::string_view canonical);
+
+// "/a/b/c" -> "c"; "/" -> "".
+std::string basename(std::string_view canonical);
+
+// True if `p` equals `dir` or lies beneath it ("/a/b" is within "/a").
+bool is_within(std::string_view canonical_dir, std::string_view p);
+
+// Maps a canonical virtual path into the host filesystem under `root`.
+// root="/srv/export", p="/x/y" -> "/srv/export/x/y".
+std::string to_host(std::string_view root, std::string_view canonical);
+
+}  // namespace tss::path

@@ -1,0 +1,70 @@
+#include "util/rand.h"
+
+namespace tss {
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64 used to spread the seed across the state.
+inline uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t state = seed;
+  for (auto& s : s_) s = splitmix64(state);
+}
+
+uint64_t Rng::next() {
+  uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::below(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (~bound + 1) % bound;  // == 2^64 % bound
+  while (true) {
+    uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::range(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::string Rng::hex(size_t chars) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(chars);
+  uint64_t bits = 0;
+  int have = 0;
+  for (size_t i = 0; i < chars; i++) {
+    if (have == 0) {
+      bits = next();
+      have = 16;
+    }
+    out += kDigits[bits & 0xF];
+    bits >>= 4;
+    have--;
+  }
+  return out;
+}
+
+}  // namespace tss

@@ -1,0 +1,36 @@
+// Deterministic random number generation.
+//
+// The DSFS data-file naming scheme, the workload generators, and the
+// simulator all need reproducible randomness; benchmarks fix the seed so that
+// reported series are stable run to run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tss {
+
+// xoshiro256** — small, fast, good statistical quality.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  uint64_t next();
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t below(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Random lowercase hex string of `chars` characters.
+  std::string hex(size_t chars);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace tss

@@ -1,0 +1,114 @@
+// Lightweight error handling used across the TSS library.
+//
+// The Chirp protocol and the abstractions built on it are all expressed in
+// terms of Unix-like operations, so errors carry an errno-style code plus a
+// human-readable message. Result<T> is a minimal expected<T, Error>: we avoid
+// exceptions on I/O paths (a remote ENOENT is not exceptional) and reserve
+// throwing for programming errors.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tss {
+
+// An errno-style error. `code` uses the host errno values (ENOENT, EACCES,
+// ...) so that the adapter can hand results straight back to applications.
+struct Error {
+  int code = 0;
+  std::string message;
+
+  Error() = default;
+  Error(int c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  // Builds an Error from the current errno value.
+  static Error from_errno(const std::string& context) {
+    int e = errno;
+    return Error(e, context + ": " + std::strerror(e));
+  }
+  static Error from_errno(int e, const std::string& context) {
+    return Error(e, context + ": " + std::strerror(e));
+  }
+
+  std::string to_string() const {
+    return message.empty() ? std::strerror(code) : message;
+  }
+};
+
+// Result<T>: either a value or an Error. `Result<void>` is specialized below.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  const Error& error() const { return std::get<Error>(data_); }
+  Error take_error() && { return std::get<Error>(std::move(data_)); }
+
+  // errno-style convenience: 0 when ok.
+  int code() const { return ok() ? 0 : error().code; }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}     // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const { return *error_; }
+  Error take_error() && { return std::move(*error_); }
+  int code() const { return ok() ? 0 : error_->code; }
+
+  static Result success() { return Result(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+// Propagate-on-error helper: evaluates `expr`, and if it failed, returns the
+// error from the enclosing function. Usage:
+//   TSS_RETURN_IF_ERROR(fs.mkdir("/a"));
+#define TSS_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    auto _tss_result = (expr);                       \
+    if (!_tss_result.ok()) {                         \
+      return std::move(_tss_result).take_error();    \
+    }                                                \
+  } while (0)
+
+// Assign-or-return helper:
+//   TSS_ASSIGN_OR_RETURN(auto fd, fs.open("/a", O_RDONLY));
+#define TSS_ASSIGN_OR_RETURN(decl, expr)             \
+  TSS_ASSIGN_OR_RETURN_IMPL_(                        \
+      TSS_RESULT_CONCAT_(_tss_res_, __LINE__), decl, expr)
+#define TSS_RESULT_CONCAT_INNER_(a, b) a##b
+#define TSS_RESULT_CONCAT_(a, b) TSS_RESULT_CONCAT_INNER_(a, b)
+#define TSS_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr)  \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return std::move(tmp).take_error();              \
+  }                                                  \
+  decl = std::move(tmp).value()
+
+}  // namespace tss

@@ -1,0 +1,193 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace tss {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> split_words(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) i++;
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) i++;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) b++;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) e--;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<int64_t> parse_i64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  bool negative = false;
+  size_t i = 0;
+  if (s[0] == '-' || s[0] == '+') {
+    negative = s[0] == '-';
+    i = 1;
+    if (s.size() == 1) return std::nullopt;
+  }
+  uint64_t magnitude = 0;
+  for (; i < s.size(); i++) {
+    if (s[i] < '0' || s[i] > '9') return std::nullopt;
+    uint64_t digit = static_cast<uint64_t>(s[i] - '0');
+    if (magnitude > (UINT64_MAX - digit) / 10) return std::nullopt;
+    magnitude = magnitude * 10 + digit;
+  }
+  if (negative) {
+    if (magnitude > static_cast<uint64_t>(INT64_MAX) + 1) return std::nullopt;
+    return static_cast<int64_t>(~magnitude + 1);
+  }
+  if (magnitude > static_cast<uint64_t>(INT64_MAX)) return std::nullopt;
+  return static_cast<int64_t>(magnitude);
+}
+
+std::optional<uint64_t> parse_u64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+bool wildcard_match(std::string_view pattern, std::string_view text) {
+  // Iterative two-pointer matcher with backtracking to the last '*'.
+  size_t p = 0, t = 0;
+  size_t star = std::string_view::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      p++;
+      t++;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') p++;
+  return p == pattern.size();
+}
+
+namespace {
+bool url_safe(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '~' ||
+         c == '/' || c == '-';
+}
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string url_encode(std::string_view s) {
+  static const char* kHex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (url_safe(c)) {
+      out += c;
+    } else {
+      unsigned char u = static_cast<unsigned char>(c);
+      out += '%';
+      out += kHex[u >> 4];
+      out += kHex[u & 0xF];
+    }
+  }
+  return out;
+}
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); i++) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      int hi = hex_value(s[i + 1]);
+      int lo = hex_value(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+std::string format_bytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double value = static_cast<double>(bytes);
+  size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < sizeof(kUnits) / sizeof(kUnits[0])) {
+    value /= 1024.0;
+    unit++;
+  }
+  char buf[48];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string join_words(const std::vector<std::string>& words) {
+  std::string out;
+  for (size_t i = 0; i < words.size(); i++) {
+    if (i) out += ' ';
+    out += words[i];
+  }
+  return out;
+}
+
+}  // namespace tss

@@ -1,0 +1,46 @@
+// String helpers shared by the line-oriented wire protocols (Chirp, catalog,
+// db) and by the ACL / mountlist parsers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tss {
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+// Splits on runs of whitespace, dropping empty tokens (protocol word split).
+std::vector<std::string> split_words(std::string_view s);
+
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+std::string to_lower(std::string_view s);
+
+// Parses a decimal signed/unsigned integer; rejects trailing garbage.
+std::optional<int64_t> parse_i64(std::string_view s);
+std::optional<uint64_t> parse_u64(std::string_view s);
+
+// Glob-style wildcard match supporting '*' (any run, including '/') and '?'.
+// This is the matcher used for ACL subjects such as
+// "hostname:*.cse.nd.edu" and "globus:/O=Notre_Dame/*".
+bool wildcard_match(std::string_view pattern, std::string_view text);
+
+// Percent-encodes characters outside [a-zA-Z0-9._~/-] so that arbitrary file
+// names can travel on a space-separated protocol line.
+std::string url_encode(std::string_view s);
+std::string url_decode(std::string_view s);
+
+// Human-readable byte count, e.g. "1.5 MB" (used by catalog listings).
+std::string format_bytes(uint64_t bytes);
+
+// Joins tokens with a single space.
+std::string join_words(const std::vector<std::string>& words);
+
+}  // namespace tss

@@ -1,0 +1,103 @@
+#include "workload/sp5.h"
+
+#include <cstring>
+
+#include "util/rand.h"
+
+namespace tss::workload {
+
+namespace {
+std::string deterministic_bytes(size_t size, uint64_t seed) {
+  std::string out;
+  out.resize(size);
+  Rng rng(seed);
+  size_t i = 0;
+  while (i + 8 <= size) {
+    uint64_t word = rng.next();
+    std::memcpy(out.data() + i, &word, 8);
+    i += 8;
+  }
+  for (; i < size; i++) out[i] = static_cast<char>(rng.next());
+  return out;
+}
+}  // namespace
+
+Result<void> sp5_install(fs::FileSystem& fs, const Sp5Config& config,
+                         uint64_t seed) {
+  TSS_RETURN_IF_ERROR(fs::mkdir_recursive(fs, config.root + "/scripts"));
+  TSS_RETURN_IF_ERROR(fs::mkdir_recursive(fs, config.root + "/lib"));
+  TSS_RETURN_IF_ERROR(fs::mkdir_recursive(fs, config.root + "/data"));
+  for (int i = 0; i < config.script_count; i++) {
+    TSS_RETURN_IF_ERROR(fs.write_file(
+        config.script_path(i),
+        deterministic_bytes(config.script_bytes, seed * 1000 + (uint64_t)i)));
+  }
+  for (int i = 0; i < config.library_count; i++) {
+    TSS_RETURN_IF_ERROR(fs.write_file(
+        config.library_path(i),
+        deterministic_bytes(config.library_bytes,
+                            seed * 2000 + (uint64_t)i)));
+  }
+  TSS_RETURN_IF_ERROR(fs.write_file(
+      config.input_path(), deterministic_bytes(config.input_bytes, seed)));
+  TSS_RETURN_IF_ERROR(fs.write_file(config.output_path(), ""));
+  return Result<void>::success();
+}
+
+Result<uint64_t> sp5_init(fs::FileSystem& fs, const Sp5Config& config) {
+  uint64_t total = 0;
+  // The startup sequence of a script-driven application: every component is
+  // opened and read in full, one at a time.
+  for (int i = 0; i < config.script_count; i++) {
+    TSS_ASSIGN_OR_RETURN(std::string data, fs.read_file(config.script_path(i)));
+    total += data.size();
+  }
+  for (int i = 0; i < config.library_count; i++) {
+    TSS_ASSIGN_OR_RETURN(std::string data,
+                         fs.read_file(config.library_path(i)));
+    total += data.size();
+  }
+  return total;
+}
+
+Result<void> sp5_event(fs::FileSystem& fs, const Sp5Config& config,
+                       int event_index) {
+  // Read this event's input slice (wrapping around the dataset).
+  TSS_ASSIGN_OR_RETURN(
+      auto input, fs.open(config.input_path(),
+                          fs::OpenFlags::parse("r").value()));
+  uint64_t slice = config.event_input_bytes;
+  uint64_t offset =
+      (static_cast<uint64_t>(event_index) * slice) %
+      std::max<uint64_t>(1, config.input_bytes - slice + 1);
+  std::string buffer(slice, '\0');
+  size_t got = 0;
+  while (got < slice) {
+    TSS_ASSIGN_OR_RETURN(
+        size_t n, input->pread(buffer.data() + got, slice - got,
+                               static_cast<int64_t>(offset + got)));
+    if (n == 0) break;
+    got += n;
+  }
+  TSS_RETURN_IF_ERROR(input->close());
+
+  // Append the event's output record.
+  TSS_ASSIGN_OR_RETURN(
+      auto output, fs.open(config.output_path(),
+                           fs::OpenFlags::parse("wa").value()));
+  TSS_ASSIGN_OR_RETURN(fs::StatInfo info, output->fstat());
+  std::string record = deterministic_bytes(config.event_output_bytes,
+                                           0xE0E0 + (uint64_t)event_index);
+  size_t written = 0;
+  while (written < record.size()) {
+    TSS_ASSIGN_OR_RETURN(
+        size_t n,
+        output->pwrite(record.data() + written, record.size() - written,
+                       static_cast<int64_t>(info.size + written)));
+    if (n == 0) return Error(EIO, "short event output write");
+    written += n;
+  }
+  return output->close();
+}
+
+}  // namespace tss::workload

@@ -1,0 +1,69 @@
+// SP5-like synthetic workload (§8 substitution; DESIGN.md §3).
+//
+// The real SP5 is a BaBar detector-simulation component: "not a single
+// static executable, but a collection of scripts, executables, and dynamic
+// libraries", whose configuration and data live behind a commercial I/O
+// library. What its table in §8 measures is the I/O profile, which this
+// module reproduces:
+//
+//   install — the application tree: many small scripts plus a set of
+//             megabyte-scale shared libraries and an input dataset;
+//   init    — the startup phase reads every script and library (the part
+//             that inflates from 446 s locally to ~4500 s over a remote
+//             filesystem: thousands of small-file round trips);
+//   event   — each simulation event reads a slice of input data and appends
+//             a result record (modest I/O, so remote execution stays within
+//             a factor of two).
+//
+// All phases run against the recursive FileSystem interface, so the same
+// workload runs on LocalFs (the "Unix" row), CfsFs (the "TSS" rows), or the
+// NFS baseline via its own driver.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fs/filesystem.h"
+
+namespace tss::workload {
+
+struct Sp5Config {
+  int script_count = 120;
+  size_t script_bytes = 8 * 1024;
+  int library_count = 30;
+  size_t library_bytes = 1 << 20;
+  size_t input_bytes = 8 << 20;
+  size_t event_input_bytes = 512 * 1024;   // read per event
+  size_t event_output_bytes = 64 * 1024;   // appended per event
+  std::string root = "/sp5";
+
+  std::string script_path(int i) const {
+    return root + "/scripts/script" + std::to_string(i) + ".tcl";
+  }
+  std::string library_path(int i) const {
+    return root + "/lib/libsp5-" + std::to_string(i) + ".so";
+  }
+  std::string input_path() const { return root + "/data/input.dat"; }
+  std::string output_path() const { return root + "/data/output.dat"; }
+
+  uint64_t install_bytes() const {
+    return static_cast<uint64_t>(script_count) * script_bytes +
+           static_cast<uint64_t>(library_count) * library_bytes + input_bytes;
+  }
+  // Number of files the init phase opens (the round-trip count that
+  // dominates remote init time).
+  int init_file_count() const { return script_count + library_count; }
+};
+
+// Creates the application tree on `fs` with deterministic content.
+Result<void> sp5_install(fs::FileSystem& fs, const Sp5Config& config,
+                         uint64_t seed = 1);
+
+// Startup: opens and reads every script and library. Returns bytes read.
+Result<uint64_t> sp5_init(fs::FileSystem& fs, const Sp5Config& config);
+
+// Processes one event: reads its input slice, appends its output record.
+Result<void> sp5_event(fs::FileSystem& fs, const Sp5Config& config,
+                       int event_index);
+
+}  // namespace tss::workload

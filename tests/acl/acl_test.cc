@@ -1,0 +1,197 @@
+#include "acl/acl.h"
+
+#include <gtest/gtest.h>
+
+namespace tss::acl {
+namespace {
+
+TEST(ParseRights, Letters) {
+  auto r = parse_rights("rwl");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rights, kRead | kWrite | kList);
+  EXPECT_EQ(r.value().reserve, kNoRights);
+}
+
+TEST(ParseRights, AllLetters) {
+  auto r = parse_rights("rwlda");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rights, kRead | kWrite | kList | kDelete | kAdmin);
+}
+
+TEST(ParseRights, ReserveGroup) {
+  auto r = parse_rights("v(rwl)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rights, kReserve);
+  EXPECT_EQ(r.value().reserve, kRead | kWrite | kList);
+}
+
+TEST(ParseRights, MixedLettersAndReserve) {
+  auto r = parse_rights("rlv(rwla)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rights, kRead | kList | kReserve);
+  EXPECT_EQ(r.value().reserve, kRead | kWrite | kList | kAdmin);
+}
+
+TEST(ParseRights, DashMeansNone) {
+  auto r = parse_rights("-");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rights, kNoRights);
+}
+
+TEST(ParseRights, RejectsBadInput) {
+  EXPECT_FALSE(parse_rights("rz").ok());
+  EXPECT_FALSE(parse_rights("v(").ok());
+  EXPECT_FALSE(parse_rights("v(q)").ok());
+  EXPECT_FALSE(parse_rights("v()v()").ok());
+}
+
+TEST(FormatRights, RoundTrips) {
+  for (const char* token : {"r", "rwl", "rwlda", "v(rwl)", "rlv(rwla)",
+                            "v()", "-"}) {
+    auto parsed = parse_rights(token);
+    ASSERT_TRUE(parsed.ok()) << token;
+    std::string formatted =
+        format_rights(parsed.value().rights, parsed.value().reserve);
+    auto reparsed = parse_rights(formatted);
+    ASSERT_TRUE(reparsed.ok()) << formatted;
+    EXPECT_EQ(reparsed.value().rights, parsed.value().rights) << token;
+    EXPECT_EQ(reparsed.value().reserve, parsed.value().reserve) << token;
+  }
+}
+
+// The first ACL example from §4 of the paper.
+constexpr const char* kPaperAcl =
+    "hostname:*.cse.nd.edu rwl\n"
+    "globus:/O=Notre_Dame/* rwl\n";
+
+TEST(Acl, ParsePaperExample) {
+  auto acl = Acl::parse(kPaperAcl);
+  ASSERT_TRUE(acl.ok());
+  EXPECT_EQ(acl.value().entries().size(), 2u);
+  EXPECT_TRUE(acl.value().check("hostname:laptop.cse.nd.edu",
+                                kRead | kWrite | kList));
+  EXPECT_FALSE(acl.value().check("hostname:laptop.cse.nd.edu", kAdmin));
+  EXPECT_TRUE(
+      acl.value().check("globus:/O=Notre_Dame/CN=Douglas_Thain", kRead));
+  EXPECT_FALSE(acl.value().check("globus:/O=Wisconsin/CN=X", kRead));
+}
+
+TEST(Acl, IgnoresCommentsAndBlanks) {
+  auto acl = Acl::parse("# a comment\n\nunix:alice rw\n  \n");
+  ASSERT_TRUE(acl.ok());
+  EXPECT_EQ(acl.value().entries().size(), 1u);
+}
+
+TEST(Acl, RejectsMalformedLines) {
+  EXPECT_FALSE(Acl::parse("too many words here\n").ok());
+  EXPECT_FALSE(Acl::parse("subject-without-rights\n").ok());
+}
+
+TEST(Acl, RightsAccumulateAcrossEntries) {
+  auto acl = Acl::parse("unix:alice r\nunix:* l\n").value();
+  EXPECT_EQ(acl.rights_for("unix:alice"), kRead | kList);
+  EXPECT_EQ(acl.rights_for("unix:bob"), kList);
+}
+
+TEST(Acl, SerializeParseRoundTrip) {
+  auto acl = Acl::parse(
+                 "hostname:*.cse.nd.edu v(rwl)\n"
+                 "globus:/O=Notre_Dame/* v(rwla)\n"
+                 "unix:owner rwlda\n")
+                 .value();
+  auto reparsed = Acl::parse(acl.serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().serialize(), acl.serialize());
+}
+
+// §4's reserve-right walkthrough: the second paper ACL, a mkdir by
+// hostname:laptop.cse.nd.edu, and the expected fresh ACL.
+TEST(Acl, PaperReserveExample) {
+  auto acl = Acl::parse(
+                 "hostname:*.cse.nd.edu v(rwl)\n"
+                 "globus:/O=Notre_Dame/* v(rwla)\n")
+                 .value();
+
+  std::string laptop = "hostname:laptop.cse.nd.edu";
+  // V alone does not confer W.
+  EXPECT_FALSE(acl.check(laptop, kWrite));
+  auto reserve = acl.reserve_rights_for(laptop);
+  ASSERT_TRUE(reserve.has_value());
+  EXPECT_EQ(*reserve, kRead | kWrite | kList);
+
+  Acl fresh = Acl::fresh_for(laptop, *reserve);
+  // "hostname:laptop.cse.nd.edu rwl" — and critically, no A right.
+  EXPECT_TRUE(fresh.check(laptop, kRead | kWrite | kList));
+  EXPECT_FALSE(fresh.check(laptop, kAdmin));
+  EXPECT_FALSE(fresh.check("hostname:other.cse.nd.edu", kRead));
+
+  // A globus user gets A via its v(rwla) entry.
+  std::string grid_user = "globus:/O=Notre_Dame/CN=Someone";
+  auto grid_reserve = acl.reserve_rights_for(grid_user);
+  ASSERT_TRUE(grid_reserve.has_value());
+  EXPECT_TRUE(*grid_reserve & kAdmin);
+}
+
+TEST(Acl, ReserveRightsUnionAcrossEntries) {
+  auto acl = Acl::parse(
+                 "unix:alice v(r)\n"
+                 "unix:* v(l)\n")
+                 .value();
+  auto rights = acl.reserve_rights_for("unix:alice");
+  ASSERT_TRUE(rights.has_value());
+  EXPECT_EQ(*rights, kRead | kList);
+  auto bob = acl.reserve_rights_for("unix:bob");
+  ASSERT_TRUE(bob.has_value());
+  EXPECT_EQ(*bob, kList);
+  EXPECT_FALSE(
+      acl.reserve_rights_for("hostname:nobody.example.com").has_value());
+}
+
+TEST(Acl, SetReplacesAndRemoves) {
+  Acl acl;
+  acl.set("unix:alice", kRead | kWrite, kNoRights);
+  EXPECT_TRUE(acl.check("unix:alice", kRead));
+  acl.set("unix:alice", kRead, kNoRights);
+  EXPECT_FALSE(acl.check("unix:alice", kWrite));
+  acl.set("unix:alice", kNoRights, kNoRights);
+  EXPECT_TRUE(acl.empty());
+}
+
+TEST(Acl, CheckEmptyWantedAlwaysTrue) {
+  Acl acl;
+  EXPECT_TRUE(acl.check("unix:anyone", kNoRights));
+  EXPECT_FALSE(acl.check("unix:anyone", kRead));
+}
+
+// Parameterized sweep: each (pattern, subject, expected) triple documents
+// wildcard-subject matching behaviour.
+struct MatchCase {
+  const char* pattern;
+  const char* subject;
+  bool match;
+};
+
+class AclMatch : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(AclMatch, PatternMatchesSubject) {
+  Acl acl;
+  acl.set(GetParam().pattern, kRead, kNoRights);
+  EXPECT_EQ(acl.check(GetParam().subject, kRead), GetParam().match);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, AclMatch,
+    ::testing::Values(
+        MatchCase{"unix:*", "unix:anyone", true},
+        MatchCase{"unix:*", "globus:/O=X/CN=Y", false},
+        MatchCase{"*", "kerberos:alice@ND.EDU", true},
+        MatchCase{"hostname:*.nd.edu", "hostname:a.b.nd.edu", true},
+        MatchCase{"hostname:*.nd.edu", "hostname:nd.edu", false},
+        MatchCase{"kerberos:*@ND.EDU", "kerberos:alice@ND.EDU", true},
+        MatchCase{"kerberos:*@ND.EDU", "kerberos:alice@WISC.EDU", false},
+        MatchCase{"globus:/O=Notre_Dame/*", "globus:/O=Notre_Dame/", true},
+        MatchCase{"unix:alic?", "unix:alice", true},
+        MatchCase{"unix:alic?", "unix:alicia", false}));
+
+}  // namespace
+}  // namespace tss::acl

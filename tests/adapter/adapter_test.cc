@@ -1,0 +1,248 @@
+// Adapter tests: namespace resolution, mountlists, descriptor semantics.
+#include "adapter/adapter.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "adapter/mountlist.h"
+#include "auth/hostname.h"
+#include "chirp/posix_backend.h"
+#include "chirp/server.h"
+#include "fs/local.h"
+
+namespace tss::adapter {
+namespace {
+
+TEST(MountList, ParsesPaperExample) {
+  auto list = MountList::parse(
+      "# application namespace\n"
+      "/usr/local /cfs/shared.cse.nd.edu:9094/software\n"
+      "/data      /dsfs/archive\n");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list.value().entries().size(), 2u);
+  EXPECT_EQ(list.value().translate("/usr/local/bin/sim"),
+            "/cfs/shared.cse.nd.edu:9094/software/bin/sim");
+  EXPECT_EQ(list.value().translate("/data/run5"), "/dsfs/archive/run5");
+}
+
+TEST(MountList, LongestPrefixWins) {
+  MountList list;
+  list.add("/a", "/cfs/one:1");
+  list.add("/a/b", "/cfs/two:2");
+  EXPECT_EQ(list.translate("/a/x"), "/cfs/one:1/x");
+  EXPECT_EQ(list.translate("/a/b/x"), "/cfs/two:2/x");
+}
+
+TEST(MountList, UnmatchedPathsPassThrough) {
+  MountList list;
+  list.add("/data", "/cfs/h:1/d");
+  EXPECT_EQ(list.translate("/etc/passwd"), "/etc/passwd");
+}
+
+TEST(MountList, RejectsMalformedLines) {
+  EXPECT_FALSE(MountList::parse("one-field-only\n").ok());
+  EXPECT_FALSE(MountList::parse("three fields here\n").ok());
+}
+
+class AdapterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/adapter_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(root_);
+
+    chirp::ServerOptions options;
+    options.owner = "unix:testowner";
+    options.root_acl =
+        acl::Acl::parse("hostname:localhost rwldav(rwlda)\n").value();
+    auto auth = std::make_unique<auth::ServerAuth>();
+    auth->add(std::make_unique<auth::HostnameServerMethod>());
+    server_ = std::make_unique<chirp::Server>(
+        options, std::make_unique<chirp::PosixBackend>(root_),
+        std::move(auth));
+    ASSERT_TRUE(server_->start().ok());
+
+    Adapter::Options adapter_options;
+    adapter_options.credentials = {
+        std::make_shared<auth::HostnameClientCredential>()};
+    adapter_options.retry.base_delay = 5 * kMillisecond;
+    adapter_ = std::make_unique<Adapter>(adapter_options);
+    hostport_ = "127.0.0.1:" + std::to_string(server_->port());
+  }
+
+  void TearDown() override {
+    adapter_.reset();
+    server_->stop();
+    std::filesystem::remove_all(root_);
+  }
+
+  std::string cfs_path(const std::string& rest) {
+    return "/cfs/" + hostport_ + rest;
+  }
+
+  std::string root_;
+  std::string hostport_;
+  std::unique_ptr<chirp::Server> server_;
+  std::unique_ptr<Adapter> adapter_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(AdapterTest, DefaultNamespaceAutoMountsCfs) {
+  // §6: a file server on host H is accessible under /cfs/H.
+  ASSERT_TRUE(adapter_->write_file(cfs_path("/hello.txt"), "via adapter").ok());
+  EXPECT_EQ(adapter_->read_file(cfs_path("/hello.txt")).value(),
+            "via adapter");
+  // The bytes really live in the server's export root.
+  EXPECT_TRUE(std::filesystem::exists(root_ + "/hello.txt"));
+}
+
+TEST_F(AdapterTest, PathOutsideNamespaceRejected) {
+  auto r = adapter_->stat("/etc/passwd");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ENOENT);
+}
+
+TEST_F(AdapterTest, MountlistMapsLogicalNames) {
+  ASSERT_TRUE(adapter_
+                  ->load_mountlist("/usr/local " + cfs_path("/software") +
+                                   "\n")
+                  .ok());
+  ASSERT_TRUE(adapter_->mkdir(cfs_path("/software")).ok());
+  ASSERT_TRUE(adapter_->write_file("/usr/local/app.cfg", "cfg").ok());
+  EXPECT_EQ(adapter_->read_file(cfs_path("/software/app.cfg")).value(), "cfg");
+}
+
+TEST_F(AdapterTest, ExplicitMountOfLocalFs) {
+  std::string scratch = root_ + "_scratch";
+  std::filesystem::create_directories(scratch);
+  fs::LocalFs local(scratch);
+  adapter_->mount("/scratch", &local);
+  ASSERT_TRUE(adapter_->write_file("/scratch/x", "local bytes").ok());
+  EXPECT_EQ(adapter_->read_file("/scratch/x").value(), "local bytes");
+  std::filesystem::remove_all(scratch);
+}
+
+TEST_F(AdapterTest, SequentialReadWriteTracksOffset) {
+  auto fd = adapter_->open(cfs_path("/seq"), O_WRONLY | O_CREAT);
+  ASSERT_TRUE(fd.ok()) << fd.error().to_string();
+  EXPECT_TRUE(adapter_->write(fd.value(), "hello ", 6).ok());
+  EXPECT_TRUE(adapter_->write(fd.value(), "world", 5).ok());
+  ASSERT_TRUE(adapter_->close(fd.value()).ok());
+
+  auto rfd = adapter_->open(cfs_path("/seq"), O_RDONLY);
+  ASSERT_TRUE(rfd.ok());
+  char buf[6];
+  EXPECT_EQ(adapter_->read(rfd.value(), buf, 6).value(), 6u);
+  EXPECT_EQ(std::string(buf, 6), "hello ");
+  EXPECT_EQ(adapter_->read(rfd.value(), buf, 5).value(), 5u);
+  EXPECT_EQ(std::string(buf, 5), "world");
+  // EOF.
+  EXPECT_EQ(adapter_->read(rfd.value(), buf, 6).value(), 0u);
+  ASSERT_TRUE(adapter_->close(rfd.value()).ok());
+}
+
+TEST_F(AdapterTest, LseekSetCurEnd) {
+  ASSERT_TRUE(adapter_->write_file(cfs_path("/seek"), "0123456789").ok());
+  auto fd = adapter_->open(cfs_path("/seek"), O_RDONLY);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(adapter_->lseek(fd.value(), 4, SEEK_SET).value(), 4);
+  char c;
+  ASSERT_TRUE(adapter_->read(fd.value(), &c, 1).ok());
+  EXPECT_EQ(c, '4');
+  EXPECT_EQ(adapter_->lseek(fd.value(), 2, SEEK_CUR).value(), 7);
+  EXPECT_EQ(adapter_->lseek(fd.value(), -1, SEEK_END).value(), 9);
+  ASSERT_TRUE(adapter_->read(fd.value(), &c, 1).ok());
+  EXPECT_EQ(c, '9');
+  EXPECT_FALSE(adapter_->lseek(fd.value(), -100, SEEK_SET).ok());
+  ASSERT_TRUE(adapter_->close(fd.value()).ok());
+}
+
+TEST_F(AdapterTest, AppendModeWritesAtEnd) {
+  ASSERT_TRUE(adapter_->write_file(cfs_path("/log"), "line1\n").ok());
+  auto fd = adapter_->open(cfs_path("/log"), O_WRONLY | O_APPEND);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(adapter_->write(fd.value(), "line2\n", 6).ok());
+  ASSERT_TRUE(adapter_->close(fd.value()).ok());
+  EXPECT_EQ(adapter_->read_file(cfs_path("/log")).value(), "line1\nline2\n");
+}
+
+TEST_F(AdapterTest, PreadPwriteDoNotMoveOffset) {
+  ASSERT_TRUE(adapter_->write_file(cfs_path("/p"), "abcdef").ok());
+  auto fd = adapter_->open(cfs_path("/p"), O_RDWR);
+  ASSERT_TRUE(fd.ok());
+  char buf[2];
+  EXPECT_EQ(adapter_->pread(fd.value(), buf, 2, 4).value(), 2u);
+  EXPECT_EQ(std::string(buf, 2), "ef");
+  // Sequential read still starts at 0.
+  EXPECT_EQ(adapter_->read(fd.value(), buf, 2).value(), 2u);
+  EXPECT_EQ(std::string(buf, 2), "ab");
+  ASSERT_TRUE(adapter_->close(fd.value()).ok());
+}
+
+TEST_F(AdapterTest, RenameAcrossAbstractionsIsExdev) {
+  std::string scratch = root_ + "_scratch2";
+  std::filesystem::create_directories(scratch);
+  fs::LocalFs local(scratch);
+  adapter_->mount("/scratch", &local);
+  ASSERT_TRUE(adapter_->write_file("/scratch/f", "x").ok());
+  auto rc = adapter_->rename("/scratch/f", cfs_path("/f"));
+  ASSERT_FALSE(rc.ok());
+  EXPECT_EQ(rc.error().code, EXDEV);
+  std::filesystem::remove_all(scratch);
+}
+
+TEST_F(AdapterTest, MetadataOperationsPassThrough) {
+  ASSERT_TRUE(adapter_->mkdir(cfs_path("/dir")).ok());
+  ASSERT_TRUE(adapter_->write_file(cfs_path("/dir/a"), "1").ok());
+  auto entries = adapter_->readdir(cfs_path("/dir"));
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 1u);
+  ASSERT_TRUE(adapter_->rename(cfs_path("/dir/a"), cfs_path("/dir/b")).ok());
+  auto info = adapter_->stat(cfs_path("/dir/b"));
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().size, 1u);
+  ASSERT_TRUE(adapter_->truncate(cfs_path("/dir/b"), 0).ok());
+  EXPECT_EQ(adapter_->stat(cfs_path("/dir/b")).value().size, 0u);
+  ASSERT_TRUE(adapter_->unlink(cfs_path("/dir/b")).ok());
+  ASSERT_TRUE(adapter_->rmdir(cfs_path("/dir")).ok());
+}
+
+TEST_F(AdapterTest, BadFdIsEbadf) {
+  char buf[1];
+  EXPECT_EQ(adapter_->read(99, buf, 1).code(), EBADF);
+  EXPECT_EQ(adapter_->write(99, buf, 1).code(), EBADF);
+  EXPECT_EQ(adapter_->close(99).code(), EBADF);
+  EXPECT_EQ(adapter_->lseek(99, 0, SEEK_SET).code(), EBADF);
+  EXPECT_EQ(adapter_->fstat(99).code(), EBADF);
+}
+
+TEST_F(AdapterTest, FdsAreReleasedOnClose) {
+  EXPECT_EQ(adapter_->open_fd_count(), 0u);
+  auto fd = adapter_->open(cfs_path("/leak"), O_WRONLY | O_CREAT);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(adapter_->open_fd_count(), 1u);
+  ASSERT_TRUE(adapter_->close(fd.value()).ok());
+  EXPECT_EQ(adapter_->open_fd_count(), 0u);
+}
+
+TEST_F(AdapterTest, SameServerReusesOneConnection) {
+  // Two paths on the same server share an auto-mounted CfsFs (and thus one
+  // TCP connection), mirroring Parrot's connection management.
+  uint64_t before = server_->backend().statfs().ok() ? 0 : 0;  // touch server
+  (void)before;
+  ASSERT_TRUE(adapter_->write_file(cfs_path("/one"), "1").ok());
+  ASSERT_TRUE(adapter_->write_file(cfs_path("/two"), "2").ok());
+  // If each op opened a fresh connection, accepted-connection count would
+  // exceed 1 (the CfsFs connects lazily, exactly once).
+  // We can't reach ServerLoop internals from here, so assert behaviourally:
+  // both files are readable and nothing leaked.
+  EXPECT_EQ(adapter_->read_file(cfs_path("/one")).value(), "1");
+  EXPECT_EQ(adapter_->read_file(cfs_path("/two")).value(), "2");
+  EXPECT_EQ(adapter_->open_fd_count(), 0u);
+}
+
+}  // namespace
+}  // namespace tss::adapter

@@ -1,0 +1,148 @@
+// Catalog-driven pool discovery: the §2 loop of report -> discover -> build
+// an abstraction, including the staleness handling §4 requires.
+#include "adapter/pool.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "auth/hostname.h"
+#include "chirp/posix_backend.h"
+#include "chirp/server.h"
+#include "fs/dist.h"
+#include "fs/local.h"
+
+namespace tss::adapter {
+namespace {
+
+class PoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "/pool_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    catalog_ = std::make_unique<catalog::CatalogServer>(
+        catalog::CatalogServer::Options{});
+    ASSERT_TRUE(catalog_->start().ok());
+    options_.credentials = {
+        std::make_shared<auth::HostnameClientCredential>()};
+    options_.retry.max_attempts = 1;
+    options_.retry.base_delay = 5 * kMillisecond;
+  }
+  void TearDown() override {
+    catalog_->stop();
+    for (auto& s : servers_) s->stop();
+    std::filesystem::remove_all(base_);
+  }
+
+  // Starts a server and registers it with the catalog under `name`,
+  // advertising `free_bytes` (the advertised number is what the policy
+  // filters on; the probe sees the real filesystem).
+  void add_server(const std::string& name, uint64_t free_bytes,
+                  const std::string& owner = "unix:labmate") {
+    std::string root = base_ + "/" + name;
+    std::filesystem::create_directories(root);
+    chirp::ServerOptions options;
+    options.owner = owner;
+    options.root_acl =
+        acl::Acl::parse("hostname:localhost rwldav(rwlda)\n").value();
+    auto auth = std::make_unique<auth::ServerAuth>();
+    auth->add(std::make_unique<auth::HostnameServerMethod>());
+    servers_.push_back(std::make_unique<chirp::Server>(
+        options, std::make_unique<chirp::PosixBackend>(root),
+        std::move(auth)));
+    ASSERT_TRUE(servers_.back()->start().ok());
+
+    catalog::ServerReport report;
+    report.name = name;
+    report.owner = owner;
+    report.address = servers_.back()->endpoint();
+    report.total_bytes = free_bytes * 2;
+    report.free_bytes = free_bytes;
+    catalog_->accept_report(report);
+  }
+
+  std::string base_;
+  std::unique_ptr<catalog::CatalogServer> catalog_;
+  std::vector<std::unique_ptr<chirp::Server>> servers_;
+  PoolOptions options_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(PoolTest, DiscoversAllMatchingServers) {
+  add_server("s1", 10 << 20);
+  add_server("s2", 20 << 20);
+  add_server("s3", 30 << 20);
+  auto pool = discover_pool(catalog_->endpoint(), PoolPolicy{}, options_);
+  ASSERT_TRUE(pool.ok()) << pool.error().to_string();
+  EXPECT_EQ(pool.value().servers.size(), 3u);
+  EXPECT_TRUE(pool.value().skipped.empty());
+}
+
+TEST_F(PoolTest, PolicyFiltersBySpaceAndOwner) {
+  add_server("small", 1 << 20, "unix:stranger");
+  add_server("big-trusted", 100 << 20, "unix:labmate");
+  add_server("big-untrusted", 100 << 20, "unix:stranger");
+
+  PoolPolicy policy;
+  policy.min_free_bytes = 50 << 20;
+  policy.owner_pattern = "unix:labmate";
+  auto pool = discover_pool(catalog_->endpoint(), policy, options_);
+  ASSERT_TRUE(pool.ok());
+  ASSERT_EQ(pool.value().servers.size(), 1u);
+  EXPECT_TRUE(pool.value().servers.count("big-trusted"));
+}
+
+TEST_F(PoolTest, MaxServersKeepsTheRoomiest) {
+  add_server("s10", 10 << 20);
+  add_server("s30", 30 << 20);
+  add_server("s20", 20 << 20);
+  PoolPolicy policy;
+  policy.max_servers = 2;
+  auto pool = discover_pool(catalog_->endpoint(), policy, options_);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ(pool.value().servers.size(), 2u);
+  EXPECT_TRUE(pool.value().servers.count("s30"));
+  EXPECT_TRUE(pool.value().servers.count("s20"));
+}
+
+TEST_F(PoolTest, StaleCatalogEntriesAreSkippedNotFatal) {
+  add_server("alive", 10 << 20);
+  add_server("doomed", 10 << 20);
+  // "doomed" dies after reporting — the catalog doesn't know yet.
+  servers_[1]->stop();
+  auto pool = discover_pool(catalog_->endpoint(), PoolPolicy{}, options_);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ(pool.value().servers.size(), 1u);
+  ASSERT_EQ(pool.value().skipped.size(), 1u);
+  EXPECT_EQ(pool.value().skipped[0], "doomed");
+}
+
+TEST_F(PoolTest, EmptyResultIsAnError) {
+  auto pool = discover_pool(catalog_->endpoint(), PoolPolicy{}, options_);
+  ASSERT_FALSE(pool.ok());
+  EXPECT_EQ(pool.error().code, ENODEV);
+}
+
+TEST_F(PoolTest, DiscoveredPoolDrivesADpfs) {
+  // The full §2 flow: servers report in, a user discovers them and builds a
+  // distributed private filesystem, all without naming any server.
+  add_server("disk-a", 10 << 20);
+  add_server("disk-b", 10 << 20);
+  auto pool = discover_pool(catalog_->endpoint(), PoolPolicy{}, options_);
+  ASSERT_TRUE(pool.ok());
+
+  std::string metadata_dir = base_ + "/tree";
+  std::filesystem::create_directories(metadata_dir);
+  fs::LocalFs metadata(metadata_dir);
+  fs::DistFs::Options dist_options;
+  dist_options.volume = "/pool";
+  dist_options.name_seed = 3;
+  fs::DistFs dpfs(&metadata, pool.value().servers, dist_options);
+  ASSERT_TRUE(dpfs.format().ok());
+  ASSERT_TRUE(dpfs.write_file("/found-you", "via the catalog").ok());
+  EXPECT_EQ(dpfs.read_file("/found-you").value(), "via the catalog");
+}
+
+}  // namespace
+}  // namespace tss::adapter

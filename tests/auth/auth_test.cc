@@ -1,0 +1,244 @@
+#include "auth/auth.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "auth/gsi.h"
+#include "auth/hostname.h"
+#include "auth/kerberos.h"
+#include "auth/unix.h"
+
+namespace tss::auth {
+namespace {
+
+// In-process ChallengeIo connecting a server method to a client credential.
+class LoopIo final : public ChallengeIo {
+ public:
+  explicit LoopIo(ClientCredential* credential) : credential_(credential) {}
+
+  Result<void> send_challenge(const std::string& data) override {
+    if (!credential_) return Error(EPROTO, "unexpected challenge");
+    auto answer = credential_->answer(data);
+    if (!answer.ok()) return std::move(answer).take_error();
+    pending_ = answer.value();
+    return Result<void>::success();
+  }
+
+  Result<std::string> read_response() override {
+    if (!pending_) return Error(EPROTO, "no pending response");
+    std::string r = *pending_;
+    pending_.reset();
+    return r;
+  }
+
+ private:
+  ClientCredential* credential_;
+  std::optional<std::string> pending_;
+};
+
+TEST(Subject, ParseAndFormat) {
+  auto s = Subject::parse("globus:/O=Notre_Dame/CN=X");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().method, "globus");
+  EXPECT_EQ(s.value().name, "/O=Notre_Dame/CN=X");
+  EXPECT_EQ(s.value().to_string(), "globus:/O=Notre_Dame/CN=X");
+}
+
+TEST(Subject, RejectsMalformed) {
+  EXPECT_FALSE(Subject::parse("nomethod").ok());
+  EXPECT_FALSE(Subject::parse(":noname").ok());
+  EXPECT_FALSE(Subject::parse("method:").ok());
+}
+
+TEST(Hostname, ResolvesLoopbackToLocalhost) {
+  HostnameServerMethod method;
+  LoopIo io(nullptr);
+  auto subject = method.authenticate(PeerInfo{"127.0.0.1", ""}, "", io);
+  ASSERT_TRUE(subject.ok());
+  EXPECT_EQ(subject.value().to_string(), "hostname:localhost");
+}
+
+TEST(Hostname, CustomResolverInjectsClusterNames) {
+  HostnameServerMethod method(
+      [](const std::string& ip) { return "node" + ip + ".cluster.nd.edu"; });
+  LoopIo io(nullptr);
+  auto subject = method.authenticate(PeerInfo{"42", ""}, "", io);
+  ASSERT_TRUE(subject.ok());
+  EXPECT_EQ(subject.value().name, "node42.cluster.nd.edu");
+}
+
+class UnixAuthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/unix_auth_" + std::to_string(::getpid());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(UnixAuthTest, ChallengeResponseIdentifiesLocalUser) {
+  UnixServerMethod method(dir_, /*seed=*/1);
+  UnixClientCredential credential;
+  LoopIo io(&credential);
+  auto subject = method.authenticate(PeerInfo{"127.0.0.1", ""}, "", io);
+  ASSERT_TRUE(subject.ok()) << subject.error().to_string();
+  EXPECT_EQ(subject.value().method, "unix");
+  EXPECT_EQ(subject.value().name, username_for_uid(::getuid()));
+  // Challenge file is cleaned up.
+  EXPECT_TRUE(std::filesystem::is_empty(dir_));
+}
+
+TEST_F(UnixAuthTest, FailsWhenClientDoesNotTouchFile) {
+  // A credential that answers "done" without creating the file.
+  class LazyCredential final : public ClientCredential {
+   public:
+    std::string method() const override { return "unix"; }
+    Result<std::string> hello_arg() override { return std::string("-"); }
+    Result<std::string> answer(const std::string&) override {
+      return std::string("done");
+    }
+  };
+  UnixServerMethod method(dir_, /*seed=*/2);
+  LazyCredential credential;
+  LoopIo io(&credential);
+  auto subject = method.authenticate(PeerInfo{"127.0.0.1", ""}, "", io);
+  ASSERT_FALSE(subject.ok());
+  EXPECT_EQ(subject.error().code, EACCES);
+}
+
+TEST_F(UnixAuthTest, ClientRefusesTraversalChallenge) {
+  UnixClientCredential credential;
+  EXPECT_FALSE(credential.answer("/tmp/../etc/cron.d/evil").ok());
+  EXPECT_FALSE(credential.answer("relative/path").ok());
+}
+
+TEST(GsiAuth, IssuedCredentialAuthenticates) {
+  GsiCa ca("nd-ca", "secret-ca-key");
+  TimeFn frozen = [] { return int64_t{1000}; };
+  GsiServerMethod method(frozen);
+  method.trust(ca);
+
+  std::string cred = ca.issue("/O=Notre_Dame/CN=Douglas_Thain", 2000);
+  LoopIo io(nullptr);
+  auto subject = method.authenticate(PeerInfo{"10.0.0.1", ""}, cred, io);
+  ASSERT_TRUE(subject.ok()) << subject.error().to_string();
+  EXPECT_EQ(subject.value().to_string(),
+            "globus:/O=Notre_Dame/CN=Douglas_Thain");
+}
+
+TEST(GsiAuth, RejectsExpiredCredential) {
+  GsiCa ca("nd-ca", "secret-ca-key");
+  GsiServerMethod method([] { return int64_t{5000}; });
+  method.trust(ca);
+  std::string cred = ca.issue("/O=Notre_Dame/CN=X", 2000);
+  LoopIo io(nullptr);
+  EXPECT_FALSE(method.authenticate(PeerInfo{}, cred, io).ok());
+}
+
+TEST(GsiAuth, RejectsUntrustedCa) {
+  GsiCa good("nd-ca", "key1");
+  GsiCa rogue("rogue-ca", "key2");
+  GsiServerMethod method([] { return int64_t{0}; });
+  method.trust(good);
+  LoopIo io(nullptr);
+  EXPECT_FALSE(
+      method.authenticate(PeerInfo{}, rogue.issue("/O=X/CN=Y", 100), io).ok());
+}
+
+TEST(GsiAuth, RejectsForgedMac) {
+  GsiCa ca("nd-ca", "key");
+  GsiServerMethod method([] { return int64_t{0}; });
+  method.trust(ca);
+  std::string cred = ca.issue("/O=Notre_Dame/CN=X", 100);
+  // Tamper with the DN while keeping the MAC.
+  size_t pos = cred.find("Notre_Dame");
+  cred.replace(pos, 10, "Evil_State");
+  LoopIo io(nullptr);
+  auto subject = method.authenticate(PeerInfo{}, cred, io);
+  ASSERT_FALSE(subject.ok());
+  EXPECT_EQ(subject.error().code, EACCES);
+}
+
+TEST(GsiAuth, DnWithSpacesSurvivesEncoding) {
+  GsiCa ca("nd-ca", "key");
+  GsiServerMethod method([] { return int64_t{0}; });
+  method.trust(ca);
+  std::string dn = "/O=Notre Dame/CN=Jane Q. Public";
+  LoopIo io(nullptr);
+  auto subject = method.authenticate(PeerInfo{}, ca.issue(dn, 100), io);
+  ASSERT_TRUE(subject.ok());
+  EXPECT_EQ(subject.value().name, dn);
+}
+
+class KerberosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kdc_.add_principal("alice@ND.EDU", "alice-key");
+    kdc_.add_service("chirp/host5.nd.edu", "host5-service-key");
+  }
+  Kdc kdc_;
+};
+
+TEST_F(KerberosTest, TicketAuthenticates) {
+  auto ticket =
+      kdc_.issue_ticket("alice@ND.EDU", "alice-key", "chirp/host5.nd.edu", 100);
+  ASSERT_TRUE(ticket.ok());
+  KerberosServerMethod method("chirp/host5.nd.edu", "host5-service-key",
+                              [] { return int64_t{0}; });
+  LoopIo io(nullptr);
+  auto subject = method.authenticate(PeerInfo{}, ticket.value(), io);
+  ASSERT_TRUE(subject.ok()) << subject.error().to_string();
+  EXPECT_EQ(subject.value().to_string(), "kerberos:alice@ND.EDU");
+}
+
+TEST_F(KerberosTest, KdcRejectsWrongUserKey) {
+  EXPECT_FALSE(
+      kdc_.issue_ticket("alice@ND.EDU", "wrong", "chirp/host5.nd.edu", 100)
+          .ok());
+}
+
+TEST_F(KerberosTest, ServerRejectsTicketForOtherService) {
+  kdc_.add_service("chirp/other.nd.edu", "other-key");
+  auto ticket =
+      kdc_.issue_ticket("alice@ND.EDU", "alice-key", "chirp/other.nd.edu", 100);
+  ASSERT_TRUE(ticket.ok());
+  KerberosServerMethod method("chirp/host5.nd.edu", "host5-service-key",
+                              [] { return int64_t{0}; });
+  LoopIo io(nullptr);
+  EXPECT_FALSE(method.authenticate(PeerInfo{}, ticket.value(), io).ok());
+}
+
+TEST_F(KerberosTest, ServerRejectsExpiredTicket) {
+  auto ticket =
+      kdc_.issue_ticket("alice@ND.EDU", "alice-key", "chirp/host5.nd.edu", 50);
+  ASSERT_TRUE(ticket.ok());
+  KerberosServerMethod method("chirp/host5.nd.edu", "host5-service-key",
+                              [] { return int64_t{100}; });
+  LoopIo io(nullptr);
+  EXPECT_FALSE(method.authenticate(PeerInfo{}, ticket.value(), io).ok());
+}
+
+TEST(ServerAuth, RegistryDispatchesAndReportsMethods) {
+  ServerAuth registry;
+  registry.add(std::make_unique<HostnameServerMethod>());
+  EXPECT_TRUE(registry.has("hostname"));
+  EXPECT_FALSE(registry.has("globus"));
+  auto methods = registry.methods();
+  ASSERT_EQ(methods.size(), 1u);
+  EXPECT_EQ(methods[0], "hostname");
+
+  LoopIo io(nullptr);
+  auto subject =
+      registry.attempt("hostname", PeerInfo{"127.0.0.1", ""}, "", io);
+  ASSERT_TRUE(subject.ok());
+
+  auto missing = registry.attempt("globus", PeerInfo{}, "", io);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ENOSYS);
+}
+
+}  // namespace
+}  // namespace tss::auth

@@ -1,0 +1,108 @@
+// Regression guards for the experiment harnesses: small, fast versions of
+// the Figure 6-8 configurations asserting that the *shapes* the paper
+// reports still emerge from the model. If a change to the simulator or the
+// protocol breaks a crossover, these fail before anyone re-reads the bench
+// output.
+#include <gtest/gtest.h>
+
+#include "bench/common.h"
+
+namespace tss::bench {
+namespace {
+
+DsfsScalingParams small_params() {
+  DsfsScalingParams params;
+  params.num_clients = 8;
+  params.reads_per_client = 30;
+  return params;
+}
+
+TEST(DsfsScalingHarness, NetBoundOneServerSaturatesOnePort) {
+  DsfsScalingParams params = small_params();
+  params.num_servers = 1;
+  params.num_files = 64;
+  params.file_bytes = 1 << 20;
+  DsfsScalingResult r = run_dsfs_scaling(params);
+  // "One server can transmit at 100 MB/s, near the practical limit of TCP
+  // on a 1Gb port."
+  EXPECT_GT(r.mb_per_sec, 90.0);
+  EXPECT_LT(r.mb_per_sec, 120.0);
+}
+
+TEST(DsfsScalingHarness, NetBoundManyServersHitBackplane) {
+  DsfsScalingParams params = small_params();
+  params.num_servers = 6;
+  params.num_files = 128;
+  params.file_bytes = 1 << 20;
+  DsfsScalingResult r = run_dsfs_scaling(params);
+  // Saturates the ~300 MB/s backplane.
+  EXPECT_GT(r.mb_per_sec, 230.0);
+  EXPECT_LT(r.mb_per_sec, 320.0);
+}
+
+TEST(DsfsScalingHarness, DiskBoundSingleServerRunsAtDiskRate) {
+  DsfsScalingParams params = small_params();
+  params.num_servers = 1;
+  params.num_files = 320;      // 3.2 GB >> 512 MB cache
+  params.file_bytes = 10 << 20;
+  params.reads_per_client = 4;
+  DsfsScalingResult r = run_dsfs_scaling(params);
+  EXPECT_GT(r.mb_per_sec, 8.0);
+  EXPECT_LT(r.mb_per_sec, 14.0);
+}
+
+TEST(DsfsScalingHarness, DiskBoundScalesWithServers) {
+  DsfsScalingParams one = small_params();
+  one.num_servers = 1;
+  one.num_files = 320;
+  one.file_bytes = 10 << 20;
+  one.reads_per_client = 4;
+  DsfsScalingParams four = one;
+  four.num_servers = 4;
+  double r1 = run_dsfs_scaling(one).mb_per_sec;
+  double r4 = run_dsfs_scaling(four).mb_per_sec;
+  // "Throughput increases roughly linearly with the number of servers."
+  EXPECT_GT(r4, 2.5 * r1);
+}
+
+TEST(DsfsScalingHarness, MixedBoundCrossoverAtCacheFit) {
+  // Per-server share of a 640 MB dataset: 640 (1 server, > cache) vs
+  // 213 MB (3 servers, < cache): the crossover of Figure 7.
+  DsfsScalingParams params = small_params();
+  params.num_files = 640;
+  params.file_bytes = 1 << 20;
+  params.reads_per_client = 60;
+  params.num_servers = 1;
+  double starved = run_dsfs_scaling(params).mb_per_sec;
+  params.num_servers = 3;
+  double fits = run_dsfs_scaling(params).mb_per_sec;
+  EXPECT_LT(starved, 60.0);   // disk-dominated
+  EXPECT_GT(fits, 180.0);     // switch-dominated
+  EXPECT_GT(fits, 4 * starved);
+}
+
+TEST(DsfsScalingHarness, DeterministicAcrossRuns) {
+  DsfsScalingParams params = small_params();
+  params.num_servers = 2;
+  params.num_files = 32;
+  params.file_bytes = 1 << 20;
+  DsfsScalingResult a = run_dsfs_scaling(params);
+  DsfsScalingResult b = run_dsfs_scaling(params);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(DsfsScalingHarness, AccountsAllRequestedBytes) {
+  DsfsScalingParams params = small_params();
+  params.num_servers = 2;
+  params.num_files = 16;
+  params.file_bytes = 1 << 20;
+  params.reads_per_client = 10;
+  DsfsScalingResult r = run_dsfs_scaling(params);
+  EXPECT_EQ(r.bytes_read,
+            uint64_t(params.num_clients) * params.reads_per_client *
+                params.file_bytes);
+}
+
+}  // namespace
+}  // namespace tss::bench

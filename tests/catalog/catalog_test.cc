@@ -1,0 +1,154 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "net/line_stream.h"
+
+namespace tss::catalog {
+namespace {
+
+ServerReport sample_report(const std::string& name, uint16_t port) {
+  ServerReport report;
+  report.name = name;
+  report.owner = "unix:dthain";
+  report.address = net::Endpoint{"127.0.0.1", port};
+  report.total_bytes = 250ULL << 30;  // a 250 GB SATA disk, as in the paper
+  report.free_bytes = 100ULL << 30;
+  report.root_acl = "hostname:*.cse.nd.edu rwl\n";
+  return report;
+}
+
+TEST(ServerReport, EncodeDecodeRoundTrip) {
+  ServerReport report = sample_report("host5.cse.nd.edu", 9094);
+  auto decoded = ServerReport::decode(report.encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded.value().name, report.name);
+  EXPECT_EQ(decoded.value().owner, report.owner);
+  EXPECT_EQ(decoded.value().address, report.address);
+  EXPECT_EQ(decoded.value().total_bytes, report.total_bytes);
+  EXPECT_EQ(decoded.value().free_bytes, report.free_bytes);
+  EXPECT_EQ(decoded.value().root_acl, report.root_acl);
+}
+
+TEST(ServerReport, DecodeRequiresAddress) {
+  EXPECT_FALSE(ServerReport::decode("name=x&owner=y").ok());
+  EXPECT_FALSE(ServerReport::decode("garbage").ok());
+}
+
+TEST(ServerReport, UnknownKeysIgnoredForForwardCompat) {
+  auto decoded =
+      ServerReport::decode("addr=1.2.3.4%3A99&future_field=hello");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().address.port, 99);
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CatalogServer::Options options;
+    options.timeout = 60 * kSecond;
+    catalog_ = std::make_unique<CatalogServer>(options, &clock_);
+    ASSERT_TRUE(catalog_->start().ok());
+  }
+
+  VirtualClock clock_;
+  std::unique_ptr<CatalogServer> catalog_;
+};
+
+TEST_F(CatalogTest, ReportThenQueryOverWire) {
+  ASSERT_TRUE(
+      send_report(catalog_->endpoint(), sample_report("a.nd.edu", 1111)).ok());
+  ASSERT_TRUE(
+      send_report(catalog_->endpoint(), sample_report("b.nd.edu", 2222)).ok());
+
+  auto listing = query(catalog_->endpoint());
+  ASSERT_TRUE(listing.ok()) << listing.error().to_string();
+  ASSERT_EQ(listing.value().size(), 2u);
+}
+
+TEST_F(CatalogTest, RefreshedReportReplacesOldRecord) {
+  ServerReport report = sample_report("a.nd.edu", 1111);
+  catalog_->accept_report(report);
+  report.free_bytes = 1;
+  catalog_->accept_report(report);
+  auto records = catalog_->list();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].report.free_bytes, 1u);
+}
+
+TEST_F(CatalogTest, StaleRecordsExpire) {
+  catalog_->accept_report(sample_report("a.nd.edu", 1111));
+  clock_.advance(30 * kSecond);
+  catalog_->accept_report(sample_report("b.nd.edu", 2222));
+  EXPECT_EQ(catalog_->size(), 2u);
+
+  // Advance past a's timeout but not b's.
+  clock_.advance(40 * kSecond);
+  auto records = catalog_->list();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].report.name, "b.nd.edu");
+
+  // Everything expires eventually.
+  clock_.advance(120 * kSecond);
+  EXPECT_EQ(catalog_->size(), 0u);
+}
+
+TEST_F(CatalogTest, ReportRefreshResetsExpiry) {
+  catalog_->accept_report(sample_report("a.nd.edu", 1111));
+  for (int i = 0; i < 5; i++) {
+    clock_.advance(50 * kSecond);
+    catalog_->accept_report(sample_report("a.nd.edu", 1111));
+  }
+  EXPECT_EQ(catalog_->size(), 1u);
+}
+
+TEST_F(CatalogTest, JsonRenderingIsWellFormedish) {
+  catalog_->accept_report(sample_report("a.nd.edu", 1111));
+  std::string json = catalog_->render_json();
+  EXPECT_NE(json.find("\"name\": \"a.nd.edu\""), std::string::npos);
+  EXPECT_NE(json.find("\"owner\": \"unix:dthain\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  // ACL text contains a newline; it must be escaped, not literal inside the
+  // string value.
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+TEST_F(CatalogTest, MultipleCatalogsReceiveSameReporter) {
+  // "A system may have multiple catalogs reporting on different servers."
+  CatalogServer::Options options;
+  options.timeout = 60 * kSecond;
+  CatalogServer second(options, &clock_);
+  ASSERT_TRUE(second.start().ok());
+
+  Reporter reporter({catalog_->endpoint(), second.endpoint()},
+                    [] { return sample_report("multi.nd.edu", 3333); },
+                    /*period=*/kSecond);
+  reporter.report_now();
+
+  EXPECT_EQ(catalog_->size(), 1u);
+  EXPECT_EQ(second.size(), 1u);
+  second.stop();
+}
+
+TEST_F(CatalogTest, ReporterSurvivesDeadCatalog) {
+  // One unreachable catalog must not prevent reports to the live one.
+  net::Endpoint dead{"127.0.0.1", 1};  // nothing listens on port 1
+  Reporter reporter({dead, catalog_->endpoint()},
+                    [] { return sample_report("resilient.nd.edu", 4444); },
+                    kSecond);
+  reporter.report_now();
+  EXPECT_EQ(catalog_->size(), 1u);
+}
+
+TEST_F(CatalogTest, WireRejectsMalformedReport) {
+  auto sock = net::TcpSocket::connect(catalog_->endpoint(), kSecond);
+  ASSERT_TRUE(sock.ok());
+  net::LineStream stream(std::move(sock).value(), kSecond);
+  ASSERT_TRUE(stream.send_line("report not-a-report").ok());
+  auto response = stream.read_line();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().substr(0, 5), "error");
+}
+
+}  // namespace
+}  // namespace tss::catalog

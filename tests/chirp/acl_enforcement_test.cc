@@ -1,0 +1,211 @@
+// ACL enforcement through the full server stack, including the paper's
+// reserve-right (V) walkthrough and owner-eviction semantics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "chirp/test_util.h"
+
+namespace tss::chirp {
+namespace {
+
+using testing::ChirpServerFixture;
+
+class AclEnforcementTest : public ChirpServerFixture {};
+
+TEST_F(AclEnforcementTest, ReadOnlySubjectCannotWrite) {
+  set_root_acl("hostname:localhost rl\n");
+  start_server();
+  Client client = connect_client();
+
+  EXPECT_TRUE(client.stat("/").ok());
+  auto open_write = client.open("/x", OpenFlags::parse("wc").value());
+  ASSERT_FALSE(open_write.ok());
+  EXPECT_EQ(open_write.error().code, EACCES);
+  EXPECT_EQ(client.putfile("/x", "data").code(), EACCES);
+  EXPECT_EQ(client.mkdir("/d").code(), EACCES);
+}
+
+TEST_F(AclEnforcementTest, WriteWithoutDeleteCannotUnlink) {
+  set_root_acl("hostname:localhost rwl\n");
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.putfile("/x", "data").ok());
+  auto rc = client.unlink("/x");
+  ASSERT_FALSE(rc.ok());
+  EXPECT_EQ(rc.error().code, EACCES);
+}
+
+TEST_F(AclEnforcementTest, DeleteRightAllowsUnlinkButNotWrite) {
+  // "The right to delete (but not modify) files can be given to others by
+  // granting the D right" (§4).
+  set_root_acl("hostname:localhost rld\n");
+  start_server();
+  Client client = connect_client();
+  // Owner-side setup: drop a file directly into the export root.
+  {
+    std::ofstream out(host_path("/x"));
+    out << "payload";
+  }
+  EXPECT_EQ(client.putfile("/x", "overwrite").code(), EACCES);
+  EXPECT_TRUE(client.unlink("/x").ok());
+}
+
+TEST_F(AclEnforcementTest, NoListRightHidesNamespace) {
+  set_root_acl("hostname:localhost rw\n");
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.putfile("/x", "1").ok());
+  EXPECT_EQ(client.getdir("/").code(), EACCES);
+  EXPECT_EQ(client.stat("/x").code(), EACCES);  // stat needs L
+  // But reads still work: R was granted.
+  auto got = client.getfile("/x");
+  EXPECT_TRUE(got.ok());
+}
+
+TEST_F(AclEnforcementTest, UnknownSubjectGetsNothing) {
+  set_root_acl("hostname:trusted.nd.edu rwl\n");
+  start_server();
+  Client client = connect_client();  // authenticates as hostname:localhost
+  EXPECT_EQ(client.stat("/").code(), EACCES);
+  EXPECT_EQ(client.getfile("/anything").code(), EACCES);
+}
+
+TEST_F(AclEnforcementTest, OwnerBypassesAllAcls) {
+  // "The owner of a file server retains access to all data on that server"
+  // (§4). Owner here authenticates via hostname.
+  set_root_acl("hostname:nobody.example.com rwl\n");
+  start_server(/*owner=*/"hostname:localhost");
+  Client client = connect_client();
+  EXPECT_TRUE(client.putfile("/evictme", "x").ok());
+  EXPECT_TRUE(client.unlink("/evictme").ok());
+  EXPECT_TRUE(client.getdir("/").ok());
+}
+
+TEST_F(AclEnforcementTest, ReservedMkdirGrantsParenthesizedRightsOnly) {
+  // The §4 walkthrough: root ACL gives localhost v(rwl) — no direct W, no A
+  // inside the reservation.
+  set_root_acl("hostname:localhost lv(rwl)\n");
+  start_server();
+  Client client = connect_client();
+
+  // Direct write at root: denied (V is not W).
+  EXPECT_EQ(client.putfile("/direct", "x").code(), EACCES);
+
+  // mkdir via the reserve right succeeds.
+  ASSERT_TRUE(client.mkdir("/backup").ok());
+
+  // The fresh directory's ACL is exactly "hostname:localhost rwl".
+  auto acl_text = client.getacl("/backup");
+  ASSERT_TRUE(acl_text.ok());
+  auto acl = acl::Acl::parse(acl_text.value()).value();
+  EXPECT_TRUE(
+      acl.check("hostname:localhost", acl::kRead | acl::kWrite | acl::kList));
+  EXPECT_FALSE(acl.check("hostname:localhost", acl::kAdmin));
+
+  // Inside the reservation the user can work freely...
+  EXPECT_TRUE(client.putfile("/backup/f", "data").ok());
+  // ...but cannot extend access to others (no A right).
+  auto setacl = client.setacl("/backup", "unix:friend", "rwl");
+  ASSERT_FALSE(setacl.ok());
+  EXPECT_EQ(setacl.error().code, EACCES);
+}
+
+TEST_F(AclEnforcementTest, ReserveWithAdminAllowsDelegation) {
+  // A v(rwla) reservation (the globus line in the paper's example) lets the
+  // visitor administer their own directory.
+  set_root_acl("hostname:localhost v(rwla)\n");
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.mkdir("/workspace").ok());
+  EXPECT_TRUE(client.setacl("/workspace", "unix:collaborator", "rwl").ok());
+  auto acl_text = client.getacl("/workspace");
+  ASSERT_TRUE(acl_text.ok());
+  auto acl = acl::Acl::parse(acl_text.value()).value();
+  EXPECT_TRUE(acl.check("unix:collaborator", acl::kRead | acl::kWrite));
+}
+
+TEST_F(AclEnforcementTest, MkdirUnderWriteInheritsParentAcl) {
+  set_root_acl("hostname:localhost rwlda\nunix:other rl\n");
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.mkdir("/sub").ok());
+  auto acl_text = client.getacl("/sub");
+  ASSERT_TRUE(acl_text.ok());
+  auto acl = acl::Acl::parse(acl_text.value()).value();
+  // Inherited: both entries survive into the child directory.
+  EXPECT_TRUE(acl.check("hostname:localhost", acl::kWrite));
+  EXPECT_TRUE(acl.check("unix:other", acl::kRead));
+}
+
+TEST_F(AclEnforcementTest, NestedDirectoryUsesItsOwnAcl) {
+  set_root_acl("hostname:localhost v(rwl)\n");
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.mkdir("/mine").ok());
+  // Inside /mine the user holds rwl, so nested mkdir inherits /mine's ACL.
+  ASSERT_TRUE(client.mkdir("/mine/deeper").ok());
+  EXPECT_TRUE(client.putfile("/mine/deeper/f", "x").ok());
+  // Root is still not writable.
+  EXPECT_EQ(client.putfile("/not-allowed", "x").code(), EACCES);
+}
+
+TEST_F(AclEnforcementTest, AclFileIsHiddenAndUnreachable) {
+  set_root_acl("hostname:localhost rwldav(rwlda)\n");
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.mkdir("/d").ok());
+  // Direct access to the ACL file is refused in every form.
+  EXPECT_EQ(client.getfile("/d/.__acl__").code(), EACCES);
+  EXPECT_EQ(client.putfile("/d/.__acl__", "unix:evil rwlda\n").code(), EACCES);
+  EXPECT_EQ(client.unlink("/d/.__acl__").code(), EACCES);
+  EXPECT_EQ(client.rename("/d/.__acl__", "/d/acl-copy").code(), EACCES);
+  EXPECT_EQ(client.open("/d/.__acl__", OpenFlags::parse("r").value()).code(),
+            EACCES);
+}
+
+TEST_F(AclEnforcementTest, SetaclRequiresAdminRight) {
+  set_root_acl("hostname:localhost rwld\n");  // no A
+  start_server();
+  Client client = connect_client();
+  auto rc = client.setacl("/", "unix:mallory", "rwlda");
+  ASSERT_FALSE(rc.ok());
+  EXPECT_EQ(rc.error().code, EACCES);
+}
+
+TEST_F(AclEnforcementTest, AdminCanExtendAndRevokeAccess) {
+  set_root_acl("hostname:localhost rwlda\n");
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.setacl("/", "unix:friend", "rl").ok());
+  auto acl = acl::Acl::parse(client.getacl("/").value()).value();
+  EXPECT_TRUE(acl.check("unix:friend", acl::kRead));
+  // Revoke by setting "-".
+  ASSERT_TRUE(client.setacl("/", "unix:friend", "-").ok());
+  acl = acl::Acl::parse(client.getacl("/").value()).value();
+  EXPECT_FALSE(acl.check("unix:friend", acl::kRead));
+}
+
+TEST_F(AclEnforcementTest, RenameNeedsDeleteAtSourceAndWriteAtTarget) {
+  set_root_acl("hostname:localhost rwlv(rwl)\n");  // no D at root
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.putfile("/f", "x").ok());
+  auto rc = client.rename("/f", "/g");
+  ASSERT_FALSE(rc.ok());
+  EXPECT_EQ(rc.error().code, EACCES);
+}
+
+TEST_F(AclEnforcementTest, RmdirCleansUpAclFile) {
+  set_root_acl("hostname:localhost rwlda\n");
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.mkdir("/d").ok());
+  // The directory holds only its ACL file; rmdir must still succeed.
+  ASSERT_TRUE(client.rmdir("/d").ok());
+  EXPECT_FALSE(std::filesystem::exists(host_path("/d")));
+}
+
+}  // namespace
+}  // namespace tss::chirp

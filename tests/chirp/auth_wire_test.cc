@@ -1,0 +1,182 @@
+// Authentication over the real wire: challenge rounds, credential
+// negotiation order, and GSI/Kerberos through a live TCP Chirp server.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "auth/gsi.h"
+#include "auth/hostname.h"
+#include "auth/kerberos.h"
+#include "auth/unix.h"
+#include "chirp/client.h"
+#include "chirp/posix_backend.h"
+#include "chirp/server.h"
+
+namespace tss::chirp {
+namespace {
+
+class AuthWireTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/authwire_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    challenge_dir_ = root_ + "-challenges";
+    std::filesystem::create_directories(root_);
+    std::filesystem::create_directories(challenge_dir_);
+  }
+  void TearDown() override {
+    if (server_) server_->stop();
+    std::filesystem::remove_all(root_);
+    std::filesystem::remove_all(challenge_dir_);
+  }
+
+  void start_server(std::unique_ptr<auth::ServerAuth> auth,
+                    const std::string& acl_text) {
+    ServerOptions options;
+    options.owner = "unix:testowner";
+    options.root_acl = acl::Acl::parse(acl_text).value();
+    server_ = std::make_unique<Server>(
+        options, std::make_unique<PosixBackend>(root_), std::move(auth));
+    ASSERT_TRUE(server_->start().ok());
+  }
+
+  Client connect() {
+    auto client = Client::connect(server_->endpoint());
+    EXPECT_TRUE(client.ok());
+    return std::move(client).value();
+  }
+
+  std::string root_;
+  std::string challenge_dir_;
+  std::unique_ptr<Server> server_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(AuthWireTest, UnixChallengeResponseOverTcp) {
+  // The full §4 unix flow across a real socket: server sends a challenge
+  // line, client touches the file, server infers identity from ownership.
+  auto auth = std::make_unique<auth::ServerAuth>();
+  auth->add(std::make_unique<auth::UnixServerMethod>(challenge_dir_));
+  start_server(std::move(auth), "unix:* rwl\n");
+
+  Client client = connect();
+  auth::UnixClientCredential credential;
+  auto subject = client.authenticate(credential);
+  ASSERT_TRUE(subject.ok()) << subject.error().to_string();
+  EXPECT_EQ(subject.value().method, "unix");
+  EXPECT_EQ(subject.value().name, auth::username_for_uid(::getuid()));
+  // The session works, and the challenge directory is clean again.
+  EXPECT_TRUE(client.getfile("/nonexistent").code() == ENOENT);
+  EXPECT_TRUE(std::filesystem::is_empty(challenge_dir_));
+}
+
+TEST_F(AuthWireTest, GsiCredentialOverTcp) {
+  auth::GsiCa ca("test-ca", "ca-secret");
+  auto gsi = std::make_unique<auth::GsiServerMethod>();
+  gsi->trust(ca);
+  auto auth = std::make_unique<auth::ServerAuth>();
+  auth->add(std::move(gsi));
+  start_server(std::move(auth), "globus:/O=Test/* rwl\n");
+
+  Client client = connect();
+  auth::GsiClientCredential credential(
+      ca.issue("/O=Test/CN=Wire User", ::time(nullptr) + 60));
+  auto subject = client.authenticate(credential);
+  ASSERT_TRUE(subject.ok()) << subject.error().to_string();
+  EXPECT_EQ(subject.value().to_string(), "globus:/O=Test/CN=Wire User");
+  EXPECT_TRUE(client.putfile("/from-grid", "data").ok());
+}
+
+TEST_F(AuthWireTest, KerberosTicketOverTcp) {
+  auth::Kdc kdc;
+  kdc.add_principal("alice@TEST", "alice-key");
+  kdc.add_service("chirp/testhost", "service-key");
+  auto auth = std::make_unique<auth::ServerAuth>();
+  auth->add(std::make_unique<auth::KerberosServerMethod>("chirp/testhost",
+                                                         "service-key"));
+  start_server(std::move(auth), "kerberos:*@TEST rwl\n");
+
+  Client client = connect();
+  auto ticket = kdc.issue_ticket("alice@TEST", "alice-key", "chirp/testhost",
+                                 ::time(nullptr) + 60);
+  ASSERT_TRUE(ticket.ok());
+  auth::KerberosClientCredential credential(ticket.value());
+  auto subject = client.authenticate(credential);
+  ASSERT_TRUE(subject.ok()) << subject.error().to_string();
+  EXPECT_EQ(subject.value().to_string(), "kerberos:alice@TEST");
+}
+
+TEST_F(AuthWireTest, AuthenticateAnyFallsThroughFailedMethods) {
+  // Server only enables hostname; the client offers GSI (refused: method
+  // not enabled), then unix (not enabled), then hostname (succeeds) — "a
+  // client may attempt any number of authentication methods in any order".
+  auto auth = std::make_unique<auth::ServerAuth>();
+  auth->add(std::make_unique<auth::HostnameServerMethod>());
+  start_server(std::move(auth), "hostname:localhost rwl\n");
+
+  Client client = connect();
+  auth::GsiCa rogue("somewhere", "key");
+  auth::GsiClientCredential gsi(rogue.issue("/O=X/CN=Y", ::time(nullptr) + 60));
+  auth::UnixClientCredential unix_credential;
+  auth::HostnameClientCredential hostname;
+  auto subject =
+      client.authenticate_any({&gsi, &unix_credential, &hostname});
+  ASSERT_TRUE(subject.ok()) << subject.error().to_string();
+  EXPECT_EQ(subject.value().to_string(), "hostname:localhost");
+}
+
+TEST_F(AuthWireTest, AllMethodsRefusedYieldsLastError) {
+  auth::GsiCa trusted("real-ca", "real-key");
+  auto gsi = std::make_unique<auth::GsiServerMethod>();
+  gsi->trust(trusted);
+  auto auth = std::make_unique<auth::ServerAuth>();
+  auth->add(std::move(gsi));
+  start_server(std::move(auth), "globus:* rwl\n");
+
+  Client client = connect();
+  auth::GsiCa rogue("rogue", "rogue-key");
+  auth::GsiClientCredential bad(rogue.issue("/O=X/CN=Y", ::time(nullptr) + 60));
+  auth::HostnameClientCredential hostname;  // method not enabled server-side
+  auto subject = client.authenticate_any({&bad, &hostname});
+  ASSERT_FALSE(subject.ok());
+  // The session remains usable for a correct retry on a *new* connection
+  // (this one is still unauthenticated, so requests are refused).
+  EXPECT_EQ(client.stat("/").code(), EACCES);
+}
+
+TEST_F(AuthWireTest, MultipleMethodsEnabledDifferentUsersPickTheirs) {
+  auth::GsiCa ca("multi-ca", "multi-key");
+  auto auth = std::make_unique<auth::ServerAuth>();
+  auth->add(std::make_unique<auth::HostnameServerMethod>());
+  auth->add(std::make_unique<auth::UnixServerMethod>(challenge_dir_));
+  auto gsi = std::make_unique<auth::GsiServerMethod>();
+  gsi->trust(ca);
+  auth->add(std::move(gsi));
+  start_server(std::move(auth),
+               "hostname:localhost rl\nunix:* rwl\nglobus:/O=M/* rwlda\n");
+
+  {
+    Client c = connect();
+    auth::HostnameClientCredential credential;
+    ASSERT_TRUE(c.authenticate(credential).ok());
+    EXPECT_EQ(c.putfile("/h", "x").code(), EACCES);  // hostname: read-only
+  }
+  {
+    Client c = connect();
+    auth::UnixClientCredential credential;
+    ASSERT_TRUE(c.authenticate(credential).ok());
+    EXPECT_TRUE(c.putfile("/u", "x").ok());          // unix: rw
+    EXPECT_EQ(c.setacl("/", "unix:evil", "a").code(), EACCES);
+  }
+  {
+    Client c = connect();
+    auth::GsiClientCredential credential(
+        ca.issue("/O=M/CN=Admin", ::time(nullptr) + 60));
+    ASSERT_TRUE(c.authenticate(credential).ok());
+    EXPECT_TRUE(c.setacl("/", "unix:friend", "rl").ok());  // globus: admin
+  }
+}
+
+}  // namespace
+}  // namespace tss::chirp

@@ -1,0 +1,194 @@
+#include "chirp/protocol.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+namespace tss::chirp {
+namespace {
+
+TEST(OpenFlags, EncodeParseRoundTrip) {
+  for (const char* token : {"r", "w", "rw", "wctx", "rwa", "ws", "rwctxas"}) {
+    auto parsed = OpenFlags::parse(token);
+    ASSERT_TRUE(parsed.ok()) << token;
+    EXPECT_EQ(parsed.value().encode(), token);
+  }
+}
+
+TEST(OpenFlags, PosixMapping) {
+  auto flags = OpenFlags::parse("wctx").value();
+  int posix = flags.to_posix();
+  EXPECT_EQ(posix & O_ACCMODE, O_WRONLY);
+  EXPECT_TRUE(posix & O_CREAT);
+  EXPECT_TRUE(posix & O_TRUNC);
+  EXPECT_TRUE(posix & O_EXCL);
+  EXPECT_FALSE(posix & O_APPEND);
+}
+
+TEST(OpenFlags, FromPosixRoundTrip) {
+  int cases[] = {O_RDONLY, O_WRONLY | O_CREAT, O_RDWR | O_APPEND,
+                 O_WRONLY | O_CREAT | O_EXCL | O_SYNC};
+  for (int flags : cases) {
+    OpenFlags f = OpenFlags::from_posix(flags);
+    EXPECT_EQ(f.to_posix(), flags);
+  }
+}
+
+TEST(OpenFlags, SyncFlagSupportsO_SYNCSemantics) {
+  // §6: "Synchronous writes are easily implemented by simply transparently
+  // appending the O_SYNC flag to all open calls."
+  OpenFlags f = OpenFlags::parse("rw").value();
+  f.sync = true;
+  EXPECT_TRUE(f.to_posix() & O_SYNC);
+}
+
+TEST(OpenFlags, RejectsUnknownLetter) {
+  EXPECT_FALSE(OpenFlags::parse("rq").ok());
+}
+
+TEST(StatInfo, EncodeParseRoundTrip) {
+  StatInfo info{12345, 0644, 1700000000, 987654, false};
+  auto parsed = StatInfo::parse(
+      {"12345", "420", "1700000000", "987654", "f"}, 0);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size, 12345u);
+  EXPECT_EQ(parsed.value().inode, 987654u);
+  EXPECT_FALSE(parsed.value().is_dir);
+  (void)info;
+}
+
+TEST(Request, EncodeParseRoundTripAllOps) {
+  std::vector<Request> requests;
+  {
+    Request r;
+    r.op = Op::kOpen;
+    r.path = "/dir with space/file.txt";
+    r.flags = OpenFlags::parse("wc").value();
+    r.mode = 0600;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kPread;
+    r.fd = 7;
+    r.length = 8192;
+    r.offset = 65536;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kPwrite;
+    r.fd = 7;
+    r.length = 100;
+    r.offset = 0;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kRename;
+    r.path = "/a/old name";
+    r.path2 = "/b/new%name";
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kSetacl;
+    r.path = "/data";
+    r.acl_subject = "globus:/O=Notre_Dame/*";
+    r.acl_rights = "rlv(rwla)";
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kPutfile;
+    r.path = "/x";
+    r.mode = 0644;
+    r.length = 42;
+    requests.push_back(r);
+  }
+
+  for (const Request& original : requests) {
+    std::string line = encode_request(original);
+    auto parsed = parse_request_line(line);
+    ASSERT_TRUE(parsed.ok()) << line << ": " << parsed.error().to_string();
+    const Request& got = parsed.value();
+    EXPECT_EQ(got.op, original.op) << line;
+    EXPECT_EQ(got.path, original.path) << line;
+    EXPECT_EQ(got.path2, original.path2) << line;
+    EXPECT_EQ(got.fd, original.fd) << line;
+    EXPECT_EQ(got.length, original.length) << line;
+    EXPECT_EQ(got.offset, original.offset) << line;
+    EXPECT_EQ(got.acl_subject, original.acl_subject) << line;
+    EXPECT_EQ(got.acl_rights, original.acl_rights) << line;
+  }
+}
+
+TEST(Request, PayloadLenOnlyForWriteOps) {
+  Request w;
+  w.op = Op::kPwrite;
+  w.length = 100;
+  EXPECT_EQ(w.payload_len(), 100u);
+  Request p;
+  p.op = Op::kPutfile;
+  p.length = 7;
+  EXPECT_EQ(p.payload_len(), 7u);
+  Request r;
+  r.op = Op::kPread;
+  r.length = 100;
+  EXPECT_EQ(r.payload_len(), 0u);  // the *response* carries the payload
+}
+
+TEST(Request, ParseRejectsUnknownAndMalformed) {
+  EXPECT_FALSE(parse_request_line("").ok());
+  EXPECT_FALSE(parse_request_line("frobnicate /x").ok());
+  EXPECT_FALSE(parse_request_line("open").ok());
+  EXPECT_FALSE(parse_request_line("pread notanumber 1 2").ok());
+  EXPECT_FALSE(parse_request_line("open /x zz 0644").ok());
+}
+
+TEST(Request, ParseRejectsOversizedRpcPayload) {
+  std::string line =
+      "pwrite 3 " + std::to_string(kMaxRpcPayload + 1) + " 0";
+  auto parsed = parse_request_line(line);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, EMSGSIZE);
+}
+
+TEST(Response, OkRoundTrip) {
+  Response r;
+  r.args = {"42", "1700000000"};
+  std::string line = encode_response_line(r);
+  EXPECT_EQ(line, "ok 42 1700000000");
+  auto parsed = parse_response_line(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().ok());
+  EXPECT_EQ(parsed.value().args.size(), 2u);
+}
+
+TEST(Response, ErrorRoundTripPreservesMessage) {
+  Response r = Response::failure(ENOENT, "no such file or directory");
+  std::string line = encode_response_line(r);
+  auto parsed = parse_response_line(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().err, ENOENT);
+  EXPECT_EQ(parsed.value().message, "no such file or directory");
+}
+
+TEST(Response, ParseRejectsNonsense) {
+  EXPECT_FALSE(parse_response_line("").ok());
+  EXPECT_FALSE(parse_response_line("maybe").ok());
+  EXPECT_FALSE(parse_response_line("error").ok());
+  EXPECT_FALSE(parse_response_line("error zero").ok());
+  EXPECT_FALSE(parse_response_line("error 0 impossible").ok());
+}
+
+TEST(DirEntry, EncodeParseRoundTrip) {
+  DirEntry e{"file with space.dat", StatInfo{99, 0644, 1700, 555, false}};
+  auto parsed = parse_dirent(encode_dirent(e));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().name, e.name);
+  EXPECT_EQ(parsed.value().info.size, 99u);
+  EXPECT_EQ(parsed.value().info.inode, 555u);
+}
+
+}  // namespace
+}  // namespace tss::chirp

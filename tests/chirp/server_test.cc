@@ -1,0 +1,267 @@
+// End-to-end Chirp protocol tests against a live server over loopback TCP.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "chirp/test_util.h"
+#include "util/path.h"
+
+namespace tss::chirp {
+namespace {
+
+using testing::ChirpServerFixture;
+
+class ChirpServerTest : public ChirpServerFixture {};
+
+TEST_F(ChirpServerTest, VersionHandshakeAndWhoami) {
+  start_server();
+  Client client = connect_client();
+  auto whoami = client.whoami();
+  ASSERT_TRUE(whoami.ok());
+  EXPECT_EQ(whoami.value(), "hostname:localhost");
+}
+
+TEST_F(ChirpServerTest, UnauthenticatedRequestsRefused) {
+  start_server();
+  Client client = connect_raw();
+  auto result = client.stat("/");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, EACCES);
+}
+
+TEST_F(ChirpServerTest, OpenWriteReadClose) {
+  start_server();
+  Client client = connect_client();
+
+  auto fd = client.open("/hello.txt", OpenFlags::parse("wc").value(), 0644);
+  ASSERT_TRUE(fd.ok()) << fd.error().to_string();
+  std::string data = "tactical storage";
+  auto wrote = client.pwrite(fd.value(), data.data(), data.size(), 0);
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(wrote.value(), data.size());
+  ASSERT_TRUE(client.close_fd(fd.value()).ok());
+
+  auto rfd = client.open("/hello.txt", OpenFlags::parse("r").value());
+  ASSERT_TRUE(rfd.ok());
+  std::string buf(data.size(), '\0');
+  auto got = client.pread(rfd.value(), buf.data(), buf.size(), 0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), data.size());
+  EXPECT_EQ(buf, data);
+  ASSERT_TRUE(client.close_fd(rfd.value()).ok());
+}
+
+TEST_F(ChirpServerTest, PreadAtOffsetAndShortRead) {
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.putfile("/f", "0123456789").ok());
+  auto fd = client.open("/f", OpenFlags::parse("r").value());
+  ASSERT_TRUE(fd.ok());
+  char buf[32];
+  auto n = client.pread(fd.value(), buf, sizeof buf, 5);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 5u);
+  EXPECT_EQ(std::string(buf, 5), "56789");
+  // Read past EOF yields zero bytes.
+  auto eof = client.pread(fd.value(), buf, sizeof buf, 100);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(eof.value(), 0u);
+}
+
+TEST_F(ChirpServerTest, ExclusiveOpenDetectsCollision) {
+  // The "exclusive open" feature §5 relies on for DSFS stub creation.
+  start_server();
+  Client client = connect_client();
+  auto first = client.open("/stub", OpenFlags::parse("wcx").value());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(client.close_fd(first.value()).ok());
+  auto second = client.open("/stub", OpenFlags::parse("wcx").value());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, EEXIST);
+}
+
+TEST_F(ChirpServerTest, StatReportsSizeAndInode) {
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.putfile("/s", "abc").ok());
+  auto info = client.stat("/s");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().size, 3u);
+  EXPECT_FALSE(info.value().is_dir);
+  EXPECT_GT(info.value().inode, 0u);
+
+  auto missing = client.stat("/does-not-exist");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ENOENT);
+}
+
+TEST_F(ChirpServerTest, FstatMatchesStat) {
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.putfile("/g", "0123").ok());
+  auto fd = client.open("/g", OpenFlags::parse("r").value());
+  ASSERT_TRUE(fd.ok());
+  auto by_fd = client.fstat(fd.value());
+  auto by_path = client.stat("/g");
+  ASSERT_TRUE(by_fd.ok());
+  ASSERT_TRUE(by_path.ok());
+  EXPECT_EQ(by_fd.value().inode, by_path.value().inode);
+  EXPECT_EQ(by_fd.value().size, by_path.value().size);
+}
+
+TEST_F(ChirpServerTest, MkdirRenameUnlinkRmdir) {
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.mkdir("/d").ok());
+  ASSERT_TRUE(client.putfile("/d/x", "1").ok());
+  ASSERT_TRUE(client.rename("/d/x", "/d/y").ok());
+  EXPECT_FALSE(client.stat("/d/x").ok());
+  EXPECT_TRUE(client.stat("/d/y").ok());
+  ASSERT_TRUE(client.unlink("/d/y").ok());
+  ASSERT_TRUE(client.rmdir("/d").ok());
+  EXPECT_FALSE(client.stat("/d").ok());
+}
+
+TEST_F(ChirpServerTest, RmdirFailsOnNonEmptyDirectory) {
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.mkdir("/d").ok());
+  ASSERT_TRUE(client.putfile("/d/x", "1").ok());
+  auto rc = client.rmdir("/d");
+  ASSERT_FALSE(rc.ok());
+  EXPECT_EQ(rc.error().code, ENOTEMPTY);
+}
+
+TEST_F(ChirpServerTest, GetdirListsEntriesAndHidesAclFile) {
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.mkdir("/d").ok());
+  ASSERT_TRUE(client.putfile("/d/a", "1").ok());
+  ASSERT_TRUE(client.putfile("/d/b", "22").ok());
+  auto entries = client.getdir("/d");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 2u);
+  for (const auto& e : entries.value()) {
+    EXPECT_NE(e.name, kAclFileName);
+  }
+}
+
+TEST_F(ChirpServerTest, GetfilePutfileStreamWholeFiles) {
+  start_server();
+  Client client = connect_client();
+  std::string big(3 * 1000 * 1000, 'q');
+  for (size_t i = 0; i < big.size(); i += 7) big[i] = static_cast<char>(i);
+  ASSERT_TRUE(client.putfile("/big", big).ok());
+  auto got = client.getfile("/big");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), big);
+}
+
+TEST_F(ChirpServerTest, TruncateShrinksFile) {
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.putfile("/t", "0123456789").ok());
+  ASSERT_TRUE(client.truncate("/t", 4).ok());
+  auto got = client.getfile("/t");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), "0123");
+}
+
+TEST_F(ChirpServerTest, PathEscapeAttemptsStayInRoot) {
+  // The software chroot of §4: no path may name anything above the export
+  // root. Write through an escaping path, then verify the file landed
+  // inside the root.
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.putfile("/../../../escape.txt", "trapped").ok());
+  EXPECT_TRUE(std::filesystem::exists(root_ + "/escape.txt"));
+  EXPECT_FALSE(std::filesystem::exists(
+      std::filesystem::path(root_).parent_path() / "escape.txt"));
+}
+
+TEST_F(ChirpServerTest, StatfsReportsSpace) {
+  start_server();
+  Client client = connect_client();
+  auto space = client.statfs();
+  ASSERT_TRUE(space.ok());
+  EXPECT_GT(space.value().first, 0u);
+  EXPECT_LE(space.value().second, space.value().first);
+}
+
+TEST_F(ChirpServerTest, DisconnectClosesServerSideFds) {
+  // §4 failure semantics: "if the client and server become disconnected,
+  // the server frees all resources associated with that connection". A new
+  // connection cannot use the old fd.
+  start_server();
+  int64_t old_fd;
+  {
+    Client client = connect_client();
+    auto fd = client.open("/f", OpenFlags::parse("wc").value());
+    ASSERT_TRUE(fd.ok());
+    old_fd = fd.value();
+    client.close();
+  }
+  Client fresh = connect_client();
+  char buf[4];
+  auto result = fresh.pread(old_fd, buf, sizeof buf, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, EBADF);
+}
+
+TEST_F(ChirpServerTest, SecondAuthAttemptAfterSuccessRefused) {
+  // "only one set of credentials may be employed in one session" (§4).
+  start_server();
+  Client client = connect_client();
+  auth::HostnameClientCredential credential;
+  auto again = client.authenticate(credential);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code, EPERM);
+}
+
+TEST_F(ChirpServerTest, ConcurrentClients) {
+  start_server();
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kClients; i++) {
+    threads.emplace_back([this, i, &failures] {
+      auto client = Client::connect(server_->endpoint());
+      if (!client.ok()) {
+        failures++;
+        return;
+      }
+      auth::HostnameClientCredential credential;
+      if (!client.value().authenticate(credential).ok()) {
+        failures++;
+        return;
+      }
+      std::string path = "/c" + std::to_string(i);
+      std::string data(1000 + i, static_cast<char>('a' + i));
+      if (!client.value().putfile(path, data).ok()) failures++;
+      auto got = client.value().getfile(path);
+      if (!got.ok() || got.value() != data) failures++;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ChirpServerTest, ServesExistingDataWithoutSetup) {
+  // Recursive abstraction: "a file server can be used to export an existing
+  // filesystem without expensive copies or transformations" (§3).
+  std::filesystem::create_directories(root_ + "/preexisting");
+  {
+    std::ofstream out(root_ + "/preexisting/data.txt");
+    out << "already here";
+  }
+  start_server();
+  Client client = connect_client();
+  auto got = client.getfile("/preexisting/data.txt");
+  ASSERT_TRUE(got.ok()) << got.error().to_string();
+  EXPECT_EQ(got.value(), "already here");
+}
+
+}  // namespace
+}  // namespace tss::chirp

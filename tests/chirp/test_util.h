@@ -1,0 +1,76 @@
+// Shared fixture: a live Chirp server exporting a private temp directory
+// over loopback TCP, with hostname auth enabled and a configurable root ACL.
+#pragma once
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "auth/hostname.h"
+#include "chirp/client.h"
+#include "chirp/posix_backend.h"
+#include "chirp/server.h"
+
+namespace tss::chirp::testing {
+
+class ChirpServerFixture : public ::testing::Test {
+ protected:
+  // Root ACL grants localhost everything by default; tests override by
+  // calling set_root_acl() before start().
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/chirp_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(root_);
+    root_acl_text_ = "hostname:localhost rwldav(rwlda)\n";
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+    std::filesystem::remove_all(root_);
+  }
+
+  void set_root_acl(const std::string& text) { root_acl_text_ = text; }
+
+  void start_server(const std::string& owner = "unix:testowner") {
+    ServerOptions options;
+    options.owner = owner;
+    options.root_acl = acl::Acl::parse(root_acl_text_).value();
+    auto auth = std::make_unique<auth::ServerAuth>();
+    auth->add(std::make_unique<auth::HostnameServerMethod>());
+    server_ = std::make_unique<Server>(options,
+                                       std::make_unique<PosixBackend>(root_),
+                                       std::move(auth));
+    ASSERT_TRUE(server_->start().ok());
+  }
+
+  // Connects and authenticates as hostname:localhost.
+  Client connect_client() {
+    auto client = Client::connect(server_->endpoint());
+    EXPECT_TRUE(client.ok()) << client.error().to_string();
+    auth::HostnameClientCredential credential;
+    auto subject = client.value().authenticate(credential);
+    EXPECT_TRUE(subject.ok()) << subject.error().to_string();
+    return std::move(client).value();
+  }
+
+  // Connects without authenticating.
+  Client connect_raw() {
+    auto client = Client::connect(server_->endpoint());
+    EXPECT_TRUE(client.ok()) << client.error().to_string();
+    return std::move(client).value();
+  }
+
+  std::string host_path(const std::string& virtual_path) {
+    return root_ + virtual_path;
+  }
+
+  std::string root_;
+  std::string root_acl_text_;
+  std::unique_ptr<Server> server_;
+  static inline int counter_ = 0;
+};
+
+}  // namespace tss::chirp::testing

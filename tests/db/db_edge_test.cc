@@ -1,0 +1,135 @@
+// Edge cases for the db substrate: hostile record content, large scans,
+// recovery corner cases.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "db/client.h"
+#include "db/server.h"
+#include "db/store.h"
+
+namespace tss::db {
+namespace {
+
+TEST(TableEdge, HostileFieldContentRoundTrips) {
+  Table table({"k"});
+  Record record{{"id", "weird id & with = signs\nand newlines"},
+                {"k", "value with % and %%2F and \t tabs"},
+                {"empty", ""}};
+  ASSERT_TRUE(table.put(record).ok());
+  auto via_wire = decode_record(encode_record(record));
+  ASSERT_TRUE(via_wire.ok());
+  EXPECT_EQ(via_wire.value(), record);
+  EXPECT_EQ(table.query("k", "value with % and %%2F and \t tabs").size(), 1u);
+}
+
+TEST(TableEdge, SnapshotRoundTripsHostileContent) {
+  Table table;
+  ASSERT_TRUE(table.put(Record{{"id", "a&b=c"}, {"v", "x\ny"}}).ok());
+  ASSERT_TRUE(table.put(Record{{"id", "plain"}, {"v", ""}}).ok());
+  Table restored;
+  ASSERT_TRUE(restored.load(table.serialize()).ok());
+  EXPECT_EQ(restored.get("a&b=c").value().at("v"), "x\ny");
+  EXPECT_EQ(restored.get("plain").value().at("v"), "");
+}
+
+TEST(TableEdge, LoadRejectsCorruptSnapshot) {
+  Table table;
+  EXPECT_FALSE(table.load("no-equals-sign-here\n").ok());
+  EXPECT_FALSE(table.load("v=1\n").ok());  // record without id
+}
+
+TEST(TableEdge, LoadReplacesPriorContents) {
+  Table table;
+  ASSERT_TRUE(table.put(Record{{"id", "old"}}).ok());
+  ASSERT_TRUE(table.load("id=new\n").ok());
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_FALSE(table.get("old").ok());
+  EXPECT_TRUE(table.get("new").ok());
+}
+
+TEST(StoreEdge, TableStoreAndRemoteStoreAgree) {
+  // The same operation sequence through both Store implementations must
+  // leave identical state (the DSDB contract GEMS relies on).
+  Server server{Server::Options{}};
+  ASSERT_TRUE(server.start().ok());
+  server.table("t", {"tag"});
+  auto client = Client::connect(server.endpoint());
+  ASSERT_TRUE(client.ok());
+  RemoteStore remote(&client.value(), "t");
+
+  Table local_table({"tag"});
+  TableStore local(&local_table);
+
+  Store* stores[] = {&local, &remote};
+  for (Store* store : stores) {
+    ASSERT_TRUE(store->put(Record{{"id", "1"}, {"tag", "a"}}).ok());
+    ASSERT_TRUE(store->put(Record{{"id", "2"}, {"tag", "a"}}).ok());
+    ASSERT_TRUE(store->put(Record{{"id", "3"}, {"tag", "b"}}).ok());
+    ASSERT_TRUE(store->remove("2").ok());
+    ASSERT_TRUE(store->put(Record{{"id", "3"}, {"tag", "a"}}).ok());
+  }
+  for (Store* store : stores) {
+    auto a = store->query("tag", "a");
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.value().size(), 2u);
+    EXPECT_TRUE(store->query("tag", "b").value().empty());
+    auto all = store->scan();
+    ASSERT_TRUE(all.ok());
+    EXPECT_EQ(all.value().size(), 2u);
+    EXPECT_EQ(store->get("2").code(), ENOENT);
+  }
+  server.stop();
+}
+
+TEST(StoreEdge, LargeScanOverWire) {
+  Server server{Server::Options{}};
+  ASSERT_TRUE(server.start().ok());
+  server.table("big", {});
+  auto client = Client::connect(server.endpoint());
+  ASSERT_TRUE(client.ok());
+  RemoteStore store(&client.value(), "big");
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(store
+                    .put(Record{{"id", "r" + std::to_string(i)},
+                                {"payload", std::string(200, 'p')}})
+                    .ok());
+  }
+  auto all = store.scan();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 500u);
+  server.stop();
+}
+
+TEST(StoreEdge, SnapshotRecoveryPreservesIndexQuerySemantics) {
+  std::string dir = ::testing::TempDir() + "/dbedge_" +
+                    std::to_string(::getpid());
+  std::filesystem::create_directories(dir);
+  {
+    Server::Options options;
+    options.snapshot_dir = dir;
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+    Table& t = server.table("idx", {"project"});
+    ASSERT_TRUE(t.put(Record{{"id", "a"}, {"project", "p1"}}).ok());
+    ASSERT_TRUE(t.put(Record{{"id", "b"}, {"project", "p1"}}).ok());
+    server.stop();  // snapshots on stop
+  }
+  {
+    Server::Options options;
+    options.snapshot_dir = dir;
+    Server server(options);
+    ASSERT_TRUE(server.start().ok());
+    auto client = Client::connect(server.endpoint());
+    ASSERT_TRUE(client.ok());
+    auto matches = client.value().query("idx", "project", "p1");
+    ASSERT_TRUE(matches.ok());
+    EXPECT_EQ(matches.value().size(), 2u);
+    server.stop();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tss::db

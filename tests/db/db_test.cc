@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "db/client.h"
+#include "db/server.h"
+#include "db/table.h"
+
+namespace tss::db {
+namespace {
+
+Record sample(const std::string& id, const std::string& project,
+              const std::string& size = "100") {
+  return Record{{"id", id}, {"project", project}, {"size", size}};
+}
+
+TEST(RecordCodec, RoundTripsArbitraryValues) {
+  Record record{{"id", "run 5/alpha"},
+                {"note", "contains = and & and \n newline"},
+                {"checksum", "00ff"}};
+  auto decoded = decode_record(encode_record(record));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), record);
+}
+
+TEST(RecordCodec, EmptyRecord) {
+  auto decoded = decode_record("");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(TableTest, PutGetRemove) {
+  Table table;
+  ASSERT_TRUE(table.put(sample("a", "babar")).ok());
+  auto got = table.get("a");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().at("project"), "babar");
+  table.remove("a");
+  EXPECT_EQ(table.get("a").code(), ENOENT);
+  table.remove("a");  // idempotent
+}
+
+TEST(TableTest, PutRequiresId) {
+  Table table;
+  EXPECT_FALSE(table.put(Record{{"project", "x"}}).ok());
+}
+
+TEST(TableTest, PutReplacesAndReindexes) {
+  Table table({"project"});
+  ASSERT_TRUE(table.put(sample("a", "babar")).ok());
+  ASSERT_TRUE(table.put(sample("a", "protomol")).ok());
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.query("project", "babar").empty());
+  ASSERT_EQ(table.query("project", "protomol").size(), 1u);
+}
+
+TEST(TableTest, IndexedAndUnindexedQueriesAgree) {
+  Table indexed({"project"});
+  Table unindexed;
+  for (int i = 0; i < 50; i++) {
+    Record r = sample("r" + std::to_string(i), i % 3 ? "babar" : "protomol",
+                      std::to_string(i));
+    ASSERT_TRUE(indexed.put(r).ok());
+    ASSERT_TRUE(unindexed.put(r).ok());
+  }
+  EXPECT_EQ(indexed.query("project", "protomol").size(),
+            unindexed.query("project", "protomol").size());
+  // Unindexed field query falls back to scan and still works.
+  EXPECT_EQ(indexed.query("size", "7").size(), 1u);
+}
+
+TEST(TableTest, RemoveCleansIndexes) {
+  Table table({"project"});
+  ASSERT_TRUE(table.put(sample("a", "babar")).ok());
+  ASSERT_TRUE(table.put(sample("b", "babar")).ok());
+  table.remove("a");
+  auto matches = table.query("project", "babar");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].at("id"), "b");
+}
+
+TEST(TableTest, SerializeLoadRoundTrip) {
+  Table table({"project"});
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(
+        table.put(sample("r" + std::to_string(i), "p" + std::to_string(i % 2)))
+            .ok());
+  }
+  Table restored({"project"});
+  ASSERT_TRUE(restored.load(table.serialize()).ok());
+  EXPECT_EQ(restored.size(), 10u);
+  EXPECT_EQ(restored.query("project", "p1").size(), 5u);
+}
+
+TEST(TableTest, ScanVisitsEverything) {
+  Table table;
+  for (int i = 0; i < 5; i++) {
+    ASSERT_TRUE(table.put(sample("r" + std::to_string(i), "x")).ok());
+  }
+  int visited = 0;
+  table.scan([&](const Record&) { visited++; });
+  EXPECT_EQ(visited, 5);
+}
+
+class DbServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/db_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter_++);
+    std::filesystem::create_directories(dir_);
+    Server::Options options;
+    options.snapshot_dir = dir_;
+    server_ = std::make_unique<Server>(options);
+    ASSERT_TRUE(server_->start().ok());
+  }
+  void TearDown() override {
+    if (server_) server_->stop();
+    std::filesystem::remove_all(dir_);
+  }
+
+  Client connect() {
+    auto client = Client::connect(server_->endpoint());
+    EXPECT_TRUE(client.ok());
+    return std::move(client).value();
+  }
+
+  std::string dir_;
+  std::unique_ptr<Server> server_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(DbServerTest, EndToEndCrud) {
+  Client client = connect();
+  ASSERT_TRUE(client.mktable("files", {"project"}).ok());
+  ASSERT_TRUE(client.put("files", sample("run1", "babar")).ok());
+  ASSERT_TRUE(client.put("files", sample("run2", "babar")).ok());
+  ASSERT_TRUE(client.put("files", sample("run3", "protomol")).ok());
+
+  auto got = client.get("files", "run2");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().at("project"), "babar");
+
+  auto babar = client.query("files", "project", "babar");
+  ASSERT_TRUE(babar.ok());
+  EXPECT_EQ(babar.value().size(), 2u);
+
+  EXPECT_EQ(client.count("files").value(), 3u);
+
+  ASSERT_TRUE(client.del("files", "run1").ok());
+  EXPECT_EQ(client.count("files").value(), 2u);
+
+  auto all = client.scan("files");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 2u);
+}
+
+TEST_F(DbServerTest, MissingTableAndRecordErrors) {
+  Client client = connect();
+  EXPECT_EQ(client.put("ghost", sample("a", "x")).code(), ENOENT);
+  ASSERT_TRUE(client.mktable("t", {}).ok());
+  EXPECT_EQ(client.get("t", "nothing").code(), ENOENT);
+}
+
+TEST_F(DbServerTest, SnapshotSurvivesRestart) {
+  {
+    Client client = connect();
+    ASSERT_TRUE(client.mktable("files", {"project"}).ok());
+    ASSERT_TRUE(client.put("files", sample("keep", "babar")).ok());
+    ASSERT_TRUE(client.sync().ok());
+  }
+  server_->stop();
+
+  Server::Options options;
+  options.snapshot_dir = dir_;
+  server_ = std::make_unique<Server>(options);
+  ASSERT_TRUE(server_->start().ok());
+
+  Client client = connect();
+  auto got = client.get("files", "keep");
+  ASSERT_TRUE(got.ok()) << got.error().to_string();
+  EXPECT_EQ(got.value().at("project"), "babar");
+  // Indexes were rebuilt from the snapshot header.
+  auto matches = client.query("files", "project", "babar");
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches.value().size(), 1u);
+}
+
+TEST_F(DbServerTest, ConcurrentClients) {
+  Client a = connect();
+  Client b = connect();
+  ASSERT_TRUE(a.mktable("t", {}).ok());
+  for (int i = 0; i < 20; i++) {
+    Client& writer = i % 2 ? a : b;
+    ASSERT_TRUE(
+        writer.put("t", sample("r" + std::to_string(i), "p")).ok());
+  }
+  EXPECT_EQ(a.count("t").value(), 20u);
+  EXPECT_EQ(b.count("t").value(), 20u);
+}
+
+}  // namespace
+}  // namespace tss::db

@@ -1,0 +1,390 @@
+// DistFs tests: DPFS (local metadata) and DSFS (metadata on a Chirp server),
+// the §5 crash-ordering protocol, and failure coherence.
+#include "fs/dist.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "auth/hostname.h"
+#include "chirp/posix_backend.h"
+#include "chirp/server.h"
+#include "fs/cfs.h"
+#include "fs/local.h"
+#include "fs/stub.h"
+
+namespace tss::fs {
+namespace {
+
+TEST(Stub, SerializeParseRoundTrip) {
+  Stub stub{"host5", "/mydpfs/file596"};
+  auto parsed = Stub::parse(stub.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().server, "host5");
+  EXPECT_EQ(parsed.value().data_path, "/mydpfs/file596");
+}
+
+TEST(Stub, RejectsNonStubContent) {
+  EXPECT_FALSE(Stub::parse("just some file contents").ok());
+  EXPECT_FALSE(Stub::parse("").ok());
+  EXPECT_FALSE(Stub::parse("tssstub v1\nserver x\n").ok());  // missing path
+}
+
+TEST(Stub, NamesWithSpacesSurvive) {
+  Stub stub{"data server 1", "/vol/file with space"};
+  auto parsed = Stub::parse(stub.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().server, "data server 1");
+  EXPECT_EQ(parsed.value().data_path, "/vol/file with space");
+}
+
+// --- DPFS: metadata in a local directory, data on N LocalFs "servers" -----
+
+class DpfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "/dpfs_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(base_ + "/meta");
+    meta_ = std::make_unique<LocalFs>(base_ + "/meta");
+    for (int i = 0; i < 3; i++) {
+      std::string dir = base_ + "/server" + std::to_string(i);
+      std::filesystem::create_directories(dir);
+      data_.push_back(std::make_unique<LocalFs>(dir));
+      servers_["host" + std::to_string(i)] = data_.back().get();
+    }
+    DistFs::Options options;
+    options.volume = "/mydpfs";
+    options.name_seed = 42;
+    options.client_id = "testclient";
+    fs_ = std::make_unique<DistFs>(meta_.get(), servers_, options);
+    ASSERT_TRUE(fs_->format().ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  std::string base_;
+  std::unique_ptr<LocalFs> meta_;
+  std::vector<std::unique_ptr<LocalFs>> data_;
+  std::map<std::string, FileSystem*> servers_;
+  std::unique_ptr<DistFs> fs_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(DpfsTest, FormatCreatesVolumeDirectories) {
+  for (auto& server : data_) {
+    auto info = server->stat("/mydpfs");
+    ASSERT_TRUE(info.ok());
+    EXPECT_TRUE(info.value().is_dir);
+  }
+}
+
+TEST_F(DpfsTest, WriteReadThroughStub) {
+  ASSERT_TRUE(fs_->write_file("/paper.txt", "the content").ok());
+  EXPECT_EQ(fs_->read_file("/paper.txt").value(), "the content");
+
+  // The metadata entry is a stub pointing at one of the servers.
+  auto stub = fs_->locate("/paper.txt");
+  ASSERT_TRUE(stub.ok());
+  EXPECT_TRUE(servers_.count(stub.value().server));
+  FileSystem* server = servers_[stub.value().server];
+  EXPECT_EQ(server->read_file(stub.value().data_path).value(), "the content");
+}
+
+TEST_F(DpfsTest, StatReportsDataFileSizeNotStubSize) {
+  std::string data(5000, 'd');
+  ASSERT_TRUE(fs_->write_file("/big", data).ok());
+  auto info = fs_->stat("/big");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().size, data.size());
+}
+
+TEST_F(DpfsTest, FilesSpreadAcrossServers) {
+  for (int i = 0; i < 30; i++) {
+    ASSERT_TRUE(
+        fs_->write_file("/f" + std::to_string(i), "x").ok());
+  }
+  std::set<std::string> used;
+  for (int i = 0; i < 30; i++) {
+    used.insert(fs_->locate("/f" + std::to_string(i)).value().server);
+  }
+  // With 30 files on 3 servers, all servers should hold data.
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST_F(DpfsTest, NameOnlyOperationsDontTouchDataServers) {
+  ASSERT_TRUE(fs_->write_file("/doc", "contents").ok());
+  Stub before = fs_->locate("/doc").value();
+
+  ASSERT_TRUE(fs_->mkdir("/figures").ok());
+  ASSERT_TRUE(fs_->rename("/doc", "/figures/doc").ok());
+
+  // The data file did not move.
+  Stub after = fs_->locate("/figures/doc").value();
+  EXPECT_EQ(before.server, after.server);
+  EXPECT_EQ(before.data_path, after.data_path);
+  EXPECT_EQ(fs_->read_file("/figures/doc").value(), "contents");
+}
+
+TEST_F(DpfsTest, UnlinkRemovesDataThenStub) {
+  ASSERT_TRUE(fs_->write_file("/dead", "x").ok());
+  Stub stub = fs_->locate("/dead").value();
+  ASSERT_TRUE(fs_->unlink("/dead").ok());
+  EXPECT_EQ(fs_->stat("/dead").code(), ENOENT);
+  EXPECT_EQ(servers_[stub.server]->stat(stub.data_path).code(), ENOENT);
+}
+
+TEST_F(DpfsTest, ExclusiveCreateCollisionAborts) {
+  ASSERT_TRUE(fs_->write_file("/exists", "1").ok());
+  auto second =
+      fs_->open("/exists", OpenFlags::parse("wcx").value(), 0644);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, EEXIST);
+}
+
+TEST_F(DpfsTest, NonExclusiveCreateOpensExisting) {
+  ASSERT_TRUE(fs_->write_file("/shared", "original").ok());
+  Stub before = fs_->locate("/shared").value();
+  auto file = fs_->open("/shared", OpenFlags::parse("rwc").value(), 0644);
+  ASSERT_TRUE(file.ok());
+  // Same data file — no new stub was created.
+  Stub after = fs_->locate("/shared").value();
+  EXPECT_EQ(before.data_path, after.data_path);
+}
+
+TEST_F(DpfsTest, CrashAfterStubCreateLeavesDanglingStubNotGarbage) {
+  // Inject a crash between step 2 (stub created) and step 3 (data file
+  // created). Invariant from §5: a stub with no data file is acceptable
+  // (opens yield ENOENT); a data file with no stub is not.
+  fs_->set_fault_hook([](const std::string& point) -> Result<void> {
+    if (point == "stub-created") return Error(EIO, "injected crash");
+    return Result<void>::success();
+  });
+  auto file = fs_->open("/crashed", OpenFlags::parse("wc").value(), 0644);
+  ASSERT_FALSE(file.ok());
+  fs_->set_fault_hook(nullptr);
+
+  // The stub exists (dangling)...
+  EXPECT_TRUE(meta_->stat("/crashed").ok());
+  // ...and opening it reports "file not found", per the paper.
+  auto open_attempt = fs_->open("/crashed", OpenFlags::parse("r").value(), 0);
+  ASSERT_FALSE(open_attempt.ok());
+  EXPECT_EQ(open_attempt.error().code, ENOENT);
+  // No orphan data file exists on any server.
+  for (auto& server : data_) {
+    auto entries = server->readdir("/mydpfs");
+    ASSERT_TRUE(entries.ok());
+    EXPECT_TRUE(entries.value().empty());
+  }
+  // A dangling stub "is easily deleted by a user".
+  EXPECT_TRUE(fs_->unlink("/crashed").ok());
+  EXPECT_EQ(meta_->stat("/crashed").code(), ENOENT);
+}
+
+TEST_F(DpfsTest, CrashDuringUnlinkAlsoLeavesOnlyDanglingStub) {
+  ASSERT_TRUE(fs_->write_file("/halfdead", "x").ok());
+  Stub stub = fs_->locate("/halfdead").value();
+  fs_->set_fault_hook([](const std::string& point) -> Result<void> {
+    if (point == "data-deleted") return Error(EIO, "injected crash");
+    return Result<void>::success();
+  });
+  EXPECT_FALSE(fs_->unlink("/halfdead").ok());
+  fs_->set_fault_hook(nullptr);
+
+  // Data gone, stub remains: same dangling-stub invariant.
+  EXPECT_EQ(servers_[stub.server]->stat(stub.data_path).code(), ENOENT);
+  EXPECT_TRUE(meta_->stat("/halfdead").ok());
+  // Retry completes the deletion.
+  EXPECT_TRUE(fs_->unlink("/halfdead").ok());
+}
+
+TEST_F(DpfsTest, FailureCoherenceUnknownServerOnlyAffectsItsFiles) {
+  // Write files until at least one lands on host1 and one elsewhere.
+  ASSERT_TRUE(fs_->write_file("/a", "A").ok());
+  ASSERT_TRUE(fs_->write_file("/b", "B").ok());
+  ASSERT_TRUE(fs_->write_file("/c", "C").ok());
+  ASSERT_TRUE(fs_->write_file("/d", "D").ok());
+
+  // Simulate losing host1: remount without it.
+  std::map<std::string, FileSystem*> degraded = servers_;
+  degraded.erase("host1");
+  DistFs::Options options;
+  options.volume = "/mydpfs";
+  options.name_seed = 43;
+  DistFs partial(meta_.get(), degraded, options);
+
+  int readable = 0, unreachable = 0;
+  for (const char* name : {"/a", "/b", "/c", "/d"}) {
+    auto data = partial.read_file(name);
+    if (data.ok()) {
+      readable++;
+    } else {
+      EXPECT_EQ(data.error().code, EHOSTUNREACH);
+      unreachable++;
+    }
+  }
+  // The directory structure is fully navigable regardless.
+  auto entries = partial.readdir("/");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 4u);
+  // Our seed spreads files over all three servers, so both cases occur.
+  EXPECT_GT(readable, 0);
+  EXPECT_GT(unreachable, 0);
+}
+
+// --- DSFS: the same class with its metadata on a Chirp server --------------
+
+class DsfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "/dsfs_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    // One Chirp server doubles as directory server; two more hold data.
+    // ("A single file server might be dedicated for use as a DSFS directory,
+    // or it might serve double duty as both directory and file server.")
+    for (int i = 0; i < 3; i++) {
+      std::string dir = base_ + "/export" + std::to_string(i);
+      std::filesystem::create_directories(dir);
+      chirp::ServerOptions options;
+      options.owner = "unix:testowner";
+      options.root_acl =
+          acl::Acl::parse("hostname:localhost rwldav(rwlda)\n").value();
+      auto auth = std::make_unique<auth::ServerAuth>();
+      auth->add(std::make_unique<auth::HostnameServerMethod>());
+      servers_.push_back(std::make_unique<chirp::Server>(
+          options, std::make_unique<chirp::PosixBackend>(dir),
+          std::move(auth)));
+      ASSERT_TRUE(servers_.back()->start().ok());
+
+      auto credential = std::make_shared<auth::HostnameClientCredential>();
+      CfsFs::Options cfs_options;
+      cfs_options.retry.base_delay = 5 * kMillisecond;
+      mounts_.push_back(std::make_unique<CfsFs>(
+          chirp_connector(servers_.back()->endpoint(), {credential}),
+          cfs_options));
+    }
+    server_map_["dir"] = mounts_[0].get();  // double duty
+    server_map_["data1"] = mounts_[1].get();
+    server_map_["data2"] = mounts_[2].get();
+
+    DistFs::Options options;
+    options.volume = "/dsfs-volume";
+    options.name_seed = 7;
+    // Metadata lives on a *file server*, making this a DSFS.
+    fs_ = std::make_unique<DistFs>(mounts_[0].get(), server_map_, options);
+    ASSERT_TRUE(fs_->format().ok());
+  }
+
+  void TearDown() override {
+    for (auto& server : servers_) server->stop();
+    std::filesystem::remove_all(base_);
+  }
+
+  std::string base_;
+  std::vector<std::unique_ptr<chirp::Server>> servers_;
+  std::vector<std::unique_ptr<CfsFs>> mounts_;
+  std::map<std::string, FileSystem*> server_map_;
+  std::unique_ptr<DistFs> fs_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(DsfsTest, EndToEndReadWrite) {
+  ASSERT_TRUE(fs_->mkdir("/results").ok());
+  std::string data(100000, 'r');
+  ASSERT_TRUE(fs_->write_file("/results/run1.dat", data).ok());
+  EXPECT_EQ(fs_->read_file("/results/run1.dat").value(), data);
+  auto info = fs_->stat("/results/run1.dat");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().size, data.size());
+}
+
+TEST_F(DsfsTest, MultipleClientsShareTheFilesystem) {
+  // A second, independent client stack sees the first client's files —
+  // the property that distinguishes DSFS from DPFS (§5).
+  ASSERT_TRUE(fs_->write_file("/shared.txt", "from client A").ok());
+
+  std::vector<std::unique_ptr<CfsFs>> mounts2;
+  std::map<std::string, FileSystem*> map2;
+  const char* names[] = {"dir", "data1", "data2"};
+  for (int i = 0; i < 3; i++) {
+    auto credential = std::make_shared<auth::HostnameClientCredential>();
+    mounts2.push_back(std::make_unique<CfsFs>(
+        chirp_connector(servers_[i]->endpoint(), {credential})));
+    map2[names[i]] = mounts2.back().get();
+  }
+  DistFs::Options options;
+  options.volume = "/dsfs-volume";
+  options.name_seed = 8;
+  DistFs client_b(mounts2[0].get(), map2, options);
+
+  EXPECT_EQ(client_b.read_file("/shared.txt").value(), "from client A");
+  ASSERT_TRUE(client_b.write_file("/reply.txt", "from client B").ok());
+  EXPECT_EQ(fs_->read_file("/reply.txt").value(), "from client B");
+}
+
+TEST_F(DsfsTest, ConcurrentExclusiveCreateOneWinner) {
+  // Two clients race to create the same file with O_EXCL; the Chirp
+  // exclusive open arbitrates ("in the event of a name collision between
+  // two processes, file creation can be aborted", §5).
+  std::vector<std::unique_ptr<CfsFs>> mounts2;
+  std::map<std::string, FileSystem*> map2;
+  const char* names[] = {"dir", "data1", "data2"};
+  for (int i = 0; i < 3; i++) {
+    auto credential = std::make_shared<auth::HostnameClientCredential>();
+    mounts2.push_back(std::make_unique<CfsFs>(
+        chirp_connector(servers_[i]->endpoint(), {credential})));
+    map2[names[i]] = mounts2.back().get();
+  }
+  DistFs::Options options;
+  options.volume = "/dsfs-volume";
+  options.name_seed = 9;
+  DistFs client_b(mounts2[0].get(), map2, options);
+
+  auto a = fs_->open("/race", OpenFlags::parse("wcx").value(), 0644);
+  auto b = client_b.open("/race", OpenFlags::parse("wcx").value(), 0644);
+  EXPECT_NE(a.ok(), b.ok());  // exactly one winner
+  if (!a.ok()) {
+    EXPECT_EQ(a.error().code, EEXIST);
+  }
+  if (!b.ok()) {
+    EXPECT_EQ(b.error().code, EEXIST);
+  }
+}
+
+TEST_F(DsfsTest, LosingADataServerKeepsTreeNavigable) {
+  ASSERT_TRUE(fs_->mkdir("/dir1").ok());
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(
+        fs_->write_file("/dir1/f" + std::to_string(i), "data").ok());
+  }
+  // Find a file on data1, then kill data1 (server index 1).
+  std::string on_data1;
+  for (int i = 0; i < 8; i++) {
+    std::string name = "/dir1/f" + std::to_string(i);
+    if (fs_->locate(name).value().server == "data1") {
+      on_data1 = name;
+      break;
+    }
+  }
+  ASSERT_FALSE(on_data1.empty());
+  servers_[1]->stop();
+
+  // Directory listing still works (metadata is on server 0).
+  auto entries = fs_->readdir("/dir1");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 8u);
+
+  // Files on the dead server fail; others still read fine.
+  // (CfsFs retries exhaust quickly with the short test backoff.)
+  auto dead = fs_->read_file(on_data1);
+  EXPECT_FALSE(dead.ok());
+  for (int i = 0; i < 8; i++) {
+    std::string name = "/dir1/f" + std::to_string(i);
+    if (fs_->locate(name).value().server != "data1") {
+      EXPECT_TRUE(fs_->read_file(name).ok()) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tss::fs

@@ -1,0 +1,108 @@
+#include "fs/local.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+namespace tss::fs {
+namespace {
+
+class LocalFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/localfs_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(root_);
+    fs_ = std::make_unique<LocalFs>(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string root_;
+  std::unique_ptr<LocalFs> fs_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(LocalFsTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(fs_->write_file("/a.txt", "hello").ok());
+  auto data = fs_->read_file("/a.txt");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "hello");
+}
+
+TEST_F(LocalFsTest, OpenPreadPwriteAtOffsets) {
+  auto file = fs_->open("/f", OpenFlags::parse("rwc").value(), 0644);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->pwrite("abcdef", 6, 0).ok());
+  ASSERT_TRUE(file.value()->pwrite("XY", 2, 2).ok());
+  char buf[6];
+  auto n = file.value()->pread(buf, 6, 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, 6), "abXYef");
+}
+
+TEST_F(LocalFsTest, FstatTracksGrowth) {
+  auto file = fs_->open("/g", OpenFlags::parse("wc").value(), 0644);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file.value()->fstat().value().size, 0u);
+  ASSERT_TRUE(file.value()->pwrite("123456", 6, 0).ok());
+  EXPECT_EQ(file.value()->fstat().value().size, 6u);
+}
+
+TEST_F(LocalFsTest, MkdirRecursiveCreatesChain) {
+  ASSERT_TRUE(mkdir_recursive(*fs_, "/a/b/c/d").ok());
+  auto info = fs_->stat("/a/b/c/d");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info.value().is_dir);
+  // Idempotent.
+  EXPECT_TRUE(mkdir_recursive(*fs_, "/a/b/c/d").ok());
+}
+
+TEST_F(LocalFsTest, RenameAndUnlink) {
+  ASSERT_TRUE(fs_->write_file("/x", "1").ok());
+  ASSERT_TRUE(fs_->rename("/x", "/y").ok());
+  EXPECT_EQ(fs_->stat("/x").code(), ENOENT);
+  ASSERT_TRUE(fs_->unlink("/y").ok());
+  EXPECT_EQ(fs_->stat("/y").code(), ENOENT);
+}
+
+TEST_F(LocalFsTest, ReaddirListsEntries) {
+  ASSERT_TRUE(fs_->write_file("/one", "1").ok());
+  ASSERT_TRUE(fs_->mkdir("/two").ok());
+  auto entries = fs_->readdir("/");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 2u);
+}
+
+TEST_F(LocalFsTest, CopyFileBetweenFilesystems) {
+  std::string other_root = root_ + "_other";
+  std::filesystem::create_directories(other_root);
+  LocalFs other(other_root);
+
+  std::string payload(300000, 'p');
+  for (size_t i = 0; i < payload.size(); i += 11) {
+    payload[i] = static_cast<char>(i);
+  }
+  ASSERT_TRUE(fs_->write_file("/src", payload).ok());
+  auto copied = copy_file(*fs_, "/src", other, "/dst", /*chunk_size=*/4096);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_EQ(copied.value(), payload.size());
+  EXPECT_EQ(other.read_file("/dst").value(), payload);
+  std::filesystem::remove_all(other_root);
+}
+
+TEST_F(LocalFsTest, CloseIsIdempotent) {
+  auto file = fs_->open("/c", OpenFlags::parse("wc").value(), 0644);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(file.value()->close().ok());
+  EXPECT_TRUE(file.value()->close().ok());
+  EXPECT_EQ(file.value()->pread(nullptr, 0, 0).code(), EBADF);
+}
+
+TEST_F(LocalFsTest, PathsAreSanitized) {
+  ASSERT_TRUE(fs_->write_file("/../../escape", "x").ok());
+  EXPECT_TRUE(std::filesystem::exists(root_ + "/escape"));
+}
+
+}  // namespace
+}  // namespace tss::fs

@@ -1,0 +1,148 @@
+// VersionedFs tests: snapshot-on-modify, history, restore, and the
+// distributed-backup composition (versions over a replicated store).
+#include "fs/versioned.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "fs/local.h"
+#include "fs/replicated.h"
+
+namespace tss::fs {
+namespace {
+
+class VersionedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/versioned_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(root_);
+    base_ = std::make_unique<LocalFs>(root_);
+    fs_ = std::make_unique<VersionedFs>(base_.get());
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string root_;
+  std::unique_ptr<LocalFs> base_;
+  std::unique_ptr<VersionedFs> fs_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(VersionedTest, FirstWriteHasNoHistory) {
+  ASSERT_TRUE(fs_->write_file("/a.txt", "v1").ok());
+  auto history = fs_->versions("/a.txt");
+  ASSERT_TRUE(history.ok());
+  EXPECT_TRUE(history.value().empty());
+}
+
+TEST_F(VersionedTest, EachOverwriteSnapshotsThePrevious) {
+  ASSERT_TRUE(fs_->write_file("/a.txt", "version one").ok());
+  ASSERT_TRUE(fs_->write_file("/a.txt", "version two").ok());
+  ASSERT_TRUE(fs_->write_file("/a.txt", "version three").ok());
+
+  EXPECT_EQ(fs_->read_file("/a.txt").value(), "version three");
+  auto history = fs_->versions("/a.txt");
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history.value().size(), 2u);
+  EXPECT_EQ(fs_->read_version("/a.txt", 1).value(), "version one");
+  EXPECT_EQ(fs_->read_version("/a.txt", 2).value(), "version two");
+}
+
+TEST_F(VersionedTest, UnlinkPreservesForensicCopy) {
+  ASSERT_TRUE(fs_->write_file("/evidence.log", "the facts").ok());
+  ASSERT_TRUE(fs_->unlink("/evidence.log").ok());
+  EXPECT_EQ(fs_->stat("/evidence.log").code(), ENOENT);
+  // "forensic analysis of data over time" (§10).
+  EXPECT_EQ(fs_->read_version("/evidence.log", 1).value(), "the facts");
+}
+
+TEST_F(VersionedTest, RestoreBringsBackOldContentAndIsUndoable) {
+  ASSERT_TRUE(fs_->write_file("/doc", "draft").ok());
+  ASSERT_TRUE(fs_->write_file("/doc", "final").ok());
+  ASSERT_TRUE(fs_->restore("/doc", 1).ok());
+  EXPECT_EQ(fs_->read_file("/doc").value(), "draft");
+  // The restore snapshotted "final" first, so it is recoverable too.
+  auto history = fs_->versions("/doc").value();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(fs_->read_version("/doc", 2).value(), "final");
+}
+
+TEST_F(VersionedTest, TruncateSnapshotsFirst) {
+  ASSERT_TRUE(fs_->write_file("/t", "0123456789").ok());
+  ASSERT_TRUE(fs_->truncate("/t", 2).ok());
+  EXPECT_EQ(fs_->read_file("/t").value(), "01");
+  EXPECT_EQ(fs_->read_version("/t", 1).value(), "0123456789");
+}
+
+TEST_F(VersionedTest, RenameOverSnapshotsTheVictim) {
+  ASSERT_TRUE(fs_->write_file("/old", "old content").ok());
+  ASSERT_TRUE(fs_->write_file("/target", "will be crushed").ok());
+  ASSERT_TRUE(fs_->rename("/old", "/target").ok());
+  EXPECT_EQ(fs_->read_file("/target").value(), "old content");
+  EXPECT_EQ(fs_->read_version("/target", 1).value(), "will be crushed");
+  // The source's history survives under its old name.
+  EXPECT_EQ(fs_->read_version("/old", 1).value(), "old content");
+}
+
+TEST_F(VersionedTest, VersionTreeHiddenAndProtected) {
+  ASSERT_TRUE(fs_->write_file("/x", "1").ok());
+  ASSERT_TRUE(fs_->write_file("/x", "2").ok());
+  auto entries = fs_->readdir("/");
+  ASSERT_TRUE(entries.ok());
+  for (const auto& e : entries.value()) {
+    EXPECT_NE(e.name, ".versions");
+  }
+  EXPECT_EQ(fs_->unlink("/.versions/%2Fx/1").code(), EACCES);
+  EXPECT_EQ(
+      fs_->open("/.versions/%2Fx/1", OpenFlags::parse("w").value(), 0644)
+          .code(),
+      EACCES);
+}
+
+TEST_F(VersionedTest, PurgeReclaimsHistory) {
+  ASSERT_TRUE(fs_->write_file("/p", "1").ok());
+  ASSERT_TRUE(fs_->write_file("/p", "2").ok());
+  ASSERT_TRUE(fs_->write_file("/p", "3").ok());
+  ASSERT_EQ(fs_->versions("/p").value().size(), 2u);
+  ASSERT_TRUE(fs_->purge_versions("/p").ok());
+  EXPECT_TRUE(fs_->versions("/p").value().empty());
+  EXPECT_EQ(fs_->read_file("/p").value(), "3");  // current content untouched
+}
+
+TEST_F(VersionedTest, OpenForReadDoesNotSnapshot) {
+  ASSERT_TRUE(fs_->write_file("/r", "stable").ok());
+  auto file = fs_->open("/r", OpenFlags::parse("r").value(), 0);
+  ASSERT_TRUE(file.ok());
+  char buf[6];
+  ASSERT_TRUE(file.value()->pread(buf, 6, 0).ok());
+  EXPECT_TRUE(fs_->versions("/r").value().empty());
+}
+
+TEST_F(VersionedTest, DistributedBackupComposition) {
+  // §10's backup sketch: version history stored on a *replicated* backing
+  // store — losing one replica loses no history. Recursive abstractions
+  // composing three deep: VersionedFs(ReplicatedFs(LocalFs x2)).
+  std::string a = root_ + "-repl-a";
+  std::string b = root_ + "-repl-b";
+  std::filesystem::create_directories(a);
+  std::filesystem::create_directories(b);
+  LocalFs replica_a(a), replica_b(b);
+  ReplicatedFs mirrored({&replica_a, &replica_b});
+  VersionedFs backup(&mirrored);
+
+  ASSERT_TRUE(backup.write_file("/thesis.tex", "chapter 1").ok());
+  ASSERT_TRUE(backup.write_file("/thesis.tex", "chapter 1 and 2").ok());
+  // Destroy replica A entirely.
+  std::filesystem::remove_all(a);
+  std::filesystem::create_directories(a);
+  // History and current content still fully available via replica B.
+  EXPECT_EQ(backup.read_file("/thesis.tex").value(), "chapter 1 and 2");
+  EXPECT_EQ(backup.read_version("/thesis.tex", 1).value(), "chapter 1");
+  std::filesystem::remove_all(a);
+  std::filesystem::remove_all(b);
+}
+
+}  // namespace
+}  // namespace tss::fs

@@ -1,0 +1,135 @@
+#include "net/line_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tss::net {
+namespace {
+
+// Builds a connected socket pair over loopback.
+struct Pair {
+  TcpSocket a, b;
+};
+
+Pair make_pair() {
+  auto listener = TcpListener::listen("127.0.0.1", 0);
+  EXPECT_TRUE(listener.ok());
+  Endpoint ep{"127.0.0.1", listener.value().port()};
+  auto client = TcpSocket::connect(ep, 5 * kSecond);
+  EXPECT_TRUE(client.ok());
+  auto server = listener.value().accept(5 * kSecond);
+  EXPECT_TRUE(server.ok());
+  return Pair{std::move(client).value(), std::move(server).value()};
+}
+
+TEST(LineStream, LineRoundTrip) {
+  Pair p = make_pair();
+  LineStream a(std::move(p.a)), b(std::move(p.b));
+  ASSERT_TRUE(a.send_line("open /x rw 0644").ok());
+  auto line = b.read_line();
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line.value(), "open /x rw 0644");
+}
+
+TEST(LineStream, MultipleLinesInOneSegment) {
+  Pair p = make_pair();
+  LineStream a(std::move(p.a)), b(std::move(p.b));
+  a.write_line("one");
+  a.write_line("two");
+  a.write_line("three");
+  ASSERT_TRUE(a.flush().ok());
+  EXPECT_EQ(b.read_line().value(), "one");
+  EXPECT_EQ(b.read_line().value(), "two");
+  EXPECT_EQ(b.read_line().value(), "three");
+}
+
+TEST(LineStream, LineThenBlobInOneFlush) {
+  Pair p = make_pair();
+  LineStream a(std::move(p.a)), b(std::move(p.b));
+  std::string payload(100000, 'z');
+  a.write_line("pwrite 3 100000 0");
+  a.write_blob(payload.data(), payload.size());
+  ASSERT_TRUE(a.flush().ok());
+
+  EXPECT_EQ(b.read_line().value(), "pwrite 3 100000 0");
+  std::string got(payload.size(), '\0');
+  ASSERT_TRUE(b.read_blob(got.data(), got.size()).ok());
+  EXPECT_EQ(got, payload);
+}
+
+TEST(LineStream, BlobThenLine) {
+  Pair p = make_pair();
+  LineStream a(std::move(p.a)), b(std::move(p.b));
+  a.write_line("ok 4");
+  a.write_blob("data", 4);
+  a.write_line("next");
+  ASSERT_TRUE(a.flush().ok());
+
+  EXPECT_EQ(b.read_line().value(), "ok 4");
+  char buf[4];
+  ASSERT_TRUE(b.read_blob(buf, 4).ok());
+  EXPECT_EQ(std::string(buf, 4), "data");
+  EXPECT_EQ(b.read_line().value(), "next");
+}
+
+TEST(LineStream, StripsCarriageReturn) {
+  Pair p = make_pair();
+  LineStream a(std::move(p.a)), b(std::move(p.b));
+  a.write_blob("hello\r\n", 7);
+  ASSERT_TRUE(a.flush().ok());
+  EXPECT_EQ(b.read_line().value(), "hello");
+}
+
+TEST(LineStream, RejectsOversizedLine) {
+  Pair p = make_pair();
+  LineStream a(std::move(p.a)), b(std::move(p.b));
+  std::string big(5000, 'x');
+  a.write_line(big);
+  ASSERT_TRUE(a.flush().ok());
+  auto line = b.read_line(/*max_len=*/1024);
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.error().code, EMSGSIZE);
+}
+
+TEST(LineStream, CleanEofReportsEpipe) {
+  Pair p = make_pair();
+  LineStream b(std::move(p.b));
+  p.a.close();
+  auto line = b.read_line();
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.error().code, EPIPE);
+}
+
+TEST(LineStream, EofMidLineReportsReset) {
+  Pair p = make_pair();
+  LineStream b(std::move(p.b));
+  ASSERT_TRUE(p.a.write_all("partial-line-without-newline", 28, kSecond).ok());
+  p.a.close();
+  auto line = b.read_line();
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.error().code, ECONNRESET);
+}
+
+TEST(LineStream, LargeBlobAcrossBufferBoundaries) {
+  Pair p = make_pair();
+  LineStream a(std::move(p.a)), b(std::move(p.b));
+  std::string payload;
+  payload.reserve(1 << 20);
+  for (int i = 0; i < (1 << 20); i++) {
+    payload.push_back(static_cast<char>(i * 31));
+  }
+  std::thread writer([&] {
+    a.write_line("blob");
+    a.write_blob(payload.data(), payload.size());
+    ASSERT_TRUE(a.flush().ok());
+  });
+  EXPECT_EQ(b.read_line().value(), "blob");
+  std::string got(payload.size(), '\0');
+  ASSERT_TRUE(b.read_blob(got.data(), got.size()).ok());
+  writer.join();
+  EXPECT_EQ(got, payload);
+}
+
+}  // namespace
+}  // namespace tss::net

@@ -1,0 +1,114 @@
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tss::net {
+namespace {
+
+TEST(Endpoint, ParseAndFormat) {
+  auto ep = Endpoint::parse("127.0.0.1:9094");
+  ASSERT_TRUE(ep.ok());
+  EXPECT_EQ(ep.value().host, "127.0.0.1");
+  EXPECT_EQ(ep.value().port, 9094);
+  EXPECT_EQ(ep.value().to_string(), "127.0.0.1:9094");
+}
+
+TEST(Endpoint, RejectsMalformed) {
+  EXPECT_FALSE(Endpoint::parse("nohost").ok());
+  EXPECT_FALSE(Endpoint::parse(":99").ok());
+  EXPECT_FALSE(Endpoint::parse("host:").ok());
+  EXPECT_FALSE(Endpoint::parse("host:99999").ok());
+  EXPECT_FALSE(Endpoint::parse("host:abc").ok());
+}
+
+TEST(TcpListener, EphemeralPortAssigned) {
+  auto listener = TcpListener::listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  EXPECT_GT(listener.value().port(), 0);
+}
+
+TEST(TcpSocket, ConnectRefusedGivesError) {
+  // Bind a listener, close it, then connect to the now-dead port.
+  auto listener = TcpListener::listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  uint16_t port = listener.value().port();
+  listener.value().close();
+  auto sock = TcpSocket::connect(Endpoint{"127.0.0.1", port}, kSecond);
+  EXPECT_FALSE(sock.ok());
+}
+
+TEST(TcpSocket, RoundTripBytes) {
+  auto listener = TcpListener::listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  Endpoint ep{"127.0.0.1", listener.value().port()};
+
+  std::thread server([&] {
+    auto conn = listener.value().accept(5 * kSecond);
+    ASSERT_TRUE(conn.ok());
+    char buf[5];
+    ASSERT_TRUE(conn.value().read_exact(buf, 5, 5 * kSecond).ok());
+    ASSERT_TRUE(conn.value().write_all(buf, 5, 5 * kSecond).ok());
+  });
+
+  auto sock = TcpSocket::connect(ep, 5 * kSecond);
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(sock.value().write_all("hello", 5, 5 * kSecond).ok());
+  char echo[5];
+  ASSERT_TRUE(sock.value().read_exact(echo, 5, 5 * kSecond).ok());
+  EXPECT_EQ(std::string(echo, 5), "hello");
+  server.join();
+}
+
+TEST(TcpSocket, ReadSomeSeesEofAsZero) {
+  auto listener = TcpListener::listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  Endpoint ep{"127.0.0.1", listener.value().port()};
+
+  std::thread server([&] {
+    auto conn = listener.value().accept(5 * kSecond);
+    ASSERT_TRUE(conn.ok());
+    // Close immediately.
+  });
+
+  auto sock = TcpSocket::connect(ep, 5 * kSecond);
+  ASSERT_TRUE(sock.ok());
+  server.join();
+  char buf[8];
+  auto n = sock.value().read_some(buf, sizeof buf, 5 * kSecond);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+}
+
+TEST(TcpSocket, PeerAndLocalAddresses) {
+  auto listener = TcpListener::listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  Endpoint ep{"127.0.0.1", listener.value().port()};
+
+  std::thread server([&] {
+    auto conn = listener.value().accept(5 * kSecond);
+    ASSERT_TRUE(conn.ok());
+    auto peer = conn.value().peer();
+    ASSERT_TRUE(peer.ok());
+    EXPECT_EQ(peer.value().host, "127.0.0.1");
+  });
+
+  auto sock = TcpSocket::connect(ep, 5 * kSecond);
+  ASSERT_TRUE(sock.ok());
+  auto peer = sock.value().peer();
+  ASSERT_TRUE(peer.ok());
+  EXPECT_EQ(peer.value().port, ep.port);
+  server.join();
+}
+
+TEST(TcpListener, AcceptTimesOut) {
+  auto listener = TcpListener::listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  auto conn = listener.value().accept(50 * kMillisecond);
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.error().code, ETIMEDOUT);
+}
+
+}  // namespace
+}  // namespace tss::net

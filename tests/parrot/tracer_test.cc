@@ -1,0 +1,142 @@
+// Tests for the ptrace-based Parrot tracer: pass-through tracing and path
+// redirection of an unmodified binary.
+#include "parrot/tracer.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace tss::parrot {
+namespace {
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!tracer_supported()) GTEST_SKIP() << "tracer unsupported here";
+    dir_ = ::testing::TempDir() + "/parrot_" + std::to_string(::getpid()) +
+           "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  std::string write_file(const std::string& name, const std::string& data) {
+    std::string p = dir_ + "/" + name;
+    std::ofstream out(p);
+    out << data;
+    return p;
+  }
+
+  std::string dir_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(TracerTest, PassThroughPreservesExitCode) {
+  auto stats = trace_run({"/bin/true"});
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_EQ(stats.value().exit_code, 0);
+  EXPECT_GT(stats.value().syscall_count, 0u);
+
+  auto failing = trace_run({"/bin/false"});
+  ASSERT_TRUE(failing.ok());
+  EXPECT_EQ(failing.value().exit_code, 1);
+}
+
+TEST_F(TracerTest, PassThroughPreservesOutputBehaviour) {
+  // The child writes a file through normal syscalls; tracing must not
+  // disturb any of it.
+  std::string out = dir_ + "/out.txt";
+  auto stats = trace_run({"/bin/sh", "-c", "echo traced > " + out});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().exit_code, 0);
+  std::ifstream in(out);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "traced");
+}
+
+TEST_F(TracerTest, CountsSyscallsProportionally) {
+  // A loop issuing N extra syscalls must raise the observed count by ~N.
+  auto small = trace_run(
+      {"/bin/sh", "-c", "i=0; while [ $i -lt 10 ]; do i=$((i+1)); done"});
+  auto large = trace_run(
+      {"/bin/sh", "-c",
+       "i=0; while [ $i -lt 10 ]; do cat /dev/null; i=$((i+1)); done"});
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large.value().syscall_count, small.value().syscall_count);
+}
+
+TEST_F(TracerTest, RedirectsVirtualPathsToFetchedCopies) {
+  // An unmodified /bin/cat reads "/tss/greeting" even though no such path
+  // exists: the tracer rewrites the openat to a locally fetched copy.
+  std::string backing = write_file("backing.txt", "hello from tactical storage\n");
+  std::string out = dir_ + "/cat-out.txt";
+
+  TraceOptions options;
+  options.virtual_prefix = "/tss";
+  std::vector<std::string> fetched;
+  options.fetch = [&](const std::string& virtual_path) -> Result<std::string> {
+    fetched.push_back(virtual_path);
+    if (virtual_path == "/greeting") return backing;
+    return Error(ENOENT, "no such virtual file");
+  };
+
+  auto stats = trace_run(
+      {"/bin/sh", "-c", "cat /tss/greeting > " + out}, options);
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_EQ(stats.value().exit_code, 0);
+  EXPECT_GT(stats.value().rewrites, 0u);
+  ASSERT_FALSE(fetched.empty());
+  EXPECT_EQ(fetched.front(), "/greeting");
+
+  std::ifstream in(out);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "hello from tactical storage");
+}
+
+TEST_F(TracerTest, MissingVirtualFileSurfacesAsEnoent) {
+  TraceOptions options;
+  options.virtual_prefix = "/tss";
+  options.fetch = [](const std::string&) -> Result<std::string> {
+    return Error(ENOENT, "nothing here");
+  };
+  auto stats = trace_run({"/bin/cat", "/tss/ghost"}, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().exit_code, 0);  // cat: No such file or directory
+  EXPECT_GT(stats.value().fetch_failures, 0u);
+}
+
+TEST_F(TracerTest, PathsOutsidePrefixUntouched) {
+  std::string real = write_file("real.txt", "untouched\n");
+  TraceOptions options;
+  options.virtual_prefix = "/tss";
+  bool fetch_called = false;
+  options.fetch = [&](const std::string&) -> Result<std::string> {
+    fetch_called = true;
+    return Error(ENOENT, "x");
+  };
+  auto stats = trace_run({"/bin/cat", real}, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().exit_code, 0);
+  EXPECT_FALSE(fetch_called);
+}
+
+TEST_F(TracerTest, SignalTerminationReported) {
+  auto stats = trace_run({"/bin/sh", "-c", "kill -KILL $$"});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().exit_code, 128 + SIGKILL);
+}
+
+TEST_F(TracerTest, MissingBinaryYieldsExit127) {
+  auto stats = trace_run({"/definitely/not/a/binary"});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().exit_code, 127);
+}
+
+}  // namespace
+}  // namespace tss::parrot

@@ -1,0 +1,214 @@
+// The simulated Chirp service: same protocol and session code as the TCP
+// server, timed against the virtual cluster.
+#include "sim/chirp_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_backend.h"
+
+// gtest ASSERT_* expands to `return;`, which is ill-formed inside a
+// coroutine; CO_REQUIRE records the failure and co_returns instead.
+#define CO_REQUIRE(cond)                 \
+  if (!(cond)) {                         \
+    ADD_FAILURE() << "failed: " << #cond; \
+    co_return;                           \
+  }
+
+namespace tss::sim {
+namespace {
+
+chirp::OpenFlags flags_of(const char* s) {
+  return chirp::OpenFlags::parse(s).value();
+}
+
+class SimChirpTest : public ::testing::Test {
+ protected:
+  SimChirpTest() : cluster_(engine_, Cluster::Config{}) {}
+
+  Engine engine_;
+  Cluster cluster_;
+};
+
+TEST_F(SimChirpTest, ConnectAuthAndBasicIo) {
+  SimChirpServer server(cluster_, SimChirpServer::Options{});
+  int client_node = cluster_.add_node();
+  SimChirpClient client(cluster_, client_node, server, "node1");
+
+  bool completed = false;
+  spawn(engine_, [](SimChirpClient& c, bool* done) -> Task<void> {
+    auto connected = co_await c.connect();
+    CO_REQUIRE(connected.ok());
+
+    auto fd = co_await c.open("/file", flags_of("wc"), 0644);
+    CO_REQUIRE(fd.ok());
+    auto wrote = co_await c.pwrite(fd.value(), 1 << 20, 0);
+    CO_REQUIRE(wrote.ok());
+    EXPECT_EQ(wrote.value(), 1u << 20);
+    CO_REQUIRE((co_await c.close_fd(fd.value())).ok());
+
+    auto info = co_await c.stat("/file");
+    CO_REQUIRE(info.ok());
+    EXPECT_EQ(info.value().size, 1u << 20);
+
+    auto rfd = co_await c.open("/file", flags_of("r"), 0);
+    CO_REQUIRE(rfd.ok());
+    auto n = co_await c.pread(rfd.value(), 1 << 20, 0);
+    CO_REQUIRE(n.ok());
+    EXPECT_EQ(n.value(), 1u << 20);
+    *done = true;
+  }(client, &completed));
+
+  engine_.run();
+  EXPECT_TRUE(completed);
+  EXPECT_GT(engine_.now(), 0);
+}
+
+TEST_F(SimChirpTest, AclsEnforcedInSimulationToo) {
+  SimChirpServer::Options options;
+  options.root_acl_text = "hostname:trusted rwl\n";  // node1 not matched
+  SimChirpServer server(cluster_, options);
+  int client_node = cluster_.add_node();
+  SimChirpClient client(cluster_, client_node, server, "node1");
+
+  bool checked = false;
+  spawn(engine_, [](SimChirpClient& c, bool* done) -> Task<void> {
+    CO_REQUIRE((co_await c.connect()).ok());
+    auto fd = co_await c.open("/x", flags_of("wc"), 0644);
+    EXPECT_FALSE(fd.ok());
+    if (!fd.ok()) {
+      EXPECT_EQ(fd.error().code, EACCES);
+    }
+    *done = true;
+  }(client, &checked));
+  engine_.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(SimChirpTest, StubFilesCarryRealContent) {
+  SimChirpServer server(cluster_, SimChirpServer::Options{});
+  int client_node = cluster_.add_node();
+  SimChirpClient client(cluster_, client_node, server, "node1");
+
+  bool checked = false;
+  spawn(engine_, [](SimChirpClient& c, bool* done) -> Task<void> {
+    CO_REQUIRE((co_await c.connect()).ok());
+    CO_REQUIRE((co_await c.mkdir("/tree")).ok());
+    std::string stub = "tssstub v1\nserver host5\npath /vol/file596\n";
+    CO_REQUIRE((co_await c.putfile("/tree/paper.txt", stub)).ok());
+    auto got = co_await c.getfile("/tree/paper.txt");
+    CO_REQUIRE(got.ok());
+    EXPECT_EQ(got.value(), stub);
+    *done = true;
+  }(client, &checked));
+  engine_.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(SimChirpTest, CachedReReadIsFasterThanColdRead) {
+  // First read of a large file pays disk time; the second is served from
+  // the 512 MB buffer cache and is limited only by the network.
+  SimChirpServer server(cluster_, SimChirpServer::Options{});
+  ASSERT_TRUE(server.backend().preload_file("/big", 50 << 20).ok());
+  int client_node = cluster_.add_node();
+  SimChirpClient client(cluster_, client_node, server, "node1");
+
+  Nanos cold = 0, warm = 0;
+  spawn(engine_, [](SimChirpClient& c, Engine& e, Nanos* cold_out,
+                    Nanos* warm_out) -> Task<void> {
+    CO_REQUIRE((co_await c.connect()).ok());
+    auto fd = co_await c.open("/big", flags_of("r"), 0);
+    CO_REQUIRE(fd.ok());
+    Nanos start = e.now();
+    for (uint64_t off = 0; off < (50u << 20); off += 1 << 20) {
+      CO_REQUIRE((co_await c.pread(fd.value(), 1 << 20, (int64_t)off)).ok());
+    }
+    *cold_out = e.now() - start;
+    start = e.now();
+    for (uint64_t off = 0; off < (50u << 20); off += 1 << 20) {
+      CO_REQUIRE((co_await c.pread(fd.value(), 1 << 20, (int64_t)off)).ok());
+    }
+    *warm_out = e.now() - start;
+  }(client, engine_, &cold, &warm));
+  engine_.run();
+
+  // Cold: ~50 MB at 10 MB/s disk ≈ 5 s. Warm: ~50 MB at ~112 MB/s net ≈ 0.45 s.
+  EXPECT_GT(cold, 4 * kSecond);
+  EXPECT_LT(warm, kSecond);
+  EXPECT_GT(cold, 5 * warm);
+}
+
+TEST_F(SimChirpTest, TwoClientsShareOneServersPort) {
+  // Two clients reading cache-hot data from one server split its ~112 MB/s
+  // port; each sees roughly half.
+  SimChirpServer server(cluster_, SimChirpServer::Options{});
+  ASSERT_TRUE(server.backend().preload_file("/hot", 16 << 20).ok());
+  // Warm the cache.
+  {
+    auto data = server.backend().read_file("/hot");
+    ASSERT_TRUE(data.ok());
+    server.backend().take_completion();
+  }
+
+  std::vector<std::unique_ptr<SimChirpClient>> clients;
+  std::vector<Nanos> finish(2);
+  for (int i = 0; i < 2; i++) {
+    int node = cluster_.add_node();
+    clients.push_back(std::make_unique<SimChirpClient>(
+        cluster_, node, server, "node" + std::to_string(i)));
+    spawn(engine_, [](SimChirpClient& c, Engine& e, Nanos* out) -> Task<void> {
+      CO_REQUIRE((co_await c.connect()).ok());
+      auto fd = co_await c.open("/hot", flags_of("r"), 0);
+      CO_REQUIRE(fd.ok());
+      for (uint64_t off = 0; off < (16u << 20); off += 1 << 20) {
+        CO_REQUIRE((co_await c.pread(fd.value(), 1 << 20, (int64_t)off)).ok());
+      }
+      *out = e.now();
+    }(*clients.back(), engine_, &finish[static_cast<size_t>(i)]));
+  }
+  engine_.run();
+
+  // 32 MB total through one ~112 MB/s port ≈ 0.29 s minimum.
+  double expected_s = 32.0 / 112.0;
+  EXPECT_GT(finish[0], static_cast<Nanos>(expected_s * 0.8 * 1e9));
+  // And both clients finish near each other (fair sharing).
+  double ratio =
+      static_cast<double>(finish[0]) / static_cast<double>(finish[1]);
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.4);
+}
+
+TEST_F(SimChirpTest, SimBackendDamageInjectsSilentLoss) {
+  SimChirpServer server(cluster_, SimChirpServer::Options{});
+  ASSERT_TRUE(server.backend().preload_file("/victim", 1000).ok());
+  EXPECT_TRUE(server.backend().stat("/victim").ok());
+  server.backend().damage("/victim");
+  EXPECT_EQ(server.backend().stat("/victim").code(), ENOENT);
+}
+
+Nanos run_deterministic_scenario() {
+  Engine engine;
+  Cluster cluster(engine, Cluster::Config{});
+  SimChirpServer server(cluster, SimChirpServer::Options{});
+  EXPECT_TRUE(server.backend().preload_file("/f", 8 << 20).ok());
+  int node = cluster.add_node();
+  SimChirpClient client(cluster, node, server, "node1");
+  spawn(engine, [](SimChirpClient& c) -> Task<void> {
+    CO_REQUIRE((co_await c.connect()).ok());
+    auto fd = co_await c.open("/f", flags_of("r"), 0);
+    CO_REQUIRE(fd.ok());
+    for (uint64_t off = 0; off < (8u << 20); off += 1 << 20) {
+      CO_REQUIRE((co_await c.pread(fd.value(), 1 << 20, (int64_t)off)).ok());
+    }
+  }(client));
+  return engine.run();
+}
+
+TEST_F(SimChirpTest, DeterministicAcrossRuns) {
+  Nanos first = run_deterministic_scenario();
+  Nanos second = run_deterministic_scenario();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first, 0);
+}
+
+}  // namespace
+}  // namespace tss::sim

@@ -1,0 +1,117 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace tss::sim {
+namespace {
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&] { order.push_back(3); });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(Engine, SameTimeEventsAreFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; i++) {
+    engine.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; i++) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, PastEventsClampToNow) {
+  Engine engine;
+  engine.schedule_at(100, [&] {
+    engine.schedule_at(50, [&] {
+      // Runs "now" (t=100), never in the past.
+      EXPECT_EQ(engine.now(), 100);
+    });
+  });
+  engine.run();
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(10, [&] { fired++; });
+  engine.schedule_at(20, [&] { fired++; });
+  engine.schedule_at(30, [&] { fired++; });
+  engine.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), 20);
+  engine.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, CoroutineSleepAdvancesVirtualTime) {
+  Engine engine;
+  Nanos woke = -1;
+  spawn(engine, [](Engine& e, Nanos* out) -> Task<void> {
+    co_await e.sleep_for(5 * kSecond);
+    *out = e.now();
+  }(engine, &woke));
+  EXPECT_EQ(engine.pending_tasks(), 1u);
+  engine.run();
+  EXPECT_EQ(woke, 5 * kSecond);
+  EXPECT_EQ(engine.pending_tasks(), 0u);
+}
+
+Task<int> add_later(Engine& engine, int a, int b) {
+  co_await engine.sleep_for(kSecond);
+  co_return a + b;
+}
+
+Task<void> nested(Engine& engine, int* out) {
+  int x = co_await add_later(engine, 2, 3);
+  int y = co_await add_later(engine, x, 10);
+  *out = y;
+}
+
+TEST(Engine, NestedTasksComposeAndReturnValues) {
+  Engine engine;
+  int result = 0;
+  spawn(engine, nested(engine, &result));
+  engine.run();
+  EXPECT_EQ(result, 15);
+  EXPECT_EQ(engine.now(), 2 * kSecond);
+}
+
+TEST(Engine, ManyConcurrentTasksInterleave) {
+  Engine engine;
+  std::vector<Nanos> wake_times;
+  for (int i = 1; i <= 50; i++) {
+    spawn(engine, [](Engine& e, Nanos delay,
+                     std::vector<Nanos>* out) -> Task<void> {
+      co_await e.sleep_for(delay);
+      out->push_back(e.now());
+    }(engine, i * kMillisecond, &wake_times));
+  }
+  engine.run();
+  ASSERT_EQ(wake_times.size(), 50u);
+  for (size_t i = 1; i < wake_times.size(); i++) {
+    EXPECT_GT(wake_times[i], wake_times[i - 1]);
+  }
+  EXPECT_EQ(engine.pending_tasks(), 0u);
+}
+
+TEST(Engine, ZeroDelaySleepResumesImmediately) {
+  Engine engine;
+  bool done = false;
+  spawn(engine, [](Engine& e, bool* flag) -> Task<void> {
+    co_await e.sleep_for(0);
+    *flag = true;
+  }(engine, &done));
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(engine.now(), 0);
+}
+
+}  // namespace
+}  // namespace tss::sim

@@ -1,0 +1,193 @@
+// SimBackend unit tests: the in-memory chirp::Backend with modeled timing.
+#include "sim/sim_backend.h"
+
+#include <gtest/gtest.h>
+
+namespace tss::sim {
+namespace {
+
+chirp::OpenFlags flags_of(const char* s) {
+  return chirp::OpenFlags::parse(s).value();
+}
+
+class SimBackendTest : public ::testing::Test {
+ protected:
+  SimBackendTest() : backend_(engine_, SimBackend::Config{}) {}
+  Engine engine_;
+  SimBackend backend_;
+};
+
+TEST_F(SimBackendTest, FileLifecycleWithRealContent) {
+  ASSERT_TRUE(backend_.write_file("/f", "real bytes", 0644).ok());
+  auto data = backend_.read_file("/f");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "real bytes");
+  auto info = backend_.stat("/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().size, 10u);
+  EXPECT_FALSE(info.value().is_dir);
+  ASSERT_TRUE(backend_.unlink("/f").ok());
+  EXPECT_EQ(backend_.stat("/f").code(), ENOENT);
+}
+
+TEST_F(SimBackendTest, SyntheticFilesTrackSizeOnly) {
+  ASSERT_TRUE(backend_.preload_file("/big", 100 << 20).ok());
+  auto info = backend_.stat("/big");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().size, 100u << 20);
+  // Reads return zeros of the right length.
+  auto handle = backend_.open("/big", flags_of("r"), 0);
+  ASSERT_TRUE(handle.ok());
+  char buf[64];
+  auto n = backend_.pread(handle.value(), buf, sizeof buf, 1000);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), sizeof buf);
+  for (char c : buf) EXPECT_EQ(c, '\0');
+}
+
+TEST_F(SimBackendTest, SyntheticPwriteViaNullPayload) {
+  auto handle = backend_.open("/s", flags_of("wc"), 0644);
+  ASSERT_TRUE(handle.ok());
+  auto n = backend_.pwrite(handle.value(), nullptr, 5 << 20, 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(backend_.stat("/s").value().size, 5u << 20);
+  EXPECT_EQ(backend_.used_bytes(), 5u << 20);
+}
+
+TEST_F(SimBackendTest, DirectoryTreeSemantics) {
+  ASSERT_TRUE(backend_.mkdir("/a", 0755).ok());
+  ASSERT_TRUE(backend_.mkdir("/a/b", 0755).ok());
+  EXPECT_EQ(backend_.mkdir("/a", 0755).code(), EEXIST);
+  EXPECT_EQ(backend_.mkdir("/x/y", 0755).code(), ENOENT);  // no parent
+  ASSERT_TRUE(backend_.write_file("/a/f", "1", 0644).ok());
+  EXPECT_EQ(backend_.rmdir("/a").code(), ENOTEMPTY);
+  auto entries = backend_.readdir("/a");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 2u);  // b and f
+  ASSERT_TRUE(backend_.unlink("/a/f").ok());
+  ASSERT_TRUE(backend_.rmdir("/a/b").ok());
+  ASSERT_TRUE(backend_.rmdir("/a").ok());
+}
+
+TEST_F(SimBackendTest, ReaddirDoesNotLeakGrandchildren) {
+  ASSERT_TRUE(backend_.mkdir("/d", 0755).ok());
+  ASSERT_TRUE(backend_.mkdir("/d/sub", 0755).ok());
+  ASSERT_TRUE(backend_.write_file("/d/sub/deep", "x", 0644).ok());
+  ASSERT_TRUE(backend_.write_file("/d/shallow", "y", 0644).ok());
+  auto entries = backend_.readdir("/d");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 2u);
+  for (const auto& e : entries.value()) {
+    EXPECT_TRUE(e.name == "sub" || e.name == "shallow") << e.name;
+  }
+}
+
+TEST_F(SimBackendTest, SiblingPrefixNamesAreNotChildren) {
+  // "/ab" must not appear in readdir("/a").
+  ASSERT_TRUE(backend_.mkdir("/a", 0755).ok());
+  ASSERT_TRUE(backend_.write_file("/ab", "x", 0644).ok());
+  auto entries = backend_.readdir("/a");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries.value().empty());
+  // And rmdir("/a") works even though "/ab" sorts right after it.
+  EXPECT_TRUE(backend_.rmdir("/a").ok());
+}
+
+TEST_F(SimBackendTest, TimingColdReadCostsDiskWarmReadDoesNot) {
+  ASSERT_TRUE(backend_.preload_file("/data", 10 << 20).ok());
+  backend_.take_completion();
+
+  auto handle = backend_.open("/data", flags_of("r"), 0);
+  ASSERT_TRUE(handle.ok());
+  backend_.take_completion();
+
+  std::vector<char> buffer(1 << 20);
+  ASSERT_TRUE(
+      backend_.pread(handle.value(), buffer.data(), buffer.size(), 0).ok());
+  Nanos cold = backend_.take_completion();
+  // 1 MB at 10 MB/s disk ≈ 100 ms (plus the initial seek).
+  EXPECT_GT(cold, 90 * kMillisecond);
+
+  ASSERT_TRUE(
+      backend_.pread(handle.value(), buffer.data(), buffer.size(), 0).ok());
+  Nanos warm = backend_.take_completion();
+  // Cache-resident now: memory rate, well under a millisecond.
+  EXPECT_LT(warm, kMillisecond);
+}
+
+TEST_F(SimBackendTest, SequentialReadsSkipSeeksRandomReadsPay) {
+  SimBackend::Config config;
+  config.disk.seek_time = 50 * kMillisecond;  // exaggerate for the test
+  SimBackend backend(engine_, config);
+  ASSERT_TRUE(backend.preload_file("/d", 10 << 20).ok());
+  backend.take_completion();
+
+  auto handle = backend.open("/d", flags_of("r"), 0);
+  ASSERT_TRUE(handle.ok());
+  backend.take_completion();
+  std::vector<char> buffer(64 << 10);
+
+  // First read of a fresh handle: one seek plus 64 KB of streaming.
+  ASSERT_TRUE(backend.pread(handle.value(), buffer.data(), buffer.size(), 0)
+                  .ok());
+  Nanos first = backend.take_completion();
+  EXPECT_GT(first, 50 * kMillisecond);
+
+  // Sequential continuation: streaming only, well under the seek time.
+  Nanos before = first;
+  ASSERT_TRUE(backend.pread(handle.value(), buffer.data(), buffer.size(),
+                            64 << 10)
+                  .ok());
+  Nanos sequential_cost = backend.take_completion() - before;
+  EXPECT_LT(sequential_cost, 20 * kMillisecond);
+
+  // A random jump pays the seek again.
+  Nanos jump_start = before + sequential_cost;
+  ASSERT_TRUE(backend.pread(handle.value(), buffer.data(), buffer.size(),
+                            5 << 20)
+                  .ok());
+  Nanos jump_cost = backend.take_completion() - jump_start;
+  EXPECT_GT(jump_cost, 50 * kMillisecond);
+
+  // Cache hits bypass the disk entirely.
+  ASSERT_TRUE(backend.pread(handle.value(), buffer.data(), buffer.size(), 0)
+                  .ok());
+  EXPECT_GT(backend.cache().hits(), 0u);
+}
+
+TEST_F(SimBackendTest, TruncateOnOpenInvalidatesCache) {
+  ASSERT_TRUE(backend_.write_file("/t", "0123456789", 0644).ok());
+  auto handle = backend_.open("/t", flags_of("wt"), 0644);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(backend_.stat("/t").value().size, 0u);
+  EXPECT_EQ(backend_.used_bytes(), 0u);
+}
+
+TEST_F(SimBackendTest, RenamePreservesContentAndAccounting) {
+  ASSERT_TRUE(backend_.write_file("/from", "moved", 0644).ok());
+  uint64_t used = backend_.used_bytes();
+  ASSERT_TRUE(backend_.rename("/from", "/to").ok());
+  EXPECT_EQ(backend_.used_bytes(), used);
+  EXPECT_EQ(backend_.read_file("/to").value(), "moved");
+  EXPECT_EQ(backend_.stat("/from").code(), ENOENT);
+}
+
+TEST_F(SimBackendTest, StatfsTracksUsage) {
+  auto before = backend_.statfs().value();
+  ASSERT_TRUE(backend_.preload_file("/chunk", 1 << 30).ok());
+  auto after = backend_.statfs().value();
+  EXPECT_EQ(before.second - after.second, 1u << 30);
+  backend_.damage("/chunk");
+  auto repaired = backend_.statfs().value();
+  EXPECT_EQ(repaired.second, before.second);
+}
+
+TEST_F(SimBackendTest, WarmFilePopulatesCacheWithoutTime) {
+  ASSERT_TRUE(backend_.preload_file("/w", 10 << 20).ok());
+  ASSERT_TRUE(backend_.warm_file("/w").ok());
+  EXPECT_EQ(backend_.take_completion(), engine_.now());  // no time charged
+  EXPECT_GT(backend_.cache().resident_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace tss::sim

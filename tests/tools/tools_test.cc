@@ -1,0 +1,258 @@
+// End-to-end tests of the deployment tools: tss_chirp_server,
+// tss_catalog_server, and the tss command-line client — the paper's rapid
+// deployment story ("runs a single command with no configuration") driven
+// exactly the way a user would.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/clock.h"
+#include "util/strings.h"
+
+namespace tss::tools {
+namespace {
+
+// Locates a build binary relative to the test executable
+// (build/tests/tools_test -> build/src/tools/<name>).
+std::string binary_path(const std::string& name) {
+  std::string self = std::filesystem::read_symlink("/proc/self/exe").string();
+  return std::filesystem::path(self).parent_path().parent_path() /
+         "src/tools" / name;
+}
+
+// Runs a command, captures stdout, returns exit code.
+int run(const std::string& command, std::string* output = nullptr) {
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (!pipe) return -1;
+  std::string captured;
+  char buf[4096];
+  size_t n;
+  while ((n = ::fread(buf, 1, sizeof buf, pipe)) > 0) captured.append(buf, n);
+  int status = ::pclose(pipe);
+  if (output) *output = captured;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+// A child daemon process, killed on destruction.
+class Daemon {
+ public:
+  // Starts `argv` and waits until `ready_marker` appears on its stdout;
+  // `port_prefix` extracts "...:<port>" from the banner line.
+  Daemon(std::vector<std::string> argv, const std::string& ready_marker) {
+    int fds[2];
+    if (::pipe(fds) != 0) return;
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::dup2(fds[1], 1);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      std::vector<char*> args;
+      for (auto& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+      args.push_back(nullptr);
+      ::execv(args[0], args.data());
+      _exit(127);
+    }
+    ::close(fds[1]);
+    // Read the banner (blocking until the daemon prints it).
+    std::string banner;
+    char c;
+    while (::read(fds[0], &c, 1) == 1) {
+      banner.push_back(c);
+      if (banner.find(ready_marker) != std::string::npos && c == '\n') break;
+    }
+    read_fd_ = fds[0];
+    banner_ = banner;
+  }
+
+  ~Daemon() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGTERM);
+      int status;
+      ::waitpid(pid_, &status, 0);
+    }
+    if (read_fd_ >= 0) ::close(read_fd_);
+  }
+
+  bool running() const { return pid_ > 0; }
+  const std::string& banner() const { return banner_; }
+
+  // Extracts "127.0.0.1:<port>" from the banner.
+  std::string endpoint() const {
+    size_t pos = banner_.find("127.0.0.1:");
+    if (pos == std::string::npos) return "";
+    size_t end = pos + 10;
+    while (end < banner_.size() && isdigit((unsigned char)banner_[end])) end++;
+    return banner_.substr(pos, end - pos);
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int read_fd_ = -1;
+  std::string banner_;
+};
+
+class ToolsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/tools_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(root_);
+    // Owner-everything + visitor reservations; unix auth makes this test's
+    // user the effective owner through the ACL below.
+    acl_ = "unix:* rwldav(rwlda)\n";
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string root_;
+  std::string acl_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(ToolsTest, SingleCommandDeployAndFullClientWorkflow) {
+  Daemon server({binary_path("tss_chirp_server"), "--root", root_, "--acl",
+                 acl_},
+                "exporting");
+  ASSERT_TRUE(server.running());
+  std::string endpoint = server.endpoint();
+  ASSERT_FALSE(endpoint.empty()) << server.banner();
+  std::string tss = binary_path("tss");
+  std::string url = "chirp://" + endpoint;
+
+  // whoami: the unix challenge-response picked us up.
+  std::string out;
+  ASSERT_EQ(run(tss + " whoami " + url + "/", &out), 0) << out;
+  EXPECT_NE(out.find("unix:"), std::string::npos);
+
+  // put / ls / cat / stat round trip.
+  std::string local = root_ + "-upload.txt";
+  {
+    std::ofstream f(local);
+    f << "deployed with one command\n";
+  }
+  ASSERT_EQ(run(tss + " mkdir " + url + "/docs", &out), 0) << out;
+  ASSERT_EQ(run(tss + " put " + local + " " + url + "/docs/readme.txt", &out),
+            0)
+      << out;
+  ASSERT_EQ(run(tss + " ls " + url + "/docs", &out), 0) << out;
+  EXPECT_NE(out.find("readme.txt"), std::string::npos);
+  ASSERT_EQ(run(tss + " cat " + url + "/docs/readme.txt", &out), 0) << out;
+  EXPECT_EQ(out, "deployed with one command\n");
+  ASSERT_EQ(run(tss + " stat " + url + "/docs/readme.txt", &out), 0) << out;
+  EXPECT_NE(out.find("26 bytes"), std::string::npos);
+
+  // get downloads identical content.
+  std::string downloaded = root_ + "-download.txt";
+  ASSERT_EQ(
+      run(tss + " get " + url + "/docs/readme.txt " + downloaded, &out), 0)
+      << out;
+  std::ifstream check(downloaded);
+  std::stringstream buffer;
+  buffer << check.rdbuf();
+  EXPECT_EQ(buffer.str(), "deployed with one command\n");
+
+  // ACL management from the command line.
+  ASSERT_EQ(run(tss + " setacl " + url + "/docs hostname:*.nd.edu rl", &out),
+            0)
+      << out;
+  ASSERT_EQ(run(tss + " getacl " + url + "/docs", &out), 0) << out;
+  EXPECT_NE(out.find("hostname:*.nd.edu rl"), std::string::npos);
+
+  // mv / rm / rmdir / df.
+  ASSERT_EQ(run(tss + " mv " + url + "/docs/readme.txt /docs/r2.txt", &out),
+            0)
+      << out;
+  ASSERT_EQ(run(tss + " rm " + url + "/docs/r2.txt", &out), 0) << out;
+  ASSERT_EQ(run(tss + " rmdir " + url + "/docs", &out), 0) << out;
+  ASSERT_EQ(run(tss + " df " + url + "/", &out), 0) << out;
+  EXPECT_NE(out.find("total"), std::string::npos);
+
+  ::unlink(local.c_str());
+  ::unlink(downloaded.c_str());
+}
+
+TEST_F(ToolsTest, ServerReportsToCatalogAndClientDiscoversIt) {
+  Daemon catalog({binary_path("tss_catalog_server"), "--timeout", "60"},
+                 "listening");
+  ASSERT_TRUE(catalog.running());
+  std::string catalog_endpoint = catalog.endpoint();
+  ASSERT_FALSE(catalog_endpoint.empty());
+
+  Daemon server({binary_path("tss_chirp_server"), "--root", root_, "--acl",
+                 acl_, "--catalog", catalog_endpoint, "--report-period", "1",
+                 "--name", "tools-test-server"},
+                "exporting");
+  ASSERT_TRUE(server.running());
+
+  // The reporter pushes immediately on start; poll briefly for the record.
+  std::string out;
+  std::string tss = binary_path("tss");
+  bool found = false;
+  for (int i = 0; i < 50 && !found; i++) {
+    if (run(tss + " catalog " + catalog_endpoint, &out) == 0 &&
+        out.find("tools-test-server") != std::string::npos) {
+      found = true;
+    } else {
+      RealClock::instance().sleep_for(100 * kMillisecond);
+    }
+  }
+  EXPECT_TRUE(found) << out;
+}
+
+TEST_F(ToolsTest, ParrotRunsUnmodifiedCommandOnTssPaths) {
+  Daemon server({binary_path("tss_chirp_server"), "--root", root_, "--acl",
+                 acl_},
+                "exporting");
+  ASSERT_TRUE(server.running());
+  std::string endpoint = server.endpoint();
+  ASSERT_FALSE(endpoint.empty());
+
+  // Stage a remote file through the CLI, then read it back with an
+  // unmodified cat under tss_parrot.
+  std::string local = root_ + "-parrot-src.txt";
+  {
+    std::ofstream f(local);
+    f << "seen through the tracer\n";
+  }
+  std::string tss = binary_path("tss");
+  std::string out;
+  ASSERT_EQ(
+      run(tss + " put " + local + " chirp://" + endpoint + "/p.txt", &out), 0)
+      << out;
+
+  std::string parrot = binary_path("tss_parrot");
+  int rc = run(parrot + " --map \"/tss /cfs/" + endpoint +
+                   "\" -- cat /tss/p.txt",
+               &out);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("seen through the tracer"), std::string::npos);
+
+  // Missing remote files surface as the usual cat error.
+  rc = run(parrot + " --map \"/tss /cfs/" + endpoint +
+               "\" -- cat /tss/ghost.txt",
+           &out);
+  EXPECT_NE(rc, 0);
+  ::unlink(local.c_str());
+}
+
+TEST_F(ToolsTest, UsageAndErrorPaths) {
+  std::string tss = binary_path("tss");
+  std::string out;
+  EXPECT_EQ(run(tss, &out), 2);
+  EXPECT_NE(out.find("usage"), std::string::npos);
+  EXPECT_EQ(run(tss + " ls not-a-url", &out), 1);
+  EXPECT_NE(out.find("chirp://"), std::string::npos);
+  EXPECT_EQ(run(tss + " cat chirp://127.0.0.1:1/x", &out), 1);  // dead port
+  EXPECT_EQ(run(binary_path("tss_chirp_server") + " --no-such-flag x",
+                &out),
+            2);
+}
+
+}  // namespace
+}  // namespace tss::tools

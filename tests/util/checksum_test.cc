@@ -1,0 +1,58 @@
+#include "util/checksum.h"
+
+#include <gtest/gtest.h>
+
+namespace tss {
+namespace {
+
+TEST(Fnv1a64, KnownVector) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, IncrementalMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  Fnv1a64 inc;
+  inc.update(data.substr(0, 10));
+  inc.update(data.substr(10, 5));
+  inc.update(data.substr(15));
+  EXPECT_EQ(inc.digest(), fnv1a64(data));
+}
+
+TEST(Fnv1a64, SensitiveToEveryByte) {
+  std::string a(100, 'x');
+  for (size_t i = 0; i < a.size(); i += 13) {
+    std::string b = a;
+    b[i] = 'y';
+    EXPECT_NE(fnv1a64(a), fnv1a64(b)) << "byte " << i;
+  }
+}
+
+TEST(WeakMac, DeterministicAndHexShaped) {
+  std::string tag = weak_mac("ca-key", "dn|12345|nd-ca");
+  EXPECT_EQ(tag.size(), 16u);
+  EXPECT_EQ(tag, weak_mac("ca-key", "dn|12345|nd-ca"));
+}
+
+TEST(WeakMac, KeySeparation) {
+  // The unforgeability property the simulated GSI/Kerberos rely on: a
+  // different key yields a different tag for the same message.
+  EXPECT_NE(weak_mac("key1", "msg"), weak_mac("key2", "msg"));
+  EXPECT_NE(weak_mac("key", "msg1"), weak_mac("key", "msg2"));
+}
+
+TEST(WeakMac, NoTrivialConcatenationConfusion) {
+  // ("ab","c") and ("a","bc") must not collide: field boundaries matter.
+  EXPECT_NE(weak_mac("ab", "c"), weak_mac("a", "bc"));
+}
+
+TEST(HashToHex, Formats) {
+  EXPECT_EQ(hash_to_hex(0), "0000000000000000");
+  EXPECT_EQ(hash_to_hex(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(hash_to_hex(UINT64_MAX), "ffffffffffffffff");
+}
+
+}  // namespace
+}  // namespace tss

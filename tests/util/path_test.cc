@@ -1,0 +1,107 @@
+#include "util/path.h"
+
+#include <gtest/gtest.h>
+
+namespace tss::path {
+namespace {
+
+TEST(Sanitize, Basics) {
+  EXPECT_EQ(sanitize(""), "/");
+  EXPECT_EQ(sanitize("/"), "/");
+  EXPECT_EQ(sanitize("a"), "/a");
+  EXPECT_EQ(sanitize("/a/b"), "/a/b");
+  EXPECT_EQ(sanitize("a/b/"), "/a/b");
+}
+
+TEST(Sanitize, CollapsesDotsAndSlashes) {
+  EXPECT_EQ(sanitize("/a/./b"), "/a/b");
+  EXPECT_EQ(sanitize("//a///b//"), "/a/b");
+  EXPECT_EQ(sanitize("./a"), "/a");
+  EXPECT_EQ(sanitize("/."), "/");
+}
+
+// The software-chroot property: no input may name anything above the root.
+TEST(Sanitize, ChrootClampStopsEscapes) {
+  EXPECT_EQ(sanitize(".."), "/");
+  EXPECT_EQ(sanitize("/.."), "/");
+  EXPECT_EQ(sanitize("/../.."), "/");
+  EXPECT_EQ(sanitize("../../../etc/passwd"), "/etc/passwd");
+  EXPECT_EQ(sanitize("/a/../../b"), "/b");
+  EXPECT_EQ(sanitize("a/b/../../../../x"), "/x");
+}
+
+TEST(Sanitize, DotDotWithinTreeResolves) {
+  EXPECT_EQ(sanitize("/a/b/../c"), "/a/c");
+  EXPECT_EQ(sanitize("/a/b/.."), "/a");
+  EXPECT_EQ(sanitize("/a/b/c/../../d"), "/a/d");
+}
+
+// Property sweep: every sanitized result is canonical and re-sanitizing is
+// the identity (idempotence).
+class SanitizeProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SanitizeProperty, CanonicalAndIdempotent) {
+  std::string out = sanitize(GetParam());
+  EXPECT_TRUE(is_canonical(out)) << GetParam() << " -> " << out;
+  EXPECT_EQ(sanitize(out), out);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, SanitizeProperty,
+    ::testing::Values("", "/", "a", "/a/b/c", "../..", "a/../b", "a//b/./c",
+                      "/..../x", "...", "/a/b/../../../..", "%2e%2e",
+                      ".hidden/..", "a/b/c/d/e/f/g", "////", "/.x/..y/",
+                      "a/./././b", "..a/b..", "/a/..b/c"));
+
+TEST(IsCanonical, AcceptsOnlyNormalizedPaths) {
+  EXPECT_TRUE(is_canonical("/"));
+  EXPECT_TRUE(is_canonical("/a"));
+  EXPECT_TRUE(is_canonical("/a/b"));
+  EXPECT_FALSE(is_canonical(""));
+  EXPECT_FALSE(is_canonical("a"));
+  EXPECT_FALSE(is_canonical("/a/"));
+  EXPECT_FALSE(is_canonical("/a//b"));
+  EXPECT_FALSE(is_canonical("/a/./b"));
+  EXPECT_FALSE(is_canonical("/a/../b"));
+}
+
+TEST(Components, SplitsCanonical) {
+  EXPECT_TRUE(components("/").empty());
+  auto c = components("/a/b/c");
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], "a");
+  EXPECT_EQ(c[2], "c");
+}
+
+TEST(Join, RelativeAndAbsoluteSuffixes) {
+  EXPECT_EQ(join("/a", "b/c"), "/a/b/c");
+  EXPECT_EQ(join("/a", "/b"), "/a/b");
+  EXPECT_EQ(join("/", "x"), "/x");
+  EXPECT_EQ(join("/a", ".."), "/");
+  EXPECT_EQ(join("/a", "../../.."), "/");
+}
+
+TEST(DirnameBasename, Inverses) {
+  EXPECT_EQ(dirname("/a/b/c"), "/a/b");
+  EXPECT_EQ(dirname("/a"), "/");
+  EXPECT_EQ(dirname("/"), "/");
+  EXPECT_EQ(basename("/a/b/c"), "c");
+  EXPECT_EQ(basename("/"), "");
+}
+
+TEST(IsWithin, PrefixSemantics) {
+  EXPECT_TRUE(is_within("/a", "/a"));
+  EXPECT_TRUE(is_within("/a", "/a/b"));
+  EXPECT_FALSE(is_within("/a", "/ab"));  // not a path prefix
+  EXPECT_FALSE(is_within("/a/b", "/a"));
+  EXPECT_TRUE(is_within("/", "/anything"));
+}
+
+TEST(ToHost, MapsUnderRoot) {
+  EXPECT_EQ(to_host("/srv/export", "/x/y"), "/srv/export/x/y");
+  EXPECT_EQ(to_host("/srv/export", "/"), "/srv/export");
+  EXPECT_EQ(to_host("/srv/export/", "/x"), "/srv/export/x");
+}
+
+}  // namespace
+}  // namespace tss::path

@@ -1,0 +1,80 @@
+#include "util/rand.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tss {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; i++) {
+    if (a.next() == b.next()) same++;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; i++) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; i++) {
+    int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; i++) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, HexStringShapeAndUniqueness) {
+  Rng rng(17);
+  std::string h = rng.hex(24);
+  EXPECT_EQ(h.size(), 24u);
+  for (char c : h) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+  // Collisions across a batch would break DSFS unique data-file naming.
+  std::set<std::string> names;
+  for (int i = 0; i < 1000; i++) names.insert(rng.hex(16));
+  EXPECT_EQ(names.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace tss

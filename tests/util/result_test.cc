@@ -1,0 +1,83 @@
+#include "util/result.h"
+
+#include <gtest/gtest.h>
+
+namespace tss {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), 0);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Error(ENOENT, "no such file");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ENOENT);
+  EXPECT_EQ(r.code(), ENOENT);
+  EXPECT_EQ(r.error().message, "no such file");
+}
+
+TEST(Result, ValueOr) {
+  Result<int> ok = 7;
+  Result<int> bad = Error(EIO, "io");
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(ResultVoid, SuccessAndError) {
+  Result<void> ok = Result<void>::success();
+  EXPECT_TRUE(ok.ok());
+  Result<void> bad = Error(EACCES, "denied");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), EACCES);
+}
+
+Result<int> needs_positive(int x) {
+  if (x <= 0) return Error(EINVAL, "not positive");
+  return x * 2;
+}
+
+Result<int> chained(int x) {
+  TSS_ASSIGN_OR_RETURN(int doubled, needs_positive(x));
+  return doubled + 1;
+}
+
+Result<void> check_only(int x) {
+  TSS_RETURN_IF_ERROR(needs_positive(x));
+  return Result<void>::success();
+}
+
+TEST(Macros, AssignOrReturnPropagates) {
+  auto good = chained(3);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+
+  auto bad = chained(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, EINVAL);
+}
+
+TEST(Macros, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(check_only(1).ok());
+  EXPECT_EQ(check_only(0).code(), EINVAL);
+}
+
+TEST(ErrorFromErrno, CapturesCodeAndContext) {
+  errno = ENOSPC;
+  Error e = Error::from_errno("write /x");
+  EXPECT_EQ(e.code, ENOSPC);
+  EXPECT_NE(e.message.find("write /x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tss

@@ -1,0 +1,132 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace tss {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleFieldWhenSeparatorAbsent) {
+  auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitWords, DropsRunsOfWhitespace) {
+  auto words = split_words("  open   /a/b\t42  ");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "open");
+  EXPECT_EQ(words[1], "/a/b");
+  EXPECT_EQ(words[2], "42");
+}
+
+TEST(SplitWords, EmptyInput) {
+  EXPECT_TRUE(split_words("").empty());
+  EXPECT_TRUE(split_words("   \t ").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(ParseI64, AcceptsSignedValues) {
+  EXPECT_EQ(parse_i64("0"), 0);
+  EXPECT_EQ(parse_i64("-1"), -1);
+  EXPECT_EQ(parse_i64("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(parse_i64("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(ParseI64, RejectsGarbage) {
+  EXPECT_FALSE(parse_i64("").has_value());
+  EXPECT_FALSE(parse_i64("12x").has_value());
+  EXPECT_FALSE(parse_i64("-").has_value());
+  EXPECT_FALSE(parse_i64("9223372036854775808").has_value());  // overflow
+  EXPECT_FALSE(parse_i64("1.5").has_value());
+}
+
+TEST(ParseU64, BoundaryValues) {
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+}
+
+TEST(WildcardMatch, ExactAndStar) {
+  EXPECT_TRUE(wildcard_match("abc", "abc"));
+  EXPECT_FALSE(wildcard_match("abc", "abd"));
+  EXPECT_TRUE(wildcard_match("*", ""));
+  EXPECT_TRUE(wildcard_match("*", "anything"));
+  EXPECT_TRUE(wildcard_match("a*c", "abc"));
+  EXPECT_TRUE(wildcard_match("a*c", "ac"));
+  EXPECT_TRUE(wildcard_match("a*c", "axxxc"));
+  EXPECT_FALSE(wildcard_match("a*c", "abd"));
+}
+
+TEST(WildcardMatch, PaperAclPatterns) {
+  // The exact subject patterns used in the paper's ACL examples.
+  EXPECT_TRUE(
+      wildcard_match("hostname:*.cse.nd.edu", "hostname:laptop.cse.nd.edu"));
+  EXPECT_FALSE(
+      wildcard_match("hostname:*.cse.nd.edu", "hostname:laptop.cs.wisc.edu"));
+  EXPECT_TRUE(wildcard_match("globus:/O=Notre_Dame/*",
+                             "globus:/O=Notre_Dame/CN=Douglas_Thain"));
+  EXPECT_FALSE(wildcard_match("globus:/O=Notre_Dame/*",
+                              "globus:/O=Wisconsin/CN=Someone"));
+}
+
+TEST(WildcardMatch, QuestionMarkAndBacktracking) {
+  EXPECT_TRUE(wildcard_match("a?c", "abc"));
+  EXPECT_FALSE(wildcard_match("a?c", "ac"));
+  EXPECT_TRUE(wildcard_match("*a*b", "xaxbxab"));
+  EXPECT_TRUE(wildcard_match("**x**", "x"));
+}
+
+TEST(UrlEncode, RoundTripsArbitraryBytes) {
+  std::string nasty = "a b\nc%d\x01/ok~._-";
+  std::string enc = url_encode(nasty);
+  EXPECT_EQ(enc.find(' '), std::string::npos);
+  EXPECT_EQ(enc.find('\n'), std::string::npos);
+  EXPECT_EQ(url_decode(enc), nasty);
+}
+
+TEST(UrlEncode, LeavesSafeCharsAlone) {
+  EXPECT_EQ(url_encode("/a/b.c_d-e~f"), "/a/b.c_d-e~f");
+}
+
+TEST(UrlDecode, ToleratesMalformedPercent) {
+  EXPECT_EQ(url_decode("%"), "%");
+  EXPECT_EQ(url_decode("%zz"), "%zz");
+  EXPECT_EQ(url_decode("100%"), "100%");
+}
+
+TEST(FormatBytes, HumanUnits) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.5 KB");
+  EXPECT_EQ(format_bytes(6ULL << 40), "6.0 TB");  // the prototype's capacity
+}
+
+TEST(JoinWords, Inverse) {
+  std::vector<std::string> words{"a", "b", "c"};
+  EXPECT_EQ(join_words(words), "a b c");
+  EXPECT_EQ(join_words({}), "");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("challenge xyz", "challenge "));
+  EXPECT_FALSE(starts_with("chal", "challenge "));
+  EXPECT_TRUE(ends_with("file.txt", ".txt"));
+  EXPECT_FALSE(ends_with("txt", ".txt"));
+}
+
+}  // namespace
+}  // namespace tss

@@ -1,0 +1,94 @@
+#include "workload/sp5.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "fs/local.h"
+
+namespace tss::workload {
+namespace {
+
+class Sp5Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/sp5_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(root_);
+    fs_ = std::make_unique<fs::LocalFs>(root_);
+    config_.script_count = 10;
+    config_.script_bytes = 512;
+    config_.library_count = 3;
+    config_.library_bytes = 64 * 1024;
+    config_.input_bytes = 256 * 1024;
+    config_.event_input_bytes = 32 * 1024;
+    config_.event_output_bytes = 4 * 1024;
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string root_;
+  std::unique_ptr<fs::LocalFs> fs_;
+  Sp5Config config_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(Sp5Test, InstallCreatesFullTree) {
+  ASSERT_TRUE(sp5_install(*fs_, config_).ok());
+  for (int i = 0; i < config_.script_count; i++) {
+    auto info = fs_->stat(config_.script_path(i));
+    ASSERT_TRUE(info.ok()) << config_.script_path(i);
+    EXPECT_EQ(info.value().size, config_.script_bytes);
+  }
+  for (int i = 0; i < config_.library_count; i++) {
+    EXPECT_EQ(fs_->stat(config_.library_path(i)).value().size,
+              config_.library_bytes);
+  }
+  EXPECT_EQ(fs_->stat(config_.input_path()).value().size, config_.input_bytes);
+  EXPECT_EQ(fs_->stat(config_.output_path()).value().size, 0u);
+}
+
+TEST_F(Sp5Test, InstallIsDeterministicPerSeed) {
+  ASSERT_TRUE(sp5_install(*fs_, config_, 7).ok());
+  std::string first = fs_->read_file(config_.script_path(0)).value();
+
+  std::string other_root = root_ + "_b";
+  std::filesystem::create_directories(other_root);
+  fs::LocalFs other(other_root);
+  ASSERT_TRUE(sp5_install(other, config_, 7).ok());
+  EXPECT_EQ(other.read_file(config_.script_path(0)).value(), first);
+  std::filesystem::remove_all(other_root);
+}
+
+TEST_F(Sp5Test, InitReadsWholeWorkingSet) {
+  ASSERT_TRUE(sp5_install(*fs_, config_).ok());
+  auto bytes = sp5_init(*fs_, config_);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes.value(),
+            static_cast<uint64_t>(config_.script_count) * config_.script_bytes +
+                static_cast<uint64_t>(config_.library_count) *
+                    config_.library_bytes);
+}
+
+TEST_F(Sp5Test, EventsAppendOutput) {
+  ASSERT_TRUE(sp5_install(*fs_, config_).ok());
+  for (int e = 0; e < 5; e++) {
+    ASSERT_TRUE(sp5_event(*fs_, config_, e).ok());
+  }
+  auto info = fs_->stat(config_.output_path());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().size, 5 * config_.event_output_bytes);
+}
+
+TEST_F(Sp5Test, InitFailsWithoutInstall) {
+  EXPECT_FALSE(sp5_init(*fs_, config_).ok());
+}
+
+TEST_F(Sp5Test, ConfigByteAccounting) {
+  EXPECT_EQ(config_.install_bytes(),
+            10u * 512 + 3u * 64 * 1024 + 256u * 1024);
+  EXPECT_EQ(config_.init_file_count(), 13);
+}
+
+}  // namespace
+}  // namespace tss::workload
