@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_acl.dir/bench_ablation_acl.cc.o"
+  "CMakeFiles/bench_ablation_acl.dir/bench_ablation_acl.cc.o.d"
+  "bench_ablation_acl"
+  "bench_ablation_acl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

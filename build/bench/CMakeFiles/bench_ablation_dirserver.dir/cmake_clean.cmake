@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dirserver.dir/bench_ablation_dirserver.cc.o"
+  "CMakeFiles/bench_ablation_dirserver.dir/bench_ablation_dirserver.cc.o.d"
+  "bench_ablation_dirserver"
+  "bench_ablation_dirserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dirserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_single_connection.dir/bench_ablation_single_connection.cc.o"
+  "CMakeFiles/bench_ablation_single_connection.dir/bench_ablation_single_connection.cc.o.d"
+  "bench_ablation_single_connection"
+  "bench_ablation_single_connection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_single_connection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

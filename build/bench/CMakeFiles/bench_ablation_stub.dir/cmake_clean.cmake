@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stub.dir/bench_ablation_stub.cc.o"
+  "CMakeFiles/bench_ablation_stub.dir/bench_ablation_stub.cc.o.d"
+  "bench_ablation_stub"
+  "bench_ablation_stub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_dsfs_net.dir/bench_fig6_dsfs_net.cc.o"
+  "CMakeFiles/bench_fig6_dsfs_net.dir/bench_fig6_dsfs_net.cc.o.d"
+  "bench_fig6_dsfs_net"
+  "bench_fig6_dsfs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dsfs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

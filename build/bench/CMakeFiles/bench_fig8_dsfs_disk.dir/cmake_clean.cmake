@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_dsfs_disk.dir/bench_fig8_dsfs_disk.cc.o"
+  "CMakeFiles/bench_fig8_dsfs_disk.dir/bench_fig8_dsfs_disk.cc.o.d"
+  "bench_fig8_dsfs_disk"
+  "bench_fig8_dsfs_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dsfs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_gems_preservation.dir/bench_fig9_gems_preservation.cc.o"
+  "CMakeFiles/bench_fig9_gems_preservation.dir/bench_fig9_gems_preservation.cc.o.d"
+  "bench_fig9_gems_preservation"
+  "bench_fig9_gems_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_gems_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

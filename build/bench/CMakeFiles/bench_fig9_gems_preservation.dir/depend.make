@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_gems_preservation.
+# This may be replaced when dependencies are built.

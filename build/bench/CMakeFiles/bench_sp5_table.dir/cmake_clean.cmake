@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sp5_table.dir/bench_sp5_table.cc.o"
+  "CMakeFiles/bench_sp5_table.dir/bench_sp5_table.cc.o.d"
+  "bench_sp5_table"
+  "bench_sp5_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sp5_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

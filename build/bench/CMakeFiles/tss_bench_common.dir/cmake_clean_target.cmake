@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libtss_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup.dir/backup.cpp.o"
+  "CMakeFiles/backup.dir/backup.cpp.o.d"
+  "backup"
+  "backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

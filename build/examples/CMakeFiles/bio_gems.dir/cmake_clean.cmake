@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_gems.dir/bio_gems.cpp.o"
+  "CMakeFiles/bio_gems.dir/bio_gems.cpp.o.d"
+  "bio_gems"
+  "bio_gems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_gems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpfs_pool.dir/dpfs_pool.cpp.o"
+  "CMakeFiles/dpfs_pool.dir/dpfs_pool.cpp.o.d"
+  "dpfs_pool"
+  "dpfs_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpfs_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

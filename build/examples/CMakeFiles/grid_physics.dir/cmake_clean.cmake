@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_physics.dir/grid_physics.cpp.o"
+  "CMakeFiles/grid_physics.dir/grid_physics.cpp.o.d"
+  "grid_physics"
+  "grid_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("acl")
+subdirs("auth")
+subdirs("chirp")
+subdirs("catalog")
+subdirs("nfs")
+subdirs("fs")
+subdirs("adapter")
+subdirs("parrot")
+subdirs("sim")
+subdirs("db")
+subdirs("gems")
+subdirs("workload")
+subdirs("tools")

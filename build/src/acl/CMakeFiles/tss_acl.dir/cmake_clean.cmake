@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_acl.dir/acl.cc.o"
+  "CMakeFiles/tss_acl.dir/acl.cc.o.d"
+  "libtss_acl.a"
+  "libtss_acl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapter/adapter.cc" "src/adapter/CMakeFiles/tss_adapter.dir/adapter.cc.o" "gcc" "src/adapter/CMakeFiles/tss_adapter.dir/adapter.cc.o.d"
+  "/root/repo/src/adapter/dsfs_mount.cc" "src/adapter/CMakeFiles/tss_adapter.dir/dsfs_mount.cc.o" "gcc" "src/adapter/CMakeFiles/tss_adapter.dir/dsfs_mount.cc.o.d"
+  "/root/repo/src/adapter/mountlist.cc" "src/adapter/CMakeFiles/tss_adapter.dir/mountlist.cc.o" "gcc" "src/adapter/CMakeFiles/tss_adapter.dir/mountlist.cc.o.d"
+  "/root/repo/src/adapter/pool.cc" "src/adapter/CMakeFiles/tss_adapter.dir/pool.cc.o" "gcc" "src/adapter/CMakeFiles/tss_adapter.dir/pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/tss_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/tss_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/tss_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/chirp/CMakeFiles/tss_chirp.dir/DependInfo.cmake"
+  "/root/repo/build/src/acl/CMakeFiles/tss_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tss_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_adapter.dir/adapter.cc.o"
+  "CMakeFiles/tss_adapter.dir/adapter.cc.o.d"
+  "CMakeFiles/tss_adapter.dir/dsfs_mount.cc.o"
+  "CMakeFiles/tss_adapter.dir/dsfs_mount.cc.o.d"
+  "CMakeFiles/tss_adapter.dir/mountlist.cc.o"
+  "CMakeFiles/tss_adapter.dir/mountlist.cc.o.d"
+  "CMakeFiles/tss_adapter.dir/pool.cc.o"
+  "CMakeFiles/tss_adapter.dir/pool.cc.o.d"
+  "libtss_adapter.a"
+  "libtss_adapter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auth/auth.cc" "src/auth/CMakeFiles/tss_auth.dir/auth.cc.o" "gcc" "src/auth/CMakeFiles/tss_auth.dir/auth.cc.o.d"
+  "/root/repo/src/auth/gsi.cc" "src/auth/CMakeFiles/tss_auth.dir/gsi.cc.o" "gcc" "src/auth/CMakeFiles/tss_auth.dir/gsi.cc.o.d"
+  "/root/repo/src/auth/hostname.cc" "src/auth/CMakeFiles/tss_auth.dir/hostname.cc.o" "gcc" "src/auth/CMakeFiles/tss_auth.dir/hostname.cc.o.d"
+  "/root/repo/src/auth/kerberos.cc" "src/auth/CMakeFiles/tss_auth.dir/kerberos.cc.o" "gcc" "src/auth/CMakeFiles/tss_auth.dir/kerberos.cc.o.d"
+  "/root/repo/src/auth/unix.cc" "src/auth/CMakeFiles/tss_auth.dir/unix.cc.o" "gcc" "src/auth/CMakeFiles/tss_auth.dir/unix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

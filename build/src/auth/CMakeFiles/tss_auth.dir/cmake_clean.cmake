@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_auth.dir/auth.cc.o"
+  "CMakeFiles/tss_auth.dir/auth.cc.o.d"
+  "CMakeFiles/tss_auth.dir/gsi.cc.o"
+  "CMakeFiles/tss_auth.dir/gsi.cc.o.d"
+  "CMakeFiles/tss_auth.dir/hostname.cc.o"
+  "CMakeFiles/tss_auth.dir/hostname.cc.o.d"
+  "CMakeFiles/tss_auth.dir/kerberos.cc.o"
+  "CMakeFiles/tss_auth.dir/kerberos.cc.o.d"
+  "CMakeFiles/tss_auth.dir/unix.cc.o"
+  "CMakeFiles/tss_auth.dir/unix.cc.o.d"
+  "libtss_auth.a"
+  "libtss_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

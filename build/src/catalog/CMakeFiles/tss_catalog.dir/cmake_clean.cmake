@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_catalog.dir/catalog.cc.o"
+  "CMakeFiles/tss_catalog.dir/catalog.cc.o.d"
+  "libtss_catalog.a"
+  "libtss_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

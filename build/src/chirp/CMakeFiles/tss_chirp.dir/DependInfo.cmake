@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chirp/client.cc" "src/chirp/CMakeFiles/tss_chirp.dir/client.cc.o" "gcc" "src/chirp/CMakeFiles/tss_chirp.dir/client.cc.o.d"
+  "/root/repo/src/chirp/posix_backend.cc" "src/chirp/CMakeFiles/tss_chirp.dir/posix_backend.cc.o" "gcc" "src/chirp/CMakeFiles/tss_chirp.dir/posix_backend.cc.o.d"
+  "/root/repo/src/chirp/protocol.cc" "src/chirp/CMakeFiles/tss_chirp.dir/protocol.cc.o" "gcc" "src/chirp/CMakeFiles/tss_chirp.dir/protocol.cc.o.d"
+  "/root/repo/src/chirp/server.cc" "src/chirp/CMakeFiles/tss_chirp.dir/server.cc.o" "gcc" "src/chirp/CMakeFiles/tss_chirp.dir/server.cc.o.d"
+  "/root/repo/src/chirp/session.cc" "src/chirp/CMakeFiles/tss_chirp.dir/session.cc.o" "gcc" "src/chirp/CMakeFiles/tss_chirp.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/acl/CMakeFiles/tss_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/tss_auth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

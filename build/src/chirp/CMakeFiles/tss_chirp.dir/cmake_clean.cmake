@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_chirp.dir/client.cc.o"
+  "CMakeFiles/tss_chirp.dir/client.cc.o.d"
+  "CMakeFiles/tss_chirp.dir/posix_backend.cc.o"
+  "CMakeFiles/tss_chirp.dir/posix_backend.cc.o.d"
+  "CMakeFiles/tss_chirp.dir/protocol.cc.o"
+  "CMakeFiles/tss_chirp.dir/protocol.cc.o.d"
+  "CMakeFiles/tss_chirp.dir/server.cc.o"
+  "CMakeFiles/tss_chirp.dir/server.cc.o.d"
+  "CMakeFiles/tss_chirp.dir/session.cc.o"
+  "CMakeFiles/tss_chirp.dir/session.cc.o.d"
+  "libtss_chirp.a"
+  "libtss_chirp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_chirp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

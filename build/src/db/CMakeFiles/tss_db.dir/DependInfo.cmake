@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/client.cc" "src/db/CMakeFiles/tss_db.dir/client.cc.o" "gcc" "src/db/CMakeFiles/tss_db.dir/client.cc.o.d"
+  "/root/repo/src/db/server.cc" "src/db/CMakeFiles/tss_db.dir/server.cc.o" "gcc" "src/db/CMakeFiles/tss_db.dir/server.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/db/CMakeFiles/tss_db.dir/table.cc.o" "gcc" "src/db/CMakeFiles/tss_db.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tss_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_db.dir/client.cc.o"
+  "CMakeFiles/tss_db.dir/client.cc.o.d"
+  "CMakeFiles/tss_db.dir/server.cc.o"
+  "CMakeFiles/tss_db.dir/server.cc.o.d"
+  "CMakeFiles/tss_db.dir/table.cc.o"
+  "CMakeFiles/tss_db.dir/table.cc.o.d"
+  "libtss_db.a"
+  "libtss_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

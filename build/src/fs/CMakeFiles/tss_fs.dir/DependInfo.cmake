@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/cfs.cc" "src/fs/CMakeFiles/tss_fs.dir/cfs.cc.o" "gcc" "src/fs/CMakeFiles/tss_fs.dir/cfs.cc.o.d"
+  "/root/repo/src/fs/dist.cc" "src/fs/CMakeFiles/tss_fs.dir/dist.cc.o" "gcc" "src/fs/CMakeFiles/tss_fs.dir/dist.cc.o.d"
+  "/root/repo/src/fs/filesystem.cc" "src/fs/CMakeFiles/tss_fs.dir/filesystem.cc.o" "gcc" "src/fs/CMakeFiles/tss_fs.dir/filesystem.cc.o.d"
+  "/root/repo/src/fs/local.cc" "src/fs/CMakeFiles/tss_fs.dir/local.cc.o" "gcc" "src/fs/CMakeFiles/tss_fs.dir/local.cc.o.d"
+  "/root/repo/src/fs/replicated.cc" "src/fs/CMakeFiles/tss_fs.dir/replicated.cc.o" "gcc" "src/fs/CMakeFiles/tss_fs.dir/replicated.cc.o.d"
+  "/root/repo/src/fs/striped.cc" "src/fs/CMakeFiles/tss_fs.dir/striped.cc.o" "gcc" "src/fs/CMakeFiles/tss_fs.dir/striped.cc.o.d"
+  "/root/repo/src/fs/stub.cc" "src/fs/CMakeFiles/tss_fs.dir/stub.cc.o" "gcc" "src/fs/CMakeFiles/tss_fs.dir/stub.cc.o.d"
+  "/root/repo/src/fs/versioned.cc" "src/fs/CMakeFiles/tss_fs.dir/versioned.cc.o" "gcc" "src/fs/CMakeFiles/tss_fs.dir/versioned.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/chirp/CMakeFiles/tss_chirp.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/tss_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/acl/CMakeFiles/tss_acl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

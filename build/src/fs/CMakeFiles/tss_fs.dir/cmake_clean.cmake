@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_fs.dir/cfs.cc.o"
+  "CMakeFiles/tss_fs.dir/cfs.cc.o.d"
+  "CMakeFiles/tss_fs.dir/dist.cc.o"
+  "CMakeFiles/tss_fs.dir/dist.cc.o.d"
+  "CMakeFiles/tss_fs.dir/filesystem.cc.o"
+  "CMakeFiles/tss_fs.dir/filesystem.cc.o.d"
+  "CMakeFiles/tss_fs.dir/local.cc.o"
+  "CMakeFiles/tss_fs.dir/local.cc.o.d"
+  "CMakeFiles/tss_fs.dir/replicated.cc.o"
+  "CMakeFiles/tss_fs.dir/replicated.cc.o.d"
+  "CMakeFiles/tss_fs.dir/striped.cc.o"
+  "CMakeFiles/tss_fs.dir/striped.cc.o.d"
+  "CMakeFiles/tss_fs.dir/stub.cc.o"
+  "CMakeFiles/tss_fs.dir/stub.cc.o.d"
+  "CMakeFiles/tss_fs.dir/versioned.cc.o"
+  "CMakeFiles/tss_fs.dir/versioned.cc.o.d"
+  "libtss_fs.a"
+  "libtss_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_gems.dir/gems.cc.o"
+  "CMakeFiles/tss_gems.dir/gems.cc.o.d"
+  "libtss_gems.a"
+  "libtss_gems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_gems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tss_gems.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/line_stream.cc" "src/net/CMakeFiles/tss_net.dir/line_stream.cc.o" "gcc" "src/net/CMakeFiles/tss_net.dir/line_stream.cc.o.d"
+  "/root/repo/src/net/server_loop.cc" "src/net/CMakeFiles/tss_net.dir/server_loop.cc.o" "gcc" "src/net/CMakeFiles/tss_net.dir/server_loop.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/net/CMakeFiles/tss_net.dir/socket.cc.o" "gcc" "src/net/CMakeFiles/tss_net.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

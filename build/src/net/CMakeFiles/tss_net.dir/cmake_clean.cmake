@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_net.dir/line_stream.cc.o"
+  "CMakeFiles/tss_net.dir/line_stream.cc.o.d"
+  "CMakeFiles/tss_net.dir/server_loop.cc.o"
+  "CMakeFiles/tss_net.dir/server_loop.cc.o.d"
+  "CMakeFiles/tss_net.dir/socket.cc.o"
+  "CMakeFiles/tss_net.dir/socket.cc.o.d"
+  "libtss_net.a"
+  "libtss_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

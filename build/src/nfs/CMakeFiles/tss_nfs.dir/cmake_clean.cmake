@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_nfs.dir/client.cc.o"
+  "CMakeFiles/tss_nfs.dir/client.cc.o.d"
+  "CMakeFiles/tss_nfs.dir/server.cc.o"
+  "CMakeFiles/tss_nfs.dir/server.cc.o.d"
+  "libtss_nfs.a"
+  "libtss_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

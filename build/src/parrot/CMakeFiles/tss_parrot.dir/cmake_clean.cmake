@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_parrot.dir/tracer.cc.o"
+  "CMakeFiles/tss_parrot.dir/tracer.cc.o.d"
+  "libtss_parrot.a"
+  "libtss_parrot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_parrot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_syscall_worker.dir/syscall_worker.cc.o"
+  "CMakeFiles/tss_syscall_worker.dir/syscall_worker.cc.o.d"
+  "tss_syscall_worker"
+  "tss_syscall_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_syscall_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

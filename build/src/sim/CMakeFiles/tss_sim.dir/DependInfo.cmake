@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/chirp_sim.cc" "src/sim/CMakeFiles/tss_sim.dir/chirp_sim.cc.o" "gcc" "src/sim/CMakeFiles/tss_sim.dir/chirp_sim.cc.o.d"
+  "/root/repo/src/sim/cluster.cc" "src/sim/CMakeFiles/tss_sim.dir/cluster.cc.o" "gcc" "src/sim/CMakeFiles/tss_sim.dir/cluster.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/tss_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/tss_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/resources.cc" "src/sim/CMakeFiles/tss_sim.dir/resources.cc.o" "gcc" "src/sim/CMakeFiles/tss_sim.dir/resources.cc.o.d"
+  "/root/repo/src/sim/sim_backend.cc" "src/sim/CMakeFiles/tss_sim.dir/sim_backend.cc.o" "gcc" "src/sim/CMakeFiles/tss_sim.dir/sim_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/chirp/CMakeFiles/tss_chirp.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/tss_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/acl/CMakeFiles/tss_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tss_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

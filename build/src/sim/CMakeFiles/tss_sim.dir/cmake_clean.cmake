@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_sim.dir/chirp_sim.cc.o"
+  "CMakeFiles/tss_sim.dir/chirp_sim.cc.o.d"
+  "CMakeFiles/tss_sim.dir/cluster.cc.o"
+  "CMakeFiles/tss_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/tss_sim.dir/engine.cc.o"
+  "CMakeFiles/tss_sim.dir/engine.cc.o.d"
+  "CMakeFiles/tss_sim.dir/resources.cc.o"
+  "CMakeFiles/tss_sim.dir/resources.cc.o.d"
+  "CMakeFiles/tss_sim.dir/sim_backend.cc.o"
+  "CMakeFiles/tss_sim.dir/sim_backend.cc.o.d"
+  "libtss_sim.a"
+  "libtss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_catalog_server.dir/catalog_server_main.cc.o"
+  "CMakeFiles/tss_catalog_server.dir/catalog_server_main.cc.o.d"
+  "tss_catalog_server"
+  "tss_catalog_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_catalog_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/chirp_server_main.cc" "src/tools/CMakeFiles/tss_chirp_server.dir/chirp_server_main.cc.o" "gcc" "src/tools/CMakeFiles/tss_chirp_server.dir/chirp_server_main.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chirp/CMakeFiles/tss_chirp.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/tss_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/tss_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/acl/CMakeFiles/tss_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tss_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_chirp_server.dir/chirp_server_main.cc.o"
+  "CMakeFiles/tss_chirp_server.dir/chirp_server_main.cc.o.d"
+  "tss_chirp_server"
+  "tss_chirp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_chirp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

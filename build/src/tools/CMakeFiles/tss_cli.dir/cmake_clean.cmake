@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_cli.dir/tss_main.cc.o"
+  "CMakeFiles/tss_cli.dir/tss_main.cc.o.d"
+  "tss"
+  "tss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_parrot_cli.dir/parrot_main.cc.o"
+  "CMakeFiles/tss_parrot_cli.dir/parrot_main.cc.o.d"
+  "tss_parrot"
+  "tss_parrot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_parrot_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_util.dir/checksum.cc.o"
+  "CMakeFiles/tss_util.dir/checksum.cc.o.d"
+  "CMakeFiles/tss_util.dir/clock.cc.o"
+  "CMakeFiles/tss_util.dir/clock.cc.o.d"
+  "CMakeFiles/tss_util.dir/logging.cc.o"
+  "CMakeFiles/tss_util.dir/logging.cc.o.d"
+  "CMakeFiles/tss_util.dir/path.cc.o"
+  "CMakeFiles/tss_util.dir/path.cc.o.d"
+  "CMakeFiles/tss_util.dir/rand.cc.o"
+  "CMakeFiles/tss_util.dir/rand.cc.o.d"
+  "CMakeFiles/tss_util.dir/strings.cc.o"
+  "CMakeFiles/tss_util.dir/strings.cc.o.d"
+  "libtss_util.a"
+  "libtss_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

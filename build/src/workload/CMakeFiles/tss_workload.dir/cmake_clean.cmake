@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_workload.dir/sp5.cc.o"
+  "CMakeFiles/tss_workload.dir/sp5.cc.o.d"
+  "libtss_workload.a"
+  "libtss_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapter_test.dir/adapter/adapter_test.cc.o"
+  "CMakeFiles/adapter_test.dir/adapter/adapter_test.cc.o.d"
+  "CMakeFiles/adapter_test.dir/adapter/concurrency_test.cc.o"
+  "CMakeFiles/adapter_test.dir/adapter/concurrency_test.cc.o.d"
+  "CMakeFiles/adapter_test.dir/adapter/dsfs_mount_test.cc.o"
+  "CMakeFiles/adapter_test.dir/adapter/dsfs_mount_test.cc.o.d"
+  "CMakeFiles/adapter_test.dir/adapter/pool_test.cc.o"
+  "CMakeFiles/adapter_test.dir/adapter/pool_test.cc.o.d"
+  "adapter_test"
+  "adapter_test.pdb"
+  "adapter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_test.dir/chirp/acl_enforcement_test.cc.o"
+  "CMakeFiles/chirp_test.dir/chirp/acl_enforcement_test.cc.o.d"
+  "CMakeFiles/chirp_test.dir/chirp/auth_wire_test.cc.o"
+  "CMakeFiles/chirp_test.dir/chirp/auth_wire_test.cc.o.d"
+  "CMakeFiles/chirp_test.dir/chirp/exported_data_test.cc.o"
+  "CMakeFiles/chirp_test.dir/chirp/exported_data_test.cc.o.d"
+  "CMakeFiles/chirp_test.dir/chirp/fuzz_test.cc.o"
+  "CMakeFiles/chirp_test.dir/chirp/fuzz_test.cc.o.d"
+  "CMakeFiles/chirp_test.dir/chirp/protocol_test.cc.o"
+  "CMakeFiles/chirp_test.dir/chirp/protocol_test.cc.o.d"
+  "CMakeFiles/chirp_test.dir/chirp/server_test.cc.o"
+  "CMakeFiles/chirp_test.dir/chirp/server_test.cc.o.d"
+  "CMakeFiles/chirp_test.dir/chirp/streaming_test.cc.o"
+  "CMakeFiles/chirp_test.dir/chirp/streaming_test.cc.o.d"
+  "chirp_test"
+  "chirp_test.pdb"
+  "chirp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

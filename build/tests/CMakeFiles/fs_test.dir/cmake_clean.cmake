@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_test.dir/fs/cfs_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/cfs_test.cc.o.d"
+  "CMakeFiles/fs_test.dir/fs/dist_model_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/dist_model_test.cc.o.d"
+  "CMakeFiles/fs_test.dir/fs/dist_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/dist_test.cc.o.d"
+  "CMakeFiles/fs_test.dir/fs/extensions_network_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/extensions_network_test.cc.o.d"
+  "CMakeFiles/fs_test.dir/fs/extensions_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/extensions_test.cc.o.d"
+  "CMakeFiles/fs_test.dir/fs/local_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/local_test.cc.o.d"
+  "CMakeFiles/fs_test.dir/fs/versioned_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/versioned_test.cc.o.d"
+  "fs_test"
+  "fs_test.pdb"
+  "fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

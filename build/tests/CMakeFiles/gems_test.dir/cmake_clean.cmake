@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gems_test.dir/gems/gems_test.cc.o"
+  "CMakeFiles/gems_test.dir/gems/gems_test.cc.o.d"
+  "CMakeFiles/gems_test.dir/gems/gems_wire_test.cc.o"
+  "CMakeFiles/gems_test.dir/gems/gems_wire_test.cc.o.d"
+  "gems_test"
+  "gems_test.pdb"
+  "gems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

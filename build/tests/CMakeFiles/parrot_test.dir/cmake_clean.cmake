@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_test.dir/parrot/tracer_test.cc.o"
+  "CMakeFiles/parrot_test.dir/parrot/tracer_test.cc.o.d"
+  "parrot_test"
+  "parrot_test.pdb"
+  "parrot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

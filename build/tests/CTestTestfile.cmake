@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/acl_test[1]_include.cmake")
+include("/root/repo/build/tests/auth_test[1]_include.cmake")
+include("/root/repo/build/tests/chirp_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/nfs_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/adapter_test[1]_include.cmake")
+include("/root/repo/build/tests/parrot_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
+include("/root/repo/build/tests/gems_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/tools_test[1]_include.cmake")
+include("/root/repo/build/tests/bench_harness_test[1]_include.cmake")
