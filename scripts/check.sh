@@ -1,0 +1,21 @@
+#!/bin/sh
+# Full verification: the tier-1 build+test pass, then the same suite under
+# ASan/UBSan (-DTSS_SANITIZE=ON) in a separate build tree.
+#
+# Usage: scripts/check.sh [jobs]
+set -eu
+
+jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "== tier-1: build + ctest =="
+cmake -B "$root/build" -S "$root"
+cmake --build "$root/build" -j "$jobs"
+(cd "$root/build" && ctest --output-on-failure -j "$jobs")
+
+echo "== sanitizers: ASan/UBSan build + ctest =="
+cmake -B "$root/build-asan" -S "$root" -DTSS_SANITIZE=ON
+cmake --build "$root/build-asan" -j "$jobs"
+(cd "$root/build-asan" && ctest --output-on-failure -j "$jobs")
+
+echo "== all checks passed =="

@@ -44,9 +44,9 @@ Result<Pool> discover_pool(const net::Endpoint& catalog,
     if (!probe.ok()) {
       TSS_DEBUG("pool") << "skipping " << report.address.to_string() << ": "
                         << probe.error().to_string();
-      pool.skipped.push_back(report.name.empty()
-                                 ? report.address.to_string()
-                                 : report.name);
+      pool.skipped.push_back(Pool::Skipped{
+          report.name.empty() ? report.address.to_string() : report.name,
+          std::move(probe).take_error()});
       continue;
     }
     std::string name = report.name.empty() ? report.address.to_string()

@@ -34,11 +34,19 @@ struct PoolPolicy {
 };
 
 struct Pool {
+  // A catalog entry that matched the policy but could not be used, and why
+  // — including, for authentication failures, the per-method reasons that
+  // chirp::Client::authenticate_any aggregates.
+  struct Skipped {
+    std::string name;
+    Error reason;
+  };
+
   // Owns the connections; `servers` maps catalog names to them.
   std::vector<std::unique_ptr<fs::CfsFs>> mounts;
   std::map<std::string, fs::FileSystem*> servers;
   // Catalog entries that matched the policy but could not be contacted.
-  std::vector<std::string> skipped;
+  std::vector<Skipped> skipped;
 };
 
 struct PoolOptions {

@@ -57,18 +57,32 @@ Result<auth::Subject> Client::authenticate(
 
 Result<auth::Subject> Client::authenticate_any(
     const std::vector<auth::ClientCredential*>& credentials) {
-  Error last(EACCES, "no credentials offered");
+  if (credentials.empty()) return Error(EACCES, "no credentials offered");
+  // Every method's failure reason is aggregated into the final error, so
+  // the caller learns *why* each method was refused, not just that all were.
+  std::string detail;
+  int last_code = EACCES;
+  size_t attempted = 0;
   for (auth::ClientCredential* credential : credentials) {
     auto subject = authenticate(*credential);
     if (subject.ok()) return subject;
-    last = std::move(subject).take_error();
+    Error err = std::move(subject).take_error();
+    last_code = err.code;
+    attempted++;
+    if (!detail.empty()) detail += "; ";
+    detail += credential->method() + ": " + err.to_string();
     // A transport error ends the attempt sequence; an auth refusal does not.
-    if (last.code == EPIPE || last.code == ECONNRESET ||
-        last.code == ETIMEDOUT) {
+    if (err.code == EPIPE || err.code == ECONNRESET ||
+        err.code == ETIMEDOUT) {
+      if (attempted < credentials.size()) {
+        detail += "; " +
+                  std::to_string(credentials.size() - attempted) +
+                  " method(s) not attempted (connection lost)";
+      }
       break;
     }
   }
-  return last;
+  return Error(last_code, "all authentication methods failed: " + detail);
 }
 
 namespace {

@@ -43,6 +43,12 @@ class Client {
   void close() { stream_.close(); }
   const net::Endpoint& server() const { return server_; }
 
+  // Transport-level fault injection (tests): sever or truncate mid-RPC so
+  // the recovery paths above this client run for real. See net::LineStream.
+  void set_transport_fault(net::LineStream::FaultHook hook) {
+    stream_.set_fault_hook(std::move(hook));
+  }
+
   // Attempts one authentication method.
   Result<auth::Subject> authenticate(auth::ClientCredential& credential);
   // Tries each credential in order until one succeeds (the paper: "a client

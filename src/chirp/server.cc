@@ -47,10 +47,13 @@ Server::Server(ServerOptions options, std::unique_ptr<Backend> backend,
 Server::~Server() { stop(); }
 
 Result<void> Server::start() {
+  net::ServerLoop::Limits limits;
+  limits.max_connections = options_.max_connections;
   return loop_.start(options_.host, options_.port,
                      [this](net::TcpSocket sock) {
                        serve_connection(std::move(sock));
-                     });
+                     },
+                     limits);
 }
 
 void Server::stop() { loop_.stop(); }
@@ -76,9 +79,23 @@ void Server::serve_connection(net::TcpSocket sock) {
   std::string request_payload;
   std::string response_payload;
 
+  // Between requests the session may sit idle for at most idle_timeout;
+  // within a request, every read/write gets the (usually tighter) io
+  // timeout. An idle session that times out is reaped exactly like a
+  // disconnect — the dtor frees all its state.
+  const Nanos idle_wait =
+      options_.idle_timeout > 0 ? options_.idle_timeout : options_.io_timeout;
+
   while (true) {
+    stream.set_timeout(idle_wait);
     auto line = stream.read_line();
-    if (!line.ok()) break;  // disconnect: session dtor frees all state
+    stream.set_timeout(options_.io_timeout);
+    if (!line.ok()) {
+      if (line.error().code == ETIMEDOUT) {
+        TSS_DEBUG("chirp") << "reaping idle session from " << peer.ip;
+      }
+      break;  // disconnect or idle: session dtor frees all state
+    }
 
     auto parsed = parse_request_line(line.value());
     if (!parsed.ok()) {

@@ -25,6 +25,15 @@ struct ServerOptions {
   std::string owner;            // owner subject, e.g. "unix:dthain"
   acl::Acl root_acl;            // policy for "/" until a .__acl__ exists
   Nanos io_timeout = 30 * kSecond;
+  // Admission control: beyond this many live sessions, new connections are
+  // refused immediately (0 = unlimited). A leaking client cannot exhaust
+  // the server's threads or descriptors.
+  size_t max_connections = 0;
+  // Idle-session reaper: a session that sends no request for this long is
+  // dropped and all its state freed, exactly as if it had disconnected
+  // (0 = wait io_timeout, the pre-existing behaviour). A stalled client
+  // cannot pin a session forever.
+  Nanos idle_timeout = 0;
 };
 
 class Server {
@@ -42,6 +51,11 @@ class Server {
   uint16_t port() const { return loop_.port(); }
   net::Endpoint endpoint() const {
     return net::Endpoint{options_.host, loop_.port()};
+  }
+  // Admission/reaping observability (tests and operators).
+  size_t active_sessions() const { return loop_.active_connections(); }
+  uint64_t rejected_connections() const {
+    return loop_.connections_rejected();
   }
   Backend& backend() { return *backend_; }
   const ServerOptions& options() const { return options_; }

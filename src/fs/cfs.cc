@@ -1,5 +1,7 @@
 #include "fs/cfs.h"
 
+#include <atomic>
+
 #include "util/logging.h"
 #include "util/path.h"
 
@@ -106,10 +108,30 @@ class CfsFile final : public File {
   CfsFs::OpenState* state_;
 };
 
+namespace {
+// Distinct default jitter seeds per instance: clients created together must
+// not share a jitter stream or they reconnect in lockstep anyway.
+uint64_t derive_jitter_seed() {
+  static std::atomic<uint64_t> counter{0x6a5d39eae116586dULL};
+  return counter.fetch_add(0x9e3779b97f4a7c15ULL) ^
+         static_cast<uint64_t>(RealClock::instance().now());
+}
+}  // namespace
+
 CfsFs::CfsFs(ConnectFn connect, Options options, Clock* clock)
     : connect_(std::move(connect)),
       options_(options),
-      clock_(clock ? clock : &RealClock::instance()) {}
+      clock_(clock ? clock : &RealClock::instance()),
+      jitter_rng_(options.jitter_seed ? options.jitter_seed
+                                      : derive_jitter_seed()) {}
+
+Nanos CfsFs::jittered_locked(Nanos delay) {
+  double jitter = options_.retry.jitter;
+  if (jitter <= 0) return delay;
+  // Factor uniform in [1 - jitter, 1 + jitter].
+  double factor = 1.0 + jitter * (2.0 * jitter_rng_.uniform() - 1.0);
+  return static_cast<Nanos>(static_cast<double>(delay) * factor);
+}
 
 CfsFs::~CfsFs() = default;
 
@@ -138,8 +160,9 @@ Result<void> CfsFs::reconnect_locked() {
   for (int attempt = 0; attempt < options_.retry.max_attempts; attempt++) {
     if (attempt > 0) {
       // "attempting to reconnect to the server with an exponentially
-      // increasing delay" (§6).
-      clock_->sleep_for(delay);
+      // increasing delay" (§6), jittered so a pool of clients spreads its
+      // reconnect attempts instead of stampeding a restarted server.
+      clock_->sleep_for(jittered_locked(delay));
       delay = std::min(delay * 2, options_.retry.max_delay);
     }
     auto client = connect_();

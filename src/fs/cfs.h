@@ -27,6 +27,7 @@
 #include "chirp/client.h"
 #include "fs/filesystem.h"
 #include "util/clock.h"
+#include "util/rand.h"
 
 namespace tss::fs {
 
@@ -34,6 +35,11 @@ struct RetryPolicy {
   int max_attempts = 5;                  // reconnect attempts per incident
   Nanos base_delay = 50 * kMillisecond;  // doubled after each failure
   Nanos max_delay = 5 * kSecond;
+  // Deterministic jitter: each backoff delay is scaled by a factor drawn
+  // uniformly from [1 - jitter, 1 + jitter], so a pool of clients whose
+  // server restarts does not reconnect in lockstep (a mini thundering
+  // herd). 0 disables. Seeded via Options::jitter_seed for reproducibility.
+  double jitter = 0.25;
 };
 
 class CfsFs final : public FileSystem {
@@ -44,6 +50,10 @@ class CfsFs final : public FileSystem {
   struct Options {
     RetryPolicy retry;
     bool sync_writes = false;  // §6: transparently append O_SYNC to opens
+    // Seed for the backoff-jitter Rng. 0 derives a per-instance seed (each
+    // client jitters differently); tests pass a fixed nonzero seed for
+    // reproducible schedules.
+    uint64_t jitter_seed = 0;
   };
 
   CfsFs(ConnectFn connect, Options options, Clock* clock = nullptr);
@@ -106,9 +116,13 @@ class CfsFs final : public FileSystem {
   Result<void> reconnect_locked();
   static bool is_transport_error(int code);
 
+  // Applies the policy's jitter to one backoff delay.
+  Nanos jittered_locked(Nanos delay);
+
   ConnectFn connect_;
   Options options_;
   Clock* clock_;
+  Rng jitter_rng_;
   std::mutex mutex_;
   std::optional<chirp::Client> client_;
   std::map<uint64_t, OpenState*> open_files_;

@@ -29,6 +29,16 @@ Result<void> DistFs::fault(const std::string& point) {
   return Result<void>::success();
 }
 
+namespace {
+// Errors that mean the *server* is gone, not that the operation was
+// semantically refused — the cue to retry file creation on the next server.
+bool is_unreachable(int code) {
+  return code == EHOSTUNREACH || code == ECONNREFUSED || code == ECONNRESET ||
+         code == ETIMEDOUT || code == EPIPE || code == ENETDOWN ||
+         code == ENETUNREACH || code == EIO || code == ENODEV;
+}
+}  // namespace
+
 FileSystem* DistFs::server_for(const std::string& name) {
   auto it = servers_.find(name);
   return it == servers_.end() ? nullptr : it->second;
@@ -90,10 +100,9 @@ Result<std::unique_ptr<File>> DistFs::open(const std::string& p,
   }
 
   // Step 1: choose a server and generate a unique data file name.
-  const std::string& server_name =
-      server_names_[rng_.below(server_names_.size())];
-  FileSystem* server = servers_[server_name];
-  Stub stub{server_name, path::join(options_.volume, generate_data_name())};
+  const size_t first_choice = rng_.below(server_names_.size());
+  Stub stub{server_names_[first_choice],
+            path::join(options_.volume, generate_data_name())};
 
   // Step 2: create the stub entry with an exclusive open, so a name
   // collision between two processes aborts file creation.
@@ -117,11 +126,32 @@ Result<std::unique_ptr<File>> DistFs::open(const std::string& p,
   // Crash injection point: stub exists, data file does not.
   TSS_RETURN_IF_ERROR(fault("stub-created"));
 
-  // Step 3: create the data file.
+  // Step 3: create the data file. The catalog listing behind this pool "is
+  // necessarily stale" (§4): the chosen server may be gone by now. That is
+  // no reason to fail the create — re-point the stub at the next server and
+  // try again, preserving the §5 stub-before-data ordering at every step.
   OpenFlags data_flags = flags;
   data_flags.create = true;
   data_flags.exclusive = false;
-  return server->open(stub.data_path, data_flags, mode);
+  Error last(EHOSTUNREACH, "no data server reachable");
+  for (size_t attempt = 0; attempt < server_names_.size(); attempt++) {
+    const std::string& server_name =
+        server_names_[(first_choice + attempt) % server_names_.size()];
+    if (attempt > 0) {
+      stub = Stub{server_name,
+                  path::join(options_.volume, generate_data_name())};
+      auto repointed = metadata_->write_file(canonical, stub.serialize());
+      if (!repointed.ok()) return std::move(repointed).take_error();
+    }
+    auto file = servers_[server_name]->open(stub.data_path, data_flags, mode);
+    if (file.ok()) return file;
+    last = std::move(file).take_error();
+    if (!is_unreachable(last.code)) break;  // semantic refusal: don't hop
+  }
+  // Every candidate failed. The metadata server is still reachable (it just
+  // accepted the stub), so clean up rather than leave a dangling stub.
+  (void)metadata_->unlink(canonical);
+  return last;
 }
 
 Result<Stub> DistFs::locate(const std::string& p) {

@@ -1,0 +1,232 @@
+#include "fs/faulty.h"
+
+#include "util/path.h"
+#include "util/strings.h"
+
+namespace tss::fs {
+
+FaultSchedule::FaultSchedule(uint64_t seed, Clock* clock)
+    : clock_(clock ? clock : &RealClock::instance()), rng_(seed ? seed : 1) {}
+
+void FaultSchedule::add(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(ActiveRule{std::move(rule), 0, 0});
+}
+
+void FaultSchedule::fail_nth(uint64_t nth, int error_code,
+                             std::string op_pattern,
+                             std::string path_pattern) {
+  FaultRule rule;
+  rule.op_pattern = std::move(op_pattern);
+  rule.path_pattern = std::move(path_pattern);
+  rule.skip = nth > 0 ? nth - 1 : 0;
+  rule.count = 1;
+  rule.error_code = error_code;
+  add(std::move(rule));
+}
+
+void FaultSchedule::fail_once(int error_code, std::string op_pattern,
+                              std::string path_pattern) {
+  fail_nth(1, error_code, std::move(op_pattern), std::move(path_pattern));
+}
+
+void FaultSchedule::fail_always(int error_code, std::string op_pattern,
+                                std::string path_pattern) {
+  FaultRule rule;
+  rule.op_pattern = std::move(op_pattern);
+  rule.path_pattern = std::move(path_pattern);
+  rule.error_code = error_code;
+  add(std::move(rule));
+}
+
+void FaultSchedule::fail_with_probability(double p, int error_code,
+                                          std::string op_pattern,
+                                          std::string path_pattern) {
+  FaultRule rule;
+  rule.op_pattern = std::move(op_pattern);
+  rule.path_pattern = std::move(path_pattern);
+  rule.probability = p;
+  rule.error_code = error_code;
+  add(std::move(rule));
+}
+
+void FaultSchedule::add_latency(Nanos latency, std::string op_pattern,
+                                std::string path_pattern) {
+  FaultRule rule;
+  rule.op_pattern = std::move(op_pattern);
+  rule.path_pattern = std::move(path_pattern);
+  rule.error_code = 0;
+  rule.latency = latency;
+  add(std::move(rule));
+}
+
+void FaultSchedule::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+}
+
+int FaultSchedule::decide(std::string_view op, const std::string& path) {
+  Nanos latency = 0;
+  int injected = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ops_++;
+    for (ActiveRule& active : rules_) {
+      const FaultRule& rule = active.rule;
+      if (!wildcard_match(rule.op_pattern, op)) continue;
+      if (!wildcard_match(rule.path_pattern, path)) continue;
+      active.matched++;
+      if (active.matched <= rule.skip) continue;
+      if (rule.count >= 0 &&
+          active.fired >= static_cast<uint64_t>(rule.count)) {
+        continue;
+      }
+      // The Rng is consumed only for probabilistic rules, so deterministic
+      // schedules stay byte-identical regardless of rule order.
+      if (rule.probability < 1.0 && rng_.uniform() >= rule.probability) {
+        continue;
+      }
+      active.fired++;
+      latency += rule.latency;
+      if (rule.error_code != 0 && injected == 0) {
+        injected = rule.error_code;
+        faults_++;
+      }
+    }
+  }
+  // Sleep outside the lock so a latency rule cannot serialize a whole stack.
+  if (latency > 0) clock_->sleep_for(latency);
+  return injected;
+}
+
+uint64_t FaultSchedule::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ops_;
+}
+
+uint64_t FaultSchedule::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_;
+}
+
+namespace {
+
+// An open file whose every operation first consults the schedule, using the
+// path the file was opened with for pattern matching.
+class FaultyFile final : public File {
+ public:
+  FaultyFile(std::unique_ptr<File> target, FaultSchedule* schedule,
+             std::string path)
+      : target_(std::move(target)),
+        schedule_(schedule),
+        path_(std::move(path)) {}
+
+  Result<size_t> pread(void* data, size_t size, int64_t offset) override {
+    if (int err = schedule_->decide("pread", path_)) {
+      return Error(err, "injected fault: pread " + path_);
+    }
+    return target_->pread(data, size, offset);
+  }
+
+  Result<size_t> pwrite(const void* data, size_t size,
+                        int64_t offset) override {
+    if (int err = schedule_->decide("pwrite", path_)) {
+      return Error(err, "injected fault: pwrite " + path_);
+    }
+    return target_->pwrite(data, size, offset);
+  }
+
+  Result<void> fsync() override {
+    if (int err = schedule_->decide("fsync", path_)) {
+      return Error(err, "injected fault: fsync " + path_);
+    }
+    return target_->fsync();
+  }
+
+  Result<StatInfo> fstat() override {
+    if (int err = schedule_->decide("fstat", path_)) {
+      return Error(err, "injected fault: fstat " + path_);
+    }
+    return target_->fstat();
+  }
+
+  Result<void> close() override {
+    if (int err = schedule_->decide("close", path_)) {
+      return Error(err, "injected fault: close " + path_);
+    }
+    return target_->close();
+  }
+
+ private:
+  std::unique_ptr<File> target_;
+  FaultSchedule* schedule_;
+  std::string path_;
+};
+
+}  // namespace
+
+FaultyFs::FaultyFs(FileSystem* target, FaultSchedule* schedule)
+    : target_(target), schedule_(schedule) {}
+
+Result<void> FaultyFs::check(std::string_view op, const std::string& path) {
+  if (int err = schedule_->decide(op, path)) {
+    return Error(err,
+                 "injected fault: " + std::string(op) + " " + path);
+  }
+  return Result<void>::success();
+}
+
+Result<std::unique_ptr<File>> FaultyFs::open(const std::string& p,
+                                             const OpenFlags& flags,
+                                             uint32_t mode) {
+  std::string canonical = path::sanitize(p);
+  TSS_RETURN_IF_ERROR(check("open", canonical));
+  TSS_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       target_->open(canonical, flags, mode));
+  return std::unique_ptr<File>(
+      new FaultyFile(std::move(file), schedule_, canonical));
+}
+
+Result<StatInfo> FaultyFs::stat(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  TSS_RETURN_IF_ERROR(check("stat", canonical));
+  return target_->stat(canonical);
+}
+
+Result<void> FaultyFs::unlink(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  TSS_RETURN_IF_ERROR(check("unlink", canonical));
+  return target_->unlink(canonical);
+}
+
+Result<void> FaultyFs::rename(const std::string& from, const std::string& to) {
+  std::string f = path::sanitize(from);
+  TSS_RETURN_IF_ERROR(check("rename", f));
+  return target_->rename(f, to);
+}
+
+Result<void> FaultyFs::mkdir(const std::string& p, uint32_t mode) {
+  std::string canonical = path::sanitize(p);
+  TSS_RETURN_IF_ERROR(check("mkdir", canonical));
+  return target_->mkdir(canonical, mode);
+}
+
+Result<void> FaultyFs::rmdir(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  TSS_RETURN_IF_ERROR(check("rmdir", canonical));
+  return target_->rmdir(canonical);
+}
+
+Result<void> FaultyFs::truncate(const std::string& p, uint64_t size) {
+  std::string canonical = path::sanitize(p);
+  TSS_RETURN_IF_ERROR(check("truncate", canonical));
+  return target_->truncate(canonical, size);
+}
+
+Result<std::vector<DirEntry>> FaultyFs::readdir(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  TSS_RETURN_IF_ERROR(check("readdir", canonical));
+  return target_->readdir(canonical);
+}
+
+}  // namespace tss::fs

@@ -1,0 +1,129 @@
+// FaultyFs: deterministic fault injection over any FileSystem.
+//
+// The paper's central robustness claim (§6) is that TSS abstractions survive
+// the failures of the raw servers beneath them. FaultyFs is how we test that
+// claim without real broken hardware: a decorator that consults a seeded
+// FaultSchedule before delegating each operation, so any layer of the stack
+// (a DistFs data server, a ReplicatedFs member, a DPFS metadata tree) can be
+// made to fail the Nth op with a chosen errno, fail once and then recover,
+// fail every op on a path pattern ("server death"), or answer slowly.
+//
+// Schedules are seeded and consulted in operation order, so a chaos run with
+// a fixed seed replays the exact same fault sequence — failures become
+// regression tests instead of flakes.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fs/filesystem.h"
+#include "util/clock.h"
+#include "util/rand.h"
+
+namespace tss::fs {
+
+// One rule in a fault schedule. A rule matches an operation by name and path
+// and fires according to its trigger; a firing rule injects `latency` (via
+// the schedule's Clock) and, if `error_code` is nonzero, fails the operation
+// with that errno instead of delegating.
+//
+// Operation names are the primitive FileSystem/File verbs: open, stat,
+// unlink, rename, mkdir, rmdir, truncate, readdir, pread, pwrite, fsync,
+// fstat, close. (read_file/write_file decompose into open/pread/pwrite, so
+// rules on the primitives cover them.)
+struct FaultRule {
+  std::string op_pattern = "*";    // wildcard over the operation name
+  std::string path_pattern = "*";  // wildcard over the sanitized path
+  uint64_t skip = 0;               // let the first `skip` matching ops pass
+  int64_t count = -1;              // fire at most this many times (-1 = forever)
+  double probability = 1.0;        // chance an eligible op fires (seeded Rng)
+  int error_code = EIO;            // injected errno; 0 = latency-only rule
+  Nanos latency = 0;               // injected sleep before the verdict
+};
+
+// A seeded, shareable fault schedule. Thread-safe: several FaultyFs
+// decorators may consult one schedule so a single seed drives a whole stack.
+class FaultSchedule {
+ public:
+  explicit FaultSchedule(uint64_t seed = 1, Clock* clock = nullptr);
+
+  void add(FaultRule rule);
+
+  // Convenience builders for the common shapes.
+  // Fails the nth (1-based) matching op, once.
+  void fail_nth(uint64_t nth, int error_code, std::string op_pattern = "*",
+                std::string path_pattern = "*");
+  // Fails the next matching op, then recovers.
+  void fail_once(int error_code, std::string op_pattern = "*",
+                 std::string path_pattern = "*");
+  // Fails every matching op until clear() — a dead server or lost path.
+  void fail_always(int error_code, std::string op_pattern = "*",
+                   std::string path_pattern = "*");
+  // Fails each matching op with probability p.
+  void fail_with_probability(double p, int error_code,
+                             std::string op_pattern = "*",
+                             std::string path_pattern = "*");
+  // Delays every matching op without failing it.
+  void add_latency(Nanos latency, std::string op_pattern = "*",
+                   std::string path_pattern = "*");
+
+  // Forgets all rules (the injected failure is repaired); counters survive.
+  void clear();
+
+  // Consulted once per operation by FaultyFs. Applies latency of every
+  // firing rule, then returns the first firing error code (0 = proceed).
+  int decide(std::string_view op, const std::string& path);
+
+  uint64_t ops_seen() const;
+  uint64_t faults_injected() const;
+
+ private:
+  struct ActiveRule {
+    FaultRule rule;
+    uint64_t matched = 0;  // eligible ops seen by this rule
+    uint64_t fired = 0;
+  };
+
+  mutable std::mutex mutex_;
+  Clock* clock_;
+  Rng rng_;
+  std::vector<ActiveRule> rules_;
+  uint64_t ops_ = 0;
+  uint64_t faults_ = 0;
+};
+
+// The decorator. Borrows the target filesystem and the schedule; both must
+// outlive it. Stacks compose naturally: FaultyFs over LocalFs is a flaky
+// disk, FaultyFs over CfsFs is a flaky network mount.
+class FaultyFs final : public FileSystem {
+ public:
+  FaultyFs(FileSystem* target, FaultSchedule* schedule);
+
+  Result<std::unique_ptr<File>> open(const std::string& path,
+                                     const OpenFlags& flags,
+                                     uint32_t mode) override;
+  using FileSystem::open;
+  Result<StatInfo> stat(const std::string& path) override;
+  Result<void> unlink(const std::string& path) override;
+  Result<void> rename(const std::string& from, const std::string& to) override;
+  Result<void> mkdir(const std::string& path, uint32_t mode) override;
+  using FileSystem::mkdir;
+  Result<void> rmdir(const std::string& path) override;
+  Result<void> truncate(const std::string& path, uint64_t size) override;
+  Result<std::vector<DirEntry>> readdir(const std::string& path) override;
+
+  FileSystem& target() { return *target_; }
+  FaultSchedule& schedule() { return *schedule_; }
+
+ private:
+  friend class FaultyFile;
+  // Returns the injected error for `op` on `path`, or ok to proceed.
+  Result<void> check(std::string_view op, const std::string& path);
+
+  FileSystem* target_;
+  FaultSchedule* schedule_;
+};
+
+}  // namespace tss::fs

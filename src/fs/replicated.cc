@@ -7,20 +7,43 @@ namespace tss::fs {
 
 namespace {
 
+// Failures that speak to a replica's *availability* and count toward its
+// circuit breaker. Semantic refusals (ENOENT, EEXIST, EACCES...) do not: a
+// replica that is reachable but missing one file is a divergence problem,
+// not an availability problem.
+bool is_availability_error(int code) {
+  return code == EIO || code == EPIPE || code == ECONNRESET ||
+         code == ECONNREFUSED || code == ETIMEDOUT || code == EHOSTUNREACH ||
+         code == ENETDOWN || code == ENETUNREACH || code == ENODEV ||
+         code == EBADF || code == ESTALE;
+}
+
+}  // namespace
+
 // An open replicated file: writes fan out to every replica that opened;
-// reads come from the first live one.
+// reads come from the first live one. Outcomes are reported back to the
+// parent so its per-replica health tracking sees file-level failures too.
 class ReplicatedFile final : public File {
  public:
-  explicit ReplicatedFile(std::vector<std::unique_ptr<File>> files)
-      : files_(std::move(files)) {}
+  struct Member {
+    size_t index;  // replica index in the parent
+    std::unique_ptr<File> file;
+  };
+
+  ReplicatedFile(ReplicatedFs* parent, std::vector<Member> members)
+      : parent_(parent), members_(std::move(members)) {}
 
   Result<size_t> pread(void* data, size_t size, int64_t offset) override {
     Error last(EIO, "no replica answered");
-    for (auto& file : files_) {
-      if (!file) continue;
-      auto n = file->pread(data, size, offset);
-      if (n.ok()) return n;
+    for (auto& m : members_) {
+      if (!m.file) continue;
+      auto n = m.file->pread(data, size, offset);
+      if (n.ok()) {
+        parent_->note_success(m.index);
+        return n;
+      }
       last = std::move(n).take_error();
+      parent_->note_failure(m.index, last.code);
     }
     return last;
   }
@@ -29,29 +52,36 @@ class ReplicatedFile final : public File {
                         int64_t offset) override {
     std::optional<size_t> wrote;
     Error last(EIO, "no replica accepted the write");
-    for (auto& file : files_) {
-      if (!file) continue;
-      auto n = file->pwrite(data, size, offset);
+    std::vector<size_t> failed;
+    for (auto& m : members_) {
+      if (!m.file) continue;
+      auto n = m.file->pwrite(data, size, offset);
       if (n.ok()) {
+        parent_->note_success(m.index);
         wrote = n.value();
       } else {
         last = std::move(n).take_error();
-        // The replica diverged; drop it from this handle so reads don't
-        // see stale data through it.
         TSS_WARN("replicated") << "replica write failed: " << last.to_string();
-        file.reset();
+        parent_->note_failure(m.index, last.code);
+        failed.push_back(m.index);
+        // Drop the replica from this handle so reads don't see stale data
+        // through it.
+        m.file.reset();
       }
     }
     if (!wrote) return last;
+    // The write landed somewhere, so every replica that missed it is now
+    // behind the others.
+    for (size_t i : failed) parent_->mark_diverged(i);
     return *wrote;
   }
 
   Result<void> fsync() override {
     Result<void> result = Result<void>::success();
     bool any = false;
-    for (auto& file : files_) {
-      if (!file) continue;
-      auto rc = file->fsync();
+    for (auto& m : members_) {
+      if (!m.file) continue;
+      auto rc = m.file->fsync();
       if (rc.ok()) {
         any = true;
       } else {
@@ -64,9 +94,9 @@ class ReplicatedFile final : public File {
 
   Result<StatInfo> fstat() override {
     Error last(EIO, "no replica answered");
-    for (auto& file : files_) {
-      if (!file) continue;
-      auto info = file->fstat();
+    for (auto& m : members_) {
+      if (!m.file) continue;
+      auto info = m.file->fstat();
       if (info.ok()) return info;
       last = std::move(info).take_error();
     }
@@ -75,11 +105,11 @@ class ReplicatedFile final : public File {
 
   Result<void> close() override {
     Result<void> result = Result<void>::success();
-    for (auto& file : files_) {
-      if (!file) continue;
-      auto rc = file->close();
+    for (auto& m : members_) {
+      if (!m.file) continue;
+      auto rc = m.file->close();
       if (!rc.ok()) result = std::move(rc);
-      file.reset();
+      m.file.reset();
     }
     return result;
   }
@@ -87,27 +117,123 @@ class ReplicatedFile final : public File {
   ~ReplicatedFile() override { (void)close(); }
 
  private:
-  std::vector<std::unique_ptr<File>> files_;
+  ReplicatedFs* parent_;
+  std::vector<Member> members_;
 };
 
-}  // namespace
+ReplicatedFs::ReplicatedFs(std::vector<FileSystem*> replicas, Options options)
+    : replicas_(std::move(replicas)),
+      options_(options),
+      health_(replicas_.size()) {}
 
-ReplicatedFs::ReplicatedFs(std::vector<FileSystem*> replicas)
-    : replicas_(std::move(replicas)) {}
+bool ReplicatedFs::replica_available(size_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return available_locked(i);
+}
+
+bool ReplicatedFs::replica_diverged(size_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return health_[i].diverged;
+}
+
+void ReplicatedFs::note_success(size_t i) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  health_[i].consecutive_failures = 0;
+}
+
+void ReplicatedFs::note_failure(size_t i, int code) {
+  if (!is_availability_error(code)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Health& h = health_[i];
+  h.consecutive_failures++;
+  if (h.consecutive_failures == options_.failure_threshold) {
+    TSS_WARN("replicated") << "replica " << i << " failed "
+                           << h.consecutive_failures
+                           << " consecutive ops; circuit breaker open";
+  }
+}
+
+void ReplicatedFs::mark_diverged(size_t i) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  health_[i].diverged = true;
+}
+
+std::vector<size_t> ReplicatedFs::read_order(size_t* clean_count) const {
+  std::vector<size_t> order, broken;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < replicas_.size(); i++) {
+    if (available_locked(i) && !health_[i].diverged) {
+      order.push_back(i);
+    } else {
+      broken.push_back(i);
+    }
+  }
+  // Broken replicas come last: they are only consulted when every clean
+  // replica has failed, so the common-case read never pays their timeout.
+  if (clean_count) *clean_count = order.size();
+  order.insert(order.end(), broken.begin(), broken.end());
+  return order;
+}
+
+std::vector<size_t> ReplicatedFs::write_targets(std::vector<size_t>* skipped) {
+  std::vector<size_t> targets;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < replicas_.size(); i++) {
+    if (available_locked(i)) {
+      targets.push_back(i);
+    } else {
+      skipped->push_back(i);
+    }
+  }
+  // With every breaker open there is nothing useful to skip *to*; attempt
+  // all replicas so the caller gets the real error (and a revived replica
+  // gets a chance to close its breaker).
+  if (targets.empty()) {
+    targets.swap(*skipped);
+  }
+  return targets;
+}
 
 template <typename Fn>
 Result<void> ReplicatedFs::broadcast(Fn&& fn) {
+  std::vector<size_t> skipped;
+  std::vector<size_t> targets = write_targets(&skipped);
+  std::vector<size_t> failed;
   bool any = false;
   Error last(EIO, "no replica reachable");
-  for (FileSystem* replica : replicas_) {
-    auto rc = fn(*replica);
+  for (size_t i : targets) {
+    auto rc = fn(*replicas_[i]);
     if (rc.ok()) {
       any = true;
+      note_success(i);
     } else {
       last = std::move(rc).take_error();
+      note_failure(i, last.code);
+      failed.push_back(i);
     }
   }
-  if (any) return Result<void>::success();
+  if (!any) return last;
+  // The mutation landed on at least one replica: every replica that missed
+  // it (failed or skipped by its breaker) is now diverged. When it landed
+  // nowhere, the replicas are still mutually consistent — no divergence.
+  for (size_t i : failed) mark_diverged(i);
+  for (size_t i : skipped) mark_diverged(i);
+  return Result<void>::success();
+}
+
+template <typename Fn>
+auto ReplicatedFs::first_success(Fn&& fn)
+    -> decltype(fn(std::declval<FileSystem&>())) {
+  Error last(EIO, "no replica reachable");
+  for (size_t i : read_order()) {
+    auto result = fn(*replicas_[i]);
+    if (result.ok()) {
+      note_success(i);
+      return result;
+    }
+    last = std::move(result).take_error();
+    note_failure(i, last.code);
+  }
   return last;
 }
 
@@ -115,35 +241,48 @@ Result<std::unique_ptr<File>> ReplicatedFs::open(const std::string& p,
                                                  const OpenFlags& flags,
                                                  uint32_t mode) {
   std::string canonical = path::sanitize(p);
-  std::vector<std::unique_ptr<File>> files;
+  const bool mutates = flags.write || flags.create || flags.truncate;
+  // A mutating open fans out like a broadcast; a read-open follows read
+  // order so a dead or diverged replica never fronts the file.
+  std::vector<size_t> skipped;
+  size_t clean_count = 0;
+  std::vector<size_t> order =
+      mutates ? write_targets(&skipped) : read_order(&clean_count);
+  std::vector<ReplicatedFile::Member> members;
+  std::vector<size_t> failed;
   bool any = false;
   Error last(EIO, "no replica reachable");
-  for (FileSystem* replica : replicas_) {
-    auto file = replica->open(canonical, flags, mode);
+  for (size_t pos = 0; pos < order.size(); pos++) {
+    size_t i = order[pos];
+    // The broken tail of the read order is a last resort: once any clean
+    // replica fronts the file, don't pay a dead replica's failure (or risk a
+    // diverged replica's stale bytes) on every open.
+    if (!mutates && pos >= clean_count && any) break;
+    auto file = replicas_[i]->open(canonical, flags, mode);
     if (file.ok()) {
-      files.push_back(std::move(file).value());
+      members.push_back({i, std::move(file).value()});
+      note_success(i);
       any = true;
     } else {
       last = std::move(file).take_error();
-      files.push_back(nullptr);
       // A hard semantic refusal (EEXIST on O_EXCL) must win over partial
       // success — otherwise exclusive create loses its meaning.
       if (last.code == EEXIST && flags.exclusive) return last;
+      note_failure(i, last.code);
+      failed.push_back(i);
     }
   }
   if (!any) return last;
-  return std::unique_ptr<File>(new ReplicatedFile(std::move(files)));
+  if (mutates) {
+    for (size_t i : failed) mark_diverged(i);
+    for (size_t i : skipped) mark_diverged(i);
+  }
+  return std::unique_ptr<File>(new ReplicatedFile(this, std::move(members)));
 }
 
 Result<StatInfo> ReplicatedFs::stat(const std::string& p) {
   std::string canonical = path::sanitize(p);
-  Error last(EIO, "no replica reachable");
-  for (FileSystem* replica : replicas_) {
-    auto info = replica->stat(canonical);
-    if (info.ok()) return info;
-    last = std::move(info).take_error();
-  }
-  return last;
+  return first_success([&](FileSystem& fs) { return fs.stat(canonical); });
 }
 
 Result<void> ReplicatedFs::unlink(const std::string& p) {
@@ -175,22 +314,30 @@ Result<void> ReplicatedFs::truncate(const std::string& p, uint64_t size) {
 
 Result<std::vector<DirEntry>> ReplicatedFs::readdir(const std::string& p) {
   std::string canonical = path::sanitize(p);
-  Error last(EIO, "no replica reachable");
-  for (FileSystem* replica : replicas_) {
-    auto entries = replica->readdir(canonical);
-    if (entries.ok()) return entries;
-    last = std::move(entries).take_error();
+  return first_success([&](FileSystem& fs) { return fs.readdir(canonical); });
+}
+
+Result<void> ReplicatedFs::probe(size_t i) {
+  if (i >= replicas_.size()) return Error(EINVAL, "no such replica");
+  auto rc = replicas_[i]->stat("/");
+  if (rc.ok()) {
+    note_success(i);
+    return Result<void>::success();
   }
-  return last;
+  note_failure(i, rc.error().code);
+  return std::move(rc).take_error();
 }
 
 Result<int> ReplicatedFs::repair(const std::string& p) {
   std::string canonical = path::sanitize(p);
-  // Source: the first replica holding the file.
+  // Source: the first clean replica holding the file (a diverged replica
+  // must never be the golden copy).
   FileSystem* source = nullptr;
-  for (FileSystem* replica : replicas_) {
-    if (replica->stat(canonical).ok()) {
-      source = replica;
+  size_t source_index = 0;
+  for (size_t i : read_order()) {
+    if (replicas_[i]->stat(canonical).ok()) {
+      source = replicas_[i];
+      source_index = i;
       break;
     }
   }
@@ -198,17 +345,30 @@ Result<int> ReplicatedFs::repair(const std::string& p) {
   TSS_ASSIGN_OR_RETURN(std::string golden, source->read_file(canonical));
 
   int repaired = 0;
-  for (FileSystem* replica : replicas_) {
-    if (replica == source) continue;
+  for (size_t i = 0; i < replicas_.size(); i++) {
+    FileSystem* replica = replicas_[i];
+    if (i == source_index) continue;
     auto current = replica->read_file(canonical);
-    if (current.ok() && current.value() == golden) continue;
+    if (current.ok() && current.value() == golden) {
+      note_success(i);
+      continue;
+    }
     auto rc = replica->write_file(canonical, golden);
     if (!rc.ok() && rc.error().code == ENOENT) {
       // A replacement replica may lack the parent directories entirely.
       auto made = mkdir_recursive(*replica, path::dirname(canonical));
       if (made.ok()) rc = replica->write_file(canonical, golden);
     }
-    if (rc.ok()) repaired++;
+    if (rc.ok()) {
+      repaired++;
+      // Converged: reachable and carrying the golden bytes again; close the
+      // breaker and clear the diverged mark.
+      std::lock_guard<std::mutex> lock(mutex_);
+      health_[i].consecutive_failures = 0;
+      health_[i].diverged = false;
+    } else {
+      note_failure(i, rc.error().code);
+    }
   }
   return repaired;
 }

@@ -10,10 +10,19 @@
 // replicas converge again by copying from the first reachable one — the
 // same repair shape as the GEMS replicator, at filesystem granularity.
 //
+// Failure hardening: each replica carries a health record. A replica that
+// fails `failure_threshold` consecutive operations trips its circuit
+// breaker: it is skipped for reads (no timeout paid on every access to a
+// dead server) and skipped-but-marked-diverged for writes, until a probe()
+// or repair() against it succeeds. Divergence is a separate, stickier bit:
+// it records that the replica missed a mutation and is cleared only by
+// repair() — a reachable replica with stale data must not serve reads.
+//
 // This is deliberately the "simplest available solution" (§1): no quorums,
-// no versions vectors. Trust and placement decisions stay with the user.
+// no version vectors. Trust and placement decisions stay with the user.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,8 +32,15 @@ namespace tss::fs {
 
 class ReplicatedFs final : public FileSystem {
  public:
+  struct Options {
+    // Consecutive failures before a replica's circuit breaker opens.
+    int failure_threshold = 3;
+  };
+
   // Replicas are borrowed and must outlive the ReplicatedFs. At least one.
-  explicit ReplicatedFs(std::vector<FileSystem*> replicas);
+  ReplicatedFs(std::vector<FileSystem*> replicas, Options options);
+  explicit ReplicatedFs(std::vector<FileSystem*> replicas)
+      : ReplicatedFs(std::move(replicas), Options{}) {}
 
   Result<std::unique_ptr<File>> open(const std::string& path,
                                      const OpenFlags& flags,
@@ -39,17 +55,56 @@ class ReplicatedFs final : public FileSystem {
   Result<void> truncate(const std::string& path, uint64_t size) override;
   Result<std::vector<DirEntry>> readdir(const std::string& path) override;
 
-  // Re-synchronizes `path` (a file) on all replicas from the first replica
-  // that holds it. Returns the number of replicas repaired.
+  // Re-synchronizes `path` (a file) on all replicas from the first healthy
+  // replica that holds it. Returns the number of replicas repaired. A
+  // successfully repaired replica has its breaker closed and its diverged
+  // mark cleared.
   Result<int> repair(const std::string& path);
 
+  // Actively checks replica `i` (a stat of "/"). Success closes its
+  // circuit breaker; the diverged mark, if any, stays until repair().
+  Result<void> probe(size_t i);
+
   size_t replica_count() const { return replicas_.size(); }
+  // Breaker closed: the replica participates in reads and writes.
+  bool replica_available(size_t i) const;
+  // The replica missed at least one mutation since the last repair().
+  bool replica_diverged(size_t i) const;
 
  private:
+  friend class ReplicatedFile;
+
+  struct Health {
+    int consecutive_failures = 0;
+    bool diverged = false;
+  };
+
+  bool available_locked(size_t i) const {
+    return health_[i].consecutive_failures < options_.failure_threshold;
+  }
+  // Reads prefer clean replicas (available, not diverged); broken ones are
+  // kept as a last resort so a fully-failed set still degrades to an error
+  // from the real operation rather than a synthetic one. `clean_count`, if
+  // given, receives the number of leading clean entries.
+  std::vector<size_t> read_order(size_t* clean_count = nullptr) const;
+  // Replicas whose breaker is closed; the rest land in `skipped` (unless
+  // every breaker is open, in which case all replicas become targets).
+  std::vector<size_t> write_targets(std::vector<size_t>* skipped);
+  void note_success(size_t i);
+  // Counts availability-class failures toward the breaker; semantic
+  // refusals (ENOENT, EACCES, ...) do not open it.
+  void note_failure(size_t i, int code);
+  void mark_diverged(size_t i);
+
   template <typename Fn>
   Result<void> broadcast(Fn&& fn);
+  template <typename Fn>
+  auto first_success(Fn&& fn) -> decltype(fn(std::declval<FileSystem&>()));
 
   std::vector<FileSystem*> replicas_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::vector<Health> health_;
 };
 
 }  // namespace tss::fs

@@ -11,7 +11,37 @@ constexpr size_t kReadChunk = 64 * 1024;
 LineStream::LineStream(TcpSocket sock, Nanos timeout)
     : sock_(std::move(sock)), timeout_(timeout) {}
 
+Result<void> LineStream::consult_fault_hook(std::string_view point) {
+  if (!fault_hook_) return Result<void>::success();
+  TransportFault fault = fault_hook_(point);
+  switch (fault.action) {
+    case TransportFault::Action::kNone:
+      return Result<void>::success();
+    case TransportFault::Action::kError:
+      return Error(fault.error_code,
+                   "injected transport fault at " + std::string(point));
+    case TransportFault::Action::kSever:
+      wbuf_.clear();
+      sock_.close();
+      return Error(fault.error_code,
+                   "injected disconnect at " + std::string(point));
+    case TransportFault::Action::kTruncate: {
+      // Send a torn frame: half of whatever is pending, then sever. The
+      // peer observes a frame shorter than its header promised.
+      if (!wbuf_.empty()) {
+        (void)sock_.write_all(wbuf_.data(), wbuf_.size() / 2, timeout_);
+        wbuf_.clear();
+      }
+      sock_.close();
+      return Error(fault.error_code,
+                   "injected frame truncation at " + std::string(point));
+    }
+  }
+  return Result<void>::success();
+}
+
 Result<void> LineStream::fill() {
+  TSS_RETURN_IF_ERROR(consult_fault_hook("read"));
   // Compact the consumed prefix occasionally so the buffer doesn't grow.
   if (rpos_ > 0 && rpos_ == rbuf_.size()) {
     rbuf_.clear();
@@ -89,6 +119,7 @@ void LineStream::write_blob(const void* data, size_t size) {
 
 Result<void> LineStream::flush() {
   if (wbuf_.empty()) return Result<void>::success();
+  TSS_RETURN_IF_ERROR(consult_fault_hook("flush"));
   auto rc = sock_.write_all(wbuf_.data(), wbuf_.size(), timeout_);
   wbuf_.clear();
   return rc;

@@ -8,6 +8,7 @@
 // latency measurements in Figures 4 and 5).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -16,8 +17,33 @@
 
 namespace tss::net {
 
+// Transport-level fault injection (tests only). A hook is consulted before
+// each socket read ("read") and each buffered send ("flush") and returns the
+// action to take: proceed, fail with an errno without touching the socket,
+// sever the connection (close, then fail — the peer sees EOF mid-stream), or
+// truncate (send only half of the pending frame, then sever — the peer reads
+// a torn frame). Severing mid-RPC is how the recovery machinery of CfsFs and
+// the teardown path of chirp::Server are exercised for real.
+struct TransportFault {
+  enum class Action { kNone, kError, kSever, kTruncate };
+  Action action = Action::kNone;
+  int error_code = ECONNRESET;
+
+  static TransportFault none() { return TransportFault{}; }
+  static TransportFault error(int code) {
+    return TransportFault{Action::kError, code};
+  }
+  static TransportFault sever() {
+    return TransportFault{Action::kSever, ECONNRESET};
+  }
+  static TransportFault truncate() {
+    return TransportFault{Action::kTruncate, ECONNRESET};
+  }
+};
+
 class LineStream {
  public:
+  using FaultHook = std::function<TransportFault(std::string_view point)>;
   // Default per-operation timeout 30s; override per call site as needed.
   explicit LineStream(TcpSocket sock, Nanos timeout = 30 * kSecond);
 
@@ -52,14 +78,21 @@ class LineStream {
   void close() { sock_.close(); }
   TcpSocket& socket() { return sock_; }
 
+  // Installs (or clears, with nullptr) the fault hook. Consulted at points
+  // "read" and "flush"; see TransportFault above.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
  private:
   Result<void> fill();
+  // Applies the hook's verdict for `point`; error means the op must abort.
+  Result<void> consult_fault_hook(std::string_view point);
 
   TcpSocket sock_;
   Nanos timeout_;
   std::string rbuf_;
   size_t rpos_ = 0;
   std::string wbuf_;
+  FaultHook fault_hook_;
 };
 
 }  // namespace tss::net

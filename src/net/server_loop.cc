@@ -8,10 +8,11 @@
 namespace tss::net {
 
 Result<void> ServerLoop::start(const std::string& host, uint16_t port,
-                               Handler handler) {
+                               Handler handler, Limits limits) {
   TSS_ASSIGN_OR_RETURN(listener_, TcpListener::listen(host, port));
   port_ = listener_.port();
   handler_ = std::move(handler);
+  limits_ = limits;
   running_.store(true);
   accept_thread_ = std::thread([this] { accept_loop(); });
   return Result<void>::success();
@@ -31,7 +32,20 @@ void ServerLoop::accept_loop() {
       }
       break;
     }
+    if (limits_.max_connections > 0 &&
+        active_.load() >= limits_.max_connections) {
+      // Over the cap: close immediately. The client's next read observes
+      // EOF — a fast refusal, not a hang.
+      rejected_.fetch_add(1);
+      TSS_DEBUG("net") << "connection cap (" << limits_.max_connections
+                       << ") reached, refusing client";
+      sock.value().close();
+      std::lock_guard<std::mutex> lock(mutex_);
+      reap_finished_locked();
+      continue;
+    }
     accepted_.fetch_add(1);
+    active_.fetch_add(1);
     Connection conn;
     // dup the fd so stop() can shutdown() a blocked handler without racing
     // fd reuse: we own the dup until we close it ourselves.
@@ -42,6 +56,7 @@ void ServerLoop::accept_loop() {
         [this, s = std::move(sock).value(), done]() mutable {
           handler_(std::move(s));
           done->store(true);
+          active_.fetch_sub(1);
         });
     std::lock_guard<std::mutex> lock(mutex_);
     conns_.push_back(std::move(conn));

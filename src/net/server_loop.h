@@ -26,6 +26,15 @@ class ServerLoop {
  public:
   using Handler = std::function<void(TcpSocket)>;
 
+  // Admission control. A stalled or leaking client population must not be
+  // able to exhaust the server: beyond `max_connections` live sessions,
+  // further connections are accepted and immediately closed (the client
+  // observes EOF on its first read — a fast, typed failure — instead of
+  // hanging in the listen backlog).
+  struct Limits {
+    size_t max_connections = 0;  // 0 = unlimited
+  };
+
   ServerLoop() = default;
   ~ServerLoop() { stop(); }
   ServerLoop(const ServerLoop&) = delete;
@@ -33,7 +42,12 @@ class ServerLoop {
 
   // Binds and starts the accept thread. host defaults to loopback; port 0
   // picks an ephemeral port (see port() after start).
-  Result<void> start(const std::string& host, uint16_t port, Handler handler);
+  Result<void> start(const std::string& host, uint16_t port, Handler handler,
+                     Limits limits);
+  Result<void> start(const std::string& host, uint16_t port,
+                     Handler handler) {
+    return start(host, port, std::move(handler), Limits());
+  }
 
   // Stops accepting, forcibly shuts down live connections (handlers observe
   // EOF), and joins all threads.
@@ -43,6 +57,10 @@ class ServerLoop {
   bool running() const { return running_.load(); }
   // Number of connections accepted over the loop's lifetime (for tests).
   uint64_t connections_accepted() const { return accepted_.load(); }
+  // Number of connections refused by the max_connections cap.
+  uint64_t connections_rejected() const { return rejected_.load(); }
+  // Number of handler threads currently live.
+  size_t active_connections() const { return active_.load(); }
 
  private:
   struct Connection {
@@ -56,9 +74,12 @@ class ServerLoop {
 
   TcpListener listener_;
   Handler handler_;
+  Limits limits_;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<size_t> active_{0};
   std::thread accept_thread_;
   std::mutex mutex_;
   std::vector<Connection> conns_;

@@ -21,6 +21,10 @@
 //   --catalog HOST:PORT report to this catalog every --report-period secs
 //   --report-period N   catalog report period in seconds (default 60)
 //   --name NAME         server name in catalog reports (default hostname)
+//   --max-connections N refuse connections beyond N live sessions (default
+//                       0 = unlimited)
+//   --idle-timeout SECS drop sessions idle for this long (default 0 = only
+//                       the I/O timeout applies)
 //   --log-level LEVEL   debug|info|warn|error (default info)
 #include <pwd.h>
 #include <signal.h>
@@ -58,7 +62,8 @@ int usage() {
                "usage: tss_chirp_server --root DIR [--port N] [--host ADDR]\n"
                "         [--owner SUBJECT] [--acl TEXT] [--gsi-ca NAME:KEY]\n"
                "         [--catalog HOST:PORT] [--report-period SECS]\n"
-               "         [--name NAME] [--log-level LEVEL]\n");
+               "         [--name NAME] [--max-connections N]\n"
+               "         [--idle-timeout SECS] [--log-level LEVEL]\n");
   return 2;
 }
 
@@ -69,7 +74,8 @@ int main(int argc, char** argv) {
   auto flags = tools::Flags::parse(
       argc, argv,
       {"root", "port", "host", "owner", "acl", "gsi-ca", "catalog",
-       "report-period", "name", "log-level"});
+       "report-period", "name", "max-connections", "idle-timeout",
+       "log-level"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().to_string().c_str());
     return usage();
@@ -117,6 +123,14 @@ int main(int argc, char** argv) {
   options.port = static_cast<uint16_t>(port.value());
   options.owner = owner;
   options.root_acl = acl.value();
+  auto max_connections = f.get_int("max-connections", 0);
+  auto idle_timeout = f.get_int("idle-timeout", 0);
+  if (!max_connections.ok() || !idle_timeout.ok()) {
+    std::fprintf(stderr, "--max-connections and --idle-timeout expect N\n");
+    return 2;
+  }
+  options.max_connections = static_cast<size_t>(max_connections.value());
+  options.idle_timeout = idle_timeout.value() * kSecond;
 
   chirp::Server server(options,
                        std::make_unique<chirp::PosixBackend>(*root),

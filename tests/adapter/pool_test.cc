@@ -115,7 +115,10 @@ TEST_F(PoolTest, StaleCatalogEntriesAreSkippedNotFatal) {
   ASSERT_TRUE(pool.ok());
   EXPECT_EQ(pool.value().servers.size(), 1u);
   ASSERT_EQ(pool.value().skipped.size(), 1u);
-  EXPECT_EQ(pool.value().skipped[0], "doomed");
+  EXPECT_EQ(pool.value().skipped[0].name, "doomed");
+  // The skip carries the reason, not just the name.
+  EXPECT_NE(pool.value().skipped[0].reason.code, 0);
+  EXPECT_FALSE(pool.value().skipped[0].reason.to_string().empty());
 }
 
 TEST_F(PoolTest, EmptyResultIsAnError) {

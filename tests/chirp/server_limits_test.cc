@@ -1,0 +1,143 @@
+// Server admission control and idle-session reaping: a leaking or stalled
+// client population must not be able to exhaust a Chirp server.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "auth/hostname.h"
+#include "chirp/client.h"
+#include "chirp/posix_backend.h"
+#include "chirp/server.h"
+
+namespace tss::chirp {
+namespace {
+
+class ServerLimitsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/limits_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override {
+    if (server_) server_->stop();
+    std::filesystem::remove_all(root_);
+  }
+
+  void start_server(size_t max_connections, Nanos idle_timeout = 0) {
+    ServerOptions options;
+    options.owner = "hostname:localhost";
+    options.root_acl =
+        acl::Acl::parse("hostname:localhost rwldav(rwlda)\n").value();
+    options.max_connections = max_connections;
+    options.idle_timeout = idle_timeout;
+    auto auth = std::make_unique<auth::ServerAuth>();
+    auth->add(std::make_unique<auth::HostnameServerMethod>());
+    server_ = std::make_unique<Server>(
+        options, std::make_unique<PosixBackend>(root_), std::move(auth));
+    ASSERT_TRUE(server_->start().ok());
+  }
+
+  Result<Client> connect() {
+    Client::Options options;
+    options.timeout = 5 * kSecond;
+    return Client::connect(server_->endpoint(), options);
+  }
+
+  Result<auth::Subject> authenticate(Client& client) {
+    auth::HostnameClientCredential credential;
+    return client.authenticate(credential);
+  }
+
+  // The server notices a closed/reaped session asynchronously; wait for the
+  // active count to settle instead of racing it.
+  bool wait_for_active(size_t want, Nanos deadline = 5 * kSecond) {
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::nanoseconds(deadline);
+    while (std::chrono::steady_clock::now() < until) {
+      if (server_->active_sessions() == want) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return server_->active_sessions() == want;
+  }
+
+  std::string root_;
+  std::unique_ptr<Server> server_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(ServerLimitsTest, ConnectionCapRefusesTheExcessClientFast) {
+  start_server(/*max_connections=*/2);
+  auto c1 = connect();
+  auto c2 = connect();
+  ASSERT_TRUE(c1.ok()) << c1.error().to_string();
+  ASSERT_TRUE(c2.ok()) << c2.error().to_string();
+  ASSERT_TRUE(wait_for_active(2));
+
+  // The third client is refused at admission: its version handshake sees a
+  // typed connection error, not a hang in the backlog.
+  auto c3 = connect();
+  ASSERT_FALSE(c3.ok());
+  EXPECT_TRUE(c3.error().code == EPIPE || c3.error().code == ECONNRESET)
+      << c3.error().to_string();
+  EXPECT_GE(server_->rejected_connections(), 1u);
+
+  // The admitted sessions are unharmed.
+  ASSERT_TRUE(authenticate(c1.value()).ok());
+  ASSERT_TRUE(c1.value().mkdir("/survived").ok());
+}
+
+TEST_F(ServerLimitsTest, ClosingASessionFreesASlot) {
+  start_server(/*max_connections=*/1);
+  auto c1 = connect();
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(wait_for_active(1));
+  ASSERT_FALSE(connect().ok());  // at capacity
+
+  c1.value().close();
+  ASSERT_TRUE(wait_for_active(0));
+  auto c2 = connect();
+  ASSERT_TRUE(c2.ok()) << c2.error().to_string();
+  ASSERT_TRUE(authenticate(c2.value()).ok());
+  EXPECT_TRUE(c2.value().mkdir("/after-reuse").ok());
+}
+
+TEST_F(ServerLimitsTest, IdleSessionIsReaped) {
+  start_server(/*max_connections=*/0, /*idle_timeout=*/200 * kMillisecond);
+  auto c1 = connect();
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(authenticate(c1.value()).ok());
+  ASSERT_TRUE(c1.value().mkdir("/before-stall").ok());
+
+  // The client goes quiet; the server drops the session and frees its state.
+  ASSERT_TRUE(wait_for_active(0));
+  auto rc = c1.value().stat("/before-stall");
+  ASSERT_FALSE(rc.ok());
+  EXPECT_TRUE(rc.error().code == EPIPE || rc.error().code == ECONNRESET)
+      << rc.error().to_string();
+
+  // The server itself is fine — new sessions are served normally.
+  auto c2 = connect();
+  ASSERT_TRUE(c2.ok());
+  ASSERT_TRUE(authenticate(c2.value()).ok());
+  EXPECT_TRUE(c2.value().stat("/before-stall").ok());
+}
+
+TEST_F(ServerLimitsTest, ActiveSessionIsNotReaped) {
+  start_server(/*max_connections=*/0, /*idle_timeout=*/300 * kMillisecond);
+  auto c1 = connect();
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(authenticate(c1.value()).ok());
+  // Keep talking at a rate well under the idle timeout: the reaper must not
+  // fire between requests of a live session.
+  for (int i = 0; i < 6; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    ASSERT_TRUE(c1.value().whoami().ok()) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tss::chirp

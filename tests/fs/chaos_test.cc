@@ -1,0 +1,484 @@
+// Seeded chaos soak: the whole stack under randomized fault schedules.
+//
+// Three scenarios, each run for several fixed seeds so a failure is a
+// replayable regression, not a flake:
+//   * DistFs over replicated flaky members — injected errnos, injected
+//     latency, and a full data-server death and revival.
+//   * CfsFs against a real Chirp server — mid-RPC transport severs and a
+//     server death/restart.
+//   * Pool discovery with a catalog entry whose server has died.
+//
+// The invariants are the paper's §6 claims: no hangs, every failure is a
+// typed error (never a crash), the directory tree stays navigable when a
+// data server dies, and replicas reconverge after repair().
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapter/pool.h"
+#include "auth/hostname.h"
+#include "chirp/client.h"
+#include "chirp/posix_backend.h"
+#include "chirp/server.h"
+#include "fs/cfs.h"
+#include "fs/dist.h"
+#include "fs/faulty.h"
+#include "fs/local.h"
+#include "fs/replicated.h"
+
+namespace tss {
+namespace {
+
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "/chaos_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(base_);
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  uint64_t seed() const { return GetParam(); }
+
+  std::string base_;
+  static inline int counter_ = 0;
+};
+
+// --- Scenario 1: DistFs over replicated flaky members -----------------------
+
+// Three "data servers", each a 2-way ReplicatedFs whose members are
+// FaultyFs-wrapped local trees. Server 0 dies completely mid-storm and is
+// revived; server 1 has a flaky member and a slow member; server 2 has a
+// flaky member. In every set at least one member never *fails* (it may be
+// slow), which is what makes the content invariant checkable: a read that
+// succeeds must return the last successfully-written bytes.
+struct DistStorm {
+  static constexpr int kIterations = 200;
+  static constexpr int kDeathAt = 60;
+  static constexpr int kRevivalAt = 140;
+
+  explicit DistStorm(uint64_t seed, const std::string& root) {
+    for (int s = 0; s < 3; s++) {
+      std::vector<fs::FileSystem*> members;
+      for (int m = 0; m < 2; m++) {
+        std::string dir =
+            root + "/s" + std::to_string(s) + "m" + std::to_string(m);
+        std::filesystem::create_directories(dir);
+        locals.push_back(std::make_unique<fs::LocalFs>(dir));
+        schedules.push_back(std::make_unique<fs::FaultSchedule>(
+            seed * 10 + s * 2 + m, &clock));
+        faulty.push_back(std::make_unique<fs::FaultyFs>(
+            locals.back().get(), schedules.back().get()));
+        members.push_back(faulty.back().get());
+      }
+      fs::ReplicatedFs::Options opts;
+      opts.failure_threshold = 3;
+      replicas.push_back(
+          std::make_unique<fs::ReplicatedFs>(std::move(members), opts));
+    }
+    // The flaky and slow members. Members 2 (= s1m0) and 4 (= s2m0) inject
+    // availability errnos with some probability; member 3 (= s1m1) answers
+    // slowly through the virtual clock. Members 1 and 5 stay clean.
+    schedules[2]->fail_with_probability(0.08, ECONNRESET);
+    schedules[4]->fail_with_probability(0.05, EIO);
+    schedules[3]->add_latency(5 * kMillisecond);
+
+    std::string meta = root + "/meta";
+    std::filesystem::create_directories(meta);
+    metadata = std::make_unique<fs::LocalFs>(meta);
+
+    fs::DistFs::Options dopts;
+    dopts.volume = "/vol";
+    dopts.client_id = "chaos";
+    dopts.name_seed = seed;
+    dist = std::make_unique<fs::DistFs>(
+        metadata.get(),
+        std::map<std::string, fs::FileSystem*>{{"srv0", replicas[0].get()},
+                                               {"srv1", replicas[1].get()},
+                                               {"srv2", replicas[2].get()}},
+        dopts);
+  }
+
+  size_t set_for(const std::string& server) {
+    if (server == "srv0") return 0;
+    if (server == "srv1") return 1;
+    return 2;
+  }
+
+  VirtualClock clock;
+  std::vector<std::unique_ptr<fs::LocalFs>> locals;
+  std::vector<std::unique_ptr<fs::FaultSchedule>> schedules;
+  std::vector<std::unique_ptr<fs::FaultyFs>> faulty;
+  std::vector<std::unique_ptr<fs::ReplicatedFs>> replicas;
+  std::unique_ptr<fs::LocalFs> metadata;
+  std::unique_ptr<fs::DistFs> dist;
+};
+
+struct StormOutcome {
+  std::string trace;  // one entry per op: kind(path)=errno
+  std::map<std::string, std::string> model;  // expected content of clean files
+  std::set<std::string> dirty;  // files whose last mutation failed
+};
+
+StormOutcome run_dist_storm(uint64_t seed, const std::string& root) {
+  DistStorm storm(seed, root);
+  StormOutcome out;
+  EXPECT_TRUE(storm.dist->format().ok());
+  // NB: this helper returns a value, so it must use EXPECT_* (ASSERT_*
+  // requires a void function).
+
+  Rng workload(seed ^ 0x5eedf00dULL);
+  auto path_for = [&](uint64_t n) { return "/f" + std::to_string(n % 8); };
+  auto record = [&](const char* kind, const std::string& path, int code) {
+    out.trace += std::string(kind) + "(" + path + ")=" + std::to_string(code) +
+                 ";";
+  };
+
+  for (int i = 0; i < DistStorm::kIterations; i++) {
+    if (i == DistStorm::kDeathAt) {
+      // Server 0 dies: both members refuse everything.
+      storm.schedules[0]->fail_always(EHOSTUNREACH);
+      storm.schedules[1]->fail_always(EHOSTUNREACH);
+    }
+    if (i == DistStorm::kRevivalAt) {
+      storm.schedules[0]->clear();
+      storm.schedules[1]->clear();
+    }
+
+    std::string path = path_for(workload.next());
+    switch (workload.below(5)) {
+      case 0: {  // write
+        std::string data = "seed" + std::to_string(seed) + "-i" +
+                           std::to_string(i);
+        auto rc = storm.dist->write_file(path, data);
+        record("w", path, rc.ok() ? 0 : rc.error().code);
+        if (rc.ok()) {
+          out.model[path] = data;
+          out.dirty.erase(path);
+        } else {
+          EXPECT_NE(rc.error().code, 0) << "untyped error";
+          out.model.erase(path);
+          out.dirty.insert(path);
+        }
+        break;
+      }
+      case 1: {  // read — a success must return the last acked content
+        auto rc = storm.dist->read_file(path);
+        record("r", path, rc.ok() ? 0 : rc.error().code);
+        if (rc.ok() && out.model.count(path)) {
+          EXPECT_EQ(rc.value(), out.model[path]) << "stale read of " << path;
+        }
+        if (!rc.ok()) { EXPECT_NE(rc.error().code, 0); }
+        break;
+      }
+      case 2: {  // stat
+        auto rc = storm.dist->stat(path);
+        record("s", path, rc.ok() ? 0 : rc.error().code);
+        if (!rc.ok()) { EXPECT_NE(rc.error().code, 0); }
+        break;
+      }
+      case 3: {  // unlink
+        auto rc = storm.dist->unlink(path);
+        record("u", path, rc.ok() ? 0 : rc.error().code);
+        if (rc.ok()) {
+          out.model.erase(path);
+          out.dirty.erase(path);
+        } else {
+          EXPECT_NE(rc.error().code, 0);
+          if (out.model.count(path) || out.dirty.count(path)) {
+            out.model.erase(path);
+            out.dirty.insert(path);
+          }
+        }
+        break;
+      }
+      case 4: {  // name-only ops never touch a data server (§5)
+        std::string dir = "/d" + std::to_string(workload.next() % 4);
+        auto mk = storm.dist->mkdir(dir);
+        EXPECT_TRUE(mk.ok() || mk.error().code == EEXIST)
+            << mk.error().to_string();
+        record("m", dir, mk.ok() ? 0 : mk.error().code);
+        break;
+      }
+    }
+
+    // §5 failure coherence: the directory tree stays navigable throughout,
+    // including while server 0 is dead.
+    if (i % 10 == 0) {
+      auto listing = storm.dist->readdir("/");
+      EXPECT_TRUE(listing.ok()) << "iteration " << i << ": "
+                                << listing.error().to_string();
+    }
+  }
+
+  // The storm must actually have injected something, or this test is vacuous.
+  uint64_t injected = 0;
+  for (auto& s : storm.schedules) injected += s->faults_injected();
+  EXPECT_GT(injected, 0u);
+
+  // Calm the seas and converge: clear every schedule, repair every surviving
+  // file on its replica set, and verify the model.
+  for (auto& s : storm.schedules) s->clear();
+  for (auto& [path, want] : out.model) {
+    auto stub = storm.dist->locate(path);
+    EXPECT_TRUE(stub.ok()) << path << ": " << stub.error().to_string();
+    if (!stub.ok()) continue;
+    size_t set = storm.set_for(stub.value().server);
+    fs::ReplicatedFs* owner = storm.replicas[set].get();
+    auto repaired = owner->repair(stub.value().data_path);
+    EXPECT_TRUE(repaired.ok()) << path << ": " << repaired.error().to_string();
+    auto got = storm.dist->read_file(path);
+    EXPECT_TRUE(got.ok()) << path << ": " << got.error().to_string();
+    if (got.ok()) { EXPECT_EQ(got.value(), want) << path; }
+    // Reconvergence is concrete: after repair(), *both* member trees hold
+    // the golden bytes for this file. (The set-wide diverged flag may stay
+    // up for other files — divergence is per replica, repair is per file.)
+    for (int m = 0; m < 2; m++) {
+      auto member = storm.locals[set * 2 + m]->read_file(stub.value().data_path);
+      EXPECT_TRUE(member.ok())
+          << path << " member " << m << ": " << member.error().to_string();
+      if (member.ok()) { EXPECT_EQ(member.value(), want) << path; }
+    }
+  }
+  // Dirty files (last mutation failed) may exist or not, but access must
+  // stay typed either way.
+  for (const auto& path : out.dirty) {
+    auto rc = storm.dist->read_file(path);
+    if (!rc.ok()) { EXPECT_NE(rc.error().code, 0); }
+  }
+  return out;
+}
+
+TEST_P(ChaosTest, DistOverReplicatedSurvivesTheStorm) {
+  run_dist_storm(seed(), base_ + "/run1");
+}
+
+TEST_P(ChaosTest, DistStormIsDeterministicPerSeed) {
+  auto a = run_dist_storm(seed(), base_ + "/run1");
+  auto b = run_dist_storm(seed(), base_ + "/run2");
+  // Same seed, fresh trees: the exact same fault and outcome sequence.
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.model, b.model);
+}
+
+// --- Scenario 2: CFS under transport severs and server death ----------------
+
+class CfsChaosTest : public ChaosTest {
+ protected:
+  void start_server(uint16_t port = 0) {
+    chirp::ServerOptions options;
+    options.port = port;
+    options.owner = "hostname:localhost";
+    options.root_acl =
+        acl::Acl::parse("hostname:localhost rwldav(rwlda)\n").value();
+    // On revival the old port can take a moment to free up; build a fresh
+    // Server each attempt so a failed bind leaves no half-started state.
+    Result<void> rc = Result<void>::success();
+    for (int i = 0; i < 50; i++) {
+      auto auth = std::make_unique<auth::ServerAuth>();
+      auth->add(std::make_unique<auth::HostnameServerMethod>());
+      server_ = std::make_unique<chirp::Server>(
+          options, std::make_unique<chirp::PosixBackend>(base_ + "/export"),
+          std::move(auth));
+      rc = server_->start();
+      if (rc.ok()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_TRUE(rc.ok()) << rc.error().to_string();
+  }
+
+  void SetUp() override {
+    ChaosTest::SetUp();
+    std::filesystem::create_directories(base_ + "/export");
+    start_server();
+  }
+  void TearDown() override {
+    if (server_) server_->stop();
+    ChaosTest::TearDown();
+  }
+
+  std::unique_ptr<chirp::Server> server_;
+};
+
+TEST_P(CfsChaosTest, CfsSurvivesSeversAndServerDeath) {
+  // A budgeted, seeded sever hook: every connection the CFS makes may be cut
+  // mid-RPC until the budget runs out, so recovery runs several times but
+  // the test always terminates.
+  struct SeverState {
+    std::mutex mutex;
+    Rng rng;
+    int budget = 6;
+    explicit SeverState(uint64_t seed) : rng(seed) {}
+  };
+  auto state = std::make_shared<SeverState>(seed());
+  auto credential = std::make_shared<auth::HostnameClientCredential>();
+  auto base_connect = fs::chirp_connector(
+      server_->endpoint(), {credential}, 5 * kSecond);
+  fs::CfsFs::ConnectFn connect =
+      [base_connect, state]() -> Result<chirp::Client> {
+    auto client = base_connect();
+    if (!client.ok()) return client;
+    client.value().set_transport_fault(
+        [state](std::string_view) -> net::TransportFault {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          if (state->budget > 0 && state->rng.uniform() < 0.10) {
+            state->budget--;
+            return net::TransportFault::sever();
+          }
+          return net::TransportFault::none();
+        });
+    return client;
+  };
+
+  fs::CfsFs::Options options;
+  options.retry.max_attempts = 4;
+  options.retry.base_delay = 2 * kMillisecond;
+  options.retry.max_delay = 20 * kMillisecond;
+  options.jitter_seed = seed();
+  fs::CfsFs cfs(connect, options);
+
+  Rng workload(seed() ^ 0xcf5cf5ULL);
+  std::map<std::string, std::string> model;
+  // Paths whose content is unknowable: a write that recovered mid-flight may
+  // be applied twice, and the dying session's duplicate can land after a
+  // *later* write to the same file (the at-least-once anomaly —
+  // docs/RECOVERY.md). Availability is still asserted for these; content is
+  // not.
+  std::set<std::string> tainted;
+  for (int i = 0; i < 120; i++) {
+    std::string path = "/c" + std::to_string(workload.next() % 6);
+    switch (workload.below(4)) {
+      case 0: {
+        std::string data = "v" + std::to_string(i);
+        uint64_t before = cfs.reconnect_count();
+        auto rc = cfs.write_file(path, data);
+        if (!rc.ok()) ASSERT_NE(rc.error().code, 0);
+        if (!rc.ok() || cfs.reconnect_count() != before) {
+          tainted.insert(path);
+        }
+        if (rc.ok() && !tainted.count(path)) {
+          model[path] = data;
+        } else {
+          model.erase(path);
+        }
+        break;
+      }
+      case 1: {
+        auto rc = cfs.read_file(path);
+        if (rc.ok() && model.count(path)) { EXPECT_EQ(rc.value(), model[path]); }
+        if (!rc.ok()) { ASSERT_NE(rc.error().code, 0); }
+        break;
+      }
+      case 2: {
+        auto rc = cfs.stat(path);
+        if (!rc.ok()) { ASSERT_NE(rc.error().code, 0); }
+        break;
+      }
+      case 3: {
+        auto rc = cfs.readdir("/");
+        if (!rc.ok()) { ASSERT_NE(rc.error().code, 0); }
+        break;
+      }
+    }
+  }
+
+  // Server death: every operation fails *typed and promptly* — reconnect
+  // attempts are bounded by the retry policy, so nothing hangs.
+  uint16_t port = server_->port();
+  server_->stop();
+  auto dead = cfs.stat("/");
+  ASSERT_FALSE(dead.ok());
+  ASSERT_NE(dead.error().code, 0);
+
+  // Revival on the same port: the filesystem reconnects transparently and
+  // the acked data is all there.
+  start_server(port);
+  auto alive = cfs.readdir("/");
+  ASSERT_TRUE(alive.ok()) << alive.error().to_string();
+  for (auto& [path, want] : model) {
+    auto got = cfs.read_file(path);
+    ASSERT_TRUE(got.ok()) << path << ": " << got.error().to_string();
+    EXPECT_EQ(got.value(), want) << path;
+  }
+  // Tainted paths promise availability (a typed result, promptly), not
+  // content.
+  for (const std::string& path : tainted) {
+    auto got = cfs.read_file(path);
+    if (!got.ok()) { EXPECT_NE(got.error().code, 0) << path; }
+  }
+  EXPECT_GE(cfs.reconnect_count(), 1u);
+}
+
+// --- Scenario 3: pool discovery with a dead catalog entry -------------------
+
+TEST_P(ChaosTest, PoolDiscoveryToleratesDeadServers) {
+  catalog::CatalogServer catalog{catalog::CatalogServer::Options{}};
+  ASSERT_TRUE(catalog.start().ok());
+
+  std::vector<std::unique_ptr<chirp::Server>> servers;
+  for (int i = 0; i < 3; i++) {
+    std::string root = base_ + "/pool" + std::to_string(i);
+    std::filesystem::create_directories(root);
+    chirp::ServerOptions options;
+    options.owner = "hostname:localhost";
+    options.root_acl =
+        acl::Acl::parse("hostname:localhost rwldav(rwlda)\n").value();
+    auto auth = std::make_unique<auth::ServerAuth>();
+    auth->add(std::make_unique<auth::HostnameServerMethod>());
+    servers.push_back(std::make_unique<chirp::Server>(
+        options, std::make_unique<chirp::PosixBackend>(root),
+        std::move(auth)));
+    ASSERT_TRUE(servers.back()->start().ok());
+    catalog::ServerReport report;
+    report.name = "pool" + std::to_string(i);
+    report.owner = "hostname:localhost";
+    report.address = servers.back()->endpoint();
+    report.total_bytes = 1 << 30;
+    report.free_bytes = 1 << 29;
+    catalog.accept_report(report);
+  }
+
+  // A seed-chosen victim dies after reporting; the catalog is now stale.
+  size_t victim = seed() % servers.size();
+  servers[victim]->stop();
+
+  adapter::PoolOptions options;
+  options.credentials = {std::make_shared<auth::HostnameClientCredential>()};
+  options.retry.max_attempts = 1;
+  options.retry.base_delay = 2 * kMillisecond;
+  auto pool = adapter::discover_pool(catalog.endpoint(), adapter::PoolPolicy{},
+                                     options);
+  ASSERT_TRUE(pool.ok()) << pool.error().to_string();
+  EXPECT_EQ(pool.value().servers.size(), 2u);
+  ASSERT_EQ(pool.value().skipped.size(), 1u);
+  EXPECT_EQ(pool.value().skipped[0].name, "pool" + std::to_string(victim));
+  // The skip reason is a typed, explanatory error, not a bare flag.
+  EXPECT_NE(pool.value().skipped[0].reason.code, 0);
+  EXPECT_FALSE(pool.value().skipped[0].reason.to_string().empty());
+
+  // The surviving pool is usable as-is.
+  auto& survivors = pool.value().servers;
+  fs::FileSystem* first = survivors.begin()->second;
+  ASSERT_TRUE(first->write_file("/alive", "still here").ok());
+  EXPECT_EQ(first->read_file("/alive").value(), "still here");
+
+  catalog.stop();
+  for (auto& s : servers) s->stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(1u, 42u, 20260806u));
+INSTANTIATE_TEST_SUITE_P(Seeds, CfsChaosTest,
+                         ::testing::Values(1u, 42u, 20260806u));
+
+}  // namespace
+}  // namespace tss

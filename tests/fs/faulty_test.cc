@@ -1,0 +1,138 @@
+// FaultyFs: the deterministic fault-injection decorator itself.
+#include "fs/faulty.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "fs/local.h"
+
+namespace tss::fs {
+namespace {
+
+class FaultyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/faulty_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(root_);
+    target_ = std::make_unique<LocalFs>(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string root_;
+  std::unique_ptr<LocalFs> target_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(FaultyTest, PassesThroughWithEmptySchedule) {
+  FaultSchedule schedule(7);
+  FaultyFs fs(target_.get(), &schedule);
+  ASSERT_TRUE(fs.write_file("/a", "payload").ok());
+  EXPECT_EQ(fs.read_file("/a").value(), "payload");
+  EXPECT_TRUE(fs.stat("/a").ok());
+  EXPECT_EQ(schedule.faults_injected(), 0u);
+  EXPECT_GT(schedule.ops_seen(), 0u);
+}
+
+TEST_F(FaultyTest, FailsNthMatchingOp) {
+  FaultSchedule schedule(7);
+  schedule.fail_nth(2, EIO, "stat");
+  FaultyFs fs(target_.get(), &schedule);
+  ASSERT_TRUE(fs.write_file("/a", "x").ok());
+  EXPECT_TRUE(fs.stat("/a").ok());         // 1st stat passes
+  auto second = fs.stat("/a");             // 2nd fails
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, EIO);
+  EXPECT_TRUE(fs.stat("/a").ok());         // 3rd recovers
+  EXPECT_EQ(schedule.faults_injected(), 1u);
+}
+
+TEST_F(FaultyTest, FailOnceThenRecover) {
+  FaultSchedule schedule(7);
+  schedule.fail_once(EHOSTUNREACH, "open");
+  FaultyFs fs(target_.get(), &schedule);
+  auto first = fs.open("/f", OpenFlags::parse("rwc").value(), 0644);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.error().code, EHOSTUNREACH);
+  auto second = fs.open("/f", OpenFlags::parse("rwc").value(), 0644);
+  ASSERT_TRUE(second.ok());
+}
+
+TEST_F(FaultyTest, PathPatternScopesTheFault) {
+  FaultSchedule schedule(7);
+  schedule.fail_always(EIO, "*", "/doomed/*");
+  FaultyFs fs(target_.get(), &schedule);
+  ASSERT_TRUE(fs.mkdir("/doomed").ok());  // "/doomed" itself doesn't match
+  ASSERT_TRUE(fs.mkdir("/fine").ok());
+  ASSERT_TRUE(fs.write_file("/fine/a", "ok").ok());
+  auto rc = fs.write_file("/doomed/a", "nope");
+  ASSERT_FALSE(rc.ok());
+  EXPECT_EQ(rc.error().code, EIO);
+  EXPECT_EQ(fs.read_file("/fine/a").value(), "ok");
+}
+
+TEST_F(FaultyTest, FileLevelOpsAreInjectedToo) {
+  FaultSchedule schedule(7);
+  FaultyFs fs(target_.get(), &schedule);
+  ASSERT_TRUE(fs.write_file("/f", "0123456789").ok());
+  auto file = fs.open("/f", OpenFlags::parse("rw").value(), 0644);
+  ASSERT_TRUE(file.ok());
+  schedule.fail_once(EIO, "pread");
+  char buf[4];
+  auto n = file.value()->pread(buf, 4, 0);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.error().code, EIO);
+  ASSERT_TRUE(file.value()->pread(buf, 4, 0).ok());  // recovered
+  schedule.fail_once(ENOSPC, "pwrite");
+  auto w = file.value()->pwrite("zz", 2, 0);
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.error().code, ENOSPC);
+}
+
+TEST_F(FaultyTest, LatencyGoesThroughTheInjectedClock) {
+  VirtualClock clock;
+  FaultSchedule schedule(7, &clock);
+  schedule.add_latency(50 * kMillisecond, "stat");
+  FaultyFs fs(target_.get(), &schedule);
+  ASSERT_TRUE(fs.write_file("/slow", "x").ok());
+  Nanos before = clock.now();
+  ASSERT_TRUE(fs.stat("/slow").ok());  // delayed but not failed
+  EXPECT_EQ(clock.now() - before, 50 * kMillisecond);
+}
+
+TEST_F(FaultyTest, ProbabilisticFaultsAreSeedDeterministic) {
+  auto run = [&](uint64_t seed) {
+    FaultSchedule schedule(seed);
+    schedule.fail_with_probability(0.5, EIO, "stat");
+    FaultyFs fs(target_.get(), &schedule);
+    (void)fs.write_file("/p", "x");
+    std::string outcomes;
+    for (int i = 0; i < 32; i++) {
+      outcomes.push_back(fs.stat("/p").ok() ? '.' : 'X');
+    }
+    return outcomes;
+  };
+  std::string a = run(42), b = run(42), c = run(43);
+  EXPECT_EQ(a, b);                                  // same seed, same faults
+  EXPECT_NE(c, a);                                  // different seed differs
+  EXPECT_NE(a.find('X'), std::string::npos);        // some faults fired
+  EXPECT_NE(a.find('.'), std::string::npos);        // and some ops passed
+}
+
+TEST_F(FaultyTest, ClearRepairsTheInjectedFailure) {
+  FaultSchedule schedule(7);
+  schedule.fail_always(EHOSTUNREACH);  // total server death
+  FaultyFs fs(target_.get(), &schedule);
+  ASSERT_FALSE(fs.stat("/").ok());
+  ASSERT_FALSE(fs.readdir("/").ok());
+  uint64_t injected = schedule.faults_injected();
+  EXPECT_EQ(injected, 2u);
+  schedule.clear();  // the server comes back
+  EXPECT_TRUE(fs.stat("/").ok());
+  EXPECT_EQ(schedule.faults_injected(), injected);
+}
+
+}  // namespace
+}  // namespace tss::fs

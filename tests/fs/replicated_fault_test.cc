@@ -1,0 +1,199 @@
+// ReplicatedFs under injected faults: read failover, divergence tracking,
+// repair convergence, and the per-replica circuit breaker.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "fs/faulty.h"
+#include "fs/local.h"
+#include "fs/replicated.h"
+
+namespace tss::fs {
+namespace {
+
+class ReplicatedFaultTest : public ::testing::Test {
+ protected:
+  static constexpr int kReplicas = 3;
+
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "/replfault_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    for (int i = 0; i < kReplicas; i++) {
+      std::string root = base_ + "/r" + std::to_string(i);
+      std::filesystem::create_directories(root);
+      locals_.push_back(std::make_unique<LocalFs>(root));
+      schedules_.push_back(std::make_unique<FaultSchedule>(100 + i));
+      faulty_.push_back(
+          std::make_unique<FaultyFs>(locals_[i].get(), schedules_[i].get()));
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  std::vector<FileSystem*> members() {
+    std::vector<FileSystem*> out;
+    for (auto& f : faulty_) out.push_back(f.get());
+    return out;
+  }
+
+  std::string base_;
+  std::vector<std::unique_ptr<LocalFs>> locals_;
+  std::vector<std::unique_ptr<FaultSchedule>> schedules_;
+  std::vector<std::unique_ptr<FaultyFs>> faulty_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(ReplicatedFaultTest, ReadFailsOverWhenFirstReplicaDies) {
+  ReplicatedFs fs(members());
+  ASSERT_TRUE(fs.write_file("/doc", "replicated").ok());
+
+  schedules_[0]->fail_always(EHOSTUNREACH);  // replica 0 dies
+  auto got = fs.read_file("/doc");
+  ASSERT_TRUE(got.ok()) << got.error().to_string();
+  EXPECT_EQ(got.value(), "replicated");
+}
+
+TEST_F(ReplicatedFaultTest, PartialWriteFailureMarksReplicaDiverged) {
+  ReplicatedFs fs(members());
+  ASSERT_TRUE(fs.write_file("/doc", "v1").ok());
+
+  schedules_[2]->fail_always(ECONNRESET);
+  ASSERT_TRUE(fs.write_file("/doc", "v2").ok());  // quorum-of-one suffices
+  EXPECT_TRUE(fs.replica_diverged(2));
+  EXPECT_FALSE(fs.replica_diverged(0));
+
+  // The diverged replica really is stale on disk, and readers never see
+  // the stale copy: divergence excludes it from the read order.
+  schedules_[2]->clear();
+  EXPECT_EQ(locals_[2]->read_file("/doc").value(), "v1");
+  EXPECT_EQ(fs.read_file("/doc").value(), "v2");
+}
+
+TEST_F(ReplicatedFaultTest, RepairConvergesDivergedReplicas) {
+  ReplicatedFs fs(members());
+  ASSERT_TRUE(fs.write_file("/doc", "v1").ok());
+  schedules_[1]->fail_always(ETIMEDOUT);
+  ASSERT_TRUE(fs.write_file("/doc", "v2").ok());
+  ASSERT_TRUE(fs.replica_diverged(1));
+
+  schedules_[1]->clear();  // the replica comes back (with stale data)
+  auto repaired = fs.repair("/doc");
+  ASSERT_TRUE(repaired.ok()) << repaired.error().to_string();
+  EXPECT_GE(repaired.value(), 1);
+  EXPECT_FALSE(fs.replica_diverged(1));
+  EXPECT_EQ(locals_[1]->read_file("/doc").value(), "v2");
+}
+
+TEST_F(ReplicatedFaultTest, TotalWriteFailureDoesNotMarkDivergence) {
+  ReplicatedFs fs(members());
+  ASSERT_TRUE(fs.write_file("/doc", "v1").ok());
+  for (auto& s : schedules_) s->fail_once(EIO, "open");
+  auto rc = fs.write_file("/doc", "v2");
+  ASSERT_FALSE(rc.ok());
+  // Nobody applied the mutation, so the replicas still agree.
+  for (size_t i = 0; i < kReplicas; i++) {
+    EXPECT_FALSE(fs.replica_diverged(i)) << "replica " << i;
+  }
+  EXPECT_EQ(fs.read_file("/doc").value(), "v1");
+}
+
+TEST_F(ReplicatedFaultTest, SemanticErrorsDoNotTripTheBreaker) {
+  ReplicatedFs::Options options;
+  options.failure_threshold = 2;
+  ReplicatedFs fs(members(), options);
+  // ENOENT over and over is an answer, not an outage.
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(fs.read_file("/missing").error().code, ENOENT);
+  }
+  for (size_t i = 0; i < kReplicas; i++) {
+    EXPECT_TRUE(fs.replica_available(i)) << "replica " << i;
+  }
+}
+
+TEST_F(ReplicatedFaultTest, BreakerOpensAfterConsecutiveFailuresAndSkipsReads) {
+  ReplicatedFs::Options options;
+  options.failure_threshold = 3;
+  ReplicatedFs fs(members(), options);
+  ASSERT_TRUE(fs.write_file("/doc", "data").ok());
+
+  schedules_[0]->fail_always(EHOSTUNREACH);
+  uint64_t before_trip = schedules_[0]->ops_seen();
+  // Each read retries replica 0 (paying its failure) until the breaker opens.
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(fs.read_file("/doc").ok());
+  }
+  EXPECT_FALSE(fs.replica_available(0));
+  uint64_t at_trip = schedules_[0]->ops_seen();
+  EXPECT_GT(at_trip, before_trip);
+
+  // With the breaker open, reads no longer touch the dead replica at all.
+  for (int i = 0; i < 5; i++) {
+    ASSERT_TRUE(fs.read_file("/doc").ok());
+  }
+  EXPECT_EQ(schedules_[0]->ops_seen(), at_trip);
+}
+
+TEST_F(ReplicatedFaultTest, ProbeClosesTheBreaker) {
+  ReplicatedFs::Options options;
+  options.failure_threshold = 2;
+  ReplicatedFs fs(members(), options);
+  ASSERT_TRUE(fs.write_file("/doc", "data").ok());
+
+  schedules_[0]->fail_always(EPIPE);
+  for (int i = 0; i < 2; i++) ASSERT_TRUE(fs.read_file("/doc").ok());
+  ASSERT_FALSE(fs.replica_available(0));
+
+  // Probing while still down keeps the breaker open.
+  EXPECT_FALSE(fs.probe(0).ok());
+  EXPECT_FALSE(fs.replica_available(0));
+
+  schedules_[0]->clear();
+  EXPECT_TRUE(fs.probe(0).ok());
+  EXPECT_TRUE(fs.replica_available(0));
+}
+
+TEST_F(ReplicatedFaultTest, BreakerSkipsWritesButRecordsDivergence) {
+  ReplicatedFs::Options options;
+  options.failure_threshold = 2;
+  ReplicatedFs fs(members(), options);
+  ASSERT_TRUE(fs.write_file("/doc", "v1").ok());
+
+  schedules_[1]->fail_always(ECONNREFUSED);
+  ASSERT_TRUE(fs.write_file("/doc", "v2").ok());
+  ASSERT_TRUE(fs.write_file("/doc", "v3").ok());
+  ASSERT_FALSE(fs.replica_available(1));
+  uint64_t at_trip = schedules_[1]->ops_seen();
+
+  // Further mutations skip the broken replica entirely but still remember
+  // that it is falling behind.
+  ASSERT_TRUE(fs.write_file("/doc", "v4").ok());
+  EXPECT_EQ(schedules_[1]->ops_seen(), at_trip);
+  EXPECT_TRUE(fs.replica_diverged(1));
+
+  // Recovery: server returns, repair converges it and closes the breaker.
+  schedules_[1]->clear();
+  auto repaired = fs.repair("/doc");
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(fs.replica_available(1));
+  EXPECT_FALSE(fs.replica_diverged(1));
+  EXPECT_EQ(locals_[1]->read_file("/doc").value(), "v4");
+}
+
+TEST_F(ReplicatedFaultTest, AllBreakersOpenStillAttemptsTheOperation) {
+  ReplicatedFs::Options options;
+  options.failure_threshold = 1;
+  ReplicatedFs fs(members(), options);
+  ASSERT_TRUE(fs.write_file("/doc", "v1").ok());
+  for (auto& s : schedules_) s->fail_always(EHOSTUNREACH);
+  (void)fs.read_file("/doc");  // trips every breaker
+  for (size_t i = 0; i < kReplicas; i++) {
+    ASSERT_FALSE(fs.replica_available(i));
+  }
+  // Everything is "down", but the servers actually answer again: operations
+  // must still be attempted (breakers are advice, not a death sentence).
+  for (auto& s : schedules_) s->clear();
+  EXPECT_EQ(fs.read_file("/doc").value(), "v1");
+}
+
+}  // namespace
+}  // namespace tss::fs

@@ -131,5 +131,70 @@ TEST(LineStream, LargeBlobAcrossBufferBoundaries) {
   EXPECT_EQ(got, payload);
 }
 
+// --- Transport fault injection ----------------------------------------------
+
+TEST(LineStream, FaultHookInjectsErrorWithoutTouchingSocket) {
+  Pair p = make_pair();
+  LineStream a(std::move(p.a)), b(std::move(p.b));
+  int consulted = 0;
+  b.set_fault_hook([&](std::string_view point) {
+    consulted++;
+    EXPECT_EQ(point, "read");
+    return TransportFault::error(ETIMEDOUT);
+  });
+  auto line = b.read_line();
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.error().code, ETIMEDOUT);
+  EXPECT_EQ(consulted, 1);
+  // The socket itself is untouched: clearing the hook restores service.
+  b.set_fault_hook(nullptr);
+  ASSERT_TRUE(a.send_line("still here").ok());
+  EXPECT_EQ(b.read_line().value(), "still here");
+}
+
+TEST(LineStream, FaultHookSeversConnection) {
+  Pair p = make_pair();
+  LineStream a(std::move(p.a)), b(std::move(p.b));
+  a.set_fault_hook(
+      [](std::string_view) { return TransportFault::sever(); });
+  auto rc = a.send_line("doomed");
+  ASSERT_FALSE(rc.ok());
+  EXPECT_EQ(rc.error().code, ECONNRESET);
+  EXPECT_FALSE(a.valid());
+  // The peer observes a clean EOF — exactly what a real mid-RPC crash of
+  // the other end looks like.
+  auto line = b.read_line();
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.error().code, EPIPE);
+}
+
+TEST(LineStream, FaultHookTruncatesFrame) {
+  Pair p = make_pair();
+  LineStream a(std::move(p.a)), b(std::move(p.b));
+  std::string payload(1000, 'q');
+  a.write_line("putfile /f 0644 1000");
+  a.write_blob(payload.data(), payload.size());
+  bool armed = false;
+  a.set_fault_hook([&](std::string_view point) {
+    if (point == "flush" && !armed) {
+      armed = true;
+      return TransportFault::truncate();
+    }
+    return TransportFault::none();
+  });
+  auto rc = a.flush();
+  ASSERT_FALSE(rc.ok());
+  EXPECT_FALSE(a.valid());
+  // The peer gets the header but a short body: EOF mid-blob is a typed
+  // ECONNRESET, never a hang.
+  auto line = b.read_line();
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line.value(), "putfile /f 0644 1000");
+  std::string got(payload.size(), '\0');
+  auto blob = b.read_blob(got.data(), got.size());
+  ASSERT_FALSE(blob.ok());
+  EXPECT_EQ(blob.error().code, ECONNRESET);
+}
+
 }  // namespace
 }  // namespace tss::net
