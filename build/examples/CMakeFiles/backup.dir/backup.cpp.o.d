@@ -245,5 +245,5 @@ examples/CMakeFiles/backup.dir/backup.cpp.o: \
  /root/repo/src/net/socket.h /usr/include/c++/12/cstddef \
  /root/repo/src/util/clock.h /root/repo/src/fs/cfs.h \
  /root/repo/src/chirp/client.h /root/repo/src/net/line_stream.h \
- /root/repo/src/fs/filesystem.h /root/repo/src/fs/replicated.h \
- /root/repo/src/fs/versioned.h
+ /root/repo/src/fs/filesystem.h /root/repo/src/util/rand.h \
+ /root/repo/src/fs/replicated.h /root/repo/src/fs/versioned.h

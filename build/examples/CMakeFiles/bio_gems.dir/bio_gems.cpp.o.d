@@ -249,5 +249,5 @@ examples/CMakeFiles/bio_gems.dir/bio_gems.cpp.o: \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/net/line_stream.h \
  /root/repo/src/db/server.h /root/repo/src/db/store.h \
  /root/repo/src/fs/cfs.h /root/repo/src/chirp/client.h \
- /root/repo/src/fs/filesystem.h /root/repo/src/gems/gems.h \
- /root/repo/src/util/rand.h /root/repo/src/util/strings.h
+ /root/repo/src/fs/filesystem.h /root/repo/src/util/rand.h \
+ /root/repo/src/gems/gems.h /root/repo/src/util/strings.h

@@ -245,6 +245,6 @@ examples/CMakeFiles/dpfs_pool.dir/dpfs_pool.cpp.o: \
  /root/repo/src/net/socket.h /usr/include/c++/12/cstddef \
  /root/repo/src/util/clock.h /root/repo/src/fs/cfs.h \
  /root/repo/src/chirp/client.h /root/repo/src/net/line_stream.h \
- /root/repo/src/fs/filesystem.h /root/repo/src/fs/dist.h \
- /root/repo/src/fs/stub.h /root/repo/src/util/rand.h \
+ /root/repo/src/fs/filesystem.h /root/repo/src/util/rand.h \
+ /root/repo/src/fs/dist.h /root/repo/src/fs/stub.h \
  /root/repo/src/fs/local.h

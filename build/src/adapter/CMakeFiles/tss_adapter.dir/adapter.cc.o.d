@@ -223,8 +223,8 @@ src/adapter/CMakeFiles/tss_adapter.dir/adapter.cc.o: \
  /root/repo/src/chirp/protocol.h /root/repo/src/net/line_stream.h \
  /root/repo/src/net/socket.h /usr/include/c++/12/cstddef \
  /root/repo/src/util/clock.h /usr/include/c++/12/atomic \
- /root/repo/src/fs/filesystem.h /root/repo/src/fs/dist.h \
- /root/repo/src/fs/stub.h /root/repo/src/util/rand.h \
+ /root/repo/src/fs/filesystem.h /root/repo/src/util/rand.h \
+ /root/repo/src/fs/dist.h /root/repo/src/fs/stub.h \
  /root/repo/src/fs/subtree.h /root/repo/src/util/path.h \
  /root/repo/src/adapter/mountlist.h /usr/include/fcntl.h \
  /usr/include/x86_64-linux-gnu/bits/fcntl.h \

@@ -230,7 +230,8 @@ src/adapter/CMakeFiles/tss_adapter.dir/pool.cc.o: \
  /root/repo/src/util/clock.h /root/repo/src/fs/cfs.h \
  /root/repo/src/chirp/client.h /root/repo/src/chirp/protocol.h \
  /root/repo/src/net/line_stream.h /root/repo/src/fs/filesystem.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/util/rand.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/util/logging.h /usr/include/c++/12/sstream \

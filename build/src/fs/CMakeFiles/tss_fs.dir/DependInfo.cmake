@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/fs/cfs.cc" "src/fs/CMakeFiles/tss_fs.dir/cfs.cc.o" "gcc" "src/fs/CMakeFiles/tss_fs.dir/cfs.cc.o.d"
   "/root/repo/src/fs/dist.cc" "src/fs/CMakeFiles/tss_fs.dir/dist.cc.o" "gcc" "src/fs/CMakeFiles/tss_fs.dir/dist.cc.o.d"
+  "/root/repo/src/fs/faulty.cc" "src/fs/CMakeFiles/tss_fs.dir/faulty.cc.o" "gcc" "src/fs/CMakeFiles/tss_fs.dir/faulty.cc.o.d"
   "/root/repo/src/fs/filesystem.cc" "src/fs/CMakeFiles/tss_fs.dir/filesystem.cc.o" "gcc" "src/fs/CMakeFiles/tss_fs.dir/filesystem.cc.o.d"
   "/root/repo/src/fs/local.cc" "src/fs/CMakeFiles/tss_fs.dir/local.cc.o" "gcc" "src/fs/CMakeFiles/tss_fs.dir/local.cc.o.d"
   "/root/repo/src/fs/replicated.cc" "src/fs/CMakeFiles/tss_fs.dir/replicated.cc.o" "gcc" "src/fs/CMakeFiles/tss_fs.dir/replicated.cc.o.d"

@@ -221,7 +221,7 @@ src/fs/CMakeFiles/tss_fs.dir/cfs.cc.o: /root/repo/src/fs/cfs.cc \
  /root/repo/src/chirp/protocol.h /root/repo/src/net/line_stream.h \
  /root/repo/src/net/socket.h /usr/include/c++/12/cstddef \
  /root/repo/src/util/clock.h /usr/include/c++/12/atomic \
- /root/repo/src/fs/filesystem.h /root/repo/src/util/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/fs/filesystem.h /root/repo/src/util/rand.h \
+ /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/path.h

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/tss_fs.dir/cfs.cc.o.d"
   "CMakeFiles/tss_fs.dir/dist.cc.o"
   "CMakeFiles/tss_fs.dir/dist.cc.o.d"
+  "CMakeFiles/tss_fs.dir/faulty.cc.o"
+  "CMakeFiles/tss_fs.dir/faulty.cc.o.d"
   "CMakeFiles/tss_fs.dir/filesystem.cc.o"
   "CMakeFiles/tss_fs.dir/filesystem.cc.o.d"
   "CMakeFiles/tss_fs.dir/local.cc.o"

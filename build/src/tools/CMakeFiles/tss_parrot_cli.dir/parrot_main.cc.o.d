@@ -227,8 +227,8 @@ src/tools/CMakeFiles/tss_parrot_cli.dir/parrot_main.cc.o: \
  /root/repo/src/chirp/protocol.h /root/repo/src/net/line_stream.h \
  /root/repo/src/net/socket.h /usr/include/c++/12/cstddef \
  /root/repo/src/util/clock.h /usr/include/c++/12/atomic \
- /root/repo/src/fs/filesystem.h /root/repo/src/fs/dist.h \
- /root/repo/src/fs/stub.h /root/repo/src/util/rand.h \
+ /root/repo/src/fs/filesystem.h /root/repo/src/util/rand.h \
+ /root/repo/src/fs/dist.h /root/repo/src/fs/stub.h \
  /root/repo/src/fs/subtree.h /root/repo/src/util/path.h \
  /root/repo/src/adapter/mountlist.h /root/repo/src/auth/gsi.h \
  /root/repo/src/auth/hostname.h /root/repo/src/auth/unix.h \

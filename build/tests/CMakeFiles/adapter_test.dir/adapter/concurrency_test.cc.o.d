@@ -314,8 +314,8 @@ tests/CMakeFiles/adapter_test.dir/adapter/concurrency_test.cc.o: \
  /root/repo/src/fs/cfs.h /root/repo/src/chirp/client.h \
  /root/repo/src/chirp/protocol.h /root/repo/src/net/line_stream.h \
  /root/repo/src/net/socket.h /root/repo/src/util/clock.h \
- /root/repo/src/fs/filesystem.h /root/repo/src/fs/dist.h \
- /root/repo/src/fs/stub.h /root/repo/src/util/rand.h \
+ /root/repo/src/fs/filesystem.h /root/repo/src/util/rand.h \
+ /root/repo/src/fs/dist.h /root/repo/src/fs/stub.h \
  /root/repo/src/fs/subtree.h /root/repo/src/util/path.h \
  /root/repo/src/adapter/mountlist.h /root/repo/src/auth/hostname.h \
  /root/repo/src/chirp/posix_backend.h /root/repo/src/chirp/backend.h \

@@ -222,8 +222,8 @@ tests/CMakeFiles/adapter_test.dir/adapter/dsfs_mount_test.cc.o: \
  /root/repo/src/net/line_stream.h /root/repo/src/net/socket.h \
  /usr/include/c++/12/cstddef /root/repo/src/util/clock.h \
  /usr/include/c++/12/atomic /root/repo/src/fs/filesystem.h \
- /root/repo/src/fs/dist.h /root/repo/src/fs/stub.h \
- /root/repo/src/util/rand.h /root/repo/src/fs/subtree.h \
+ /root/repo/src/util/rand.h /root/repo/src/fs/dist.h \
+ /root/repo/src/fs/stub.h /root/repo/src/fs/subtree.h \
  /root/repo/src/util/path.h /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \

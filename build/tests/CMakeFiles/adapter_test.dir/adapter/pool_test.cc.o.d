@@ -230,7 +230,7 @@ tests/CMakeFiles/adapter_test.dir/adapter/pool_test.cc.o: \
  /root/repo/src/util/clock.h /root/repo/src/fs/cfs.h \
  /root/repo/src/chirp/client.h /root/repo/src/chirp/protocol.h \
  /root/repo/src/net/line_stream.h /root/repo/src/fs/filesystem.h \
- /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/util/rand.h /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/x86_64-linux-gnu/sys/stat.h \
@@ -313,4 +313,4 @@ tests/CMakeFiles/adapter_test.dir/adapter/pool_test.cc.o: \
  /root/repo/src/chirp/backend.h /root/repo/src/chirp/server.h \
  /root/repo/src/chirp/session.h /root/repo/src/acl/acl.h \
  /root/repo/src/fs/dist.h /root/repo/src/fs/stub.h \
- /root/repo/src/util/rand.h /root/repo/src/fs/local.h
+ /root/repo/src/fs/local.h

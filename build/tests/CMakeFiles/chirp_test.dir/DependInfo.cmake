@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/chirp/exported_data_test.cc" "tests/CMakeFiles/chirp_test.dir/chirp/exported_data_test.cc.o" "gcc" "tests/CMakeFiles/chirp_test.dir/chirp/exported_data_test.cc.o.d"
   "/root/repo/tests/chirp/fuzz_test.cc" "tests/CMakeFiles/chirp_test.dir/chirp/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/chirp_test.dir/chirp/fuzz_test.cc.o.d"
   "/root/repo/tests/chirp/protocol_test.cc" "tests/CMakeFiles/chirp_test.dir/chirp/protocol_test.cc.o" "gcc" "tests/CMakeFiles/chirp_test.dir/chirp/protocol_test.cc.o.d"
+  "/root/repo/tests/chirp/server_limits_test.cc" "tests/CMakeFiles/chirp_test.dir/chirp/server_limits_test.cc.o" "gcc" "tests/CMakeFiles/chirp_test.dir/chirp/server_limits_test.cc.o.d"
   "/root/repo/tests/chirp/server_test.cc" "tests/CMakeFiles/chirp_test.dir/chirp/server_test.cc.o" "gcc" "tests/CMakeFiles/chirp_test.dir/chirp/server_test.cc.o.d"
   "/root/repo/tests/chirp/streaming_test.cc" "tests/CMakeFiles/chirp_test.dir/chirp/streaming_test.cc.o" "gcc" "tests/CMakeFiles/chirp_test.dir/chirp/streaming_test.cc.o.d"
   )

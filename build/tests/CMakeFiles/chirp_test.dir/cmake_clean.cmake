@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/chirp_test.dir/chirp/fuzz_test.cc.o.d"
   "CMakeFiles/chirp_test.dir/chirp/protocol_test.cc.o"
   "CMakeFiles/chirp_test.dir/chirp/protocol_test.cc.o.d"
+  "CMakeFiles/chirp_test.dir/chirp/server_limits_test.cc.o"
+  "CMakeFiles/chirp_test.dir/chirp/server_limits_test.cc.o.d"
   "CMakeFiles/chirp_test.dir/chirp/server_test.cc.o"
   "CMakeFiles/chirp_test.dir/chirp/server_test.cc.o.d"
   "CMakeFiles/chirp_test.dir/chirp/streaming_test.cc.o"

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fs/chaos_test.cc" "tests/CMakeFiles/fs_chaos_test.dir/fs/chaos_test.cc.o" "gcc" "tests/CMakeFiles/fs_chaos_test.dir/fs/chaos_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nfs/CMakeFiles/tss_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapter/CMakeFiles/tss_adapter.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/tss_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/parrot/CMakeFiles/tss_parrot.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gems/CMakeFiles/tss_gems.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/tss_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tss_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/tss_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/chirp/CMakeFiles/tss_chirp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/acl/CMakeFiles/tss_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/tss_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

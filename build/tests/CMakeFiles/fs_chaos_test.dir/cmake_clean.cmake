@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_chaos_test.dir/fs/chaos_test.cc.o"
+  "CMakeFiles/fs_chaos_test.dir/fs/chaos_test.cc.o.d"
+  "fs_chaos_test"
+  "fs_chaos_test.pdb"
+  "fs_chaos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

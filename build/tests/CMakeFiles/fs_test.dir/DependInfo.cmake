@@ -13,7 +13,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/fs/dist_test.cc" "tests/CMakeFiles/fs_test.dir/fs/dist_test.cc.o" "gcc" "tests/CMakeFiles/fs_test.dir/fs/dist_test.cc.o.d"
   "/root/repo/tests/fs/extensions_network_test.cc" "tests/CMakeFiles/fs_test.dir/fs/extensions_network_test.cc.o" "gcc" "tests/CMakeFiles/fs_test.dir/fs/extensions_network_test.cc.o.d"
   "/root/repo/tests/fs/extensions_test.cc" "tests/CMakeFiles/fs_test.dir/fs/extensions_test.cc.o" "gcc" "tests/CMakeFiles/fs_test.dir/fs/extensions_test.cc.o.d"
+  "/root/repo/tests/fs/faulty_test.cc" "tests/CMakeFiles/fs_test.dir/fs/faulty_test.cc.o" "gcc" "tests/CMakeFiles/fs_test.dir/fs/faulty_test.cc.o.d"
   "/root/repo/tests/fs/local_test.cc" "tests/CMakeFiles/fs_test.dir/fs/local_test.cc.o" "gcc" "tests/CMakeFiles/fs_test.dir/fs/local_test.cc.o.d"
+  "/root/repo/tests/fs/replicated_fault_test.cc" "tests/CMakeFiles/fs_test.dir/fs/replicated_fault_test.cc.o" "gcc" "tests/CMakeFiles/fs_test.dir/fs/replicated_fault_test.cc.o.d"
   "/root/repo/tests/fs/versioned_test.cc" "tests/CMakeFiles/fs_test.dir/fs/versioned_test.cc.o" "gcc" "tests/CMakeFiles/fs_test.dir/fs/versioned_test.cc.o.d"
   )
 

@@ -9,8 +9,12 @@ file(REMOVE_RECURSE
   "CMakeFiles/fs_test.dir/fs/extensions_network_test.cc.o.d"
   "CMakeFiles/fs_test.dir/fs/extensions_test.cc.o"
   "CMakeFiles/fs_test.dir/fs/extensions_test.cc.o.d"
+  "CMakeFiles/fs_test.dir/fs/faulty_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/faulty_test.cc.o.d"
   "CMakeFiles/fs_test.dir/fs/local_test.cc.o"
   "CMakeFiles/fs_test.dir/fs/local_test.cc.o.d"
+  "CMakeFiles/fs_test.dir/fs/replicated_fault_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs/replicated_fault_test.cc.o.d"
   "CMakeFiles/fs_test.dir/fs/versioned_test.cc.o"
   "CMakeFiles/fs_test.dir/fs/versioned_test.cc.o.d"
   "fs_test"

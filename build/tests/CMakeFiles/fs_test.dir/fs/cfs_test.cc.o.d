@@ -221,7 +221,8 @@ tests/CMakeFiles/fs_test.dir/fs/cfs_test.cc.o: \
  /root/repo/src/chirp/protocol.h /root/repo/src/net/line_stream.h \
  /root/repo/src/net/socket.h /usr/include/c++/12/cstddef \
  /root/repo/src/util/clock.h /usr/include/c++/12/atomic \
- /root/repo/src/fs/filesystem.h /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/fs/filesystem.h /root/repo/src/util/rand.h \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/x86_64-linux-gnu/sys/stat.h \

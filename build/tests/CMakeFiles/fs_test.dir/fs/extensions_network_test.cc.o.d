@@ -314,4 +314,5 @@ tests/CMakeFiles/fs_test.dir/fs/extensions_network_test.cc.o: \
  /root/repo/src/net/socket.h /root/repo/src/util/clock.h \
  /root/repo/src/fs/cfs.h /root/repo/src/chirp/client.h \
  /root/repo/src/net/line_stream.h /root/repo/src/fs/filesystem.h \
- /root/repo/src/fs/replicated.h /root/repo/src/fs/striped.h
+ /root/repo/src/util/rand.h /root/repo/src/fs/replicated.h \
+ /root/repo/src/fs/striped.h

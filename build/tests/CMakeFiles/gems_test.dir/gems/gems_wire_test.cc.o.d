@@ -315,4 +315,4 @@ tests/CMakeFiles/gems_test.dir/gems/gems_wire_test.cc.o: \
  /root/repo/src/net/line_stream.h /root/repo/src/db/server.h \
  /root/repo/src/db/store.h /root/repo/src/fs/cfs.h \
  /root/repo/src/chirp/client.h /root/repo/src/fs/filesystem.h \
- /root/repo/src/gems/gems.h /root/repo/src/util/rand.h
+ /root/repo/src/util/rand.h /root/repo/src/gems/gems.h

@@ -12,6 +12,7 @@ include("/root/repo/build/tests/chirp_test[1]_include.cmake")
 include("/root/repo/build/tests/catalog_test[1]_include.cmake")
 include("/root/repo/build/tests/nfs_test[1]_include.cmake")
 include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_chaos_test[1]_include.cmake")
 include("/root/repo/build/tests/adapter_test[1]_include.cmake")
 include("/root/repo/build/tests/parrot_test[1]_include.cmake")
 include("/root/repo/build/tests/sim_test[1]_include.cmake")
