@@ -15,7 +15,8 @@ int main() {
       "Paper shape: ~100 MB/s at 1 server; backplane saturation ~300 MB/s "
       "at >=3 servers.");
 
-  print_row({"servers", "MB/s", "sim seconds", "cache hit %"});
+  print_row({"servers", "MB/s", "sim seconds", "cache hit %", "read p50",
+             "read p95", "read p99"});
   for (int servers = 1; servers <= 8; servers++) {
     DsfsScalingParams params;
     params.num_servers = servers;
@@ -27,7 +28,10 @@ int main() {
         100.0 * static_cast<double>(r.cache_hits) /
         static_cast<double>(std::max<uint64_t>(1, r.cache_hits + r.cache_misses));
     print_row({std::to_string(servers), fmt_double(r.mb_per_sec),
-               fmt_double(r.seconds, 2), fmt_double(hit_pct)});
+               fmt_double(r.seconds, 2), fmt_double(hit_pct),
+               fmt_us(static_cast<double>(r.read_p50)),
+               fmt_us(static_cast<double>(r.read_p95)),
+               fmt_us(static_cast<double>(r.read_p99))});
   }
   return 0;
 }

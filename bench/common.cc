@@ -21,7 +21,8 @@ chirp::OpenFlags read_flags() { return chirp::OpenFlags::parse("r").value(); }
 // pread loop / close on the data server).
 Task<void> dsfs_client(Engine& engine, std::vector<SimChirpClient*> conns,
                        int dir_server_index, int num_files, uint64_t file_bytes,
-                       int reads, uint64_t seed, uint64_t* bytes_out) {
+                       int reads, uint64_t seed, uint64_t* bytes_out,
+                       obs::Histogram* read_latency) {
   Rng rng(seed);
   for (SimChirpClient* conn : conns) {
     auto connected = co_await conn->connect();
@@ -30,6 +31,7 @@ Task<void> dsfs_client(Engine& engine, std::vector<SimChirpClient*> conns,
   constexpr uint64_t kReadChunk = 1 << 20;
   for (int r = 0; r < reads; r++) {
     int file = static_cast<int>(rng.below(static_cast<uint64_t>(num_files)));
+    Nanos read_start = engine.now();
     // Stub fetch from the directory server.
     auto stub_text = co_await conns[static_cast<size_t>(dir_server_index)]
                          ->getfile("/tree/file" + std::to_string(file));
@@ -55,8 +57,8 @@ Task<void> dsfs_client(Engine& engine, std::vector<SimChirpClient*> conns,
     auto closed =
         co_await conns[static_cast<size_t>(data_server)]->close_fd(fd.value());
     (void)closed;
+    read_latency->record(engine.now() - read_start);
   }
-  (void)engine;
 }
 
 }  // namespace
@@ -103,7 +105,11 @@ DsfsScalingResult run_dsfs_scaling(const DsfsScalingParams& params) {
     }
   }
 
-  // Clients: one node each, one connection per server per client.
+  // Clients: one node each, one connection per server per client. Every
+  // logical read's engine-time latency lands in one shared histogram, the
+  // same machinery live servers publish through the stats RPC.
+  obs::Registry registry;
+  obs::Histogram* read_latency = registry.histogram("dsfs.read.latency");
   std::vector<std::unique_ptr<SimChirpClient>> connections;
   std::vector<uint64_t> bytes(static_cast<size_t>(params.num_clients), 0);
   for (int c = 0; c < params.num_clients; c++) {
@@ -119,7 +125,7 @@ DsfsScalingResult run_dsfs_scaling(const DsfsScalingParams& params) {
           dsfs_client(engine, conns, /*dir_server_index=*/0, params.num_files,
                       params.file_bytes, params.reads_per_client,
                       params.seed + static_cast<uint64_t>(c) * 7919,
-                      &bytes[static_cast<size_t>(c)]));
+                      &bytes[static_cast<size_t>(c)], read_latency));
   }
 
   Nanos end = engine.run();
@@ -133,6 +139,11 @@ DsfsScalingResult run_dsfs_scaling(const DsfsScalingParams& params) {
     result.cache_hits += server->backend().cache().hits();
     result.cache_misses += server->backend().cache().misses();
   }
+  obs::Histogram::Snapshot lat = read_latency->snapshot();
+  result.reads_completed = lat.count;
+  result.read_p50 = lat.quantile(0.50);
+  result.read_p95 = lat.quantile(0.95);
+  result.read_p99 = lat.quantile(0.99);
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "fs/stub.h"
+#include "obs/metrics.h"
 #include "sim/chirp_sim.h"
 #include "sim/cluster.h"
 #include "util/rand.h"
@@ -79,6 +80,14 @@ struct DsfsScalingResult {
   uint64_t bytes_read = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  // Whole-file logical-read latency (stub fetch + open + pread loop +
+  // close), in engine nanoseconds, extracted from the harness's
+  // dsfs.read.latency histogram — the same histogram/quantile machinery
+  // live servers expose through the stats RPC.
+  uint64_t reads_completed = 0;
+  uint64_t read_p50 = 0;
+  uint64_t read_p95 = 0;
+  uint64_t read_p99 = 0;
 };
 
 DsfsScalingResult run_dsfs_scaling(const DsfsScalingParams& params);

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Full verification: the tier-1 build+test pass, then the same suite under
-# ASan/UBSan (-DTSS_SANITIZE=ON) in a separate build tree.
+# Full verification: the tier-1 build+test pass (which includes the `obs`
+# observability suite and the ThreadSanitizer metrics tests), then the same
+# suite under ASan/UBSan (-DTSS_SANITIZE=ON) in a separate build tree.
 #
 # Usage: scripts/check.sh [jobs]
 set -eu
@@ -12,6 +13,9 @@ echo "== tier-1: build + ctest =="
 cmake -B "$root/build" -S "$root"
 cmake --build "$root/build" -j "$jobs"
 (cd "$root/build" && ctest --output-on-failure -j "$jobs")
+
+echo "== observability suite (ctest -L obs, incl. TSan metrics tests) =="
+(cd "$root/build" && ctest -L obs --output-on-failure -j "$jobs")
 
 echo "== sanitizers: ASan/UBSan build + ctest =="
 cmake -B "$root/build-asan" -S "$root" -DTSS_SANITIZE=ON

@@ -8,6 +8,11 @@ Result<Client> Client::connect(const net::Endpoint& server, Options options) {
   TSS_ASSIGN_OR_RETURN(net::TcpSocket sock,
                        net::TcpSocket::connect(server, options.timeout));
   Client client(net::LineStream(std::move(sock), options.timeout), server);
+  obs::Registry* metrics =
+      options.metrics ? options.metrics : &obs::Registry::global();
+  client.rpc_latency_ = metrics->histogram("chirp.client.rpc_latency");
+  client.rpcs_ = metrics->counter("chirp.client.rpcs");
+  client.rpc_errors_ = metrics->counter("chirp.client.rpc_errors");
   Request version;
   version.op = Op::kVersion;
   version.version = kProtocolVersion;
@@ -18,15 +23,34 @@ Result<Client> Client::connect(const net::Endpoint& server, Options options) {
 
 Result<Response> Client::roundtrip(const Request& request,
                                    const void* payload) {
+  // Client-side view of every round trip: wall time from first request byte
+  // to the response line, plus rpc/transport-error counters. A protocol-level
+  // "error <errno>" reply is the server's answer, not a transport failure, so
+  // it does not count as an rpc_error here.
+  Nanos start = rpc_latency_ ? RealClock::instance().now() : 0;
+  auto finish = [this, start](bool transport_ok) {
+    if (!rpc_latency_) return;
+    rpc_latency_->record(RealClock::instance().now() - start);
+    rpcs_->add();
+    if (!transport_ok) rpc_errors_->add();
+  };
   stream_.write_line(encode_request(request));
   uint64_t body = request.payload_len();
   if (body > 0) {
     if (!payload) return Error(EINVAL, "request requires payload");
     stream_.write_blob(payload, static_cast<size_t>(body));
   }
-  TSS_RETURN_IF_ERROR(stream_.flush());
-  TSS_ASSIGN_OR_RETURN(std::string line, stream_.read_line());
-  TSS_ASSIGN_OR_RETURN(Response resp, parse_response_line(line));
+  if (auto rc = stream_.flush(); !rc.ok()) {
+    finish(false);
+    return std::move(rc).take_error();
+  }
+  auto line = stream_.read_line();
+  if (!line.ok()) {
+    finish(false);
+    return std::move(line).take_error();
+  }
+  auto resp = parse_response_line(line.value());
+  finish(resp.ok());
   return resp;
 }
 
@@ -342,6 +366,19 @@ Result<std::string> Client::whoami() {
   if (!resp.ok()) return Error(resp.err, resp.message);
   if (resp.args.empty()) return Error(EPROTO, "short whoami reply");
   return url_decode(resp.args[0]);
+}
+
+Result<std::string> Client::stats() {
+  Request req;
+  req.op = Op::kStats;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  TSS_ASSIGN_OR_RETURN(int64_t size, ok_i64(resp, 0));
+  std::string text;
+  text.resize(static_cast<size_t>(size));
+  if (size > 0) {
+    TSS_RETURN_IF_ERROR(stream_.read_blob(text.data(), text.size()));
+  }
+  return text;
 }
 
 Result<std::pair<uint64_t, uint64_t>> Client::statfs() {

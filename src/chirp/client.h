@@ -20,6 +20,8 @@
 #include "auth/auth.h"
 #include "chirp/protocol.h"
 #include "net/line_stream.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
 
 namespace tss::chirp {
 
@@ -27,6 +29,9 @@ class Client {
  public:
   struct Options {
     Nanos timeout = 30 * kSecond;
+    // Registry for client-side RPC metrics (round-trip latency histogram,
+    // rpc/error counters). Null = the process-wide obs::Registry::global().
+    obs::Registry* metrics = nullptr;
   };
 
   // Connects and performs the version handshake.
@@ -92,6 +97,9 @@ class Client {
                       const std::string& rights);
   Result<std::string> whoami();
   Result<std::pair<uint64_t, uint64_t>> statfs();
+  // Fetches the server's metrics snapshot (counters, latency histograms,
+  // recent spans) in the text format of obs::Registry::render_text().
+  Result<std::string> stats();
 
  private:
   explicit Client(net::LineStream stream, net::Endpoint server)
@@ -103,6 +111,12 @@ class Client {
 
   net::LineStream stream_;
   net::Endpoint server_;
+
+  // Client-side RPC metrics, resolved once in connect(). Null on a
+  // default-constructed (disconnected) client — roundtrip() skips recording.
+  obs::Histogram* rpc_latency_ = nullptr;
+  obs::Counter* rpcs_ = nullptr;
+  obs::Counter* rpc_errors_ = nullptr;
 };
 
 }  // namespace tss::chirp

@@ -50,6 +50,8 @@ const char* op_name(Op op) {
       return "statfs";
     case Op::kTruncate:
       return "truncate";
+    case Op::kStats:
+      return "stats";
   }
   return "?";
 }
@@ -231,6 +233,7 @@ std::string encode_request(const Request& r) {
       break;
     case Op::kWhoami:
     case Op::kStatfs:
+    case Op::kStats:
       break;
     case Op::kTruncate:
       add(url_encode(r.path));
@@ -349,6 +352,10 @@ Result<Request> parse_request_line(const std::string& line) {
   }
   if (cmd == "statfs") {
     r.op = Op::kStatfs;
+    return r;
+  }
+  if (cmd == "stats") {
+    r.op = Op::kStats;
     return r;
   }
   if (cmd == "truncate") {

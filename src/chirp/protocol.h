@@ -36,6 +36,8 @@
 //   whoami                                -> ok <subject>
 //   statfs                                -> ok <total_bytes> <free_bytes>
 //   truncate <path> <size>                -> ok
+//   stats                                 -> ok <bytes>  + metrics snapshot
+//                                            (text; see docs/OBSERVABILITY.md)
 #pragma once
 
 #include <cstdint>
@@ -75,7 +77,11 @@ enum class Op {
   kWhoami,
   kStatfs,
   kTruncate,
+  kStats,
 };
+
+// Number of RPC ops (kStats is last); sized for per-op metric tables.
+constexpr int kOpCount = static_cast<int>(Op::kStats) + 1;
 
 const char* op_name(Op op);
 

@@ -42,6 +42,8 @@ Server::Server(ServerOptions options, std::unique_ptr<Backend> backend,
   config_.owner = options_.owner;
   config_.root_acl = options_.root_acl;
   config_.auth = auth_.get();
+  config_.metrics =
+      options_.metrics ? options_.metrics : &obs::Registry::global();
 }
 
 Server::~Server() { stop(); }
@@ -49,6 +51,14 @@ Server::~Server() { stop(); }
 Result<void> Server::start() {
   net::ServerLoop::Limits limits;
   limits.max_connections = options_.max_connections;
+  // A refused client gets a parseable Chirp error line, not a bare EOF: its
+  // first RPC fails with EBUSY and it can back off and retry.
+  limits.reject_notice =
+      encode_response_line(
+          Response::failure(EBUSY, "server at connection limit")) +
+      "\n";
+  limits.rejected_counter =
+      config_.metrics->counter("chirp.server.rejected_connections");
   return loop_.start(options_.host, options_.port,
                      [this](net::TcpSocket sock) {
                        serve_connection(std::move(sock));
@@ -79,6 +89,14 @@ void Server::serve_connection(net::TcpSocket sock) {
   std::string request_payload;
   std::string response_payload;
 
+  obs::Gauge* active_gauge =
+      config_.metrics->gauge("chirp.server.active_sessions");
+  active_gauge->add(1);
+  struct GaugeDrop {
+    obs::Gauge* g;
+    ~GaugeDrop() { g->sub(1); }
+  } gauge_drop{active_gauge};
+
   // Between requests the session may sit idle for at most idle_timeout;
   // within a request, every read/write gets the (usually tighter) io
   // timeout. An idle session that times out is reaped exactly like a
@@ -92,7 +110,12 @@ void Server::serve_connection(net::TcpSocket sock) {
     stream.set_timeout(options_.io_timeout);
     if (!line.ok()) {
       if (line.error().code == ETIMEDOUT) {
-        TSS_DEBUG("chirp") << "reaping idle session from " << peer.ip;
+        // Reaping must be visible: operators see stalled clients in the log
+        // and the idle_reaped counter, not a mystery disconnect.
+        TSS_WARN("chirp") << "reaping idle session from " << peer.ip
+                          << " after "
+                          << idle_wait / kMillisecond << "ms without a request";
+        config_.metrics->counter("chirp.server.idle_reaped")->add();
       }
       break;  // disconnect or idle: session dtor frees all state
     }
@@ -106,6 +129,7 @@ void Server::serve_connection(net::TcpSocket sock) {
     Request& request = parsed.value();
 
     if (request.op == Op::kAuth) {
+      Nanos op_start = session.clock().now();
       StreamChallengeIo io(stream);
       auto subject =
           session.authenticate(request.auth_method, request.auth_arg, io);
@@ -115,6 +139,7 @@ void Server::serve_connection(net::TcpSocket sock) {
       } else {
         resp = Response::failure(subject.error());
       }
+      session.record_op(Op::kAuth, op_start, 0, 0, resp.err);
       if (!stream.send_line(encode_response_line(resp)).ok()) break;
       continue;
     }
@@ -123,10 +148,12 @@ void Server::serve_connection(net::TcpSocket sock) {
     // through the session's validated backend handles instead of buffering.
     constexpr size_t kStreamChunk = 256 * 1024;
     if (request.op == Op::kGetfile) {
+      Nanos op_start = session.clock().now();
       uint64_t size = 0;
       auto handle = session.stream_open_read(request.path, &size);
       if (!handle.ok()) {
         Response resp = Response::failure(handle.error());
+        session.record_op(Op::kGetfile, op_start, 0, 0, resp.err);
         if (!stream.send_line(encode_response_line(resp)).ok()) break;
         continue;
       }
@@ -157,6 +184,8 @@ void Server::serve_connection(net::TcpSocket sock) {
         }
       }
       session.stream_close(handle.value());
+      session.record_op(Op::kGetfile, op_start, 0, offset,
+                        io_ok ? 0 : EPIPE);
       if (!io_ok) break;
       // Zero-length files skip the loop entirely; the header still has to
       // reach the client.
@@ -164,6 +193,7 @@ void Server::serve_connection(net::TcpSocket sock) {
       continue;
     }
     if (request.op == Op::kPutfile) {
+      Nanos op_start = session.clock().now();
       uint64_t size = request.length;
       auto handle = session.stream_open_write(request.path, request.mode);
       std::string chunk(static_cast<size_t>(
@@ -184,6 +214,8 @@ void Server::serve_connection(net::TcpSocket sock) {
         }
         if (!drained) break;
         Response resp = Response::failure(handle.error());
+        session.record_op(Op::kPutfile, op_start, size - remaining, 0,
+                          resp.err);
         if (!stream.send_line(encode_response_line(resp)).ok()) break;
         continue;
       }
@@ -210,9 +242,11 @@ void Server::serve_connection(net::TcpSocket sock) {
         offset += want;
       }
       session.stream_close(handle.value());
-      if (!io_ok) break;
       Response resp =
           write_rc.ok() ? Response{} : Response::failure(write_rc.error());
+      session.record_op(Op::kPutfile, op_start, offset, 0,
+                        io_ok ? resp.err : EPIPE);
+      if (!io_ok) break;
       if (!stream.send_line(encode_response_line(resp)).ok()) break;
       continue;
     }

@@ -34,6 +34,11 @@ struct ServerOptions {
   // (0 = wait io_timeout, the pre-existing behaviour). A stalled client
   // cannot pin a session forever.
   Nanos idle_timeout = 0;
+  // Metrics registry backing per-op latency histograms, request/byte/error
+  // counters, RPC spans, and the `stats` RPC. Null = the process-wide
+  // obs::Registry::global(), so every production server is instrumented by
+  // default; tests inject their own registry for exact assertions.
+  obs::Registry* metrics = nullptr;
 };
 
 class Server {

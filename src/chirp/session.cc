@@ -12,7 +12,35 @@ bool names_acl_file(const std::string& canonical_path) {
 
 SessionCore::SessionCore(const ServerConfig& config, Backend& backend,
                          auth::PeerInfo peer)
-    : config_(config), backend_(backend), peer_(std::move(peer)) {}
+    : config_(config),
+      backend_(backend),
+      peer_(std::move(peer)),
+      clock_(config.clock ? config.clock : &RealClock::instance()) {
+  if (config_.metrics) {
+    for (int i = 0; i < kOpCount; i++) {
+      op_latency_[i] = config_.metrics->histogram(
+          std::string("chirp.server.latency.") + op_name(static_cast<Op>(i)));
+    }
+    requests_ = config_.metrics->counter("chirp.server.requests");
+    errors_ = config_.metrics->counter("chirp.server.errors");
+    bytes_in_ = config_.metrics->counter("chirp.server.bytes_in");
+    bytes_out_ = config_.metrics->counter("chirp.server.bytes_out");
+  }
+}
+
+void SessionCore::record_op(Op op, Nanos start, uint64_t bytes_in,
+                            uint64_t bytes_out, int err) {
+  if (!config_.metrics) return;
+  Nanos duration = clock_->now() - start;
+  op_latency_[static_cast<int>(op)]->record(duration);
+  requests_->add();
+  if (err != 0) errors_->add();
+  if (bytes_in > 0) bytes_in_->add(bytes_in);
+  if (bytes_out > 0) bytes_out_->add(bytes_out);
+  config_.metrics->record_span(op_name(op),
+                               subject_ ? subject_->to_string() : "-",
+                               bytes_in + bytes_out, err, start, duration);
+}
 
 SessionCore::~SessionCore() { close_all(); }
 
@@ -108,6 +136,18 @@ bool SessionCore::permits(const std::string& dir, acl::Rights rights) {
 
 Response SessionCore::handle(const Request& raw, Payload payload,
                              std::string* response_payload) {
+  if (!config_.metrics) return dispatch(raw, payload, response_payload);
+  Nanos start = clock_->now();
+  size_t out_before = response_payload ? response_payload->size() : 0;
+  Response resp = dispatch(raw, payload, response_payload);
+  uint64_t out_bytes =
+      response_payload ? response_payload->size() - out_before : 0;
+  record_op(raw.op, start, payload.size, out_bytes, resp.err);
+  return resp;
+}
+
+Response SessionCore::dispatch(const Request& raw, Payload payload,
+                               std::string* response_payload) {
   // Software chroot: every client-supplied path is clamped to the export
   // root before anything else looks at it.
   Request r = raw;
@@ -194,6 +234,8 @@ Response SessionCore::handle(const Request& raw, Payload payload,
       return do_statfs();
     case Op::kTruncate:
       return do_truncate(r);
+    case Op::kStats:
+      return do_stats(response_payload);
     case Op::kVersion:
     case Op::kAuth:
       break;
@@ -447,6 +489,19 @@ Response SessionCore::do_truncate(const Request& r) {
   auto rc = backend_.truncate(r.path, r.length);
   if (!rc.ok()) return Response::failure(rc.error());
   return Response{};
+}
+
+Response SessionCore::do_stats(std::string* out) {
+  // Any authenticated subject may read the metrics snapshot — counters and
+  // latencies carry no file data. With no registry configured the snapshot
+  // is simply empty.
+  std::string text =
+      config_.metrics ? config_.metrics->render_text() : std::string();
+  Response resp;
+  resp.args.push_back(std::to_string(text.size()));
+  resp.payload_size = text.size();
+  out->append(text);
+  return resp;
 }
 
 Response SessionCore::do_statfs() {

@@ -38,6 +38,8 @@
 #include "auth/auth.h"
 #include "chirp/backend.h"
 #include "chirp/protocol.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
 
 namespace tss::chirp {
 
@@ -52,6 +54,14 @@ struct ServerConfig {
   acl::Acl root_acl;
   // Enabled authentication methods. Not owned.
   auth::ServerAuth* auth = nullptr;
+  // Observability: per-op latency histograms, request/error/byte counters,
+  // and RPC spans are recorded here; the same registry backs the `stats`
+  // RPC. Null disables instrumentation entirely (the simulator dispatches
+  // through SessionCore synchronously and records virtual-clock latencies
+  // itself instead). Not owned.
+  obs::Registry* metrics = nullptr;
+  // Clock used to timestamp spans and latencies; null = RealClock.
+  const Clock* clock = nullptr;
 };
 
 class SessionCore {
@@ -100,7 +110,22 @@ class SessionCore {
   void stream_close(int backend_handle);
   Backend& backend() { return backend_; }
 
+  // --- Observability --------------------------------------------------------
+  // Records one completed RPC (latency histogram, request/error/byte
+  // counters, one span). handle() calls this for every dispatched op; the
+  // TCP transport calls it directly for the ops it streams around handle()
+  // (auth challenge rounds, getfile/putfile bodies). No-op when the config
+  // has no registry.
+  void record_op(Op op, Nanos start, uint64_t bytes_in, uint64_t bytes_out,
+                 int err);
+  bool metrics_enabled() const { return config_.metrics != nullptr; }
+  // The clock spans and latencies are stamped with (RealClock by default).
+  const Clock& clock() const { return *clock_; }
+
  private:
+  // The un-instrumented dispatch body; handle() wraps it with timing.
+  Response dispatch(const Request& request, Payload payload,
+                    std::string* response_payload);
   // Loads the effective ACL for a directory: its own .__acl__, else the
   // nearest ancestor's, else the configured root ACL.
   acl::Acl effective_acl(const std::string& dir);
@@ -124,11 +149,21 @@ class SessionCore {
   Response do_setacl(const Request& r);
   Response do_truncate(const Request& r);
   Response do_statfs();
+  Response do_stats(std::string* out);
 
   const ServerConfig& config_;
   Backend& backend_;
   auth::PeerInfo peer_;
+  const Clock* clock_;
   std::optional<auth::Subject> subject_;
+
+  // Cached metric handles (resolved once per session; null when the config
+  // carries no registry so the record path stays branch-cheap).
+  obs::Histogram* op_latency_[kOpCount] = {};
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Counter* bytes_out_ = nullptr;
 
   struct OpenFile {
     int backend_handle = -1;

@@ -123,7 +123,15 @@ CfsFs::CfsFs(ConnectFn connect, Options options, Clock* clock)
       options_(options),
       clock_(clock ? clock : &RealClock::instance()),
       jitter_rng_(options.jitter_seed ? options.jitter_seed
-                                      : derive_jitter_seed()) {}
+                                      : derive_jitter_seed()) {
+  obs::Registry* metrics =
+      options_.metrics ? options_.metrics : &obs::Registry::global();
+  m_reconnect_attempts_ = metrics->counter("cfs.reconnect_attempts");
+  m_backoff_sleeps_ = metrics->counter("cfs.backoff_sleeps");
+  m_reconnects_ = metrics->counter("cfs.reconnects");
+  m_transport_errors_ = metrics->counter("cfs.transport_errors");
+  m_stale_handles_ = metrics->counter("cfs.stale_handles");
+}
 
 Nanos CfsFs::jittered_locked(Nanos delay) {
   double jitter = options_.retry.jitter;
@@ -162,9 +170,11 @@ Result<void> CfsFs::reconnect_locked() {
       // "attempting to reconnect to the server with an exponentially
       // increasing delay" (§6), jittered so a pool of clients spreads its
       // reconnect attempts instead of stampeding a restarted server.
+      m_backoff_sleeps_->add();
       clock_->sleep_for(jittered_locked(delay));
       delay = std::min(delay * 2, options_.retry.max_delay);
     }
+    m_reconnect_attempts_->add();
     auto client = connect_();
     if (!client.ok()) {
       last = std::move(client).take_error();
@@ -172,6 +182,7 @@ Result<void> CfsFs::reconnect_locked() {
     }
     client_ = std::move(client).value();
     reconnects_++;
+    m_reconnects_->add();
 
     // Re-open every registered file and verify identity via inode: "it uses
     // stat to verify that the file has the same inode number as before. If
@@ -186,6 +197,7 @@ Result<void> CfsFs::reconnect_locked() {
           break;
         }
         state->stale = true;  // deleted while we were gone
+        m_stale_handles_->add();
         continue;
       }
       auto info = client_->fstat(fd.value());
@@ -195,12 +207,14 @@ Result<void> CfsFs::reconnect_locked() {
           break;
         }
         state->stale = true;
+        m_stale_handles_->add();
         continue;
       }
       if (info.value().inode != state->inode) {
         // Renamed or replaced between open and reconnect.
         (void)client_->close_fd(fd.value());
         state->stale = true;
+        m_stale_handles_->add();
         continue;
       }
       state->remote_fd = fd.value();
@@ -229,6 +243,7 @@ Result<T> CfsFs::with_client(
     }
     TSS_DEBUG("cfs") << "transport error (" << result.code()
                      << "), reconnecting";
+    m_transport_errors_->add();
     client_.reset();
   }
   return Error(ECONNRESET, "connection lost and retry failed");

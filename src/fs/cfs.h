@@ -26,6 +26,7 @@
 
 #include "chirp/client.h"
 #include "fs/filesystem.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/rand.h"
 
@@ -54,6 +55,10 @@ class CfsFs final : public FileSystem {
     // client jitters differently); tests pass a fixed nonzero seed for
     // reproducible schedules.
     uint64_t jitter_seed = 0;
+    // Recovery metrics (reconnect attempts, backoff sleeps, transport
+    // errors, stale handles). Null = the process-wide registry; tests inject
+    // their own for exact assertions against a deterministic schedule.
+    obs::Registry* metrics = nullptr;
   };
 
   CfsFs(ConnectFn connect, Options options, Clock* clock = nullptr);
@@ -123,6 +128,12 @@ class CfsFs final : public FileSystem {
   Options options_;
   Clock* clock_;
   Rng jitter_rng_;
+  // Cached recovery-metric handles (see Options::metrics).
+  obs::Counter* m_reconnect_attempts_ = nullptr;
+  obs::Counter* m_backoff_sleeps_ = nullptr;
+  obs::Counter* m_reconnects_ = nullptr;
+  obs::Counter* m_transport_errors_ = nullptr;
+  obs::Counter* m_stale_handles_ = nullptr;
   std::mutex mutex_;
   std::optional<chirp::Client> client_;
   std::map<uint64_t, OpenState*> open_files_;

@@ -5,8 +5,13 @@
 
 namespace tss::fs {
 
-FaultSchedule::FaultSchedule(uint64_t seed, Clock* clock)
-    : clock_(clock ? clock : &RealClock::instance()), rng_(seed ? seed : 1) {}
+FaultSchedule::FaultSchedule(uint64_t seed, Clock* clock,
+                             obs::Registry* metrics)
+    : clock_(clock ? clock : &RealClock::instance()), rng_(seed ? seed : 1) {
+  obs::Registry* registry = metrics ? metrics : &obs::Registry::global();
+  m_ops_ = registry->counter("fault.ops_seen");
+  m_injected_ = registry->counter("fault.injected");
+}
 
 void FaultSchedule::add(FaultRule rule) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -71,6 +76,7 @@ int FaultSchedule::decide(std::string_view op, const std::string& path) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ops_++;
+    m_ops_->add();
     for (ActiveRule& active : rules_) {
       const FaultRule& rule = active.rule;
       if (!wildcard_match(rule.op_pattern, op)) continue;
@@ -91,6 +97,7 @@ int FaultSchedule::decide(std::string_view op, const std::string& path) {
       if (rule.error_code != 0 && injected == 0) {
         injected = rule.error_code;
         faults_++;
+        m_injected_->add();
       }
     }
   }

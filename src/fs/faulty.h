@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "fs/filesystem.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/rand.h"
 
@@ -47,7 +48,12 @@ struct FaultRule {
 // decorators may consult one schedule so a single seed drives a whole stack.
 class FaultSchedule {
  public:
-  explicit FaultSchedule(uint64_t seed = 1, Clock* clock = nullptr);
+  // `metrics` mirrors ops_seen/faults_injected into the registry counters
+  // fault.ops_seen / fault.injected so chaos tests can assert that N
+  // scheduled faults produced exactly N registry triggers. Null = the
+  // process-wide registry.
+  explicit FaultSchedule(uint64_t seed = 1, Clock* clock = nullptr,
+                         obs::Registry* metrics = nullptr);
 
   void add(FaultRule rule);
 
@@ -89,6 +95,8 @@ class FaultSchedule {
   mutable std::mutex mutex_;
   Clock* clock_;
   Rng rng_;
+  obs::Counter* m_ops_ = nullptr;
+  obs::Counter* m_injected_ = nullptr;
   std::vector<ActiveRule> rules_;
   uint64_t ops_ = 0;
   uint64_t faults_ = 0;

@@ -124,7 +124,14 @@ class ReplicatedFile final : public File {
 ReplicatedFs::ReplicatedFs(std::vector<FileSystem*> replicas, Options options)
     : replicas_(std::move(replicas)),
       options_(options),
-      health_(replicas_.size()) {}
+      health_(replicas_.size()) {
+  obs::Registry* metrics =
+      options_.metrics ? options_.metrics : &obs::Registry::global();
+  m_breaker_opens_ = metrics->counter("replicated.breaker_opens");
+  m_breaker_closes_ = metrics->counter("replicated.breaker_closes");
+  m_diverged_ = metrics->counter("replicated.diverged");
+  m_repaired_ = metrics->counter("replicated.repaired");
+}
 
 bool ReplicatedFs::replica_available(size_t i) const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -138,6 +145,11 @@ bool ReplicatedFs::replica_diverged(size_t i) const {
 
 void ReplicatedFs::note_success(size_t i) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (health_[i].consecutive_failures >= options_.failure_threshold) {
+    TSS_INFO("replicated") << "replica " << i
+                           << " recovered; circuit breaker closed";
+    m_breaker_closes_->add();
+  }
   health_[i].consecutive_failures = 0;
 }
 
@@ -150,11 +162,13 @@ void ReplicatedFs::note_failure(size_t i, int code) {
     TSS_WARN("replicated") << "replica " << i << " failed "
                            << h.consecutive_failures
                            << " consecutive ops; circuit breaker open";
+    m_breaker_opens_->add();
   }
 }
 
 void ReplicatedFs::mark_diverged(size_t i) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!health_[i].diverged) m_diverged_->add();
   health_[i].diverged = true;
 }
 
@@ -361,9 +375,13 @@ Result<int> ReplicatedFs::repair(const std::string& p) {
     }
     if (rc.ok()) {
       repaired++;
+      m_repaired_->add();
       // Converged: reachable and carrying the golden bytes again; close the
       // breaker and clear the diverged mark.
       std::lock_guard<std::mutex> lock(mutex_);
+      if (health_[i].consecutive_failures >= options_.failure_threshold) {
+        m_breaker_closes_->add();
+      }
       health_[i].consecutive_failures = 0;
       health_[i].diverged = false;
     } else {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "fs/filesystem.h"
+#include "obs/metrics.h"
 
 namespace tss::fs {
 
@@ -35,6 +36,9 @@ class ReplicatedFs final : public FileSystem {
   struct Options {
     // Consecutive failures before a replica's circuit breaker opens.
     int failure_threshold = 3;
+    // Breaker/divergence/repair transition counters. Null = the process-wide
+    // registry; tests inject their own to assert exact transition counts.
+    obs::Registry* metrics = nullptr;
   };
 
   // Replicas are borrowed and must outlive the ReplicatedFs. At least one.
@@ -105,6 +109,12 @@ class ReplicatedFs final : public FileSystem {
   Options options_;
   mutable std::mutex mutex_;
   std::vector<Health> health_;
+  // Transition counters (see Options::metrics): breaker opened/closed,
+  // replicas newly marked diverged, replicas repaired.
+  obs::Counter* m_breaker_opens_ = nullptr;
+  obs::Counter* m_breaker_closes_ = nullptr;
+  obs::Counter* m_diverged_ = nullptr;
+  obs::Counter* m_repaired_ = nullptr;
 };
 
 }  // namespace tss::fs

@@ -2,10 +2,21 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace tss::net {
 
 namespace {
 constexpr size_t kReadChunk = 64 * 1024;
+
+// Transport-level injections are visible in the same registry as the
+// fs-level FaultSchedule counters, so a chaos run can account for every
+// fault it provoked regardless of which layer injected it.
+obs::Counter& net_faults_injected() {
+  static obs::Counter* counter =
+      obs::Registry::global().counter("net.fault_injected");
+  return *counter;
+}
 }
 
 LineStream::LineStream(TcpSocket sock, Nanos timeout)
@@ -14,6 +25,9 @@ LineStream::LineStream(TcpSocket sock, Nanos timeout)
 Result<void> LineStream::consult_fault_hook(std::string_view point) {
   if (!fault_hook_) return Result<void>::success();
   TransportFault fault = fault_hook_(point);
+  if (fault.action != TransportFault::Action::kNone) {
+    net_faults_injected().add();
+  }
   switch (fault.action) {
     case TransportFault::Action::kNone:
       return Result<void>::success();

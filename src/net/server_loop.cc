@@ -34,11 +34,18 @@ void ServerLoop::accept_loop() {
     }
     if (limits_.max_connections > 0 &&
         active_.load() >= limits_.max_connections) {
-      // Over the cap: close immediately. The client's next read observes
-      // EOF — a fast refusal, not a hang.
+      // Over the cap: tell the client why (best effort), then close. A
+      // refusal must be visible — to the client as a typed error instead of
+      // a bare EOF, and to the operator in the log and the metrics.
       rejected_.fetch_add(1);
-      TSS_DEBUG("net") << "connection cap (" << limits_.max_connections
-                       << ") reached, refusing client";
+      if (limits_.rejected_counter) limits_.rejected_counter->add();
+      TSS_WARN("net") << "connection cap (" << limits_.max_connections
+                      << ") reached, refusing client";
+      if (!limits_.reject_notice.empty()) {
+        (void)sock.value().write_all(limits_.reject_notice.data(),
+                                     limits_.reject_notice.size(),
+                                     kSecond);
+      }
       sock.value().close();
       std::lock_guard<std::mutex> lock(mutex_);
       reap_finished_locked();

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace tss::net {
@@ -28,11 +29,17 @@ class ServerLoop {
 
   // Admission control. A stalled or leaking client population must not be
   // able to exhaust the server: beyond `max_connections` live sessions,
-  // further connections are accepted and immediately closed (the client
-  // observes EOF on its first read — a fast, typed failure — instead of
-  // hanging in the listen backlog).
+  // further connections are refused immediately — a fast, typed failure
+  // instead of hanging in the listen backlog.
   struct Limits {
     size_t max_connections = 0;  // 0 = unlimited
+    // Bytes written (best-effort) to a refused connection before it is
+    // closed. ServerLoop is protocol-agnostic, so the owning server supplies
+    // its own wire-format refusal (e.g. a Chirp "error EBUSY ..." line);
+    // empty = close silently and the client observes bare EOF.
+    std::string reject_notice;
+    // Incremented once per refused connection, if set. Not owned.
+    obs::Counter* rejected_counter = nullptr;
   };
 
   ServerLoop() = default;

@@ -1,0 +1,223 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+#include "util/strings.h"
+
+namespace tss::obs {
+
+size_t Histogram::bucket_index(uint64_t v) {
+  if (v < kSubBuckets) return static_cast<size_t>(v);
+  // 2^t <= v < 2^(t+1), t >= kSubBucketBits. The kSubBucketBits bits after
+  // the leading one select the linear sub-bucket within the octave.
+  int t = std::bit_width(v) - 1;
+  uint64_t sub = (v >> (t - kSubBucketBits)) - kSubBuckets;
+  return static_cast<size_t>(
+      kSubBuckets + static_cast<uint64_t>(t - kSubBucketBits) * kSubBuckets +
+      sub);
+}
+
+uint64_t Histogram::bucket_low(size_t index) {
+  if (index < kSubBuckets) return index;
+  size_t rel = index - kSubBuckets;
+  int t = static_cast<int>(rel / kSubBuckets) + kSubBucketBits;
+  uint64_t sub = rel % kSubBuckets;
+  return (1ull << t) + (sub << (t - kSubBucketBits));
+}
+
+void Histogram::record(int64_t signed_v) {
+  // Clock skew or a razor-thin interval can produce a negative duration;
+  // attribute it to the zero bucket rather than wrapping to 2^64.
+  uint64_t v = signed_v > 0 ? static_cast<uint64_t>(signed_v) : 0;
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.buckets.resize(kNumBuckets);
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += s.buckets[i];
+  }
+  // Derive count from the buckets themselves so quantile() walks a
+  // self-consistent distribution even when writers race the snapshot.
+  s.count = total;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t lo = min_.load(std::memory_order_relaxed);
+  s.min = total > 0 && lo != UINT64_MAX ? lo : 0;
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-th sample, 1-based; walk buckets until it is covered.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); i++) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      // Interpolate linearly within the bucket.
+      uint64_t low = bucket_low(i);
+      uint64_t high = i + 1 < kNumBuckets ? bucket_low(i + 1) : low + 1;
+      uint64_t into = rank - seen - 1;
+      double frac = buckets[i] > 1
+                        ? static_cast<double>(into) /
+                              static_cast<double>(buckets[i] - 1)
+                        : 0.0;
+      uint64_t v =
+          low + static_cast<uint64_t>(frac * static_cast<double>(high - low));
+      if (v > max && max > 0) v = max;
+      if (min > 0 && v < min) v = min;
+      return v;
+    }
+    seen += buckets[i];
+  }
+  return max;
+}
+
+std::string Span::encode() const {
+  return "span " + std::to_string(seq) + " " + op + " " +
+         url_encode(subject.empty() ? "-" : subject) + " " +
+         std::to_string(bytes) + " " + std::to_string(err) + " " +
+         std::to_string(start) + " " + std::to_string(duration);
+}
+
+SpanRing::SpanRing(size_t capacity) : capacity_(capacity ? capacity : 1) {
+  ring_.reserve(capacity_);
+}
+
+void SpanRing::record(Span span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  span.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[span.seq % capacity_] = std::move(span);
+  }
+}
+
+std::vector<Span> SpanRing::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  // Oldest retained span first. Before the first wrap the ring is in order;
+  // after, the slot holding the oldest is next_seq_ % capacity_.
+  size_t start = ring_.size() < capacity_ ? 0 : next_seq_ % capacity_;
+  for (size_t i = 0; i < ring_.size(); i++) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t SpanRing::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+Registry::Registry(size_t span_capacity) : spans_(span_capacity) {}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  counter_storage_.emplace_back();
+  Counter* c = &counter_storage_.back();
+  counters_.emplace(std::string(name), c);
+  return c;
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  gauge_storage_.emplace_back();
+  Gauge* g = &gauge_storage_.back();
+  gauges_.emplace(std::string(name), g);
+  return g;
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  histogram_storage_.emplace_back();
+  Histogram* h = &histogram_storage_.back();
+  histograms_.emplace(std::string(name), h);
+  return h;
+}
+
+void Registry::record_span(std::string_view op, std::string_view subject,
+                           uint64_t bytes, int err, Nanos start,
+                           Nanos duration) {
+  Span span;
+  span.op = std::string(op);
+  span.subject = std::string(subject);
+  span.bytes = bytes;
+  span.err = err;
+  span.start = start;
+  span.duration = duration;
+  spans_.record(std::move(span));
+}
+
+uint64_t Registry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+Histogram::Snapshot Registry::histogram_snapshot(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) return Histogram::Snapshot{};
+  Histogram* h = it->second;
+  // snapshot() touches only atomics; taking it under the name-map mutex is
+  // fine (registration is rare and never blocks on recording).
+  return h->snapshot();
+}
+
+std::string Registry::render_text() const {
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) {
+      out += "counter " + name + " " + std::to_string(c->value()) + "\n";
+    }
+    for (const auto& [name, g] : gauges_) {
+      out += "gauge " + name + " " + std::to_string(g->value()) + "\n";
+    }
+    for (const auto& [name, h] : histograms_) {
+      Histogram::Snapshot s = h->snapshot();
+      out += "histogram " + name + " count " + std::to_string(s.count) +
+             " sum " + std::to_string(s.sum) + " min " +
+             std::to_string(s.min) + " max " + std::to_string(s.max) +
+             " p50 " + std::to_string(s.quantile(0.50)) + " p95 " +
+             std::to_string(s.quantile(0.95)) + " p99 " +
+             std::to_string(s.quantile(0.99)) + "\n";
+    }
+  }
+  for (const Span& span : spans_.spans()) {
+    out += span.encode() + "\n";
+  }
+  return out;
+}
+
+}  // namespace tss::obs

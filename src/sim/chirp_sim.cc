@@ -18,6 +18,29 @@ SimChirpServer::SimChirpServer(Cluster& cluster, Options options)
   auto acl = acl::Acl::parse(options_.root_acl_text);
   config_.root_acl = acl.ok() ? acl.value() : acl::Acl();
   config_.auth = auth_.get();
+  // config_.metrics stays null: the sim records engine-time latencies via
+  // record_rpc instead of wall-clock ones inside SessionCore.
+  for (int i = 0; i < chirp::kOpCount; i++) {
+    op_latency_[i] = metrics_.histogram(
+        std::string("chirp.server.latency.") +
+        chirp::op_name(static_cast<chirp::Op>(i)));
+  }
+  requests_ = metrics_.counter("chirp.server.requests");
+  errors_ = metrics_.counter("chirp.server.errors");
+  bytes_in_ = metrics_.counter("chirp.server.bytes_in");
+  bytes_out_ = metrics_.counter("chirp.server.bytes_out");
+}
+
+void SimChirpServer::record_rpc(chirp::Op op, Nanos start, Nanos duration,
+                                uint64_t bytes_in, uint64_t bytes_out,
+                                int err, const std::string& subject) {
+  op_latency_[static_cast<int>(op)]->record(duration);
+  requests_->add();
+  if (err != 0) errors_->add();
+  if (bytes_in > 0) bytes_in_->add(bytes_in);
+  if (bytes_out > 0) bytes_out_->add(bytes_out);
+  metrics_.record_span(chirp::op_name(op), subject, bytes_in + bytes_out,
+                       err, start, duration);
 }
 
 namespace {
@@ -63,11 +86,15 @@ Task<Result<void>> SimChirpClient::connect() {
   auth_req.auth_method = "hostname";
   auth_req.auth_arg = "-";
   std::string line = chirp::encode_request(auth_req);
+  Nanos auth_start = cluster_.engine().now();
   co_await cluster_.transfer(client_node_, server_.node(), line.size() + 1);
   NullChallengeIo io;
   auto subject = session_->authenticate("hostname", "-", io);
   co_await cluster_.engine().sleep_for(server_.options().rpc_cpu_cost);
   co_await cluster_.transfer(server_.node(), client_node_, 64);
+  server_.record_rpc(chirp::Op::kAuth, auth_start,
+                     cluster_.engine().now() - auth_start, 0, 0,
+                     subject.ok() ? 0 : subject.error().code, client_host_);
   if (!subject.ok()) co_return std::move(subject).take_error();
   connected_ = true;
   co_return Result<void>::success();
@@ -77,6 +104,7 @@ Task<Result<SimChirpClient::CallResult>> SimChirpClient::call(
     chirp::Request request, uint64_t request_payload_size,
     const char* request_payload_data) {
   rpcs_++;
+  Nanos start = cluster_.engine().now();
   // Request line (+ body) to the server. The line is produced by the real
   // encoder so framing overheads are the real ones.
   std::string line = chirp::encode_request(request);
@@ -106,6 +134,9 @@ Task<Result<SimChirpClient::CallResult>> SimChirpClient::call(
       response_line.size() + 1 +
       std::max<uint64_t>(result.response.payload_size, result.payload.size());
   co_await cluster_.transfer(server_.node(), client_node_, response_bytes);
+  server_.record_rpc(request.op, start, cluster_.engine().now() - start,
+                     request_payload_size, response_bytes,
+                     result.response.err, client_host_);
   co_return result;
 }
 

@@ -15,6 +15,7 @@
 
 #include "auth/auth.h"
 #include "chirp/session.h"
+#include "obs/metrics.h"
 #include "sim/cluster.h"
 #include "sim/sim_backend.h"
 
@@ -39,6 +40,16 @@ class SimChirpServer {
   chirp::ServerConfig& config() { return config_; }
   auth::ServerAuth& auth() { return *auth_; }
 
+  // Virtual-clock observability. SessionCore's own instrumentation stays
+  // off in simulation (config_.metrics is null — dispatch is synchronous,
+  // so wall-clock latencies would be meaningless); instead every RPC turn
+  // records its *engine-time* latency here under the same metric names the
+  // TCP server uses, so real and simulated runs emit identical snapshots.
+  obs::Registry& metrics() { return metrics_; }
+  void record_rpc(chirp::Op op, Nanos start, Nanos duration,
+                  uint64_t bytes_in, uint64_t bytes_out, int err,
+                  const std::string& subject);
+
  private:
   Cluster& cluster_;
   Options options_;
@@ -46,6 +57,12 @@ class SimChirpServer {
   std::unique_ptr<SimBackend> backend_;
   std::unique_ptr<auth::ServerAuth> auth_;
   chirp::ServerConfig config_;
+  obs::Registry metrics_;
+  obs::Histogram* op_latency_[chirp::kOpCount] = {};
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Counter* bytes_out_ = nullptr;
 };
 
 // One client connection: its own node (or a shared client node) and its own

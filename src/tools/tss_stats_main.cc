@@ -1,0 +1,103 @@
+// tss_stats — dump a live Chirp server's metrics snapshot.
+//
+//   tss_stats chirp://HOST:PORT/ [PREFIX...]
+//
+// Issues the `stats` RPC and prints the server's observability snapshot:
+// request/error/byte counters, per-op latency histograms with p50/p95/p99,
+// and the ring of most recent RPC spans (see docs/OBSERVABILITY.md for the
+// line format). Optional PREFIX arguments filter the output to matching
+// metric names ("chirp.server", "fault.", ...); span lines are kept only
+// when no prefix is given.
+//
+// Authentication mirrors the tss CLI: unix, then hostname.
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "auth/hostname.h"
+#include "auth/unix.h"
+#include "chirp/client.h"
+#include "util/result.h"
+
+namespace {
+
+using namespace tss;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tss_stats chirp://HOST:PORT/ [PREFIX...]\n"
+               "       prints the server's metrics snapshot (stats RPC);\n"
+               "       PREFIX arguments keep only matching metric names\n");
+  return 2;
+}
+
+Result<net::Endpoint> parse_server(const std::string& url) {
+  const std::string prefix = "chirp://";
+  std::string rest = url;
+  if (rest.rfind(prefix, 0) == 0) rest = rest.substr(prefix.size());
+  size_t slash = rest.find('/');
+  if (slash != std::string::npos) rest = rest.substr(0, slash);
+  return net::Endpoint::parse(rest);
+}
+
+bool line_matches(const std::string& line,
+                  const std::vector<std::string>& prefixes) {
+  if (prefixes.empty()) return true;
+  // "counter chirp.server.requests 42" — the name is the second token.
+  size_t space = line.find(' ');
+  if (space == std::string::npos) return false;
+  std::string name = line.substr(space + 1);
+  for (const std::string& p : prefixes) {
+    if (name.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  auto server = parse_server(argv[1]);
+  if (!server.ok()) {
+    std::fprintf(stderr, "tss_stats: %s\n", server.error().to_string().c_str());
+    return usage();
+  }
+  std::vector<std::string> prefixes;
+  for (int i = 2; i < argc; i++) prefixes.emplace_back(argv[i]);
+
+  auto client = chirp::Client::connect(server.value());
+  if (!client.ok()) {
+    std::fprintf(stderr, "tss_stats: connect: %s\n",
+                 client.error().to_string().c_str());
+    return 1;
+  }
+  auth::UnixClientCredential unix_cred;
+  auth::HostnameClientCredential hostname_cred;
+  std::vector<auth::ClientCredential*> credentials{&unix_cred,
+                                                   &hostname_cred};
+  if (auto subject = client.value().authenticate_any(credentials);
+      !subject.ok()) {
+    std::fprintf(stderr, "tss_stats: auth: %s\n",
+                 subject.error().to_string().c_str());
+    return 1;
+  }
+
+  auto snapshot = client.value().stats();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "tss_stats: stats: %s\n",
+                 snapshot.error().to_string().c_str());
+    return 1;
+  }
+  std::istringstream lines(snapshot.value());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("span ", 0) == 0) {
+      if (prefixes.empty()) std::printf("%s\n", line.c_str());
+      continue;
+    }
+    if (line_matches(line, prefixes)) std::printf("%s\n", line.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Wire-protocol fuzz: every request and response line must survive
+// encode -> parse -> encode byte-for-byte, for every Op (including the new
+// `stats` op), with hostile field contents — embedded newlines, NULs,
+// percent signs, spaces — and random payload sizes. Seeded, so a failure
+// replays exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chirp/protocol.h"
+#include "util/rand.h"
+
+namespace tss::chirp {
+namespace {
+
+// Random string over a hostile alphabet: control characters, separators,
+// the escape character itself, and high bytes. `min_len` 1 for fields that
+// must be a non-empty wire token (paths are sanitized to at least "/"
+// before they ever reach the encoder; an empty token cannot be framed).
+std::string nasty_string(Rng& rng, size_t max_len, size_t min_len = 0) {
+  static const char kPool[] = {'\n', '\r', '\0', ' ', '%', '/', '.', '-',
+                               'a',  'z',  'A',  '0', '9', '_', '~', '\t',
+                               static_cast<char>(0xFF),
+                               static_cast<char>(0x80)};
+  size_t len = min_len + rng.below(max_len - min_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; i++) {
+    out += kPool[rng.below(sizeof(kPool))];
+  }
+  return out;
+}
+
+// A safe single token (no spaces), for fields the protocol sends raw.
+std::string token(Rng& rng) { return rng.hex(1 + rng.below(8)); }
+
+OpenFlags random_flags(Rng& rng) {
+  OpenFlags f;
+  f.read = rng.below(2);
+  f.write = rng.below(2);
+  f.create = rng.below(2);
+  f.truncate = rng.below(2);
+  f.exclusive = rng.below(2);
+  f.append = rng.below(2);
+  f.sync = rng.below(2);
+  return f;
+}
+
+Request random_request(Rng& rng, Op op) {
+  Request r;
+  r.op = op;
+  r.path = nasty_string(rng, 64, /*min_len=*/1);
+  r.path2 = nasty_string(rng, 64, /*min_len=*/1);
+  r.fd = static_cast<int64_t>(rng.below(1u << 20));
+  // pread/pwrite lengths above kMaxRpcPayload are rejected by parse (by
+  // design); everything else takes any size.
+  r.length = (op == Op::kPread || op == Op::kPwrite)
+                 ? rng.below(kMaxRpcPayload + 1)
+                 : rng.next();
+  r.offset = static_cast<int64_t>(rng.below(1ull << 40));
+  r.mode = static_cast<uint32_t>(rng.below(07777 + 1));
+  r.flags = random_flags(rng);
+  r.version = static_cast<int>(rng.below(100));
+  r.auth_method = token(rng);
+  r.auth_arg = nasty_string(rng, 32);
+  // "-" is the wire sentinel for an empty auth arg, so a literal "-" does
+  // not round-trip (documented quirk); skip that one corner.
+  if (r.auth_arg == "-") r.auth_arg.clear();
+  r.acl_subject = nasty_string(rng, 32, /*min_len=*/1);
+  r.acl_rights = token(rng);
+  return r;
+}
+
+TEST(ProtocolRoundtrip, EveryOpSurvivesEncodeParseEncode) {
+  Rng rng(0xC41Fu);
+  for (int op_index = 0; op_index < kOpCount; op_index++) {
+    Op op = static_cast<Op>(op_index);
+    for (int round = 0; round < 200; round++) {
+      Request request = random_request(rng, op);
+      std::string line = encode_request(request);
+
+      // The encoded form is a single clean ASCII line whatever the fields
+      // contained — framing can never be broken from inside.
+      EXPECT_EQ(line.find('\n'), std::string::npos) << op_name(op);
+      EXPECT_EQ(line.find('\r'), std::string::npos) << op_name(op);
+      EXPECT_EQ(line.find('\0'), std::string::npos) << op_name(op);
+
+      auto parsed = parse_request_line(line);
+      ASSERT_TRUE(parsed.ok())
+          << op_name(op) << ": " << parsed.error().to_string()
+          << "\nline: " << line;
+      EXPECT_EQ(parsed.value().op, op);
+      EXPECT_EQ(parsed.value().payload_len(), request.payload_len())
+          << op_name(op);
+
+      std::string line2 = encode_request(parsed.value());
+      EXPECT_EQ(line2, line) << op_name(op) << " round " << round;
+    }
+  }
+}
+
+TEST(ProtocolRoundtrip, PathFieldsSurviveExactly) {
+  Rng rng(0xBEEF);
+  for (int round = 0; round < 500; round++) {
+    Request request = random_request(rng, Op::kRename);
+    auto parsed = parse_request_line(encode_request(request));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().path, request.path);
+    EXPECT_EQ(parsed.value().path2, request.path2);
+  }
+  for (int round = 0; round < 500; round++) {
+    Request request = random_request(rng, Op::kAuth);
+    auto parsed = parse_request_line(encode_request(request));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().auth_method, request.auth_method);
+    EXPECT_EQ(parsed.value().auth_arg, request.auth_arg);
+  }
+}
+
+TEST(ProtocolRoundtrip, PayloadSizesSurviveAcrossTheFullRange) {
+  Rng rng(7);
+  const uint64_t lengths[] = {0,    1,
+                              511,  4096,
+                              kMaxRpcPayload - 1, kMaxRpcPayload};
+  for (uint64_t length : lengths) {
+    Request request = random_request(rng, Op::kPwrite);
+    request.length = length;
+    auto parsed = parse_request_line(encode_request(request));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().length, length);
+    EXPECT_EQ(parsed.value().payload_len(), length);
+  }
+  // putfile sizes are not capped by kMaxRpcPayload (streaming path).
+  Request request = random_request(rng, Op::kPutfile);
+  request.length = 100ull << 30;
+  auto parsed = parse_request_line(encode_request(request));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().payload_len(), 100ull << 30);
+  // ...but pwrite past the cap is refused at parse time.
+  request = random_request(rng, Op::kPwrite);
+  request.length = kMaxRpcPayload + 1;
+  EXPECT_FALSE(parse_request_line(encode_request(request)).ok());
+}
+
+TEST(ProtocolRoundtrip, ResponsesSurviveEncodeParseEncode) {
+  Rng rng(0xD00D);
+  for (int round = 0; round < 500; round++) {
+    Response response;
+    if (rng.below(2)) {
+      // Success with 0-4 token args (ok-line tokens are emitted raw, so
+      // they are generated as tokens — matching how the server builds them).
+      size_t n = rng.below(5);
+      for (size_t i = 0; i < n; i++) {
+        response.args.push_back(rng.below(2) ? std::to_string(rng.next())
+                                             : token(rng));
+      }
+    } else {
+      response.err = 1 + static_cast<int>(rng.below(200));
+      response.message = nasty_string(rng, 80);
+    }
+    std::string line = encode_response_line(response);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_EQ(line.find('\0'), std::string::npos);
+
+    auto parsed = parse_response_line(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_EQ(parsed.value().err, response.err);
+    if (response.err != 0) {
+      EXPECT_EQ(parsed.value().message, response.message);
+    } else {
+      EXPECT_EQ(parsed.value().args, response.args);
+    }
+    EXPECT_EQ(encode_response_line(parsed.value()), line);
+  }
+}
+
+TEST(ProtocolRoundtrip, GarbageLinesNeverCrashTheParser) {
+  Rng rng(0xFACE);
+  int accepted = 0;
+  for (int round = 0; round < 2000; round++) {
+    std::string garbage = nasty_string(rng, 120);
+    auto request = parse_request_line(garbage);
+    if (request.ok()) accepted++;  // fine, as long as it didn't crash
+    auto response = parse_response_line(garbage);
+    (void)response;
+  }
+  // Random control-character soup should essentially never parse as a
+  // valid RPC.
+  EXPECT_LE(accepted, 20);
+}
+
+}  // namespace
+}  // namespace tss::chirp

@@ -77,12 +77,12 @@ TEST_F(ServerLimitsTest, ConnectionCapRefusesTheExcessClientFast) {
   ASSERT_TRUE(c2.ok()) << c2.error().to_string();
   ASSERT_TRUE(wait_for_active(2));
 
-  // The third client is refused at admission: its version handshake sees a
-  // typed connection error, not a hang in the backlog.
+  // The third client is refused at admission: the server answers its first
+  // RPC with a protocol-level EBUSY error line before closing, so the client
+  // knows it was the connection limit — not a crash or a network fault.
   auto c3 = connect();
   ASSERT_FALSE(c3.ok());
-  EXPECT_TRUE(c3.error().code == EPIPE || c3.error().code == ECONNRESET)
-      << c3.error().to_string();
+  EXPECT_EQ(c3.error().code, EBUSY) << c3.error().to_string();
   EXPECT_GE(server_->rejected_connections(), 1u);
 
   // The admitted sessions are unharmed.

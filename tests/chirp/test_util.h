@@ -13,6 +13,7 @@
 #include "chirp/client.h"
 #include "chirp/posix_backend.h"
 #include "chirp/server.h"
+#include "obs/metrics.h"
 
 namespace tss::chirp::testing {
 
@@ -38,6 +39,9 @@ class ChirpServerFixture : public ::testing::Test {
     ServerOptions options;
     options.owner = owner;
     options.root_acl = acl::Acl::parse(root_acl_text_).value();
+    // Each fixture gets its own registry so metric assertions are exact and
+    // tests never see each other's counts through the global registry.
+    options.metrics = &metrics_;
     auto auth = std::make_unique<auth::ServerAuth>();
     auth->add(std::make_unique<auth::HostnameServerMethod>());
     server_ = std::make_unique<Server>(options,
@@ -69,6 +73,7 @@ class ChirpServerFixture : public ::testing::Test {
 
   std::string root_;
   std::string root_acl_text_;
+  obs::Registry metrics_;
   std::unique_ptr<Server> server_;
   static inline int counter_ = 0;
 };

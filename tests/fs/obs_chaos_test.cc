@@ -1,0 +1,186 @@
+// Chaos-to-metrics accounting: every injected fault, breaker transition,
+// and reconnect backoff must land in the observability registry with an
+// exact count. Deterministic by construction — seeded schedules, a virtual
+// clock, and per-test registries.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "fs/cfs.h"
+#include "fs/faulty.h"
+#include "fs/local.h"
+#include "fs/replicated.h"
+#include "obs/metrics.h"
+#include "chirp/test_util.h"
+#include "util/clock.h"
+
+namespace tss::fs {
+namespace {
+
+class ObsChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "/obschaos_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(base_);
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  std::string make_root(const std::string& name) {
+    std::string root = base_ + "/" + name;
+    std::filesystem::create_directories(root);
+    return root;
+  }
+
+  std::string base_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(ObsChaosTest, ScheduledFaultsProduceExactlyThatManyRegistryTriggers) {
+  obs::Registry registry;
+  VirtualClock clock;
+  FaultSchedule schedule(/*seed=*/42, &clock, &registry);
+  LocalFs local(make_root("local"));
+  FaultyFs faulty(&local, &schedule);
+  ASSERT_TRUE(faulty.write_file("/f", "data").ok());
+  uint64_t setup_ops = schedule.ops_seen();
+
+  // Two scheduled faults over eight stats: the 2nd and 5th fail.
+  schedule.fail_nth(2, EIO, "stat");
+  schedule.fail_nth(5, EIO, "stat");
+  int failures = 0;
+  for (int i = 0; i < 8; i++) {
+    if (!faulty.stat("/f").ok()) failures++;
+  }
+  EXPECT_EQ(failures, 2);
+
+  // The registry mirrors the schedule's own books exactly.
+  EXPECT_EQ(schedule.faults_injected(), 2u);
+  EXPECT_EQ(registry.counter_value("fault.injected"), 2u);
+  EXPECT_EQ(schedule.ops_seen(), setup_ops + 8);
+  EXPECT_EQ(registry.counter_value("fault.ops_seen"), schedule.ops_seen());
+}
+
+TEST_F(ObsChaosTest, BreakerOpenCloseAndRepairTransitionsAreCountedOnce) {
+  obs::Registry registry;
+  LocalFs local0(make_root("r0"));
+  LocalFs local1(make_root("r1"));
+  VirtualClock clock;
+  FaultSchedule schedule0(1, &clock, &registry);
+  FaultSchedule schedule1(2, &clock, &registry);
+  FaultyFs replica0(&local0, &schedule0);
+  FaultyFs replica1(&local1, &schedule1);
+
+  ReplicatedFs::Options options;
+  options.failure_threshold = 3;
+  options.metrics = &registry;
+  ReplicatedFs fs({&replica0, &replica1}, options);
+  ASSERT_TRUE(fs.write_file("/doc", "v1").ok());
+
+  // Replica 1 dies: three consecutive failed mutations trip its breaker
+  // exactly once, and the first failure marks it diverged exactly once.
+  schedule1.fail_always(EHOSTUNREACH);
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(fs.write_file("/doc", "v" + std::to_string(2 + i)).ok());
+  }
+  EXPECT_FALSE(fs.replica_available(1));
+  EXPECT_EQ(registry.counter_value("replicated.breaker_opens"), 1u);
+  EXPECT_EQ(registry.counter_value("replicated.diverged"), 1u);
+
+  // Further writes skip the open breaker — no re-opens, no re-divergence.
+  ASSERT_TRUE(fs.write_file("/doc", "v9").ok());
+  EXPECT_EQ(registry.counter_value("replicated.breaker_opens"), 1u);
+  EXPECT_EQ(registry.counter_value("replicated.diverged"), 1u);
+
+  // The replica comes back: probe closes the breaker (one close), and
+  // repair converges the stale copy (one repaired).
+  schedule1.clear();
+  ASSERT_TRUE(fs.probe(1).ok());
+  EXPECT_TRUE(fs.replica_available(1));
+  EXPECT_EQ(registry.counter_value("replicated.breaker_closes"), 1u);
+  auto repaired = fs.repair("/doc");
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired.value(), 1);
+  EXPECT_EQ(registry.counter_value("replicated.repaired"), 1u);
+  EXPECT_EQ(registry.counter_value("replicated.breaker_closes"), 1u);
+  EXPECT_FALSE(fs.replica_diverged(1));
+  EXPECT_EQ(fs.read_file("/doc").value(), "v9");
+}
+
+// A full open/close breaker cycle driven by repair() alone (no probe), to
+// pin the other close path.
+TEST_F(ObsChaosTest, RepairAloneClosesAnOpenBreaker) {
+  obs::Registry registry;
+  LocalFs local0(make_root("a0"));
+  LocalFs local1(make_root("a1"));
+  VirtualClock clock;
+  FaultSchedule schedule1(3, &clock, &registry);
+  FaultyFs replica1(&local1, &schedule1);
+
+  ReplicatedFs::Options options;
+  options.failure_threshold = 2;
+  options.metrics = &registry;
+  ReplicatedFs fs({&local0, &replica1}, options);
+  ASSERT_TRUE(fs.write_file("/doc", "v1").ok());
+
+  schedule1.fail_always(ETIMEDOUT);
+  ASSERT_TRUE(fs.write_file("/doc", "v2").ok());
+  ASSERT_TRUE(fs.write_file("/doc", "v3").ok());
+  ASSERT_FALSE(fs.replica_available(1));
+  EXPECT_EQ(registry.counter_value("replicated.breaker_opens"), 1u);
+
+  schedule1.clear();
+  auto repaired = fs.repair("/doc");
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired.value(), 1);
+  EXPECT_TRUE(fs.replica_available(1));
+  EXPECT_EQ(registry.counter_value("replicated.breaker_closes"), 1u);
+  EXPECT_EQ(registry.counter_value("replicated.repaired"), 1u);
+}
+
+class ObsCfsReconnectTest : public chirp::testing::ChirpServerFixture {};
+
+TEST_F(ObsCfsReconnectTest, BackoffAttemptAndSleepCountsAreExact) {
+  start_server();
+  obs::Registry registry;
+  VirtualClock clock;  // backoff sleeps advance virtual time only
+
+  auto credential = std::make_shared<auth::HostnameClientCredential>();
+  CfsFs::ConnectFn real = chirp_connector(server_->endpoint(), {credential});
+  int connect_calls = 0;
+  CfsFs::ConnectFn flaky = [&]() -> Result<chirp::Client> {
+    if (connect_calls++ < 2) {
+      return Error(ECONNREFUSED, "injected connect failure");
+    }
+    return real();
+  };
+
+  CfsFs::Options options;
+  options.retry.max_attempts = 5;
+  options.retry.base_delay = 5 * kMillisecond;
+  options.jitter_seed = 7;
+  options.metrics = &registry;
+  CfsFs fs(flaky, options, &clock);
+
+  // First operation triggers the initial connect incident: attempts 1 and 2
+  // fail, attempt 3 succeeds. Sleeps happen before every attempt but the
+  // first, so two connect failures cost exactly two backoff sleeps.
+  Nanos before = clock.now();
+  ASSERT_TRUE(fs.mkdir("/made", 0755).ok());
+  EXPECT_EQ(connect_calls, 3);
+  EXPECT_EQ(registry.counter_value("cfs.reconnect_attempts"), 3u);
+  EXPECT_EQ(registry.counter_value("cfs.backoff_sleeps"), 2u);
+  EXPECT_EQ(registry.counter_value("cfs.reconnects"), 1u);
+  EXPECT_EQ(registry.counter_value("cfs.transport_errors"), 0u);
+  EXPECT_GT(clock.now(), before);  // the backoff really slept (virtually)
+
+  // A healthy connection does not touch the recovery counters.
+  ASSERT_TRUE(fs.stat("/made").ok());
+  EXPECT_EQ(registry.counter_value("cfs.reconnect_attempts"), 3u);
+  EXPECT_EQ(registry.counter_value("cfs.reconnects"), 1u);
+}
+
+}  // namespace
+}  // namespace tss::fs

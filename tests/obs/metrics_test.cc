@@ -1,0 +1,273 @@
+// The metrics layer under load: lock-free counters and histograms hammered
+// from many threads, quantile extraction against a sorted reference, and
+// snapshots taken while writers are running. This file is also compiled
+// into the obs_tsan_test target (-fsanitize=thread), so every assertion
+// here doubles as a data-race check.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "util/rand.h"
+#include "util/strings.h"
+
+namespace tss::obs {
+namespace {
+
+constexpr int kThreads = 8;
+
+TEST(HistogramBuckets, IndexIsMonotonicAndBoundsAreConsistent) {
+  size_t prev = 0;
+  const uint64_t probes[] = {0,    1,        7,          8,
+                             9,    63,       64,         100,
+                             1000, 123456,   1ull << 20, (1ull << 20) + 1,
+                             1ull << 40,     UINT64_MAX};
+  for (uint64_t v : probes) {
+    size_t index = Histogram::bucket_index(v);
+    ASSERT_LT(index, Histogram::kNumBuckets);
+    ASSERT_GE(index, prev) << "index not monotonic at v=" << v;
+    prev = index;
+    // The value lands inside its bucket's [low, next-low) range.
+    EXPECT_LE(Histogram::bucket_low(index), v);
+    if (index + 1 < Histogram::kNumBuckets) {
+      EXPECT_LT(v, Histogram::bucket_low(index + 1));
+    }
+  }
+  // Small values are exact buckets.
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; v++) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_low(v), v);
+  }
+}
+
+TEST(CounterConcurrency, EightThreadsOfAddsLoseNothing) {
+  Counter counter;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; i++) counter.add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kPerThread * kThreads);
+}
+
+TEST(HistogramConcurrency, EightThreadsOfRecordsLoseNothing) {
+  Histogram histogram;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> sums(kThreads, 0);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&histogram, &sums, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        uint64_t v = rng.below(1u << 20);
+        sums[static_cast<size_t>(t)] += v;
+        histogram.record(static_cast<int64_t>(v));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, kPerThread * kThreads);
+  uint64_t want_sum = 0;
+  for (uint64_t s : sums) want_sum += s;
+  EXPECT_EQ(snap.sum, want_sum);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// Quantiles from the log-scale buckets must track a sorted reference to
+// within the documented bucket resolution (sub-bucket width <= 1/8 of the
+// value, i.e. 12.5% relative error).
+TEST(HistogramQuantiles, MatchSortedReferenceWithinBucketResolution) {
+  Rng rng(20050101);
+  Histogram histogram;
+  std::vector<uint64_t> reference;
+  // A latency-shaped mixture: a fast mode, a slow mode, and a long tail.
+  for (int i = 0; i < 20000; i++) {
+    uint64_t v;
+    switch (rng.below(10)) {
+      case 0:
+        v = 1000000 + rng.below(50000000);  // slow mode: 1-51 ms
+        break;
+      case 1:
+      case 2:
+        v = rng.below(1000);  // sub-microsecond
+        break;
+      default:
+        v = 10000 + rng.below(90000);  // fast mode: 10-100 us
+        break;
+    }
+    reference.push_back(v);
+    histogram.record(static_cast<int64_t>(v));
+  }
+  std::sort(reference.begin(), reference.end());
+
+  Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, reference.size());
+  EXPECT_EQ(snap.min, reference.front());
+  EXPECT_EQ(snap.max, reference.back());
+  for (double q : {0.0, 0.10, 0.50, 0.90, 0.95, 0.99, 1.0}) {
+    uint64_t exact =
+        reference[std::min(reference.size() - 1,
+                           static_cast<size_t>(q * static_cast<double>(
+                                                       reference.size())))];
+    uint64_t approx = snap.quantile(q);
+    double lo = static_cast<double>(exact) / 1.125 - 1.0;
+    double hi = static_cast<double>(exact) * 1.125 + 1.0;
+    EXPECT_GE(static_cast<double>(approx), lo) << "q=" << q;
+    EXPECT_LE(static_cast<double>(approx), hi) << "q=" << q;
+  }
+}
+
+// Snapshots taken while writers are mid-flight must stay internally
+// consistent: bucket totals define the count, quantiles stay within
+// [min, max] bounds, and counts never move backwards between snapshots.
+TEST(HistogramConcurrency, SnapshotWhileWritingIsSelfConsistent) {
+  Histogram histogram;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([&histogram, &stop, t] {
+      Rng rng(static_cast<uint64_t>(t) + 99);
+      while (!stop.load(std::memory_order_relaxed)) {
+        histogram.record(static_cast<int64_t>(rng.below(1u << 24)));
+      }
+    });
+  }
+
+  uint64_t last_count = 0;
+  for (int round = 0; round < 200; round++) {
+    Histogram::Snapshot snap = histogram.snapshot();
+    uint64_t bucket_total = 0;
+    for (uint64_t b : snap.buckets) bucket_total += b;
+    ASSERT_EQ(bucket_total, snap.count) << "round " << round;
+    ASSERT_GE(snap.count, last_count) << "count went backwards";
+    last_count = snap.count;
+    if (snap.count > 0) {
+      uint64_t p50 = snap.quantile(0.5);
+      // Quantiles are clamped into the observed [min, max] envelope.
+      ASSERT_GE(p50, snap.min);
+      ASSERT_LE(p50, snap.max);
+    }
+  }
+  stop.store(true);
+  for (auto& writer : writers) writer.join();
+}
+
+TEST(SpanRing, KeepsTheLastNSpansOldestFirst) {
+  SpanRing ring(4);
+  for (int i = 0; i < 10; i++) {
+    Span span;
+    span.op = "op" + std::to_string(i);
+    span.bytes = static_cast<uint64_t>(i);
+    ring.record(std::move(span));
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  std::vector<Span> spans = ring.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  for (size_t i = 0; i < spans.size(); i++) {
+    EXPECT_EQ(spans[i].seq, 6 + i);
+    EXPECT_EQ(spans[i].op, "op" + std::to_string(6 + i));
+  }
+}
+
+TEST(SpanRing, ConcurrentRecordsAllLand) {
+  SpanRing ring(1024);
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&ring] {
+      for (int i = 0; i < kPerThread; i++) {
+        Span span;
+        span.op = "x";
+        ring.record(std::move(span));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ring.recorded(), static_cast<uint64_t>(kThreads * kPerThread));
+  std::vector<Span> spans = ring.spans();
+  ASSERT_EQ(spans.size(), 1024u);
+  // Seqs are unique and oldest-first.
+  for (size_t i = 1; i < spans.size(); i++) {
+    EXPECT_EQ(spans[i].seq, spans[i - 1].seq + 1);
+  }
+}
+
+TEST(Registry, LookupsAreStableAndConcurrentlySafe) {
+  Registry registry;
+  Counter* counter = registry.counter("a.b");
+  Histogram* histogram = registry.histogram("a.h");
+  EXPECT_EQ(registry.counter("a.b"), counter);
+  EXPECT_EQ(registry.histogram("a.h"), histogram);
+
+  // Concurrent lookup-or-create of overlapping names while earlier pointers
+  // keep being written through.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 200; i++) {
+        registry.counter("shared." + std::to_string(i % 17))->add();
+        registry.histogram("h." + std::to_string((i + t) % 5))->record(i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  uint64_t total = 0;
+  for (int i = 0; i < 17; i++) {
+    total += registry.counter_value("shared." + std::to_string(i));
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads * 200));
+}
+
+TEST(Registry, RenderTextEmitsEveryMetricInWireFormat) {
+  Registry registry(/*span_capacity=*/8);
+  registry.counter("requests")->add(3);
+  registry.gauge("active")->set(2);
+  Histogram* h = registry.histogram("latency");
+  for (int i = 1; i <= 100; i++) h->record(i * 1000);
+  registry.record_span("open", "unix:alice", 123, 0, 1000, 456);
+  registry.record_span("pread", "sub with space", 0, 5, 2000, 789);
+
+  std::string text = registry.render_text();
+  EXPECT_NE(text.find("counter requests 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("gauge active 2\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("histogram latency count 100 "), std::string::npos)
+      << text;
+  EXPECT_NE(text.find(" p50 "), std::string::npos) << text;
+  EXPECT_NE(text.find(" p95 "), std::string::npos) << text;
+  EXPECT_NE(text.find(" p99 "), std::string::npos) << text;
+  EXPECT_NE(text.find("span 0 open unix%3Aalice 123 0 1000 456\n"),
+            std::string::npos)
+      << text;
+  // Subjects are url-encoded so the line stays single-space-delimited.
+  EXPECT_NE(text.find("span 1 pread sub%20with%20space 0 5 2000 789\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ScopedLatencyTest, RecordsOnScopeExitAndToleratesNulls) {
+  VirtualClock clock(1000);
+  Histogram histogram;
+  {
+    ScopedLatency latency(&histogram, &clock);
+    clock.advance(500);
+  }
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_EQ(histogram.sum(), 500u);
+  {
+    ScopedLatency noop(nullptr, nullptr);  // must not crash
+  }
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+}  // namespace
+}  // namespace tss::obs

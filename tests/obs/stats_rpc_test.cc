@@ -1,0 +1,155 @@
+// End-to-end observability over a live TCP server: drive real RPCs, then
+// assert the injected registry and the `stats` RPC agree about what
+// happened — op counters, per-op latency histograms with percentiles, and
+// the span ring.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chirp/protocol.h"
+#include "obs/metrics.h"
+#include "chirp/test_util.h"
+
+namespace tss::chirp {
+namespace {
+
+using testing::ChirpServerFixture;
+
+class StatsRpcTest : public ChirpServerFixture {};
+
+TEST_F(StatsRpcTest, ServerCountsEveryOpAndServesItsOwnSnapshot) {
+  start_server();
+  // The client keeps its own registry so its round-trip metrics are exact
+  // and independent of the server's.
+  obs::Registry client_metrics;
+  Client::Options options;
+  options.metrics = &client_metrics;
+  auto connected = Client::connect(server_->endpoint(), options);
+  ASSERT_TRUE(connected.ok()) << connected.error().to_string();
+  Client client = std::move(connected).value();
+  auth::HostnameClientCredential credential;
+  ASSERT_TRUE(client.authenticate(credential).ok());
+
+  // A known mix of operations, including one that fails.
+  ASSERT_TRUE(client.mkdir("/dir").ok());
+  std::string payload(4096, 'x');
+  ASSERT_TRUE(client.putfile("/dir/file", payload).ok());
+  auto text = client.getfile("/dir/file");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(), payload);
+  ASSERT_TRUE(client.stat("/dir/file").ok());
+  auto missing = client.stat("/dir/no-such-file");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ENOENT);
+
+  // Server-side registry (injected by the fixture): per-op histograms count
+  // exactly the ops we performed.
+  EXPECT_EQ(metrics_.histogram_snapshot("chirp.server.latency.mkdir").count,
+            1u);
+  EXPECT_EQ(metrics_.histogram_snapshot("chirp.server.latency.putfile").count,
+            1u);
+  EXPECT_EQ(metrics_.histogram_snapshot("chirp.server.latency.getfile").count,
+            1u);
+  EXPECT_EQ(metrics_.histogram_snapshot("chirp.server.latency.stat").count,
+            2u);
+  EXPECT_EQ(metrics_.histogram_snapshot("chirp.server.latency.auth").count,
+            1u);
+  EXPECT_GE(metrics_.counter_value("chirp.server.requests"), 6u);
+  EXPECT_GE(metrics_.counter_value("chirp.server.errors"), 1u);
+  // putfile moved the payload in; getfile moved it back out.
+  EXPECT_GE(metrics_.counter_value("chirp.server.bytes_in"), payload.size());
+  EXPECT_GE(metrics_.counter_value("chirp.server.bytes_out"), payload.size());
+
+  // The same numbers come back over the wire via the stats RPC.
+  auto snapshot = client.stats();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.error().to_string();
+  const std::string& stats_text = snapshot.value();
+  EXPECT_NE(stats_text.find("counter chirp.server.requests "),
+            std::string::npos)
+      << stats_text;
+  EXPECT_NE(stats_text.find("histogram chirp.server.latency.putfile count 1 "),
+            std::string::npos)
+      << stats_text;
+  // Histogram lines carry the percentile fields the benches consume.
+  size_t line = stats_text.find("histogram chirp.server.latency.getfile");
+  ASSERT_NE(line, std::string::npos);
+  std::string hline = stats_text.substr(line, stats_text.find('\n', line) - line);
+  EXPECT_NE(hline.find(" p50 "), std::string::npos) << hline;
+  EXPECT_NE(hline.find(" p95 "), std::string::npos) << hline;
+  EXPECT_NE(hline.find(" p99 "), std::string::npos) << hline;
+  // Spans made it into the ring with the authenticated subject.
+  EXPECT_NE(stats_text.find("span "), std::string::npos) << stats_text;
+  EXPECT_NE(stats_text.find("hostname%3Alocalhost"), std::string::npos)
+      << stats_text;
+
+  // The stats op is itself instrumented: a second snapshot sees the first.
+  auto again = client.stats();
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE(
+      again.value().find("histogram chirp.server.latency.stats count 1 "),
+      std::string::npos)
+      << again.value();
+
+  // Client-side round-trip metrics landed in the client's own registry.
+  // Every explicit RPC above is a round-trip; the failed stat is a protocol
+  // error, not a transport error, so rpc_errors stays zero.
+  EXPECT_GE(client_metrics.counter_value("chirp.client.rpcs"), 7u);
+  EXPECT_EQ(client_metrics.counter_value("chirp.client.rpc_errors"), 0u);
+  EXPECT_GE(
+      client_metrics.histogram_snapshot("chirp.client.rpc_latency").count, 7u);
+}
+
+TEST_F(StatsRpcTest, SpanRingRecordsOpSubjectBytesAndError) {
+  start_server();
+  Client client = connect_client();
+  ASSERT_TRUE(client.mkdir("/d").ok());
+  auto missing = client.stat("/gone");
+  ASSERT_FALSE(missing.ok());
+
+  std::vector<obs::Span> spans = metrics_.spans().spans();
+  ASSERT_GE(spans.size(), 3u);  // auth, mkdir, stat at minimum
+  bool saw_mkdir = false, saw_failed_stat = false;
+  for (const obs::Span& span : spans) {
+    if (span.op == "mkdir") {
+      saw_mkdir = true;
+      EXPECT_EQ(span.subject, "hostname:localhost");
+      EXPECT_EQ(span.err, 0);
+      EXPECT_GE(span.duration, 0);
+    }
+    if (span.op == "stat" && span.err == ENOENT) saw_failed_stat = true;
+  }
+  EXPECT_TRUE(saw_mkdir);
+  EXPECT_TRUE(saw_failed_stat);
+}
+
+TEST_F(StatsRpcTest, IdleReapAndActiveSessionsAreObservable) {
+  // A tiny idle timeout: the session should be reaped, logged, and counted
+  // rather than silently dropped.
+  ServerOptions options;
+  options.owner = "unix:testowner";
+  options.root_acl = acl::Acl::parse(root_acl_text_).value();
+  options.idle_timeout = 50 * kMillisecond;
+  options.metrics = &metrics_;
+  auto auth = std::make_unique<auth::ServerAuth>();
+  auth->add(std::make_unique<auth::HostnameServerMethod>());
+  server_ = std::make_unique<Server>(
+      options, std::make_unique<PosixBackend>(root_), std::move(auth));
+  ASSERT_TRUE(server_->start().ok());
+
+  Client client = connect_client();
+  EXPECT_EQ(metrics_.gauge("chirp.server.active_sessions")->value(), 1);
+  // Go idle past the timeout; the server reaps us.
+  for (int i = 0; i < 100; i++) {
+    if (metrics_.counter_value("chirp.server.idle_reaped") > 0) break;
+    RealClock::instance().sleep_for(10 * kMillisecond);
+  }
+  EXPECT_EQ(metrics_.counter_value("chirp.server.idle_reaped"), 1u);
+  for (int i = 0; i < 100; i++) {
+    if (metrics_.gauge("chirp.server.active_sessions")->value() == 0) break;
+    RealClock::instance().sleep_for(10 * kMillisecond);
+  }
+  EXPECT_EQ(metrics_.gauge("chirp.server.active_sessions")->value(), 0);
+}
+
+}  // namespace
+}  // namespace tss::chirp
