@@ -1,0 +1,191 @@
+// Ablation — execution engine vs connection count.
+//
+// The paper's file server is a single daemon that must stay responsive as
+// the number of concurrently connected clients grows (§7 runs up to 64
+// simultaneous clients per server; a deployed TSS sees far more). This
+// harness pits the two execution engines of net::ServerLoop against each
+// other on one axis: RPC latency for a foreground client while N mostly-idle
+// background sessions stay connected.
+//
+//   thread   one blocking thread per connection (the seed engine):
+//            N sessions = N kernel threads, scheduler pressure grows with N.
+//   reactor  net::EventLoop: a fixed worker pool multiplexes all N sessions;
+//            idle connections cost a buffered fd, not a thread.
+//
+// The foreground client performs small control RPCs (stat) back to back;
+// p50/p99 come from the client-side obs histogram, the same machinery the
+// stats RPC exposes. Results go to stdout as a table and to
+// BENCH_connection_scale.json for the record.
+//
+// Usage: bench_ablation_connection_scale [out.json]
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auth/hostname.h"
+#include "bench/common.h"
+#include "chirp/client.h"
+#include "chirp/posix_backend.h"
+#include "chirp/server.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace tss::bench {
+namespace {
+
+constexpr int kForegroundRpcs = 2000;
+
+struct ScalePoint {
+  std::string mode;
+  size_t connections = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  double rpcs_per_sec = 0;
+};
+
+bool raise_fd_limit(size_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return false;
+  rlim_t need = want * 2 + 512;
+  if (lim.rlim_cur >= need) return true;
+  lim.rlim_cur = std::min<rlim_t>(need, lim.rlim_max);
+  ::setrlimit(RLIMIT_NOFILE, &lim);
+  ::getrlimit(RLIMIT_NOFILE, &lim);
+  return lim.rlim_cur >= need;
+}
+
+Result<ScalePoint> run_point(net::Mode mode, const std::string& mode_name,
+                             size_t idle_conns, const std::string& root) {
+  obs::Registry server_metrics;
+  obs::Registry client_metrics;
+
+  chirp::ServerOptions options;
+  options.owner = "hostname:localhost";
+  options.root_acl =
+      acl::Acl::parse("hostname:localhost rwldav(rwlda)\n").value();
+  options.mode = mode;
+  options.metrics = &server_metrics;
+  auto auth = std::make_unique<auth::ServerAuth>();
+  auth->add(std::make_unique<auth::HostnameServerMethod>());
+  chirp::Server server(options,
+                       std::make_unique<chirp::PosixBackend>(root),
+                       std::move(auth));
+  TSS_RETURN_IF_ERROR(server.start());
+
+  // The idle herd: admitted sessions that never send a request.
+  std::vector<net::TcpSocket> herd;
+  herd.reserve(idle_conns);
+  for (size_t i = 0; i < idle_conns; i++) {
+    TSS_ASSIGN_OR_RETURN(net::TcpSocket sock,
+                         net::TcpSocket::connect(server.endpoint(),
+                                                 10 * kSecond));
+    herd.push_back(std::move(sock));
+  }
+
+  chirp::Client::Options copts;
+  copts.timeout = 10 * kSecond;
+  copts.metrics = &client_metrics;
+  TSS_ASSIGN_OR_RETURN(chirp::Client client,
+                       chirp::Client::connect(server.endpoint(), copts));
+  auth::HostnameClientCredential credential;
+  TSS_RETURN_IF_ERROR(client.authenticate(credential));
+  auto mk = client.mkdir("/bench");  // shared across points
+  if (!mk.ok() && mk.error().code != EEXIST) return mk.error();
+
+  Nanos start = RealClock::instance().now();
+  for (int i = 0; i < kForegroundRpcs; i++) {
+    TSS_RETURN_IF_ERROR(client.stat("/bench"));
+  }
+  Nanos elapsed = RealClock::instance().now() - start;
+
+  auto snap = client_metrics.histogram_snapshot("chirp.client.rpc_latency");
+  ScalePoint point;
+  point.mode = mode_name;
+  point.connections = idle_conns;
+  point.p50_ns = snap.quantile(0.50);
+  point.p99_ns = snap.quantile(0.99);
+  point.rpcs_per_sec =
+      elapsed > 0 ? kForegroundRpcs / (static_cast<double>(elapsed) / kSecond)
+                  : 0;
+
+  client.close();
+  herd.clear();
+  server.stop();
+  return point;
+}
+
+}  // namespace
+}  // namespace tss::bench
+
+int main(int argc, char** argv) {
+  using namespace tss::bench;
+
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_connection_scale.json";
+  std::vector<size_t> scales = {64, 256, 1024};
+  if (!raise_fd_limit(scales.back())) {
+    std::fprintf(stderr,
+                 "warning: RLIMIT_NOFILE too low for 1024 connections; "
+                 "dropping the largest point\n");
+    scales.pop_back();
+  }
+
+  std::string root = "/tmp/tss_bench_scale_" + std::to_string(::getpid());
+  std::filesystem::create_directories(root);
+
+  print_header(
+      "Ablation: thread-per-connection vs reactor under idle connection load",
+      "Foreground stat() RPC latency with N idle sessions connected.\n"
+      "thread = one blocking thread per session (seed engine);\n"
+      "reactor = fixed-pool epoll event loop (net::EventLoop).");
+  print_row({"engine", "idle conns", "p50", "p99", "rpc/s"}, 14);
+
+  std::vector<ScalePoint> points;
+  struct ModeSpec {
+    tss::net::Mode mode;
+    const char* name;
+  };
+  const ModeSpec modes[] = {
+      {tss::net::Mode::kThreadPerConnection, "thread"},
+      {tss::net::Mode::kReactor, "reactor"},
+  };
+  for (const auto& spec : modes) {
+    for (size_t conns : scales) {
+      auto point = run_point(spec.mode, spec.name, conns, root);
+      if (!point.ok()) {
+        std::fprintf(stderr, "point %s/%zu failed: %s\n", spec.name, conns,
+                     point.error().to_string().c_str());
+        continue;
+      }
+      points.push_back(point.value());
+      print_row({spec.name, std::to_string(conns),
+                 fmt_us(static_cast<double>(point.value().p50_ns)),
+                 fmt_us(static_cast<double>(point.value().p99_ns)),
+                 fmt_double(point.value().rpcs_per_sec, 0)},
+                14);
+    }
+  }
+
+  std::ofstream json(out_path);
+  json << "{\n  \"bench\": \"connection_scale\",\n  \"foreground_rpcs\": "
+       << kForegroundRpcs << ",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); i++) {
+    const ScalePoint& p = points[i];
+    json << "    {\"engine\": \"" << p.mode << "\", \"idle_connections\": "
+         << p.connections << ", \"p50_ns\": " << p.p50_ns
+         << ", \"p99_ns\": " << p.p99_ns << ", \"rpcs_per_sec\": "
+         << static_cast<uint64_t>(p.rpcs_per_sec) << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  std::filesystem::remove_all(root);
+  return 0;
+}

@@ -17,6 +17,17 @@ cmake --build "$root/build" -j "$jobs"
 echo "== observability suite (ctest -L obs, incl. TSan metrics tests) =="
 (cd "$root/build" && ctest -L obs --output-on-failure -j "$jobs")
 
+echo "== engine parity: obs + chaos suites on both net engines =="
+# The reactor is the default engine; the same suites must pass bit-for-bit
+# on the thread-per-connection engine (TSS_NET_MODE=thread).
+(cd "$root/build" && ctest -L obs --output-on-failure -j "$jobs")
+(cd "$root/build" && ctest -L chaos --output-on-failure -j "$jobs")
+(cd "$root/build" && TSS_NET_MODE=thread ctest -L obs --output-on-failure -j "$jobs")
+(cd "$root/build" && TSS_NET_MODE=thread ctest -L chaos --output-on-failure -j "$jobs")
+
+echo "== connection-scale smoke: 1000 idle sessions on the reactor =="
+(cd "$root/build" && ctest -R "ReactorScaleTest" --output-on-failure)
+
 echo "== sanitizers: ASan/UBSan build + ctest =="
 cmake -B "$root/build-asan" -S "$root" -DTSS_SANITIZE=ON
 cmake --build "$root/build-asan" -j "$jobs"

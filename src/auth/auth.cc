@@ -28,6 +28,11 @@ std::vector<std::string> ServerAuth::methods() const {
   return out;
 }
 
+bool ServerAuth::interactive(const std::string& method) const {
+  auto it = methods_.find(method);
+  return it != methods_.end() && it->second->interactive();
+}
+
 Result<Subject> ServerAuth::attempt(const std::string& method,
                                     const PeerInfo& peer,
                                     const std::string& arg, ChallengeIo& io) {

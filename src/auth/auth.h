@@ -75,6 +75,12 @@ class ServerMethod {
  public:
   virtual ~ServerMethod() = default;
   virtual std::string method() const = 0;
+  // True when authenticate() may drive ChallengeIo rounds on the control
+  // stream. Non-interactive methods decide from the peer info and hello
+  // argument alone, so an event-driven server can run them inline on its
+  // loop thread; interactive ones (unix) are bridged to a helper thread
+  // that may block on the client's challenge responses.
+  virtual bool interactive() const { return true; }
   // Runs one authentication attempt. `arg` is the client's hello argument.
   virtual Result<Subject> authenticate(const PeerInfo& peer,
                                        const std::string& arg,
@@ -87,6 +93,9 @@ class ServerAuth {
   void add(std::unique_ptr<ServerMethod> method);
   bool has(const std::string& method) const;
   std::vector<std::string> methods() const;
+  // True when `method` is enabled and may use challenge rounds; an unknown
+  // method is non-interactive (attempt() fails it without touching the io).
+  bool interactive(const std::string& method) const;
 
   Result<Subject> attempt(const std::string& method, const PeerInfo& peer,
                           const std::string& arg, ChallengeIo& io);

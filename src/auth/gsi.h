@@ -52,6 +52,7 @@ class GsiServerMethod final : public ServerMethod {
   void trust(const GsiCa& ca);
 
   std::string method() const override { return "globus"; }
+  bool interactive() const override { return false; }
   Result<Subject> authenticate(const PeerInfo& peer, const std::string& arg,
                                ChallengeIo& io) override;
 

@@ -23,6 +23,7 @@ class HostnameServerMethod final : public ServerMethod {
  public:
   explicit HostnameServerMethod(HostnameResolver resolver = nullptr);
   std::string method() const override { return "hostname"; }
+  bool interactive() const override { return false; }
   Result<Subject> authenticate(const PeerInfo& peer, const std::string& arg,
                                ChallengeIo& io) override;
 

@@ -55,6 +55,7 @@ class KerberosServerMethod final : public ServerMethod {
                        TimeFn time_fn = real_time_fn());
 
   std::string method() const override { return "kerberos"; }
+  bool interactive() const override { return false; }
   Result<Subject> authenticate(const PeerInfo& peer, const std::string& arg,
                                ChallengeIo& io) override;
 

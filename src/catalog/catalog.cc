@@ -57,10 +57,67 @@ CatalogServer::CatalogServer(Options options, Clock* clock)
 
 CatalogServer::~CatalogServer() { stop(); }
 
+namespace {
+
+// One catalog connection as a resumable session: a line in, a line (plus an
+// optional listing body) out. Nothing blocks, so the whole handler runs on
+// the loop thread in both execution modes.
+class CatalogSession final : public net::ReactorSession {
+ public:
+  explicit CatalogSession(CatalogServer* server) : server_(server) {}
+
+  void on_start(net::Conn& c) override { c.set_timeout(10 * kSecond); }
+
+  bool on_input(net::Conn& c) override {
+    while (true) {
+      auto line = c.input().try_line();
+      if (!line.ok()) return false;  // oversized line: drop the peer
+      if (!line.value().has_value()) break;
+      if (!handle_line(c, *line.value())) return false;
+    }
+    return !c.input_eof();
+  }
+
+ private:
+  bool handle_line(net::Conn& c, const std::string& line) {
+    auto words = split_words(line);
+    if (words.empty()) return true;
+
+    if (words[0] == "report" && words.size() >= 2) {
+      auto report = ServerReport::decode(words[1]);
+      if (report.ok()) {
+        server_->accept_report(report.value());
+        c.write("ok\n");
+      } else {
+        c.write("error " + url_encode(report.error().message) + "\n");
+      }
+      return true;
+    }
+
+    if (words[0] == "list") {
+      std::string format = words.size() > 1 ? words[1] : "text";
+      std::string body =
+          format == "json" ? server_->render_json() : server_->render_text();
+      c.write("ok " + std::to_string(body.size()) + "\n");
+      c.write(body);
+      return true;
+    }
+
+    c.write("error unknown-command\n");
+    return true;
+  }
+
+  CatalogServer* server_;
+};
+
+}  // namespace
+
 Result<void> CatalogServer::start() {
-  return loop_.start(options_.host, options_.port, [this](net::TcpSocket s) {
-    serve_connection(std::move(s));
-  });
+  return loop_.start(options_.host, options_.port,
+                     [this]() -> std::shared_ptr<net::ReactorSession> {
+                       return std::make_shared<CatalogSession>(this);
+                     },
+                     net::ServerLoop::Limits{});
 }
 
 void CatalogServer::stop() { loop_.stop(); }
@@ -155,42 +212,6 @@ std::string CatalogServer::render_json() {
   }
   out += "\n]\n";
   return out;
-}
-
-void CatalogServer::serve_connection(net::TcpSocket sock) {
-  net::LineStream stream(std::move(sock), 10 * kSecond);
-  while (true) {
-    auto line = stream.read_line();
-    if (!line.ok()) return;
-    auto words = split_words(line.value());
-    if (words.empty()) continue;
-
-    if (words[0] == "report" && words.size() >= 2) {
-      auto report = ServerReport::decode(words[1]);
-      if (report.ok()) {
-        accept_report(report.value());
-        if (!stream.send_line("ok").ok()) return;
-      } else {
-        if (!stream.send_line("error " + url_encode(report.error().message))
-                 .ok()) {
-          return;
-        }
-      }
-      continue;
-    }
-
-    if (words[0] == "list") {
-      std::string format = words.size() > 1 ? words[1] : "text";
-      std::string body =
-          format == "json" ? render_json() : render_text();
-      stream.write_line("ok " + std::to_string(body.size()));
-      stream.write_blob(body.data(), body.size());
-      if (!stream.flush().ok()) return;
-      continue;
-    }
-
-    if (!stream.send_line("error unknown-command").ok()) return;
-  }
 }
 
 Result<void> send_report(const net::Endpoint& catalog,

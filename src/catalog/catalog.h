@@ -10,6 +10,11 @@
 // server does not report to a catalog after a configurable timeout, it is
 // removed from the listing"). All catalog data is necessarily stale —
 // abstractions must revalidate against the file servers themselves.
+//
+// Connections run as resumable sessions on the shared serving stack
+// (net::ServerLoop): the epoll reactor by default, or thread-per-connection
+// under TSS_NET_MODE=thread. A flood of reporting servers costs buffered
+// connections, not threads.
 #pragma once
 
 #include <condition_variable>
@@ -77,8 +82,6 @@ class CatalogServer {
   std::string render_json();
 
  private:
-  void serve_connection(net::TcpSocket sock);
-
   Options options_;
   Clock* clock_;
   net::ServerLoop loop_;

@@ -1,0 +1,475 @@
+#include "chirp/reactor_session.h"
+
+#include <chrono>
+#include <cstring>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace tss::chirp {
+
+namespace {
+constexpr size_t kStreamChunk = 256 * 1024;
+
+// Handed to non-interactive auth attempts, which never touch it; if a
+// method unexpectedly does, the attempt fails instead of deadlocking the
+// loop thread.
+class NullChallengeIo final : public auth::ChallengeIo {
+ public:
+  Result<void> send_challenge(const std::string&) override {
+    return Error(EPROTO, "interactive auth unavailable on this path");
+  }
+  Result<std::string> read_response() override {
+    return Error(EPROTO, "interactive auth unavailable on this path");
+  }
+};
+}  // namespace
+
+// --- AuthExecutor -----------------------------------------------------------
+
+AuthExecutor::AuthExecutor(int threads)
+    : max_threads_(threads < 1 ? 1 : threads) {}
+
+AuthExecutor::~AuthExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+    // Unstarted attempts are dropped: their connections are gone (the loop
+    // stops before the executor) and the captures clean up via RAII.
+    work_.clear();
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void AuthExecutor::submit(std::function<void()> work) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (stop_) return;
+  work_.push_back(std::move(work));
+  if (idle_ == 0 && static_cast<int>(threads_.size()) < max_threads_) {
+    threads_.emplace_back([this] { run(); });
+  }
+  cv_.notify_one();
+}
+
+void AuthExecutor::run() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    ++idle_;
+    cv_.wait(lk, [&] { return stop_ || !work_.empty(); });
+    --idle_;
+    if (stop_) return;
+    auto work = std::move(work_.front());
+    work_.pop_front();
+    lk.unlock();
+    work();
+    lk.lock();
+  }
+}
+
+// --- AuthBridge -------------------------------------------------------------
+
+namespace detail {
+
+// ChallengeIo whose server side lives on the loop thread: challenges are
+// posted to the connection's output buffer, responses arrive via deliver()
+// when the session (in kAuthPending) extracts lines from the input decoder.
+// The executor thread blocks in read_response with a deadline.
+class AuthBridge final : public auth::ChallengeIo {
+ public:
+  AuthBridge(net::ConnRef conn, Nanos timeout)
+      : conn_(std::move(conn)), timeout_(timeout) {}
+
+  Result<void> send_challenge(const std::string& data) override {
+    conn_.post([line = "challenge " + url_encode(data) + "\n"](net::Conn& c) {
+      c.write(line);
+    });
+    return Result<void>::success();
+  }
+
+  Result<std::string> read_response() override {
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_.wait_for(lk, std::chrono::nanoseconds(timeout_),
+                 [&] { return closed_ || !lines_.empty(); });
+    if (!lines_.empty()) {
+      std::string line = std::move(lines_.front());
+      lines_.pop_front();
+      return url_decode(line);
+    }
+    if (closed_) return Error(ECONNRESET, "connection closed during auth");
+    return Error(ETIMEDOUT, "timeout waiting for challenge response");
+  }
+
+  void deliver(std::string line) {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      lines_.push_back(std::move(line));
+    }
+    cv_.notify_all();
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  net::ConnRef conn_;
+  Nanos timeout_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::string> lines_;
+  bool closed_ = false;
+};
+
+}  // namespace detail
+
+// --- ServerSession ----------------------------------------------------------
+
+ServerSession::~ServerSession() = default;
+
+void ServerSession::on_start(net::Conn& c) {
+  auth::PeerInfo peer;
+  if (auto ep = c.peer(); ep.ok()) peer.ip = ep.value().host;
+  peer_ip_ = peer.ip;
+  core_.emplace(*params_.config, *params_.backend, peer);
+  if (params_.config->metrics) {
+    active_gauge_ =
+        params_.config->metrics->gauge("chirp.server.active_sessions");
+    active_gauge_->add(1);
+  }
+  c.set_timeout(idle_wait());
+}
+
+void ServerSession::on_close(net::Conn&) {
+  if (bridge_) {
+    bridge_->shutdown();  // wake a blocked auth helper; its attempt fails
+    bridge_.reset();
+  }
+  if (core_) {
+    // A connection lost mid-stream records the op the way the blocking pump
+    // did: EPIPE, with the bytes that actually moved.
+    if (state_ == State::kSendFile) {
+      core_->stream_close(handle_);
+      core_->record_op(Op::kGetfile, op_start_, 0, offset_, EPIPE);
+    } else if (state_ == State::kRecvFile) {
+      core_->stream_close(handle_);
+      core_->record_op(Op::kPutfile, op_start_, offset_, 0, EPIPE);
+    }
+  }
+  state_ = State::kRequestLine;
+  if (active_gauge_) {
+    active_gauge_->sub(1);
+    active_gauge_ = nullptr;
+  }
+  // Session state (open handles, auth binding) dies with the connection —
+  // SessionCore's destructor releases everything, per §4's semantics.
+}
+
+bool ServerSession::on_timeout(net::Conn&) {
+  if (state_ == State::kRequestLine) {
+    // Reaping must be visible: operators see stalled clients in the log and
+    // the idle_reaped counter, not a mystery disconnect.
+    TSS_WARN("chirp") << "reaping idle session from " << peer_ip_ << " after "
+                      << idle_wait() / kMillisecond << "ms without a request";
+    if (params_.config->metrics) {
+      params_.config->metrics->counter("chirp.server.idle_reaped")->add();
+    }
+  }
+  return false;  // mid-request stall: drop, exactly like an io timeout
+}
+
+bool ServerSession::on_input(net::Conn& c) { return step(c); }
+
+void ServerSession::respond(net::Conn& c, const Response& resp) {
+  c.write(encode_response_line(resp));
+  c.write("\n");
+}
+
+void ServerSession::to_request_line(net::Conn& c) {
+  state_ = State::kRequestLine;
+  c.set_timeout(idle_wait());
+}
+
+bool ServerSession::step(net::Conn& c) {
+  for (;;) {
+    switch (state_) {
+      case State::kRequestLine: {
+        auto line = c.input().try_line();
+        if (!line.ok()) return false;  // oversized line: drop the connection
+        if (!line.value()) {
+          // Need more bytes; EOF here is a clean disconnect.
+          return !c.input_eof();
+        }
+        if (!begin_request(c, *line.value())) return false;
+        continue;
+      }
+
+      case State::kReadBody: {
+        body_got_ += c.input().read(body_.data() + body_got_,
+                                    body_.size() - body_got_);
+        if (body_got_ < body_.size()) {
+          return !c.input_eof();
+        }
+        SessionCore::Payload payload;
+        payload.data = body_.data();
+        payload.size = body_.size();
+        dispatch_buffered(c, payload);
+        continue;
+      }
+
+      case State::kAuthPending: {
+        // Challenge responses ride the control stream; hand complete lines
+        // to the helper thread blocked in read_response.
+        for (;;) {
+          auto line = c.input().try_line();
+          if (!line.ok()) return false;
+          if (!line.value()) break;
+          bridge_->deliver(std::move(*line.value()));
+        }
+        return !c.input_eof();
+      }
+
+      case State::kSendFile:
+        // Strict request/response protocol: nothing to read mid-send. Any
+        // pipelined bytes stay buffered until the stream completes.
+        return true;
+
+      case State::kRecvFile: {
+        while (offset_ < size_ && !c.input().empty()) {
+          size_t want = static_cast<size_t>(
+              std::min<uint64_t>(size_ - offset_, kStreamChunk));
+          chunk_.resize(want);
+          size_t got = c.input().read(chunk_.data(), want);
+          if (got == 0) break;
+          if (write_rc_.ok()) {
+            auto n = core_->backend().pwrite(handle_, chunk_.data(), got,
+                                             static_cast<int64_t>(offset_));
+            if (!n.ok()) {
+              write_rc_ = std::move(n).take_error();
+            } else if (n.value() != got) {
+              write_rc_ = Error(EIO, "short putfile write");
+            }
+          }
+          offset_ += got;
+        }
+        if (offset_ < size_) {
+          // EOF mid-body: on_close records the op as EPIPE.
+          return !c.input_eof();
+        }
+        core_->stream_close(handle_);
+        Response resp = write_rc_.ok() ? Response{}
+                                       : Response::failure(write_rc_.error());
+        core_->record_op(Op::kPutfile, op_start_, offset_, 0, resp.err);
+        respond(c, resp);
+        to_request_line(c);
+        continue;
+      }
+
+      case State::kDrainBody: {
+        size_t want = static_cast<size_t>(std::min<uint64_t>(
+            drain_remaining_, std::numeric_limits<size_t>::max()));
+        drain_remaining_ -= c.input().discard(want);
+        if (drain_remaining_ > 0) {
+          return !c.input_eof();
+        }
+        core_->record_op(Op::kPutfile, op_start_, size_, 0,
+                         pending_resp_.err);
+        respond(c, pending_resp_);
+        to_request_line(c);
+        continue;
+      }
+    }
+  }
+}
+
+bool ServerSession::begin_request(net::Conn& c, const std::string& line) {
+  auto parsed = parse_request_line(line);
+  if (!parsed.ok()) {
+    respond(c, Response::failure(parsed.error()));
+    return true;
+  }
+  req_ = std::move(parsed).value();
+
+  if (req_.op == Op::kAuth) return begin_auth(c);
+  if (req_.op == Op::kGetfile) return begin_getfile(c);
+  if (req_.op == Op::kPutfile) return begin_putfile(c);
+
+  uint64_t body = req_.payload_len();
+  if (body > 0) {
+    body_.clear();
+    body_.resize(static_cast<size_t>(body));
+    body_got_ = 0;
+    state_ = State::kReadBody;
+    c.set_timeout(params_.io_timeout);
+    return true;
+  }
+  dispatch_buffered(c, SessionCore::Payload{});
+  return true;
+}
+
+void ServerSession::dispatch_buffered(net::Conn& c,
+                                      SessionCore::Payload payload) {
+  std::string response_payload;
+  Response resp = core_->handle(req_, payload, &response_payload);
+  c.write(encode_response_line(resp));
+  c.write("\n");
+  if (resp.ok() && !response_payload.empty()) c.write(response_payload);
+  to_request_line(c);
+}
+
+bool ServerSession::begin_auth(net::Conn& c) {
+  op_start_ = core_->clock().now();
+  auth::ServerAuth* auth = params_.config->auth;
+  bool interactive = auth != nullptr && auth->interactive(req_.auth_method) &&
+                     !core_->authenticated() &&
+                     params_.auth_executor != nullptr;
+  if (!interactive) {
+    // Non-interactive methods (and all precheck failures) complete without
+    // challenge rounds, right here on the loop thread.
+    NullChallengeIo io;
+    auto subject = core_->authenticate(req_.auth_method, req_.auth_arg, io);
+    Response resp;
+    if (subject.ok()) {
+      resp.args.push_back(url_encode(subject.value().to_string()));
+    } else {
+      resp = Response::failure(subject.error());
+    }
+    core_->record_op(Op::kAuth, op_start_, 0, 0, resp.err);
+    respond(c, resp);
+    return true;
+  }
+
+  bridge_ = std::make_shared<detail::AuthBridge>(c.ref(), params_.io_timeout);
+  state_ = State::kAuthPending;
+  c.set_timeout(params_.io_timeout);
+  // The helper owns a reference to the session, so SessionCore stays alive
+  // however the connection ends; the verdict is posted back and silently
+  // dropped if the connection is already gone.
+  params_.auth_executor->submit(
+      [self = shared_from_this(), bridge = bridge_, ref = c.ref(),
+       method = req_.auth_method, arg = req_.auth_arg] {
+        auto result = self->core_->authenticate(method, arg, *bridge);
+        ref.post([self, result = std::move(result)](net::Conn& conn) {
+          self->finish_auth(conn, result);
+        });
+      });
+  return true;
+}
+
+void ServerSession::finish_auth(net::Conn& c,
+                                const Result<auth::Subject>& result) {
+  if (state_ != State::kAuthPending) return;
+  bridge_.reset();
+  Response resp;
+  if (result.ok()) {
+    resp.args.push_back(url_encode(result.value().to_string()));
+  } else {
+    resp = Response::failure(result.error());
+  }
+  core_->record_op(Op::kAuth, op_start_, 0, 0, resp.err);
+  respond(c, resp);
+  to_request_line(c);
+  // The client's next request may already be buffered behind the handshake.
+  if (!step(c)) c.close();
+}
+
+bool ServerSession::begin_getfile(net::Conn& c) {
+  op_start_ = core_->clock().now();
+  uint64_t size = 0;
+  auto handle = core_->stream_open_read(req_.path, &size);
+  if (!handle.ok()) {
+    Response resp = Response::failure(handle.error());
+    core_->record_op(Op::kGetfile, op_start_, 0, 0, resp.err);
+    respond(c, resp);
+    return true;
+  }
+  Response resp;
+  resp.args.push_back(std::to_string(size));
+  respond(c, resp);
+  if (size == 0) {
+    core_->stream_close(handle.value());
+    core_->record_op(Op::kGetfile, op_start_, 0, 0, 0);
+    return true;
+  }
+  handle_ = handle.value();
+  size_ = size;
+  offset_ = 0;
+  state_ = State::kSendFile;
+  c.set_timeout(params_.io_timeout);
+  c.want_output_space(true);
+  return true;
+}
+
+bool ServerSession::on_output_space(net::Conn& c) {
+  if (state_ != State::kSendFile) {
+    c.want_output_space(false);
+    return true;
+  }
+  while (offset_ < size_ &&
+         c.output_pending() < net::Conn::kOutputHighWater) {
+    size_t want = static_cast<size_t>(
+        std::min<uint64_t>(size_ - offset_, kStreamChunk));
+    chunk_.resize(want);
+    auto n = core_->backend().pread(handle_, chunk_.data(), want,
+                                    static_cast<int64_t>(offset_));
+    if (!n.ok() || n.value() == 0) {
+      // The size was already promised; pad with zeros to keep the stream in
+      // sync (the file shrank mid-transfer).
+      std::memset(chunk_.data(), 0, want);
+      c.write(std::string_view(chunk_.data(), want));
+      offset_ += want;
+    } else {
+      c.write(std::string_view(chunk_.data(), n.value()));
+      offset_ += n.value();
+    }
+  }
+  if (offset_ >= size_) {
+    c.want_output_space(false);
+    core_->stream_close(handle_);
+    core_->record_op(Op::kGetfile, op_start_, 0, offset_, 0);
+    to_request_line(c);
+    // Pipelined requests may already be buffered behind the transfer.
+    return step(c);
+  }
+  return true;
+}
+
+bool ServerSession::begin_putfile(net::Conn& c) {
+  op_start_ = core_->clock().now();
+  size_ = req_.length;
+  offset_ = 0;
+  auto handle = core_->stream_open_write(req_.path, req_.mode);
+  if (!handle.ok()) {
+    // Drain the promised body so the connection stays usable.
+    pending_resp_ = Response::failure(handle.error());
+    drain_remaining_ = size_;
+    if (drain_remaining_ == 0) {
+      core_->record_op(Op::kPutfile, op_start_, 0, 0, pending_resp_.err);
+      respond(c, pending_resp_);
+      return true;
+    }
+    state_ = State::kDrainBody;
+    c.set_timeout(params_.io_timeout);
+    return true;
+  }
+  handle_ = handle.value();
+  write_rc_ = Result<void>::success();
+  if (size_ == 0) {
+    core_->stream_close(handle_);
+    core_->record_op(Op::kPutfile, op_start_, 0, 0, 0);
+    respond(c, Response{});
+    return true;
+  }
+  state_ = State::kRecvFile;
+  c.set_timeout(params_.io_timeout);
+  return true;
+}
+
+}  // namespace tss::chirp

@@ -1,0 +1,136 @@
+// The Chirp server connection as a resumable state machine.
+//
+// ServerSession implements net::ReactorSession: it consumes whatever bytes
+// the transport has buffered, advances a small per-connection state machine
+// (request line -> body / auth / streamed getfile / streamed putfile), and
+// yields whenever a frame is incomplete or the output buffer is full. The
+// same object serves both execution engines — the epoll reactor drives it
+// from readiness events; thread-per-connection mode drives it through
+// net::drive_session_blocking — so admission, reaping, metrics, and wire
+// behaviour are identical in both modes (the PR 1-2 test suites are the
+// contract).
+//
+// Interactive authentication (the unix method's challenge/response round)
+// cannot run on a loop thread: the server must block until the client
+// answers. Those attempts are bridged to an AuthExecutor helper thread that
+// runs SessionCore::authenticate against a condvar-backed ChallengeIo and
+// posts the verdict back to the connection via ConnRef::post. The common
+// non-interactive methods (hostname, globus, kerberos — see
+// auth::ServerMethod::interactive) complete inline on the loop thread.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chirp/session.h"
+#include "net/event_loop.h"
+
+namespace tss::chirp {
+
+// Bounded helper pool for interactive auth attempts. Threads are started
+// lazily on first use (a server that never sees a unix auth spends none) and
+// capped, so the server's thread count stays workers + acceptor (+ at most
+// `threads` during interactive handshakes). Each attempt blocks at most the
+// session io timeout, so a stalled client cannot pin a helper forever.
+class AuthExecutor {
+ public:
+  explicit AuthExecutor(int threads = 2);
+  ~AuthExecutor();
+  AuthExecutor(const AuthExecutor&) = delete;
+  AuthExecutor& operator=(const AuthExecutor&) = delete;
+
+  void submit(std::function<void()> work);
+
+ private:
+  void run();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> work_;
+  std::vector<std::thread> threads_;
+  int max_threads_;
+  int idle_ = 0;
+  bool stop_ = false;
+};
+
+namespace detail {
+class AuthBridge;
+}
+
+// Everything a session needs from its server. Pointers are not owned and
+// must outlive the session (the Server guarantees this by stopping its loop
+// and joining the auth executor before releasing config/backend/auth).
+struct SessionParams {
+  const ServerConfig* config = nullptr;
+  Backend* backend = nullptr;
+  Nanos io_timeout = 30 * kSecond;
+  // Idle gap allowed between requests; 0 = io_timeout (the pre-existing
+  // behaviour). See ServerOptions::idle_timeout.
+  Nanos idle_timeout = 0;
+  // Null disables interactive auth methods (they fail with EPROTO).
+  AuthExecutor* auth_executor = nullptr;
+};
+
+class ServerSession final : public net::ReactorSession,
+                            public std::enable_shared_from_this<ServerSession> {
+ public:
+  explicit ServerSession(SessionParams params) : params_(params) {}
+  ~ServerSession() override;
+
+  void on_start(net::Conn& c) override;
+  bool on_input(net::Conn& c) override;
+  bool on_output_space(net::Conn& c) override;
+  bool on_timeout(net::Conn& c) override;
+  void on_close(net::Conn& c) override;
+
+ private:
+  enum class State {
+    kRequestLine,  // waiting for the next request line
+    kReadBody,     // buffering a bounded RPC payload (pwrite, setacl, ...)
+    kAuthPending,  // interactive auth running on the executor
+    kSendFile,     // streaming getfile: refill on output space
+    kRecvFile,     // streaming putfile: consume body chunks into the backend
+    kDrainBody,    // putfile was denied: discard the promised body, respond
+  };
+
+  bool step(net::Conn& c);
+  bool begin_request(net::Conn& c, const std::string& line);
+  bool begin_auth(net::Conn& c);
+  void finish_auth(net::Conn& c, const Result<auth::Subject>& result);
+  bool begin_getfile(net::Conn& c);
+  bool begin_putfile(net::Conn& c);
+  void dispatch_buffered(net::Conn& c, SessionCore::Payload payload);
+  void respond(net::Conn& c, const Response& resp);
+  void to_request_line(net::Conn& c);
+  Nanos idle_wait() const {
+    return params_.idle_timeout > 0 ? params_.idle_timeout
+                                    : params_.io_timeout;
+  }
+
+  SessionParams params_;
+  std::optional<SessionCore> core_;
+  obs::Gauge* active_gauge_ = nullptr;
+  std::string peer_ip_;
+  State state_ = State::kRequestLine;
+
+  Request req_;
+  Nanos op_start_ = 0;
+  std::string body_;   // buffered RPC payload (kReadBody)
+  size_t body_got_ = 0;
+  std::string chunk_;  // streaming scratch buffer
+  int handle_ = -1;    // backend handle for the in-flight stream
+  uint64_t size_ = 0;
+  uint64_t offset_ = 0;
+  uint64_t drain_remaining_ = 0;
+  Response pending_resp_;
+  Result<void> write_rc_ = Result<void>::success();
+  std::shared_ptr<detail::AuthBridge> bridge_;
+};
+
+}  // namespace tss::chirp

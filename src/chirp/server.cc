@@ -1,44 +1,17 @@
 #include "chirp/server.h"
 
-#include <cstring>
-
 #include "auth/hostname.h"
 #include "auth/unix.h"
-#include "net/line_stream.h"
 #include "util/logging.h"
-#include "util/path.h"
-#include "util/strings.h"
 
 namespace tss::chirp {
-
-namespace {
-
-// Challenge rounds carried on the control stream: the server emits
-// "challenge <urlenc data>" lines and reads back one raw response line.
-class StreamChallengeIo final : public auth::ChallengeIo {
- public:
-  explicit StreamChallengeIo(net::LineStream& stream) : stream_(stream) {}
-
-  Result<void> send_challenge(const std::string& data) override {
-    return stream_.send_line("challenge " + url_encode(data));
-  }
-
-  Result<std::string> read_response() override {
-    TSS_ASSIGN_OR_RETURN(std::string line, stream_.read_line());
-    return url_decode(line);
-  }
-
- private:
-  net::LineStream& stream_;
-};
-
-}  // namespace
 
 Server::Server(ServerOptions options, std::unique_ptr<Backend> backend,
                std::unique_ptr<auth::ServerAuth> auth)
     : options_(std::move(options)),
       backend_(std::move(backend)),
-      auth_(std::move(auth)) {
+      auth_(std::move(auth)),
+      auth_executor_(std::make_unique<AuthExecutor>()) {
   config_.owner = options_.owner;
   config_.root_acl = options_.root_acl;
   config_.auth = auth_.get();
@@ -59,11 +32,22 @@ Result<void> Server::start() {
       "\n";
   limits.rejected_counter =
       config_.metrics->counter("chirp.server.rejected_connections");
-  return loop_.start(options_.host, options_.port,
-                     [this](net::TcpSocket sock) {
-                       serve_connection(std::move(sock));
-                     },
-                     limits);
+  limits.mode = options_.mode;
+  limits.reactor_workers = options_.reactor_workers;
+  limits.force_poll = options_.force_poll;
+  limits.metrics = config_.metrics;
+  return loop_.start(
+      options_.host, options_.port,
+      [this]() -> std::shared_ptr<net::ReactorSession> {
+        SessionParams params;
+        params.config = &config_;
+        params.backend = backend_.get();
+        params.io_timeout = options_.io_timeout;
+        params.idle_timeout = options_.idle_timeout;
+        params.auth_executor = auth_executor_.get();
+        return std::make_shared<ServerSession>(params);
+      },
+      limits);
 }
 
 void Server::stop() { loop_.stop(); }
@@ -78,201 +62,6 @@ Server::Info Server::info() const {
   }
   info.root_acl = config_.root_acl.serialize();
   return info;
-}
-
-void Server::serve_connection(net::TcpSocket sock) {
-  auth::PeerInfo peer;
-  if (auto ep = sock.peer(); ep.ok()) peer.ip = ep.value().host;
-
-  net::LineStream stream(std::move(sock), options_.io_timeout);
-  SessionCore session(config_, *backend_, peer);
-  std::string request_payload;
-  std::string response_payload;
-
-  obs::Gauge* active_gauge =
-      config_.metrics->gauge("chirp.server.active_sessions");
-  active_gauge->add(1);
-  struct GaugeDrop {
-    obs::Gauge* g;
-    ~GaugeDrop() { g->sub(1); }
-  } gauge_drop{active_gauge};
-
-  // Between requests the session may sit idle for at most idle_timeout;
-  // within a request, every read/write gets the (usually tighter) io
-  // timeout. An idle session that times out is reaped exactly like a
-  // disconnect — the dtor frees all its state.
-  const Nanos idle_wait =
-      options_.idle_timeout > 0 ? options_.idle_timeout : options_.io_timeout;
-
-  while (true) {
-    stream.set_timeout(idle_wait);
-    auto line = stream.read_line();
-    stream.set_timeout(options_.io_timeout);
-    if (!line.ok()) {
-      if (line.error().code == ETIMEDOUT) {
-        // Reaping must be visible: operators see stalled clients in the log
-        // and the idle_reaped counter, not a mystery disconnect.
-        TSS_WARN("chirp") << "reaping idle session from " << peer.ip
-                          << " after "
-                          << idle_wait / kMillisecond << "ms without a request";
-        config_.metrics->counter("chirp.server.idle_reaped")->add();
-      }
-      break;  // disconnect or idle: session dtor frees all state
-    }
-
-    auto parsed = parse_request_line(line.value());
-    if (!parsed.ok()) {
-      Response resp = Response::failure(parsed.error());
-      if (!stream.send_line(encode_response_line(resp)).ok()) break;
-      continue;
-    }
-    Request& request = parsed.value();
-
-    if (request.op == Op::kAuth) {
-      Nanos op_start = session.clock().now();
-      StreamChallengeIo io(stream);
-      auto subject =
-          session.authenticate(request.auth_method, request.auth_arg, io);
-      Response resp;
-      if (subject.ok()) {
-        resp.args.push_back(url_encode(subject.value().to_string()));
-      } else {
-        resp = Response::failure(subject.error());
-      }
-      session.record_op(Op::kAuth, op_start, 0, 0, resp.err);
-      if (!stream.send_line(encode_response_line(resp)).ok()) break;
-      continue;
-    }
-
-    // getfile/putfile bodies can exceed memory; stream them chunkwise
-    // through the session's validated backend handles instead of buffering.
-    constexpr size_t kStreamChunk = 256 * 1024;
-    if (request.op == Op::kGetfile) {
-      Nanos op_start = session.clock().now();
-      uint64_t size = 0;
-      auto handle = session.stream_open_read(request.path, &size);
-      if (!handle.ok()) {
-        Response resp = Response::failure(handle.error());
-        session.record_op(Op::kGetfile, op_start, 0, 0, resp.err);
-        if (!stream.send_line(encode_response_line(resp)).ok()) break;
-        continue;
-      }
-      Response resp;
-      resp.args.push_back(std::to_string(size));
-      stream.write_line(encode_response_line(resp));
-      std::string chunk(std::min<uint64_t>(size, kStreamChunk), '\0');
-      uint64_t offset = 0;
-      bool io_ok = true;
-      while (offset < size) {
-        size_t want = static_cast<size_t>(
-            std::min<uint64_t>(size - offset, kStreamChunk));
-        auto n = session.backend().pread(handle.value(), chunk.data(), want,
-                                         static_cast<int64_t>(offset));
-        if (!n.ok() || n.value() == 0) {
-          // The size was already promised; pad with zeros to keep the
-          // stream in sync (the file shrank mid-transfer).
-          std::memset(chunk.data(), 0, want);
-          stream.write_blob(chunk.data(), want);
-          offset += want;
-        } else {
-          stream.write_blob(chunk.data(), n.value());
-          offset += n.value();
-        }
-        if (!stream.flush().ok()) {
-          io_ok = false;
-          break;
-        }
-      }
-      session.stream_close(handle.value());
-      session.record_op(Op::kGetfile, op_start, 0, offset,
-                        io_ok ? 0 : EPIPE);
-      if (!io_ok) break;
-      // Zero-length files skip the loop entirely; the header still has to
-      // reach the client.
-      if (!stream.flush().ok()) break;
-      continue;
-    }
-    if (request.op == Op::kPutfile) {
-      Nanos op_start = session.clock().now();
-      uint64_t size = request.length;
-      auto handle = session.stream_open_write(request.path, request.mode);
-      std::string chunk(static_cast<size_t>(
-                            std::min<uint64_t>(size, kStreamChunk)),
-                        '\0');
-      if (!handle.ok()) {
-        // Drain the promised body so the connection stays usable.
-        uint64_t remaining = size;
-        bool drained = true;
-        while (remaining > 0) {
-          size_t want = static_cast<size_t>(
-              std::min<uint64_t>(remaining, kStreamChunk));
-          if (!stream.read_blob(chunk.data(), want).ok()) {
-            drained = false;
-            break;
-          }
-          remaining -= want;
-        }
-        if (!drained) break;
-        Response resp = Response::failure(handle.error());
-        session.record_op(Op::kPutfile, op_start, size - remaining, 0,
-                          resp.err);
-        if (!stream.send_line(encode_response_line(resp)).ok()) break;
-        continue;
-      }
-      uint64_t offset = 0;
-      Result<void> write_rc = Result<void>::success();
-      bool io_ok = true;
-      while (offset < size) {
-        size_t want = static_cast<size_t>(
-            std::min<uint64_t>(size - offset, kStreamChunk));
-        if (!stream.read_blob(chunk.data(), want).ok()) {
-          io_ok = false;
-          break;
-        }
-        if (write_rc.ok()) {
-          auto n = session.backend().pwrite(handle.value(), chunk.data(),
-                                            want,
-                                            static_cast<int64_t>(offset));
-          if (!n.ok()) {
-            write_rc = std::move(n).take_error();
-          } else if (n.value() != want) {
-            write_rc = Error(EIO, "short putfile write");
-          }
-        }
-        offset += want;
-      }
-      session.stream_close(handle.value());
-      Response resp =
-          write_rc.ok() ? Response{} : Response::failure(write_rc.error());
-      session.record_op(Op::kPutfile, op_start, offset, 0,
-                        io_ok ? resp.err : EPIPE);
-      if (!io_ok) break;
-      if (!stream.send_line(encode_response_line(resp)).ok()) break;
-      continue;
-    }
-
-    // Receive the request body, if any, before dispatching.
-    SessionCore::Payload payload;
-    request_payload.clear();
-    uint64_t body = request.payload_len();
-    if (body > 0) {
-      request_payload.resize(static_cast<size_t>(body));
-      if (!stream.read_blob(request_payload.data(), request_payload.size())
-               .ok()) {
-        break;
-      }
-      payload.data = request_payload.data();
-      payload.size = body;
-    }
-
-    response_payload.clear();
-    Response resp = session.handle(request, payload, &response_payload);
-    stream.write_line(encode_response_line(resp));
-    if (resp.ok() && !response_payload.empty()) {
-      stream.write_blob(response_payload.data(), response_payload.size());
-    }
-    if (!stream.flush().ok()) break;
-  }
 }
 
 std::unique_ptr<auth::ServerAuth> make_default_auth(

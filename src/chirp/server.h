@@ -3,9 +3,11 @@
 // "A basic file server can be deployed by an ordinary user, who runs a
 // single command with no configuration" (§3, Rapid Deployment). Construction
 // takes an export root and an owner subject; start() binds (ephemeral ports
-// supported) and serves until stop(). Each connection gets its own thread
-// pumping a SessionCore; disconnect drops all session state, per the paper's
-// failure semantics.
+// supported) and serves until stop(). Each connection runs a resumable
+// ServerSession (chirp/reactor_session.h) — on the epoll reactor by default,
+// or one blocking thread per connection when ServerOptions::mode (or
+// TSS_NET_MODE=thread) selects the legacy engine. Disconnect drops all
+// session state, per the paper's failure semantics, in both modes.
 #pragma once
 
 #include <functional>
@@ -14,6 +16,7 @@
 
 #include "auth/auth.h"
 #include "chirp/backend.h"
+#include "chirp/reactor_session.h"
 #include "chirp/session.h"
 #include "net/server_loop.h"
 
@@ -39,6 +42,12 @@ struct ServerOptions {
   // obs::Registry::global(), so every production server is instrumented by
   // default; tests inject their own registry for exact assertions.
   obs::Registry* metrics = nullptr;
+  // Execution engine: kAuto resolves via TSS_NET_MODE (default reactor).
+  net::Mode mode = net::Mode::kAuto;
+  // Reactor worker threads; 0 = net::EventLoop::default_workers().
+  int reactor_workers = 0;
+  // Use the poll() readiness backend instead of epoll.
+  bool force_poll = false;
 };
 
 class Server {
@@ -77,12 +86,14 @@ class Server {
   Info info() const;
 
  private:
-  void serve_connection(net::TcpSocket sock);
-
   ServerOptions options_;
   std::unique_ptr<Backend> backend_;
   std::unique_ptr<auth::ServerAuth> auth_;
   ServerConfig config_;
+  // Destroyed after loop_ (declared before it): the loop stops first, then
+  // the executor joins, and only then do auth_/backend_ go away — no session
+  // or auth helper can observe a dangling server.
+  std::unique_ptr<AuthExecutor> auth_executor_;
   net::ServerLoop loop_;
 };
 

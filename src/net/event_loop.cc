@@ -1,0 +1,818 @@
+#include "net/event_loop.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+namespace tss::net {
+
+namespace detail {
+
+// --- Mailbox ----------------------------------------------------------------
+
+void Mailbox::post(std::function<void()> task) {
+  std::lock_guard<std::mutex> lk(mutex);
+  if (stopped) return;  // driver gone; the task's captures clean up via RAII
+  tasks.push_back(std::move(task));
+  if (wake_fd >= 0) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof one);
+  }
+}
+
+// --- ConnCore ---------------------------------------------------------------
+
+// The concrete connection: transport state shared by both drivers (reactor
+// worker and blocking pump). Single-threaded — only the owning driver touches
+// it; other threads go through ConnRef::post.
+class ConnCore final : public Conn,
+                       public std::enable_shared_from_this<ConnCore> {
+ public:
+  FrameDecoder& input() override { return in_; }
+  bool input_eof() const override { return eof_; }
+
+  void write(std::string_view bytes) override {
+    if (!dead_) out_.append(bytes);
+  }
+  size_t output_pending() const override { return out_.size() - out_pos_; }
+  void want_output_space(bool want) override { want_space_ = want; }
+
+  void set_timeout(Nanos timeout) override { timeout_ = timeout; }
+  void close() override { closing_ = true; }
+
+  Result<Endpoint> peer() const override { return sock_.peer(); }
+  ConnRef ref() override { return ConnRef(weak_from_this(), mailbox_); }
+
+  // State below is driver-owned; public because ConnCore is private to this
+  // translation unit.
+  TcpSocket sock_;
+  std::shared_ptr<ReactorSession> session_;
+  std::shared_ptr<Mailbox> mailbox_;
+  std::function<void(const std::shared_ptr<ConnCore>&)> pump_fn_;
+
+  FrameDecoder in_;
+  std::string out_;
+  size_t out_pos_ = 0;
+
+  bool eof_ = false;       // peer half-closed
+  bool closing_ = false;   // graceful close requested: flush, then die
+  bool dead_ = false;      // torn down; session gone
+  bool want_space_ = false;
+  bool want_write_ = false;  // last flush hit EAGAIN; poll for writability
+
+  Nanos timeout_ = 0;
+  Nanos last_activity_ = 0;
+  // Reactor-only timer bookkeeping (lazy deadline, see Worker::arm_timer).
+  bool timer_armed_ = false;
+  Nanos timer_deadline_ = 0;
+
+  // Registered poller interest (reactor only), to skip no-op updates.
+  bool reg_read_ = false;
+  bool reg_write_ = false;
+};
+
+// --- ConnDriver -------------------------------------------------------------
+
+// Shared pump logic for both execution engines. A driver implements teardown
+// and (for the reactor) interest/timer updates; everything else — flushing
+// with watermarks, read-and-dispatch, timeout semantics — is identical, which
+// is what keeps the two modes observably equivalent.
+class ConnDriver {
+ public:
+  virtual ~ConnDriver() = default;
+
+  virtual void teardown(const std::shared_ptr<ConnCore>& c) = 0;
+  virtual void update_interest(ConnCore&) {}
+  virtual void arm_timer(const std::shared_ptr<ConnCore>&, Nanos) {}
+
+  obs::Counter* stalls_ = nullptr;
+
+  // Sends as much pending output as the socket accepts. Returns false on a
+  // fatal transport error (caller must tear down).
+  bool flush(ConnCore& c, Nanos now) {
+    while (c.out_pos_ < c.out_.size()) {
+      ssize_t n = ::send(c.sock_.raw_fd(), c.out_.data() + c.out_pos_,
+                         c.out_.size() - c.out_pos_, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_pos_ += static_cast<size_t>(n);
+        c.last_activity_ = now;
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!c.want_write_) {
+          c.want_write_ = true;
+          if (stalls_) stalls_->add();
+        }
+        // Drop the sent prefix so a long stall doesn't pin a large buffer.
+        if (c.out_pos_ > 0) {
+          c.out_.erase(0, c.out_pos_);
+          c.out_pos_ = 0;
+        }
+        return true;
+      }
+      return false;  // peer reset, broken pipe, ...
+    }
+    c.out_.clear();
+    c.out_pos_ = 0;
+    c.want_write_ = false;
+    return true;
+  }
+
+  // The post-callback engine turn: flush, honor close/EOF, refill streamed
+  // output below the low-water mark, then update readiness interest and the
+  // progress timer.
+  void pump(const std::shared_ptr<ConnCore>& c, Nanos now) {
+    if (c->dead_) return;
+    for (;;) {
+      if (!flush(*c, now)) {
+        teardown(c);
+        return;
+      }
+      if (c->eof_ && !c->closing_) c->closing_ = true;
+      if (c->closing_) {
+        if (c->output_pending() == 0) {
+          teardown(c);
+          return;
+        }
+        break;  // writability events keep flushing the tail
+      }
+      if (c->want_space_ && c->output_pending() <= Conn::kOutputLowWater) {
+        size_t before = c->output_pending();
+        if (!c->session_->on_output_space(*c)) {
+          c->closing_ = true;
+          continue;
+        }
+        if (c->output_pending() > before || c->closing_) continue;
+      }
+      break;
+    }
+    update_interest(*c);
+    arm_timer(c, now);
+  }
+
+  // Drains readable bytes into the decoder (bounded per event so one fast
+  // peer can't starve the loop), delivers them to the session, then pumps.
+  void read_and_dispatch(const std::shared_ptr<ConnCore>& c, Nanos now) {
+    if (c->dead_) return;
+    constexpr size_t kChunk = 64 * 1024;
+    constexpr size_t kBudget = 256 * 1024;
+    size_t got = 0;
+    bool fresh_eof = false;
+    while (!c->closing_ && !c->eof_ && got < kBudget) {
+      char* span = c->in_.writable_span(kChunk);
+      ssize_t n = ::recv(c->sock_.raw_fd(), span, kChunk, 0);
+      if (n > 0) {
+        c->in_.commit(static_cast<size_t>(n));
+        got += static_cast<size_t>(n);
+        c->last_activity_ = now;
+        continue;
+      }
+      c->in_.commit(0);
+      if (n == 0) {
+        c->eof_ = true;
+        fresh_eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      teardown(c);
+      return;
+    }
+    if (got > 0 || fresh_eof) {
+      if (!c->session_->on_input(*c)) c->closing_ = true;
+    }
+    pump(c, now);
+  }
+
+  // The no-progress deadline fired (or may have; the wheel entry can be
+  // early under lazy re-arming — re-check against the activity stamp).
+  void fire_timeout(const std::shared_ptr<ConnCore>& c, Nanos now) {
+    if (c->dead_ || c->timeout_ <= 0) return;
+    if (now - c->last_activity_ < c->timeout_) {
+      arm_timer(c, now);
+      return;
+    }
+    if (c->closing_ || !c->session_->on_timeout(*c)) {
+      // A closing connection that can't drain within the deadline is cut
+      // off; nothing else will ever tear it down.
+      teardown(c);
+      return;
+    }
+    c->last_activity_ = now;  // session chose to keep the connection
+    pump(c, now);
+  }
+};
+
+// --- Pollers ----------------------------------------------------------------
+
+struct ReadyEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+};
+
+// Readiness backend: epoll where available, poll() everywhere. Both are
+// level-triggered, which the budgeted read path and partial flushes rely on.
+class Poller {
+ public:
+  virtual ~Poller() = default;
+  virtual Result<void> add(int fd, bool want_read, bool want_write) = 0;
+  virtual void update(int fd, bool want_read, bool want_write) = 0;
+  virtual void remove(int fd) = 0;
+  // Fills `out`; returns poll()/epoll_wait() count (0 = timeout).
+  virtual int wait(std::vector<ReadyEvent>& out, int timeout_ms) = 0;
+  virtual const char* name() const = 0;
+};
+
+#ifdef __linux__
+class EpollPoller final : public Poller {
+ public:
+  static std::unique_ptr<EpollPoller> create() {
+    Fd ep(::epoll_create1(EPOLL_CLOEXEC));
+    if (!ep.valid()) return nullptr;
+    auto p = std::make_unique<EpollPoller>();
+    p->ep_ = std::move(ep);
+    return p;
+  }
+
+  Result<void> add(int fd, bool want_read, bool want_write) override {
+    epoll_event ev = make_event(fd, want_read, want_write);
+    if (::epoll_ctl(ep_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+      return Error::from_errno("epoll_ctl add");
+    }
+    return Result<void>::success();
+  }
+
+  void update(int fd, bool want_read, bool want_write) override {
+    epoll_event ev = make_event(fd, want_read, want_write);
+    ::epoll_ctl(ep_.get(), EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  void remove(int fd) override {
+    ::epoll_ctl(ep_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  int wait(std::vector<ReadyEvent>& out, int timeout_ms) override {
+    epoll_event evs[128];
+    int n;
+    do {
+      n = ::epoll_wait(ep_.get(), evs, 128, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    out.clear();
+    for (int i = 0; i < n; ++i) {
+      uint32_t e = evs[i].events;
+      out.push_back(ReadyEvent{
+          evs[i].data.fd,
+          (e & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0,
+          (e & (EPOLLOUT | EPOLLERR)) != 0,
+      });
+    }
+    return n;
+  }
+
+  const char* name() const override { return "epoll"; }
+
+ private:
+  static epoll_event make_event(int fd, bool want_read, bool want_write) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    return ev;
+  }
+
+  Fd ep_;
+};
+#endif  // __linux__
+
+class PollPoller final : public Poller {
+ public:
+  Result<void> add(int fd, bool want_read, bool want_write) override {
+    interest_[fd] = Interest{want_read, want_write};
+    return Result<void>::success();
+  }
+  void update(int fd, bool want_read, bool want_write) override {
+    interest_[fd] = Interest{want_read, want_write};
+  }
+  void remove(int fd) override { interest_.erase(fd); }
+
+  int wait(std::vector<ReadyEvent>& out, int timeout_ms) override {
+    pfds_.clear();
+    for (const auto& [fd, in] : interest_) {
+      short events = static_cast<short>((in.read ? POLLIN : 0) |
+                                        (in.write ? POLLOUT : 0));
+      pfds_.push_back(pollfd{fd, events, 0});
+    }
+    int n;
+    do {
+      n = ::poll(pfds_.data(), pfds_.size(), timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    out.clear();
+    if (n <= 0) return n;
+    for (const auto& p : pfds_) {
+      if (p.revents == 0) continue;
+      out.push_back(ReadyEvent{
+          p.fd,
+          (p.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) != 0,
+          (p.revents & (POLLOUT | POLLERR)) != 0,
+      });
+    }
+    return n;
+  }
+
+  const char* name() const override { return "poll"; }
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+  std::map<int, Interest> interest_;
+  std::vector<pollfd> pfds_;
+};
+
+namespace {
+
+std::unique_ptr<Poller> make_poller(bool force_poll) {
+  if (const char* env = std::getenv("TSS_REACTOR_POLLER")) {
+    if (std::string_view(env) == "poll") force_poll = true;
+  }
+#ifdef __linux__
+  if (!force_poll) {
+    if (auto p = EpollPoller::create()) return p;
+  }
+#endif
+  (void)force_poll;
+  return std::make_unique<PollPoller>();
+}
+
+void set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Wake channel for a driver's mailbox: eventfd on Linux, a pipe elsewhere.
+struct WakeChannel {
+  Fd read_end;
+  Fd write_end;  // invalid when eventfd (read_end doubles as both)
+
+  int wake_fd() const {
+    return write_end.valid() ? write_end.get() : read_end.get();
+  }
+
+  static WakeChannel open() {
+    WakeChannel w;
+#ifdef __linux__
+    int efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (efd >= 0) {
+      w.read_end = Fd(efd);
+      return w;
+    }
+#endif
+    int fds[2];
+    if (::pipe(fds) == 0) {
+      set_nonblocking(fds[0]);
+      set_nonblocking(fds[1]);
+      w.read_end = Fd(fds[0]);
+      w.write_end = Fd(fds[1]);
+    }
+    return w;
+  }
+
+  void drain() const {
+    char buf[64];
+    while (::read(read_end.get(), buf, sizeof buf) > 0) {
+    }
+  }
+};
+
+}  // namespace
+}  // namespace detail
+
+// --- ConnRef ----------------------------------------------------------------
+
+void ConnRef::post(std::function<void(Conn&)> fn) const {
+  if (!mailbox_) return;
+  mailbox_->post([weak = conn_, fn = std::move(fn)]() {
+    auto c = weak.lock();
+    if (!c || c->dead_) return;
+    fn(*c);
+    // The task may have produced output or closed the connection; give the
+    // driver a turn so the effects hit the socket.
+    if (c->pump_fn_) c->pump_fn_(c);
+  });
+}
+
+// --- TimerWheel -------------------------------------------------------------
+
+TimerWheel::TimerWheel(size_t slots, Nanos tick, Nanos now)
+    : slots_(slots == 0 ? 1 : slots), tick_(tick <= 0 ? 1 : tick),
+      wheel_time_(now) {}
+
+uint64_t TimerWheel::schedule(Nanos delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  uint64_t ticks = static_cast<uint64_t>((delay + tick_ - 1) / tick_);
+  if (ticks == 0) ticks = 1;  // never into the slot advance() sits on
+  size_t slot = (cursor_ + ticks) % slots_.size();
+  uint64_t id = next_id_++;
+  // Rounds to skip = full revolutions before the cursor first reaches the
+  // slot. (ticks - 1) / slots, not ticks / slots: an exact multiple of the
+  // slot count lands on the cursor's own slot, which is first reached one
+  // whole revolution later, not zero.
+  slots_[slot].push_back(Entry{id, (ticks - 1) / slots_.size(), std::move(cb)});
+  ++pending_;
+  return id;
+}
+
+void TimerWheel::cancel(uint64_t id) { cancelled_.push_back(id); }
+
+void TimerWheel::advance(Nanos now) {
+  while (wheel_time_ + tick_ <= now) {
+    wheel_time_ += tick_;
+    cursor_ = (cursor_ + 1) % slots_.size();
+    auto& slot = slots_[cursor_];
+    std::vector<Callback> due;
+    size_t keep = 0;
+    for (auto& e : slot) {
+      auto it = std::find(cancelled_.begin(), cancelled_.end(), e.id);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        --pending_;
+        continue;
+      }
+      if (e.remaining_rounds > 0) {
+        --e.remaining_rounds;
+        slot[keep++] = std::move(e);
+        continue;
+      }
+      due.push_back(std::move(e.cb));
+      --pending_;
+    }
+    slot.resize(keep);
+    // Fire outside the slot walk: callbacks may schedule() or cancel().
+    for (auto& cb : due) cb();
+  }
+}
+
+Nanos TimerWheel::next_tick_delay(Nanos now, Nanos cap) const {
+  Nanos d = wheel_time_ + tick_ - now;
+  if (d < 0) d = 0;
+  return std::min(d, cap);
+}
+
+// --- EventLoop::Worker ------------------------------------------------------
+
+struct EventLoop::Worker final : public detail::ConnDriver {
+  EventLoop* loop = nullptr;
+  std::unique_ptr<detail::Poller> poller;
+  std::shared_ptr<detail::Mailbox> mailbox;
+  detail::WakeChannel wake;
+  TimerWheel wheel;
+  std::unordered_map<int, std::shared_ptr<detail::ConnCore>> conns;
+  std::atomic<bool> stop_requested{false};
+  std::thread thread;
+
+  obs::Counter* wakeups = nullptr;
+  obs::Gauge* depth = nullptr;
+  obs::Gauge* conn_gauge = nullptr;
+
+  Worker(EventLoop* owner, bool force_poll, Nanos tick, size_t slots,
+         obs::Registry& reg)
+      : loop(owner),
+        poller(detail::make_poller(force_poll)),
+        mailbox(std::make_shared<detail::Mailbox>()),
+        wake(detail::WakeChannel::open()),
+        wheel(slots, tick, RealClock::instance().now()) {
+    mailbox->wake_fd = wake.wake_fd();
+    wakeups = reg.counter("net.loop.wakeups");
+    depth = reg.gauge("net.loop.depth");
+    conn_gauge = reg.gauge("net.loop.connections");
+    stalls_ = reg.counter("net.loop.writable_stalls");
+    (void)poller->add(wake.read_end.get(), /*want_read=*/true,
+                      /*want_write=*/false);
+  }
+
+  static Nanos clock_now() { return RealClock::instance().now(); }
+
+  void run() {
+    std::vector<detail::ReadyEvent> events;
+    std::vector<std::function<void()>> tasks;
+    while (!stop_requested.load(std::memory_order_acquire)) {
+      Nanos now = clock_now();
+      wheel.advance(now);
+      Nanos delay = wheel.pending() > 0
+                        ? wheel.next_tick_delay(now, 200 * kMillisecond)
+                        : 200 * kMillisecond;
+      int timeout_ms =
+          static_cast<int>((delay + kMillisecond - 1) / kMillisecond);
+      int n = poller->wait(events, timeout_ms);
+      wakeups->add();
+      depth->set(n > 0 ? n : 0);
+      {
+        std::lock_guard<std::mutex> lk(mailbox->mutex);
+        tasks.swap(mailbox->tasks);
+      }
+      for (auto& t : tasks) t();
+      tasks.clear();
+      now = clock_now();
+      for (const auto& ev : events) {
+        if (ev.fd == wake.read_end.get()) {
+          wake.drain();
+          continue;
+        }
+        handle_event(ev, now);
+      }
+    }
+    shutdown_drain();
+  }
+
+  void handle_event(const detail::ReadyEvent& ev, Nanos now) {
+    auto it = conns.find(ev.fd);
+    if (it == conns.end()) return;  // torn down earlier in this batch
+    std::shared_ptr<detail::ConnCore> c = it->second;  // keep alive
+    if (ev.readable && !c->closing_) {
+      read_and_dispatch(c, now);
+    } else if (ev.readable || ev.writable) {
+      pump(c, now);
+    }
+  }
+
+  // Runs on this worker (posted by adopt()).
+  void add_conn(TcpSocket sock, std::shared_ptr<ReactorSession> session) {
+    if (stop_requested.load(std::memory_order_acquire)) return;
+    auto c = std::make_shared<detail::ConnCore>();
+    c->sock_ = std::move(sock);
+    c->session_ = std::move(session);
+    c->mailbox_ = mailbox;
+    c->last_activity_ = clock_now();
+    c->pump_fn_ = [this](const std::shared_ptr<detail::ConnCore>& cc) {
+      pump(cc, clock_now());
+    };
+    int fd = c->sock_.raw_fd();
+    if (!poller->add(fd, /*want_read=*/true, /*want_write=*/false).ok()) {
+      c->dead_ = true;
+      return;
+    }
+    c->reg_read_ = true;
+    c->reg_write_ = false;
+    conns[fd] = c;
+    loop->active_.fetch_add(1, std::memory_order_relaxed);
+    conn_gauge->add();
+    c->session_->on_start(*c);
+    // Any bytes already queued by the peer surface via level-triggered
+    // readiness on the next wait().
+    pump(c, clock_now());
+  }
+
+  void teardown(const std::shared_ptr<detail::ConnCore>& c) override {
+    if (c->dead_) return;
+    c->dead_ = true;
+    poller->remove(c->sock_.raw_fd());
+    conns.erase(c->sock_.raw_fd());
+    c->session_->on_close(*c);
+    c->session_.reset();
+    c->pump_fn_ = nullptr;
+    c->sock_.close();
+    loop->active_.fetch_sub(1, std::memory_order_relaxed);
+    conn_gauge->sub();
+    // Any armed wheel entry fires as a no-op (weak_ptr or dead_ check).
+  }
+
+  void update_interest(detail::ConnCore& c) override {
+    if (c.dead_) return;
+    bool want_read = !c.closing_;
+    bool want_write = c.want_write_;
+    if (want_read == c.reg_read_ && want_write == c.reg_write_) return;
+    c.reg_read_ = want_read;
+    c.reg_write_ = want_write;
+    poller->update(c.sock_.raw_fd(), want_read, want_write);
+  }
+
+  // Lazy deadline: the wheel entry tracks the *earliest* plausible expiry;
+  // activity since arming is discovered at fire time and the entry re-armed
+  // with the remainder, so per-chunk progress never touches the wheel.
+  void arm_timer(const std::shared_ptr<detail::ConnCore>& c,
+                 Nanos now) override {
+    if (c->dead_ || c->timeout_ <= 0) return;
+    Nanos deadline = c->last_activity_ + c->timeout_;
+    if (c->timer_armed_ && c->timer_deadline_ <= deadline) return;
+    c->timer_armed_ = true;
+    c->timer_deadline_ = deadline;
+    wheel.schedule(deadline - now,
+                   [this, w = std::weak_ptr<detail::ConnCore>(c)] {
+                     auto cc = w.lock();
+                     if (!cc || cc->dead_) return;
+                     cc->timer_armed_ = false;
+                     fire_timeout(cc, clock_now());
+                   });
+  }
+
+  void shutdown_drain() {
+    // Tear down every live connection so sessions observe on_close.
+    std::vector<std::shared_ptr<detail::ConnCore>> live;
+    live.reserve(conns.size());
+    for (auto& [fd, c] : conns) live.push_back(c);
+    for (auto& c : live) teardown(c);
+    // Run tasks still queued (late adoptions see stop_requested and bail;
+    // ConnRef posts find their connections dead), then close the mailbox.
+    for (int round = 0; round < 4; ++round) {
+      std::vector<std::function<void()>> tasks;
+      {
+        std::lock_guard<std::mutex> lk(mailbox->mutex);
+        tasks.swap(mailbox->tasks);
+      }
+      if (tasks.empty()) break;
+      for (auto& t : tasks) t();
+    }
+    std::lock_guard<std::mutex> lk(mailbox->mutex);
+    mailbox->stopped = true;
+    mailbox->wake_fd = -1;
+  }
+};
+
+// --- EventLoop --------------------------------------------------------------
+
+EventLoop::EventLoop(Options options) : options_(options) {}
+
+EventLoop::~EventLoop() { stop(); }
+
+int EventLoop::default_workers() {
+  unsigned hc = std::thread::hardware_concurrency();
+  if (hc == 0) hc = 2;
+  return static_cast<int>(std::min(4u, hc));
+}
+
+Result<void> EventLoop::start() {
+  if (running_.load()) return Result<void>::success();
+  int n = options_.workers > 0 ? options_.workers : default_workers();
+  obs::Registry& reg =
+      options_.metrics ? *options_.metrics : obs::Registry::global();
+  workers_.clear();
+  for (int i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>(this, options_.force_poll,
+                                      options_.wheel_tick,
+                                      options_.wheel_slots, reg);
+    if (!w->wake.read_end.valid()) {
+      workers_.clear();
+      return Error(EMFILE, "event loop wake channel");
+    }
+    workers_.push_back(std::move(w));
+  }
+  running_.store(true);
+  for (auto& w : workers_) {
+    w->thread = std::thread([worker = w.get()] { worker->run(); });
+  }
+  return Result<void>::success();
+}
+
+void EventLoop::stop() {
+  if (workers_.empty()) return;
+  running_.store(false);
+  for (auto& w : workers_) {
+    w->stop_requested.store(true, std::memory_order_release);
+    // Wake directly: post() would be dropped once the mailbox stops.
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t rc =
+        ::write(w->wake.wake_fd(), &one, sizeof one);
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  workers_.clear();
+}
+
+Result<void> EventLoop::adopt(TcpSocket sock,
+                              std::shared_ptr<ReactorSession> session) {
+  if (!running_.load()) return Error(EINVAL, "event loop not running");
+  if (!sock.valid()) return Error(EBADF, "invalid socket");
+  if (!session) return Error(EINVAL, "null session");
+  detail::set_nonblocking(sock.raw_fd());
+  size_t i = next_worker_.fetch_add(1, std::memory_order_relaxed) %
+             workers_.size();
+  Worker* w = workers_[i].get();
+  // std::function requires copyable captures; park the socket in shared_ptr.
+  auto parked = std::make_shared<TcpSocket>(std::move(sock));
+  w->mailbox->post([w, parked, session = std::move(session)]() mutable {
+    w->add_conn(std::move(*parked), std::move(session));
+  });
+  return Result<void>::success();
+}
+
+// --- drive_session_blocking -------------------------------------------------
+
+namespace detail {
+namespace {
+
+class BlockingDriver final : public ConnDriver {
+ public:
+  void teardown(const std::shared_ptr<ConnCore>& c) override {
+    if (c->dead_) return;
+    c->dead_ = true;
+    c->session_->on_close(*c);
+    c->session_.reset();
+    c->pump_fn_ = nullptr;
+    c->sock_.close();
+  }
+  // update_interest / arm_timer: the poll set and deadline are rebuilt from
+  // connection state on every loop iteration, nothing to do eagerly.
+};
+
+}  // namespace
+}  // namespace detail
+
+void drive_session_blocking(TcpSocket sock,
+                            std::shared_ptr<ReactorSession> session,
+                            obs::Registry* metrics) {
+  if (!sock.valid() || !session) return;
+  obs::Registry& reg = metrics ? *metrics : obs::Registry::global();
+  detail::BlockingDriver driver;
+  driver.stalls_ = reg.counter("net.loop.writable_stalls");
+
+  detail::WakeChannel wake = detail::WakeChannel::open();
+  auto mailbox = std::make_shared<detail::Mailbox>();
+  mailbox->wake_fd = wake.wake_fd();
+
+  detail::set_nonblocking(sock.raw_fd());
+  auto c = std::make_shared<detail::ConnCore>();
+  c->sock_ = std::move(sock);
+  c->session_ = std::move(session);
+  c->mailbox_ = mailbox;
+  c->last_activity_ = RealClock::instance().now();
+  c->pump_fn_ = [&driver](const std::shared_ptr<detail::ConnCore>& cc) {
+    driver.pump(cc, RealClock::instance().now());
+  };
+
+  c->session_->on_start(*c);
+  driver.pump(c, RealClock::instance().now());
+
+  while (!c->dead_) {
+    short events = static_cast<short>((c->closing_ ? 0 : POLLIN) |
+                                      (c->want_write_ ? POLLOUT : 0));
+    pollfd pfds[2] = {
+        {c->sock_.raw_fd(), events, 0},
+        {wake.read_end.get(), POLLIN, 0},
+    };
+    Nanos now = RealClock::instance().now();
+    int timeout_ms = -1;
+    if (c->timeout_ > 0) {
+      Nanos d = c->last_activity_ + c->timeout_ - now;
+      timeout_ms = d <= 0 ? 0
+                          : static_cast<int>((d + kMillisecond - 1) /
+                                             kMillisecond);
+    }
+    int n = ::poll(pfds, 2, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      driver.teardown(c);
+      break;
+    }
+    now = RealClock::instance().now();
+    if (n == 0) {
+      driver.fire_timeout(c, now);
+      continue;
+    }
+    if (pfds[1].revents & POLLIN) {
+      wake.drain();
+      std::vector<std::function<void()>> tasks;
+      {
+        std::lock_guard<std::mutex> lk(mailbox->mutex);
+        tasks.swap(mailbox->tasks);
+      }
+      for (auto& t : tasks) t();
+    }
+    if (c->dead_) break;
+    if (pfds[0].revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) {
+      if (c->closing_) {
+        driver.pump(c, now);
+      } else {
+        driver.read_and_dispatch(c, now);
+      }
+    } else if (pfds[0].revents & POLLOUT) {
+      driver.pump(c, now);
+    }
+    if (!c->dead_ && c->timeout_ > 0 &&
+        now - c->last_activity_ >= c->timeout_) {
+      driver.fire_timeout(c, now);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mailbox->mutex);
+    mailbox->stopped = true;
+    mailbox->wake_fd = -1;
+  }
+}
+
+}  // namespace tss::net

@@ -1,0 +1,239 @@
+// Event-driven reactor core: epoll (or poll) readiness loops, a timer wheel,
+// and resumable per-connection sessions.
+//
+// The paper's servers are single-binary daemons; the seed reproduction gave
+// every accepted connection its own blocking thread, which caps a server at
+// a few hundred clients. EventLoop replaces that execution engine without
+// changing the wire: a fixed pool of worker loops multiplexes thousands of
+// non-blocking connections, each owning a FrameDecoder for input, a buffered
+// output queue with write watermarks, and a slot on the worker's timer wheel
+// for idle/progress deadlines. The storage abstractions stay independent of
+// the engine (the thesis of the paper applied to our own stack): a protocol
+// implements ReactorSession once and runs unmodified under the reactor or
+// under a per-connection thread (see drive_session_blocking).
+//
+// See docs/ARCHITECTURE-NET.md for the full design.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "net/line_stream.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace tss::net {
+
+class Conn;
+class ConnRef;
+
+// A resumable protocol session. All callbacks run on the connection's owning
+// loop thread (or the connection's own thread in blocking mode) and must not
+// block on the peer: they consume whatever input is buffered, produce output
+// into the connection's write buffer, and return. Returning false from a
+// callback closes the connection gracefully (pending output is flushed
+// first).
+class ReactorSession {
+ public:
+  virtual ~ReactorSession() = default;
+
+  // Called once, right after the connection is adopted.
+  virtual void on_start(Conn&) {}
+
+  // New bytes were appended to conn.input() — or EOF arrived, see
+  // conn.input_eof(). Consume as many complete frames as possible; a frame
+  // that is still incomplete simply stays buffered until the next call.
+  virtual bool on_input(Conn&) = 0;
+
+  // The output buffer drained below its low-water mark after the session
+  // called conn.want_output_space(true). Refill (e.g. the next chunk of a
+  // streamed file) until conn.output_pending() reaches the high-water mark
+  // or the stream is done. A session that keeps the want flag set must
+  // produce bytes here, or it will not be called again until more output
+  // drains.
+  virtual bool on_output_space(Conn&) { return true; }
+
+  // The progress deadline set via conn.set_timeout() expired: no bytes
+  // moved in either direction for that long. Default: close.
+  virtual bool on_timeout(Conn&) { return false; }
+
+  // The connection is being torn down; conn is still valid but no more I/O
+  // will happen. Called exactly once for every adopted session.
+  virtual void on_close(Conn&) {}
+};
+
+// Transport face handed to a session. Not thread-safe: touch it only from
+// session callbacks, or from other threads via ConnRef::post.
+class Conn {
+ public:
+  virtual ~Conn() = default;
+
+  // Buffered input; frames are extracted with FrameDecoder::try_line/read.
+  virtual FrameDecoder& input() = 0;
+  // True once the peer half-closed; buffered input may still hold frames.
+  virtual bool input_eof() const = 0;
+
+  // Appends bytes to the output buffer; the transport flushes them as the
+  // socket allows.
+  virtual void write(std::string_view bytes) = 0;
+  virtual size_t output_pending() const = 0;
+  // Request on_output_space() callbacks when output drains (streaming).
+  virtual void want_output_space(bool want) = 0;
+  // Output watermarks: stop producing at high, refill below low.
+  static constexpr size_t kOutputHighWater = 256 * 1024;
+  static constexpr size_t kOutputLowWater = 64 * 1024;
+
+  // No-progress deadline: if no bytes move for `timeout`, the session's
+  // on_timeout() fires. 0 disables. Re-arming is cheap (lazy check against
+  // the last-activity stamp; the wheel entry is only rescheduled on expiry).
+  virtual void set_timeout(Nanos timeout) = 0;
+
+  // Graceful close: stop reading, flush pending output, then tear down.
+  virtual void close() = 0;
+
+  virtual Result<Endpoint> peer() const = 0;
+
+  // A weak, thread-safe handle for posting work back to this connection.
+  virtual ConnRef ref() = 0;
+};
+
+namespace detail {
+class ConnCore;
+// The cross-thread mailbox a ConnRef posts into: a task queue plus a wake
+// fd, owned by whichever driver (worker loop or blocking pump) runs the
+// connection. Outlives the driver via shared_ptr so late posts are no-ops.
+struct Mailbox {
+  std::mutex mutex;
+  std::vector<std::function<void()>> tasks;
+  int wake_fd = -1;  // eventfd (or pipe write end); -1 once stopped
+  bool stopped = false;
+
+  // Enqueues and wakes; drops the task if the driver already stopped.
+  void post(std::function<void()> task);
+};
+}  // namespace detail
+
+// Thread-safe handle to a connection that may already be gone. post() runs
+// fn(conn) on the owning driver thread if — and only if — the connection is
+// still alive when the task is executed. Used by work that completes off the
+// loop (the Chirp auth executor) to deliver results safely.
+class ConnRef {
+ public:
+  ConnRef() = default;
+  ConnRef(std::weak_ptr<detail::ConnCore> conn,
+          std::shared_ptr<detail::Mailbox> mailbox)
+      : conn_(std::move(conn)), mailbox_(std::move(mailbox)) {}
+
+  void post(std::function<void(Conn&)> fn) const;
+
+ private:
+  std::weak_ptr<detail::ConnCore> conn_;
+  std::shared_ptr<detail::Mailbox> mailbox_;
+};
+
+// Hashed timer wheel: O(1) schedule/cancel, fired by the owning loop between
+// readiness batches. Single-threaded — owned and advanced by one driver.
+class TimerWheel {
+ public:
+  using Callback = std::function<void()>;
+
+  TimerWheel(size_t slots, Nanos tick, Nanos now);
+
+  // Fires cb once, no earlier than `delay` from the wheel's current time
+  // (rounded up to the tick). Returns an id for cancel().
+  uint64_t schedule(Nanos delay, Callback cb);
+  void cancel(uint64_t id);
+
+  // Advances wheel time to `now`, firing every due entry.
+  void advance(Nanos now);
+
+  // Nanoseconds until the next tick boundary (the poll timeout an idle loop
+  // should use); capped at `cap`.
+  Nanos next_tick_delay(Nanos now, Nanos cap) const;
+
+  size_t pending() const { return pending_; }
+  Nanos tick() const { return tick_; }
+
+ private:
+  struct Entry {
+    uint64_t id;
+    uint64_t remaining_rounds;
+    Callback cb;
+  };
+
+  std::vector<std::vector<Entry>> slots_;
+  Nanos tick_;
+  Nanos wheel_time_;   // advanced in whole ticks
+  size_t cursor_ = 0;  // slot index wheel_time_ corresponds to
+  uint64_t next_id_ = 1;
+  size_t pending_ = 0;
+  // Cancelled ids not yet swept; entries check membership when their slot
+  // fires. Bounded by pending_.
+  std::vector<uint64_t> cancelled_;
+};
+
+// The reactor: a fixed pool of worker loops, each running epoll (or poll,
+// for portability / the TSS_REACTOR_POLLER=poll override) over its share of
+// the connections. Thread count is workers, independent of connection count.
+class EventLoop {
+ public:
+  struct Options {
+    // 0 = default_workers(): min(4, hardware_concurrency).
+    int workers = 0;
+    // Use the poll() backend even where epoll is available.
+    bool force_poll = false;
+    // Timer wheel granularity and size (per worker).
+    Nanos wheel_tick = 20 * kMillisecond;
+    size_t wheel_slots = 512;
+    // Registry for loop gauges/counters (net.loop.*); null = global().
+    obs::Registry* metrics = nullptr;
+  };
+
+  EventLoop() : EventLoop(Options{}) {}
+  explicit EventLoop(Options options);
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Result<void> start();
+  // Closes every connection (sessions observe on_close) and joins the
+  // workers.
+  void stop();
+  bool running() const { return running_.load(); }
+
+  // Thread-safe: hands a connected socket and its session to a worker
+  // (round-robin). The socket is switched to non-blocking; the session's
+  // callbacks run on that worker from then on.
+  Result<void> adopt(TcpSocket sock, std::shared_ptr<ReactorSession> session);
+
+  size_t active_connections() const { return active_.load(); }
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+  static int default_workers();
+
+ private:
+  struct Worker;
+
+  Options options_;
+  std::atomic<bool> running_{false};
+  std::atomic<size_t> active_{0};
+  std::atomic<size_t> next_worker_{0};
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+// Thread-per-connection compatibility driver: pumps one session over one
+// socket with a private poll() loop (socket + mailbox wake fd) until the
+// session closes or `shutdown_fd` (a dup of the socket, shutdown() by the
+// owner) forces EOF. Gives the legacy execution mode the exact same session
+// semantics as the reactor — including ConnRef::post and timeouts.
+void drive_session_blocking(TcpSocket sock,
+                            std::shared_ptr<ReactorSession> session,
+                            obs::Registry* metrics = nullptr);
+
+}  // namespace tss::net

@@ -19,6 +19,74 @@ obs::Counter& net_faults_injected() {
 }
 }
 
+// --- FrameDecoder -----------------------------------------------------------
+
+void FrameDecoder::maybe_compact() {
+  // Compact the consumed prefix occasionally so the buffer doesn't grow.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+    scan_ = 0;
+  } else if (pos_ > kReadChunk) {
+    buf_.erase(0, pos_);
+    scan_ -= pos_;
+    pos_ = 0;
+  }
+}
+
+void FrameDecoder::feed(const void* data, size_t n) {
+  maybe_compact();
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+char* FrameDecoder::writable_span(size_t n) {
+  maybe_compact();
+  span_base_ = buf_.size();
+  buf_.resize(span_base_ + n);
+  return buf_.data() + span_base_;
+}
+
+void FrameDecoder::commit(size_t n) {
+  // Drop the unwritten tail of the span handed out by writable_span().
+  buf_.resize(span_base_ + n);
+}
+
+Result<std::optional<std::string>> FrameDecoder::try_line(size_t max_len) {
+  if (scan_ < pos_) scan_ = pos_;
+  size_t nl = buf_.find('\n', scan_);
+  if (nl == std::string::npos) {
+    scan_ = buf_.size();
+    if (available() > max_len) {
+      return Error(EMSGSIZE, "protocol line too long");
+    }
+    return std::optional<std::string>();
+  }
+  size_t len = nl - pos_;
+  if (len > max_len) return Error(EMSGSIZE, "protocol line too long");
+  std::string line = buf_.substr(pos_, len);
+  pos_ = nl + 1;
+  scan_ = pos_;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return std::optional<std::string>(std::move(line));
+}
+
+size_t FrameDecoder::read(void* out, size_t size) {
+  size_t take = std::min(size, available());
+  std::memcpy(out, buf_.data() + pos_, take);
+  pos_ += take;
+  maybe_compact();
+  return take;
+}
+
+size_t FrameDecoder::discard(size_t size) {
+  size_t take = std::min(size, available());
+  pos_ += take;
+  maybe_compact();
+  return take;
+}
+
+// --- LineStream -------------------------------------------------------------
+
 LineStream::LineStream(TcpSocket sock, Nanos timeout)
     : sock_(std::move(sock)), timeout_(timeout) {}
 
@@ -56,44 +124,23 @@ Result<void> LineStream::consult_fault_hook(std::string_view point) {
 
 Result<void> LineStream::fill() {
   TSS_RETURN_IF_ERROR(consult_fault_hook("read"));
-  // Compact the consumed prefix occasionally so the buffer doesn't grow.
-  if (rpos_ > 0 && rpos_ == rbuf_.size()) {
-    rbuf_.clear();
-    rpos_ = 0;
-  } else if (rpos_ > kReadChunk) {
-    rbuf_.erase(0, rpos_);
-    rpos_ = 0;
-  }
-  size_t old = rbuf_.size();
-  rbuf_.resize(old + kReadChunk);
-  auto n = sock_.read_some(rbuf_.data() + old, kReadChunk, timeout_);
-  if (!n.ok()) {
-    rbuf_.resize(old);
-    return std::move(n).take_error();
-  }
-  rbuf_.resize(old + n.value());
+  char* span = decoder_.writable_span(kReadChunk);
+  auto n = sock_.read_some(span, kReadChunk, timeout_);
+  if (!n.ok()) return std::move(n).take_error();
+  decoder_.commit(n.value());
   if (n.value() == 0) return Error(EPIPE, "connection closed");
   return Result<void>::success();
 }
 
 Result<std::string> LineStream::read_line(size_t max_len) {
   while (true) {
-    size_t nl = rbuf_.find('\n', rpos_);
-    if (nl != std::string::npos) {
-      size_t len = nl - rpos_;
-      if (len > max_len) return Error(EMSGSIZE, "protocol line too long");
-      std::string line = rbuf_.substr(rpos_, len);
-      rpos_ = nl + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      return line;
-    }
-    if (rbuf_.size() - rpos_ > max_len) {
-      return Error(EMSGSIZE, "protocol line too long");
-    }
+    TSS_ASSIGN_OR_RETURN(std::optional<std::string> line,
+                         decoder_.try_line(max_len));
+    if (line) return std::move(*line);
     auto rc = fill();
     if (!rc.ok()) {
       // EOF exactly at a line boundary is a clean close.
-      if (rc.error().code == EPIPE && rpos_ == rbuf_.size()) {
+      if (rc.error().code == EPIPE && decoder_.empty()) {
         return Error(EPIPE, "connection closed");
       }
       if (rc.error().code == EPIPE) {
@@ -106,15 +153,8 @@ Result<std::string> LineStream::read_line(size_t max_len) {
 
 Result<void> LineStream::read_blob(void* data, size_t size) {
   char* out = static_cast<char*>(data);
-  size_t copied = 0;
-  // Drain buffered bytes first.
-  size_t buffered = rbuf_.size() - rpos_;
-  if (buffered > 0) {
-    size_t take = std::min(buffered, size);
-    std::memcpy(out, rbuf_.data() + rpos_, take);
-    rpos_ += take;
-    copied = take;
-  }
+  // Drain buffered bytes first, then read the rest straight off the socket.
+  size_t copied = decoder_.read(out, size);
   if (copied < size) {
     TSS_RETURN_IF_ERROR(
         sock_.read_exact(out + copied, size - copied, timeout_));

@@ -2,13 +2,21 @@
 //
 // All TSS wire protocols (Chirp, catalog, NFS baseline, db) are line-oriented
 // ASCII control with length-delimited binary payloads, in the style of the
-// real Chirp protocol. LineStream provides buffered reads (so a line and the
-// blob following it cost one recv) and buffered writes with explicit flush
-// (so a request line plus its payload cost one send — important for the
-// latency measurements in Figures 4 and 5).
+// real Chirp protocol. Framing is factored into FrameDecoder — an
+// incremental, non-blocking decoder (feed bytes, ask for a maybe-complete
+// frame) — so the same decode logic serves both execution modes of the
+// serving stack: the blocking LineStream used by clients and
+// thread-per-connection servers, and the epoll reactor (net::EventLoop),
+// which feeds the decoder from readiness events and never blocks.
+//
+// LineStream provides buffered reads (so a line and the blob following it
+// cost one recv) and buffered writes with explicit flush (so a request line
+// plus its payload cost one send — important for the latency measurements in
+// Figures 4 and 5).
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -16,6 +24,49 @@
 #include "util/result.h"
 
 namespace tss::net {
+
+// Incremental frame decoder: an append-only byte buffer with line and blob
+// extraction. feed()/commit() never block and never fail; extraction either
+// yields a complete frame or reports that more bytes are needed, which is
+// what lets the reactor resume a half-received frame on the next readiness
+// event instead of blocking a thread on it.
+class FrameDecoder {
+ public:
+  // Appends bytes to the buffer.
+  void feed(const void* data, size_t n);
+
+  // Zero-copy append: writable_span(n) returns space for n bytes at the
+  // buffer tail; after writing m <= n bytes into it, commit(m) makes them
+  // part of the stream and discards the rest of the span. The pair must be
+  // used back-to-back: no other decoder call may intervene.
+  char* writable_span(size_t n);
+  void commit(size_t n);
+
+  // If a complete '\n'-terminated line is buffered, consumes it and returns
+  // it (terminator stripped; a trailing '\r' too, for telnet-friendliness).
+  // nullopt = need more bytes. Fails with EMSGSIZE once more than max_len
+  // bytes are buffered without a terminator.
+  Result<std::optional<std::string>> try_line(size_t max_len = 64 * 1024);
+
+  // Unconsumed byte count.
+  size_t available() const { return buf_.size() - pos_; }
+  bool empty() const { return available() == 0; }
+
+  // Consumes up to `size` buffered bytes into `out`; returns bytes taken.
+  size_t read(void* out, size_t size);
+
+  // Consumes up to `size` buffered bytes without copying; returns bytes
+  // dropped. Used to drain an unwanted payload.
+  size_t discard(size_t size);
+
+ private:
+  void maybe_compact();
+
+  std::string buf_;
+  size_t pos_ = 0;        // consumed prefix
+  size_t scan_ = 0;       // bytes already scanned for '\n' (avoids re-scans)
+  size_t span_base_ = 0;  // logical size at the last writable_span()
+};
 
 // Transport-level fault injection (tests only). A hook is consulted before
 // each socket read ("read") and each buffered send ("flush") and returns the
@@ -89,8 +140,7 @@ class LineStream {
 
   TcpSocket sock_;
   Nanos timeout_;
-  std::string rbuf_;
-  size_t rpos_ = 0;
+  FrameDecoder decoder_;
   std::string wbuf_;
   FaultHook fault_hook_;
 };

@@ -3,16 +3,90 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdlib>
+
 #include "util/logging.h"
 
 namespace tss::net {
 
-Result<void> ServerLoop::start(const std::string& host, uint16_t port,
-                               Handler handler, Limits limits) {
+namespace {
+
+// Session wrapper that keeps the loop's live-connection count honest on the
+// reactor engine: decremented exactly once, on on_close — or on destruction
+// if the connection was never adopted (shutdown race).
+class CountedSession final : public ReactorSession {
+ public:
+  CountedSession(std::shared_ptr<ReactorSession> inner,
+                 std::atomic<size_t>* active)
+      : inner_(std::move(inner)), active_(active) {}
+  ~CountedSession() override {
+    if (!closed_) active_->fetch_sub(1);
+  }
+
+  void on_start(Conn& c) override { inner_->on_start(c); }
+  bool on_input(Conn& c) override { return inner_->on_input(c); }
+  bool on_output_space(Conn& c) override { return inner_->on_output_space(c); }
+  bool on_timeout(Conn& c) override { return inner_->on_timeout(c); }
+  void on_close(Conn& c) override {
+    inner_->on_close(c);
+    closed_ = true;
+    active_->fetch_sub(1);
+  }
+
+ private:
+  std::shared_ptr<ReactorSession> inner_;
+  std::atomic<size_t>* active_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+Mode default_mode() {
+  if (const char* env = std::getenv("TSS_NET_MODE")) {
+    std::string_view v(env);
+    if (v == "thread") return Mode::kThreadPerConnection;
+    if (v == "reactor") return Mode::kReactor;
+    TSS_WARN("net") << "unknown TSS_NET_MODE '" << v << "', using reactor";
+  }
+  return Mode::kReactor;
+}
+
+Result<void> ServerLoop::start_common(const std::string& host, uint16_t port,
+                                      Limits limits) {
   TSS_ASSIGN_OR_RETURN(listener_, TcpListener::listen(host, port));
   port_ = listener_.port();
+  limits_ = std::move(limits);
+  return Result<void>::success();
+}
+
+Result<void> ServerLoop::start(const std::string& host, uint16_t port,
+                               Handler handler, Limits limits) {
+  TSS_RETURN_IF_ERROR(start_common(host, port, std::move(limits)));
   handler_ = std::move(handler);
-  limits_ = limits;
+  mode_ = Mode::kThreadPerConnection;  // raw handlers block; no reactor
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return Result<void>::success();
+}
+
+Result<void> ServerLoop::start(const std::string& host, uint16_t port,
+                               SessionFactory factory, Limits limits) {
+  TSS_RETURN_IF_ERROR(start_common(host, port, std::move(limits)));
+  factory_ = std::move(factory);
+  mode_ = limits_.mode == Mode::kAuto ? default_mode() : limits_.mode;
+  if (mode_ == Mode::kReactor) {
+    EventLoop::Options opts;
+    opts.workers = limits_.reactor_workers;
+    opts.force_poll = limits_.force_poll;
+    opts.metrics = limits_.metrics;
+    loop_ = std::make_unique<EventLoop>(opts);
+    auto rc = loop_->start();
+    if (!rc.ok()) {
+      loop_.reset();
+      listener_.close();
+      return rc;
+    }
+  }
   running_.store(true);
   accept_thread_ = std::thread([this] { accept_loop(); });
   return Result<void>::success();
@@ -22,11 +96,7 @@ void ServerLoop::accept_loop() {
   while (running_.load()) {
     auto sock = listener_.accept(200 * kMillisecond);
     if (!sock.ok()) {
-      if (sock.error().code == ETIMEDOUT) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        reap_finished_locked();
-        continue;
-      }
+      if (sock.error().code == ETIMEDOUT) continue;
       if (running_.load()) {
         TSS_DEBUG("net") << "accept: " << sock.error().to_string();
       }
@@ -47,56 +117,85 @@ void ServerLoop::accept_loop() {
                                      kSecond);
       }
       sock.value().close();
-      std::lock_guard<std::mutex> lock(mutex_);
-      reap_finished_locked();
       continue;
     }
     accepted_.fetch_add(1);
     active_.fetch_add(1);
-    Connection conn;
-    // dup the fd so stop() can shutdown() a blocked handler without racing
-    // fd reuse: we own the dup until we close it ourselves.
-    conn.dup_fd = ::dup(sock.value().raw_fd());
-    conn.done = std::make_shared<std::atomic<bool>>(false);
-    auto done = conn.done;
-    conn.thread = std::thread(
-        [this, s = std::move(sock).value(), done]() mutable {
-          handler_(std::move(s));
-          done->store(true);
-          active_.fetch_sub(1);
-        });
-    std::lock_guard<std::mutex> lock(mutex_);
-    conns_.push_back(std::move(conn));
-    reap_finished_locked();
+    if (mode_ == Mode::kReactor) {
+      auto session =
+          std::make_shared<CountedSession>(factory_(), &active_);
+      auto rc = loop_->adopt(std::move(sock).value(), std::move(session));
+      if (!rc.ok()) {
+        // Loop is stopping; the CountedSession destructor restores active_.
+        TSS_DEBUG("net") << "adopt: " << rc.error().to_string();
+      }
+      continue;
+    }
+    spawn_thread(std::move(sock).value());
   }
 }
 
-void ServerLoop::reap_finished_locked() {
-  for (size_t i = 0; i < conns_.size();) {
-    if (conns_[i].done->load()) {
-      if (conns_[i].thread.joinable()) conns_[i].thread.join();
-      if (conns_[i].dup_fd >= 0) ::close(conns_[i].dup_fd);
-      conns_[i] = std::move(conns_.back());
-      conns_.pop_back();
+void ServerLoop::spawn_thread(TcpSocket sock) {
+  uint64_t id;
+  std::lock_guard<std::mutex> lock(mutex_);
+  id = next_conn_id_++;
+  Connection& conn = conns_[id];
+  // dup the fd so stop() can shutdown() a blocked handler without racing
+  // fd reuse: we own the dup until we close it ourselves.
+  conn.dup_fd = ::dup(sock.raw_fd());
+  // The mutex is held until the thread object lands in the entry, so the
+  // handler's finish_connection() (which needs the same mutex) cannot
+  // observe a half-built entry however fast the connection completes.
+  conn.thread = std::thread([this, id, s = std::move(sock)]() mutable {
+    if (factory_) {
+      drive_session_blocking(std::move(s), factory_(), limits_.metrics);
     } else {
-      i++;
+      handler_(std::move(s));
     }
-  }
+    finish_connection(id);
+  });
+}
+
+void ServerLoop::finish_connection(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.fetch_sub(1);
+  auto it = conns_.find(id);
+  // Entry gone: stop() owns the thread object now and will join us.
+  if (it == conns_.end()) return;
+  if (it->second.dup_fd >= 0) ::close(it->second.dup_fd);
+  // A thread cannot join itself, so completion *is* the reap: detach and
+  // drop the entry. Nothing after this point touches the ServerLoop, which
+  // is what makes the detach safe against a racing stop()/destruction —
+  // stop() only returns once every remaining *entry* is joined, and this
+  // entry is gone before the lock is released.
+  it->second.thread.detach();
+  conns_.erase(it);
 }
 
 void ServerLoop::stop() {
   if (!running_.exchange(false)) return;
-  listener_.close();
+  // Wake the acceptor with shutdown() rather than close(): close() would
+  // mutate the listener Fd while the accept thread is reading it (a data
+  // race, and the fd number could be reused under the acceptor's feet).
+  // shutdown() only reads the descriptor; accept fails immediately with
+  // EINVAL and the loop exits. The 200ms accept timeout is the fallback on
+  // platforms where shutdown on a listener is a no-op.
+  if (listener_.valid()) ::shutdown(listener_.raw_fd(), SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<Connection> conns;
+  listener_.close();
+  if (loop_) {
+    loop_->stop();
+    loop_.reset();
+  }
+  std::unordered_map<uint64_t, Connection> conns;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     conns.swap(conns_);
   }
-  for (auto& c : conns) {
+  for (auto& [id, c] : conns) {
     if (c.dup_fd >= 0) ::shutdown(c.dup_fd, SHUT_RDWR);
   }
-  for (auto& c : conns) {
+  for (auto& [id, c] : conns) {
     if (c.thread.joinable()) c.thread.join();
     if (c.dup_fd >= 0) ::close(c.dup_fd);
   }

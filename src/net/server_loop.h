@@ -1,12 +1,22 @@
-// Thread-per-connection accept loop shared by all TSS servers.
+// Accept loop and execution-engine facade shared by all TSS servers.
 //
 // The paper's servers are single-binary daemons an ordinary user starts with
 // one command. ServerLoop captures the common lifecycle: bind (ephemeral
 // ports supported so tests and rapid deployment need no configuration),
-// accept, hand each connection to a handler on its own thread, and shut down
-// cleanly — on disconnect the handler returns and all per-connection state
-// dies with it, matching Chirp's "server frees all resources associated with
-// that connection" failure semantics.
+// accept, run each connection, and shut down cleanly — on disconnect all
+// per-connection state dies with the session, matching Chirp's "server frees
+// all resources associated with that connection" failure semantics.
+//
+// Two execution engines sit behind the same API (see
+// docs/ARCHITECTURE-NET.md):
+//  - kReactor (default): connections are adopted by a fixed-worker
+//    net::EventLoop; thread count is workers + acceptor, independent of the
+//    connection count.
+//  - kThreadPerConnection: every connection gets a blocking thread — the
+//    seed's model, kept for comparison benches and as a fallback. Handler
+//    servers (raw-socket callbacks) always run here; session servers
+//    (SessionFactory) run on either engine, selected via Limits::mode or the
+//    TSS_NET_MODE environment variable ("thread" / "reactor").
 #pragma once
 
 #include <atomic>
@@ -15,22 +25,37 @@
 #include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
+#include <unordered_map>
 
+#include "net/event_loop.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
 #include "util/result.h"
 
 namespace tss::net {
 
+// Execution engine selection for session-based servers.
+enum class Mode {
+  kAuto,  // default_mode(): TSS_NET_MODE env override, else kReactor
+  kThreadPerConnection,
+  kReactor,
+};
+
+// Resolves kAuto: "thread" or "reactor" from $TSS_NET_MODE, else kReactor.
+Mode default_mode();
+
 class ServerLoop {
  public:
   using Handler = std::function<void(TcpSocket)>;
+  // Produces the per-connection session; called once per accepted
+  // connection, on the accept thread.
+  using SessionFactory = std::function<std::shared_ptr<ReactorSession>()>;
 
-  // Admission control. A stalled or leaking client population must not be
-  // able to exhaust the server: beyond `max_connections` live sessions,
-  // further connections are refused immediately — a fast, typed failure
-  // instead of hanging in the listen backlog.
+  // Admission control and engine configuration. A stalled or leaking client
+  // population must not be able to exhaust the server: beyond
+  // `max_connections` live sessions, further connections are refused
+  // immediately — a fast, typed failure instead of hanging in the listen
+  // backlog.
   struct Limits {
     size_t max_connections = 0;  // 0 = unlimited
     // Bytes written (best-effort) to a refused connection before it is
@@ -40,6 +65,15 @@ class ServerLoop {
     std::string reject_notice;
     // Incremented once per refused connection, if set. Not owned.
     obs::Counter* rejected_counter = nullptr;
+    // Execution engine for session servers; Handler servers ignore this and
+    // always run thread-per-connection.
+    Mode mode = Mode::kAuto;
+    // Reactor sizing; 0 = EventLoop::default_workers().
+    int reactor_workers = 0;
+    // Force the poll() backend (portability testing).
+    bool force_poll = false;
+    // Registry for the net.loop.* metrics; null = obs::Registry::global().
+    obs::Registry* metrics = nullptr;
   };
 
   ServerLoop() = default;
@@ -47,8 +81,8 @@ class ServerLoop {
   ServerLoop(const ServerLoop&) = delete;
   ServerLoop& operator=(const ServerLoop&) = delete;
 
-  // Binds and starts the accept thread. host defaults to loopback; port 0
-  // picks an ephemeral port (see port() after start).
+  // Binds and starts the accept thread, running `handler(socket)` on a
+  // dedicated thread per connection (always thread-per-connection).
   Result<void> start(const std::string& host, uint16_t port, Handler handler,
                      Limits limits);
   Result<void> start(const std::string& host, uint16_t port,
@@ -56,32 +90,47 @@ class ServerLoop {
     return start(host, port, std::move(handler), Limits());
   }
 
-  // Stops accepting, forcibly shuts down live connections (handlers observe
-  // EOF), and joins all threads.
+  // Binds and starts the accept thread, running one ReactorSession per
+  // connection on the engine selected by limits.mode.
+  Result<void> start(const std::string& host, uint16_t port,
+                     SessionFactory factory, Limits limits);
+
+  // Stops accepting, tears down live connections (sessions observe
+  // on_close / handlers observe EOF), and joins every thread.
   void stop();
 
   uint16_t port() const { return port_; }
   bool running() const { return running_.load(); }
+  // The engine connections actually run on (resolved from Limits::mode).
+  Mode mode() const { return mode_; }
   // Number of connections accepted over the loop's lifetime (for tests).
   uint64_t connections_accepted() const { return accepted_.load(); }
   // Number of connections refused by the max_connections cap.
   uint64_t connections_rejected() const { return rejected_.load(); }
-  // Number of handler threads currently live.
+  // Number of live connections (either engine).
   size_t active_connections() const { return active_.load(); }
 
  private:
   struct Connection {
     std::thread thread;
     int dup_fd = -1;  // dup of the connection fd, used to shutdown() on stop
-    std::shared_ptr<std::atomic<bool>> done;
   };
 
+  Result<void> start_common(const std::string& host, uint16_t port,
+                            Limits limits);
   void accept_loop();
-  void reap_finished_locked();
+  void spawn_thread(TcpSocket sock);
+  // Called by a handler thread as its final act: closes the dup_fd, detaches
+  // the (self) thread, and drops the Connection entry — the completion
+  // signal that replaces lazy reaping on the next accept.
+  void finish_connection(uint64_t id);
 
   TcpListener listener_;
   Handler handler_;
+  SessionFactory factory_;
   Limits limits_;
+  Mode mode_ = Mode::kThreadPerConnection;
+  std::unique_ptr<EventLoop> loop_;  // reactor engine, when selected
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> accepted_{0};
@@ -89,7 +138,8 @@ class ServerLoop {
   std::atomic<size_t> active_{0};
   std::thread accept_thread_;
   std::mutex mutex_;
-  std::vector<Connection> conns_;
+  uint64_t next_conn_id_ = 0;
+  std::unordered_map<uint64_t, Connection> conns_;
 };
 
 }  // namespace tss::net

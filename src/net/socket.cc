@@ -25,12 +25,23 @@ Result<Endpoint> endpoint_from_sockaddr(const sockaddr_in& sa) {
   return Endpoint{buf, ntohs(sa.sin_port)};
 }
 
+// poll() with EINTR retry against an absolute deadline: a stray signal must
+// neither surface as an I/O error nor silently extend the timeout.
 int poll_one(int fd, short events, Nanos timeout) {
-  pollfd pfd{fd, events, 0};
-  int ms = timeout < 0 ? -1
-                       : static_cast<int>((timeout + kMillisecond - 1) /
-                                          kMillisecond);
-  return ::poll(&pfd, 1, ms);
+  Nanos deadline =
+      timeout < 0 ? -1 : RealClock::instance().now() + timeout;
+  while (true) {
+    int ms = -1;
+    if (timeout >= 0) {
+      Nanos left = deadline - RealClock::instance().now();
+      if (left < 0) left = 0;
+      ms = static_cast<int>((left + kMillisecond - 1) / kMillisecond);
+    }
+    pollfd pfd{fd, events, 0};
+    int rc = ::poll(&pfd, 1, ms);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc;
+  }
 }
 
 }  // namespace
@@ -76,7 +87,10 @@ Result<TcpSocket> TcpSocket::connect(const Endpoint& ep, Nanos timeout) {
   }
   rc = ::connect(fd.get(), res->ai_addr, res->ai_addrlen);
   ::freeaddrinfo(res);
-  if (rc < 0 && errno != EINPROGRESS) {
+  // EINTR on a non-blocking connect means the handshake proceeds
+  // asynchronously (POSIX) — fall through to the completion poll, same as
+  // EINPROGRESS.
+  if (rc < 0 && errno != EINPROGRESS && errno != EINTR) {
     return Error::from_errno("connect " + ep.to_string());
   }
   if (rc < 0) {
@@ -203,14 +217,32 @@ Result<TcpListener> TcpListener::listen(const std::string& host, uint16_t port,
 
 Result<TcpSocket> TcpListener::accept(Nanos timeout) {
   if (!fd_.valid()) return Error(EBADF, "listener closed");
-  int prc = poll_one(fd_.get(), POLLIN, timeout);
-  if (prc == 0) return Error(ETIMEDOUT, "accept timeout");
-  if (prc < 0) return Error::from_errno("poll");
-  int cfd = ::accept4(fd_.get(), nullptr, nullptr, SOCK_NONBLOCK);
-  if (cfd < 0) return Error::from_errno("accept");
-  int one = 1;
-  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return TcpSocket(Fd(cfd));
+  Nanos deadline =
+      timeout < 0 ? -1 : RealClock::instance().now() + timeout;
+  while (true) {
+    Nanos left = timeout;
+    if (timeout >= 0) {
+      left = deadline - RealClock::instance().now();
+      if (left < 0) left = 0;
+    }
+    int prc = poll_one(fd_.get(), POLLIN, left);
+    if (prc == 0) return Error(ETIMEDOUT, "accept timeout");
+    if (prc < 0) return Error::from_errno("poll");
+    int cfd = ::accept4(fd_.get(), nullptr, nullptr, SOCK_NONBLOCK);
+    if (cfd < 0) {
+      // EINTR: interrupted, retry. ECONNABORTED / EAGAIN: the pending
+      // connection died between poll and accept — re-poll with whatever
+      // deadline remains rather than failing the acceptor.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Error::from_errno("accept");
+    }
+    int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return TcpSocket(Fd(cfd));
+  }
 }
 
 }  // namespace tss::net

@@ -5,7 +5,10 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
-#include "net/line_stream.h"
+#include <optional>
+#include <vector>
+
+#include "net/event_loop.h"
 #include "nfs/wire.h"
 #include "util/path.h"
 #include "util/strings.h"
@@ -24,11 +27,264 @@ chirp::StatInfo stat_from_host(const struct stat& st) {
   return info;
 }
 
-void reply_error(net::LineStream& stream, int code, const std::string& msg) {
-  stream.write_line("error " + std::to_string(code) + " " + url_encode(msg));
-}
-
 }  // namespace
+
+// One NFS-baseline connection as a resumable session. Every RPC is a single
+// request line and a single response except `write`, whose body follows the
+// line: the session parses and validates the header, then waits (without a
+// thread) until the whole body is buffered before touching the disk.
+class NfsSession final : public net::ReactorSession {
+ public:
+  explicit NfsSession(Server* server) : server_(server) {}
+
+  void on_start(net::Conn& c) override {
+    c.set_timeout(server_->options_.io_timeout);
+  }
+
+  bool on_input(net::Conn& c) override {
+    while (true) {
+      if (pending_write_) {
+        if (c.input().available() < pending_write_->count) break;
+        finish_write(c);
+        continue;
+      }
+      auto line = c.input().try_line();
+      if (!line.ok()) return false;  // oversized request line
+      if (!line.value().has_value()) break;
+      handle_line(c, *line.value());
+    }
+    // EOF mid-body or at a line boundary both just end the session.
+    return !c.input_eof();
+  }
+
+ private:
+  struct PendingWrite {
+    std::string path;  // canonical virtual path, resolved at header time
+    int64_t offset = 0;
+    size_t count = 0;
+  };
+
+  void reply(net::Conn& c, const std::string& line) { c.write(line + "\n"); }
+  void fail(net::Conn& c, const Error& e) {
+    reply(c, "error " + std::to_string(e.code) + " " + url_encode(e.message));
+  }
+
+  void finish_write(net::Conn& c) {
+    std::string payload(pending_write_->count, '\0');
+    c.input().read(payload.data(), payload.size());
+    int fd = ::open(server_->host_path(pending_write_->path).c_str(), O_WRONLY);
+    if (fd < 0) {
+      fail(c, Error(ESTALE, "stale file handle"));
+    } else {
+      ssize_t n = ::pwrite(fd, payload.data(), payload.size(),
+                           static_cast<off_t>(pending_write_->offset));
+      ::close(fd);
+      if (n < 0) {
+        fail(c, Error::from_errno("write"));
+      } else {
+        reply(c, "ok " + std::to_string(n));
+      }
+    }
+    pending_write_.reset();
+  }
+
+  void handle_line(net::Conn& c, const std::string& line) {
+    auto w = split_words(line);
+    if (w.empty()) return;
+    const std::string& cmd = w[0];
+
+    auto arg_fh = [](const std::vector<std::string>& words,
+                     size_t i) -> Result<uint64_t> {
+      if (i >= words.size()) return Error(EPROTO, "missing filehandle");
+      auto n = parse_u64(words[i]);
+      if (!n) return Error(EPROTO, "bad filehandle");
+      return *n;
+    };
+
+    if (cmd == "mount") {
+      reply(c, "ok 1");
+    } else if (cmd == "lookup" && w.size() >= 3) {
+      auto fh = arg_fh(w, 1);
+      if (!fh.ok()) {
+        fail(c, fh.error());
+      } else {
+        auto dir = server_->path_for(fh.value());
+        if (!dir.ok()) {
+          fail(c, dir.error());
+        } else {
+          std::string name = url_decode(w[2]);
+          std::string child = path::join(dir.value(), name);
+          struct stat st{};
+          if (::lstat(server_->host_path(child).c_str(), &st) != 0) {
+            fail(c, Error::from_errno("lookup"));
+          } else {
+            uint64_t child_fh = server_->handle_for(child);
+            reply(c, "ok " + std::to_string(child_fh) + " " +
+                         stat_from_host(st).encode());
+          }
+        }
+      }
+    } else if (cmd == "getattr" && w.size() >= 2) {
+      auto fh = arg_fh(w, 1);
+      if (!fh.ok()) {
+        fail(c, fh.error());
+      } else if (auto p = server_->path_for(fh.value()); !p.ok()) {
+        fail(c, p.error());
+      } else {
+        struct stat st{};
+        if (::lstat(server_->host_path(p.value()).c_str(), &st) != 0) {
+          fail(c, Error(ESTALE, "stale file handle"));
+        } else {
+          reply(c, "ok " + stat_from_host(st).encode());
+        }
+      }
+    } else if ((cmd == "read" || cmd == "write") && w.size() >= 4) {
+      auto fh = arg_fh(w, 1);
+      auto offset = parse_i64(w[2]);
+      auto count = parse_u64(w[3]);
+      if (!fh.ok() || !offset || !count) {
+        fail(c, Error(EPROTO, "bad read/write args"));
+      } else if (*count > kMaxTransfer) {
+        fail(c, Error(EMSGSIZE, "transfer exceeds NFS maximum"));
+      } else if (auto p = server_->path_for(fh.value()); !p.ok()) {
+        fail(c, p.error());
+      } else if (cmd == "read") {
+        int fd = ::open(server_->host_path(p.value()).c_str(), O_RDONLY);
+        if (fd < 0) {
+          fail(c, Error(ESTALE, "stale file handle"));
+        } else {
+          std::string payload(static_cast<size_t>(*count), '\0');
+          ssize_t n = ::pread(fd, payload.data(), payload.size(), *offset);
+          ::close(fd);
+          if (n < 0) {
+            fail(c, Error::from_errno("read"));
+          } else {
+            reply(c, "ok " + std::to_string(n));
+            c.write(std::string_view(payload.data(), static_cast<size_t>(n)));
+          }
+        }
+      } else {  // write: the body follows; resume once it is all buffered
+        pending_write_ = PendingWrite{p.value(), *offset,
+                                      static_cast<size_t>(*count)};
+      }
+    } else if (cmd == "create" && w.size() >= 4) {
+      auto fh = arg_fh(w, 1);
+      auto mode = parse_u64(w[3]);
+      if (!fh.ok() || !mode) {
+        fail(c, Error(EPROTO, "bad create args"));
+      } else if (auto dir = server_->path_for(fh.value()); !dir.ok()) {
+        fail(c, dir.error());
+      } else {
+        std::string child = path::join(dir.value(), url_decode(w[2]));
+        int fd = ::open(server_->host_path(child).c_str(), O_WRONLY | O_CREAT,
+                        static_cast<mode_t>(*mode));
+        if (fd < 0) {
+          fail(c, Error::from_errno("create"));
+        } else {
+          struct stat st{};
+          ::fstat(fd, &st);
+          ::close(fd);
+          reply(c, "ok " + std::to_string(server_->handle_for(child)) + " " +
+                       stat_from_host(st).encode());
+        }
+      }
+    } else if ((cmd == "remove" || cmd == "rmdir") && w.size() >= 3) {
+      auto fh = arg_fh(w, 1);
+      if (!fh.ok()) {
+        fail(c, fh.error());
+      } else if (auto dir = server_->path_for(fh.value()); !dir.ok()) {
+        fail(c, dir.error());
+      } else {
+        std::string child = path::join(dir.value(), url_decode(w[2]));
+        int rc = cmd == "remove"
+                     ? ::unlink(server_->host_path(child).c_str())
+                     : ::rmdir(server_->host_path(child).c_str());
+        if (rc != 0) {
+          fail(c, Error::from_errno(cmd));
+        } else {
+          reply(c, "ok");
+        }
+      }
+    } else if (cmd == "rename" && w.size() >= 5) {
+      auto fh1 = arg_fh(w, 1);
+      auto fh2 = arg_fh(w, 3);
+      if (!fh1.ok() || !fh2.ok()) {
+        fail(c, Error(EPROTO, "bad rename args"));
+      } else {
+        auto d1 = server_->path_for(fh1.value());
+        auto d2 = server_->path_for(fh2.value());
+        if (!d1.ok() || !d2.ok()) {
+          fail(c, Error(ESTALE, "stale file handle"));
+        } else {
+          std::string from = path::join(d1.value(), url_decode(w[2]));
+          std::string to = path::join(d2.value(), url_decode(w[4]));
+          if (::rename(server_->host_path(from).c_str(),
+                       server_->host_path(to).c_str()) != 0) {
+            fail(c, Error::from_errno("rename"));
+          } else {
+            reply(c, "ok");
+          }
+        }
+      }
+    } else if (cmd == "mkdir" && w.size() >= 4) {
+      auto fh = arg_fh(w, 1);
+      auto mode = parse_u64(w[3]);
+      if (!fh.ok() || !mode) {
+        fail(c, Error(EPROTO, "bad mkdir args"));
+      } else if (auto dir = server_->path_for(fh.value()); !dir.ok()) {
+        fail(c, dir.error());
+      } else {
+        std::string child = path::join(dir.value(), url_decode(w[2]));
+        if (::mkdir(server_->host_path(child).c_str(),
+                    static_cast<mode_t>(*mode)) != 0) {
+          fail(c, Error::from_errno("mkdir"));
+        } else {
+          reply(c, "ok " + std::to_string(server_->handle_for(child)));
+        }
+      }
+    } else if (cmd == "readdir" && w.size() >= 2) {
+      auto fh = arg_fh(w, 1);
+      if (!fh.ok()) {
+        fail(c, fh.error());
+      } else if (auto p = server_->path_for(fh.value()); !p.ok()) {
+        fail(c, p.error());
+      } else {
+        DIR* dir = ::opendir(server_->host_path(p.value()).c_str());
+        if (!dir) {
+          fail(c, Error::from_errno("readdir"));
+        } else {
+          std::vector<std::string> names;
+          while (dirent* de = ::readdir(dir)) {
+            std::string name = de->d_name;
+            if (name == "." || name == "..") continue;
+            names.push_back(url_encode(name));
+          }
+          ::closedir(dir);
+          reply(c, "ok " + std::to_string(names.size()));
+          for (const std::string& name : names) reply(c, name);
+        }
+      }
+    } else if (cmd == "truncate" && w.size() >= 3) {
+      auto fh = arg_fh(w, 1);
+      auto size = parse_u64(w[2]);
+      if (!fh.ok() || !size) {
+        fail(c, Error(EPROTO, "bad truncate args"));
+      } else if (auto p = server_->path_for(fh.value()); !p.ok()) {
+        fail(c, p.error());
+      } else if (::truncate(server_->host_path(p.value()).c_str(),
+                            static_cast<off_t>(*size)) != 0) {
+        fail(c, Error::from_errno("truncate"));
+      } else {
+        reply(c, "ok");
+      }
+    } else {
+      fail(c, Error(ENOSYS, "unknown rpc: " + cmd));
+    }
+  }
+
+  Server* server_;
+  std::optional<PendingWrite> pending_write_;
+};
 
 Server::Server(Options options) : options_(std::move(options)) {
   handle_to_path_[1] = "/";
@@ -38,9 +294,11 @@ Server::Server(Options options) : options_(std::move(options)) {
 Server::~Server() { stop(); }
 
 Result<void> Server::start() {
-  return loop_.start(options_.host, options_.port, [this](net::TcpSocket s) {
-    serve_connection(std::move(s));
-  });
+  return loop_.start(options_.host, options_.port,
+                     [this]() -> std::shared_ptr<net::ReactorSession> {
+                       return std::make_shared<NfsSession>(this);
+                     },
+                     net::ServerLoop::Limits{});
 }
 
 void Server::stop() { loop_.stop(); }
@@ -66,221 +324,6 @@ Result<std::string> Server::path_for(uint64_t fh) {
     return Error(ESTALE, "stale file handle");
   }
   return it->second;
-}
-
-void Server::serve_connection(net::TcpSocket sock) {
-  net::LineStream stream(std::move(sock), options_.io_timeout);
-  std::string payload;
-
-  auto arg_fh = [](const std::vector<std::string>& w,
-                   size_t i) -> Result<uint64_t> {
-    if (i >= w.size()) return Error(EPROTO, "missing filehandle");
-    auto n = parse_u64(w[i]);
-    if (!n) return Error(EPROTO, "bad filehandle");
-    return *n;
-  };
-
-  while (true) {
-    auto line = stream.read_line();
-    if (!line.ok()) return;
-    auto w = split_words(line.value());
-    if (w.empty()) continue;
-    const std::string& cmd = w[0];
-
-    auto fail = [&](const Error& e) { reply_error(stream, e.code, e.message); };
-
-    if (cmd == "mount") {
-      stream.write_line("ok 1");
-    } else if (cmd == "lookup" && w.size() >= 3) {
-      auto fh = arg_fh(w, 1);
-      if (!fh.ok()) {
-        fail(fh.error());
-      } else {
-        auto dir = path_for(fh.value());
-        if (!dir.ok()) {
-          fail(dir.error());
-        } else {
-          std::string name = url_decode(w[2]);
-          std::string child = path::join(dir.value(), name);
-          struct stat st{};
-          if (::lstat(host_path(child).c_str(), &st) != 0) {
-            fail(Error::from_errno("lookup"));
-          } else {
-            uint64_t child_fh = handle_for(child);
-            stream.write_line("ok " + std::to_string(child_fh) + " " +
-                              stat_from_host(st).encode());
-          }
-        }
-      }
-    } else if (cmd == "getattr" && w.size() >= 2) {
-      auto fh = arg_fh(w, 1);
-      if (!fh.ok()) {
-        fail(fh.error());
-      } else if (auto p = path_for(fh.value()); !p.ok()) {
-        fail(p.error());
-      } else {
-        struct stat st{};
-        if (::lstat(host_path(p.value()).c_str(), &st) != 0) {
-          fail(Error(ESTALE, "stale file handle"));
-        } else {
-          stream.write_line("ok " + stat_from_host(st).encode());
-        }
-      }
-    } else if ((cmd == "read" || cmd == "write") && w.size() >= 4) {
-      auto fh = arg_fh(w, 1);
-      auto offset = parse_i64(w[2]);
-      auto count = parse_u64(w[3]);
-      if (!fh.ok() || !offset || !count) {
-        fail(Error(EPROTO, "bad read/write args"));
-      } else if (*count > kMaxTransfer) {
-        fail(Error(EMSGSIZE, "transfer exceeds NFS maximum"));
-      } else if (auto p = path_for(fh.value()); !p.ok()) {
-        fail(p.error());
-      } else if (cmd == "read") {
-        int fd = ::open(host_path(p.value()).c_str(), O_RDONLY);
-        if (fd < 0) {
-          fail(Error(ESTALE, "stale file handle"));
-        } else {
-          payload.resize(*count);
-          ssize_t n = ::pread(fd, payload.data(), *count, *offset);
-          ::close(fd);
-          if (n < 0) {
-            fail(Error::from_errno("read"));
-          } else {
-            stream.write_line("ok " + std::to_string(n));
-            stream.write_blob(payload.data(), static_cast<size_t>(n));
-          }
-        }
-      } else {  // write
-        payload.resize(*count);
-        if (!stream.read_blob(payload.data(), payload.size()).ok()) return;
-        int fd = ::open(host_path(p.value()).c_str(), O_WRONLY);
-        if (fd < 0) {
-          fail(Error(ESTALE, "stale file handle"));
-        } else {
-          ssize_t n = ::pwrite(fd, payload.data(), payload.size(), *offset);
-          ::close(fd);
-          if (n < 0) {
-            fail(Error::from_errno("write"));
-          } else {
-            stream.write_line("ok " + std::to_string(n));
-          }
-        }
-      }
-    } else if (cmd == "create" && w.size() >= 4) {
-      auto fh = arg_fh(w, 1);
-      auto mode = parse_u64(w[3]);
-      if (!fh.ok() || !mode) {
-        fail(Error(EPROTO, "bad create args"));
-      } else if (auto dir = path_for(fh.value()); !dir.ok()) {
-        fail(dir.error());
-      } else {
-        std::string child = path::join(dir.value(), url_decode(w[2]));
-        int fd = ::open(host_path(child).c_str(), O_WRONLY | O_CREAT,
-                        static_cast<mode_t>(*mode));
-        if (fd < 0) {
-          fail(Error::from_errno("create"));
-        } else {
-          struct stat st{};
-          ::fstat(fd, &st);
-          ::close(fd);
-          stream.write_line("ok " + std::to_string(handle_for(child)) + " " +
-                            stat_from_host(st).encode());
-        }
-      }
-    } else if ((cmd == "remove" || cmd == "rmdir") && w.size() >= 3) {
-      auto fh = arg_fh(w, 1);
-      if (!fh.ok()) {
-        fail(fh.error());
-      } else if (auto dir = path_for(fh.value()); !dir.ok()) {
-        fail(dir.error());
-      } else {
-        std::string child = path::join(dir.value(), url_decode(w[2]));
-        int rc = cmd == "remove" ? ::unlink(host_path(child).c_str())
-                                 : ::rmdir(host_path(child).c_str());
-        if (rc != 0) {
-          fail(Error::from_errno(cmd));
-        } else {
-          stream.write_line("ok");
-        }
-      }
-    } else if (cmd == "rename" && w.size() >= 5) {
-      auto fh1 = arg_fh(w, 1);
-      auto fh2 = arg_fh(w, 3);
-      if (!fh1.ok() || !fh2.ok()) {
-        fail(Error(EPROTO, "bad rename args"));
-      } else {
-        auto d1 = path_for(fh1.value());
-        auto d2 = path_for(fh2.value());
-        if (!d1.ok() || !d2.ok()) {
-          fail(Error(ESTALE, "stale file handle"));
-        } else {
-          std::string from = path::join(d1.value(), url_decode(w[2]));
-          std::string to = path::join(d2.value(), url_decode(w[4]));
-          if (::rename(host_path(from).c_str(), host_path(to).c_str()) != 0) {
-            fail(Error::from_errno("rename"));
-          } else {
-            stream.write_line("ok");
-          }
-        }
-      }
-    } else if (cmd == "mkdir" && w.size() >= 4) {
-      auto fh = arg_fh(w, 1);
-      auto mode = parse_u64(w[3]);
-      if (!fh.ok() || !mode) {
-        fail(Error(EPROTO, "bad mkdir args"));
-      } else if (auto dir = path_for(fh.value()); !dir.ok()) {
-        fail(dir.error());
-      } else {
-        std::string child = path::join(dir.value(), url_decode(w[2]));
-        if (::mkdir(host_path(child).c_str(), static_cast<mode_t>(*mode)) !=
-            0) {
-          fail(Error::from_errno("mkdir"));
-        } else {
-          stream.write_line("ok " + std::to_string(handle_for(child)));
-        }
-      }
-    } else if (cmd == "readdir" && w.size() >= 2) {
-      auto fh = arg_fh(w, 1);
-      if (!fh.ok()) {
-        fail(fh.error());
-      } else if (auto p = path_for(fh.value()); !p.ok()) {
-        fail(p.error());
-      } else {
-        DIR* dir = ::opendir(host_path(p.value()).c_str());
-        if (!dir) {
-          fail(Error::from_errno("readdir"));
-        } else {
-          std::vector<std::string> names;
-          while (dirent* de = ::readdir(dir)) {
-            std::string name = de->d_name;
-            if (name == "." || name == "..") continue;
-            names.push_back(url_encode(name));
-          }
-          ::closedir(dir);
-          stream.write_line("ok " + std::to_string(names.size()));
-          for (const std::string& name : names) stream.write_line(name);
-        }
-      }
-    } else if (cmd == "truncate" && w.size() >= 3) {
-      auto fh = arg_fh(w, 1);
-      auto size = parse_u64(w[2]);
-      if (!fh.ok() || !size) {
-        fail(Error(EPROTO, "bad truncate args"));
-      } else if (auto p = path_for(fh.value()); !p.ok()) {
-        fail(p.error());
-      } else if (::truncate(host_path(p.value()).c_str(),
-                            static_cast<off_t>(*size)) != 0) {
-        fail(Error::from_errno("truncate"));
-      } else {
-        stream.write_line("ok");
-      }
-    } else {
-      fail(Error(ENOSYS, "unknown rpc: " + cmd));
-    }
-
-    if (!stream.flush().ok()) return;
-  }
 }
 
 }  // namespace tss::nfs

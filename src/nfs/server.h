@@ -10,6 +10,10 @@
 // setting "assumes that all machines share a common user database" (§3);
 // the baseline trusts every connection, which is exactly the property the
 // TSS virtual user space is contrasted against.
+//
+// Connections run as resumable sessions on net::ServerLoop — the epoll
+// reactor by default, thread-per-connection under TSS_NET_MODE=thread — so
+// baseline-vs-Chirp comparisons measure the protocols on the same engine.
 #pragma once
 
 #include <map>
@@ -22,6 +26,8 @@
 #include "util/result.h"
 
 namespace tss::nfs {
+
+class NfsSession;
 
 class Server {
  public:
@@ -43,7 +49,7 @@ class Server {
   }
 
  private:
-  void serve_connection(net::TcpSocket sock);
+  friend class NfsSession;
 
   // Handle table: fh -> canonical virtual path. fh 1 is "/".
   uint64_t handle_for(const std::string& canonical);

@@ -1,0 +1,250 @@
+// Connection-scale behaviour of the Chirp server on the reactor: a thousand
+// concurrent sessions on a handful of threads, partial-I/O resumption on
+// streamed files, and the timer-wheel idle reaper at scale. The thread
+// engine is exercised on the same session code at a smaller scale — wire
+// behaviour must be identical (the ISSUE-4 contract).
+#include <gtest/gtest.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "auth/hostname.h"
+#include "chirp/client.h"
+#include "chirp/posix_backend.h"
+#include "chirp/server.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace tss::chirp {
+namespace {
+
+#ifdef TSS_TSAN_BUILD
+constexpr size_t kIdleHerd = 128;
+#else
+constexpr size_t kIdleHerd = 1000;
+#endif
+
+// Raises RLIMIT_NOFILE enough for the herd (client + server fds live in this
+// one process). Returns the connection count the limit actually allows.
+size_t raise_fd_limit(size_t want_conns) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return want_conns;
+  rlim_t need = want_conns * 2 + 256;
+  if (lim.rlim_cur < need) {
+    rlim_t target = std::min<rlim_t>(need, lim.rlim_max);
+    lim.rlim_cur = target;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+    ::getrlimit(RLIMIT_NOFILE, &lim);
+  }
+  if (lim.rlim_cur < need) {
+    return (lim.rlim_cur - 256) / 2;
+  }
+  return want_conns;
+}
+
+// Threads of this process, from /proc (Linux); 0 if unreadable.
+size_t process_threads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::stoul(line.substr(8));
+    }
+  }
+  return 0;
+}
+
+class ReactorScaleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/scale_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override {
+    if (server_) server_->stop();
+    std::filesystem::remove_all(root_);
+  }
+
+  void start_server(net::Mode mode, size_t max_connections = 0,
+                    Nanos idle_timeout = 0) {
+    ServerOptions options;
+    options.owner = "hostname:localhost";
+    options.root_acl =
+        acl::Acl::parse("hostname:localhost rwldav(rwlda)\n").value();
+    options.mode = mode;
+    options.max_connections = max_connections;
+    options.idle_timeout = idle_timeout;
+    options.metrics = &metrics_;
+    auto auth = std::make_unique<auth::ServerAuth>();
+    auth->add(std::make_unique<auth::HostnameServerMethod>());
+    server_ = std::make_unique<Server>(
+        options, std::make_unique<PosixBackend>(root_), std::move(auth));
+    ASSERT_TRUE(server_->start().ok());
+  }
+
+  Result<Client> connect_client() {
+    Client::Options options;
+    options.timeout = 10 * kSecond;
+    options.metrics = &metrics_;
+    return Client::connect(server_->endpoint(), options);
+  }
+
+  bool wait_for_active(size_t want, Nanos deadline = 20 * kSecond) {
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::nanoseconds(deadline);
+    while (std::chrono::steady_clock::now() < until) {
+      if (server_->active_sessions() == want) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return server_->active_sessions() == want;
+  }
+
+  std::string root_;
+  obs::Registry metrics_;
+  std::unique_ptr<Server> server_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(ReactorScaleTest, ThousandIdleSessionsOnBoundedThreads) {
+  size_t herd = raise_fd_limit(kIdleHerd);
+  ASSERT_GE(herd, 256u) << "fd limit too low for a meaningful scale test";
+  size_t threads_before = process_threads();
+
+  start_server(net::Mode::kReactor, /*max_connections=*/herd + 16);
+
+  // Raw TCP connections: each is a live admitted session buffering in the
+  // reactor, none gets a thread.
+  std::vector<net::TcpSocket> herd_socks;
+  herd_socks.reserve(herd);
+  for (size_t i = 0; i < herd; i++) {
+    auto sock = net::TcpSocket::connect(server_->endpoint(), 10 * kSecond);
+    ASSERT_TRUE(sock.ok()) << "conn " << i << ": " << sock.error().to_string();
+    herd_socks.push_back(std::move(sock.value()));
+  }
+  ASSERT_TRUE(wait_for_active(herd))
+      << "active=" << server_->active_sessions();
+
+  // The whole herd is served by a fixed pool: workers + acceptor + auth
+  // helpers, not O(connections). Allow generous slack for the test runner's
+  // own threads.
+  size_t threads_now = process_threads();
+  if (threads_before > 0 && threads_now > 0) {
+    EXPECT_LE(threads_now, threads_before + 16)
+        << "thread count scales with connections";
+  }
+
+  // The server still does real work under the idle herd.
+  auto client = connect_client();
+  ASSERT_TRUE(client.ok()) << client.error().to_string();
+  auth::HostnameClientCredential credential;
+  ASSERT_TRUE(client.value().authenticate(credential).ok());
+  ASSERT_TRUE(client.value().mkdir("/under-load").ok());
+  EXPECT_TRUE(client.value().stat("/under-load").ok());
+
+  // Dropping the herd drains the reactor completely.
+  herd_socks.clear();
+  client.value().close();
+  EXPECT_TRUE(wait_for_active(0)) << "active=" << server_->active_sessions();
+}
+
+TEST_F(ReactorScaleTest, StreamedFilesSurvivePartialIoBothDirections) {
+  start_server(net::Mode::kReactor);
+  auto client = connect_client();
+  ASSERT_TRUE(client.ok());
+  auth::HostnameClientCredential credential;
+  ASSERT_TRUE(client.value().authenticate(credential).ok());
+
+  // Larger than the output high-water mark and any socket buffer: the send
+  // path must stall on watermarks and resume from on_output_space, the
+  // receive path must reassemble a body that arrives in many segments.
+  std::string blob(3 * 1024 * 1024, '\0');
+  for (size_t i = 0; i < blob.size(); i++) {
+    blob[i] = static_cast<char>('A' + i % 23);
+  }
+  ASSERT_TRUE(client.value().putfile("/big", blob).ok());
+  auto fetched = client.value().getfile("/big");
+  ASSERT_TRUE(fetched.ok()) << fetched.error().to_string();
+  EXPECT_EQ(fetched.value(), blob);
+
+  // Interleave control RPCs after streaming: the session state machine is
+  // back at the request line.
+  EXPECT_TRUE(client.value().stat("/big").ok());
+  EXPECT_TRUE(client.value().whoami().ok());
+}
+
+TEST_F(ReactorScaleTest, IdleHerdIsReapedByTheTimerWheel) {
+  constexpr size_t kHerd = 64;
+  start_server(net::Mode::kReactor, /*max_connections=*/0,
+               /*idle_timeout=*/200 * kMillisecond);
+  std::vector<net::TcpSocket> socks;
+  for (size_t i = 0; i < kHerd; i++) {
+    auto sock = net::TcpSocket::connect(server_->endpoint(), 5 * kSecond);
+    ASSERT_TRUE(sock.ok());
+    socks.push_back(std::move(sock.value()));
+  }
+  ASSERT_TRUE(wait_for_active(kHerd));
+  // Nobody sends a request: the timer wheel reaps every session without a
+  // single client-side close.
+  EXPECT_TRUE(wait_for_active(0)) << "active=" << server_->active_sessions();
+  EXPECT_GE(metrics_.counter("chirp.server.idle_reaped")->value(), kHerd);
+
+  // Reaped clients observe EOF, not a hang.
+  char ch;
+  auto n = socks[0].read_some(&ch, 1, 5 * kSecond);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+}
+
+TEST_F(ReactorScaleTest, ThreadModeServesTheSameWire) {
+  start_server(net::Mode::kThreadPerConnection, /*max_connections=*/0,
+               /*idle_timeout=*/200 * kMillisecond);
+  auto client = connect_client();
+  ASSERT_TRUE(client.ok());
+  auth::HostnameClientCredential credential;
+  ASSERT_TRUE(client.value().authenticate(credential).ok());
+
+  std::string blob(1024 * 1024, 'x');
+  ASSERT_TRUE(client.value().putfile("/same-wire", blob).ok());
+  auto fetched = client.value().getfile("/same-wire");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value().size(), blob.size());
+
+  // The idle reaper works identically in thread mode (driven by the blocking
+  // pump's poll deadline instead of the wheel).
+  std::vector<net::TcpSocket> socks;
+  for (int i = 0; i < 8; i++) {
+    auto sock = net::TcpSocket::connect(server_->endpoint(), 5 * kSecond);
+    ASSERT_TRUE(sock.ok());
+    socks.push_back(std::move(sock.value()));
+  }
+  client.value().close();
+  EXPECT_TRUE(wait_for_active(0)) << "active=" << server_->active_sessions();
+}
+
+TEST_F(ReactorScaleTest, ShutdownUnderLoadIsClean) {
+  start_server(net::Mode::kReactor);
+  std::vector<net::TcpSocket> socks;
+  for (int i = 0; i < 64; i++) {
+    auto sock = net::TcpSocket::connect(server_->endpoint(), 5 * kSecond);
+    ASSERT_TRUE(sock.ok());
+    socks.push_back(std::move(sock.value()));
+  }
+  ASSERT_TRUE(wait_for_active(64));
+  // Stop with the herd still connected: must not hang or crash, and the
+  // clients all see EOF.
+  server_->stop();
+  char ch;
+  auto n = socks[0].read_some(&ch, 1, 5 * kSecond);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+}
+
+}  // namespace
+}  // namespace tss::chirp
