@@ -1,0 +1,279 @@
+// Ablation — stripe width vs client I/O engine.
+//
+// The paper's bandwidth result (Fig. 6) scales with the number of file
+// servers, but only a client that issues I/O in parallel can collect that
+// scaling: a serial client pays one server round trip per stripe extent, so
+// adding columns adds latency, not bandwidth. This harness pits the two
+// client modes against each other across stripe widths:
+//
+//   serial    StripedFs with no IoScheduler — extents issued one at a time
+//             (the pre-engine client).
+//   parallel  StripedFs over an 8-worker IoScheduler — all extents of a
+//             request in flight at once.
+//
+// Columns are LocalFs roots behind FaultyFs latency injection (a fixed
+// per-op service time standing in for a server round trip, the same trick
+// the fault schedule uses for chaos latency), so the bandwidth curve
+// reflects round-trip counts, not disk caches. Requests are full-width rows
+// (width * stripe bytes), the best case the abstraction promises.
+//
+// Results go to stdout as a table and to BENCH_stripe_scaling.json.
+//
+// Usage: bench_ablation_stripe_width [out.json|--smoke]
+//   --smoke  reduced sizes + regression gate: parallel aggregate bandwidth
+//            must rise monotonically 1->4 columns, and the width-4
+//            single-extent latency must stay within 10% of width-1.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "fs/faulty.h"
+#include "fs/local.h"
+#include "fs/striped.h"
+#include "par/executor.h"
+#include "util/clock.h"
+
+namespace tss::bench {
+namespace {
+
+struct StripePoint {
+  std::string mode;
+  size_t width = 0;
+  double write_mbps = 0;
+  double read_mbps = 0;
+  double aggregate_mbps = 0;  // read + write
+  uint64_t single_extent_p50_ns = 0;
+};
+
+struct BenchConfig {
+  uint64_t stripe = 64 * 1024;
+  int rows = 16;                       // full-width rows written and read
+  Nanos op_latency = 2 * kMillisecond; // simulated server round trip
+  int latency_samples = 25;            // single-extent reads for the p50
+};
+
+Result<StripePoint> run_point(const std::string& base, size_t width,
+                              IoScheduler* scheduler, const BenchConfig& cfg) {
+  std::vector<std::unique_ptr<fs::LocalFs>> locals;
+  std::vector<std::unique_ptr<fs::FaultyFs>> columns;
+  std::vector<fs::FileSystem*> members;
+  // One shared schedule: latency on the data ops only, so open/close and
+  // namespace traffic don't pollute the bandwidth numbers.
+  fs::FaultSchedule schedule(/*seed=*/1);
+  schedule.add_latency(cfg.op_latency, "pread");
+  schedule.add_latency(cfg.op_latency, "pwrite");
+  for (size_t m = 0; m < width; m++) {
+    std::string root = base + "/w" + std::to_string(width) + "_m" +
+                       std::to_string(m) + (scheduler ? "_par" : "_ser");
+    std::filesystem::create_directories(root);
+    locals.push_back(std::make_unique<fs::LocalFs>(root));
+    columns.push_back(
+        std::make_unique<fs::FaultyFs>(locals.back().get(), &schedule));
+    members.push_back(columns.back().get());
+  }
+  fs::StripedFs striped(members, cfg.stripe, scheduler);
+
+  TSS_ASSIGN_OR_RETURN(
+      auto file, striped.open("/bench", fs::OpenFlags::parse("rwc").value()));
+
+  const size_t row_bytes = cfg.stripe * width;
+  std::string payload(row_bytes, 'b');
+  const double total_mb = static_cast<double>(row_bytes) * cfg.rows /
+                          (1024.0 * 1024.0);
+
+  // Write phase: every request covers one full stripe row across all
+  // columns — `width` extents in flight per call in parallel mode.
+  Nanos start = RealClock::instance().now();
+  for (int r = 0; r < cfg.rows; r++) {
+    TSS_ASSIGN_OR_RETURN(
+        size_t n,
+        file->pwrite(payload.data(), row_bytes,
+                     static_cast<int64_t>(row_bytes) * r));
+    if (n != row_bytes) return Error(EIO, "short bench write");
+  }
+  Nanos write_elapsed = RealClock::instance().now() - start;
+
+  // Read phase: the same rows back.
+  std::vector<char> buffer(row_bytes);
+  start = RealClock::instance().now();
+  for (int r = 0; r < cfg.rows; r++) {
+    TSS_ASSIGN_OR_RETURN(
+        size_t n, file->pread(buffer.data(), row_bytes,
+                              static_cast<int64_t>(row_bytes) * r));
+    if (n != row_bytes) return Error(EIO, "short bench read");
+  }
+  Nanos read_elapsed = RealClock::instance().now() - start;
+
+  // Single-extent latency: a one-stripe read touches exactly one column;
+  // the engine must not tax the narrow case to win the wide one.
+  std::vector<Nanos> samples;
+  samples.reserve(cfg.latency_samples);
+  for (int i = 0; i < cfg.latency_samples; i++) {
+    Nanos t0 = RealClock::instance().now();
+    TSS_ASSIGN_OR_RETURN(size_t n,
+                         file->pread(buffer.data(), cfg.stripe, 0));
+    if (n != cfg.stripe) return Error(EIO, "short latency read");
+    samples.push_back(RealClock::instance().now() - t0);
+  }
+  std::sort(samples.begin(), samples.end());
+
+  TSS_RETURN_IF_ERROR(file->close());
+
+  StripePoint point;
+  point.mode = scheduler ? "parallel" : "serial";
+  point.width = width;
+  point.write_mbps =
+      write_elapsed > 0
+          ? total_mb / (static_cast<double>(write_elapsed) / kSecond)
+          : 0;
+  point.read_mbps =
+      read_elapsed > 0
+          ? total_mb / (static_cast<double>(read_elapsed) / kSecond)
+          : 0;
+  point.aggregate_mbps = point.write_mbps + point.read_mbps;
+  point.single_extent_p50_ns =
+      static_cast<uint64_t>(samples[samples.size() / 2]);
+  return point;
+}
+
+const StripePoint* find_point(const std::vector<StripePoint>& points,
+                              const std::string& mode, size_t width) {
+  for (const StripePoint& p : points) {
+    if (p.mode == mode && p.width == width) return &p;
+  }
+  return nullptr;
+}
+
+// The --smoke gate (also run by scripts/check.sh): parallel aggregate
+// bandwidth must rise monotonically from 1 to 4 columns, and going wide
+// must not tax the single-extent path by more than 10%.
+int check_regressions(const std::vector<StripePoint>& points) {
+  int failures = 0;
+  const StripePoint* prev = nullptr;
+  for (size_t width : {1u, 2u, 4u}) {
+    const StripePoint* p = find_point(points, "parallel", width);
+    if (!p) {
+      std::fprintf(stderr, "FAIL: missing parallel width-%zu point\n", width);
+      failures++;
+      continue;
+    }
+    if (prev && p->aggregate_mbps <= prev->aggregate_mbps) {
+      std::fprintf(stderr,
+                   "FAIL: parallel aggregate bandwidth not monotonic: "
+                   "width %zu %.1f MB/s <= width %zu %.1f MB/s\n",
+                   p->width, p->aggregate_mbps, prev->width,
+                   prev->aggregate_mbps);
+      failures++;
+    }
+    prev = p;
+  }
+  const StripePoint* w1 = find_point(points, "parallel", 1);
+  const StripePoint* w4 = find_point(points, "parallel", 4);
+  if (w1 && w4 &&
+      static_cast<double>(w4->single_extent_p50_ns) >
+          1.10 * static_cast<double>(w1->single_extent_p50_ns)) {
+    std::fprintf(stderr,
+                 "FAIL: single-extent p50 regressed >10%% going wide: "
+                 "width-1 %.1f us vs width-4 %.1f us\n",
+                 w1->single_extent_p50_ns / 1000.0,
+                 w4->single_extent_p50_ns / 1000.0);
+    failures++;
+  }
+  return failures;
+}
+
+}  // namespace
+}  // namespace tss::bench
+
+int main(int argc, char** argv) {
+  using namespace tss::bench;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_stripe_scaling.json";
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  BenchConfig cfg;
+  if (smoke) {
+    cfg.rows = 6;
+    cfg.op_latency = 1 * tss::kMillisecond;
+    cfg.latency_samples = 15;
+  }
+
+  std::string base = "/tmp/tss_bench_stripe_" + std::to_string(::getpid());
+  std::filesystem::create_directories(base);
+
+  tss::IoScheduler::Options scheduler_options;
+  scheduler_options.workers = 8;
+  tss::IoScheduler scheduler(scheduler_options);
+
+  print_header(
+      "Ablation: serial vs parallel client across stripe widths",
+      "Full-stripe-row I/O over N columns, each op costing one simulated\n"
+      "server round trip. serial = one extent in flight (pre-engine\n"
+      "client); parallel = all extents of a request in flight at once\n"
+      "(par::IoScheduler, 8 workers).");
+  print_row({"mode", "width", "write MB/s", "read MB/s", "agg MB/s",
+             "1-extent p50"},
+            14);
+
+  std::vector<StripePoint> points;
+  const size_t widths[] = {1, 2, 4, 8};
+  for (tss::IoScheduler* engine : {(tss::IoScheduler*)nullptr, &scheduler}) {
+    for (size_t width : widths) {
+      auto point = run_point(base, width, engine, cfg);
+      if (!point.ok()) {
+        std::fprintf(stderr, "point %s/%zu failed: %s\n",
+                     engine ? "parallel" : "serial", width,
+                     point.error().to_string().c_str());
+        continue;
+      }
+      points.push_back(point.value());
+      const StripePoint& p = point.value();
+      print_row({p.mode, std::to_string(p.width), fmt_double(p.write_mbps, 1),
+                 fmt_double(p.read_mbps, 1), fmt_double(p.aggregate_mbps, 1),
+                 fmt_us(static_cast<double>(p.single_extent_p50_ns))},
+                14);
+    }
+  }
+
+  std::ofstream json(out_path);
+  json << "{\n  \"bench\": \"stripe_scaling\",\n  \"stripe_bytes\": "
+       << cfg.stripe << ",\n  \"rows\": " << cfg.rows
+       << ",\n  \"op_latency_ns\": " << cfg.op_latency
+       << ",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); i++) {
+    const StripePoint& p = points[i];
+    json << "    {\"mode\": \"" << p.mode << "\", \"width\": " << p.width
+         << ", \"write_mbps\": " << fmt_double(p.write_mbps, 2)
+         << ", \"read_mbps\": " << fmt_double(p.read_mbps, 2)
+         << ", \"aggregate_mbps\": " << fmt_double(p.aggregate_mbps, 2)
+         << ", \"single_extent_p50_ns\": " << p.single_extent_p50_ns << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  std::filesystem::remove_all(base);
+
+  if (smoke) {
+    int failures = check_regressions(points);
+    if (failures > 0) return 1;
+    std::printf("smoke checks passed: parallel scaling monotonic 1->4, "
+                "single-extent p50 within 10%%\n");
+  }
+  return 0;
+}

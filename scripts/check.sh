@@ -25,6 +25,14 @@ echo "== engine parity: obs + chaos suites on both net engines =="
 (cd "$root/build" && TSS_NET_MODE=thread ctest -L obs --output-on-failure -j "$jobs")
 (cd "$root/build" && TSS_NET_MODE=thread ctest -L chaos --output-on-failure -j "$jobs")
 
+echo "== parallel client I/O suite (ctest -L par, incl. TSan) on both engines =="
+(cd "$root/build" && ctest -L par --output-on-failure -j "$jobs")
+(cd "$root/build" && TSS_NET_MODE=thread ctest -L par --output-on-failure -j "$jobs")
+
+echo "== stripe-width ablation smoke: scaling + single-extent latency gate =="
+(cd "$root/build" && bench/bench_ablation_stripe_width --smoke /tmp/tss_check_stripe.json)
+rm -f /tmp/tss_check_stripe.json
+
 echo "== connection-scale smoke: 1000 idle sessions on the reactor =="
 (cd "$root/build" && ctest -R "ReactorScaleTest" --output-on-failure)
 

@@ -1,0 +1,191 @@
+#include "chirp/client_pool.h"
+
+#include <unistd.h>
+
+namespace tss::chirp {
+
+namespace {
+uint64_t derive_seed(const void* self) {
+  // Distinct per pool instance so a fleet of pools does not jitter in
+  // lockstep; reproducible pools pass Options::jitter_seed.
+  return reinterpret_cast<uintptr_t>(self) ^
+         (static_cast<uint64_t>(::getpid()) << 32) ^ 0x9e3779b97f4a7c15ULL;
+}
+}  // namespace
+
+ClientPool::ClientPool(DialFn dial, Options options)
+    : dial_(std::move(dial)),
+      options_(options),
+      clock_(options.clock ? options.clock : &RealClock::instance()),
+      jitter_rng_(options.jitter_seed ? options.jitter_seed
+                                      : derive_seed(this)) {
+  if (options_.max_connections == 0) options_.max_connections = 1;
+  obs::Registry* metrics =
+      options_.metrics ? options_.metrics : &obs::Registry::global();
+  m_dials_ = metrics->counter("net.pool.dials");
+  m_dial_failures_ = metrics->counter("net.pool.dial_failures");
+  m_backoff_sleeps_ = metrics->counter("net.pool.backoff_sleeps");
+  m_checkouts_ = metrics->counter("net.pool.checkouts");
+  m_reused_ = metrics->counter("net.pool.reused");
+  m_exhausted_ = metrics->counter("net.pool.exhausted");
+  m_health_evictions_ = metrics->counter("net.pool.health_evictions");
+  m_idle_evictions_ = metrics->counter("net.pool.idle_evictions");
+  m_discarded_ = metrics->counter("net.pool.discarded");
+  m_idle_gauge_ = metrics->gauge("net.pool.idle");
+  m_in_use_gauge_ = metrics->gauge("net.pool.in_use");
+}
+
+ClientPool::~ClientPool() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (IdleEntry& entry : idle_) entry.client->close();
+  idle_.clear();
+  m_idle_gauge_->set(0);
+}
+
+size_t ClientPool::idle_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return idle_.size();
+}
+
+size_t ClientPool::in_use_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_use_;
+}
+
+size_t ClientPool::evict_idle() {
+  std::deque<IdleEntry> evicted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Nanos now = clock_->now();
+    while (!idle_.empty() &&
+           now - idle_.front().since > options_.idle_timeout) {
+      evicted.push_back(std::move(idle_.front()));
+      idle_.pop_front();
+    }
+    m_idle_gauge_->set(static_cast<int64_t>(idle_.size()));
+  }
+  for (IdleEntry& entry : evicted) {
+    entry.client->close();
+    m_idle_evictions_->add();
+  }
+  return evicted.size();
+}
+
+void ClientPool::release_slot_locked() {
+  in_use_--;
+  m_in_use_gauge_->set(static_cast<int64_t>(in_use_));
+}
+
+Result<ClientPool::Lease> ClientPool::checkout() {
+  m_checkouts_->add();
+  for (;;) {
+    std::unique_ptr<Client> candidate;
+    Nanos age = 0;
+    bool dial = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      Nanos now = clock_->now();
+      while (!idle_.empty()) {
+        IdleEntry entry = std::move(idle_.back());
+        idle_.pop_back();
+        age = now - entry.since;
+        if (age > options_.idle_timeout) {
+          entry.client->close();
+          m_idle_evictions_->add();
+          continue;
+        }
+        candidate = std::move(entry.client);
+        break;
+      }
+      m_idle_gauge_->set(static_cast<int64_t>(idle_.size()));
+      if (!candidate) {
+        if (in_use_ >= options_.max_connections) {
+          m_exhausted_->add();
+          return Error(EBUSY,
+                       "client pool exhausted: " +
+                           std::to_string(options_.max_connections) +
+                           " connections checked out");
+        }
+        dial = true;
+      }
+      in_use_++;  // reserve the slot; dialing happens outside the lock
+      m_in_use_gauge_->set(static_cast<int64_t>(in_use_));
+    }
+
+    if (dial) {
+      auto dialed = dial_with_backoff();
+      if (!dialed.ok()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        release_slot_locked();
+        return std::move(dialed).take_error();
+      }
+      return Lease(this, std::move(dialed).value());
+    }
+
+    // Health check on checkout, outside the lock: connected() always, plus
+    // a whoami() probe when the connection has been idle long enough to be
+    // suspect. A failed check discards the connection and retries the loop
+    // (another idle entry, a fresh dial, or EBUSY).
+    bool healthy = candidate->connected();
+    if (healthy && options_.probe_idle_age >= 0 &&
+        age >= options_.probe_idle_age) {
+      healthy = candidate->whoami().ok();
+    }
+    if (!healthy) {
+      candidate->close();
+      m_health_evictions_->add();
+      std::lock_guard<std::mutex> lock(mutex_);
+      release_slot_locked();
+      continue;
+    }
+    m_reused_->add();
+    return Lease(this, std::move(candidate));
+  }
+}
+
+Result<std::unique_ptr<Client>> ClientPool::dial_with_backoff() {
+  int attempts = options_.dial_retry.max_attempts > 0
+                     ? options_.dial_retry.max_attempts
+                     : 1;
+  Error last(ECONNREFUSED, "pool dial failed");
+  for (int attempt = 0; attempt < attempts; attempt++) {
+    if (attempt > 0) {
+      Nanos delay;
+      {
+        // The Rng is not thread-safe; draw the jitter under the pool lock.
+        std::lock_guard<std::mutex> lock(mutex_);
+        delay = Backoff(options_.dial_retry, &jitter_rng_)
+                    .delay_before(attempt);
+      }
+      m_backoff_sleeps_->add();
+      clock_->sleep_for(delay);
+    }
+    m_dials_->add();
+    auto client = dial_();
+    if (client.ok()) {
+      return std::make_unique<Client>(std::move(client).value());
+    }
+    m_dial_failures_->add();
+    last = std::move(client).take_error();
+  }
+  return Error(last.code, "pool dial failed after " +
+                              std::to_string(attempts) +
+                              " attempts: " + last.to_string());
+}
+
+void ClientPool::checkin(std::unique_ptr<Client> client, bool poisoned) {
+  bool keep = !poisoned && client->connected();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    release_slot_locked();
+    if (keep && idle_.size() < options_.max_idle) {
+      idle_.push_back(IdleEntry{std::move(client), clock_->now()});
+      m_idle_gauge_->set(static_cast<int64_t>(idle_.size()));
+      return;
+    }
+  }
+  client->close();
+  m_discarded_->add();
+}
+
+}  // namespace tss::chirp

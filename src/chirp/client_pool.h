@@ -1,0 +1,153 @@
+// ClientPool: a thread-safe pool of authenticated Chirp connections to one
+// endpoint.
+//
+// The parallel I/O engine (par/executor.h) runs N RPCs in flight at once;
+// Chirp pipelines one request per connection, so N in-flight RPCs need N
+// connections. Dialing and authenticating per request would drown the win
+// in handshakes — the pool keeps authenticated connections warm and hands
+// them out as RAII leases:
+//
+//   checkout  reuse the most-recently-used idle connection. Stale entries
+//             (idle past idle_timeout) are evicted on the way; survivors are
+//             health-checked — a cheap connected() test always, a whoami()
+//             probe when the connection has been idle longer than
+//             probe_idle_age (it may be silently half-dead). Nothing idle?
+//             Dial a fresh connection under the PR 1 RetryPolicy backoff —
+//             unless the pool is at max_connections, in which case checkout
+//             answers a typed EBUSY immediately (never blocks behind other
+//             leases; mirrors the server's admission control).
+//   checkin   automatic at Lease destruction. A connection that died in
+//             service (or was poison()ed) is closed, not recycled; healthy
+//             ones return to the idle list, newest first.
+//
+// Everything lands in the net.pool.* metrics family (see
+// docs/OBSERVABILITY.md). The pool must outlive its leases.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "chirp/client.h"
+#include "obs/metrics.h"
+#include "util/backoff.h"
+#include "util/clock.h"
+#include "util/rand.h"
+
+namespace tss::chirp {
+
+class ClientPool {
+ public:
+  // Dials *and authenticates* one connection (the same contract as
+  // fs::CfsFs::ConnectFn).
+  using DialFn = std::function<Result<Client>()>;
+
+  struct Options {
+    // Cap on leased + dialing connections; checkout at the cap with no
+    // idle connection answers EBUSY.
+    size_t max_connections = 8;
+    // Idle connections kept after checkin; the rest are closed.
+    size_t max_idle = 8;
+    // Idle entries older than this are evicted (lazily at checkout, or by
+    // evict_idle()).
+    Nanos idle_timeout = 60 * kSecond;
+    // Idle age at which checkout adds a whoami() round trip to the health
+    // check. 0 probes every reuse; negative disables the probe.
+    Nanos probe_idle_age = 1 * kSecond;
+    // Backoff applied between failed dial attempts (util/backoff.h — the
+    // same policy the §6 CFS reconnect path uses).
+    RetryPolicy dial_retry;
+    uint64_t jitter_seed = 0;  // 0 = per-pool derived seed
+    // net.pool.* metrics registry. Null = the process-wide registry.
+    obs::Registry* metrics = nullptr;
+    Clock* clock = nullptr;  // null = RealClock
+  };
+
+  ClientPool(DialFn dial, Options options);
+  ~ClientPool();  // closes idle connections; leases must be gone by now
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  // RAII handle on a checked-out connection.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      release();
+      pool_ = other.pool_;
+      client_ = std::move(other.client_);
+      poisoned_ = other.poisoned_;
+      other.pool_ = nullptr;
+      return *this;
+    }
+    ~Lease() { release(); }
+
+    bool valid() const { return client_ != nullptr; }
+    Client& operator*() { return *client_; }
+    Client* operator->() { return client_.get(); }
+
+    // Marks the connection unfit for reuse; checkin will close it. (A
+    // connection that reports !connected() is discarded regardless.)
+    void poison() { poisoned_ = true; }
+
+   private:
+    friend class ClientPool;
+    Lease(ClientPool* pool, std::unique_ptr<Client> client)
+        : pool_(pool), client_(std::move(client)) {}
+    void release() {
+      if (pool_ && client_) pool_->checkin(std::move(client_), poisoned_);
+      pool_ = nullptr;
+      client_.reset();
+    }
+
+    ClientPool* pool_ = nullptr;
+    std::unique_ptr<Client> client_;
+    bool poisoned_ = false;
+  };
+
+  Result<Lease> checkout();
+
+  size_t idle_count() const;
+  size_t in_use_count() const;
+
+  // Closes idle connections older than idle_timeout; returns how many.
+  size_t evict_idle();
+
+ private:
+  struct IdleEntry {
+    std::unique_ptr<Client> client;
+    Nanos since = 0;  // checkin timestamp
+  };
+
+  void checkin(std::unique_ptr<Client> client, bool poisoned);
+  Result<std::unique_ptr<Client>> dial_with_backoff();
+  void release_slot_locked();
+
+  DialFn dial_;
+  Options options_;
+  Clock* clock_;
+  Rng jitter_rng_;  // guarded by mutex_
+
+  obs::Counter* m_dials_ = nullptr;
+  obs::Counter* m_dial_failures_ = nullptr;
+  obs::Counter* m_backoff_sleeps_ = nullptr;
+  obs::Counter* m_checkouts_ = nullptr;
+  obs::Counter* m_reused_ = nullptr;
+  obs::Counter* m_exhausted_ = nullptr;
+  obs::Counter* m_health_evictions_ = nullptr;
+  obs::Counter* m_idle_evictions_ = nullptr;
+  obs::Counter* m_discarded_ = nullptr;
+  obs::Gauge* m_idle_gauge_ = nullptr;
+  obs::Gauge* m_in_use_gauge_ = nullptr;
+
+  mutable std::mutex mutex_;
+  // Checkin pushes back, checkout pops back (LIFO keeps the working set
+  // warm); the front is therefore the oldest entry, where eviction starts.
+  std::deque<IdleEntry> idle_;
+  size_t in_use_ = 0;  // leased or mid-dial
+};
+
+}  // namespace tss::chirp

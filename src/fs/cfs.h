@@ -27,21 +27,15 @@
 #include "chirp/client.h"
 #include "fs/filesystem.h"
 #include "obs/metrics.h"
+#include "util/backoff.h"
 #include "util/clock.h"
 #include "util/rand.h"
 
 namespace tss::fs {
 
-struct RetryPolicy {
-  int max_attempts = 5;                  // reconnect attempts per incident
-  Nanos base_delay = 50 * kMillisecond;  // doubled after each failure
-  Nanos max_delay = 5 * kSecond;
-  // Deterministic jitter: each backoff delay is scaled by a factor drawn
-  // uniformly from [1 - jitter, 1 + jitter], so a pool of clients whose
-  // server restarts does not reconnect in lockstep (a mini thundering
-  // herd). 0 disables. Seeded via Options::jitter_seed for reproducibility.
-  double jitter = 0.25;
-};
+// The reconnect policy now lives in util/backoff.h so the chirp::ClientPool
+// dialer shares it; the fs:: spelling remains for existing callers.
+using tss::RetryPolicy;
 
 class CfsFs final : public FileSystem {
  public:

@@ -99,9 +99,35 @@ Result<std::unique_ptr<File>> DistFs::open(const std::string& p,
     return Error(ENODEV, "distfs has no data servers");
   }
 
+  // With a scheduler, probe every candidate concurrently (a stat of the
+  // volume directory) and keep only the servers that answer: the catalog
+  // listing behind the pool "is necessarily stale" (§4), and one parallel
+  // round trip is cheaper than serially walking into dead servers below.
+  // The probe is advisory — if it rules out everything (every server
+  // momentarily unreachable), fall back to trying them all.
+  std::vector<std::string> candidates = server_names_;
+  if (options_.scheduler && server_names_.size() > 1) {
+    std::vector<FileSystem*> probe_targets;
+    probe_targets.reserve(server_names_.size());
+    for (const std::string& name : server_names_) {
+      probe_targets.push_back(servers_[name]);
+    }
+    std::vector<Result<StatInfo>> probes =
+        fan_out(options_.scheduler, probe_targets.size(), [&](size_t s) {
+          return probe_targets[s]->stat(options_.volume);
+        });
+    std::vector<std::string> reachable;
+    for (size_t s = 0; s < server_names_.size(); s++) {
+      if (probes[s].ok() || !is_unreachable(probes[s].error().code)) {
+        reachable.push_back(server_names_[s]);
+      }
+    }
+    if (!reachable.empty()) candidates = std::move(reachable);
+  }
+
   // Step 1: choose a server and generate a unique data file name.
-  const size_t first_choice = rng_.below(server_names_.size());
-  Stub stub{server_names_[first_choice],
+  const size_t first_choice = rng_.below(candidates.size());
+  Stub stub{candidates[first_choice],
             path::join(options_.volume, generate_data_name())};
 
   // Step 2: create the stub entry with an exclusive open, so a name
@@ -134,9 +160,9 @@ Result<std::unique_ptr<File>> DistFs::open(const std::string& p,
   data_flags.create = true;
   data_flags.exclusive = false;
   Error last(EHOSTUNREACH, "no data server reachable");
-  for (size_t attempt = 0; attempt < server_names_.size(); attempt++) {
+  for (size_t attempt = 0; attempt < candidates.size(); attempt++) {
     const std::string& server_name =
-        server_names_[(first_choice + attempt) % server_names_.size()];
+        candidates[(first_choice + attempt) % candidates.size()];
     if (attempt > 0) {
       stub = Stub{server_name,
                   path::join(options_.volume, generate_data_name())};

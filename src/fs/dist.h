@@ -31,6 +31,7 @@
 
 #include "fs/filesystem.h"
 #include "fs/stub.h"
+#include "par/executor.h"
 #include "util/rand.h"
 
 namespace tss::fs {
@@ -46,6 +47,11 @@ class DistFs final : public FileSystem {
     // IP address); defaults to a host/pid-derived token.
     std::string client_id;
     uint64_t name_seed = 0;  // 0 = derive from time (tests pass a fixed seed)
+    // With a scheduler, file creation probes every candidate data server
+    // concurrently and places the data file on a reachable one — one
+    // parallel round trip instead of a serial walk over dead servers.
+    // Borrowed, may be null = serial.
+    IoScheduler* scheduler = nullptr;
   };
 
   // `metadata` and the mapped data servers are borrowed, not owned; they

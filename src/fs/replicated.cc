@@ -1,5 +1,9 @@
 #include "fs/replicated.h"
 
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+
 #include "util/logging.h"
 #include "util/path.h"
 
@@ -21,8 +25,9 @@ bool is_availability_error(int code) {
 }  // namespace
 
 // An open replicated file: writes fan out to every replica that opened;
-// reads come from the first live one. Outcomes are reported back to the
-// parent so its per-replica health tracking sees file-level failures too.
+// reads come from the first live one (or, in hedged mode, from whichever
+// clean replica answers first). Outcomes are reported back to the parent so
+// its per-replica health tracking sees file-level failures too.
 class ReplicatedFile final : public File {
  public:
   struct Member {
@@ -34,9 +39,34 @@ class ReplicatedFile final : public File {
       : parent_(parent), members_(std::move(members)) {}
 
   Result<size_t> pread(void* data, size_t size, int64_t offset) override {
+    std::vector<char> already_tried(members_.size(), 0);
     Error last(EIO, "no replica answered");
-    for (auto& m : members_) {
-      if (!m.file) continue;
+    IoScheduler* scheduler = parent_->options_.scheduler;
+    if (scheduler && parent_->options_.hedged_reads) {
+      // Hedge only across currently-clean replicas: a diverged replica must
+      // never win the race with stale bytes. One clean replica is not a
+      // race — fall through to plain failover.
+      std::vector<size_t> hedges;
+      for (size_t k = 0; k < members_.size(); k++) {
+        if (!members_[k].file) continue;
+        size_t i = members_[k].index;
+        if (parent_->replica_available(i) && !parent_->replica_diverged(i)) {
+          hedges.push_back(k);
+        }
+      }
+      if (hedges.size() >= 2) {
+        auto first =
+            pread_hedged(data, size, offset, scheduler, hedges);
+        if (first.ok()) return first;
+        last = std::move(first).take_error();
+        // Every hedge failed (and was accounted); only the broken tail is
+        // left for serial failover.
+        for (size_t k : hedges) already_tried[k] = 1;
+      }
+    }
+    for (size_t k = 0; k < members_.size(); k++) {
+      Member& m = members_[k];
+      if (!m.file || already_tried[k]) continue;
       auto n = m.file->pread(data, size, offset);
       if (n.ok()) {
         parent_->note_success(m.index);
@@ -50,17 +80,30 @@ class ReplicatedFile final : public File {
 
   Result<size_t> pwrite(const void* data, size_t size,
                         int64_t offset) override {
+    // A failed write drops the member's file, so any hedge stragglers still
+    // reading through it must finish first.
+    drain_hedges();
+    // Every live replica writes concurrently; outcomes are accounted in
+    // member order after the join, so health and divergence transitions are
+    // identical to the serial path's.
+    std::vector<size_t> live;
+    for (size_t k = 0; k < members_.size(); k++) {
+      if (members_[k].file) live.push_back(k);
+    }
+    std::vector<Result<size_t>> results =
+        fan_out(parent_->options_.scheduler, live.size(), [&](size_t j) {
+          return members_[live[j]].file->pwrite(data, size, offset);
+        });
     std::optional<size_t> wrote;
     Error last(EIO, "no replica accepted the write");
     std::vector<size_t> failed;
-    for (auto& m : members_) {
-      if (!m.file) continue;
-      auto n = m.file->pwrite(data, size, offset);
-      if (n.ok()) {
+    for (size_t j = 0; j < live.size(); j++) {
+      Member& m = members_[live[j]];
+      if (results[j].ok()) {
         parent_->note_success(m.index);
-        wrote = n.value();
+        wrote = results[j].value();
       } else {
-        last = std::move(n).take_error();
+        last = std::move(results[j]).take_error();
         TSS_WARN("replicated") << "replica write failed: " << last.to_string();
         parent_->note_failure(m.index, last.code);
         failed.push_back(m.index);
@@ -104,6 +147,7 @@ class ReplicatedFile final : public File {
   }
 
   Result<void> close() override {
+    drain_hedges();
     Result<void> result = Result<void>::success();
     for (auto& m : members_) {
       if (!m.file) continue;
@@ -117,8 +161,108 @@ class ReplicatedFile final : public File {
   ~ReplicatedFile() override { (void)close(); }
 
  private:
+  // Shared bookkeeping of one hedged read. The state (and each hedge's
+  // scratch buffer) outlives the caller via shared_ptr: the winner's bytes
+  // are copied into the caller's buffer by the waiting thread, while losing
+  // hedges keep writing their own scratch harmlessly.
+  struct HedgeState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    size_t remaining;
+    bool won = false;
+    size_t winner_hedge = 0;
+    size_t winner_bytes = 0;
+    std::optional<Error> last;
+    std::vector<std::vector<char>> scratch;
+  };
+
+  // Races the read across `hedges` (indexes into members_). Returns the
+  // first success, leaving the losers to finish in the background — close()
+  // drains them before the member files go away. If every hedge fails, the
+  // last error is returned (each failure was already accounted).
+  Result<size_t> pread_hedged(void* data, size_t size, int64_t offset,
+                              IoScheduler* scheduler,
+                              const std::vector<size_t>& hedges) {
+    auto state = std::make_shared<HedgeState>();
+    state->remaining = hedges.size();
+    state->scratch.resize(hedges.size());
+    {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      hedges_pending_ += hedges.size();
+    }
+    for (size_t h = 0; h < hedges.size(); h++) {
+      Member& m = members_[hedges[h]];
+      state->scratch[h].resize(size);
+      scheduler->submit([this, state, h, &m, size, offset]() -> Result<void> {
+        auto n = m.file->pread(state->scratch[h].data(), size, offset);
+        if (n.ok()) {
+          parent_->note_success(m.index);
+        } else {
+          parent_->note_failure(m.index, n.error().code);
+        }
+        {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          state->remaining--;
+          if (n.ok() && !state->won) {
+            state->won = true;
+            state->winner_hedge = h;
+            state->winner_bytes = n.value();
+          } else if (!n.ok()) {
+            state->last = n.error();
+          }
+        }
+        state->cv.notify_all();
+        {
+          std::lock_guard<std::mutex> lock(drain_mutex_);
+          hedges_pending_--;
+        }
+        drain_cv_.notify_all();
+        return Result<void>::success();
+      });
+    }
+    // Wait for a winner (or for every hedge to fail), helping the scheduler
+    // run queued jobs meanwhile so the race cannot stall on busy workers.
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        if (state->won) {
+          std::memcpy(data, state->scratch[state->winner_hedge].data(),
+                      state->winner_bytes);
+          return state->winner_bytes;
+        }
+        if (state->remaining == 0) {
+          return state->last ? *state->last
+                             : Error(EIO, "no replica answered");
+        }
+      }
+      if (scheduler->run_one()) continue;
+      std::unique_lock<std::mutex> lock(state->mutex);
+      if (state->won || state->remaining == 0) continue;
+      state->cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+
+  // Blocks until no hedge job still references this file's members, helping
+  // to run queued jobs so the drain cannot stall.
+  void drain_hedges() {
+    IoScheduler* scheduler = parent_->options_.scheduler;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(drain_mutex_);
+        if (hedges_pending_ == 0) return;
+      }
+      if (scheduler && scheduler->run_one()) continue;
+      std::unique_lock<std::mutex> lock(drain_mutex_);
+      if (hedges_pending_ == 0) return;
+      drain_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+
   ReplicatedFs* parent_;
   std::vector<Member> members_;
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  size_t hedges_pending_ = 0;
 };
 
 ReplicatedFs::ReplicatedFs(std::vector<FileSystem*> replicas, Options options)
@@ -212,16 +356,21 @@ template <typename Fn>
 Result<void> ReplicatedFs::broadcast(Fn&& fn) {
   std::vector<size_t> skipped;
   std::vector<size_t> targets = write_targets(&skipped);
+  // All targets run concurrently; outcomes are accounted in replica order
+  // after the join, so transition counting matches the serial path exactly.
+  std::vector<Result<void>> outcomes =
+      fan_out(options_.scheduler, targets.size(),
+              [&](size_t j) { return fn(*replicas_[targets[j]]); });
   std::vector<size_t> failed;
   bool any = false;
   Error last(EIO, "no replica reachable");
-  for (size_t i : targets) {
-    auto rc = fn(*replicas_[i]);
-    if (rc.ok()) {
+  for (size_t j = 0; j < targets.size(); j++) {
+    size_t i = targets[j];
+    if (outcomes[j].ok()) {
       any = true;
       note_success(i);
     } else {
-      last = std::move(rc).take_error();
+      last = std::move(outcomes[j]).take_error();
       note_failure(i, last.code);
       failed.push_back(i);
     }

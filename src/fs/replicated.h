@@ -28,6 +28,7 @@
 
 #include "fs/filesystem.h"
 #include "obs/metrics.h"
+#include "par/executor.h"
 
 namespace tss::fs {
 
@@ -39,6 +40,16 @@ class ReplicatedFs final : public FileSystem {
     // Breaker/divergence/repair transition counters. Null = the process-wide
     // registry; tests inject their own to assert exact transition counts.
     obs::Registry* metrics = nullptr;
+    // Fans replica mutations (and hedged reads) out concurrently. Borrowed,
+    // may be null = serial. Health accounting happens in replica order after
+    // the fan-out joins, so breaker and divergence transitions are counted
+    // exactly as the serial path counts them.
+    IoScheduler* scheduler = nullptr;
+    // With a scheduler: pread races every clean replica and returns the
+    // first success, letting the losers finish in the background. Opt-in —
+    // it spends replica bandwidth to cut tail latency, and the winning
+    // replica is whichever answered first rather than the failover order.
+    bool hedged_reads = false;
   };
 
   // Replicas are borrowed and must outlive the ReplicatedFs. At least one.

@@ -8,37 +8,59 @@ namespace {
 
 class StripedFile final : public File {
  public:
-  StripedFile(std::vector<std::unique_ptr<File>> columns, uint64_t stripe)
-      : columns_(std::move(columns)), stripe_(stripe) {}
+  StripedFile(std::vector<std::unique_ptr<File>> columns, uint64_t stripe,
+              IoScheduler* scheduler)
+      : columns_(std::move(columns)),
+        stripe_(stripe),
+        scheduler_(scheduler) {}
   ~StripedFile() override { (void)close(); }
 
   Result<size_t> pread(void* data, size_t size, int64_t offset) override {
-    return for_each_extent(
-        offset, size,
-        [&](size_t member, uint64_t member_offset, char* p, size_t n,
-            size_t* moved) -> Result<void> {
-          TSS_ASSIGN_OR_RETURN(
-              *moved, columns_[member]->pread(
-                          p, n, static_cast<int64_t>(member_offset)));
-          return Result<void>::success();
-        },
-        static_cast<char*>(data), /*stop_on_short=*/true);
+    TSS_ASSIGN_OR_RETURN(std::vector<Extent> extents,
+                         extents_of(offset, size));
+    char* buffer = static_cast<char*>(data);
+    std::vector<Result<size_t>> results =
+        fan_out(scheduler_, extents.size(), [&](size_t i) -> Result<size_t> {
+          const Extent& e = extents[i];
+          return columns_[e.member]->pread(
+              buffer + e.buffer_offset, e.length,
+              static_cast<int64_t>(e.member_offset));
+        });
+    // Reassemble with serial semantics: bytes count only up to the first
+    // short extent (logical EOF); an error past a short extent would never
+    // have been issued serially, so it is not reported either.
+    size_t done = 0;
+    for (size_t i = 0; i < extents.size(); i++) {
+      if (!results[i].ok()) return std::move(results[i]).take_error();
+      size_t moved = results[i].value();
+      done += moved;
+      if (moved < extents[i].length) break;  // EOF
+    }
+    return done;
   }
 
   Result<size_t> pwrite(const void* data, size_t size,
                         int64_t offset) override {
-    return for_each_extent(
-        offset, size,
-        [&](size_t member, uint64_t member_offset, char* p, size_t n,
-            size_t* moved) -> Result<void> {
+    TSS_ASSIGN_OR_RETURN(std::vector<Extent> extents,
+                         extents_of(offset, size));
+    const char* buffer = static_cast<const char*>(data);
+    std::vector<Result<size_t>> results =
+        fan_out(scheduler_, extents.size(), [&](size_t i) -> Result<size_t> {
+          const Extent& e = extents[i];
           TSS_ASSIGN_OR_RETURN(
-              *moved, columns_[member]->pwrite(
-                          p, n, static_cast<int64_t>(member_offset)));
-          if (*moved != n) return Error(EIO, "short stripe write");
-          return Result<void>::success();
-        },
-        static_cast<char*>(const_cast<void*>(data)),
-        /*stop_on_short=*/false);
+              size_t moved,
+              columns_[e.member]->pwrite(
+                  buffer + e.buffer_offset, e.length,
+                  static_cast<int64_t>(e.member_offset)));
+          if (moved != e.length) return Error(EIO, "short stripe write");
+          return moved;
+        });
+    size_t done = 0;
+    for (Result<size_t>& result : results) {
+      if (!result.ok()) return std::move(result).take_error();
+      done += result.value();
+    }
+    return done;
   }
 
   Result<void> fsync() override {
@@ -76,41 +98,49 @@ class StripedFile final : public File {
   }
 
  private:
-  // Walks the stripe extents covering [offset, offset+size), invoking
-  // `body(member, member_offset, buffer, extent_len, &moved)`. A short
-  // extent (moved < extent length) ends a read at logical EOF.
-  template <typename Body>
-  Result<size_t> for_each_extent(int64_t offset, size_t size, Body&& body,
-                                 char* buffer, bool stop_on_short) {
+  // One stripe extent of a logical [offset, offset+size) range: `length`
+  // bytes at `buffer_offset` into the caller's buffer, living on
+  // `member` at `member_offset`.
+  struct Extent {
+    size_t member;
+    uint64_t member_offset;
+    size_t buffer_offset;
+    size_t length;
+  };
+
+  // The stripe extents covering [offset, offset+size), in logical order.
+  Result<std::vector<Extent>> extents_of(int64_t offset, size_t size) const {
     if (offset < 0) return Error(EINVAL, "negative offset");
     size_t members = columns_.size();
     uint64_t logical = static_cast<uint64_t>(offset);
+    std::vector<Extent> extents;
     size_t done = 0;
     while (done < size) {
       uint64_t block = logical / stripe_;
       size_t member = static_cast<size_t>(block % members);
       uint64_t within = logical % stripe_;
       uint64_t member_offset = (block / members) * stripe_ + within;
-      size_t extent =
-          static_cast<size_t>(std::min<uint64_t>(size - done, stripe_ - within));
-      size_t moved = 0;
-      TSS_RETURN_IF_ERROR(
-          body(member, member_offset, buffer + done, extent, &moved));
-      done += moved;
-      logical += moved;
-      if (moved < extent && stop_on_short) break;  // EOF on a read
+      size_t extent = static_cast<size_t>(
+          std::min<uint64_t>(size - done, stripe_ - within));
+      extents.push_back(Extent{member, member_offset, done, extent});
+      done += extent;
+      logical += extent;
     }
-    return done;
+    return extents;
   }
 
   std::vector<std::unique_ptr<File>> columns_;
   uint64_t stripe_;
+  IoScheduler* scheduler_;
 };
 
 }  // namespace
 
-StripedFs::StripedFs(std::vector<FileSystem*> members, uint64_t stripe_size)
-    : members_(std::move(members)), stripe_size_(stripe_size) {}
+StripedFs::StripedFs(std::vector<FileSystem*> members, uint64_t stripe_size,
+                     IoScheduler* scheduler)
+    : members_(std::move(members)),
+      stripe_size_(stripe_size),
+      scheduler_(scheduler) {}
 
 StripedFs::Location StripedFs::locate(uint64_t logical_offset) const {
   uint64_t block = logical_offset / stripe_size_;
@@ -124,18 +154,21 @@ Result<std::unique_ptr<File>> StripedFs::open(const std::string& p,
                                               const OpenFlags& flags,
                                               uint32_t mode) {
   std::string canonical = path::sanitize(p);
+  // Columns open concurrently (one round trip, not N); all-or-nothing — a
+  // striped file is unusable with a missing column, so the first in-order
+  // failure wins and any columns that did open are closed by their
+  // unique_ptrs.
+  std::vector<Result<std::unique_ptr<File>>> opened = fan_out(
+      scheduler_, members_.size(),
+      [&](size_t m) { return members_[m]->open(canonical, flags, mode); });
   std::vector<std::unique_ptr<File>> columns;
   columns.reserve(members_.size());
-  for (FileSystem* member : members_) {
-    auto file = member->open(canonical, flags, mode);
-    if (!file.ok()) {
-      // All-or-nothing: a striped file is unusable with a missing column.
-      return std::move(file).take_error();
-    }
+  for (Result<std::unique_ptr<File>>& file : opened) {
+    if (!file.ok()) return std::move(file).take_error();
     columns.push_back(std::move(file).value());
   }
   return std::unique_ptr<File>(
-      new StripedFile(std::move(columns), stripe_size_));
+      new StripedFile(std::move(columns), stripe_size_, scheduler_));
 }
 
 Result<StatInfo> StripedFs::stat(const std::string& p) {

@@ -11,19 +11,31 @@
 // is exactly why the paper floats striping as a DSFS variation. Namespace
 // operations broadcast; the logical size is the sum of the column sizes.
 // Sparse logical files are not supported (columns would be ambiguous).
+//
+// With an IoScheduler attached, a pread/pwrite spanning several stripe
+// extents issues all of them concurrently — one member round trip of
+// latency instead of one per extent — and reassembles the results with
+// byte-identical semantics to the serial path (reads stop at the first
+// short extent; a short column write is EIO). Member File objects must
+// tolerate concurrent operations (every implementation in this tree does:
+// LocalFile is plain ::pread/::pwrite, CfsFile serializes internally).
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "fs/filesystem.h"
+#include "par/executor.h"
 
 namespace tss::fs {
 
 class StripedFs final : public FileSystem {
  public:
   // Members are borrowed and must outlive the StripedFs. At least one.
-  StripedFs(std::vector<FileSystem*> members, uint64_t stripe_size = 64 * 1024);
+  // `scheduler` (borrowed, may be null = serial) fans multi-extent I/O and
+  // multi-member opens out concurrently.
+  StripedFs(std::vector<FileSystem*> members, uint64_t stripe_size = 64 * 1024,
+            IoScheduler* scheduler = nullptr);
 
   Result<std::unique_ptr<File>> open(const std::string& path,
                                      const OpenFlags& flags,
@@ -52,6 +64,7 @@ class StripedFs final : public FileSystem {
  private:
   std::vector<FileSystem*> members_;
   uint64_t stripe_size_;
+  IoScheduler* scheduler_;
 };
 
 }  // namespace tss::fs

@@ -1,0 +1,101 @@
+#include "par/executor.h"
+
+namespace tss {
+
+IoScheduler::IoScheduler() : IoScheduler(Options{}) {}
+
+IoScheduler::IoScheduler(Options options)
+    : options_(options),
+      clock_(options.clock ? options.clock : &RealClock::instance()) {
+  obs::Registry* metrics =
+      options_.metrics ? options_.metrics : &obs::Registry::global();
+  m_inflight_ = metrics->gauge("client.inflight");
+  m_queue_depth_ = metrics->gauge("client.queue_depth");
+  m_submitted_ = metrics->counter("client.submitted");
+  m_completed_ = metrics->counter("client.completed");
+  m_rejected_ = metrics->counter("client.rejected");
+  m_deadline_expired_ = metrics->counter("client.deadline_expired");
+  if (options_.workers < 0) options_.workers = 0;
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; i++) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+IoScheduler::~IoScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // With zero workers the queue may still hold jobs; every submitted job
+  // must resolve, so drain them here.
+  while (run_one()) {
+  }
+}
+
+bool IoScheduler::enqueue(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.size() >= options_.max_queue) return false;
+    queue_.push_back(std::move(job));
+    m_queue_depth_->set(static_cast<int64_t>(queue_.size()));
+  }
+  m_submitted_->add();
+  m_inflight_->add();
+  cv_.notify_one();
+  return true;
+}
+
+void IoScheduler::job_done() {
+  m_completed_->add();
+  m_inflight_->sub();
+}
+
+void IoScheduler::count_expiry(bool* counted_flag) {
+  // Caller holds the future state's mutex (dispatch expiry) or takes it
+  // (waiter expiry); either way the flag flips exactly once per job.
+  if (!*counted_flag) {
+    *counted_flag = true;
+    m_deadline_expired_->add();
+  }
+}
+
+void IoScheduler::execute(Job job) {
+  if (job.deadline > 0 && clock_->now() >= job.deadline) {
+    job.expire();
+    return;
+  }
+  job.run();
+}
+
+bool IoScheduler::run_one() {
+  Job job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    job = std::move(queue_.front());
+    queue_.pop_front();
+    m_queue_depth_->set(static_cast<int64_t>(queue_.size()));
+  }
+  execute(std::move(job));
+  return true;
+}
+
+void IoScheduler::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      m_queue_depth_->set(static_cast<int64_t>(queue_.size()));
+    }
+    execute(std::move(job));
+  }
+}
+
+}  // namespace tss

@@ -1,0 +1,251 @@
+// IoScheduler: the client-side parallel I/O engine.
+//
+// The paper's DPFS bandwidth result (§5, Fig. 6) scales with the number of
+// file servers, but a client that issues one blocking RPC at a time can
+// never exploit that: adding servers adds idle servers. IoScheduler is the
+// missing half — a bounded worker pool that runs N I/O jobs concurrently
+// and hands each caller a Future carrying the job's Result<T>. The striped,
+// replicated, and distributed filesystems fan their per-extent / per-replica
+// / per-server operations through one of these, so a width-4 stripe read
+// costs one server round trip instead of four.
+//
+// Design notes:
+//  - Jobs are plain callables returning Result<T>; no coroutine machinery.
+//    The scheduler is transport-agnostic: the same engine drives Chirp RPCs,
+//    local disk I/O under test, and the bench's simulated-latency columns.
+//  - Futures help while they wait: Future::get() steals queued jobs and runs
+//    them on the calling thread when its own job has not finished. A nested
+//    fan-out (a striped file over replicated columns, each fanning out
+//    again) therefore cannot deadlock even with a single worker — blocked
+//    waiters drain the queue themselves.
+//  - Per-job deadlines are absolute Clock timestamps. A job whose deadline
+//    passes before dispatch is failed with ETIMEDOUT without running; a
+//    caller whose deadline passes mid-flight gets ETIMEDOUT from get() while
+//    the job runs to harmless completion in the background.
+//  - The queue is bounded; submit() beyond the bound resolves the future
+//    immediately with a typed EBUSY instead of blocking, mirroring the
+//    server-side admission control. Everything is observable: the
+//    `client.inflight` gauge and `client.*` counters land in the same
+//    obs::Registry the rest of the stack reports to.
+//
+// Lifetime: futures must be consumed before their scheduler is destroyed
+// (every layer that owns a scheduler joins its fan-outs before returning).
+// Destruction drains the queue, so every submitted job still resolves.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace tss {
+
+namespace detail {
+
+template <typename R>
+struct ResultValue;
+template <typename T>
+struct ResultValue<Result<T>> {
+  using type = T;
+};
+template <typename R>
+using ResultValueT = typename ResultValue<R>::type;
+
+template <typename T>
+struct FutureState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::optional<Result<T>> result;
+  // The ETIMEDOUT verdict is counted once per job, whether it is reached by
+  // the dispatcher (expired while queued) or by the waiter (expired
+  // mid-flight).
+  bool expiry_counted = false;
+};
+
+}  // namespace detail
+
+class IoScheduler {
+ public:
+  struct Options {
+    // Worker threads executing submitted jobs. 0 is legal: jobs then run
+    // only on waiting callers' threads (fully deterministic, used in tests).
+    int workers = 4;
+    // Queued-but-not-started jobs beyond which submit() answers EBUSY.
+    size_t max_queue = 4096;
+    // client.* metrics registry. Null = the process-wide registry.
+    obs::Registry* metrics = nullptr;
+    // Deadline evaluation. Null = RealClock.
+    Clock* clock = nullptr;
+  };
+
+  template <typename T>
+  class Future {
+   public:
+    Future() = default;
+
+    bool valid() const { return state_ != nullptr; }
+    bool ready() const {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      return state_->result.has_value();
+    }
+
+    // Waits for the job's result, helping to run queued jobs meanwhile.
+    // Honors the deadline the job was submitted with; consume once.
+    Result<T> get() {
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lock(state_->mutex);
+          if (state_->result.has_value()) {
+            return std::move(*state_->result);
+          }
+        }
+        if (deadline_ > 0 && scheduler_->clock_->now() >= deadline_) {
+          std::lock_guard<std::mutex> lock(state_->mutex);
+          if (state_->result.has_value()) return std::move(*state_->result);
+          scheduler_->count_expiry(&state_->expiry_counted);
+          return Error(ETIMEDOUT, "io deadline expired mid-flight");
+        }
+        if (scheduler_->run_one()) continue;  // help while waiting
+        std::unique_lock<std::mutex> lock(state_->mutex);
+        if (state_->result.has_value()) return std::move(*state_->result);
+        state_->cv.wait_for(lock, std::chrono::milliseconds(1));
+      }
+    }
+
+   private:
+    friend class IoScheduler;
+    Future(std::shared_ptr<detail::FutureState<T>> state,
+           IoScheduler* scheduler, Nanos deadline)
+        : state_(std::move(state)),
+          scheduler_(scheduler),
+          deadline_(deadline) {}
+
+    std::shared_ptr<detail::FutureState<T>> state_;
+    IoScheduler* scheduler_ = nullptr;
+    Nanos deadline_ = 0;
+  };
+
+  IoScheduler();  // default options
+  explicit IoScheduler(Options options);
+  ~IoScheduler();
+
+  IoScheduler(const IoScheduler&) = delete;
+  IoScheduler& operator=(const IoScheduler&) = delete;
+
+  // Submits `fn` (a callable returning Result<T>) for execution. `deadline`
+  // is an absolute clock timestamp; 0 = none.
+  template <typename Fn>
+  auto submit(Fn fn, Nanos deadline = 0)
+      -> Future<detail::ResultValueT<std::invoke_result_t<Fn&>>> {
+    using R = std::invoke_result_t<Fn&>;
+    using T = detail::ResultValueT<R>;
+    auto state = std::make_shared<detail::FutureState<T>>();
+    auto resolve = [this, state](R value) {
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->result.emplace(std::move(value));
+      }
+      state->cv.notify_all();
+      job_done();
+    };
+    Job job;
+    job.deadline = deadline;
+    job.run = [resolve, fn = std::move(fn)]() mutable { resolve(fn()); };
+    job.expire = [this, resolve, state]() {
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        count_expiry(&state->expiry_counted);
+      }
+      resolve(Error(ETIMEDOUT, "io deadline expired before dispatch"));
+    };
+    if (!enqueue(std::move(job))) {
+      // Queue full: typed EBUSY, never a block or a silent drop.
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->result.emplace(
+            Error(EBUSY, "io scheduler queue full"));
+      }
+      m_rejected_->add();
+    }
+    return Future<T>(std::move(state), this, deadline);
+  }
+
+  // Pops and runs one queued job on the calling thread (deadline-checked).
+  // Returns false when the queue is empty. Exposed so waiters — and tests —
+  // can drive the queue without workers.
+  bool run_one();
+
+  // Queued + running jobs, from the client.inflight gauge.
+  int64_t inflight() const { return m_inflight_->value(); }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Job {
+    std::function<void()> run;
+    std::function<void()> expire;
+    Nanos deadline = 0;
+  };
+
+  bool enqueue(Job job);
+  void job_done();
+  void count_expiry(bool* counted_flag);
+  void execute(Job job);
+  void worker_loop();
+
+  Options options_;
+  Clock* clock_;
+  obs::Gauge* m_inflight_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_deadline_expired_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+
+  template <typename T>
+  friend class Future;
+};
+
+// Fans `count` index-addressed jobs out on `scheduler` and returns every
+// job's Result in index order. A null scheduler (or a single job) runs
+// inline — the serial path and the parallel path are the same call site,
+// which is what makes the serial-vs-parallel ablation a one-flag switch.
+// `fn` is borrowed by reference; all jobs are joined before returning.
+template <typename Fn>
+auto fan_out(IoScheduler* scheduler, size_t count, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn&, size_t>> {
+  using R = std::invoke_result_t<Fn&, size_t>;
+  std::vector<R> results;
+  results.reserve(count);
+  if (!scheduler || count <= 1) {
+    for (size_t i = 0; i < count; i++) results.push_back(fn(i));
+    return results;
+  }
+  using T = detail::ResultValueT<R>;
+  std::vector<IoScheduler::Future<T>> futures;
+  futures.reserve(count);
+  for (size_t i = 0; i < count; i++) {
+    futures.push_back(scheduler->submit([&fn, i] { return fn(i); }));
+  }
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+}  // namespace tss

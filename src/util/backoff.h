@@ -1,0 +1,53 @@
+// Shared exponential-backoff policy.
+//
+// Introduced for the §6 CFS reconnect path and reused verbatim by the
+// chirp::ClientPool dialer: one policy type means one tuning surface for
+// every "the server went away, try again politely" loop in the stack.
+#pragma once
+
+#include "util/clock.h"
+#include "util/rand.h"
+
+namespace tss {
+
+struct RetryPolicy {
+  int max_attempts = 5;                  // attempts per incident
+  Nanos base_delay = 50 * kMillisecond;  // doubled after each failure
+  Nanos max_delay = 5 * kSecond;
+  // Deterministic jitter: each backoff delay is scaled by a factor drawn
+  // uniformly from [1 - jitter, 1 + jitter], so a pool of clients whose
+  // server restarts does not reconnect in lockstep (a mini thundering
+  // herd). 0 disables. Seeded for reproducibility by the owning component.
+  double jitter = 0.25;
+};
+
+// One incident's worth of backoff state: delay(k) for attempt k (0-based)
+// is base_delay * 2^(k-1), capped at max_delay and jittered. Attempt 0
+// carries no delay — callers sleep only between attempts.
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, Rng* jitter_rng)
+      : policy_(policy), rng_(jitter_rng) {}
+
+  // Jittered delay to sleep before attempt `k` (0-based); 0 for the first.
+  Nanos delay_before(int attempt) {
+    if (attempt <= 0) return 0;
+    Nanos delay = policy_.base_delay;
+    for (int i = 1; i < attempt && delay < policy_.max_delay; i++) {
+      delay *= 2;
+    }
+    if (delay > policy_.max_delay) delay = policy_.max_delay;
+    if (policy_.jitter > 0 && rng_) {
+      double factor =
+          1.0 + policy_.jitter * (2.0 * rng_->uniform() - 1.0);
+      delay = static_cast<Nanos>(static_cast<double>(delay) * factor);
+    }
+    return delay;
+  }
+
+ private:
+  RetryPolicy policy_;
+  Rng* rng_;
+};
+
+}  // namespace tss

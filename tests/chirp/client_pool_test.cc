@@ -1,0 +1,285 @@
+// ClientPool: checkout/checkin reuse, the EBUSY admission bound, health
+// and idle eviction, dial backoff accounting, and the multi-thread
+// checkout race — all against a live Chirp server.
+#include "chirp/client_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "auth/hostname.h"
+#include "chirp/test_util.h"
+#include "util/clock.h"
+
+namespace tss::chirp {
+namespace {
+
+using testing::ChirpServerFixture;
+
+#ifdef TSS_TSAN_BUILD
+constexpr int kRaceThreads = 4;
+constexpr int kRaceOpsPerThread = 25;
+#else
+constexpr int kRaceThreads = 8;
+constexpr int kRaceOpsPerThread = 50;
+#endif
+
+class ClientPoolTest : public ChirpServerFixture {
+ protected:
+  // Dials and authenticates one connection — the pool's DialFn contract.
+  ClientPool::DialFn dialer() {
+    return [this]() -> Result<Client> {
+      TSS_ASSIGN_OR_RETURN(Client client,
+                           Client::connect(server_->endpoint()));
+      auth::HostnameClientCredential credential;
+      auto subject = client.authenticate(credential);
+      if (!subject.ok()) return std::move(subject).take_error();
+      return client;
+    };
+  }
+
+  ClientPool::Options pool_options(obs::Registry* registry, Clock* clock) {
+    ClientPool::Options options;
+    options.metrics = registry;
+    options.clock = clock;
+    // Unit tests drive eviction and probing explicitly.
+    options.probe_idle_age = -1;
+    options.dial_retry.max_attempts = 1;
+    return options;
+  }
+};
+
+TEST_F(ClientPoolTest, CheckinThenCheckoutReusesTheConnection) {
+  start_server();
+  obs::Registry registry;
+  VirtualClock clock;
+  ClientPool pool(dialer(), pool_options(&registry, &clock));
+
+  {
+    auto lease = pool.checkout();
+    ASSERT_TRUE(lease.ok()) << lease.error().to_string();
+    auto who = lease.value()->whoami();
+    ASSERT_TRUE(who.ok());
+    EXPECT_EQ(who.value(), "hostname:localhost");
+  }
+  EXPECT_EQ(pool.idle_count(), 1u);
+  EXPECT_EQ(pool.in_use_count(), 0u);
+
+  {
+    auto lease = pool.checkout();
+    ASSERT_TRUE(lease.ok());
+    EXPECT_TRUE(lease.value()->whoami().ok());
+  }
+  EXPECT_EQ(registry.counter_value("net.pool.dials"), 1u);
+  EXPECT_EQ(registry.counter_value("net.pool.reused"), 1u);
+  EXPECT_EQ(registry.counter_value("net.pool.checkouts"), 2u);
+  EXPECT_EQ(registry.gauge("net.pool.idle")->value(), 1);
+  EXPECT_EQ(registry.gauge("net.pool.in_use")->value(), 0);
+}
+
+TEST_F(ClientPoolTest, ExhaustedPoolAnswersTypedEbusyWithoutBlocking) {
+  start_server();
+  obs::Registry registry;
+  VirtualClock clock;
+  ClientPool::Options options = pool_options(&registry, &clock);
+  options.max_connections = 2;
+  ClientPool pool(dialer(), options);
+
+  auto a = pool.checkout();
+  auto b = pool.checkout();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = pool.checkout();
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.error().code, EBUSY);
+  EXPECT_EQ(registry.counter_value("net.pool.exhausted"), 1u);
+  EXPECT_EQ(pool.in_use_count(), 2u);
+
+  // Releasing a lease makes the slot available again.
+  a = Error(ECANCELED, "dropped");
+  auto d = pool.checkout();
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(registry.counter_value("net.pool.reused"), 1u);
+}
+
+TEST_F(ClientPoolTest, PoisonedLeaseIsDiscardedNotRecycled) {
+  start_server();
+  obs::Registry registry;
+  VirtualClock clock;
+  ClientPool pool(dialer(), pool_options(&registry, &clock));
+
+  {
+    auto lease = pool.checkout();
+    ASSERT_TRUE(lease.ok());
+    lease.value().poison();
+  }
+  EXPECT_EQ(pool.idle_count(), 0u);
+  EXPECT_EQ(registry.counter_value("net.pool.discarded"), 1u);
+
+  // The next checkout dials fresh.
+  auto lease = pool.checkout();
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ(registry.counter_value("net.pool.dials"), 2u);
+  EXPECT_EQ(registry.counter_value("net.pool.reused"), 0u);
+}
+
+TEST_F(ClientPoolTest, StaleIdleEntriesAreEvictedAtCheckout) {
+  start_server();
+  obs::Registry registry;
+  VirtualClock clock;
+  ClientPool::Options options = pool_options(&registry, &clock);
+  options.idle_timeout = 10 * kSecond;
+  ClientPool pool(dialer(), options);
+
+  { auto lease = pool.checkout(); ASSERT_TRUE(lease.ok()); }
+  EXPECT_EQ(pool.idle_count(), 1u);
+  clock.advance(11 * kSecond);  // past idle_timeout
+
+  auto lease = pool.checkout();
+  ASSERT_TRUE(lease.ok());
+  EXPECT_TRUE(lease.value()->whoami().ok());
+  EXPECT_EQ(registry.counter_value("net.pool.idle_evictions"), 1u);
+  EXPECT_EQ(registry.counter_value("net.pool.dials"), 2u);
+  EXPECT_EQ(registry.counter_value("net.pool.reused"), 0u);
+}
+
+TEST_F(ClientPoolTest, EvictIdleSweepsOnlyStaleEntries) {
+  start_server();
+  obs::Registry registry;
+  VirtualClock clock;
+  ClientPool::Options options = pool_options(&registry, &clock);
+  options.idle_timeout = 10 * kSecond;
+  options.max_connections = 4;
+  ClientPool pool(dialer(), options);
+
+  // Two idle entries checked in at different times.
+  {
+    auto a = pool.checkout();
+    auto b = pool.checkout();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+  }
+  EXPECT_EQ(pool.idle_count(), 2u);
+  clock.advance(11 * kSecond);
+  {
+    auto c = pool.checkout();  // evicts both stale entries, dials fresh
+    ASSERT_TRUE(c.ok());
+  }
+  EXPECT_EQ(pool.idle_count(), 1u);
+  clock.advance(5 * kSecond);  // fresh entry is 5s old: not stale
+  EXPECT_EQ(pool.evict_idle(), 0u);
+  clock.advance(6 * kSecond);  // now 11s old
+  EXPECT_EQ(pool.evict_idle(), 1u);
+  EXPECT_EQ(pool.idle_count(), 0u);
+}
+
+TEST_F(ClientPoolTest, DialFailuresBackOffUnderThePolicy) {
+  start_server();
+  obs::Registry registry;
+  VirtualClock clock;
+  int dial_calls = 0;
+  ClientPool::DialFn real = dialer();
+  ClientPool::DialFn flaky = [&]() -> Result<Client> {
+    if (dial_calls++ < 2) return Error(ECONNREFUSED, "injected dial failure");
+    return real();
+  };
+  ClientPool::Options options = pool_options(&registry, &clock);
+  options.dial_retry.max_attempts = 5;
+  options.dial_retry.base_delay = 5 * kMillisecond;
+  options.jitter_seed = 7;
+  ClientPool pool(std::move(flaky), options);
+
+  Nanos before = clock.now();
+  auto lease = pool.checkout();
+  ASSERT_TRUE(lease.ok()) << lease.error().to_string();
+  EXPECT_EQ(dial_calls, 3);
+  EXPECT_EQ(registry.counter_value("net.pool.dials"), 3u);
+  EXPECT_EQ(registry.counter_value("net.pool.dial_failures"), 2u);
+  EXPECT_EQ(registry.counter_value("net.pool.backoff_sleeps"), 2u);
+  EXPECT_GT(clock.now(), before);  // the backoff really slept (virtually)
+}
+
+TEST_F(ClientPoolTest, ExhaustedDialAttemptsSurfaceTheLastError) {
+  obs::Registry registry;
+  VirtualClock clock;
+  ClientPool::DialFn dead = []() -> Result<Client> {
+    return Error(ECONNREFUSED, "nobody listening");
+  };
+  ClientPool::Options options = pool_options(&registry, &clock);
+  options.dial_retry.max_attempts = 3;
+  options.dial_retry.base_delay = 1 * kMillisecond;
+  ClientPool pool(std::move(dead), options);
+
+  auto lease = pool.checkout();
+  ASSERT_FALSE(lease.ok());
+  EXPECT_EQ(lease.error().code, ECONNREFUSED);
+  EXPECT_EQ(registry.counter_value("net.pool.dial_failures"), 3u);
+  // The reserved slot was released: the pool is not leaked full.
+  EXPECT_EQ(pool.in_use_count(), 0u);
+}
+
+TEST_F(ClientPoolTest, ProbeEvictsHalfDeadConnectionsAndRedials) {
+  start_server();
+  obs::Registry registry;
+  VirtualClock clock;
+  ClientPool::Options options = pool_options(&registry, &clock);
+  options.probe_idle_age = 0;  // whoami-probe every reuse
+  ClientPool pool(dialer(), options);
+
+  { auto lease = pool.checkout(); ASSERT_TRUE(lease.ok()); }
+  EXPECT_EQ(pool.idle_count(), 1u);
+
+  // Kill the server: the idle connection is now silently dead. The probe
+  // must catch it at checkout and the redial must fail loudly.
+  server_->stop();
+  auto lease = pool.checkout();
+  ASSERT_FALSE(lease.ok());
+  EXPECT_EQ(registry.counter_value("net.pool.health_evictions"), 1u);
+  EXPECT_GE(registry.counter_value("net.pool.dial_failures"), 1u);
+  EXPECT_EQ(pool.idle_count(), 0u);
+  EXPECT_EQ(pool.in_use_count(), 0u);
+}
+
+TEST_F(ClientPoolTest, ManyThreadsCheckoutAndCheckinWithoutLosingSlots) {
+  start_server();
+  obs::Registry registry;
+  ClientPool::Options options;
+  options.metrics = &registry;
+  options.max_connections = kRaceThreads;
+  options.max_idle = kRaceThreads;
+  options.probe_idle_age = -1;
+  ClientPool pool(dialer(), options);
+
+  std::atomic<int> rpcs_ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kRaceThreads);
+  for (int t = 0; t < kRaceThreads; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRaceOpsPerThread; i++) {
+        auto lease = pool.checkout();
+        // Each thread holds at most one lease, so the pool can never be
+        // exhausted here.
+        ASSERT_TRUE(lease.ok()) << lease.error().to_string();
+        if (lease.value()->whoami().ok()) {
+          rpcs_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          lease.value().poison();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(rpcs_ok.load(), kRaceThreads * kRaceOpsPerThread);
+  EXPECT_EQ(pool.in_use_count(), 0u);
+  EXPECT_LE(pool.idle_count(), static_cast<size_t>(kRaceThreads));
+  EXPECT_EQ(registry.counter_value("net.pool.exhausted"), 0u);
+  EXPECT_EQ(registry.counter_value("net.pool.checkouts"),
+            static_cast<uint64_t>(kRaceThreads) * kRaceOpsPerThread);
+  EXPECT_EQ(registry.gauge("net.pool.in_use")->value(), 0);
+}
+
+}  // namespace
+}  // namespace tss::chirp

@@ -140,6 +140,76 @@ TEST_F(ObsChaosTest, RepairAloneClosesAnOpenBreaker) {
   EXPECT_EQ(registry.counter_value("replicated.repaired"), 1u);
 }
 
+// The same exactly-once accounting guarantee on the *concurrent* path:
+// with an IoScheduler fanning replica writes out in parallel, seeded faults
+// must still produce exactly one breaker-open and one diverged transition
+// per replica incident — the fan-out joins before accounting, so the
+// parallel books match the serial books to the counter.
+TEST_F(ObsChaosTest, ConcurrentReplicaWritesCountTransitionsExactlyOnce) {
+  obs::Registry registry;
+  LocalFs local0(make_root("c0"));
+  LocalFs local1(make_root("c1"));
+  LocalFs local2(make_root("c2"));
+  VirtualClock clock;
+  FaultSchedule schedule1(21, &clock, &registry);
+  FaultSchedule schedule2(22, &clock, &registry);
+  FaultyFs replica1(&local1, &schedule1);
+  FaultyFs replica2(&local2, &schedule2);
+
+  IoScheduler::Options scheduler_options;
+  scheduler_options.workers = 4;
+  scheduler_options.metrics = &registry;
+  IoScheduler scheduler(scheduler_options);
+
+  ReplicatedFs::Options options;
+  options.failure_threshold = 3;
+  options.metrics = &registry;
+  options.scheduler = &scheduler;
+  ReplicatedFs fs({&local0, &replica1, &replica2}, options);
+  ASSERT_TRUE(fs.write_file("/doc", "v1").ok());
+
+  // Both faulty replicas die at once. Every parallel write round fans out
+  // to all live replicas; three rounds trip each breaker exactly once and
+  // mark each replica diverged exactly once — never double-counted by the
+  // concurrent completions.
+  schedule1.fail_always(EHOSTUNREACH);
+  schedule2.fail_always(ETIMEDOUT);
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(fs.write_file("/doc", "v" + std::to_string(2 + i)).ok());
+  }
+  EXPECT_FALSE(fs.replica_available(1));
+  EXPECT_FALSE(fs.replica_available(2));
+  EXPECT_EQ(registry.counter_value("replicated.breaker_opens"), 2u);
+  EXPECT_EQ(registry.counter_value("replicated.diverged"), 2u);
+
+  // Writes beyond the trip skip the open breakers: no further transitions.
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(fs.write_file("/doc", "w" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(registry.counter_value("replicated.breaker_opens"), 2u);
+  EXPECT_EQ(registry.counter_value("replicated.diverged"), 2u);
+
+  // Recovery is also exactly-once per replica on the concurrent path.
+  schedule1.clear();
+  schedule2.clear();
+  ASSERT_TRUE(fs.probe(1).ok());
+  ASSERT_TRUE(fs.probe(2).ok());
+  EXPECT_EQ(registry.counter_value("replicated.breaker_closes"), 2u);
+  auto repaired = fs.repair("/doc");
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired.value(), 2);
+  EXPECT_EQ(registry.counter_value("replicated.repaired"), 2u);
+  EXPECT_FALSE(fs.replica_diverged(1));
+  EXPECT_FALSE(fs.replica_diverged(2));
+  EXPECT_EQ(fs.read_file("/doc").value(), "w3");
+
+  // The engine's own books balance: everything submitted completed, and
+  // nothing is left in flight.
+  EXPECT_EQ(registry.counter_value("client.submitted"),
+            registry.counter_value("client.completed"));
+  EXPECT_EQ(registry.gauge("client.inflight")->value(), 0);
+}
+
 class ObsCfsReconnectTest : public chirp::testing::ChirpServerFixture {};
 
 TEST_F(ObsCfsReconnectTest, BackoffAttemptAndSleepCountsAreExact) {

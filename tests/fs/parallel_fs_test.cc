@@ -1,0 +1,236 @@
+// The abstraction layers under the parallel engine: replicated writes fan
+// out concurrently with serial-identical divergence accounting, hedged
+// reads return first-success without ever racing a stale replica in, and
+// DistFs creation probes its candidate servers in parallel.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/dist.h"
+#include "fs/faulty.h"
+#include "fs/local.h"
+#include "fs/replicated.h"
+#include "obs/metrics.h"
+#include "par/executor.h"
+#include "util/clock.h"
+
+namespace tss::fs {
+namespace {
+
+class ParallelFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "/parfs_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(base_);
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  std::string make_root(const std::string& name) {
+    std::string root = base_ + "/" + name;
+    std::filesystem::create_directories(root);
+    return root;
+  }
+
+  std::string base_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(ParallelFsTest, ConcurrentReplicaWritesLandOnEveryReplica) {
+  IoScheduler::Options scheduler_options;
+  scheduler_options.workers = 4;
+  IoScheduler scheduler(scheduler_options);
+  LocalFs r0(make_root("r0")), r1(make_root("r1")), r2(make_root("r2"));
+  obs::Registry registry;
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  options.scheduler = &scheduler;
+  ReplicatedFs fs({&r0, &r1, &r2}, options);
+
+  ASSERT_TRUE(fs.write_file("/doc", "payload").ok());
+  EXPECT_EQ(r0.read_file("/doc").value(), "payload");
+  EXPECT_EQ(r1.read_file("/doc").value(), "payload");
+  EXPECT_EQ(r2.read_file("/doc").value(), "payload");
+  EXPECT_EQ(registry.counter_value("replicated.diverged"), 0u);
+
+  // Namespace mutations broadcast concurrently too.
+  ASSERT_TRUE(fs.mkdir("/dir", 0755).ok());
+  EXPECT_TRUE(r0.stat("/dir").ok());
+  EXPECT_TRUE(r1.stat("/dir").ok());
+  EXPECT_TRUE(r2.stat("/dir").ok());
+}
+
+TEST_F(ParallelFsTest, ConcurrentWriteFailureDivergesExactlyTheLosers) {
+  IoScheduler scheduler;
+  LocalFs r0(make_root("d0")), r1(make_root("d1"));
+  VirtualClock clock;
+  obs::Registry registry;
+  FaultSchedule schedule(7, &clock, &registry);
+  FaultyFs flaky(&r1, &schedule);
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  options.scheduler = &scheduler;
+  ReplicatedFs fs({&r0, &flaky}, options);
+  ASSERT_TRUE(fs.write_file("/doc", "v1").ok());
+
+  schedule.fail_always(EIO, "pwrite");
+  auto file = fs.open("/doc", OpenFlags::parse("w").value());
+  ASSERT_TRUE(file.ok());
+  auto n = file.value()->pwrite("v2", 2, 0);
+  ASSERT_TRUE(n.ok());  // replica 0 took the write
+  EXPECT_EQ(n.value(), 2u);
+  EXPECT_TRUE(fs.replica_diverged(1));
+  EXPECT_FALSE(fs.replica_diverged(0));
+  EXPECT_EQ(registry.counter_value("replicated.diverged"), 1u);
+  EXPECT_EQ(r0.read_file("/doc").value(), "v2");
+}
+
+TEST_F(ParallelFsTest, HedgedReadReturnsTheDataFromWhicheverReplicaWins) {
+  IoScheduler::Options scheduler_options;
+  scheduler_options.workers = 4;
+  IoScheduler scheduler(scheduler_options);
+  LocalFs r0(make_root("h0")), r1(make_root("h1")), r2(make_root("h2"));
+  obs::Registry registry;
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  options.scheduler = &scheduler;
+  options.hedged_reads = true;
+  ReplicatedFs fs({&r0, &r1, &r2}, options);
+  ASSERT_TRUE(fs.write_file("/doc", "hedged payload").ok());
+
+  auto file = fs.open("/doc", OpenFlags::parse("r").value());
+  ASSERT_TRUE(file.ok());
+  char buffer[64];
+  for (int i = 0; i < 10; i++) {
+    auto n = file.value()->pread(buffer, sizeof buffer, 0);
+    ASSERT_TRUE(n.ok()) << n.error().to_string();
+    ASSERT_EQ(n.value(), 14u);
+    EXPECT_EQ(std::string(buffer, 14), "hedged payload");
+  }
+  ASSERT_TRUE(file.value()->close().ok());
+}
+
+TEST_F(ParallelFsTest, HedgedReadSurvivesASlowAndAFailingReplica) {
+  IoScheduler::Options scheduler_options;
+  scheduler_options.workers = 4;
+  IoScheduler scheduler(scheduler_options);
+  LocalFs r0(make_root("s0")), r1(make_root("s1")), r2(make_root("s2"));
+  VirtualClock clock;
+  obs::Registry registry;
+  FaultSchedule slow_schedule(11, &clock, &registry);
+  FaultSchedule dead_schedule(12, &clock, &registry);
+  FaultyFs slow(&r1, &slow_schedule);
+  FaultyFs dead(&r2, &dead_schedule);
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  options.scheduler = &scheduler;
+  options.hedged_reads = true;
+  ReplicatedFs fs({&r0, &slow, &dead}, options);
+  ASSERT_TRUE(fs.write_file("/doc", "contents").ok());
+
+  slow_schedule.add_latency(5 * kMillisecond, "pread");
+  dead_schedule.fail_always(EIO, "pread");
+  auto file = fs.open("/doc", OpenFlags::parse("r").value());
+  ASSERT_TRUE(file.ok());
+  char buffer[32];
+  auto n = file.value()->pread(buffer, sizeof buffer, 0);
+  ASSERT_TRUE(n.ok()) << n.error().to_string();
+  EXPECT_EQ(std::string(buffer, n.value()), "contents");
+  ASSERT_TRUE(file.value()->close().ok());
+}
+
+TEST_F(ParallelFsTest, HedgedReadNeverConsultsADivergedReplica) {
+  IoScheduler::Options scheduler_options;
+  scheduler_options.workers = 4;
+  IoScheduler scheduler(scheduler_options);
+  LocalFs r0(make_root("g0")), r1(make_root("g1"));
+  VirtualClock clock;
+  obs::Registry registry;
+  FaultSchedule schedule(13, &clock, &registry);
+  FaultyFs flaky(&r1, &schedule);
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  options.scheduler = &scheduler;
+  options.hedged_reads = true;
+  ReplicatedFs fs({&r0, &flaky}, options);
+  ASSERT_TRUE(fs.write_file("/doc", "v1").ok());
+  // Replica 1 misses a mutation: it is now diverged and carrying stale
+  // bytes, while still perfectly reachable — the dangerous combination for
+  // a read race.
+  schedule.fail_once(EIO, "pwrite");
+  ASSERT_TRUE(fs.write_file("/doc", "fresh").ok());
+  ASSERT_TRUE(fs.replica_diverged(1));
+  ASSERT_NE(r1.read_file("/doc").value(), "fresh");
+
+  auto file = fs.open("/doc", OpenFlags::parse("r").value());
+  ASSERT_TRUE(file.ok());
+  char buffer[32];
+  for (int i = 0; i < 10; i++) {
+    auto n = file.value()->pread(buffer, sizeof buffer, 0);
+    ASSERT_TRUE(n.ok());
+    ASSERT_EQ(std::string(buffer, n.value()), "fresh")
+        << "hedged read raced a diverged replica in";
+  }
+  ASSERT_TRUE(file.value()->close().ok());
+}
+
+TEST_F(ParallelFsTest, DistCreateProbesCandidatesInParallelAndAvoidsTheDead) {
+  IoScheduler::Options scheduler_options;
+  scheduler_options.workers = 4;
+  IoScheduler scheduler(scheduler_options);
+  LocalFs meta(make_root("meta"));
+  LocalFs d0(make_root("data0")), d1(make_root("data1")),
+      d2(make_root("data2"));
+  VirtualClock clock;
+  obs::Registry registry;
+  FaultSchedule schedule(5, &clock, &registry);
+  FaultyFs dead(&d1, &schedule);
+
+  DistFs::Options options;
+  options.name_seed = 99;
+  options.scheduler = &scheduler;
+  DistFs fs(&meta, {{"alpha", &d0}, {"beta", &dead}, {"gamma", &d2}},
+            options);
+  ASSERT_TRUE(fs.format().ok());
+  schedule.fail_always(EHOSTUNREACH);  // server beta drops off the network
+
+  // Every create must land on a live server: the parallel probe rules the
+  // dead one out before the stub is written, so no create ever pays a
+  // data-write failure against it.
+  for (int i = 0; i < 12; i++) {
+    std::string path = "/f" + std::to_string(i);
+    ASSERT_TRUE(fs.write_file(path, "data").ok());
+    auto stub = fs.locate(path);
+    ASSERT_TRUE(stub.ok());
+    EXPECT_NE(stub.value().server, "beta") << path;
+    EXPECT_EQ(fs.read_file(path).value(), "data");
+  }
+}
+
+TEST_F(ParallelFsTest, DistCreateFallsBackToAllServersWhenProbesAllFail) {
+  IoScheduler scheduler;
+  LocalFs meta(make_root("m2"));
+  LocalFs d0(make_root("x0"));
+  VirtualClock clock;
+  obs::Registry registry;
+  FaultSchedule schedule(6, &clock, &registry);
+  FaultyFs flaky(&d0, &schedule);
+
+  DistFs::Options options;
+  options.name_seed = 7;
+  options.scheduler = &scheduler;
+  DistFs fs(&meta, {{"only", &flaky}, {"two", &flaky}}, options);
+  ASSERT_TRUE(fs.format().ok());
+  // Probes fail (stat is unreachable) but the server answers everything
+  // else: the advisory probe must not turn a reachable system into ENODEV.
+  schedule.fail_always(EHOSTUNREACH, "stat");
+  ASSERT_TRUE(fs.write_file("/f", "data").ok());
+  EXPECT_EQ(fs.read_file("/f").value(), "data");
+}
+
+}  // namespace
+}  // namespace tss::fs

@@ -1,0 +1,226 @@
+// Stripe geometry properties: random (stripe size, width, offset, length)
+// I/O sequences through StripedFs must be byte-identical to a plain LocalFs
+// oracle — serially and under the parallel fan-out — including extents
+// straddling three or more columns and short reads at EOF. Plus the
+// read-only source buffer regression: pwrite must never scribble on its
+// input.
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/local.h"
+#include "fs/striped.h"
+#include "par/executor.h"
+#include "util/rand.h"
+
+namespace tss::fs {
+namespace {
+
+class StripePropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "/stripeprop_" +
+            std::to_string(::getpid()) + "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(base_);
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  std::string make_root(const std::string& name) {
+    std::string root = base_ + "/" + name;
+    std::filesystem::create_directories(root);
+    return root;
+  }
+
+  std::string base_;
+  static inline int counter_ = 0;
+};
+
+// One randomized round: a dense sequence of writes and reads applied to a
+// striped file and to a contiguous oracle file, compared op by op.
+void run_round(const std::string& base, uint64_t stripe, size_t width,
+               uint64_t seed, IoScheduler* scheduler) {
+  SCOPED_TRACE("stripe=" + std::to_string(stripe) +
+               " width=" + std::to_string(width) +
+               " seed=" + std::to_string(seed) +
+               (scheduler ? " parallel" : " serial"));
+  std::filesystem::create_directories(base + "/oracle");
+  LocalFs oracle_fs(base + "/oracle");
+  std::vector<std::unique_ptr<LocalFs>> columns;
+  std::vector<FileSystem*> members;
+  for (size_t m = 0; m < width; m++) {
+    std::string root = base + "/m" + std::to_string(m);
+    std::filesystem::create_directories(root);
+    columns.push_back(std::make_unique<LocalFs>(root));
+    members.push_back(columns.back().get());
+  }
+  StripedFs striped(members, stripe, scheduler);
+
+  auto striped_file = striped.open("/f", OpenFlags::parse("rwc").value());
+  auto oracle_file = oracle_fs.open("/f", OpenFlags::parse("rwc").value());
+  ASSERT_TRUE(striped_file.ok()) << striped_file.error().to_string();
+  ASSERT_TRUE(oracle_file.ok());
+
+  Rng rng(seed);
+  uint64_t logical_size = 0;  // writes stay dense: no sparse logical files
+  const uint64_t max_len = 3 * stripe * width + 7;  // straddles 3+ columns
+  for (int op = 0; op < 60; op++) {
+    if (rng.below(2) == 0) {
+      // Dense write: offset within [0, logical_size].
+      uint64_t offset = rng.below(logical_size + 1);
+      size_t len = 1 + static_cast<size_t>(rng.below(max_len));
+      std::string payload;
+      payload.reserve(len);
+      for (size_t i = 0; i < len; i++) {
+        payload.push_back(static_cast<char>('a' + rng.below(26)));
+      }
+      auto sn = striped_file.value()->pwrite(payload.data(), len,
+                                             static_cast<int64_t>(offset));
+      auto on = oracle_file.value()->pwrite(payload.data(), len,
+                                            static_cast<int64_t>(offset));
+      ASSERT_TRUE(sn.ok()) << sn.error().to_string();
+      ASSERT_TRUE(on.ok());
+      ASSERT_EQ(sn.value(), on.value());
+      logical_size = std::max(logical_size, offset + len);
+    } else {
+      // Read, sometimes deliberately past EOF for the short-read path.
+      uint64_t offset = rng.below(logical_size + stripe);
+      size_t len = 1 + static_cast<size_t>(rng.below(max_len));
+      std::vector<char> got(len, '\0'), want(len, '\0');
+      auto sn = striped_file.value()->pread(got.data(), len,
+                                            static_cast<int64_t>(offset));
+      auto on = oracle_file.value()->pread(want.data(), len,
+                                           static_cast<int64_t>(offset));
+      ASSERT_TRUE(sn.ok()) << sn.error().to_string();
+      ASSERT_TRUE(on.ok());
+      ASSERT_EQ(sn.value(), on.value())
+          << "offset=" << offset << " len=" << len
+          << " logical_size=" << logical_size;
+      ASSERT_EQ(0, std::memcmp(got.data(), want.data(), sn.value()));
+    }
+  }
+
+  // The aggregate logical size matches the oracle exactly.
+  auto sinfo = striped_file.value()->fstat();
+  auto oinfo = oracle_file.value()->fstat();
+  ASSERT_TRUE(sinfo.ok());
+  ASSERT_TRUE(oinfo.ok());
+  EXPECT_EQ(sinfo.value().size, oinfo.value().size);
+  EXPECT_EQ(striped.read_file("/f").value(), oracle_fs.read_file("/f").value());
+}
+
+TEST_F(StripePropertyTest, RandomGeometryMatchesLocalOracleSerially) {
+  const uint64_t stripes[] = {1, 3, 7, 64, 100};
+  Rng rng(20260806);
+  for (int round = 0; round < 6; round++) {
+    uint64_t stripe = stripes[rng.below(5)];
+    size_t width = 1 + static_cast<size_t>(rng.below(8));
+    run_round(base_ + "/s" + std::to_string(round), stripe, width,
+              /*seed=*/1000 + round, /*scheduler=*/nullptr);
+  }
+}
+
+TEST_F(StripePropertyTest, RandomGeometryMatchesLocalOracleInParallel) {
+  IoScheduler::Options options;
+  options.workers = 4;
+  IoScheduler scheduler(options);
+  const uint64_t stripes[] = {1, 3, 7, 64, 100};
+  Rng rng(20260807);
+  for (int round = 0; round < 6; round++) {
+    uint64_t stripe = stripes[rng.below(5)];
+    size_t width = 1 + static_cast<size_t>(rng.below(8));
+    run_round(base_ + "/p" + std::to_string(round), stripe, width,
+              /*seed=*/2000 + round, &scheduler);
+  }
+}
+
+TEST_F(StripePropertyTest, ExtentStraddlingManyColumnsRoundTrips) {
+  // stripe=4, width=4: a 20-byte write at offset 2 covers 6 extents over
+  // all four columns, wrapping back onto column 0.
+  std::vector<std::unique_ptr<LocalFs>> columns;
+  std::vector<FileSystem*> members;
+  for (size_t m = 0; m < 4; m++) {
+    std::string root = make_root("w" + std::to_string(m));
+    columns.push_back(std::make_unique<LocalFs>(root));
+    members.push_back(columns.back().get());
+  }
+  IoScheduler scheduler;
+  StripedFs striped(members, 4, &scheduler);
+  ASSERT_TRUE(striped.write_file("/f", "..abcdefghijklmnopqrst").ok());
+  auto file = striped.open("/f", OpenFlags::parse("r").value());
+  ASSERT_TRUE(file.ok());
+  char buffer[20];
+  auto n = file.value()->pread(buffer, 20, 2);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(n.value(), 20u);
+  EXPECT_EQ(std::string(buffer, 20), "abcdefghijklmnopqrst");
+}
+
+TEST_F(StripePropertyTest, ReadAtEofIsShortNotAnError) {
+  std::vector<std::unique_ptr<LocalFs>> columns;
+  std::vector<FileSystem*> members;
+  for (size_t m = 0; m < 3; m++) {
+    std::string root = make_root("e" + std::to_string(m));
+    columns.push_back(std::make_unique<LocalFs>(root));
+    members.push_back(columns.back().get());
+  }
+  IoScheduler scheduler;
+  StripedFs striped(members, 4, &scheduler);
+  ASSERT_TRUE(striped.write_file("/f", "0123456789").ok());  // 10 bytes
+  auto file = striped.open("/f", OpenFlags::parse("r").value());
+  ASSERT_TRUE(file.ok());
+
+  char buffer[64];
+  // Read spanning EOF: bytes up to EOF, no error.
+  auto n = file.value()->pread(buffer, 64, 4);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 6u);
+  EXPECT_EQ(std::string(buffer, 6), "456789");
+  // Read entirely past EOF: zero bytes.
+  n = file.value()->pread(buffer, 8, 32);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+  // Negative offsets are a typed EINVAL.
+  auto bad = file.value()->pread(buffer, 8, -1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, EINVAL);
+}
+
+// Regression: pwrite takes const data and must never write through it.
+// Writing from a read-only-mapped source buffer segfaults if any layer
+// scribbles on the input (the old code const_cast the buffer away).
+TEST_F(StripePropertyTest, PwriteFromReadOnlyMappedBufferSucceeds) {
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  void* map = ::mmap(nullptr, page, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(map, MAP_FAILED);
+  std::memset(map, 'x', page);
+  ASSERT_EQ(::mprotect(map, page, PROT_READ), 0);
+
+  std::vector<std::unique_ptr<LocalFs>> columns;
+  std::vector<FileSystem*> members;
+  for (size_t m = 0; m < 3; m++) {
+    std::string root = make_root("ro" + std::to_string(m));
+    columns.push_back(std::make_unique<LocalFs>(root));
+    members.push_back(columns.back().get());
+  }
+  IoScheduler scheduler;
+  StripedFs striped(members, 64, &scheduler);
+  auto file = striped.open("/f", OpenFlags::parse("rwc").value());
+  ASSERT_TRUE(file.ok());
+  auto n = file.value()->pwrite(map, page, 0);
+  ASSERT_TRUE(n.ok()) << n.error().to_string();
+  EXPECT_EQ(n.value(), page);
+
+  std::string back = striped.read_file("/f").value();
+  EXPECT_EQ(back, std::string(page, 'x'));
+  ::munmap(map, page);
+}
+
+}  // namespace
+}  // namespace tss::fs

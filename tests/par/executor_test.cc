@@ -1,0 +1,231 @@
+// IoScheduler: the parallel I/O engine's contract. Ordinary submit/join,
+// fan_out ordering, the EBUSY admission bound, both deadline-expiry paths
+// (queued and mid-flight) with exactly-once counting, help-on-wait (no
+// deadlock with zero workers or nested fan-outs), and multi-thread races.
+#include "par/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace tss {
+namespace {
+
+// TSan builds run the race-heavy loops at reduced size.
+#ifdef TSS_TSAN_BUILD
+constexpr int kRaceThreads = 4;
+constexpr int kRaceOpsPerThread = 50;
+#else
+constexpr int kRaceThreads = 8;
+constexpr int kRaceOpsPerThread = 200;
+#endif
+
+IoScheduler::Options with_registry(obs::Registry* registry, int workers) {
+  IoScheduler::Options options;
+  options.workers = workers;
+  options.metrics = registry;
+  return options;
+}
+
+TEST(IoSchedulerTest, SubmitReturnsTheJobsResult) {
+  obs::Registry registry;
+  IoScheduler scheduler(with_registry(&registry, 2));
+  auto future = scheduler.submit([]() -> Result<int> { return 41 + 1; });
+  auto result = future.get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+
+  auto failing = scheduler.submit(
+      []() -> Result<int> { return Error(ENOENT, "nope"); });
+  auto error = failing.get();
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.error().code, ENOENT);
+
+  EXPECT_EQ(registry.counter_value("client.submitted"), 2u);
+  EXPECT_EQ(registry.counter_value("client.completed"), 2u);
+  EXPECT_EQ(registry.gauge("client.inflight")->value(), 0);
+}
+
+TEST(IoSchedulerTest, ZeroWorkersRunsEverythingOnTheWaitingThread) {
+  obs::Registry registry;
+  IoScheduler scheduler(with_registry(&registry, 0));
+  std::thread::id main_id = std::this_thread::get_id();
+  auto future = scheduler.submit([main_id]() -> Result<bool> {
+    return std::this_thread::get_id() == main_id;
+  });
+  auto ran_here = future.get();
+  ASSERT_TRUE(ran_here.ok());
+  EXPECT_TRUE(ran_here.value());  // help-on-wait stole the job
+}
+
+TEST(IoSchedulerTest, FanOutPreservesIndexOrder) {
+  obs::Registry registry;
+  IoScheduler scheduler(with_registry(&registry, 4));
+  std::vector<Result<size_t>> results =
+      fan_out(&scheduler, 32, [](size_t i) -> Result<size_t> {
+        return i * i;
+      });
+  ASSERT_EQ(results.size(), 32u);
+  for (size_t i = 0; i < results.size(); i++) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(results[i].value(), i * i);
+  }
+}
+
+TEST(IoSchedulerTest, NullSchedulerFanOutRunsInline) {
+  std::thread::id main_id = std::this_thread::get_id();
+  auto results = fan_out(nullptr, 4, [&](size_t) -> Result<bool> {
+    return std::this_thread::get_id() == main_id;
+  });
+  for (auto& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value());
+  }
+}
+
+TEST(IoSchedulerTest, QueueFullAnswersTypedEbusy) {
+  obs::Registry registry;
+  IoScheduler::Options options = with_registry(&registry, 0);
+  options.max_queue = 2;
+  IoScheduler scheduler(options);
+  // Zero workers: nothing drains the queue while we fill it.
+  auto a = scheduler.submit([]() -> Result<int> { return 1; });
+  auto b = scheduler.submit([]() -> Result<int> { return 2; });
+  auto c = scheduler.submit([]() -> Result<int> { return 3; });
+  auto rejected = c.get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, EBUSY);
+  EXPECT_EQ(registry.counter_value("client.rejected"), 1u);
+  // The accepted jobs still run (on this thread, via help-on-wait).
+  EXPECT_EQ(a.get().value(), 1);
+  EXPECT_EQ(b.get().value(), 2);
+}
+
+TEST(IoSchedulerTest, DeadlinePassedBeforeDispatchExpiresWithoutRunning) {
+  obs::Registry registry;
+  VirtualClock clock;
+  IoScheduler::Options options = with_registry(&registry, 0);
+  options.clock = &clock;
+  IoScheduler scheduler(options);
+
+  std::atomic<bool> ran{false};
+  auto future = scheduler.submit(
+      [&]() -> Result<int> {
+        ran = true;
+        return 1;
+      },
+      /*deadline=*/clock.now() + 10);
+  clock.advance(20);  // deadline passes while the job sits queued
+  auto result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ETIMEDOUT);
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(registry.counter_value("client.deadline_expired"), 1u);
+  // The expired job still sits queued (zero workers, and the waiter already
+  // left). Draining it resolves the job *without running it* and balances
+  // the books — exactly once, even though the waiter counted the expiry.
+  EXPECT_TRUE(scheduler.run_one());
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(registry.counter_value("client.deadline_expired"), 1u);
+  EXPECT_EQ(registry.gauge("client.inflight")->value(), 0);
+}
+
+TEST(IoSchedulerTest, DeadlineExpiryMidFlightReturnsTimeoutToTheWaiter) {
+  obs::Registry registry;
+  VirtualClock clock;
+  // The job blocks until released — the waiter's deadline passes first.
+  // Declared before the scheduler so it outlives the worker threads.
+  std::atomic<bool> release{false};
+  IoScheduler::Options options = with_registry(&registry, 1);
+  options.clock = &clock;
+  IoScheduler scheduler(options);
+  auto future = scheduler.submit(
+      [&]() -> Result<int> {
+        while (!release.load()) std::this_thread::yield();
+        return 7;
+      },
+      /*deadline=*/clock.now() + 10);
+  // Give the worker a moment to pick the job up, then expire the deadline.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  clock.advance(20);
+  auto result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ETIMEDOUT);
+  EXPECT_EQ(registry.counter_value("client.deadline_expired"), 1u);
+  release = true;  // the job completes harmlessly in the background
+}
+
+TEST(IoSchedulerTest, NestedFanOutCannotDeadlockWithOneWorker) {
+  obs::Registry registry;
+  IoScheduler scheduler(with_registry(&registry, 1));
+  // An outer fan-out whose jobs each fan out again through the same
+  // scheduler: with one worker this deadlocks unless waiters help.
+  auto outer = fan_out(&scheduler, 4, [&](size_t i) -> Result<size_t> {
+    auto inner = fan_out(&scheduler, 4, [&](size_t j) -> Result<size_t> {
+      return i * 10 + j;
+    });
+    size_t sum = 0;
+    for (auto& r : inner) {
+      TSS_ASSIGN_OR_RETURN(size_t v, std::move(r));
+      sum += v;
+    }
+    return sum;
+  });
+  size_t total = 0;
+  for (auto& r : outer) {
+    ASSERT_TRUE(r.ok());
+    total += r.value();
+  }
+  EXPECT_EQ(total, 0u + 1 + 2 + 3 + 10 + 11 + 12 + 13 + 20 + 21 + 22 + 23 +
+                       30 + 31 + 32 + 33);
+}
+
+TEST(IoSchedulerTest, ManyThreadsSubmittingConcurrentlyStaysConsistent) {
+  obs::Registry registry;
+  IoScheduler scheduler(with_registry(&registry, 4));
+  std::atomic<uint64_t> executed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kRaceThreads);
+  for (int t = 0; t < kRaceThreads; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRaceOpsPerThread; i++) {
+        auto future = scheduler.submit([&]() -> Result<int> {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          return 0;
+        });
+        ASSERT_TRUE(future.get().ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const uint64_t expected =
+      static_cast<uint64_t>(kRaceThreads) * kRaceOpsPerThread;
+  EXPECT_EQ(executed.load(), expected);
+  EXPECT_EQ(registry.counter_value("client.submitted"), expected);
+  EXPECT_EQ(registry.counter_value("client.completed"), expected);
+  EXPECT_EQ(registry.gauge("client.inflight")->value(), 0);
+  EXPECT_EQ(registry.gauge("client.queue_depth")->value(), 0);
+}
+
+TEST(IoSchedulerTest, DestructionDrainsUnstartedJobs) {
+  obs::Registry registry;
+  std::atomic<int> executed{0};
+  {
+    IoScheduler scheduler(with_registry(&registry, 0));
+    for (int i = 0; i < 8; i++) {
+      scheduler.submit([&]() -> Result<int> { return ++executed; });
+    }
+    // No worker and no waiter: all eight jobs are still queued here.
+  }
+  EXPECT_EQ(executed.load(), 8);
+  EXPECT_EQ(registry.counter_value("client.completed"), 8u);
+}
+
+}  // namespace
+}  // namespace tss
