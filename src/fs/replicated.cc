@@ -55,13 +55,13 @@ class ReplicatedFile final : public File {
         }
       }
       if (hedges.size() >= 2) {
-        auto first =
-            pread_hedged(data, size, offset, scheduler, hedges);
+        // pread_hedged marks only the hedges whose job actually ran (and was
+        // accounted); a hedge whose submit the scheduler rejected stays
+        // untried, so serial failover below still consults that replica.
+        auto first = pread_hedged(data, size, offset, scheduler, hedges,
+                                  &already_tried);
         if (first.ok()) return first;
         last = std::move(first).take_error();
-        // Every hedge failed (and was accounted); only the broken tail is
-        // left for serial failover.
-        for (size_t k : hedges) already_tried[k] = 1;
       }
     }
     for (size_t k = 0; k < members_.size(); k++) {
@@ -179,10 +179,14 @@ class ReplicatedFile final : public File {
   // Races the read across `hedges` (indexes into members_). Returns the
   // first success, leaving the losers to finish in the background — close()
   // drains them before the member files go away. If every hedge fails, the
-  // last error is returned (each failure was already accounted).
+  // last error is returned (each failure was already accounted). Hedges that
+  // actually ran are flagged in `already_tried`; one whose submission the
+  // scheduler rejected (queue full) is not, so the serial fallback still
+  // gets to consult that replica.
   Result<size_t> pread_hedged(void* data, size_t size, int64_t offset,
                               IoScheduler* scheduler,
-                              const std::vector<size_t>& hedges) {
+                              const std::vector<size_t>& hedges,
+                              std::vector<char>* already_tried) {
     auto state = std::make_shared<HedgeState>();
     state->remaining = hedges.size();
     state->scratch.resize(hedges.size());
@@ -193,7 +197,8 @@ class ReplicatedFile final : public File {
     for (size_t h = 0; h < hedges.size(); h++) {
       Member& m = members_[hedges[h]];
       state->scratch[h].resize(size);
-      scheduler->submit([this, state, h, &m, size, offset]() -> Result<void> {
+      auto future = scheduler->submit([this, state, h, &m, size,
+                                       offset]() -> Result<void> {
         auto n = m.file->pread(state->scratch[h].data(), size, offset);
         if (n.ok()) {
           parent_->note_success(m.index);
@@ -213,12 +218,35 @@ class ReplicatedFile final : public File {
         }
         state->cv.notify_all();
         {
+          // Notify under the lock: the moment hedges_pending_ hits zero with
+          // the lock released, drain_hedges() may return and the file (and
+          // this cv) be destroyed, so an unlocked notify would race the
+          // destructor. A waiter re-checks under this same mutex, so the cv
+          // cannot be destroyed before a locked notify completes.
           std::lock_guard<std::mutex> lock(drain_mutex_);
           hedges_pending_--;
+          drain_cv_.notify_all();
         }
-        drain_cv_.notify_all();
         return Result<void>::success();
       });
+      if (future.rejected()) {
+        // The queue refused the job: it never ran and never will, so its
+        // share of the pre-incremented accounting must be rolled back here —
+        // otherwise hedges_pending_ leaks and every later drain_hedges()
+        // (pwrite/close/destructor) hangs forever.
+        {
+          std::lock_guard<std::mutex> lock(drain_mutex_);
+          hedges_pending_--;
+          drain_cv_.notify_all();
+        }
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->remaining--;
+        if (!state->last) {
+          state->last = Error(EBUSY, "io scheduler queue full");
+        }
+      } else {
+        (*already_tried)[hedges[h]] = 1;
+      }
     }
     // Wait for a winner (or for every hedge to fail), helping the scheduler
     // run queued jobs meanwhile so the race cannot stall on busy workers.

@@ -15,8 +15,12 @@
 // With an IoScheduler attached, a pread/pwrite spanning several stripe
 // extents issues all of them concurrently — one member round trip of
 // latency instead of one per extent — and reassembles the results with
-// byte-identical semantics to the serial path (reads stop at the first
-// short extent; a short column write is EIO). Member File objects must
+// the same returned-count semantics as the serial path (reads stop at the
+// first short extent; a short column write is EIO). One caveat of the
+// parallel path: extents past a short (EOF) extent have already been issued,
+// so buffer bytes beyond the returned read count may be overwritten, where
+// the serial path left them untouched. POSIX leaves those bytes unspecified
+// and callers must not rely on them either way. Member File objects must
 // tolerate concurrent operations (every implementation in this tree does:
 // LocalFile is plain ::pread/::pwrite, CfsFile serializes internally).
 #pragma once

@@ -41,9 +41,12 @@ bool IoScheduler::enqueue(Job job) {
     if (queue_.size() >= options_.max_queue) return false;
     queue_.push_back(std::move(job));
     m_queue_depth_->set(static_cast<int64_t>(queue_.size()));
+    // Counted under the lock: a worker pops under the same mutex, so the
+    // submitted/inflight bumps happen-before the job's completion decrement
+    // and the gauge can never go transiently negative.
+    m_submitted_->add();
+    m_inflight_->add();
   }
-  m_submitted_->add();
-  m_inflight_->add();
   cv_.notify_one();
   return true;
 }

@@ -71,6 +71,10 @@ struct FutureState {
   // the dispatcher (expired while queued) or by the waiter (expired
   // mid-flight).
   bool expiry_counted = false;
+  // Set at submit() time when the queue refused the job. The job callable
+  // never ran and never will — callers that pre-account per-job side effects
+  // (e.g. hedge bookkeeping) must roll them back on a rejected future.
+  bool rejected = false;
 };
 
 }  // namespace detail
@@ -98,6 +102,14 @@ class IoScheduler {
     bool ready() const {
       std::lock_guard<std::mutex> lock(state_->mutex);
       return state_->result.has_value();
+    }
+
+    // True iff submit() refused the job (queue full). Unlike ready(), this
+    // cannot be confused with a fast completion: it is set only on the
+    // rejection path, so the job callable is guaranteed never to run.
+    bool rejected() const {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      return state_->rejected;
     }
 
     // Waits for the job's result, helping to run queued jobs meanwhile.
@@ -170,9 +182,11 @@ class IoScheduler {
       resolve(Error(ETIMEDOUT, "io deadline expired before dispatch"));
     };
     if (!enqueue(std::move(job))) {
-      // Queue full: typed EBUSY, never a block or a silent drop.
+      // Queue full: typed EBUSY, never a block or a silent drop. The
+      // rejected flag tells callers the callable will never run.
       {
         std::lock_guard<std::mutex> lock(state->mutex);
+        state->rejected = true;
         state->result.emplace(
             Error(EBUSY, "io scheduler queue full"));
       }

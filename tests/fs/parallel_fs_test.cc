@@ -178,6 +178,34 @@ TEST_F(ParallelFsTest, HedgedReadNeverConsultsADivergedReplica) {
   ASSERT_TRUE(file.value()->close().ok());
 }
 
+TEST_F(ParallelFsTest, HedgedReadSurvivesASchedulerThatRejectsEveryHedge) {
+  IoScheduler::Options scheduler_options;
+  scheduler_options.workers = 0;
+  scheduler_options.max_queue = 0;  // every submit answers EBUSY
+  IoScheduler scheduler(scheduler_options);
+  LocalFs r0(make_root("q0")), r1(make_root("q1"));
+  ASSERT_TRUE(r0.write_file("/doc", "still here").ok());
+  ASSERT_TRUE(r1.write_file("/doc", "still here").ok());
+  obs::Registry registry;
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  options.scheduler = &scheduler;
+  options.hedged_reads = true;
+  ReplicatedFs fs({&r0, &r1}, options);
+
+  auto file = fs.open("/doc", OpenFlags::parse("r").value());
+  ASSERT_TRUE(file.ok());
+  char buffer[32];
+  // A rejected hedge never consulted its replica, so the serial fallback
+  // must still read it — a full queue is back-pressure, not data loss.
+  auto n = file.value()->pread(buffer, sizeof buffer, 0);
+  ASSERT_TRUE(n.ok()) << n.error().to_string();
+  EXPECT_EQ(std::string(buffer, n.value()), "still here");
+  // Regression: a refused hedge used to leak hedges_pending_, hanging this
+  // close() (and the destructor) forever.
+  ASSERT_TRUE(file.value()->close().ok());
+}
+
 TEST_F(ParallelFsTest, DistCreateProbesCandidatesInParallelAndAvoidsTheDead) {
   IoScheduler::Options scheduler_options;
   scheduler_options.workers = 4;

@@ -98,6 +98,10 @@ TEST(IoSchedulerTest, QueueFullAnswersTypedEbusy) {
   auto a = scheduler.submit([]() -> Result<int> { return 1; });
   auto b = scheduler.submit([]() -> Result<int> { return 2; });
   auto c = scheduler.submit([]() -> Result<int> { return 3; });
+  // rejected() distinguishes "the queue refused the job" from a fast
+  // completion: a's job will run and resolve, but was never rejected.
+  EXPECT_FALSE(a.rejected());
+  EXPECT_TRUE(c.rejected());
   auto rejected = c.get();
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.error().code, EBUSY);
@@ -105,6 +109,7 @@ TEST(IoSchedulerTest, QueueFullAnswersTypedEbusy) {
   // The accepted jobs still run (on this thread, via help-on-wait).
   EXPECT_EQ(a.get().value(), 1);
   EXPECT_EQ(b.get().value(), 2);
+  EXPECT_FALSE(a.rejected());
 }
 
 TEST(IoSchedulerTest, DeadlinePassedBeforeDispatchExpiresWithoutRunning) {
