@@ -29,6 +29,12 @@ echo "== parallel client I/O suite (ctest -L par, incl. TSan) on both engines ==
 (cd "$root/build" && ctest -L par --output-on-failure -j "$jobs")
 (cd "$root/build" && TSS_NET_MODE=thread ctest -L par --output-on-failure -j "$jobs")
 
+echo "== integrity suite (ctest -L integrity, incl. TSan + corruption soak) =="
+# Wire checksums, quarantine lifecycle, the scrubber, and the seeded chaos
+# corruption soak — on both net engines (the wire tests run live servers).
+(cd "$root/build" && ctest -L integrity --output-on-failure -j "$jobs")
+(cd "$root/build" && TSS_NET_MODE=thread ctest -L integrity --output-on-failure -j "$jobs")
+
 echo "== stripe-width ablation smoke: scaling + single-extent latency gate =="
 (cd "$root/build" && bench/bench_ablation_stripe_width --smoke /tmp/tss_check_stripe.json)
 rm -f /tmp/tss_check_stripe.json

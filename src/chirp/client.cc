@@ -1,5 +1,6 @@
 #include "chirp/client.h"
 
+#include "util/checksum.h"
 #include "util/strings.h"
 
 namespace tss::chirp {
@@ -13,16 +14,38 @@ Result<Client> Client::connect(const net::Endpoint& server, Options options) {
   client.rpc_latency_ = metrics->histogram("chirp.client.rpc_latency");
   client.rpcs_ = metrics->counter("chirp.client.rpcs");
   client.rpc_errors_ = metrics->counter("chirp.client.rpc_errors");
+  client.integrity_mismatches_ =
+      metrics->counter("chirp.client.integrity.mismatch");
   Request version;
   version.op = Op::kVersion;
   version.version = kProtocolVersion;
+  if (options.integrity) version.caps.push_back(kCapChecksum);
   TSS_ASSIGN_OR_RETURN(Response resp, client.roundtrip(version));
   if (!resp.ok()) return Error(resp.err, resp.message);
+  // args[0] is the server's version; capability echoes follow. An old server
+  // simply never echoes, leaving the feature off for the session.
+  for (size_t i = 1; i < resp.args.size(); i++) {
+    if (resp.args[i] == kCapChecksum) client.checksum_ = true;
+  }
   return client;
 }
 
+Error Client::integrity_error(const char* what) {
+  if (integrity_mismatches_) integrity_mismatches_->add();
+  return Error(EBADMSG, std::string(what) + " checksum mismatch");
+}
+
+Result<void> Client::verify_sum_trailer(uint64_t local_digest,
+                                        const char* what) {
+  TSS_ASSIGN_OR_RETURN(std::string line, stream_.read_line());
+  TSS_ASSIGN_OR_RETURN(uint64_t wire_digest, parse_sum_line(line));
+  if (wire_digest != local_digest) return integrity_error(what);
+  return Result<void>::success();
+}
+
 Result<Response> Client::roundtrip(const Request& request,
-                                   const void* payload) {
+                                   const void* payload,
+                                   const std::string* trailer) {
   // Client-side view of every round trip: wall time from first request byte
   // to the response line, plus rpc/transport-error counters. A protocol-level
   // "error <errno>" reply is the server's answer, not a transport failure, so
@@ -40,6 +63,7 @@ Result<Response> Client::roundtrip(const Request& request,
     if (!payload) return Error(EINVAL, "request requires payload");
     stream_.write_blob(payload, static_cast<size_t>(body));
   }
+  if (trailer) stream_.write_line(*trailer);
   if (auto rc = stream_.flush(); !rc.ok()) {
     finish(false);
     return std::move(rc).take_error();
@@ -149,6 +173,19 @@ Result<size_t> Client::pread(int64_t fd, void* data, size_t size,
   if (n > 0) {
     TSS_RETURN_IF_ERROR(stream_.read_blob(data, static_cast<size_t>(n)));
   }
+  if (checksum_) {
+    // A negotiated peer that omits or garbles the digest is breaking the
+    // protocol (EPROTO); a well-formed digest that disagrees with the bytes
+    // we received is data corruption (EBADMSG).
+    if (resp.args.size() < 2) return Error(EPROTO, "missing pread checksum");
+    auto wire_digest = hex_to_hash(resp.args[1]);
+    if (!wire_digest) {
+      return Error(EPROTO, "bad pread checksum token: " + resp.args[1]);
+    }
+    if (*wire_digest != fnv1a64(data, static_cast<size_t>(n))) {
+      return integrity_error("pread");
+    }
+  }
   return static_cast<size_t>(n);
 }
 
@@ -159,6 +196,10 @@ Result<size_t> Client::pwrite(int64_t fd, const void* data, size_t size,
   req.fd = fd;
   req.length = size;
   req.offset = offset;
+  if (checksum_) {
+    req.has_checksum = true;
+    req.checksum = fnv1a64(data, size);
+  }
   TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req, data));
   TSS_ASSIGN_OR_RETURN(int64_t n, ok_i64(resp, 0));
   return static_cast<size_t>(n);
@@ -268,6 +309,9 @@ Result<std::string> Client::getfile(const std::string& path) {
   if (size > 0) {
     TSS_RETURN_IF_ERROR(stream_.read_blob(data.data(), data.size()));
   }
+  if (checksum_) {
+    TSS_RETURN_IF_ERROR(verify_sum_trailer(fnv1a64(data), "getfile"));
+  }
   return data;
 }
 
@@ -278,7 +322,11 @@ Result<void> Client::putfile(const std::string& path, std::string_view data,
   req.path = path;
   req.mode = mode;
   req.length = data.size();
-  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req, data.data()));
+  std::string trailer;
+  if (checksum_) trailer = encode_sum_line(fnv1a64(data));
+  TSS_ASSIGN_OR_RETURN(
+      Response resp,
+      roundtrip(req, data.data(), checksum_ ? &trailer : nullptr));
   return ok_void(resp);
 }
 
@@ -292,12 +340,19 @@ Result<uint64_t> Client::getfile_to(const std::string& path,
   uint64_t remaining = static_cast<uint64_t>(size);
   std::string buffer;
   buffer.resize(256 * 1024);
+  Fnv1a64 digest;
   while (remaining > 0) {
     size_t chunk = static_cast<size_t>(
         std::min<uint64_t>(remaining, buffer.size()));
     TSS_RETURN_IF_ERROR(stream_.read_blob(buffer.data(), chunk));
+    if (checksum_) digest.update(buffer.data(), chunk);
     TSS_RETURN_IF_ERROR(sink(std::string_view(buffer.data(), chunk)));
     remaining -= chunk;
+  }
+  if (checksum_) {
+    // The sink already consumed the bytes; an EBADMSG here tells the caller
+    // to discard whatever it assembled from them.
+    TSS_RETURN_IF_ERROR(verify_sum_trailer(digest.digest(), "getfile"));
   }
   return static_cast<uint64_t>(size);
 }
@@ -313,6 +368,7 @@ Result<void> Client::putfile_from(const std::string& path, uint64_t size,
   std::string buffer;
   buffer.resize(256 * 1024);
   uint64_t remaining = size;
+  Fnv1a64 digest;
   while (remaining > 0) {
     size_t want = static_cast<size_t>(
         std::min<uint64_t>(remaining, buffer.size()));
@@ -323,10 +379,12 @@ Result<void> Client::putfile_from(const std::string& path, uint64_t size,
       stream_.close();
       return Error(EIO, "putfile source ended prematurely");
     }
+    if (checksum_) digest.update(buffer.data(), got);
     stream_.write_blob(buffer.data(), got);
     TSS_RETURN_IF_ERROR(stream_.flush());
     remaining -= got;
   }
+  if (checksum_) stream_.write_line(encode_sum_line(digest.digest()));
   TSS_RETURN_IF_ERROR(stream_.flush());
   TSS_ASSIGN_OR_RETURN(std::string line, stream_.read_line());
   TSS_ASSIGN_OR_RETURN(Response resp, parse_response_line(line));

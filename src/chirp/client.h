@@ -32,6 +32,12 @@ class Client {
     // Registry for client-side RPC metrics (round-trip latency histogram,
     // rpc/error counters). Null = the process-wide obs::Registry::global().
     obs::Registry* metrics = nullptr;
+    // Offer the "checksum" capability at handshake. When the server echoes
+    // it back, pread/getfile payloads are verified against the server's
+    // FNV-1a64 digest (mismatch = EBADMSG) and pwrite/putfile payloads carry
+    // the client's digest for the server to verify. Off the wire stays
+    // byte-compatible with old servers either way.
+    bool integrity = true;
   };
 
   // Connects and performs the version handshake.
@@ -47,6 +53,9 @@ class Client {
   bool connected() const { return stream_.valid(); }
   void close() { stream_.close(); }
   const net::Endpoint& server() const { return server_; }
+
+  // True when the server accepted the checksum capability at handshake.
+  bool checksum_enabled() const { return checksum_; }
 
   // Transport-level fault injection (tests): sever or truncate mid-RPC so
   // the recovery paths above this client run for real. See net::LineStream.
@@ -105,18 +114,26 @@ class Client {
   explicit Client(net::LineStream stream, net::Endpoint server)
       : stream_(std::move(stream)), server_(std::move(server)) {}
 
-  // Sends a request (+payload), reads the response line.
+  // Sends a request (+payload[+trailer line]), reads the response line.
   Result<Response> roundtrip(const Request& request,
-                             const void* payload = nullptr);
+                             const void* payload = nullptr,
+                             const std::string* trailer = nullptr);
+  // Reads and parses the "sum <16hex>" trailer that follows a streamed
+  // payload, then compares it against the locally computed digest.
+  Result<void> verify_sum_trailer(uint64_t local_digest, const char* what);
+  // Typed integrity failure: bumps the mismatch counter and returns EBADMSG.
+  Error integrity_error(const char* what);
 
   net::LineStream stream_;
   net::Endpoint server_;
+  bool checksum_ = false;
 
   // Client-side RPC metrics, resolved once in connect(). Null on a
   // default-constructed (disconnected) client — roundtrip() skips recording.
   obs::Histogram* rpc_latency_ = nullptr;
   obs::Counter* rpcs_ = nullptr;
   obs::Counter* rpc_errors_ = nullptr;
+  obs::Counter* integrity_mismatches_ = nullptr;
 };
 
 }  // namespace tss::chirp

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 
+#include "util/checksum.h"
 #include "util/strings.h"
 
 namespace tss::chirp {
@@ -184,6 +185,7 @@ std::string encode_request(const Request& r) {
   switch (r.op) {
     case Op::kVersion:
       add(std::to_string(r.version));
+      for (const std::string& cap : r.caps) add(cap);
       break;
     case Op::kAuth:
       add(r.auth_method);
@@ -199,6 +201,7 @@ std::string encode_request(const Request& r) {
       add(std::to_string(r.fd));
       add(std::to_string(r.length));
       add(std::to_string(r.offset));
+      if (r.op == Op::kPwrite && r.has_checksum) add(hash_to_hex(r.checksum));
       break;
     case Op::kFsync:
     case Op::kClose:
@@ -272,6 +275,7 @@ Result<Request> parse_request_line(const std::string& line) {
     r.op = Op::kVersion;
     TSS_ASSIGN_OR_RETURN(int64_t v, arg_i64(words, 1));
     r.version = static_cast<int>(v);
+    r.caps.assign(words.begin() + 2, words.end());
     return r;
   }
   if (cmd == "auth") {
@@ -297,6 +301,12 @@ Result<Request> parse_request_line(const std::string& line) {
     TSS_ASSIGN_OR_RETURN(r.offset, arg_i64(words, 3));
     if (r.length > kMaxRpcPayload) {
       return Error(EMSGSIZE, "rpc payload too large");
+    }
+    if (r.op == Op::kPwrite && words.size() > 4) {
+      auto digest = hex_to_hash(words[4]);
+      if (!digest) return Error(EPROTO, "bad checksum token: " + words[4]);
+      r.has_checksum = true;
+      r.checksum = *digest;
     }
     return r;
   }
@@ -399,6 +409,20 @@ Result<Response> parse_response_line(const std::string& line) {
   // Challenge lines are handled at a different layer; anything else here is
   // a protocol violation.
   return Error(EPROTO, "bad response: " + line);
+}
+
+std::string encode_sum_line(uint64_t digest) {
+  return "sum " + hash_to_hex(digest);
+}
+
+Result<uint64_t> parse_sum_line(const std::string& line) {
+  auto words = split_words(line);
+  if (words.size() != 2 || words[0] != "sum") {
+    return Error(EPROTO, "bad checksum trailer: " + line);
+  }
+  auto digest = hex_to_hash(words[1]);
+  if (!digest) return Error(EPROTO, "bad checksum trailer: " + line);
+  return *digest;
 }
 
 }  // namespace tss::chirp

@@ -15,11 +15,11 @@
 // is what makes the simulated experiments measure the actual protocol.
 //
 // RPC set (a superset of the fragment printed in the paper):
-//   version <n>
+//   version <n> [cap...]                  -> ok <n> [cap...]
 //   auth <method> <arg>                      (challenge rounds may follow)
 //   open <path> <flags> <mode>            -> ok <fd>
-//   pread <fd> <length> <offset>          -> ok <n>  + n payload bytes
-//   pwrite <fd> <length> <offset>         -> (length payload bytes)  ok <n>
+//   pread <fd> <length> <offset>          -> ok <n> [sum]  + n payload bytes
+//   pwrite <fd> <length> <offset> [sum]   -> (length payload bytes)  ok <n>
 //   fsync <fd>                            -> ok
 //   close <fd>                            -> ok
 //   stat <path>                           -> ok <size> <mode> <mtime> <inode> <f|d>
@@ -30,7 +30,9 @@
 //   rmdir <path>                          -> ok
 //   getdir <path>                         -> ok <count>  + count listing lines
 //   getfile <path>                        -> ok <size>  + size payload bytes
-//   putfile <path> <mode> <size>          -> (size payload bytes)  ok
+//                                            [+ "sum <16hex>" trailer line]
+//   putfile <path> <mode> <size>          -> (size payload bytes
+//                                            [+ "sum <16hex>" trailer])  ok
 //   getacl <path>                         -> ok <bytes>  + ACL text payload
 //   setacl <path> <subject> <rights>      -> ok
 //   whoami                                -> ok <subject>
@@ -38,6 +40,16 @@
 //   truncate <path> <size>                -> ok
 //   stats                                 -> ok <bytes>  + metrics snapshot
 //                                            (text; see docs/OBSERVABILITY.md)
+//
+// Capabilities: `version` may carry capability tokens after the number; the
+// server echoes back the subset it supports and both sides enable them for
+// the rest of the session. Old peers ignore (or never send) the extra tokens,
+// so mixed-version deployments interoperate. The one capability today is
+// "checksum": pread replies and pwrite requests gain an FNV-1a64 digest of
+// the payload as a trailing 16-hex token, and getfile/putfile payloads are
+// followed by a one-line "sum <16hex>" trailer (the digest of a streamed
+// transfer is only known once the last byte has been sent). See
+// docs/RECOVERY.md for what the client does with a mismatch.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +62,9 @@
 namespace tss::chirp {
 
 constexpr int kProtocolVersion = 1;
+
+// Capability token: per-extent FNV-1a64 checksums on data-carrying RPCs.
+inline constexpr const char* kCapChecksum = "checksum";
 
 // Maximum size of a single pread/pwrite payload. Larger application reads
 // are segmented by the client; getfile/putfile stream without this limit.
@@ -135,6 +150,9 @@ struct Request {
   uint32_t mode = 0644;
   OpenFlags flags;
   int version = kProtocolVersion;
+  std::vector<std::string> caps;  // version: capability tokens offered
+  bool has_checksum = false;      // pwrite: digest token present on the line
+  uint64_t checksum = 0;          // pwrite: FNV-1a64 of the payload
   std::string auth_method;
   std::string auth_arg;
   std::string acl_subject;
@@ -173,5 +191,13 @@ std::string encode_response_line(const Response& r);
 
 // Client-side: parses a response status line.
 Result<Response> parse_response_line(const std::string& line);
+
+// The "sum <16hex>" trailer line that follows a streamed getfile/putfile
+// payload when the checksum capability is negotiated (no trailing newline).
+std::string encode_sum_line(uint64_t digest);
+
+// Parses a trailer line. A peer that negotiated checksums and then sends a
+// malformed or missing trailer is violating the protocol: EPROTO.
+Result<uint64_t> parse_sum_line(const std::string& line);
 
 }  // namespace tss::chirp

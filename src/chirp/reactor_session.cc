@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/path.h"
 #include "util/strings.h"
 
 namespace tss::chirp {
@@ -161,6 +162,10 @@ void ServerSession::on_close(net::Conn&) {
     } else if (state_ == State::kRecvFile) {
       core_->stream_close(handle_);
       core_->record_op(Op::kPutfile, op_start_, offset_, 0, EPIPE);
+    } else if (state_ == State::kRecvSum) {
+      // Body landed but the trailer never arrived; the handle is already
+      // closed, only the op record is outstanding.
+      core_->record_op(Op::kPutfile, op_start_, offset_, 0, EPIPE);
     }
   }
   state_ = State::kRequestLine;
@@ -248,6 +253,9 @@ bool ServerSession::step(net::Conn& c) {
           chunk_.resize(want);
           size_t got = c.input().read(chunk_.data(), want);
           if (got == 0) break;
+          if (core_->checksum_negotiated()) {
+            stream_sum_.update(chunk_.data(), got);
+          }
           if (write_rc_.ok()) {
             auto n = core_->backend().pwrite(handle_, chunk_.data(), got,
                                              static_cast<int64_t>(offset_));
@@ -264,8 +272,43 @@ bool ServerSession::step(net::Conn& c) {
           return !c.input_eof();
         }
         core_->stream_close(handle_);
+        if (core_->checksum_negotiated()) {
+          // The client's sum trailer follows the body; hold the verdict
+          // until it is verified.
+          state_ = State::kRecvSum;
+          continue;
+        }
         Response resp = write_rc_.ok() ? Response{}
                                        : Response::failure(write_rc_.error());
+        core_->record_op(Op::kPutfile, op_start_, offset_, 0, resp.err);
+        respond(c, resp);
+        to_request_line(c);
+        continue;
+      }
+
+      case State::kRecvSum: {
+        auto line = c.input().try_line();
+        if (!line.ok()) return false;
+        if (!line.value()) return !c.input_eof();
+        Response resp;
+        auto digest = parse_sum_line(*line.value());
+        if (!write_rc_.ok()) {
+          resp = Response::failure(write_rc_.error());
+        } else if (!digest.ok() || digest.value() != stream_sum_.digest()) {
+          // The bytes that reached us are either unverifiable (mangled
+          // trailer) or provably not the bytes the client sent. Refuse the
+          // op and remove the damaged file rather than leave silent
+          // corruption at rest.
+          (void)core_->backend().unlink(path::sanitize(req_.path));
+          if (params_.config->metrics) {
+            params_.config->metrics
+                ->counter("chirp.server.integrity.mismatch")
+                ->add();
+          }
+          resp = digest.ok()
+                     ? Response::failure(EBADMSG, "putfile checksum mismatch")
+                     : Response::failure(digest.error());
+        }
         core_->record_op(Op::kPutfile, op_start_, offset_, 0, resp.err);
         respond(c, resp);
         to_request_line(c);
@@ -279,6 +322,22 @@ bool ServerSession::step(net::Conn& c) {
         if (drain_remaining_ > 0) {
           return !c.input_eof();
         }
+        if (core_->checksum_negotiated()) {
+          state_ = State::kDrainSum;
+          continue;
+        }
+        core_->record_op(Op::kPutfile, op_start_, size_, 0,
+                         pending_resp_.err);
+        respond(c, pending_resp_);
+        to_request_line(c);
+        continue;
+      }
+
+      case State::kDrainSum: {
+        // The op already failed; the trailer just has to leave the stream.
+        auto line = c.input().try_line();
+        if (!line.ok()) return false;
+        if (!line.value()) return !c.input_eof();
         core_->record_op(Op::kPutfile, op_start_, size_, 0,
                          pending_resp_.err);
         respond(c, pending_resp_);
@@ -393,7 +452,12 @@ bool ServerSession::begin_getfile(net::Conn& c) {
   Response resp;
   resp.args.push_back(std::to_string(size));
   respond(c, resp);
+  stream_sum_ = Fnv1a64();
   if (size == 0) {
+    if (core_->checksum_negotiated()) {
+      c.write(encode_sum_line(stream_sum_.digest()));
+      c.write("\n");
+    }
     core_->stream_close(handle.value());
     core_->record_op(Op::kGetfile, op_start_, 0, 0, 0);
     return true;
@@ -424,13 +488,24 @@ bool ServerSession::on_output_space(net::Conn& c) {
       // sync (the file shrank mid-transfer).
       std::memset(chunk_.data(), 0, want);
       c.write(std::string_view(chunk_.data(), want));
+      if (core_->checksum_negotiated()) stream_sum_.update(chunk_.data(), want);
       offset_ += want;
     } else {
       c.write(std::string_view(chunk_.data(), n.value()));
+      if (core_->checksum_negotiated()) {
+        stream_sum_.update(chunk_.data(), n.value());
+      }
       offset_ += n.value();
     }
   }
   if (offset_ >= size_) {
+    if (core_->checksum_negotiated()) {
+      // Digest of the bytes as actually streamed — including any zero
+      // padding — so the client verifies what it received, not what the
+      // file once was.
+      c.write(encode_sum_line(stream_sum_.digest()));
+      c.write("\n");
+    }
     c.want_output_space(false);
     core_->stream_close(handle_);
     core_->record_op(Op::kGetfile, op_start_, 0, offset_, 0);
@@ -445,17 +520,20 @@ bool ServerSession::begin_putfile(net::Conn& c) {
   op_start_ = core_->clock().now();
   size_ = req_.length;
   offset_ = 0;
+  stream_sum_ = Fnv1a64();
   auto handle = core_->stream_open_write(req_.path, req_.mode);
   if (!handle.ok()) {
-    // Drain the promised body so the connection stays usable.
+    // Drain the promised body (and sum trailer) so the connection stays
+    // usable.
     pending_resp_ = Response::failure(handle.error());
     drain_remaining_ = size_;
-    if (drain_remaining_ == 0) {
+    if (drain_remaining_ == 0 && !core_->checksum_negotiated()) {
       core_->record_op(Op::kPutfile, op_start_, 0, 0, pending_resp_.err);
       respond(c, pending_resp_);
       return true;
     }
-    state_ = State::kDrainBody;
+    state_ =
+        drain_remaining_ > 0 ? State::kDrainBody : State::kDrainSum;
     c.set_timeout(params_.io_timeout);
     return true;
   }
@@ -463,6 +541,11 @@ bool ServerSession::begin_putfile(net::Conn& c) {
   write_rc_ = Result<void>::success();
   if (size_ == 0) {
     core_->stream_close(handle_);
+    if (core_->checksum_negotiated()) {
+      state_ = State::kRecvSum;
+      c.set_timeout(params_.io_timeout);
+      return true;
+    }
     core_->record_op(Op::kPutfile, op_start_, 0, 0, 0);
     respond(c, Response{});
     return true;

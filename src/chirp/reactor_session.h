@@ -30,6 +30,7 @@
 
 #include "chirp/session.h"
 #include "net/event_loop.h"
+#include "util/checksum.h"
 
 namespace tss::chirp {
 
@@ -96,7 +97,9 @@ class ServerSession final : public net::ReactorSession,
     kAuthPending,  // interactive auth running on the executor
     kSendFile,     // streaming getfile: refill on output space
     kRecvFile,     // streaming putfile: consume body chunks into the backend
+    kRecvSum,      // putfile body done: verify the client's checksum trailer
     kDrainBody,    // putfile was denied: discard the promised body, respond
+    kDrainSum,     // ...and the checksum trailer the client still sends
   };
 
   bool step(net::Conn& c);
@@ -128,6 +131,7 @@ class ServerSession final : public net::ReactorSession,
   uint64_t size_ = 0;
   uint64_t offset_ = 0;
   uint64_t drain_remaining_ = 0;
+  Fnv1a64 stream_sum_;  // running digest of the in-flight stream body
   Response pending_resp_;
   Result<void> write_rc_ = Result<void>::success();
   std::shared_ptr<detail::AuthBridge> bridge_;

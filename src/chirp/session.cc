@@ -1,5 +1,6 @@
 #include "chirp/session.h"
 
+#include "util/checksum.h"
 #include "util/logging.h"
 #include "util/path.h"
 #include "util/strings.h"
@@ -25,6 +26,8 @@ SessionCore::SessionCore(const ServerConfig& config, Backend& backend,
     errors_ = config_.metrics->counter("chirp.server.errors");
     bytes_in_ = config_.metrics->counter("chirp.server.bytes_in");
     bytes_out_ = config_.metrics->counter("chirp.server.bytes_out");
+    integrity_mismatch_ =
+        config_.metrics->counter("chirp.server.integrity.mismatch");
   }
 }
 
@@ -156,6 +159,14 @@ Response SessionCore::dispatch(const Request& raw, Payload payload,
   if (r.op == Op::kVersion) {
     Response resp;
     resp.args.push_back(std::to_string(kProtocolVersion));
+    // Echo back the offered capabilities we support; each echo arms the
+    // feature for the rest of the session.
+    for (const std::string& cap : r.caps) {
+      if (cap == kCapChecksum) {
+        checksum_ = true;
+        resp.args.push_back(cap);
+      }
+    }
     return resp;
   }
   if (!authenticated()) {
@@ -279,6 +290,9 @@ Response SessionCore::do_pread(const Request& r, std::string* out) {
   out->resize(old + n.value());
   Response resp;
   resp.args.push_back(std::to_string(n.value()));
+  if (checksum_) {
+    resp.args.push_back(hash_to_hex(fnv1a64(out->data() + old, n.value())));
+  }
   resp.payload_size = n.value();
   return resp;
 }
@@ -286,6 +300,13 @@ Response SessionCore::do_pread(const Request& r, std::string* out) {
 Response SessionCore::do_pwrite(const Request& r, Payload payload) {
   auto it = fds_.find(r.fd);
   if (it == fds_.end()) return Response::failure(EBADF, "bad fd");
+  // Verify before writing: a mangled payload must never reach the disk.
+  // (Synthetic size-only payloads carry no bytes to digest.)
+  if (r.has_checksum && payload.data != nullptr &&
+      fnv1a64(payload.data, static_cast<size_t>(payload.size)) != r.checksum) {
+    if (integrity_mismatch_) integrity_mismatch_->add();
+    return Response::failure(EBADMSG, "pwrite checksum mismatch");
+  }
   auto n = backend_.pwrite(it->second.backend_handle, payload.data,
                            static_cast<size_t>(payload.size), r.offset);
   if (!n.ok()) return Response::failure(n.error());

@@ -110,6 +110,11 @@ class SessionCore {
   void stream_close(int backend_handle);
   Backend& backend() { return backend_; }
 
+  // True once the client offered the "checksum" capability at handshake.
+  // Data-carrying RPCs then attach/verify FNV-1a64 digests; the streaming
+  // transport consults this to frame the getfile/putfile sum trailers.
+  bool checksum_negotiated() const { return checksum_; }
+
   // --- Observability --------------------------------------------------------
   // Records one completed RPC (latency histogram, request/error/byte
   // counters, one span). handle() calls this for every dispatched op; the
@@ -164,6 +169,9 @@ class SessionCore {
   obs::Counter* errors_ = nullptr;
   obs::Counter* bytes_in_ = nullptr;
   obs::Counter* bytes_out_ = nullptr;
+  obs::Counter* integrity_mismatch_ = nullptr;
+
+  bool checksum_ = false;
 
   struct OpenFile {
     int backend_handle = -1;

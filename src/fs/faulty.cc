@@ -1,5 +1,7 @@
 #include "fs/faulty.h"
 
+#include <cstring>
+
 #include "util/path.h"
 #include "util/strings.h"
 
@@ -65,14 +67,46 @@ void FaultSchedule::add_latency(Nanos latency, std::string op_pattern,
   add(std::move(rule));
 }
 
+void FaultSchedule::corrupt_bit_flip(std::string op_pattern,
+                                     std::string path_pattern) {
+  FaultRule rule;
+  rule.op_pattern = std::move(op_pattern);
+  rule.path_pattern = std::move(path_pattern);
+  rule.error_code = 0;
+  rule.corrupt = FaultRule::Corrupt::kBitFlip;
+  add(std::move(rule));
+}
+
+void FaultSchedule::corrupt_truncate(std::string op_pattern,
+                                     std::string path_pattern) {
+  FaultRule rule;
+  rule.op_pattern = std::move(op_pattern);
+  rule.path_pattern = std::move(path_pattern);
+  rule.error_code = 0;
+  rule.corrupt = FaultRule::Corrupt::kTruncate;
+  add(std::move(rule));
+}
+
 void FaultSchedule::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   rules_.clear();
 }
 
-int FaultSchedule::decide(std::string_view op, const std::string& path) {
+namespace {
+// splitmix64-style finalizer: spreads the op counter into a full-width seed
+// without touching the schedule's Rng stream.
+uint64_t mix_seed(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+FaultSchedule::IoVerdict FaultSchedule::decide_io(std::string_view op,
+                                                  const std::string& path) {
   Nanos latency = 0;
-  int injected = 0;
+  IoVerdict verdict;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ops_++;
@@ -94,8 +128,15 @@ int FaultSchedule::decide(std::string_view op, const std::string& path) {
       }
       active.fired++;
       latency += rule.latency;
-      if (rule.error_code != 0 && injected == 0) {
-        injected = rule.error_code;
+      if (rule.corrupt != FaultRule::Corrupt::kNone &&
+          verdict.corrupt == FaultRule::Corrupt::kNone) {
+        verdict.corrupt = rule.corrupt;
+        verdict.corrupt_seed = mix_seed(ops_);
+        faults_++;
+        m_injected_->add();
+      }
+      if (rule.error_code != 0 && verdict.error == 0) {
+        verdict.error = rule.error_code;
         faults_++;
         m_injected_->add();
       }
@@ -103,7 +144,11 @@ int FaultSchedule::decide(std::string_view op, const std::string& path) {
   }
   // Sleep outside the lock so a latency rule cannot serialize a whole stack.
   if (latency > 0) clock_->sleep_for(latency);
-  return injected;
+  return verdict;
+}
+
+int FaultSchedule::decide(std::string_view op, const std::string& path) {
+  return decide_io(op, path).error;
 }
 
 uint64_t FaultSchedule::ops_seen() const {
@@ -129,18 +174,52 @@ class FaultyFile final : public File {
         path_(std::move(path)) {}
 
   Result<size_t> pread(void* data, size_t size, int64_t offset) override {
-    if (int err = schedule_->decide("pread", path_)) {
-      return Error(err, "injected fault: pread " + path_);
+    FaultSchedule::IoVerdict v = schedule_->decide_io("pread", path_);
+    if (v.error) {
+      return Error(v.error, "injected fault: pread " + path_);
     }
-    return target_->pread(data, size, offset);
+    auto n = target_->pread(data, size, offset);
+    if (!n.ok() || n.value() == 0) return n;
+    size_t got = n.value();
+    switch (v.corrupt) {
+      case FaultRule::Corrupt::kNone:
+        break;
+      case FaultRule::Corrupt::kBitFlip:
+        // A bad sector: one bit of the delivered payload is wrong, and the
+        // read still reports success.
+        static_cast<char*>(data)[(v.corrupt_seed / 8) % got] ^=
+            char(1) << (v.corrupt_seed % 8);
+        break;
+      case FaultRule::Corrupt::kTruncate:
+        // A torn read: only the first half arrived, the tail is zero-fill,
+        // and the caller is still told the full count.
+        std::memset(static_cast<char*>(data) + got / 2, 0, got - got / 2);
+        break;
+    }
+    return got;
   }
 
   Result<size_t> pwrite(const void* data, size_t size,
                         int64_t offset) override {
-    if (int err = schedule_->decide("pwrite", path_)) {
-      return Error(err, "injected fault: pwrite " + path_);
+    FaultSchedule::IoVerdict v = schedule_->decide_io("pwrite", path_);
+    if (v.error) {
+      return Error(v.error, "injected fault: pwrite " + path_);
     }
-    return target_->pwrite(data, size, offset);
+    if (v.corrupt == FaultRule::Corrupt::kNone || size == 0) {
+      return target_->pwrite(data, size, offset);
+    }
+    // At-rest rot: mutate a private copy so the caller's buffer (and any
+    // digest it computed) stays true to intent, then report full success —
+    // the writer believes everything landed.
+    std::string copy(static_cast<const char*>(data), size);
+    if (v.corrupt == FaultRule::Corrupt::kBitFlip) {
+      copy[(v.corrupt_seed / 8) % size] ^= char(1) << (v.corrupt_seed % 8);
+    } else {
+      copy.resize(size / 2);
+    }
+    auto n = target_->pwrite(copy.data(), copy.size(), offset);
+    if (!n.ok()) return n;
+    return size;
   }
 
   Result<void> fsync() override {

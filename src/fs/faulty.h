@@ -35,6 +35,13 @@ namespace tss::fs {
 // fstat, close. (read_file/write_file decompose into open/pread/pwrite, so
 // rules on the primitives cover them.)
 struct FaultRule {
+  // Silent data corruption, as a bad disk or controller would produce it:
+  // the operation *succeeds*, but the bytes are wrong. kBitFlip flips one
+  // deterministically-chosen bit of the payload; kTruncate delivers (pread)
+  // or persists (pwrite) only the first half of it while reporting full
+  // success. Only pread/pwrite honor corruption; on other ops it is inert.
+  enum class Corrupt { kNone, kBitFlip, kTruncate };
+
   std::string op_pattern = "*";    // wildcard over the operation name
   std::string path_pattern = "*";  // wildcard over the sanitized path
   uint64_t skip = 0;               // let the first `skip` matching ops pass
@@ -42,6 +49,7 @@ struct FaultRule {
   double probability = 1.0;        // chance an eligible op fires (seeded Rng)
   int error_code = EIO;            // injected errno; 0 = latency-only rule
   Nanos latency = 0;               // injected sleep before the verdict
+  Corrupt corrupt = Corrupt::kNone;  // payload mutation instead of an errno
 };
 
 // A seeded, shareable fault schedule. Thread-safe: several FaultyFs
@@ -74,9 +82,27 @@ class FaultSchedule {
   // Delays every matching op without failing it.
   void add_latency(Nanos latency, std::string op_pattern = "*",
                    std::string path_pattern = "*");
+  // Silently flips one bit of every matching payload (default: reads).
+  void corrupt_bit_flip(std::string op_pattern = "pread",
+                        std::string path_pattern = "*");
+  // Silently delivers/persists only half of every matching payload.
+  void corrupt_truncate(std::string op_pattern = "pread",
+                        std::string path_pattern = "*");
 
   // Forgets all rules (the injected failure is repaired); counters survive.
   void clear();
+
+  // Full verdict for a data-carrying op: an errno to inject (0 = proceed)
+  // plus any payload corruption to apply. `corrupt_seed` is derived from the
+  // schedule's op counter — deterministic for a fixed seed and op order, and
+  // it does not consume the shared Rng stream, so adding a corruption rule
+  // never perturbs the firing pattern of probabilistic error rules.
+  struct IoVerdict {
+    int error = 0;
+    FaultRule::Corrupt corrupt = FaultRule::Corrupt::kNone;
+    uint64_t corrupt_seed = 0;
+  };
+  IoVerdict decide_io(std::string_view op, const std::string& path);
 
   // Consulted once per operation by FaultyFs. Applies latency of every
   // firing rule, then returns the first firing error code (0 = proceed).

@@ -50,7 +50,10 @@ class ReplicatedFile final : public File {
       for (size_t k = 0; k < members_.size(); k++) {
         if (!members_[k].file) continue;
         size_t i = members_[k].index;
-        if (parent_->replica_available(i) && !parent_->replica_diverged(i)) {
+        // A quarantined replica must not win the race either: it is fast and
+        // reachable but its bytes have already failed verification once.
+        if (parent_->replica_available(i) && !parent_->replica_diverged(i) &&
+            !parent_->replica_quarantined(i)) {
           hedges.push_back(k);
         }
       }
@@ -64,16 +67,23 @@ class ReplicatedFile final : public File {
         last = std::move(first).take_error();
       }
     }
-    for (size_t k = 0; k < members_.size(); k++) {
-      Member& m = members_[k];
-      if (!m.file || already_tried[k]) continue;
-      auto n = m.file->pread(data, size, offset);
-      if (n.ok()) {
-        parent_->note_success(m.index);
-        return n;
+    // Quarantined members are a last resort (second pass): their bytes
+    // failed verification once already, so every clean member gets a chance
+    // to answer before a suspect one is consulted at all.
+    for (int pass = 0; pass < 2; pass++) {
+      for (size_t k = 0; k < members_.size(); k++) {
+        Member& m = members_[k];
+        if (!m.file || already_tried[k]) continue;
+        if ((pass == 0) == parent_->replica_quarantined(m.index)) continue;
+        auto n = m.file->pread(data, size, offset);
+        if (n.ok()) {
+          parent_->note_success(m.index);
+          return n;
+        }
+        last = std::move(n).take_error();
+        parent_->note_failure(m.index, last.code);
+        already_tried[k] = 1;
       }
-      last = std::move(n).take_error();
-      parent_->note_failure(m.index, last.code);
     }
     return last;
   }
@@ -303,6 +313,10 @@ ReplicatedFs::ReplicatedFs(std::vector<FileSystem*> replicas, Options options)
   m_breaker_closes_ = metrics->counter("replicated.breaker_closes");
   m_diverged_ = metrics->counter("replicated.diverged");
   m_repaired_ = metrics->counter("replicated.repaired");
+  m_integrity_mismatch_ = metrics->counter("fs.integrity.mismatch");
+  m_quarantine_ = metrics->counter("fs.integrity.quarantine");
+  m_integrity_repaired_ = metrics->counter("fs.integrity.repaired");
+  g_quarantined_ = metrics->gauge("fs.integrity.quarantined");
 }
 
 bool ReplicatedFs::replica_available(size_t i) const {
@@ -313,6 +327,32 @@ bool ReplicatedFs::replica_available(size_t i) const {
 bool ReplicatedFs::replica_diverged(size_t i) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return health_[i].diverged;
+}
+
+bool ReplicatedFs::replica_quarantined(size_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return health_[i].quarantined;
+}
+
+void ReplicatedFs::quarantine(size_t i) {
+  if (i >= replicas_.size()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (health_[i].quarantined) return;
+  health_[i].quarantined = true;
+  m_quarantine_->add();
+  g_quarantined_->add(1);
+  TSS_WARN("replicated") << "replica " << i
+                         << " quarantined: integrity suspect";
+}
+
+void ReplicatedFs::unquarantine(size_t i) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!health_[i].quarantined) return;
+  health_[i].quarantined = false;
+  g_quarantined_->sub(1);
+  m_integrity_repaired_->add();
+  TSS_INFO("replicated") << "replica " << i
+                         << " verified; quarantine lifted";
 }
 
 void ReplicatedFs::note_success(size_t i) {
@@ -326,6 +366,14 @@ void ReplicatedFs::note_success(size_t i) {
 }
 
 void ReplicatedFs::note_failure(size_t i, int code) {
+  if (code == EBADMSG) {
+    // Typed integrity failure: the replica answered, but with bytes that
+    // failed verification. That is a data problem, not an availability
+    // problem — the breaker stays untouched; the replica is quarantined.
+    m_integrity_mismatch_->add();
+    quarantine(i);
+    return;
+  }
   if (!is_availability_error(code)) return;
   std::lock_guard<std::mutex> lock(mutex_);
   Health& h = health_[i];
@@ -348,7 +396,8 @@ std::vector<size_t> ReplicatedFs::read_order(size_t* clean_count) const {
   std::vector<size_t> order, broken;
   std::lock_guard<std::mutex> lock(mutex_);
   for (size_t i = 0; i < replicas_.size(); i++) {
-    if (available_locked(i) && !health_[i].diverged) {
+    if (available_locked(i) && !health_[i].diverged &&
+        !health_[i].quarantined) {
       order.push_back(i);
     } else {
       broken.push_back(i);
@@ -521,8 +570,8 @@ Result<void> ReplicatedFs::probe(size_t i) {
 
 Result<int> ReplicatedFs::repair(const std::string& p) {
   std::string canonical = path::sanitize(p);
-  // Source: the first clean replica holding the file (a diverged replica
-  // must never be the golden copy).
+  // Source: the first clean replica holding the file (a diverged or
+  // quarantined replica must never be the golden copy).
   FileSystem* source = nullptr;
   size_t source_index = 0;
   for (size_t i : read_order()) {
@@ -542,6 +591,9 @@ Result<int> ReplicatedFs::repair(const std::string& p) {
     auto current = replica->read_file(canonical);
     if (current.ok() && current.value() == golden) {
       note_success(i);
+      // Byte-identical to the golden copy: an integrity suspicion against
+      // this replica is disproven for this file.
+      unquarantine(i);
       continue;
     }
     auto rc = replica->write_file(canonical, golden);
@@ -554,13 +606,18 @@ Result<int> ReplicatedFs::repair(const std::string& p) {
       repaired++;
       m_repaired_->add();
       // Converged: reachable and carrying the golden bytes again; close the
-      // breaker and clear the diverged mark.
+      // breaker, clear the diverged mark, and lift any quarantine.
       std::lock_guard<std::mutex> lock(mutex_);
       if (health_[i].consecutive_failures >= options_.failure_threshold) {
         m_breaker_closes_->add();
       }
       health_[i].consecutive_failures = 0;
       health_[i].diverged = false;
+      if (health_[i].quarantined) {
+        health_[i].quarantined = false;
+        g_quarantined_->sub(1);
+        m_integrity_repaired_->add();
+      }
     } else {
       note_failure(i, rc.error().code);
     }

@@ -18,6 +18,14 @@
 // it records that the replica missed a mutation and is cleared only by
 // repair() — a reachable replica with stale data must not serve reads.
 //
+// Integrity hardening: an EBADMSG from a replica is a *typed* integrity
+// error — the replica answered, but with bytes that failed checksum
+// verification (see chirp::Client). It does not count toward the breaker
+// (the replica is reachable); instead the replica is *quarantined*: excluded
+// from reads and from hedged races until repair() verifies or rewrites its
+// copy. The fs::Scrubber drives that lifecycle in the background; see
+// docs/RECOVERY.md.
+//
 // This is deliberately the "simplest available solution" (§1): no quorums,
 // no version vectors. Trust and placement decisions stay with the user.
 #pragma once
@@ -81,10 +89,19 @@ class ReplicatedFs final : public FileSystem {
   Result<void> probe(size_t i);
 
   size_t replica_count() const { return replicas_.size(); }
+  // Direct access to replica `i` — the scrubber (and repair tooling) reads
+  // replicas individually to compare their bytes.
+  FileSystem* replica(size_t i) const { return replicas_[i]; }
   // Breaker closed: the replica participates in reads and writes.
   bool replica_available(size_t i) const;
   // The replica missed at least one mutation since the last repair().
   bool replica_diverged(size_t i) const;
+  // The replica served bytes that failed integrity verification and is
+  // excluded from reads until repair() clears it.
+  bool replica_quarantined(size_t i) const;
+  // Marks replica `i` integrity-suspect. Idempotent; also called internally
+  // on EBADMSG, and by the scrubber/operators on digest disagreement.
+  void quarantine(size_t i);
 
  private:
   friend class ReplicatedFile;
@@ -92,6 +109,7 @@ class ReplicatedFs final : public FileSystem {
   struct Health {
     int consecutive_failures = 0;
     bool diverged = false;
+    bool quarantined = false;
   };
 
   bool available_locked(size_t i) const {
@@ -107,9 +125,12 @@ class ReplicatedFs final : public FileSystem {
   std::vector<size_t> write_targets(std::vector<size_t>* skipped);
   void note_success(size_t i);
   // Counts availability-class failures toward the breaker; semantic
-  // refusals (ENOENT, EACCES, ...) do not open it.
+  // refusals (ENOENT, EACCES, ...) do not open it. EBADMSG routes to
+  // quarantine() instead.
   void note_failure(size_t i, int code);
   void mark_diverged(size_t i);
+  // Lifts the quarantine after repair() verified or rewrote the copy.
+  void unquarantine(size_t i);
 
   template <typename Fn>
   Result<void> broadcast(Fn&& fn);
@@ -126,6 +147,13 @@ class ReplicatedFs final : public FileSystem {
   obs::Counter* m_breaker_closes_ = nullptr;
   obs::Counter* m_diverged_ = nullptr;
   obs::Counter* m_repaired_ = nullptr;
+  // Integrity counters (see docs/OBSERVABILITY.md): verification failures
+  // observed, quarantine transitions, quarantined replicas repaired, and the
+  // currently-quarantined gauge.
+  obs::Counter* m_integrity_mismatch_ = nullptr;
+  obs::Counter* m_quarantine_ = nullptr;
+  obs::Counter* m_integrity_repaired_ = nullptr;
+  obs::Gauge* g_quarantined_ = nullptr;
 };
 
 }  // namespace tss::fs

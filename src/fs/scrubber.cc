@@ -1,0 +1,232 @@
+#include "fs/scrubber.h"
+
+#include <chrono>
+
+#include "util/checksum.h"
+#include "util/logging.h"
+#include "util/path.h"
+
+namespace tss::fs {
+
+Scrubber::Scrubber(ReplicatedFs* fs, Options options)
+    : fs_(fs),
+      options_(options),
+      clock_(options.clock ? options.clock : &RealClock::instance()) {
+  obs::Registry* metrics =
+      options_.metrics ? options_.metrics : &obs::Registry::global();
+  m_scrub_bytes_ = metrics->counter("fs.integrity.scrub_bytes");
+  m_mismatch_ = metrics->counter("fs.integrity.mismatch");
+  m_files_ = metrics->counter("fs.scrub.files");
+  m_unresolved_ = metrics->counter("fs.scrub.unresolved");
+  m_passes_ = metrics->counter("fs.scrub.passes");
+}
+
+Scrubber::~Scrubber() { stop(); }
+
+Result<uint64_t> Scrubber::digest_replica(FileSystem* replica,
+                                          const std::string& path) {
+  OpenFlags flags;
+  flags.read = true;
+  TSS_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       replica->open(path, flags, 0));
+  Fnv1a64 sum;
+  std::vector<char> buf(options_.chunk_size);
+  int64_t offset = 0;
+  for (;;) {
+    auto n = file->pread(buf.data(), buf.size(), offset);
+    if (!n.ok()) return std::move(n).take_error();
+    if (n.value() == 0) break;
+    sum.update(buf.data(), n.value());
+    offset += static_cast<int64_t>(n.value());
+    m_scrub_bytes_->add(n.value());
+    throttle(n.value());
+  }
+  return sum.digest();
+}
+
+Result<Scrubber::FileReport> Scrubber::scrub_file(const std::string& p) {
+  std::string canonical = path::sanitize(p);
+  size_t n = fs_->replica_count();
+  // Each replica is read *directly* (not through the replicated read path),
+  // so a corrupt copy cannot hide behind failover.
+  std::vector<Result<uint64_t>> digests =
+      fan_out(options_.scheduler, n, [&](size_t i) {
+        return digest_replica(fs_->replica(i), canonical);
+      });
+
+  FileReport report;
+  report.digests.assign(n, 0);
+  report.readable.assign(n, 0);
+  std::vector<char> corrupt(n, 0);  // wire-verified corruption (EBADMSG)
+  std::vector<char> missing(n, 0);
+  size_t ok_count = 0;
+  std::optional<Error> first_error;
+  for (size_t i = 0; i < n; i++) {
+    if (digests[i].ok()) {
+      report.readable[i] = 1;
+      report.digests[i] = digests[i].value();
+      ok_count++;
+      continue;
+    }
+    const Error& e = digests[i].error();
+    if (!first_error) first_error = e;
+    if (e.code == EBADMSG) {
+      corrupt[i] = 1;
+    } else if (e.code == ENOENT) {
+      missing[i] = 1;
+    }
+    // Anything else (unreachable, timeout): no integrity verdict for this
+    // replica — availability problems belong to the circuit breaker.
+  }
+
+  // An EBADMSG digest is proof of corruption on its own — the transport's
+  // checksum already convicted the replica, no vote needed.
+  for (size_t i = 0; i < n; i++) {
+    if (corrupt[i]) {
+      m_mismatch_->add();
+      fs_->quarantine(i);
+    }
+  }
+
+  if (ok_count == 0) {
+    return first_error ? *first_error
+                       : Error(EIO, "no replica readable: " + canonical);
+  }
+  m_files_->add();
+
+  // Strict-majority vote among the digests actually read.
+  uint64_t majority_digest = 0;
+  size_t best = 0;
+  for (size_t i = 0; i < n; i++) {
+    if (!report.readable[i]) continue;
+    size_t votes = 0;
+    for (size_t j = 0; j < n; j++) {
+      if (report.readable[j] && report.digests[j] == report.digests[i]) {
+        votes++;
+      }
+    }
+    if (votes > best) {
+      best = votes;
+      majority_digest = report.digests[i];
+    }
+  }
+  const bool have_majority = best * 2 > ok_count;
+
+  bool divergent = false;
+  for (size_t i = 0; i < n; i++) {
+    if (corrupt[i] || missing[i]) divergent = true;
+    if (report.readable[i] && report.digests[i] != majority_digest) {
+      divergent = true;
+    }
+  }
+  if (!divergent) {
+    // All copies agree — but one of them may still carry a quarantine from
+    // a *transient* (wire-level) mismatch that has since cleared. repair()
+    // re-verifies the bytes and lifts the quarantine when they check out.
+    for (size_t i = 0; i < n; i++) {
+      if (report.readable[i] && fs_->replica_quarantined(i)) {
+        (void)fs_->repair(canonical);
+        break;
+      }
+    }
+    return report;
+  }
+  report.mismatch = true;
+
+  if (!have_majority) {
+    // 1-vs-1 (or all-distinct): no copy can be trusted as golden, so
+    // rewriting would be a guess. Count it and leave it to the operator —
+    // docs/RECOVERY.md has the runbook.
+    report.unresolved = true;
+    m_unresolved_->add();
+    TSS_WARN("scrubber") << "no digest majority for " << canonical
+                         << "; unresolved";
+    return report;
+  }
+
+  // Quarantine the out-voted minority before repair() picks its golden
+  // source: read_order then puts every suspect copy behind the majority.
+  for (size_t i = 0; i < n; i++) {
+    if (report.readable[i] && report.digests[i] != majority_digest) {
+      m_mismatch_->add();
+      fs_->quarantine(i);
+    }
+  }
+  auto repaired = fs_->repair(canonical);
+  if (repaired.ok() && repaired.value() > 0) report.repaired = true;
+  return report;
+}
+
+Result<int> Scrubber::scrub_tree(const std::string& root) {
+  int files = 0;
+  std::vector<std::string> stack;
+  stack.push_back(path::sanitize(root));
+  while (!stack.empty()) {
+    std::string dir = stack.back();
+    stack.pop_back();
+    TSS_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, fs_->readdir(dir));
+    for (const DirEntry& e : entries) {
+      if (e.name == "." || e.name == "..") continue;
+      std::string child = dir == "/" ? "/" + e.name : dir + "/" + e.name;
+      if (e.info.is_dir) {
+        stack.push_back(child);
+      } else if (scrub_file(child).ok()) {
+        files++;
+      }
+      // A file unreadable on every replica is an availability problem; the
+      // walk keeps going so one dead file cannot stall a pass.
+    }
+  }
+  return files;
+}
+
+void Scrubber::throttle(size_t n) {
+  if (options_.max_bytes_per_sec == 0 || n == 0) return;
+  Nanos cost = static_cast<Nanos>(static_cast<double>(n) * kSecond /
+                                  static_cast<double>(options_.max_bytes_per_sec));
+  Nanos wake;
+  {
+    std::lock_guard<std::mutex> lock(pace_mutex_);
+    Nanos now = clock_->now();
+    if (next_allowed_ < now) next_allowed_ = now;
+    wake = next_allowed_;
+    next_allowed_ += cost;
+  }
+  Nanos now = clock_->now();
+  if (wake > now) clock_->sleep_for(wake - now);
+}
+
+void Scrubber::run_loop(std::string root) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(run_mutex_);
+      if (stopping_) return;
+    }
+    (void)scrub_tree(root);
+    m_passes_->add();
+    std::unique_lock<std::mutex> lock(run_mutex_);
+    run_cv_.wait_for(lock, std::chrono::nanoseconds(options_.interval),
+                     [&] { return stopping_; });
+    if (stopping_) return;
+  }
+}
+
+void Scrubber::start(const std::string& root) {
+  std::lock_guard<std::mutex> lock(run_mutex_);
+  if (thread_.joinable()) return;
+  stopping_ = false;
+  std::string canonical = path::sanitize(root);
+  thread_ = std::thread([this, canonical] { run_loop(canonical); });
+}
+
+void Scrubber::stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mutex_);
+    if (!thread_.joinable()) return;
+    stopping_ = true;
+  }
+  run_cv_.notify_all();
+  thread_.join();
+}
+
+}  // namespace tss::fs

@@ -1,0 +1,111 @@
+// Background integrity scrubber for ReplicatedFs.
+//
+// Wire checksums (chirp) catch corruption in flight; the scrubber catches
+// corruption at rest. It walks the replicated namespace at a configurable
+// pace, computes a per-replica FNV-1a64 digest of every file, and compares
+// them. Replicas in the strict-majority agreement are trusted; the minority
+// is quarantined (ReplicatedFs::quarantine) and repaired from the majority
+// via the same ReplicatedFs::repair() path that heals write divergence —
+// detection and repair share one mechanism. A file with no strict majority
+// (1-vs-1, or three distinct digests) is *unresolved*: no copy can be
+// trusted as golden, so the scrubber only counts it and leaves the operator
+// runbook in docs/RECOVERY.md to decide.
+//
+// Pacing is a token bucket over bytes read (max_bytes_per_sec), evaluated
+// against an injectable Clock so tests drive it with a VirtualClock.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fs/replicated.h"
+#include "obs/metrics.h"
+#include "par/executor.h"
+#include "util/clock.h"
+
+namespace tss::fs {
+
+class Scrubber {
+ public:
+  struct Options {
+    // Fans per-replica digest reads out concurrently. Borrowed, may be
+    // null = serial.
+    IoScheduler* scheduler = nullptr;
+    // Read granularity; also the pacing quantum.
+    size_t chunk_size = 256 * 1024;
+    // Token-bucket ceiling on scrub read bandwidth. 0 = unpaced.
+    uint64_t max_bytes_per_sec = 0;
+    // Pause between background passes (start()/stop() mode).
+    Nanos interval = 60 * kSecond;
+    // fs.integrity.* / fs.scrub.* registry. Null = the process-wide one.
+    obs::Registry* metrics = nullptr;
+    // Pacing clock. Null = RealClock.
+    Clock* clock = nullptr;
+  };
+
+  // Verdict for one scrubbed file.
+  struct FileReport {
+    bool mismatch = false;    // replicas disagreed (or a copy was missing)
+    bool repaired = false;    // repair() ran and healed at least one replica
+    bool unresolved = false;  // no strict majority; operator action needed
+    // Per-replica digest; meaningful only where `readable[i]` is true.
+    std::vector<uint64_t> digests;
+    std::vector<char> readable;
+  };
+
+  // Borrows `fs` (and everything inside Options); all must outlive the
+  // scrubber.
+  Scrubber(ReplicatedFs* fs, Options options);
+  ~Scrubber();
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  // Digests every replica's copy of `path`, quarantines the strict-majority
+  // losers, and drives ReplicatedFs::repair(). The error return is for the
+  // file being unreadable everywhere; a mere mismatch is a FileReport.
+  Result<FileReport> scrub_file(const std::string& path);
+
+  // Walks the tree rooted at `root` and scrubs every regular file. Returns
+  // the number of files scrubbed.
+  Result<int> scrub_tree(const std::string& root = "/");
+
+  // Background mode: one scrub_tree() pass over `root` every interval.
+  // start() is idempotent; stop() joins the thread (destructor calls it).
+  void start(const std::string& root = "/");
+  void stop();
+
+  // Completed background passes.
+  uint64_t passes() const { return m_passes_->value(); }
+
+ private:
+  Result<uint64_t> digest_replica(FileSystem* replica,
+                                  const std::string& path);
+  // Charges `n` bytes against the token bucket, sleeping on the clock if
+  // the budget is spent.
+  void throttle(size_t n);
+  void run_loop(std::string root);
+
+  ReplicatedFs* fs_;
+  Options options_;
+  Clock* clock_;
+
+  obs::Counter* m_scrub_bytes_ = nullptr;  // fs.integrity.scrub_bytes
+  obs::Counter* m_mismatch_ = nullptr;     // fs.integrity.mismatch (shared)
+  obs::Counter* m_files_ = nullptr;        // fs.scrub.files
+  obs::Counter* m_unresolved_ = nullptr;   // fs.scrub.unresolved
+  obs::Counter* m_passes_ = nullptr;       // fs.scrub.passes
+
+  std::mutex pace_mutex_;
+  Nanos next_allowed_ = 0;
+
+  std::mutex run_mutex_;
+  std::condition_variable run_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tss::fs

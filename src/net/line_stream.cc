@@ -29,7 +29,10 @@ void FrameDecoder::maybe_compact() {
     scan_ = 0;
   } else if (pos_ > kReadChunk) {
     buf_.erase(0, pos_);
-    scan_ -= pos_;
+    // scan_ may lag pos_ (blob reads advance pos_ without scanning); clamp
+    // instead of underflowing, or the next try_line scans from beyond the
+    // buffer forever.
+    scan_ = scan_ > pos_ ? scan_ - pos_ : 0;
     pos_ = 0;
   }
 }
@@ -98,6 +101,7 @@ Result<void> LineStream::consult_fault_hook(std::string_view point) {
   }
   switch (fault.action) {
     case TransportFault::Action::kNone:
+    case TransportFault::Action::kCorrupt:  // only meaningful at blob points
       return Result<void>::success();
     case TransportFault::Action::kError:
       return Error(fault.error_code,
@@ -159,6 +163,14 @@ Result<void> LineStream::read_blob(void* data, size_t size) {
     TSS_RETURN_IF_ERROR(
         sock_.read_exact(out + copied, size - copied, timeout_));
   }
+  if (fault_hook_ && size > 0) {
+    TransportFault fault = fault_hook_("read_blob");
+    if (fault.action == TransportFault::Action::kCorrupt) {
+      // Flip one bit of the received payload, as a mangled frame would.
+      out[fault.corrupt_at % size] ^= 0x01;
+      net_faults_injected().add();
+    }
+  }
   return Result<void>::success();
 }
 
@@ -168,7 +180,17 @@ void LineStream::write_line(std::string_view line) {
 }
 
 void LineStream::write_blob(const void* data, size_t size) {
+  size_t base = wbuf_.size();
   wbuf_.append(static_cast<const char*>(data), size);
+  if (fault_hook_ && size > 0) {
+    TransportFault fault = fault_hook_("write_blob");
+    if (fault.action == TransportFault::Action::kCorrupt) {
+      // Corrupt the buffered copy only; the caller's bytes (and any digest
+      // it computed over them) stay intact, so the peer sees a mismatch.
+      wbuf_[base + fault.corrupt_at % size] ^= 0x01;
+      net_faults_injected().add();
+    }
+  }
 }
 
 Result<void> LineStream::flush() {

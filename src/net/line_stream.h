@@ -75,10 +75,19 @@ class FrameDecoder {
 // truncate (send only half of the pending frame, then sever — the peer reads
 // a torn frame). Severing mid-RPC is how the recovery machinery of CfsFs and
 // the teardown path of chirp::Server are exercised for real.
+//
+// Payload corruption points: the hook is also consulted at "read_blob"
+// (after a complete payload has been assembled) and "write_blob" (as payload
+// bytes enter the output buffer). kCorrupt there flips one bit of the blob —
+// a deterministic stand-in for a mangled frame — and the header lines stay
+// intact, so the peer's checksum machinery (not its parser) must catch it.
+// kCorrupt at any other point, and kError/kSever/kTruncate at "write_blob",
+// are ignored.
 struct TransportFault {
-  enum class Action { kNone, kError, kSever, kTruncate };
+  enum class Action { kNone, kError, kSever, kTruncate, kCorrupt };
   Action action = Action::kNone;
   int error_code = ECONNRESET;
+  size_t corrupt_at = 0;  // byte index to flip, taken modulo the blob size
 
   static TransportFault none() { return TransportFault{}; }
   static TransportFault error(int code) {
@@ -89,6 +98,13 @@ struct TransportFault {
   }
   static TransportFault truncate() {
     return TransportFault{Action::kTruncate, ECONNRESET};
+  }
+  static TransportFault corrupt(size_t at) {
+    TransportFault f;
+    f.action = Action::kCorrupt;
+    f.error_code = 0;
+    f.corrupt_at = at;
+    return f;
   }
 };
 
@@ -130,7 +146,7 @@ class LineStream {
   TcpSocket& socket() { return sock_; }
 
   // Installs (or clears, with nullptr) the fault hook. Consulted at points
-  // "read" and "flush"; see TransportFault above.
+  // "read", "flush", "read_blob", and "write_blob"; see TransportFault above.
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
  private:

@@ -6,8 +6,12 @@
 // request/error/byte counters, per-op latency histograms with p50/p95/p99,
 // and the ring of most recent RPC spans (see docs/OBSERVABILITY.md for the
 // line format). Optional PREFIX arguments filter the output to matching
-// metric names ("chirp.server", "fault.", ...); span lines are kept only
-// when no prefix is given.
+// metric names ("chirp.server", "fault.", "fs.integrity", ...); span lines
+// are kept only when no prefix is given.
+//
+// Integrity triage (docs/RECOVERY.md): `tss_stats URL fs.integrity fs.scrub`
+// shows wire-checksum mismatches, the quarantine counters, the currently-
+// quarantined gauge, and the background scrubber's progress.
 //
 // Authentication mirrors the tss CLI: unix, then hostname.
 #include <cstdio>
@@ -29,7 +33,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: tss_stats chirp://HOST:PORT/ [PREFIX...]\n"
                "       prints the server's metrics snapshot (stats RPC);\n"
-               "       PREFIX arguments keep only matching metric names\n");
+               "       PREFIX arguments keep only matching metric names\n"
+               "       (e.g. fs.integrity fs.scrub for corruption triage)\n");
   return 2;
 }
 

@@ -58,4 +58,21 @@ std::string hash_to_hex(uint64_t h) {
   return out;
 }
 
+std::optional<uint64_t> hex_to_hash(std::string_view s) {
+  if (s.size() != 16) return std::nullopt;
+  uint64_t h = 0;
+  for (char c : s) {
+    uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return std::nullopt;
+    }
+    h = (h << 4) | nibble;
+  }
+  return h;
+}
+
 }  // namespace tss

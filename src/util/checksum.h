@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -37,5 +38,10 @@ std::string weak_mac(std::string_view key, std::string_view message);
 
 // Formats a 64-bit hash as 16 lowercase hex characters.
 std::string hash_to_hex(uint64_t h);
+
+// Strict inverse of hash_to_hex: exactly 16 lowercase hex characters, or
+// nullopt. Used to validate checksum tokens from untrusted peers, so it
+// rejects everything else (uppercase, short, long, "0x" prefixes).
+std::optional<uint64_t> hex_to_hash(std::string_view s);
 
 }  // namespace tss

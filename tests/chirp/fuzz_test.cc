@@ -16,6 +16,7 @@
 #include "db/client.h"
 #include "db/server.h"
 #include "net/line_stream.h"
+#include "util/checksum.h"
 #include "util/rand.h"
 
 namespace tss::chirp {
@@ -168,6 +169,142 @@ TEST_F(FuzzTest, RandomTokenSoup) {
     auto response = stream.read_line();
     if (!response.ok()) break;
   }
+  expect_server_alive();
+}
+
+// A hand-driven wire peer for the checksum-capability fuzz below: speaks
+// just enough Chirp to negotiate caps, authenticate, and send hostile
+// digests.
+class RawPeer {
+ public:
+  static Result<RawPeer> connect(const net::Endpoint& server) {
+    TSS_ASSIGN_OR_RETURN(net::TcpSocket sock,
+                         net::TcpSocket::connect(server, kSecond));
+    return RawPeer(net::LineStream(std::move(sock), 2 * kSecond));
+  }
+
+  // Sends one line and returns the parsed response.
+  Result<Response> rpc(const std::string& line) {
+    TSS_RETURN_IF_ERROR(stream_.send_line(line));
+    TSS_ASSIGN_OR_RETURN(std::string reply, stream_.read_line());
+    return parse_response_line(reply);
+  }
+
+  net::LineStream& stream() { return stream_; }
+
+ private:
+  explicit RawPeer(net::LineStream stream) : stream_(std::move(stream)) {}
+  net::LineStream stream_;
+};
+
+TEST_F(FuzzTest, ChecksumPeerSendingGarbageDigestGetsCleanErrors) {
+  auto peer = RawPeer::connect(server_->endpoint());
+  ASSERT_TRUE(peer.ok());
+  // Negotiate the capability for real: the server must echo it back.
+  auto hello = peer.value().rpc("version 1 checksum");
+  ASSERT_TRUE(hello.ok());
+  ASSERT_EQ(hello.value().err, 0);
+  bool echoed = false;
+  for (const std::string& arg : hello.value().args) {
+    if (arg == kCapChecksum) echoed = true;
+  }
+  ASSERT_TRUE(echoed);
+  ASSERT_EQ(peer.value().rpc("auth hostname -").value().err, 0);
+
+  auto opened = peer.value().rpc("open /victim wc 0644");
+  ASSERT_TRUE(opened.ok());
+  ASSERT_EQ(opened.value().err, 0);
+  std::string fd = opened.value().args[0];
+
+  // Truncated and garbage digest tokens on pwrite: the line must be
+  // refused before any payload is consumed — a clean EPROTO, not a hang
+  // waiting for bytes the parse already rejected.
+  for (const char* token : {"deadbeef", "NOTAHEXNOTAHEX!!", "0x12345678"}) {
+    auto bad = peer.value().rpc("pwrite " + fd + " 5 0 " + token);
+    ASSERT_TRUE(bad.ok()) << token;
+    EXPECT_EQ(bad.value().err, EPROTO) << token;
+  }
+
+  // Well-formed but wrong digest: the payload is consumed, verified, and
+  // refused with the typed integrity errno — and never reaches the file.
+  peer.value().stream().write_line("pwrite " + fd + " 5 0 0000000000000000");
+  peer.value().stream().write_blob("hello", 5);
+  ASSERT_TRUE(peer.value().stream().flush().ok());
+  auto reply = peer.value().stream().read_line();
+  ASSERT_TRUE(reply.ok());
+  auto parsed = parse_response_line(reply.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().err, EBADMSG);
+  auto info = peer.value().rpc("fstat " + fd);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info.value().err, 0);
+  EXPECT_EQ(info.value().args[0], "0");  // nothing was written
+
+  expect_server_alive();
+}
+
+TEST_F(FuzzTest, ChecksumPeerSendingBadPutfileTrailerLosesTheFile) {
+  auto peer = RawPeer::connect(server_->endpoint());
+  ASSERT_TRUE(peer.ok());
+  ASSERT_EQ(peer.value().rpc("version 1 checksum").value().err, 0);
+  ASSERT_EQ(peer.value().rpc("auth hostname -").value().err, 0);
+
+  // Wrong digest value: the server must refuse the op and unlink the
+  // damaged file rather than leave silent corruption at rest.
+  peer.value().stream().write_line("putfile /rotten 420 5");
+  peer.value().stream().write_blob("hello", 5);
+  peer.value().stream().write_line("sum 0000000000000000");
+  ASSERT_TRUE(peer.value().stream().flush().ok());
+  auto reply = peer.value().stream().read_line();
+  ASSERT_TRUE(reply.ok());
+  auto parsed = parse_response_line(reply.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().err, EBADMSG);
+  EXPECT_NE(peer.value().rpc("stat /rotten").value().err, 0);
+
+  // Garbage trailer line: same story, with a protocol error instead.
+  peer.value().stream().write_line("putfile /mangled 420 5");
+  peer.value().stream().write_blob("hello", 5);
+  peer.value().stream().write_line("sum NOTAHEXNOTAHEX!!");
+  ASSERT_TRUE(peer.value().stream().flush().ok());
+  reply = peer.value().stream().read_line();
+  ASSERT_TRUE(reply.ok());
+  parsed = parse_response_line(reply.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().err, EPROTO);
+  EXPECT_NE(peer.value().rpc("stat /mangled").value().err, 0);
+
+  // A correct trailer on the same connection still works — the failures
+  // above poisoned nothing.
+  std::string payload = "verified";
+  peer.value().stream().write_line(
+      "putfile /clean 420 " + std::to_string(payload.size()));
+  peer.value().stream().write_blob(payload.data(), payload.size());
+  peer.value().stream().write_line(encode_sum_line(fnv1a64(payload)));
+  ASSERT_TRUE(peer.value().stream().flush().ok());
+  reply = peer.value().stream().read_line();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(parse_response_line(reply.value()).value().err, 0);
+  EXPECT_EQ(peer.value().rpc("stat /clean").value().err, 0);
+
+  expect_server_alive();
+}
+
+TEST_F(FuzzTest, ChecksumPeerOmittingTheTrailerIsReapedNotServed) {
+  // Negotiates checksums, sends a full putfile body, then goes silent
+  // instead of sending the trailer. The op must not complete (the bytes are
+  // unverified) and the server must not wedge: the io timeout reaps us.
+  auto peer = RawPeer::connect(server_->endpoint());
+  ASSERT_TRUE(peer.ok());
+  ASSERT_EQ(peer.value().rpc("version 1 checksum").value().err, 0);
+  ASSERT_EQ(peer.value().rpc("auth hostname -").value().err, 0);
+  peer.value().stream().write_line("putfile /half 420 5");
+  peer.value().stream().write_blob("hello", 5);
+  ASSERT_TRUE(peer.value().stream().flush().ok());
+  // No trailer, no response: the read must end with the server dropping us,
+  // not with an ok.
+  auto reply = peer.value().stream().read_line();
+  EXPECT_FALSE(reply.ok());
   expect_server_alive();
 }
 

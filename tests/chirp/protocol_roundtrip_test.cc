@@ -175,6 +175,82 @@ TEST(ProtocolRoundtrip, ResponsesSurviveEncodeParseEncode) {
   }
 }
 
+TEST(ProtocolRoundtrip, VersionCapabilityTokensSurvive) {
+  Request request;
+  request.op = Op::kVersion;
+  request.version = kProtocolVersion;
+  request.caps = {kCapChecksum, "futurecap"};
+  auto parsed = parse_request_line(encode_request(request));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().version, kProtocolVersion);
+  EXPECT_EQ(parsed.value().caps, request.caps);
+
+  // The pre-checksum wire form — no tokens — still parses (old peers).
+  auto bare = parse_request_line("version 1");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare.value().caps.empty());
+}
+
+TEST(ProtocolRoundtrip, PwriteChecksumTokenSurvives) {
+  Rng rng(0x50C5);
+  for (int round = 0; round < 200; round++) {
+    Request request = random_request(rng, Op::kPwrite);
+    request.has_checksum = true;
+    request.checksum = rng.next();
+    std::string line = encode_request(request);
+    auto parsed = parse_request_line(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_TRUE(parsed.value().has_checksum);
+    EXPECT_EQ(parsed.value().checksum, request.checksum);
+    EXPECT_EQ(encode_request(parsed.value()), line);
+  }
+  // Without the flag, no token is emitted and none is parsed back — the
+  // old four-word form stays byte-identical.
+  Request plain = random_request(rng, Op::kPwrite);
+  plain.has_checksum = false;
+  auto parsed = parse_request_line(encode_request(plain));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().has_checksum);
+}
+
+TEST(ProtocolRoundtrip, PwriteGarbageChecksumTokenIsRejected) {
+  // A peer that advertises the capability and then sends a mangled digest
+  // token is violating the protocol; the parse fails outright rather than
+  // silently skipping verification.
+  const char* bad[] = {"pwrite 3 10 0 NOTAHEXNOTAHEX!!",
+                       "pwrite 3 10 0 deadbeef",            // truncated
+                       "pwrite 3 10 0 00000000DEADBEEF",    // upper case
+                       "pwrite 3 10 0 0123456789abcdef0"};  // too long
+  for (const char* line : bad) {
+    auto parsed = parse_request_line(line);
+    ASSERT_FALSE(parsed.ok()) << line;
+    EXPECT_EQ(parsed.error().code, EPROTO) << line;
+  }
+  // The well-formed token parses.
+  auto good = parse_request_line("pwrite 3 10 0 0123456789abcdef");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good.value().has_checksum);
+  EXPECT_EQ(good.value().checksum, 0x0123456789abcdefULL);
+}
+
+TEST(ProtocolRoundtrip, SumTrailerLineRoundTrips) {
+  Rng rng(0x7341);
+  for (int round = 0; round < 200; round++) {
+    uint64_t digest = rng.next();
+    auto parsed = parse_sum_line(encode_sum_line(digest));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), digest);
+  }
+  const char* bad[] = {"", "sum", "sum deadbeef", "sum 0123456789ABCDEF",
+                       "sum 0123456789abcdef extra", "mus 0123456789abcdef",
+                       "sum NOTAHEXNOTAHEX!!"};
+  for (const char* line : bad) {
+    auto parsed = parse_sum_line(line);
+    ASSERT_FALSE(parsed.ok()) << line;
+    EXPECT_EQ(parsed.error().code, EPROTO) << line;
+  }
+}
+
 TEST(ProtocolRoundtrip, GarbageLinesNeverCrashTheParser) {
   Rng rng(0xFACE);
   int accepted = 0;

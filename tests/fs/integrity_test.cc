@@ -1,0 +1,502 @@
+// End-to-end data integrity, local half: deterministic corruption injection
+// (FaultyFs bit-flip/truncate rules), the EBADMSG quarantine lifecycle in
+// ReplicatedFs (serial failover and hedged reads), the background Scrubber's
+// detect -> quarantine -> repair loop, and a seeded chaos soak asserting the
+// PR's acceptance property: corrupt extents on a minority of replicas are
+// never served to a reader and every replica converges back to the golden
+// bytes. The wire half (chirp checksums) lives in integrity_wire_test.cc.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/faulty.h"
+#include "fs/local.h"
+#include "fs/replicated.h"
+#include "fs/scrubber.h"
+#include "obs/metrics.h"
+#include "par/executor.h"
+#include "util/checksum.h"
+#include "util/clock.h"
+#include "util/rand.h"
+
+namespace tss::fs {
+namespace {
+
+class IntegrityTest : public ::testing::Test {
+ protected:
+  static constexpr int kReplicas = 3;
+
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "/integrity_" +
+            std::to_string(::getpid()) + "_" + std::to_string(counter_++);
+    for (int i = 0; i < kReplicas; i++) {
+      std::string root = base_ + "/r" + std::to_string(i);
+      std::filesystem::create_directories(root);
+      locals_.push_back(std::make_unique<LocalFs>(root));
+      schedules_.push_back(std::make_unique<FaultSchedule>(0xBAD0 + i));
+      faulty_.push_back(
+          std::make_unique<FaultyFs>(locals_[i].get(), schedules_[i].get()));
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  std::vector<FileSystem*> members(int count = kReplicas) {
+    std::vector<FileSystem*> out;
+    for (int i = 0; i < count; i++) out.push_back(faulty_[i].get());
+    return out;
+  }
+
+  // Flips one bit of `path` directly on replica `i`'s disk — at-rest rot
+  // that no wire checksum ever saw.
+  void rot_at_rest(int i, const std::string& path, size_t byte_index) {
+    auto data = locals_[i]->read_file(path);
+    ASSERT_TRUE(data.ok()) << data.error().to_string();
+    std::string bytes = data.value();
+    ASSERT_LT(byte_index, bytes.size());
+    bytes[byte_index] ^= 0x01;
+    ASSERT_TRUE(locals_[i]->write_file(path, bytes).ok());
+  }
+
+  std::string base_;
+  std::vector<std::unique_ptr<LocalFs>> locals_;
+  std::vector<std::unique_ptr<FaultSchedule>> schedules_;
+  std::vector<std::unique_ptr<FaultyFs>> faulty_;
+  static inline int counter_ = 0;
+};
+
+// --- FaultyFs corruption rules ----------------------------------------------
+
+TEST_F(IntegrityTest, BitFlipCorruptionIsDeterministicAcrossRuns) {
+  const std::string payload = "the bytes that were written";
+  std::string seen[2];
+  for (int run = 0; run < 2; run++) {
+    std::string root = base_ + "/det" + std::to_string(run);
+    std::filesystem::create_directories(root);
+    LocalFs local(root);
+    FaultSchedule schedule(0xD13);  // same seed both runs
+    schedule.corrupt_bit_flip("pread");
+    FaultyFs flaky(&local, &schedule);
+    ASSERT_TRUE(flaky.write_file("/doc", payload).ok());
+    auto got = flaky.read_file("/doc");
+    ASSERT_TRUE(got.ok());
+    seen[run] = got.value();
+  }
+  // Same seed, same op order: the same single bit is flipped both times.
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_NE(seen[0], payload);
+  size_t differing = 0;
+  for (size_t i = 0; i < payload.size(); i++) {
+    if (seen[0][i] != payload[i]) differing++;
+  }
+  EXPECT_EQ(differing, 1u);
+}
+
+TEST_F(IntegrityTest, ReadTruncationZeroFillsTheTailButReportsFullCount) {
+  schedules_[0]->corrupt_truncate("pread");
+  ASSERT_TRUE(faulty_[0]->write_file("/doc", "0123456789abcdef").ok());
+  auto got = faulty_[0]->read_file("/doc");
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value().size(), 16u);  // silent: the count lies
+  EXPECT_EQ(got.value().substr(0, 8), "01234567");
+  EXPECT_EQ(got.value().substr(8), std::string(8, '\0'));
+}
+
+TEST_F(IntegrityTest, WriteCorruptionIsSilentAtRest) {
+  // A bad controller on the write path: the caller sees full success (and
+  // any digest it computed stays true to what it *sent*), but the bytes at
+  // rest are wrong. Exactly the rot the scrubber exists to catch.
+  schedules_[1]->corrupt_bit_flip("pwrite");
+  const std::string payload = "these bytes will rot in flight";
+  ASSERT_TRUE(faulty_[1]->write_file("/doc", payload).ok());
+  auto at_rest = locals_[1]->read_file("/doc");
+  ASSERT_TRUE(at_rest.ok());
+  EXPECT_NE(at_rest.value(), payload);
+  EXPECT_EQ(at_rest.value().size(), payload.size());
+}
+
+// --- Quarantine lifecycle in ReplicatedFs -----------------------------------
+
+TEST_F(IntegrityTest, IntegrityErrorQuarantinesWithoutTrippingTheBreaker) {
+  obs::Registry registry;
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  ReplicatedFs fs(members(), options);
+  ASSERT_TRUE(fs.write_file("/doc", "verified payload").ok());
+
+  // Replica 0 starts answering reads with bytes that fail verification.
+  schedules_[0]->fail_always(EBADMSG, "pread");
+  for (int round = 0; round < 5; round++) {
+    auto got = fs.read_file("/doc");
+    ASSERT_TRUE(got.ok()) << got.error().to_string();
+    EXPECT_EQ(got.value(), "verified payload");
+  }
+  // Quarantined exactly once, and the breaker never opened: the replica is
+  // reachable — this is a data problem, not an availability problem.
+  EXPECT_TRUE(fs.replica_quarantined(0));
+  EXPECT_TRUE(fs.replica_available(0));
+  EXPECT_EQ(registry.counter_value("fs.integrity.quarantine"), 1u);
+  EXPECT_EQ(registry.counter_value("fs.integrity.mismatch"), 1u);
+  EXPECT_EQ(registry.counter_value("replicated.breaker_opens"), 0u);
+  EXPECT_EQ(registry.gauge("fs.integrity.quarantined")->value(), 1);
+
+  // Once quarantined, the replica is not consulted for reads at all.
+  uint64_t ops_at_quarantine = schedules_[0]->ops_seen();
+  for (int round = 0; round < 5; round++) {
+    EXPECT_EQ(fs.read_file("/doc").value(), "verified payload");
+  }
+  EXPECT_EQ(schedules_[0]->ops_seen(), ops_at_quarantine);
+
+  // repair() re-verifies the copy (it was never actually wrong here) and
+  // lifts the quarantine.
+  schedules_[0]->clear();
+  ASSERT_TRUE(fs.repair("/doc").ok());
+  EXPECT_FALSE(fs.replica_quarantined(0));
+  EXPECT_EQ(registry.counter_value("fs.integrity.repaired"), 1u);
+  EXPECT_EQ(registry.gauge("fs.integrity.quarantined")->value(), 0);
+}
+
+TEST_F(IntegrityTest, AllReplicasQuarantinedStillAnswersAsLastResort) {
+  obs::Registry registry;
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  ReplicatedFs fs(members(), options);
+  ASSERT_TRUE(fs.write_file("/doc", "payload").ok());
+  for (int i = 0; i < kReplicas; i++) fs.quarantine(i);
+  // Every replica is suspect, but suspect bytes beat no bytes: the second
+  // failover pass consults them rather than synthesizing an error.
+  EXPECT_EQ(fs.read_file("/doc").value(), "payload");
+}
+
+TEST_F(IntegrityTest, HedgedReadsExcludeTheQuarantinedReplica) {
+  IoScheduler::Options scheduler_options;
+  scheduler_options.workers = 4;
+  IoScheduler scheduler(scheduler_options);
+  obs::Registry registry;
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  options.scheduler = &scheduler;
+  options.hedged_reads = true;
+  ReplicatedFs fs(members(), options);
+  ASSERT_TRUE(fs.write_file("/doc", "hedged integrity").ok());
+
+  schedules_[0]->fail_always(EBADMSG, "pread");
+  auto file = fs.open("/doc", OpenFlags::parse("r").value());
+  ASSERT_TRUE(file.ok());
+  char buffer[64];
+  // The corrupt replica may be the fastest in the race; it must never win.
+  for (int round = 0; round < 20; round++) {
+    auto n = file.value()->pread(buffer, sizeof buffer, 0);
+    ASSERT_TRUE(n.ok()) << n.error().to_string();
+    EXPECT_EQ(std::string(buffer, n.value()), "hedged integrity");
+  }
+  ASSERT_TRUE(file.value()->close().ok());
+  EXPECT_TRUE(fs.replica_quarantined(0));
+  EXPECT_EQ(registry.counter_value("fs.integrity.quarantine"), 1u);
+}
+
+TEST_F(IntegrityTest, CorruptReplicaUnderHedgePressureNeverBreaksAccounting) {
+  // Chaos regression for the PR 5 hedge-accounting fix: a corrupt replica
+  // racing hedged reads while the scheduler queue rejects submissions must
+  // never drive the pending-hedge count below zero — if it did, the drain
+  // in pwrite/close would hang this test forever.
+  //
+  // The setup write goes through a serial ReplicatedFs: pushing it through
+  // the deliberately-tiny queue below would let replica writes be rejected,
+  // leaving truncated diverged copies — a different scenario than the one
+  // under test.
+  {
+    ReplicatedFs setup(members(), ReplicatedFs::Options{});
+    ASSERT_TRUE(setup.write_file("/doc", "pressure payload").ok());
+  }
+  IoScheduler::Options scheduler_options;
+  scheduler_options.workers = 2;
+  scheduler_options.max_queue = 1;  // force the rejection path constantly
+  IoScheduler scheduler(scheduler_options);
+  obs::Registry registry;
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  options.scheduler = &scheduler;
+  options.hedged_reads = true;
+  ReplicatedFs fs(members(), options);
+  schedules_[0]->fail_always(EBADMSG, "pread");
+
+  char buffer[64];
+  for (int round = 0; round < 10; round++) {
+    auto file = fs.open("/doc", OpenFlags::parse("r").value());
+    ASSERT_TRUE(file.ok()) << file.error().to_string();
+    for (int i = 0; i < 10; i++) {
+      auto n = file.value()->pread(buffer, sizeof buffer, 0);
+      ASSERT_TRUE(n.ok()) << n.error().to_string();
+      EXPECT_EQ(std::string(buffer, n.value()), "pressure payload");
+    }
+    // close() drains every pending hedge (winners, losers, and rolled-back
+    // rejections alike); an accounting leak in either direction would wedge
+    // right here and time the test out.
+    ASSERT_TRUE(file.value()->close().ok());
+  }
+}
+
+// --- The scrubber ------------------------------------------------------------
+
+TEST_F(IntegrityTest, ScrubberDetectsQuarantinesAndRepairsAtRestRot) {
+  obs::Registry registry;
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  ReplicatedFs fs(members(), options);
+  const std::string golden = "bytes worth keeping, replicated thrice";
+  ASSERT_TRUE(fs.mkdir("/d").ok());
+  ASSERT_TRUE(fs.write_file("/d/doc", golden).ok());
+  rot_at_rest(1, "/d/doc", 7);
+
+  Scrubber::Options scrub_options;
+  scrub_options.metrics = &registry;
+  Scrubber scrubber(&fs, scrub_options);
+  auto report = scrubber.scrub_file("/d/doc");
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_TRUE(report.value().mismatch);
+  EXPECT_TRUE(report.value().repaired);
+  EXPECT_FALSE(report.value().unresolved);
+
+  // The minority copy was quarantined, rewritten from the majority, and the
+  // quarantine lifted — a direct read of that replica now verifies clean.
+  EXPECT_EQ(locals_[1]->read_file("/d/doc").value(), golden);
+  EXPECT_FALSE(fs.replica_quarantined(1));
+  EXPECT_EQ(registry.counter_value("fs.integrity.mismatch"), 1u);
+  EXPECT_EQ(registry.counter_value("fs.integrity.quarantine"), 1u);
+  EXPECT_EQ(registry.counter_value("fs.integrity.repaired"), 1u);
+  EXPECT_GE(registry.counter_value("fs.integrity.scrub_bytes"),
+            golden.size() * kReplicas);
+
+  // A second pass over the healed file is quiet.
+  auto again = scrubber.scrub_file("/d/doc");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value().mismatch);
+  EXPECT_EQ(registry.counter_value("fs.integrity.mismatch"), 1u);
+}
+
+TEST_F(IntegrityTest, ScrubberLeavesATieUnresolvedForTheOperator) {
+  obs::Registry registry;
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  ReplicatedFs fs(members(2), options);  // two replicas: 1-vs-1 on rot
+  ASSERT_TRUE(fs.write_file("/doc", "two copies, no referee").ok());
+  rot_at_rest(1, "/doc", 3);
+  std::string copy0 = locals_[0]->read_file("/doc").value();
+  std::string copy1 = locals_[1]->read_file("/doc").value();
+
+  Scrubber::Options scrub_options;
+  scrub_options.metrics = &registry;
+  Scrubber scrubber(&fs, scrub_options);
+  auto report = scrubber.scrub_file("/doc");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().mismatch);
+  EXPECT_TRUE(report.value().unresolved);
+  EXPECT_FALSE(report.value().repaired);
+  EXPECT_EQ(registry.counter_value("fs.scrub.unresolved"), 1u);
+  // No strict majority means no golden copy: the scrubber must not guess,
+  // so neither replica is rewritten (the operator runbook takes over).
+  EXPECT_EQ(locals_[0]->read_file("/doc").value(), copy0);
+  EXPECT_EQ(locals_[1]->read_file("/doc").value(), copy1);
+}
+
+TEST_F(IntegrityTest, ScrubberTrustsWireProofOverTheVote) {
+  obs::Registry registry;
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  ReplicatedFs fs(members(), options);
+  const std::string golden = "majority rules";
+  ASSERT_TRUE(fs.write_file("/doc", golden).ok());
+  // Replica 2's reads fail verification at the transport: that is proof of
+  // corruption on its own — no digest vote needed to convict.
+  schedules_[2]->fail_always(EBADMSG, "pread");
+
+  Scrubber::Options scrub_options;
+  scrub_options.metrics = &registry;
+  Scrubber scrubber(&fs, scrub_options);
+  auto report = scrubber.scrub_file("/doc");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().mismatch);
+  EXPECT_TRUE(report.value().repaired);
+  EXPECT_GE(registry.counter_value("fs.integrity.mismatch"), 1u);
+  // repair() rewrote the copy from the (agreeing) majority and lifted the
+  // quarantine; with the fault cleared, the replica reads back clean.
+  schedules_[2]->clear();
+  EXPECT_FALSE(fs.replica_quarantined(2));
+  EXPECT_EQ(locals_[2]->read_file("/doc").value(), golden);
+}
+
+TEST_F(IntegrityTest, ScrubberLiftsAStaleQuarantineWhenCopiesAgree) {
+  obs::Registry registry;
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  ReplicatedFs fs(members(), options);
+  ASSERT_TRUE(fs.write_file("/doc", "actually fine").ok());
+  // A transient wire mismatch quarantined replica 0, but its bytes at rest
+  // were never wrong (or the corruption cleared). The scrub re-verifies and
+  // releases it instead of leaving the replica benched forever.
+  fs.quarantine(0);
+  Scrubber::Options scrub_options;
+  scrub_options.metrics = &registry;
+  Scrubber scrubber(&fs, scrub_options);
+  auto report = scrubber.scrub_file("/doc");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().mismatch);
+  EXPECT_FALSE(fs.replica_quarantined(0));
+  EXPECT_EQ(registry.counter_value("fs.integrity.repaired"), 1u);
+}
+
+TEST_F(IntegrityTest, ScrubTreeWalksTheNamespaceAndPacesItself) {
+  obs::Registry registry;
+  VirtualClock clock;
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  ReplicatedFs fs(members(), options);
+  ASSERT_TRUE(fs.mkdir("/a").ok());
+  ASSERT_TRUE(fs.mkdir("/a/b").ok());
+  std::string blob(4096, 'x');
+  ASSERT_TRUE(fs.write_file("/a/one", blob).ok());
+  ASSERT_TRUE(fs.write_file("/a/b/two", blob).ok());
+  ASSERT_TRUE(fs.write_file("/three", blob).ok());
+
+  Scrubber::Options scrub_options;
+  scrub_options.metrics = &registry;
+  scrub_options.chunk_size = 512;
+  scrub_options.max_bytes_per_sec = 64 * 1024;
+  scrub_options.clock = &clock;
+  Scrubber scrubber(&fs, scrub_options);
+  auto files = scrubber.scrub_tree("/");
+  ASSERT_TRUE(files.ok()) << files.error().to_string();
+  EXPECT_EQ(files.value(), 3);
+  EXPECT_EQ(registry.counter_value("fs.scrub.files"), 3u);
+  // 3 files x 3 replicas x 4 KiB at 64 KiB/s: the token bucket must have
+  // slept the (virtual) clock forward by roughly half a second.
+  EXPECT_GE(registry.counter_value("fs.integrity.scrub_bytes"),
+            3u * kReplicas * blob.size());
+  EXPECT_GT(clock.now(), 400 * kMillisecond);
+}
+
+TEST_F(IntegrityTest, BackgroundScrubberHealsRotWhileRunning) {
+  obs::Registry registry;
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  ReplicatedFs fs(members(), options);
+  const std::string golden = "healed in the background";
+  ASSERT_TRUE(fs.write_file("/doc", golden).ok());
+  rot_at_rest(2, "/doc", 0);
+
+  Scrubber::Options scrub_options;
+  scrub_options.metrics = &registry;
+  scrub_options.interval = kMillisecond;
+  Scrubber scrubber(&fs, scrub_options);
+  scrubber.start();
+  for (int i = 0; i < 500; i++) {
+    if (registry.counter_value("fs.integrity.repaired") >= 1 &&
+        scrubber.passes() >= 2) {
+      break;
+    }
+    RealClock::instance().sleep_for(10 * kMillisecond);
+  }
+  scrubber.stop();
+  EXPECT_GE(scrubber.passes(), 2u);
+  EXPECT_EQ(locals_[2]->read_file("/doc").value(), golden);
+  EXPECT_FALSE(fs.replica_quarantined(2));
+  // stop() is idempotent and start() after stop() works.
+  scrubber.stop();
+}
+
+// --- The acceptance soak -----------------------------------------------------
+
+TEST_F(IntegrityTest, ChaosCorruptionSoakNeverServesCorruptBytes) {
+  // Seeded end-to-end soak: flip random extents at rest on a random minority
+  // replica, scrub, then read everything back serially and hedged. The
+  // acceptance bar: zero corrupt bytes ever returned to a reader, and every
+  // replica converges back to the golden bytes.
+  Rng rng(0x50AC);
+  IoScheduler::Options scheduler_options;
+  scheduler_options.workers = 4;
+  IoScheduler scheduler(scheduler_options);
+  obs::Registry registry;
+  ReplicatedFs::Options options;
+  options.metrics = &registry;
+  options.scheduler = &scheduler;
+  options.hedged_reads = true;
+  ReplicatedFs fs(members(), options);
+
+  constexpr int kFiles = 6;
+  constexpr int kRounds = 4;
+  ASSERT_TRUE(fs.mkdir("/data").ok());
+  std::vector<std::string> paths;
+  std::vector<std::string> golden;
+  for (int f = 0; f < kFiles; f++) {
+    std::string path = "/data/f" + std::to_string(f);
+    size_t size = 64 + rng.below(16 * 1024);
+    std::string bytes;
+    bytes.reserve(size);
+    for (size_t i = 0; i < size; i++) {
+      bytes.push_back(static_cast<char>(rng.next()));
+    }
+    ASSERT_TRUE(fs.write_file(path, bytes).ok());
+    paths.push_back(path);
+    golden.push_back(std::move(bytes));
+  }
+
+  Scrubber::Options scrub_options;
+  scrub_options.metrics = &registry;
+  scrub_options.scheduler = &scheduler;
+  Scrubber scrubber(&fs, scrub_options);
+
+  for (int round = 0; round < kRounds; round++) {
+    // Corrupt a random extent of every file on one random replica — always
+    // a strict minority, so the digest vote can convict it.
+    for (int f = 0; f < kFiles; f++) {
+      int victim = static_cast<int>(rng.below(kReplicas));
+      size_t at = rng.below(golden[f].size());
+      if (rng.below(4) == 0) {
+        // Occasionally rot a whole tail, as a torn write would.
+        auto data = locals_[victim]->read_file(paths[f]);
+        ASSERT_TRUE(data.ok());
+        std::string bytes = data.value();
+        for (size_t i = at; i < bytes.size(); i++) bytes[i] = '\0';
+        ASSERT_TRUE(locals_[victim]->write_file(paths[f], bytes).ok());
+      } else {
+        rot_at_rest(victim, paths[f], at);
+      }
+    }
+    auto scrubbed = scrubber.scrub_tree("/data");
+    ASSERT_TRUE(scrubbed.ok()) << scrubbed.error().to_string();
+    ASSERT_EQ(scrubbed.value(), kFiles);
+
+    // Phase check: nothing corrupt is ever served, serial or hedged.
+    for (int f = 0; f < kFiles; f++) {
+      auto hedged = fs.read_file(paths[f]);
+      ASSERT_TRUE(hedged.ok()) << hedged.error().to_string();
+      ASSERT_EQ(hedged.value(), golden[f]) << "round " << round << " " <<
+          paths[f];
+    }
+  }
+
+  // Convergence: after the last scrub, every replica holds the golden bytes
+  // and no quarantine is left standing.
+  for (int f = 0; f < kFiles; f++) {
+    uint64_t want = fnv1a64(golden[f]);
+    for (int i = 0; i < kReplicas; i++) {
+      auto copy = locals_[i]->read_file(paths[f]);
+      ASSERT_TRUE(copy.ok());
+      EXPECT_EQ(fnv1a64(copy.value()), want)
+          << paths[f] << " replica " << i;
+    }
+  }
+  for (int i = 0; i < kReplicas; i++) {
+    EXPECT_FALSE(fs.replica_quarantined(i)) << "replica " << i;
+  }
+  EXPECT_EQ(registry.gauge("fs.integrity.quarantined")->value(), 0);
+  EXPECT_GE(registry.counter_value("fs.integrity.repaired"), 1u);
+  EXPECT_EQ(registry.counter_value("fs.scrub.unresolved"), 0u);
+}
+
+}  // namespace
+}  // namespace tss::fs

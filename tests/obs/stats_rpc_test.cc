@@ -4,9 +4,13 @@
 // the span ring.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 
 #include "chirp/protocol.h"
+#include "fs/local.h"
+#include "fs/replicated.h"
+#include "fs/scrubber.h"
 #include "obs/metrics.h"
 #include "chirp/test_util.h"
 
@@ -120,6 +124,48 @@ TEST_F(StatsRpcTest, SpanRingRecordsOpSubjectBytesAndError) {
   }
   EXPECT_TRUE(saw_mkdir);
   EXPECT_TRUE(saw_failed_stat);
+}
+
+TEST_F(StatsRpcTest, IntegrityCountersSurfaceInTheStatsSnapshot) {
+  start_server();
+  Client client = connect_client();
+
+  // A replicated volume and its scrubber share the server's registry, so
+  // the quarantine lifecycle is visible through the same stats RPC (and
+  // `tss_stats URL fs.integrity fs.scrub`) operators already use.
+  std::filesystem::create_directories(root_ + "/ra");
+  std::filesystem::create_directories(root_ + "/rb");
+  fs::LocalFs a(root_ + "/ra"), b(root_ + "/rb");
+  fs::ReplicatedFs::Options options;
+  options.metrics = &metrics_;
+  fs::ReplicatedFs rfs({&a, &b}, options);
+  ASSERT_TRUE(rfs.write_file("/doc", "replicated payload").ok());
+
+  rfs.quarantine(1);
+  EXPECT_TRUE(rfs.replica_quarantined(1));
+  fs::Scrubber::Options scrub_options;
+  scrub_options.metrics = &metrics_;
+  fs::Scrubber scrubber(&rfs, scrub_options);
+  // The copies agree, so the scrub re-verifies replica 1 and lifts the
+  // quarantine (fs.integrity.repaired) while charging fs.scrub.* progress.
+  auto report = scrubber.scrub_file("/doc");
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_FALSE(rfs.replica_quarantined(1));
+
+  auto snapshot = client.stats();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.error().to_string();
+  const std::string& text = snapshot.value();
+  EXPECT_NE(text.find("counter fs.integrity.quarantine 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("counter fs.integrity.repaired 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("counter fs.integrity.mismatch 0"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gauge fs.integrity.quarantined 0"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("counter fs.scrub.files 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("counter fs.integrity.scrub_bytes"), std::string::npos)
+      << text;
 }
 
 TEST_F(StatsRpcTest, IdleReapAndActiveSessionsAreObservable) {

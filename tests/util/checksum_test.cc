@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/rand.h"
+
 namespace tss {
 namespace {
 
@@ -19,6 +21,41 @@ TEST(Fnv1a64, IncrementalMatchesOneShot) {
   inc.update(data.substr(10, 5));
   inc.update(data.substr(15));
   EXPECT_EQ(inc.digest(), fnv1a64(data));
+}
+
+TEST(Fnv1a64, IncrementalMatchesOneShotAcrossArbitrarySplits) {
+  // Property: however a byte stream is sliced into update() calls —
+  // including empty and single-byte chunks — the digest equals the one-shot
+  // hash of the concatenation. This is what lets the streaming getfile/
+  // putfile paths digest chunk-by-chunk and still agree with the peer's
+  // whole-buffer hash.
+  Rng rng(0x5EED5);
+  for (int round = 0; round < 200; round++) {
+    std::string data;
+    size_t len = rng.below(4096);
+    data.reserve(len);
+    for (size_t i = 0; i < len; i++) {
+      data.push_back(static_cast<char>(rng.next()));
+    }
+    Fnv1a64 inc;
+    size_t at = 0;
+    while (at < data.size()) {
+      // Chunk sizes biased toward the degenerate corners: 0 and 1 bytes.
+      size_t chunk;
+      switch (rng.below(4)) {
+        case 0: chunk = 0; break;
+        case 1: chunk = 1; break;
+        default: chunk = rng.below(data.size() - at + 1); break;
+      }
+      inc.update(data.data() + at, chunk);
+      at += chunk;
+    }
+    inc.update(data.data() + at, 0);  // trailing empty update is a no-op
+    EXPECT_EQ(inc.digest(), fnv1a64(data)) << "round " << round;
+  }
+  // The empty stream: zero updates == one empty update == one-shot of "".
+  Fnv1a64 empty;
+  EXPECT_EQ(empty.digest(), fnv1a64(""));
 }
 
 TEST(Fnv1a64, SensitiveToEveryByte) {
@@ -52,6 +89,24 @@ TEST(HashToHex, Formats) {
   EXPECT_EQ(hash_to_hex(0), "0000000000000000");
   EXPECT_EQ(hash_to_hex(0xdeadbeefULL), "00000000deadbeef");
   EXPECT_EQ(hash_to_hex(UINT64_MAX), "ffffffffffffffff");
+}
+
+TEST(HexToHash, RoundTripsAndRejectsGarbage) {
+  Rng rng(0xA11CE);
+  for (int round = 0; round < 100; round++) {
+    uint64_t digest = rng.next();
+    auto back = hex_to_hash(hash_to_hex(digest));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, digest);
+  }
+  // The wire token is exactly 16 lowercase hex digits; anything else is a
+  // malformed digest, not a value.
+  EXPECT_FALSE(hex_to_hash("").has_value());
+  EXPECT_FALSE(hex_to_hash("deadbeef").has_value());           // too short
+  EXPECT_FALSE(hex_to_hash("00000000deadbeef0").has_value());  // too long
+  EXPECT_FALSE(hex_to_hash("NOTAHEXNOTAHEX!!").has_value());
+  EXPECT_FALSE(hex_to_hash("00000000DEADBEEF").has_value());   // upper case
+  EXPECT_FALSE(hex_to_hash("0000 000deadbeef").has_value());
 }
 
 }  // namespace
