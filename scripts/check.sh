@@ -35,6 +35,18 @@ echo "== integrity suite (ctest -L integrity, incl. TSan + corruption soak) =="
 (cd "$root/build" && ctest -L integrity --output-on-failure -j "$jobs")
 (cd "$root/build" && TSS_NET_MODE=thread ctest -L integrity --output-on-failure -j "$jobs")
 
+echo "== accept-path/sharding suite (ctest -L shard) on both engines =="
+# Acceptor fd-exhaustion recovery, non-blocking refusals, exact accounting
+# through a shutdown storm, SO_REUSEPORT sharding, and the sendfile/chunked
+# getfile paths — the adopt/least-loaded picker also runs under TSan via the
+# tsan.* event-loop tests in the obs label above.
+(cd "$root/build" && ctest -L shard --output-on-failure -j "$jobs")
+(cd "$root/build" && TSS_NET_MODE=thread ctest -L shard --output-on-failure -j "$jobs")
+
+echo "== rpc-sharding ablation smoke: pipelined throughput across shards =="
+(cd "$root/build" && bench/bench_ablation_rpc_sharding --smoke /tmp/tss_check_shard.json)
+rm -f /tmp/tss_check_shard.json
+
 echo "== stripe-width ablation smoke: scaling + single-extent latency gate =="
 (cd "$root/build" && bench/bench_ablation_stripe_width --smoke /tmp/tss_check_stripe.json)
 rm -f /tmp/tss_check_stripe.json

@@ -36,6 +36,16 @@ class Backend {
   virtual Result<void> close(int handle) = 0;
   virtual Result<StatInfo> fstat(int handle) = 0;
 
+  // Host file descriptor behind an open handle, for zero-copy streaming
+  // (sendfile) by the transport. The fd stays owned by the backend — a
+  // caller that needs it past the next close() must dup it. Backends whose
+  // bytes do not live in real files (the simulator) return ENOTSUP and the
+  // session stays on the pread path.
+  virtual Result<int> stream_fd(int handle) {
+    (void)handle;
+    return Error(ENOTSUP, "backend has no streamable fd");
+  }
+
   // Namespace operations.
   virtual Result<StatInfo> stat(const std::string& path) = 0;
   virtual Result<void> unlink(const std::string& path) = 0;

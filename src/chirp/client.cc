@@ -59,12 +59,15 @@ Result<Response> Client::roundtrip(const Request& request,
   };
   stream_.write_line(encode_request(request));
   uint64_t body = request.payload_len();
-  if (body > 0) {
-    if (!payload) return Error(EINVAL, "request requires payload");
-    stream_.write_blob(payload, static_cast<size_t>(body));
-  }
-  if (trailer) stream_.write_line(*trailer);
-  if (auto rc = stream_.flush(); !rc.ok()) {
+  if (body > 0 && !payload) return Error(EINVAL, "request requires payload");
+  // Header, payload, and trailer leave in one scatter-gather write — the
+  // payload is never copied into the stream buffer.
+  std::string tail;
+  if (trailer) tail = *trailer + "\n";
+  auto rc = body > 0 ? stream_.send_with_blob(payload,
+                                              static_cast<size_t>(body), tail)
+                     : stream_.send_with_blob(nullptr, 0, tail);
+  if (!rc.ok()) {
     finish(false);
     return std::move(rc).take_error();
   }
@@ -380,8 +383,7 @@ Result<void> Client::putfile_from(const std::string& path, uint64_t size,
       return Error(EIO, "putfile source ended prematurely");
     }
     if (checksum_) digest.update(buffer.data(), got);
-    stream_.write_blob(buffer.data(), got);
-    TSS_RETURN_IF_ERROR(stream_.flush());
+    TSS_RETURN_IF_ERROR(stream_.send_with_blob(buffer.data(), got));
     remaining -= got;
   }
   if (checksum_) stream_.write_line(encode_sum_line(digest.digest()));

@@ -41,6 +41,8 @@ Result<int> PosixBackend::host_fd(int handle) {
   return it->second;
 }
 
+Result<int> PosixBackend::stream_fd(int handle) { return host_fd(handle); }
+
 Result<int> PosixBackend::open(const std::string& path, const OpenFlags& flags,
                                uint32_t mode) {
   int fd = ::open(host_path(path).c_str(), flags.to_posix(),

@@ -31,6 +31,7 @@ class PosixBackend final : public Backend {
   Result<void> fsync(int handle) override;
   Result<void> close(int handle) override;
   Result<StatInfo> fstat(int handle) override;
+  Result<int> stream_fd(int handle) override;
 
   Result<StatInfo> stat(const std::string& path) override;
   Result<void> unlink(const std::string& path) override;

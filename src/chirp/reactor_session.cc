@@ -1,8 +1,12 @@
 #include "chirp/reactor_session.h"
 
+#include <fcntl.h>
+
 #include <chrono>
 #include <cstring>
 #include <limits>
+
+#include "net/buffer_pool.h"
 
 #include "util/logging.h"
 #include "util/path.h"
@@ -12,6 +16,9 @@ namespace tss::chirp {
 
 namespace {
 constexpr size_t kStreamChunk = 256 * 1024;
+// Below this, a getfile fits in one pooled chunk and the dup/queue machinery
+// of the zero-copy path costs more than it saves.
+constexpr uint64_t kSendfileThreshold = 32 * 1024;
 
 // Handed to non-interactive auth attempts, which never touch it; if a
 // method unexpectedly does, the attempt fails instead of deadlocking the
@@ -148,7 +155,7 @@ void ServerSession::on_start(net::Conn& c) {
   c.set_timeout(idle_wait());
 }
 
-void ServerSession::on_close(net::Conn&) {
+void ServerSession::on_close(net::Conn& c) {
   if (bridge_) {
     bridge_->shutdown();  // wake a blocked auth helper; its attempt fails
     bridge_.reset();
@@ -157,6 +164,13 @@ void ServerSession::on_close(net::Conn&) {
     // A connection lost mid-stream records the op the way the blocking pump
     // did: EPIPE, with the bytes that actually moved.
     if (state_ == State::kSendFile) {
+      if (sendfile_mode_) {
+        // The session never saw the bytes; infer progress from what is
+        // still queued (the unsent tail of the region, plus any unflushed
+        // response bytes — clamp rather than go negative).
+        uint64_t pending = c.output_pending();
+        offset_ = pending >= size_ ? 0 : size_ - pending;
+      }
       core_->stream_close(handle_);
       core_->record_op(Op::kGetfile, op_start_, 0, offset_, EPIPE);
     } else if (state_ == State::kRecvFile) {
@@ -169,6 +183,7 @@ void ServerSession::on_close(net::Conn&) {
     }
   }
   state_ = State::kRequestLine;
+  sendfile_mode_ = false;
   if (active_gauge_) {
     active_gauge_->sub(1);
     active_gauge_ = nullptr;
@@ -247,17 +262,32 @@ bool ServerSession::step(net::Conn& c) {
         return true;
 
       case State::kRecvFile: {
+        // One pooled scratch buffer per delivery (returned to the pool on
+        // scope exit); the string fallback covers pool exhaustion.
+        net::PoolBuffer pool_buf;
+        char* scratch = nullptr;
+        size_t scratch_cap = 0;
         while (offset_ < size_ && !c.input().empty()) {
-          size_t want = static_cast<size_t>(
-              std::min<uint64_t>(size_ - offset_, kStreamChunk));
-          chunk_.resize(want);
-          size_t got = c.input().read(chunk_.data(), want);
+          if (scratch == nullptr) {
+            pool_buf = net::BufferPool::global().acquire();
+            if (pool_buf.valid()) {
+              scratch = pool_buf.data();
+              scratch_cap = pool_buf.capacity();
+            } else {
+              chunk_.resize(kStreamChunk);
+              scratch = chunk_.data();
+              scratch_cap = kStreamChunk;
+            }
+          }
+          size_t want = static_cast<size_t>(std::min<uint64_t>(
+              size_ - offset_, std::min(scratch_cap, kStreamChunk)));
+          size_t got = c.input().read(scratch, want);
           if (got == 0) break;
           if (core_->checksum_negotiated()) {
-            stream_sum_.update(chunk_.data(), got);
+            stream_sum_.update(scratch, got);
           }
           if (write_rc_.ok()) {
-            auto n = core_->backend().pwrite(handle_, chunk_.data(), got,
+            auto n = core_->backend().pwrite(handle_, scratch, got,
                                              static_cast<int64_t>(offset_));
             if (!n.ok()) {
               write_rc_ = std::move(n).take_error();
@@ -379,7 +409,11 @@ void ServerSession::dispatch_buffered(net::Conn& c,
   Response resp = core_->handle(req_, payload, &response_payload);
   c.write(encode_response_line(resp));
   c.write("\n");
-  if (resp.ok() && !response_payload.empty()) c.write(response_payload);
+  // Move the payload into the output queue — the transport gathers the
+  // header and payload into one writev, no concatenation copy.
+  if (resp.ok() && !response_payload.empty()) {
+    c.write_owned(std::move(response_payload));
+  }
   to_request_line(c);
 }
 
@@ -465,7 +499,26 @@ bool ServerSession::begin_getfile(net::Conn& c) {
   handle_ = handle.value();
   size_ = size;
   offset_ = 0;
+  sendfile_mode_ = false;
   state_ = State::kSendFile;
+  // Zero-copy eligibility: the transport must support it (reactor ConnCore
+  // does, a test double may not), the backend must have a real fd, and no
+  // checksum may be negotiated — sendfile bypasses user space, so there is
+  // nothing to digest; checksumming clients stay on the pread path.
+  if (c.can_stream_file() && !core_->checksum_negotiated() &&
+      size >= kSendfileThreshold) {
+    auto sfd = core_->backend().stream_fd(handle_);
+    if (sfd.ok()) {
+      // Dup: the queued region may outlive the backend handle (the session
+      // keeps the handle open until completion, but teardown ordering must
+      // not matter).
+      int dup = ::fcntl(sfd.value(), F_DUPFD_CLOEXEC, 0);
+      if (dup >= 0) {
+        c.write_file_region(net::Fd(dup), 0, size);
+        sendfile_mode_ = true;
+      }
+    }
+  }
   c.set_timeout(params_.io_timeout);
   c.want_output_space(true);
   return true;
@@ -476,27 +529,53 @@ bool ServerSession::on_output_space(net::Conn& c) {
     c.want_output_space(false);
     return true;
   }
+  if (sendfile_mode_) {
+    // The transport is streaming the region; nothing to produce. Completion
+    // is the queue reaching empty.
+    if (c.output_pending() > 0) return true;
+    offset_ = size_;
+    sendfile_mode_ = false;
+    c.want_output_space(false);
+    core_->stream_close(handle_);
+    core_->record_op(Op::kGetfile, op_start_, 0, size_, 0);
+    to_request_line(c);
+    // Pipelined requests may already be buffered behind the transfer.
+    return step(c);
+  }
   while (offset_ < size_ &&
          c.output_pending() < net::Conn::kOutputHighWater) {
     size_t want = static_cast<size_t>(
         std::min<uint64_t>(size_ - offset_, kStreamChunk));
-    chunk_.resize(want);
-    auto n = core_->backend().pread(handle_, chunk_.data(), want,
+    // Read into a pooled buffer and move it into the output queue — the
+    // chunk crosses user space once instead of being copied into a growing
+    // string. Pool exhaustion falls back to the string scratch.
+    net::PoolBuffer buf = net::BufferPool::global().acquire();
+    char* data;
+    if (buf.valid() && buf.capacity() >= want) {
+      data = buf.data();
+    } else {
+      buf.reset();
+      chunk_.resize(want);
+      data = chunk_.data();
+    }
+    auto n = core_->backend().pread(handle_, data, want,
                                     static_cast<int64_t>(offset_));
+    size_t got;
     if (!n.ok() || n.value() == 0) {
       // The size was already promised; pad with zeros to keep the stream in
       // sync (the file shrank mid-transfer).
-      std::memset(chunk_.data(), 0, want);
-      c.write(std::string_view(chunk_.data(), want));
-      if (core_->checksum_negotiated()) stream_sum_.update(chunk_.data(), want);
-      offset_ += want;
+      std::memset(data, 0, want);
+      got = want;
     } else {
-      c.write(std::string_view(chunk_.data(), n.value()));
-      if (core_->checksum_negotiated()) {
-        stream_sum_.update(chunk_.data(), n.value());
-      }
-      offset_ += n.value();
+      got = n.value();
     }
+    if (core_->checksum_negotiated()) stream_sum_.update(data, got);
+    if (buf.valid()) {
+      c.write_buffer(std::move(buf), got);
+    } else {
+      c.write(std::string_view(data, got));
+    }
+    offset_ += got;
   }
   if (offset_ >= size_) {
     if (core_->checksum_negotiated()) {

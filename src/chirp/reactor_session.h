@@ -126,8 +126,12 @@ class ServerSession final : public net::ReactorSession,
   Nanos op_start_ = 0;
   std::string body_;   // buffered RPC payload (kReadBody)
   size_t body_got_ = 0;
-  std::string chunk_;  // streaming scratch buffer
+  std::string chunk_;  // streaming scratch (fallback when the pool is dry)
   int handle_ = -1;    // backend handle for the in-flight stream
+  // Getfile is being streamed zero-copy: the whole file region sits in the
+  // connection's output queue (an fd + counters, not bytes) and completion
+  // is observed as the queue draining to empty.
+  bool sendfile_mode_ = false;
   uint64_t size_ = 0;
   uint64_t offset_ = 0;
   uint64_t drain_remaining_ = 0;

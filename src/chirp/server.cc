@@ -34,6 +34,7 @@ Result<void> Server::start() {
       config_.metrics->counter("chirp.server.rejected_connections");
   limits.mode = options_.mode;
   limits.reactor_workers = options_.reactor_workers;
+  limits.acceptors = options_.acceptors;
   limits.force_poll = options_.force_poll;
   limits.metrics = config_.metrics;
   return loop_.start(

@@ -46,6 +46,9 @@ struct ServerOptions {
   net::Mode mode = net::Mode::kAuto;
   // Reactor worker threads; 0 = net::EventLoop::default_workers().
   int reactor_workers = 0;
+  // Acceptor threads (SO_REUSEPORT-sharded listeners where available);
+  // <= 1 = a single acceptor. See net::ServerLoop::Limits::acceptors.
+  int acceptors = 1;
   // Use the poll() readiness backend instead of epoll.
   bool force_poll = false;
 };

@@ -1,0 +1,81 @@
+#include "net/buffer_pool.h"
+
+#include <cstdlib>
+
+namespace tss::net {
+
+PoolBuffer::~PoolBuffer() { reset(); }
+
+PoolBuffer& PoolBuffer::operator=(PoolBuffer&& other) noexcept {
+  if (this != &other) {
+    reset();
+    pool_ = other.pool_;
+    p_ = other.p_;
+    cap_ = other.cap_;
+    other.pool_ = nullptr;
+    other.p_ = nullptr;
+    other.cap_ = 0;
+  }
+  return *this;
+}
+
+void PoolBuffer::reset() {
+  if (p_ != nullptr) {
+    if (pool_ != nullptr) {
+      pool_->release(p_);
+    } else {
+      std::free(p_);
+    }
+  }
+  pool_ = nullptr;
+  p_ = nullptr;
+  cap_ = 0;
+}
+
+BufferPool::BufferPool(size_t buffer_size, size_t max_free)
+    : buffer_size_((buffer_size + kAlignment - 1) / kAlignment * kAlignment),
+      max_free_(max_free) {}
+
+BufferPool::~BufferPool() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (char* p : free_) std::free(p);
+  free_.clear();
+}
+
+PoolBuffer BufferPool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      char* p = free_.back();
+      free_.pop_back();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return PoolBuffer(this, p, buffer_size_);
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (::posix_memalign(&p, kAlignment, buffer_size_) != 0) {
+    return PoolBuffer();
+  }
+  return PoolBuffer(this, static_cast<char*>(p), buffer_size_);
+}
+
+void BufferPool::release(char* p) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.size() < max_free_) {
+      free_.push_back(p);
+      return;
+    }
+  }
+  std::free(p);
+}
+
+BufferPool& BufferPool::global() {
+  // Intentionally leaked: outlives every PoolBuffer, including ones parked
+  // in static-destruction-ordered objects.
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+}  // namespace tss::net

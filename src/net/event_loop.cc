@@ -3,16 +3,20 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #ifdef __linux__
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <sys/sendfile.h>
 #endif
 
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <deque>
 #include <map>
 #include <unordered_map>
 
@@ -34,20 +38,104 @@ void Mailbox::post(std::function<void()> task) {
 
 // --- ConnCore ---------------------------------------------------------------
 
+// One entry of a connection's output queue: a byte segment (owned string or
+// pooled buffer) or a file region streamed via sendfile. Segments drain
+// strictly in order; a region whose file shrinks mid-stream switches to
+// zero-padding so the promised byte count still reaches the peer.
+struct OutSeg {
+  std::string data;       // byte segment (when buf/file are empty)
+  PoolBuffer buf;         // pooled byte segment; `len` bytes valid
+  size_t len = 0;
+  Fd file;                // owned descriptor for a file region
+  uint64_t file_off = 0;
+  uint64_t file_len = 0;  // remaining region bytes
+  bool pad_zeros = false;    // file hit EOF early: stream zeros instead
+  bool no_sendfile = false;  // sendfile refused this fd: pread+send fallback
+
+  bool is_file() const { return file.valid(); }
+  const char* bytes() const { return buf.valid() ? buf.data() : data.data(); }
+  size_t size() const { return buf.valid() ? len : data.size(); }
+};
+
 // The concrete connection: transport state shared by both drivers (reactor
 // worker and blocking pump). Single-threaded — only the owning driver touches
 // it; other threads go through ConnRef::post.
 class ConnCore final : public Conn,
                        public std::enable_shared_from_this<ConnCore> {
  public:
+  // Writes below this keep appending to the tail segment (one iovec, one
+  // allocation for a burst of small lines); larger segments are left intact
+  // so appends never reallocate a bulk payload.
+  static constexpr size_t kCoalesceLimit = 16 * 1024;
+
   FrameDecoder& input() override { return in_; }
   bool input_eof() const override { return eof_; }
 
   void write(std::string_view bytes) override {
-    if (!dead_) out_.append(bytes);
+    if (dead_ || bytes.empty()) return;
+    out_bytes_ += bytes.size();
+    if (!out_.empty() && !out_.back().is_file() && !out_.back().buf.valid() &&
+        out_.back().data.size() + bytes.size() <= kCoalesceLimit) {
+      out_.back().data.append(bytes);
+      return;
+    }
+    OutSeg seg;
+    seg.data.assign(bytes);
+    out_.push_back(std::move(seg));
   }
-  size_t output_pending() const override { return out_.size() - out_pos_; }
+
+  void write_owned(std::string&& bytes) override {
+    if (dead_ || bytes.empty()) return;
+    if (bytes.size() <= kCoalesceLimit) {
+      write(std::string_view(bytes));
+      return;
+    }
+    out_bytes_ += bytes.size();
+    OutSeg seg;
+    seg.data = std::move(bytes);
+    out_.push_back(std::move(seg));
+  }
+
+  void write_buffer(PoolBuffer&& buf, size_t len) override {
+    if (dead_ || len == 0 || !buf.valid()) return;
+    out_bytes_ += len;
+    OutSeg seg;
+    seg.buf = std::move(buf);
+    seg.len = len;
+    out_.push_back(std::move(seg));
+  }
+
+  bool can_stream_file() const override { return true; }
+
+  void write_file_region(Fd file, uint64_t offset, uint64_t len) override {
+    if (dead_ || len == 0 || !file.valid()) return;
+    out_bytes_ += len;
+    OutSeg seg;
+    seg.file = std::move(file);
+    seg.file_off = offset;
+    seg.file_len = len;
+    out_.push_back(std::move(seg));
+  }
+
+  size_t output_pending() const override { return out_bytes_; }
   void want_output_space(bool want) override { want_space_ = want; }
+
+  // Drops `n` flushed bytes off the head of the queue (byte segments only;
+  // file regions account their own progress).
+  void consume_output(size_t n) {
+    out_bytes_ -= n;
+    while (n > 0) {
+      OutSeg& head = out_.front();
+      size_t remaining = head.size() - head_pos_;
+      size_t take = std::min(n, remaining);
+      head_pos_ += take;
+      n -= take;
+      if (head_pos_ == head.size()) {
+        out_.pop_front();
+        head_pos_ = 0;
+      }
+    }
+  }
 
   void set_timeout(Nanos timeout) override { timeout_ = timeout; }
   void close() override { closing_ = true; }
@@ -63,8 +151,9 @@ class ConnCore final : public Conn,
   std::function<void(const std::shared_ptr<ConnCore>&)> pump_fn_;
 
   FrameDecoder in_;
-  std::string out_;
-  size_t out_pos_ = 0;
+  std::deque<OutSeg> out_;
+  size_t head_pos_ = 0;   // sent prefix of out_.front() (byte segments)
+  size_t out_bytes_ = 0;  // total pending across all segments
 
   bool eof_ = false;       // peer half-closed
   bool closing_ = false;   // graceful close requested: flush, then die
@@ -99,34 +188,124 @@ class ConnDriver {
 
   obs::Counter* stalls_ = nullptr;
 
-  // Sends as much pending output as the socket accepts. Returns false on a
-  // fatal transport error (caller must tear down).
-  bool flush(ConnCore& c, Nanos now) {
-    while (c.out_pos_ < c.out_.size()) {
-      ssize_t n = ::send(c.sock_.raw_fd(), c.out_.data() + c.out_pos_,
-                         c.out_.size() - c.out_pos_, MSG_NOSIGNAL);
+  // Gather at most this many byte segments per sendmsg. UIO_MAXIOV is 1024;
+  // 64 already amortizes the syscall and keeps the stack iovec small.
+  static constexpr int kMaxIov = 64;
+
+  void note_stall(ConnCore& c) {
+    if (!c.want_write_) {
+      c.want_write_ = true;
+      if (stalls_) stalls_->add();
+    }
+  }
+
+  // Streams the file region at the head of the queue: sendfile where the
+  // kernel allows it, pread+send otherwise, zeros once the file runs short of
+  // its promised length. Returns +1 when the region completed (caller
+  // continues with the next segment), 0 on EAGAIN (socket full), -1 on a
+  // fatal transport or file error.
+  int flush_file(ConnCore& c, Nanos now) {
+    OutSeg& seg = c.out_.front();
+    int sfd = c.sock_.raw_fd();
+    while (seg.file_len > 0) {
+      ssize_t n;
+      if (seg.pad_zeros) {
+        // The file shrank after the length was promised; the stream contract
+        // (exactly `len` bytes) wins, matching the read-path behavior.
+        static const char kZeros[16 * 1024] = {};
+        n = ::send(sfd, kZeros,
+                   std::min<uint64_t>(seg.file_len, sizeof kZeros),
+                   MSG_NOSIGNAL);
+      } else if (!seg.no_sendfile) {
+#ifdef __linux__
+        off_t off = static_cast<off_t>(seg.file_off);
+        size_t len = std::min<uint64_t>(seg.file_len, 1 << 20);
+        n = ::sendfile(sfd, seg.file.get(), &off, len);
+        if (n < 0 && (errno == EINVAL || errno == ENOSYS ||
+                      errno == EOPNOTSUPP || errno == ENOTSUP)) {
+          seg.no_sendfile = true;  // fd type sendfile can't serve
+          continue;
+        }
+        if (n == 0) {
+          seg.pad_zeros = true;  // EOF before the region end: file shrank
+          continue;
+        }
+        if (n > 0) seg.file_off = static_cast<uint64_t>(off);
+#else
+        seg.no_sendfile = true;
+        continue;
+#endif
+      } else {
+        char buf[64 * 1024];
+        size_t len = std::min<uint64_t>(seg.file_len, sizeof buf);
+        ssize_t r = ::pread(seg.file.get(), buf, len,
+                            static_cast<off_t>(seg.file_off));
+        if (r < 0) {
+          if (errno == EINTR) continue;
+          return -1;  // media error mid-stream: don't mask it with zeros
+        }
+        if (r == 0) {
+          seg.pad_zeros = true;
+          continue;
+        }
+        n = ::send(sfd, buf, static_cast<size_t>(r), MSG_NOSIGNAL);
+        if (n > 0) seg.file_off += static_cast<uint64_t>(n);
+      }
       if (n > 0) {
-        c.out_pos_ += static_cast<size_t>(n);
+        seg.file_len -= static_cast<uint64_t>(n);
+        c.out_bytes_ -= static_cast<size_t>(n);
         c.last_activity_ = now;
         continue;
       }
       if (n < 0 && errno == EINTR) continue;
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        if (!c.want_write_) {
-          c.want_write_ = true;
-          if (stalls_) stalls_->add();
-        }
-        // Drop the sent prefix so a long stall doesn't pin a large buffer.
-        if (c.out_pos_ > 0) {
-          c.out_.erase(0, c.out_pos_);
-          c.out_pos_ = 0;
-        }
+        note_stall(c);
+        return 0;
+      }
+      return -1;
+    }
+    c.out_.pop_front();  // region done; the Fd closes with the segment
+    return 1;
+  }
+
+  // Sends as much pending output as the socket accepts: byte segments are
+  // gathered into one sendmsg (header + payload leave in a single syscall,
+  // no concatenation copy), file regions via flush_file. Returns false on a
+  // fatal transport error (caller must tear down).
+  bool flush(ConnCore& c, Nanos now) {
+    while (c.out_bytes_ > 0) {
+      if (c.out_.front().is_file()) {
+        int rc = flush_file(c, now);
+        if (rc < 0) return false;
+        if (rc == 0) return true;  // EAGAIN; writability resumes the region
+        continue;
+      }
+      iovec iov[kMaxIov];
+      int cnt = 0;
+      size_t skip = c.head_pos_;
+      for (const OutSeg& s : c.out_) {
+        if (s.is_file() || cnt == kMaxIov) break;
+        iov[cnt].iov_base = const_cast<char*>(s.bytes() + skip);
+        iov[cnt].iov_len = s.size() - skip;
+        skip = 0;
+        ++cnt;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(cnt);
+      ssize_t n = ::sendmsg(c.sock_.raw_fd(), &msg, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.consume_output(static_cast<size_t>(n));
+        c.last_activity_ = now;
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        note_stall(c);
         return true;
       }
       return false;  // peer reset, broken pipe, ...
     }
-    c.out_.clear();
-    c.out_pos_ = 0;
     c.want_write_ = false;
     return true;
   }
@@ -476,6 +655,7 @@ Nanos TimerWheel::next_tick_delay(Nanos now, Nanos cap) const {
 
 struct EventLoop::Worker final : public detail::ConnDriver {
   EventLoop* loop = nullptr;
+  int index = 0;
   std::unique_ptr<detail::Poller> poller;
   std::shared_ptr<detail::Mailbox> mailbox;
   detail::WakeChannel wake;
@@ -483,14 +663,21 @@ struct EventLoop::Worker final : public detail::ConnDriver {
   std::unordered_map<int, std::shared_ptr<detail::ConnCore>> conns;
   std::atomic<bool> stop_requested{false};
   std::thread thread;
+  // Connections owned by or in flight to this worker. Written by adopt()
+  // (any thread) and by the worker; read by adopt() for least-loaded
+  // placement.
+  std::atomic<size_t> load{0};
 
   obs::Counter* wakeups = nullptr;
   obs::Gauge* depth = nullptr;
   obs::Gauge* conn_gauge = nullptr;
+  obs::Gauge* shard_gauge = nullptr;
+  obs::Counter* shard_adopted = nullptr;
 
-  Worker(EventLoop* owner, bool force_poll, Nanos tick, size_t slots,
+  Worker(EventLoop* owner, int idx, bool force_poll, Nanos tick, size_t slots,
          obs::Registry& reg)
       : loop(owner),
+        index(idx),
         poller(detail::make_poller(force_poll)),
         mailbox(std::make_shared<detail::Mailbox>()),
         wake(detail::WakeChannel::open()),
@@ -499,6 +686,9 @@ struct EventLoop::Worker final : public detail::ConnDriver {
     wakeups = reg.counter("net.loop.wakeups");
     depth = reg.gauge("net.loop.depth");
     conn_gauge = reg.gauge("net.loop.connections");
+    std::string shard = "net.loop.shard." + std::to_string(idx);
+    shard_gauge = reg.gauge(shard + ".connections");
+    shard_adopted = reg.counter(shard + ".adopted");
     stalls_ = reg.counter("net.loop.writable_stalls");
     (void)poller->add(wake.read_end.get(), /*want_read=*/true,
                       /*want_write=*/false);
@@ -549,9 +739,12 @@ struct EventLoop::Worker final : public detail::ConnDriver {
     }
   }
 
-  // Runs on this worker (posted by adopt()).
+  // Runs on this worker (posted by adopt(), which already bumped `load`).
   void add_conn(TcpSocket sock, std::shared_ptr<ReactorSession> session) {
-    if (stop_requested.load(std::memory_order_acquire)) return;
+    if (stop_requested.load(std::memory_order_acquire)) {
+      load.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
     auto c = std::make_shared<detail::ConnCore>();
     c->sock_ = std::move(sock);
     c->session_ = std::move(session);
@@ -562,6 +755,7 @@ struct EventLoop::Worker final : public detail::ConnDriver {
     };
     int fd = c->sock_.raw_fd();
     if (!poller->add(fd, /*want_read=*/true, /*want_write=*/false).ok()) {
+      load.fetch_sub(1, std::memory_order_relaxed);
       c->dead_ = true;
       return;
     }
@@ -570,6 +764,7 @@ struct EventLoop::Worker final : public detail::ConnDriver {
     conns[fd] = c;
     loop->active_.fetch_add(1, std::memory_order_relaxed);
     conn_gauge->add();
+    shard_gauge->add();
     c->session_->on_start(*c);
     // Any bytes already queued by the peer surface via level-triggered
     // readiness on the next wait().
@@ -586,7 +781,9 @@ struct EventLoop::Worker final : public detail::ConnDriver {
     c->pump_fn_ = nullptr;
     c->sock_.close();
     loop->active_.fetch_sub(1, std::memory_order_relaxed);
+    load.fetch_sub(1, std::memory_order_relaxed);
     conn_gauge->sub();
+    shard_gauge->sub();
     // Any armed wheel entry fires as a no-op (weak_ptr or dead_ check).
   }
 
@@ -661,7 +858,7 @@ Result<void> EventLoop::start() {
       options_.metrics ? *options_.metrics : obs::Registry::global();
   workers_.clear();
   for (int i = 0; i < n; ++i) {
-    auto w = std::make_unique<Worker>(this, options_.force_poll,
+    auto w = std::make_unique<Worker>(this, i, options_.force_poll,
                                       options_.wheel_tick,
                                       options_.wheel_slots, reg);
     if (!w->wake.read_end.valid()) {
@@ -693,15 +890,36 @@ void EventLoop::stop() {
   workers_.clear();
 }
 
+size_t EventLoop::worker_connections(int i) const {
+  if (i < 0 || static_cast<size_t>(i) >= workers_.size()) return 0;
+  return workers_[i]->load.load(std::memory_order_relaxed);
+}
+
 Result<void> EventLoop::adopt(TcpSocket sock,
                               std::shared_ptr<ReactorSession> session) {
   if (!running_.load()) return Error(EINVAL, "event loop not running");
   if (!sock.valid()) return Error(EBADF, "invalid socket");
   if (!session) return Error(EINVAL, "null session");
   detail::set_nonblocking(sock.raw_fd());
-  size_t i = next_worker_.fetch_add(1, std::memory_order_relaxed) %
-             workers_.size();
-  Worker* w = workers_[i].get();
+  // Least-loaded placement: blind round-robin leaves one worker carrying
+  // every long-lived connection of a burst while its siblings drain, so scan
+  // the (small, fixed) pool. The rotating start index breaks ties, keeping
+  // equal loads spread; the load counts in-flight adoptions too, so a storm
+  // of adopts before any add_conn runs still distributes.
+  size_t start = next_worker_.fetch_add(1, std::memory_order_relaxed) %
+                 workers_.size();
+  Worker* w = workers_[start].get();
+  size_t best = w->load.load(std::memory_order_relaxed);
+  for (size_t k = 1; k < workers_.size() && best > 0; ++k) {
+    Worker* cand = workers_[(start + k) % workers_.size()].get();
+    size_t l = cand->load.load(std::memory_order_relaxed);
+    if (l < best) {
+      best = l;
+      w = cand;
+    }
+  }
+  w->load.fetch_add(1, std::memory_order_relaxed);
+  w->shard_adopted->add();
   // std::function requires copyable captures; park the socket in shared_ptr.
   auto parked = std::make_shared<TcpSocket>(std::move(sock));
   w->mailbox->post([w, parked, session = std::move(session)]() mutable {

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/buffer_pool.h"
 #include "net/line_stream.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
@@ -80,8 +81,40 @@ class Conn {
   virtual bool input_eof() const = 0;
 
   // Appends bytes to the output buffer; the transport flushes them as the
-  // socket allows.
+  // socket allows. Small writes coalesce into one segment; the transport
+  // sends queued segments with scatter-gather I/O (writev), so a header
+  // written separately from its payload costs no concatenation copy.
   virtual void write(std::string_view bytes) = 0;
+
+  // Moves `bytes` into the output queue as its own segment — the zero-copy
+  // variant of write() for bulk payloads the caller no longer needs.
+  virtual void write_owned(std::string&& bytes) {
+    write(std::string_view(bytes));
+  }
+
+  // Moves a pooled buffer (first `len` bytes valid) into the output queue;
+  // the buffer returns to its pool once flushed. Zero-copy for streamed
+  // chunks read into pool buffers.
+  virtual void write_buffer(PoolBuffer&& buf, size_t len) {
+    write(std::string_view(buf.data(), len));
+  }
+
+  // True when the transport can stream a file region directly to the socket
+  // (sendfile/splice) without the bytes entering user space.
+  virtual bool can_stream_file() const { return false; }
+
+  // Queues `len` bytes of `file` starting at `offset` for transmission,
+  // taking ownership of the descriptor (closed when the region completes or
+  // the connection dies). Only valid when can_stream_file() is true; the
+  // region counts toward output_pending() and drains in order with byte
+  // segments. If the file shrinks mid-region, the remainder is zero-padded
+  // so the promised byte count still reaches the peer.
+  virtual void write_file_region(Fd file, uint64_t offset, uint64_t len) {
+    (void)offset;
+    (void)len;
+    file.reset();
+  }
+
   virtual size_t output_pending() const = 0;
   // Request on_output_space() callbacks when output drains (streaming).
   virtual void want_output_space(bool want) = 0;
@@ -207,13 +240,17 @@ class EventLoop {
   void stop();
   bool running() const { return running_.load(); }
 
-  // Thread-safe: hands a connected socket and its session to a worker
-  // (round-robin). The socket is switched to non-blocking; the session's
-  // callbacks run on that worker from then on.
+  // Thread-safe: hands a connected socket and its session to the
+  // least-loaded worker (ties broken by rotation, so equal loads still
+  // spread). The socket is switched to non-blocking; the session's callbacks
+  // run on that worker from then on.
   Result<void> adopt(TcpSocket sock, std::shared_ptr<ReactorSession> session);
 
   size_t active_connections() const { return active_.load(); }
   int workers() const { return static_cast<int>(workers_.size()); }
+  // Connections currently owned by (or in flight to) worker `i`; the
+  // shard-distribution tests assert balance through this.
+  size_t worker_connections(int i) const;
 
   static int default_workers();
 

@@ -1,5 +1,7 @@
 #include "net/line_stream.h"
 
+#include <sys/uio.h>
+
 #include <cstring>
 
 #include "obs/metrics.h"
@@ -197,6 +199,37 @@ Result<void> LineStream::flush() {
   if (wbuf_.empty()) return Result<void>::success();
   TSS_RETURN_IF_ERROR(consult_fault_hook("flush"));
   auto rc = sock_.write_all(wbuf_.data(), wbuf_.size(), timeout_);
+  wbuf_.clear();
+  return rc;
+}
+
+Result<void> LineStream::send_with_blob(const void* data, size_t size,
+                                        std::string_view tail) {
+  if (fault_hook_) {
+    // The corruption/truncation points need the payload in the buffer.
+    if (size > 0) write_blob(data, size);
+    wbuf_.append(tail);
+    return flush();
+  }
+  if (size == 0 && tail.empty()) return flush();
+  iovec iov[3];
+  int cnt = 0;
+  if (!wbuf_.empty()) {
+    iov[cnt].iov_base = wbuf_.data();
+    iov[cnt].iov_len = wbuf_.size();
+    ++cnt;
+  }
+  if (size > 0) {
+    iov[cnt].iov_base = const_cast<void*>(data);
+    iov[cnt].iov_len = size;
+    ++cnt;
+  }
+  if (!tail.empty()) {
+    iov[cnt].iov_base = const_cast<char*>(tail.data());
+    iov[cnt].iov_len = tail.size();
+    ++cnt;
+  }
+  auto rc = sock_.writev_all(iov, cnt, timeout_);
   wbuf_.clear();
   return rc;
 }

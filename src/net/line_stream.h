@@ -138,6 +138,15 @@ class LineStream {
   // Sends everything buffered.
   Result<void> flush();
 
+  // Sends everything buffered, then `size` payload bytes, then the raw
+  // `tail` bytes (e.g. a pre-encoded checksum trailer line), in one scatter-
+  // gather write: header, blob, and trailer leave in a single syscall with
+  // no copy of the payload into the write buffer. Equivalent to write_blob +
+  // append tail + flush (and falls back to exactly that when a fault hook is
+  // installed, so the "write_blob"/"flush" injection points keep working).
+  Result<void> send_with_blob(const void* data, size_t size,
+                              std::string_view tail = {});
+
   // Convenience: write line, flush, used by simple request/response turns.
   Result<void> send_line(std::string_view line);
 

@@ -3,9 +3,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "util/logging.h"
+#include "util/rand.h"
 
 namespace tss::net {
 
@@ -53,10 +56,47 @@ Mode default_mode() {
 
 Result<void> ServerLoop::start_common(const std::string& host, uint16_t port,
                                       Limits limits) {
-  TSS_ASSIGN_OR_RETURN(listener_, TcpListener::listen(host, port));
-  port_ = listener_.port();
   limits_ = std::move(limits);
+  obs::Registry& reg =
+      limits_.metrics ? *limits_.metrics : obs::Registry::global();
+  accept_error_counter_ = reg.counter("net.accept.error");
+  int want = std::max(1, limits_.acceptors);
+  listeners_.clear();
+  // The first listener sets SO_REUSEPORT only when sharding is requested:
+  // later listeners can only join a port whose first bind opted in.
+  auto first = TcpListener::listen(host, port, /*backlog=*/64,
+                                   /*reuse_port=*/want > 1);
+  if (!first.ok() && want > 1) {
+    // Platform without SO_REUSEPORT (or it is refused): single listener.
+    TSS_WARN("net") << "reuse-port listen failed ("
+                    << first.error().to_string()
+                    << "), falling back to one acceptor";
+    want = 1;
+    first = TcpListener::listen(host, port);
+  }
+  if (!first.ok()) return std::move(first).take_error();
+  port_ = first.value().port();
+  listeners_.push_back(std::move(first).value());
+  for (int i = 1; i < want; ++i) {
+    auto next = TcpListener::listen(host, port_, /*backlog=*/64,
+                                    /*reuse_port=*/true);
+    if (!next.ok()) {
+      TSS_WARN("net") << "acceptor " << i << " listen failed ("
+                      << next.error().to_string()
+                      << "), continuing with " << listeners_.size();
+      break;
+    }
+    listeners_.push_back(std::move(next).value());
+  }
   return Result<void>::success();
+}
+
+void ServerLoop::start_acceptors() {
+  running_.store(true);
+  accept_threads_.reserve(listeners_.size());
+  for (size_t i = 0; i < listeners_.size(); ++i) {
+    accept_threads_.emplace_back([this, i] { accept_loop(i); });
+  }
 }
 
 Result<void> ServerLoop::start(const std::string& host, uint16_t port,
@@ -64,8 +104,7 @@ Result<void> ServerLoop::start(const std::string& host, uint16_t port,
   TSS_RETURN_IF_ERROR(start_common(host, port, std::move(limits)));
   handler_ = std::move(handler);
   mode_ = Mode::kThreadPerConnection;  // raw handlers block; no reactor
-  running_.store(true);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  start_acceptors();
   return Result<void>::success();
 }
 
@@ -83,56 +122,106 @@ Result<void> ServerLoop::start(const std::string& host, uint16_t port,
     auto rc = loop_->start();
     if (!rc.ok()) {
       loop_.reset();
-      listener_.close();
+      listeners_.clear();
       return rc;
     }
   }
-  running_.store(true);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  start_acceptors();
   return Result<void>::success();
 }
 
-void ServerLoop::accept_loop() {
+namespace {
+
+// Accept errors that mean the listener itself is unusable; anything else —
+// fd exhaustion (EMFILE/ENFILE), memory pressure (ENOMEM/ENOBUFS), per-conn
+// network errors — is transient: the condition clears when connections close
+// or pressure subsides, so the acceptor must survive it. Availability bug in
+// the seed: one EMFILE burst killed the accept thread for good and the
+// server stopped admitting clients forever.
+bool fatal_accept_error(int code) {
+  return code == EBADF || code == EINVAL || code == ENOTSOCK ||
+         code == EOPNOTSUPP;
+}
+
+}  // namespace
+
+void ServerLoop::accept_loop(size_t idx) {
+  TcpListener& listener = listeners_[idx];
+  // Per-acceptor jitter stream so sharded acceptors don't retry in lockstep.
+  Rng rng(0x9e3779b97f4a7c15ULL ^ idx);
+  Nanos backoff = 0;
+  constexpr Nanos kBackoffBase = 2 * kMillisecond;
+  constexpr Nanos kBackoffCap = 100 * kMillisecond;
   while (running_.load()) {
-    auto sock = listener_.accept(200 * kMillisecond);
+    auto sock = listener.accept(200 * kMillisecond);
     if (!sock.ok()) {
-      if (sock.error().code == ETIMEDOUT) continue;
-      if (running_.load()) {
-        TSS_DEBUG("net") << "accept: " << sock.error().to_string();
+      int code = sock.error().code;
+      if (code == ETIMEDOUT) continue;
+      if (!running_.load()) break;
+      if (fatal_accept_error(code)) {
+        TSS_WARN("net") << "acceptor " << idx
+                        << " fatal: " << sock.error().to_string();
+        break;
       }
-      break;
+      // Transient: count it, back off with jitter (the retry must not spin
+      // while the process is out of fds), and keep accepting.
+      accept_errors_.fetch_add(1);
+      accept_error_counter_->add();
+      TSS_WARN("net") << "accept: " << sock.error().to_string()
+                      << " (retrying)";
+      backoff = backoff == 0 ? kBackoffBase
+                             : std::min(backoff * 2, kBackoffCap);
+      Nanos delay = static_cast<Nanos>(
+          static_cast<double>(backoff) * (0.75 + 0.5 * rng.uniform()));
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+      continue;
     }
-    if (limits_.max_connections > 0 &&
-        active_.load() >= limits_.max_connections) {
-      // Over the cap: tell the client why (best effort), then close. A
-      // refusal must be visible — to the client as a typed error instead of
-      // a bare EOF, and to the operator in the log and the metrics.
+    backoff = 0;
+    dispatch(std::move(sock).value());
+  }
+}
+
+void ServerLoop::dispatch(TcpSocket sock) {
+  if (limits_.max_connections > 0 &&
+      active_.load() >= limits_.max_connections) {
+    // Over the cap: tell the client why (best effort), then close. A
+    // refusal must be visible — to the client as a typed error instead of
+    // a bare EOF, and to the operator in the log and the metrics. The
+    // notice is one non-blocking send: a refused client that never reads
+    // must not be able to stall the acceptor (the socket from accept4 is
+    // already non-blocking; a full buffer just drops the notice).
+    rejected_.fetch_add(1);
+    if (limits_.rejected_counter) limits_.rejected_counter->add();
+    TSS_WARN("net") << "connection cap (" << limits_.max_connections
+                    << ") reached, refusing client";
+    if (!limits_.reject_notice.empty()) {
+      (void)::send(sock.raw_fd(), limits_.reject_notice.data(),
+                   limits_.reject_notice.size(),
+                   MSG_DONTWAIT | MSG_NOSIGNAL);
+    }
+    sock.close();
+    return;
+  }
+  accepted_.fetch_add(1);
+  active_.fetch_add(1);
+  if (mode_ == Mode::kReactor) {
+    auto session = std::make_shared<CountedSession>(factory_(), &active_);
+    auto rc = loop_->adopt(std::move(sock), std::move(session));
+    if (!rc.ok()) {
+      // The loop refused the connection (stopping, or a bad fd). The
+      // CountedSession destructor restores active_; account the drop where
+      // operators look for refused clients instead of losing it to a
+      // debug-only log line.
       rejected_.fetch_add(1);
       if (limits_.rejected_counter) limits_.rejected_counter->add();
-      TSS_WARN("net") << "connection cap (" << limits_.max_connections
-                      << ") reached, refusing client";
-      if (!limits_.reject_notice.empty()) {
-        (void)sock.value().write_all(limits_.reject_notice.data(),
-                                     limits_.reject_notice.size(),
-                                     kSecond);
+      if (running_.load()) {
+        TSS_WARN("net") << "adopt failed, dropping client: "
+                        << rc.error().to_string();
       }
-      sock.value().close();
-      continue;
     }
-    accepted_.fetch_add(1);
-    active_.fetch_add(1);
-    if (mode_ == Mode::kReactor) {
-      auto session =
-          std::make_shared<CountedSession>(factory_(), &active_);
-      auto rc = loop_->adopt(std::move(sock).value(), std::move(session));
-      if (!rc.ok()) {
-        // Loop is stopping; the CountedSession destructor restores active_.
-        TSS_DEBUG("net") << "adopt: " << rc.error().to_string();
-      }
-      continue;
-    }
-    spawn_thread(std::move(sock).value());
+    return;
   }
+  spawn_thread(std::move(sock));
 }
 
 void ServerLoop::spawn_thread(TcpSocket sock) {
@@ -174,15 +263,21 @@ void ServerLoop::finish_connection(uint64_t id) {
 
 void ServerLoop::stop() {
   if (!running_.exchange(false)) return;
-  // Wake the acceptor with shutdown() rather than close(): close() would
+  // Wake each acceptor with shutdown() rather than close(): close() would
   // mutate the listener Fd while the accept thread is reading it (a data
   // race, and the fd number could be reused under the acceptor's feet).
   // shutdown() only reads the descriptor; accept fails immediately with
-  // EINVAL and the loop exits. The 200ms accept timeout is the fallback on
-  // platforms where shutdown on a listener is a no-op.
-  if (listener_.valid()) ::shutdown(listener_.raw_fd(), SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  listener_.close();
+  // EINVAL and the loop exits. The 200ms accept timeout (and the ≤150ms
+  // backoff sleep cap) is the fallback on platforms where shutdown on a
+  // listener is a no-op.
+  for (auto& l : listeners_) {
+    if (l.valid()) ::shutdown(l.raw_fd(), SHUT_RDWR);
+  }
+  for (auto& t : accept_threads_) {
+    if (t.joinable()) t.join();
+  }
+  accept_threads_.clear();
+  listeners_.clear();
   if (loop_) {
     loop_->stop();
     loop_.reset();

@@ -26,6 +26,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "net/event_loop.h"
 #include "net/socket.h"
@@ -70,6 +71,12 @@ class ServerLoop {
     Mode mode = Mode::kAuto;
     // Reactor sizing; 0 = EventLoop::default_workers().
     int reactor_workers = 0;
+    // Acceptor threads / listeners. With SO_REUSEPORT, each acceptor owns
+    // its own listener on the shared port and the kernel load-balances
+    // accepts across them; where a second bind fails, the loop falls back
+    // to a single listener (least-loaded adopt still spreads connections
+    // across reactor workers). <= 1 = one acceptor.
+    int acceptors = 1;
     // Force the poll() backend (portability testing).
     bool force_poll = false;
     // Registry for the net.loop.* metrics; null = obs::Registry::global().
@@ -109,6 +116,12 @@ class ServerLoop {
   uint64_t connections_rejected() const { return rejected_.load(); }
   // Number of live connections (either engine).
   size_t active_connections() const { return active_.load(); }
+  // Transient accept() failures survived (EMFILE and friends); mirrors the
+  // net.accept.error counter.
+  uint64_t accept_errors() const { return accept_errors_.load(); }
+  // Listeners actually bound (< Limits::acceptors when SO_REUSEPORT sharding
+  // was unavailable and the loop fell back).
+  int acceptors() const { return static_cast<int>(listeners_.size()); }
 
  private:
   struct Connection {
@@ -118,14 +131,17 @@ class ServerLoop {
 
   Result<void> start_common(const std::string& host, uint16_t port,
                             Limits limits);
-  void accept_loop();
+  void start_acceptors();
+  void accept_loop(size_t idx);
+  // One accepted socket through admission control and onto its engine.
+  void dispatch(TcpSocket sock);
   void spawn_thread(TcpSocket sock);
   // Called by a handler thread as its final act: closes the dup_fd, detaches
   // the (self) thread, and drops the Connection entry — the completion
   // signal that replaces lazy reaping on the next accept.
   void finish_connection(uint64_t id);
 
-  TcpListener listener_;
+  std::vector<TcpListener> listeners_;
   Handler handler_;
   SessionFactory factory_;
   Limits limits_;
@@ -136,7 +152,9 @@ class ServerLoop {
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<size_t> active_{0};
-  std::thread accept_thread_;
+  std::atomic<uint64_t> accept_errors_{0};
+  obs::Counter* accept_error_counter_ = nullptr;
+  std::vector<std::thread> accept_threads_;
   std::mutex mutex_;
   uint64_t next_conn_id_ = 0;
   std::unordered_map<uint64_t, Connection> conns_;

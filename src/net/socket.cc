@@ -7,9 +7,11 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cstring>
+#include <vector>
 
 #include "util/strings.h"
 
@@ -164,6 +166,39 @@ Result<void> TcpSocket::write_all(const void* data, size_t size,
   return Result<void>::success();
 }
 
+Result<void> TcpSocket::writev_all(const iovec* iov, int iovcnt,
+                                   Nanos timeout) {
+  if (!fd_.valid()) return Error(EBADF, "socket closed");
+  // Mutable copy: partial sends advance base/len without touching the
+  // caller's array.
+  std::vector<iovec> v(iov, iov + iovcnt);
+  size_t idx = 0;
+  while (idx < v.size()) {
+    msghdr msg{};
+    msg.msg_iov = v.data() + idx;
+    msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(v.size() - idx);
+    ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        TSS_RETURN_IF_ERROR(wait_io(/*want_read=*/false, timeout));
+        continue;
+      }
+      return Error::from_errno("sendmsg");
+    }
+    size_t left = static_cast<size_t>(n);
+    while (idx < v.size() && left >= v[idx].iov_len) {
+      left -= v[idx].iov_len;
+      ++idx;
+    }
+    if (idx < v.size() && left > 0) {
+      v[idx].iov_base = static_cast<char*>(v[idx].iov_base) + left;
+      v[idx].iov_len -= left;
+    }
+  }
+  return Result<void>::success();
+}
+
 Result<Endpoint> TcpSocket::peer() const {
   sockaddr_in sa{};
   socklen_t len = sizeof sa;
@@ -183,11 +218,21 @@ Result<Endpoint> TcpSocket::local() const {
 }
 
 Result<TcpListener> TcpListener::listen(const std::string& host, uint16_t port,
-                                        int backlog) {
+                                        int backlog, bool reuse_port) {
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return Error::from_errno("socket");
   int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (reuse_port) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) <
+        0) {
+      return Error::from_errno("setsockopt SO_REUSEPORT");
+    }
+#else
+    return Error(EOPNOTSUPP, "SO_REUSEPORT unsupported on this platform");
+#endif
+  }
 
   sockaddr_in sa{};
   sa.sin_family = AF_INET;

@@ -13,6 +13,8 @@
 #include "util/clock.h"
 #include "util/result.h"
 
+struct iovec;
+
 namespace tss::net {
 
 // "host:port" endpoint. Host may be a dotted quad or a name resolvable by
@@ -75,6 +77,9 @@ class TcpSocket {
   Result<void> read_exact(void* data, size_t size, Nanos timeout);
   // Writes all of `size` bytes or fails.
   Result<void> write_all(const void* data, size_t size, Nanos timeout);
+  // Writes every byte of `iovcnt` buffers (scatter-gather, one syscall when
+  // the socket buffer allows) or fails. The iovec array is not modified.
+  Result<void> writev_all(const iovec* iov, int iovcnt, Nanos timeout);
 
   // Address of the peer, e.g. "127.0.0.1:45123".
   Result<Endpoint> peer() const;
@@ -87,10 +92,17 @@ class TcpSocket {
 };
 
 // A listening TCP socket. Port 0 binds an ephemeral port.
+//
+// `reuse_port` sets SO_REUSEPORT before bind, letting N listeners share one
+// port with the kernel load-balancing accepts across them — the sharded
+// acceptor topology of net::ServerLoop. Where the platform lacks
+// SO_REUSEPORT, a second listener on the same port fails with EADDRINUSE and
+// the caller falls back to a single listener.
 class TcpListener {
  public:
   static Result<TcpListener> listen(const std::string& host, uint16_t port,
-                                    int backlog = 64);
+                                    int backlog = 64,
+                                    bool reuse_port = false);
 
   Result<TcpSocket> accept(Nanos timeout);
   uint16_t port() const { return port_; }

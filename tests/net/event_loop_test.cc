@@ -403,6 +403,45 @@ TEST_P(EventLoopTest, AdoptAfterStopIsRefused) {
           .ok());
 }
 
+TEST_P(EventLoopTest, AdoptSpreadsConnectionsAcrossWorkersEvenly) {
+  start(/*workers=*/4);
+  std::vector<TcpSocket> clients;
+  for (int i = 0; i < 16; i++) {
+    clients.push_back(connect_adopted(std::make_shared<EchoSession>()));
+  }
+  // adopt() charges the chosen worker's load before posting, so with equal
+  // starting loads the least-loaded pick must deal connections out exactly
+  // evenly — no waiting for the workers to drain their mailboxes.
+  size_t total = 0;
+  for (int i = 0; i < loop_->workers(); i++) {
+    size_t n = loop_->worker_connections(i);
+    EXPECT_EQ(n, 4u) << "worker " << i;
+    total += n;
+  }
+  EXPECT_EQ(total, 16u);
+
+  // Free a slot on one worker; the next adopt must land on that worker.
+  // active_connections() trails adopt() (the workers count a connection
+  // once they drain it from their mailbox), so wait for the adds to land
+  // before and the teardown to land after.
+  auto wait_active = [&](size_t want) {
+    Nanos deadline = RealClock::instance().now() + 5 * kSecond;
+    while (loop_->active_connections() != want &&
+           RealClock::instance().now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(loop_->active_connections(), want);
+  };
+  wait_active(16);
+  clients.front().close();
+  wait_active(15);
+  clients.push_back(connect_adopted(std::make_shared<EchoSession>()));
+  for (int i = 0; i < loop_->workers(); i++) {
+    EXPECT_EQ(loop_->worker_connections(i), 4u) << "worker " << i;
+  }
+  loop_->stop();
+}
+
 INSTANTIATE_TEST_SUITE_P(Pollers, EventLoopTest, ::testing::Values(false, true),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "poll" : "epoll";
