@@ -1,0 +1,354 @@
+// Ablation — hot-set read fan-in: cold vs warm vs cooperative caching.
+//
+// The paper's CFS "dispenses with buffering and caching" (§5), which is the
+// right call for consistency but the wrong one for a hot set: when hundreds
+// of clients read the same few files, every read is a full round trip to one
+// origin server. This harness measures the three regimes on the simulated
+// cluster:
+//
+//   cold         no caching anywhere — every read is an origin getfile
+//                (the paper's configuration).
+//   warm         client-side cache (the CachedFs model): the first read of a
+//                file is an origin getfile, every repeat is served locally
+//                with zero RPCs.
+//   cooperative  warm clients plus the server-side redirect capability: the
+//                origin answers over-threshold hot getfiles with a
+//                deflection to a preloaded sibling cache, so even the miss
+//                storm of N first-reads fans out across peers instead of
+//                serializing on one server.
+//
+// Clients run the same workload in all modes — `reads_per_client` reads
+// round-robin over a small hot set — so cold vs warm is a throughput
+// comparison, and cooperative at N vs 4N clients is a load-scaling one: the
+// origin serves at most `threshold` data RPCs per path and deflects the
+// rest, so the *maximum* per-server data load must grow sublinearly in
+// client count (cold grows exactly linearly).
+//
+// Results go to stdout as a table and to BENCH_hot_read_fanin.json.
+//
+// Usage: bench_ablation_hot_read_fanin [out.json|--smoke]
+//   --smoke  reduced sizes + regression gates: warm throughput >= 5x cold,
+//            and cooperative max per-server data RPCs grows < 4x when the
+//            client count grows 4x.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "chirp/redirect.h"
+#include "sim/engine.h"
+
+namespace tss::bench {
+namespace {
+
+using sim::Cluster;
+using sim::Engine;
+using sim::SimChirpClient;
+using sim::SimChirpServer;
+using sim::Task;
+
+enum class Mode { kCold, kWarm, kCooperative };
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kCold:
+      return "cold";
+    case Mode::kWarm:
+      return "warm";
+    default:
+      return "cooperative";
+  }
+}
+
+struct BenchConfig {
+  int hot_files = 4;
+  uint64_t file_bytes = 256 * 1024;
+  int reads_per_client = 32;
+  int num_peers = 4;
+  uint64_t hot_threshold = 25;  // origin data serves per path before deflecting
+  int clients = 250;
+  int clients_scaled = 1000;  // the 4x point for the sublinearity gate
+};
+
+struct FaninPoint {
+  std::string mode;
+  int clients = 0;
+  double seconds = 0;
+  double mbps = 0;
+  uint64_t bytes = 0;
+  uint64_t data_rpcs_origin = 0;  // getfiles answered with bytes
+  uint64_t data_rpcs_max = 0;     // max over origin and every peer
+  uint64_t redirects = 0;         // deflection replies followed
+};
+
+std::string hot_path(int f) { return "/hot/file" + std::to_string(f); }
+
+// One client: reads_per_client round-robin reads over the hot set. Warm and
+// cooperative clients remember what they already hold (the CachedFs model);
+// cooperative ones follow deflections to the named sibling.
+Task<void> fanin_client(Cluster& cluster, int node, Mode mode,
+                        SimChirpServer* origin,
+                        std::vector<std::unique_ptr<SimChirpServer>>* peers,
+                        const BenchConfig* cfg, int client_index,
+                        std::vector<uint64_t>* data_rpcs, uint64_t* redirects,
+                        uint64_t* bytes) {
+  SimChirpClient conn(cluster, node, *origin,
+                      "node" + std::to_string(client_index),
+                      /*cooperative=*/mode == Mode::kCooperative);
+  auto connected = co_await conn.connect();
+  if (!connected.ok()) co_return;
+
+  std::set<int> held;  // files already in this client's cache
+  std::map<int, std::unique_ptr<SimChirpClient>> peer_conns;
+  for (int r = 0; r < cfg->reads_per_client; r++) {
+    int f = r % cfg->hot_files;
+    if (mode != Mode::kCold && held.count(f)) {
+      // Local cache hit: the bytes are delivered with zero RPCs.
+      *bytes += cfg->file_bytes;
+      continue;
+    }
+    if (mode == Mode::kCooperative) {
+      auto fetch = co_await conn.getfile_hint(hot_path(f));
+      if (!fetch.ok()) co_return;
+      if (fetch.value().redirect) {
+        // "peer<i>" -> peers[i]; dial the sibling on first use.
+        int peer = std::stoi(fetch.value().redirect->host.substr(4));
+        auto it = peer_conns.find(peer);
+        if (it == peer_conns.end()) {
+          auto dialed = std::make_unique<SimChirpClient>(
+              cluster, node, *(*peers)[static_cast<size_t>(peer)],
+              "node" + std::to_string(client_index));
+          auto peer_up = co_await dialed->connect();
+          if (!peer_up.ok()) co_return;
+          it = peer_conns.emplace(peer, std::move(dialed)).first;
+        }
+        auto data = co_await it->second->getfile(hot_path(f));
+        if (!data.ok()) co_return;
+        (*data_rpcs)[static_cast<size_t>(1 + peer)]++;
+        (*redirects)++;
+      } else {
+        (*data_rpcs)[0]++;
+      }
+    } else {
+      auto data = co_await conn.getfile(hot_path(f));
+      if (!data.ok()) co_return;
+      (*data_rpcs)[0]++;
+    }
+    held.insert(f);
+    *bytes += cfg->file_bytes;
+  }
+}
+
+FaninPoint run_mode(Mode mode, int num_clients, const BenchConfig& cfg) {
+  Engine engine;
+  Cluster cluster(engine, Cluster::Config{});
+
+  // Cooperative deflections name the sibling caches "peer<i>"; the port is
+  // nominal (the sim routes by name).
+  chirp::RedirectPolicy::Options policy_options;
+  for (int p = 0; p < cfg.num_peers; p++) {
+    policy_options.peers.push_back(
+        {"peer" + std::to_string(p), static_cast<uint16_t>(9100 + p), 0});
+  }
+  policy_options.hot_threshold = cfg.hot_threshold;
+  chirp::RedirectPolicy policy(policy_options);
+
+  SimChirpServer::Options origin_options;
+  if (mode == Mode::kCooperative) origin_options.redirect = &policy;
+  SimChirpServer origin(cluster, origin_options);
+
+  std::vector<std::unique_ptr<SimChirpServer>> peers;
+  if (mode == Mode::kCooperative) {
+    for (int p = 0; p < cfg.num_peers; p++) {
+      peers.push_back(std::make_unique<SimChirpServer>(
+          cluster, SimChirpServer::Options{}));
+    }
+  }
+
+  // The hot set lives on the origin and (cooperative mode) on every sibling
+  // cache, warmed so the measurement sees steady-state service times.
+  auto mk = origin.backend().mkdir("/hot", 0755);
+  (void)mk;
+  origin.backend().take_completion();
+  for (int f = 0; f < cfg.hot_files; f++) {
+    auto pre = origin.backend().preload_file(hot_path(f), cfg.file_bytes);
+    (void)pre;
+    origin.backend().take_completion();
+    auto warm = origin.backend().warm_file(hot_path(f));
+    (void)warm;
+    for (auto& peer : peers) {
+      auto pmk = peer->backend().mkdir("/hot", 0755);
+      (void)pmk;
+      peer->backend().take_completion();
+      auto ppre = peer->backend().preload_file(hot_path(f), cfg.file_bytes);
+      (void)ppre;
+      peer->backend().take_completion();
+      auto pwarm = peer->backend().warm_file(hot_path(f));
+      (void)pwarm;
+    }
+  }
+
+  std::vector<uint64_t> data_rpcs(1 + static_cast<size_t>(cfg.num_peers), 0);
+  uint64_t redirects = 0;
+  std::vector<uint64_t> bytes(static_cast<size_t>(num_clients), 0);
+  for (int c = 0; c < num_clients; c++) {
+    int node = cluster.add_node();
+    spawn(engine, fanin_client(cluster, node, mode, &origin, &peers, &cfg, c,
+                               &data_rpcs, &redirects,
+                               &bytes[static_cast<size_t>(c)]));
+  }
+  Nanos end = engine.run();
+
+  FaninPoint point;
+  point.mode = mode_name(mode);
+  point.clients = num_clients;
+  point.seconds = static_cast<double>(end) / kSecond;
+  for (uint64_t b : bytes) point.bytes += b;
+  point.mbps = point.seconds > 0
+                   ? static_cast<double>(point.bytes) / 1e6 / point.seconds
+                   : 0;
+  point.data_rpcs_origin = data_rpcs[0];
+  point.data_rpcs_max = *std::max_element(data_rpcs.begin(), data_rpcs.end());
+  point.redirects = redirects;
+  return point;
+}
+
+const FaninPoint* find_point(const std::vector<FaninPoint>& points,
+                             const std::string& mode, int clients) {
+  for (const FaninPoint& p : points) {
+    if (p.mode == mode && p.clients == clients) return &p;
+  }
+  return nullptr;
+}
+
+// The --smoke gates (also run by scripts/check.sh).
+int check_regressions(const std::vector<FaninPoint>& points,
+                      const BenchConfig& cfg) {
+  int failures = 0;
+  const FaninPoint* cold = find_point(points, "cold", cfg.clients);
+  const FaninPoint* warm = find_point(points, "warm", cfg.clients);
+  const FaninPoint* coop = find_point(points, "cooperative", cfg.clients);
+  const FaninPoint* coop4 = find_point(points, "cooperative",
+                                       cfg.clients_scaled);
+  if (!cold || !warm || !coop || !coop4) {
+    std::fprintf(stderr, "FAIL: missing bench points\n");
+    return 1;
+  }
+  if (warm->mbps < 5.0 * cold->mbps) {
+    std::fprintf(stderr,
+                 "FAIL: warm hot-set throughput %.1f MB/s < 5x cold "
+                 "%.1f MB/s\n",
+                 warm->mbps, cold->mbps);
+    failures++;
+  }
+  double growth = coop->data_rpcs_max > 0
+                      ? static_cast<double>(coop4->data_rpcs_max) /
+                            static_cast<double>(coop->data_rpcs_max)
+                      : 0;
+  double client_growth = static_cast<double>(cfg.clients_scaled) /
+                         static_cast<double>(cfg.clients);
+  if (growth <= 0 || growth >= client_growth) {
+    std::fprintf(stderr,
+                 "FAIL: cooperative max per-server data RPCs grew %.2fx for "
+                 "%.0fx clients (%llu -> %llu): not sublinear\n",
+                 growth, client_growth,
+                 static_cast<unsigned long long>(coop->data_rpcs_max),
+                 static_cast<unsigned long long>(coop4->data_rpcs_max));
+    failures++;
+  }
+  if (coop4->redirects == 0) {
+    std::fprintf(stderr, "FAIL: cooperative mode never deflected\n");
+    failures++;
+  }
+  return failures;
+}
+
+}  // namespace
+}  // namespace tss::bench
+
+int main(int argc, char** argv) {
+  using namespace tss::bench;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_hot_read_fanin.json";
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  BenchConfig cfg;
+  if (smoke) {
+    cfg.file_bytes = 64 * 1024;
+    cfg.clients = 50;
+    cfg.clients_scaled = 200;
+  }
+
+  print_header(
+      "Ablation: hot-set read fan-in (cold vs warm vs cooperative)",
+      "Every client reads the same small hot set round-robin. cold = every\n"
+      "read an origin getfile; warm = client cache, repeats served locally;\n"
+      "cooperative = warm + server redirect: over-threshold hot getfiles\n"
+      "deflect to preloaded sibling caches, bounding origin data load.");
+  print_row({"mode", "clients", "MB/s", "sim s", "origin data", "max data",
+             "redirects"},
+            13);
+
+  std::vector<FaninPoint> points;
+  struct Run {
+    Mode mode;
+    int clients;
+  };
+  std::vector<Run> runs = {{Mode::kCold, cfg.clients},
+                           {Mode::kCold, cfg.clients_scaled},
+                           {Mode::kWarm, cfg.clients},
+                           {Mode::kCooperative, cfg.clients},
+                           {Mode::kCooperative, cfg.clients_scaled}};
+  for (const Run& run : runs) {
+    FaninPoint p = run_mode(run.mode, run.clients, cfg);
+    points.push_back(p);
+    print_row({p.mode, std::to_string(p.clients), fmt_double(p.mbps, 1),
+               fmt_double(p.seconds, 3),
+               std::to_string(p.data_rpcs_origin),
+               std::to_string(p.data_rpcs_max),
+               std::to_string(p.redirects)},
+              13);
+  }
+
+  std::ofstream json(out_path);
+  json << "{\n  \"bench\": \"hot_read_fanin\",\n  \"hot_files\": "
+       << cfg.hot_files << ",\n  \"file_bytes\": " << cfg.file_bytes
+       << ",\n  \"reads_per_client\": " << cfg.reads_per_client
+       << ",\n  \"num_peers\": " << cfg.num_peers
+       << ",\n  \"hot_threshold\": " << cfg.hot_threshold
+       << ",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); i++) {
+    const FaninPoint& p = points[i];
+    json << "    {\"mode\": \"" << p.mode << "\", \"clients\": " << p.clients
+         << ", \"mb_per_sec\": " << fmt_double(p.mbps, 2)
+         << ", \"sim_seconds\": " << fmt_double(p.seconds, 4)
+         << ", \"bytes\": " << p.bytes
+         << ", \"data_rpcs_origin\": " << p.data_rpcs_origin
+         << ", \"data_rpcs_max\": " << p.data_rpcs_max
+         << ", \"redirects\": " << p.redirects << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (smoke) {
+    int failures = check_regressions(points, cfg);
+    if (failures > 0) return 1;
+    std::printf("smoke checks passed: warm >= 5x cold throughput, "
+                "cooperative per-server load sublinear in clients\n");
+  }
+  return 0;
+}

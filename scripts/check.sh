@@ -43,6 +43,17 @@ echo "== accept-path/sharding suite (ctest -L shard) on both engines =="
 (cd "$root/build" && ctest -L shard --output-on-failure -j "$jobs")
 (cd "$root/build" && TSS_NET_MODE=thread ctest -L shard --output-on-failure -j "$jobs")
 
+echo "== cooperative-cache suite (ctest -L cache, incl. TSan) on both engines =="
+# CachedFs vs the LocalFs oracle, chaos/integrity accounting, readers racing
+# eviction/invalidation (again under TSan as cache_tsan_test), and the
+# redirect wire tests over live servers on both engines.
+(cd "$root/build" && ctest -L cache --output-on-failure -j "$jobs")
+(cd "$root/build" && TSS_NET_MODE=thread ctest -L cache --output-on-failure -j "$jobs")
+
+echo "== hot-read fan-in ablation smoke: warm>=5x cold + sublinear fan-in gate =="
+(cd "$root/build" && bench/bench_ablation_hot_read_fanin --smoke /tmp/tss_check_fanin.json)
+rm -f /tmp/tss_check_fanin.json
+
 echo "== rpc-sharding ablation smoke: pipelined throughput across shards =="
 (cd "$root/build" && bench/bench_ablation_rpc_sharding --smoke /tmp/tss_check_shard.json)
 rm -f /tmp/tss_check_shard.json

@@ -28,18 +28,34 @@ Result<void> Adapter::load_mountlist(const std::string& text) {
 
 Result<fs::FileSystem*> Adapter::cfs_for(const std::string& hostport) {
   // Caller holds mutex_.
+  if (options_.cache_capacity_bytes > 0) {
+    auto cached = cfs_read_caches_.find(hostport);
+    if (cached != cfs_read_caches_.end()) return cached->second.get();
+  }
   auto it = cfs_cache_.find(hostport);
   if (it != cfs_cache_.end()) return it->second.get();
   TSS_ASSIGN_OR_RETURN(net::Endpoint endpoint, net::Endpoint::parse(hostport));
   fs::CfsFs::Options cfs_options;
   cfs_options.retry = options_.retry;
   cfs_options.sync_writes = options_.sync_writes;
+  chirp::Client::Options client_options;
+  client_options.timeout = options_.io_timeout;
+  client_options.cooperative = options_.cooperative;
   auto cfs = std::make_unique<fs::CfsFs>(
-      fs::chirp_connector(endpoint, options_.credentials, options_.io_timeout),
+      fs::chirp_connector(endpoint, options_.credentials,
+                          std::move(client_options)),
       cfs_options);
   fs::FileSystem* raw = cfs.get();
   cfs_cache_[hostport] = std::move(cfs);
-  return raw;
+  if (options_.cache_capacity_bytes == 0) return raw;
+  fs::CachedFs::Options cache_options;
+  cache_options.capacity_bytes = options_.cache_capacity_bytes;
+  cache_options.lease_ttl = options_.cache_lease_ttl;
+  cache_options.metrics = options_.cache_metrics;
+  auto cache = std::make_unique<fs::CachedFs>(raw, cache_options);
+  fs::FileSystem* wrapper = cache.get();
+  cfs_read_caches_[hostport] = std::move(cache);
+  return wrapper;
 }
 
 Result<Adapter::Resolved> Adapter::resolve(const std::string& p) {

@@ -32,6 +32,7 @@
 #include "adapter/dsfs_mount.h"
 #include "adapter/mountlist.h"
 #include "auth/auth.h"
+#include "fs/cached.h"
 #include "fs/cfs.h"
 #include "fs/filesystem.h"
 
@@ -45,6 +46,18 @@ class Adapter {
     fs::RetryPolicy retry;     // §6 reconnect policy for auto-mounted CFS
     bool sync_writes = false;  // §6 synchronous-write switch
     Nanos io_timeout = 30 * kSecond;
+    // Client-side read cache over auto-mounted /cfs targets (fs::CachedFs).
+    // 0 (the default) preserves the paper's no-caching semantics; nonzero
+    // bounds the cache and enables digest-validated, lease-revalidated
+    // local serving of hot reads.
+    uint64_t cache_capacity_bytes = 0;
+    Nanos cache_lease_ttl = 2 * kSecond;
+    // Offer the redirect capability on auto-mounted connections and follow
+    // server deflections to sibling caches (cooperative hot-set fan-out).
+    bool cooperative = false;
+    // Registry for the fs.cache.* counters of auto-mounted caches. Null =
+    // the process-wide registry.
+    obs::Registry* cache_metrics = nullptr;
   };
 
   explicit Adapter(Options options);
@@ -107,6 +120,9 @@ class Adapter {
   std::mutex mutex_;
   std::vector<std::pair<std::string, fs::FileSystem*>> mounts_;  // explicit
   std::map<std::string, std::unique_ptr<fs::CfsFs>> cfs_cache_;
+  // When cache_capacity_bytes > 0, each auto-mounted CfsFs is wrapped in a
+  // CachedFs (keyed the same); resolution hands out the wrapper.
+  std::map<std::string, std::unique_ptr<fs::CachedFs>> cfs_read_caches_;
   std::map<std::string, std::unique_ptr<DsfsMount>> dsfs_cache_;
 
   struct OpenFd {

@@ -1,5 +1,7 @@
 #include "chirp/client.h"
 
+#include <cerrno>
+
 #include "util/checksum.h"
 #include "util/strings.h"
 
@@ -16,10 +18,15 @@ Result<Client> Client::connect(const net::Endpoint& server, Options options) {
   client.rpc_errors_ = metrics->counter("chirp.client.rpc_errors");
   client.integrity_mismatches_ =
       metrics->counter("chirp.client.integrity.mismatch");
+  // Deflections received from cooperative-cache servers; named with the
+  // fs.cache.* family because this is the client half of that feature.
+  client.redirects_ = metrics->counter("fs.cache.redirect");
+  client.options_ = options;
   Request version;
   version.op = Op::kVersion;
   version.version = kProtocolVersion;
   if (options.integrity) version.caps.push_back(kCapChecksum);
+  if (options.cooperative) version.caps.push_back(kCapRedirect);
   TSS_ASSIGN_OR_RETURN(Response resp, client.roundtrip(version));
   if (!resp.ok()) return Error(resp.err, resp.message);
   // args[0] is the server's version; capability echoes follow. An old server
@@ -77,8 +84,62 @@ Result<Response> Client::roundtrip(const Request& request,
     return std::move(line).take_error();
   }
   auto resp = parse_response_line(line.value());
+  // A redirect reply is legal only as a getfile answer to a session that
+  // offered the capability. Anywhere else — another op, or a server we never
+  // asked — it is a protocol violation: fail typed, never treat the line as
+  // success or fall back to stale data.
+  if (resp.ok() && resp.value().redirect &&
+      (!options_.cooperative || request.op != Op::kGetfile)) {
+    finish(false);
+    return Error(EPROTO, "unexpected redirect reply");
+  }
   finish(resp.ok());
   return resp;
+}
+
+Error Client::redirect_error(const Redirect& hint) {
+  return Error(EREMOTE, "redirected to " + hint.host + ":" +
+                            std::to_string(hint.port));
+}
+
+void Client::remember_redirect(const std::string& path, const Redirect& hint) {
+  if (redirects_) redirects_->add();
+  last_redirect_ = hint;
+  leases_[path] = Lease{
+      hint, RealClock::instance().now() +
+                static_cast<Nanos>(hint.ttl_ms) * kMillisecond};
+}
+
+void Client::drop_lease(const std::string& path) { leases_.erase(path); }
+
+Client* Client::lease_peer(const std::string& path) {
+  if (!options_.redirect_dialer) return nullptr;
+  auto it = leases_.find(path);
+  if (it == leases_.end()) return nullptr;
+  if (RealClock::instance().now() >= it->second.expiry) {
+    leases_.erase(it);
+    return nullptr;
+  }
+  const Redirect& hint = it->second.hint;
+  std::string key = hint.host + ":" + std::to_string(hint.port);
+  auto pit = peers_.find(key);
+  if (pit == peers_.end()) {
+    auto dialed =
+        options_.redirect_dialer(net::Endpoint{hint.host, hint.port});
+    if (!dialed.ok()) {
+      leases_.erase(it);
+      return nullptr;
+    }
+    pit = peers_
+              .emplace(key,
+                       std::make_unique<Client>(std::move(dialed).value()))
+              .first;
+  }
+  if (!pit->second->connected()) {
+    peers_.erase(pit);
+    return nullptr;
+  }
+  return pit->second.get();
 }
 
 Result<auth::Subject> Client::authenticate(
@@ -302,20 +363,42 @@ Result<std::vector<DirEntry>> Client::getdir(const std::string& path) {
 }
 
 Result<std::string> Client::getfile(const std::string& path) {
-  Request req;
-  req.op = Op::kGetfile;
-  req.path = path;
-  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
-  TSS_ASSIGN_OR_RETURN(int64_t size, ok_i64(resp, 0));
-  std::string data;
-  data.resize(static_cast<size_t>(size));
-  if (size > 0) {
-    TSS_RETURN_IF_ERROR(stream_.read_blob(data.data(), data.size()));
+  // A live redirect lease sends us straight to the sibling cache; a peer
+  // failure falls back to the origin (the buffered fetch consumed nothing,
+  // so the retry is safe).
+  if (Client* peer = lease_peer(path)) {
+    auto via = peer->getfile(path);
+    if (via.ok()) return via;
+    drop_lease(path);
   }
-  if (checksum_) {
-    TSS_RETURN_IF_ERROR(verify_sum_trailer(fnv1a64(data), "getfile"));
+  for (int hop = 0;; hop++) {
+    Request req;
+    req.op = Op::kGetfile;
+    req.path = path;
+    TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+    if (resp.ok() && resp.redirect) {
+      remember_redirect(path, *resp.redirect);
+      if (options_.redirect_dialer && hop < options_.max_redirect_hops) {
+        if (Client* peer = lease_peer(path)) {
+          auto via = peer->getfile(path);
+          if (via.ok()) return via;
+          drop_lease(path);
+        }
+        continue;  // ask the origin again; the policy rotates peers
+      }
+      return redirect_error(*resp.redirect);
+    }
+    TSS_ASSIGN_OR_RETURN(int64_t size, ok_i64(resp, 0));
+    std::string data;
+    data.resize(static_cast<size_t>(size));
+    if (size > 0) {
+      TSS_RETURN_IF_ERROR(stream_.read_blob(data.data(), data.size()));
+    }
+    if (checksum_) {
+      TSS_RETURN_IF_ERROR(verify_sum_trailer(fnv1a64(data), "getfile"));
+    }
+    return data;
   }
-  return data;
 }
 
 Result<void> Client::putfile(const std::string& path, std::string_view data,
@@ -335,10 +418,19 @@ Result<void> Client::putfile(const std::string& path, std::string_view data,
 
 Result<uint64_t> Client::getfile_to(const std::string& path,
                                     const Sink& sink) {
+  // Streamed fetches cannot retry once the sink has consumed bytes, so a
+  // peer's verdict is final here: follow the lease or the hint and return
+  // whatever the peer says; only a hint we cannot follow surfaces EREMOTE.
+  if (Client* peer = lease_peer(path)) return peer->getfile_to(path, sink);
   Request req;
   req.op = Op::kGetfile;
   req.path = path;
   TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  if (resp.ok() && resp.redirect) {
+    remember_redirect(path, *resp.redirect);
+    if (Client* peer = lease_peer(path)) return peer->getfile_to(path, sink);
+    return redirect_error(*resp.redirect);
+  }
   TSS_ASSIGN_OR_RETURN(int64_t size, ok_i64(resp, 0));
   uint64_t remaining = static_cast<uint64_t>(size);
   std::string buffer;

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,22 @@ class Client {
     // the client's digest for the server to verify. Off the wire stays
     // byte-compatible with old servers either way.
     bool integrity = true;
+    // Offer the "redirect" capability: the server may answer a getfile for
+    // an over-threshold hot file with a deflection to a sibling cache
+    // instead of the bytes. With a `redirect_dialer` the client follows the
+    // hint (and remembers it for the hint's TTL, going straight to the peer
+    // until the lease expires); without one a deflection surfaces as the
+    // typed errno EREMOTE. Off (the default), the server always serves us
+    // directly — a redirect reply then is a protocol violation (EPROTO).
+    bool cooperative = false;
+    // Connects *and authenticates* to a sibling cache named by a redirect
+    // hint. Peers dialed through this must not themselves be cooperative
+    // (set cooperative = false in the dialed options) or a deflection chain
+    // could loop; max_redirect_hops bounds the origin-side retries either
+    // way.
+    using Dialer = std::function<Result<Client>(const net::Endpoint&)>;
+    Dialer redirect_dialer;
+    int max_redirect_hops = 2;
   };
 
   // Connects and performs the version handshake.
@@ -56,6 +74,11 @@ class Client {
 
   // True when the server accepted the checksum capability at handshake.
   bool checksum_enabled() const { return checksum_; }
+
+  // The last redirect hint received (tests; valid after an EREMOTE getfile).
+  const std::optional<Redirect>& last_redirect() const {
+    return last_redirect_;
+  }
 
   // Transport-level fault injection (tests): sever or truncate mid-RPC so
   // the recovery paths above this client run for real. See net::LineStream.
@@ -124,9 +147,31 @@ class Client {
   // Typed integrity failure: bumps the mismatch counter and returns EBADMSG.
   Error integrity_error(const char* what);
 
+  // Records a received redirect hint as a lease for its TTL.
+  void remember_redirect(const std::string& path, const Redirect& hint);
+  // The dialed sibling cache a live lease for `path` points at, or null
+  // (no lease, lease expired, no dialer, or the peer is unreachable —
+  // expired and dead entries are dropped).
+  Client* lease_peer(const std::string& path);
+  void drop_lease(const std::string& path);
+  // Typed deflection error when a hint cannot be followed.
+  static Error redirect_error(const Redirect& hint);
+
   net::LineStream stream_;
   net::Endpoint server_;
   bool checksum_ = false;
+  Options options_;
+
+  // Cooperative-cache state: per-path redirect leases and the sibling-cache
+  // connections dialed to follow them. Leases expire on their TTL; peers are
+  // dropped when a fetch through them fails.
+  struct Lease {
+    Redirect hint;
+    Nanos expiry = 0;
+  };
+  std::map<std::string, Lease> leases_;
+  std::map<std::string, std::unique_ptr<Client>> peers_;
+  std::optional<Redirect> last_redirect_;
 
   // Client-side RPC metrics, resolved once in connect(). Null on a
   // default-constructed (disconnected) client — roundtrip() skips recording.
@@ -134,6 +179,7 @@ class Client {
   obs::Counter* rpcs_ = nullptr;
   obs::Counter* rpc_errors_ = nullptr;
   obs::Counter* integrity_mismatches_ = nullptr;
+  obs::Counter* redirects_ = nullptr;
 };
 
 }  // namespace tss::chirp

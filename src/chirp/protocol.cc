@@ -381,6 +381,11 @@ std::string encode_response_line(const Response& r) {
   if (r.err != 0) {
     return "error " + std::to_string(r.err) + " " + url_encode(r.message);
   }
+  if (r.redirect) {
+    return "redirect " + url_encode(r.redirect->host) + " " +
+           std::to_string(r.redirect->port) + " " +
+           std::to_string(r.redirect->ttl_ms);
+  }
   std::string line = "ok";
   for (const std::string& a : r.args) {
     line += ' ';
@@ -404,6 +409,20 @@ Result<Response> parse_response_line(const std::string& line) {
     r.err = static_cast<int>(*code);
     if (r.err == 0) return Error(EPROTO, "error response with code 0");
     r.message = words.size() > 2 ? url_decode(words[2]) : "";
+    return r;
+  }
+  if (words[0] == "redirect") {
+    // Strict shape: exactly host, port, ttl. A peer that garbles any field
+    // is violating the protocol — never guess, never fall back to the line
+    // as data.
+    if (words.size() != 4) return Error(EPROTO, "bad redirect: " + line);
+    std::string host = url_decode(words[1]);
+    auto port = parse_u64(words[2]);
+    auto ttl = parse_u64(words[3]);
+    if (host.empty() || !port || *port == 0 || *port > 65535 || !ttl) {
+      return Error(EPROTO, "bad redirect: " + line);
+    }
+    r.redirect = Redirect{std::move(host), static_cast<uint16_t>(*port), *ttl};
     return r;
   }
   // Challenge lines are handled at a different layer; anything else here is

@@ -31,6 +31,7 @@
 //   getdir <path>                         -> ok <count>  + count listing lines
 //   getfile <path>                        -> ok <size>  + size payload bytes
 //                                            [+ "sum <16hex>" trailer line]
+//                                            | redirect <host> <port> <ttl_ms>
 //   putfile <path> <mode> <size>          -> (size payload bytes
 //                                            [+ "sum <16hex>" trailer])  ok
 //   getacl <path>                         -> ok <bytes>  + ACL text payload
@@ -44,15 +45,26 @@
 // Capabilities: `version` may carry capability tokens after the number; the
 // server echoes back the subset it supports and both sides enable them for
 // the rest of the session. Old peers ignore (or never send) the extra tokens,
-// so mixed-version deployments interoperate. The one capability today is
-// "checksum": pread replies and pwrite requests gain an FNV-1a64 digest of
-// the payload as a trailing 16-hex token, and getfile/putfile payloads are
-// followed by a one-line "sum <16hex>" trailer (the digest of a streamed
-// transfer is only known once the last byte has been sent). See
-// docs/RECOVERY.md for what the client does with a mismatch.
+// so mixed-version deployments interoperate. Two capabilities exist today:
+//
+//  * "checksum": pread replies and pwrite requests gain an FNV-1a64 digest of
+//    the payload as a trailing 16-hex token, and getfile/putfile payloads are
+//    followed by a one-line "sum <16hex>" trailer (the digest of a streamed
+//    transfer is only known once the last byte has been sent). See
+//    docs/RECOVERY.md for what the client does with a mismatch.
+//
+//  * "redirect": the server may answer a getfile for an over-threshold hot
+//    file with `redirect <host> <port> <ttl_ms>` instead of data, deflecting
+//    the client to a sibling cache that also holds the file (cf. cctools'
+//    chirp_multi/chirp_global host indirection). The line is control only —
+//    no payload follows — and is legal *only* as a getfile reply to a peer
+//    that offered the capability; anywhere else it is EPROTO. Clients that
+//    never offer the capability are always served directly. See
+//    docs/ARCHITECTURE-CLIENT.md for the cooperative-cache lifecycle.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -65,6 +77,17 @@ constexpr int kProtocolVersion = 1;
 
 // Capability token: per-extent FNV-1a64 checksums on data-carrying RPCs.
 inline constexpr const char* kCapChecksum = "checksum";
+
+// Capability token: the server may deflect hot getfiles to a sibling cache.
+inline constexpr const char* kCapRedirect = "redirect";
+
+// A getfile deflection: fetch this path from `host:port` instead, and trust
+// the hint for `ttl_ms` before asking the origin again.
+struct Redirect {
+  std::string host;
+  uint16_t port = 0;
+  uint64_t ttl_ms = 0;
+};
 
 // Maximum size of a single pread/pwrite payload. Larger application reads
 // are segmented by the client; getfile/putfile stream without this limit.
@@ -176,13 +199,16 @@ struct Response {
   std::string message;    // error text (urlencoded on the wire)
   std::vector<std::string> args;
   uint64_t payload_size = 0;
+  // Set on a "redirect <host> <port> <ttl_ms>" reply (getfile only, redirect
+  // capability negotiated). A redirect carries no args and no payload.
+  std::optional<Redirect> redirect;
 
   bool ok() const { return err == 0; }
   static Response failure(const Error& e) {
-    return Response{e.code, e.message, {}, 0};
+    return Response{e.code, e.message, {}, 0, {}};
   }
   static Response failure(int err, std::string msg) {
-    return Response{err, std::move(msg), {}, 0};
+    return Response{err, std::move(msg), {}, 0, {}};
   }
 };
 

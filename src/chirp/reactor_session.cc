@@ -475,6 +475,14 @@ void ServerSession::finish_auth(net::Conn& c,
 
 bool ServerSession::begin_getfile(net::Conn& c) {
   op_start_ = core_->clock().now();
+  // Hot-set deflection: a redirect reply is control only — one line, no
+  // payload, no backend open. Same decision point as the buffered engine's
+  // do_getfile.
+  if (auto deflect = core_->getfile_redirect(req_.path)) {
+    core_->record_op(Op::kGetfile, op_start_, 0, 0, 0);
+    respond(c, *deflect);
+    return true;
+  }
   uint64_t size = 0;
   auto handle = core_->stream_open_read(req_.path, &size);
   if (!handle.ok()) {

@@ -1,0 +1,32 @@
+#include "chirp/redirect.h"
+
+#include <algorithm>
+
+namespace tss::chirp {
+
+std::optional<Redirect> RedirectPolicy::consider(const std::string& path) {
+  if (options_.peers.empty() || options_.hot_threshold == 0) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t n = ++reads_[path];
+  if (n <= options_.hot_threshold) return std::nullopt;
+  // Demand past the threshold enlists one peer per threshold's worth of
+  // reads; round-robin across the enlisted set keeps each peer's share at
+  // about one threshold until the next peer is pulled in.
+  uint64_t over = n - options_.hot_threshold;
+  uint64_t enlisted =
+      std::min<uint64_t>(options_.peers.size(),
+                         1 + (over - 1) / options_.hot_threshold);
+  Redirect hint = options_.peers[(over - 1) % enlisted];
+  hint.ttl_ms = options_.ttl_ms;
+  issued_++;
+  return hint;
+}
+
+uint64_t RedirectPolicy::issued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return issued_;
+}
+
+}  // namespace tss::chirp

@@ -1,0 +1,59 @@
+// Server-side cooperative-cache deflection policy.
+//
+// A server that is the only holder of a hot file melts under fan-in: every
+// one of N clients round-trips to it for every read. The fix (cf. cctools'
+// chirp_multi.c / chirp_global.c host indirection) is to answer getfiles for
+// an over-threshold path with a `redirect <host> <port> <ttl_ms>` hint to a
+// sibling cache that also holds the data, instead of the bytes themselves.
+//
+// The policy enlists peers *lazily*: the first `hot_threshold` reads of a
+// path are served directly; past that, one peer is enlisted per additional
+// threshold's worth of demand, round-robined across the enlisted set. The
+// origin's data-serving load per path is therefore bounded by the threshold,
+// and each enlisted peer absorbs about a threshold's worth of redirected
+// clients before the next peer is pulled in — per-server data-RPC load stays
+// roughly flat (sublinear in client count) until the peer set is exhausted.
+//
+// Thread-safe: consider() is called from every session of a live server.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chirp/protocol.h"
+
+namespace tss::chirp {
+
+class RedirectPolicy {
+ public:
+  struct Options {
+    // Sibling caches that hold (or can fetch) the same data.
+    std::vector<Redirect> peers;
+    // Reads of one path the origin serves itself before deflecting; also the
+    // per-peer demand quantum that enlists the next peer. 0 = never deflect.
+    uint64_t hot_threshold = 64;
+    // How long a client may trust a hint before asking the origin again.
+    uint64_t ttl_ms = 2000;
+  };
+
+  explicit RedirectPolicy(Options options) : options_(std::move(options)) {}
+
+  // Called once per getfile from a capability-negotiated session. Returns
+  // the peer to deflect to, or nullopt when the origin should serve.
+  std::optional<Redirect> consider(const std::string& path);
+
+  // Deflections issued so far (tests and the stats snapshot's producer).
+  uint64_t issued() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, uint64_t> reads_;
+  uint64_t issued_ = 0;
+};
+
+}  // namespace tss::chirp

@@ -17,6 +17,14 @@ Server::Server(ServerOptions options, std::unique_ptr<Backend> backend,
   config_.auth = auth_.get();
   config_.metrics =
       options_.metrics ? options_.metrics : &obs::Registry::global();
+  if (!options_.cache_peers.empty() && options_.redirect_hot_threshold > 0) {
+    RedirectPolicy::Options policy;
+    policy.peers = options_.cache_peers;
+    policy.hot_threshold = options_.redirect_hot_threshold;
+    policy.ttl_ms = options_.redirect_ttl_ms;
+    redirect_policy_ = std::make_unique<RedirectPolicy>(std::move(policy));
+    config_.redirect = redirect_policy_.get();
+  }
 }
 
 Server::~Server() { stop(); }

@@ -17,6 +17,7 @@
 #include "auth/auth.h"
 #include "chirp/backend.h"
 #include "chirp/reactor_session.h"
+#include "chirp/redirect.h"
 #include "chirp/session.h"
 #include "net/server_loop.h"
 
@@ -51,6 +52,14 @@ struct ServerOptions {
   int acceptors = 1;
   // Use the poll() readiness backend instead of epoll.
   bool force_poll = false;
+  // Cooperative-cache deflection: when `cache_peers` is non-empty and
+  // `redirect_hot_threshold` > 0, getfiles from redirect-capable clients for
+  // a path past the threshold are answered with a `redirect` hint to a
+  // sibling cache instead of the bytes (chirp/redirect.h). Clients that
+  // never offer the capability are always served directly.
+  std::vector<Redirect> cache_peers;
+  uint64_t redirect_hot_threshold = 0;  // 0 = never deflect
+  uint64_t redirect_ttl_ms = 2000;
 };
 
 class Server {
@@ -92,6 +101,7 @@ class Server {
   ServerOptions options_;
   std::unique_ptr<Backend> backend_;
   std::unique_ptr<auth::ServerAuth> auth_;
+  std::unique_ptr<RedirectPolicy> redirect_policy_;
   ServerConfig config_;
   // Destroyed after loop_ (declared before it): the loop stops first, then
   // the executor joins, and only then do auth_/backend_ go away — no session

@@ -28,6 +28,7 @@ SessionCore::SessionCore(const ServerConfig& config, Backend& backend,
     bytes_out_ = config_.metrics->counter("chirp.server.bytes_out");
     integrity_mismatch_ =
         config_.metrics->counter("chirp.server.integrity.mismatch");
+    redirects_ = config_.metrics->counter("chirp.server.redirects");
   }
 }
 
@@ -164,6 +165,9 @@ Response SessionCore::dispatch(const Request& raw, Payload payload,
     for (const std::string& cap : r.caps) {
       if (cap == kCapChecksum) {
         checksum_ = true;
+        resp.args.push_back(cap);
+      } else if (cap == kCapRedirect && config_.redirect != nullptr) {
+        redirect_ = true;
         resp.args.push_back(cap);
       }
     }
@@ -432,10 +436,23 @@ Response SessionCore::do_getdir(const Request& r, std::string* out) {
   return resp;
 }
 
+std::optional<Response> SessionCore::getfile_redirect(const std::string& p) {
+  if (!redirect_ || config_.redirect == nullptr || !authenticated()) {
+    return std::nullopt;
+  }
+  auto hint = config_.redirect->consider(path::sanitize(p));
+  if (!hint) return std::nullopt;
+  if (redirects_) redirects_->add();
+  Response resp;
+  resp.redirect = *hint;
+  return resp;
+}
+
 Response SessionCore::do_getfile(const Request& r, std::string* out) {
   if (!permits(path::dirname(r.path), acl::kRead)) {
     return Response::failure(EACCES, "permission denied");
   }
+  if (auto deflect = getfile_redirect(r.path)) return *deflect;
   auto data = backend_.read_file(r.path);
   if (!data.ok()) return Response::failure(data.error());
   Response resp;

@@ -38,6 +38,7 @@
 #include "auth/auth.h"
 #include "chirp/backend.h"
 #include "chirp/protocol.h"
+#include "chirp/redirect.h"
 #include "obs/metrics.h"
 #include "util/clock.h"
 
@@ -62,6 +63,9 @@ struct ServerConfig {
   obs::Registry* metrics = nullptr;
   // Clock used to timestamp spans and latencies; null = RealClock.
   const Clock* clock = nullptr;
+  // Cooperative-cache deflection for hot getfiles (chirp/redirect.h). Null
+  // disables the "redirect" capability entirely. Not owned.
+  RedirectPolicy* redirect = nullptr;
 };
 
 class SessionCore {
@@ -114,6 +118,17 @@ class SessionCore {
   // Data-carrying RPCs then attach/verify FNV-1a64 digests; the streaming
   // transport consults this to frame the getfile/putfile sum trailers.
   bool checksum_negotiated() const { return checksum_; }
+
+  // True once the client offered "redirect" AND the server has a policy.
+  bool redirect_negotiated() const { return redirect_; }
+
+  // Consults the redirect policy for one getfile of `path`. Returns the
+  // control-only redirect Response when the session negotiated the
+  // capability and the path is over threshold; nullopt means serve the data.
+  // Both the buffered dispatch (do_getfile) and the streamed transport
+  // (ServerSession::begin_getfile) call this, so the two engines deflect
+  // identically.
+  std::optional<Response> getfile_redirect(const std::string& path);
 
   // --- Observability --------------------------------------------------------
   // Records one completed RPC (latency histogram, request/error/byte
@@ -170,8 +185,10 @@ class SessionCore {
   obs::Counter* bytes_in_ = nullptr;
   obs::Counter* bytes_out_ = nullptr;
   obs::Counter* integrity_mismatch_ = nullptr;
+  obs::Counter* redirects_ = nullptr;
 
   bool checksum_ = false;
+  bool redirect_ = false;
 
   struct OpenFile {
     int backend_handle = -1;

@@ -1,0 +1,394 @@
+#include "fs/cached.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/checksum.h"
+
+namespace tss::fs {
+
+namespace {
+
+// One flat block file per cached path in the at-rest store. FNV-1a64 of the
+// path keeps store names filesystem-safe; a 64-bit collision between live
+// cache entries is vanishingly unlikely and at worst costs a digest-mismatch
+// refetch (never a wrong serve — the digest check guards every open).
+std::string store_name(const std::string& path) {
+  return "/" + hash_to_hex(fnv1a64(path)) + ".blk";
+}
+
+}  // namespace
+
+// A read-only handle whose reads are served from validated cached blocks
+// while the entry stays trustworthy (not invalidated, lease unexpired), and
+// fall through to the source the moment it is not — a stale lease never
+// serves bytes a mutation has superseded.
+class CachedFile final : public File {
+ public:
+  CachedFile(CachedFs* fs, std::string path,
+             std::shared_ptr<CachedFs::Entry> entry,
+             std::shared_ptr<const std::string> image, OpenFlags flags,
+             uint32_t mode)
+      : fs_(fs),
+        path_(std::move(path)),
+        entry_(std::move(entry)),
+        image_(std::move(image)),
+        flags_(flags),
+        mode_(mode) {}
+
+  ~CachedFile() override = default;
+
+  Result<size_t> pread(void* data, size_t size, int64_t offset) override {
+    if (trusted()) {
+      if (offset < 0) return Error(EINVAL, "negative offset");
+      uint64_t off = static_cast<uint64_t>(offset);
+      if (off >= image_->size()) return static_cast<size_t>(0);
+      size_t n = static_cast<size_t>(
+          std::min<uint64_t>(size, image_->size() - off));
+      std::memcpy(data, image_->data() + off, n);
+      return n;
+    }
+    TSS_ASSIGN_OR_RETURN(File * f, fallback());
+    return f->pread(data, size, offset);
+  }
+
+  Result<size_t> pwrite(const void*, size_t, int64_t) override {
+    return Error(EBADF, "read-only cached handle");
+  }
+
+  Result<void> fsync() override { return Result<void>::success(); }
+
+  Result<StatInfo> fstat() override {
+    if (trusted()) return entry_->info;
+    TSS_ASSIGN_OR_RETURN(File * f, fallback());
+    return f->fstat();
+  }
+
+  Result<void> close() override {
+    if (fallback_) return fallback_->close();
+    return Result<void>::success();
+  }
+
+ private:
+  bool trusted() const { return entry_ && fs_->entry_live(*entry_); }
+
+  Result<File*> fallback() {
+    if (!fallback_) {
+      TSS_ASSIGN_OR_RETURN(fallback_,
+                           fs_->source_->open(path_, flags_, mode_));
+    }
+    return fallback_.get();
+  }
+
+  CachedFs* fs_;
+  std::string path_;
+  std::shared_ptr<CachedFs::Entry> entry_;  // null when publish was skipped
+  std::shared_ptr<const std::string> image_;
+  OpenFlags flags_;
+  uint32_t mode_;
+  std::unique_ptr<File> fallback_;
+};
+
+// Write-path passthrough: every mutation through the handle invalidates the
+// cache entry *after* it lands, so no later open can publish stale bytes.
+class CacheInvalidatingFile final : public File {
+ public:
+  CacheInvalidatingFile(CachedFs* fs, std::string path,
+                        std::unique_ptr<File> inner)
+      : fs_(fs), path_(std::move(path)), inner_(std::move(inner)) {}
+
+  Result<size_t> pread(void* data, size_t size, int64_t offset) override {
+    return inner_->pread(data, size, offset);
+  }
+  Result<size_t> pwrite(const void* data, size_t size,
+                        int64_t offset) override {
+    auto n = inner_->pwrite(data, size, offset);
+    // Even a failed write may have mutated some bytes; drop the entry.
+    fs_->invalidate(path_);
+    return n;
+  }
+  Result<void> fsync() override { return inner_->fsync(); }
+  Result<StatInfo> fstat() override { return inner_->fstat(); }
+  Result<void> close() override { return inner_->close(); }
+
+ private:
+  CachedFs* fs_;
+  std::string path_;
+  std::unique_ptr<File> inner_;
+};
+
+CachedFs::CachedFs(FileSystem* source, Options options)
+    : source_(source),
+      options_(options),
+      clock_(options.clock ? options.clock : &RealClock::instance()) {
+  obs::Registry* metrics =
+      options_.metrics ? options_.metrics : &obs::Registry::global();
+  hits_ = metrics->counter("fs.cache.hit");
+  misses_ = metrics->counter("fs.cache.miss");
+  evicts_ = metrics->counter("fs.cache.evict");
+  invalidates_ = metrics->counter("fs.cache.invalidate");
+  bypasses_ = metrics->counter("fs.cache.bypass");
+  integrity_mismatch_ = metrics->counter("fs.integrity.mismatch");
+  bytes_gauge_ = metrics->gauge("fs.cache.bytes");
+}
+
+CachedFs::~CachedFs() = default;
+
+bool CachedFs::entry_live(const Entry& entry) const {
+  return !entry.invalidated.load(std::memory_order_acquire) &&
+         clock_->now() < entry.lease_expiry.load(std::memory_order_acquire);
+}
+
+void CachedFs::touch(const std::shared_ptr<Entry>& entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entry->last_use = ++tick_;
+}
+
+void CachedFs::update_bytes_gauge_locked() {
+  bytes_gauge_->set(static_cast<int64_t>(bytes_));
+}
+
+bool CachedFs::drop_locked(const std::string& path) {
+  auto it = entries_.find(path);
+  if (it == entries_.end()) return false;
+  std::shared_ptr<Entry> entry = it->second;
+  entry->invalidated.store(true, std::memory_order_release);
+  bytes_ -= entry->bytes;
+  if (!entry->store_path.empty() && options_.store) {
+    (void)options_.store->unlink(entry->store_path);
+  }
+  entries_.erase(it);
+  update_bytes_gauge_locked();
+  return true;
+}
+
+void CachedFs::invalidate(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gen_[path]++;
+  if (drop_locked(path)) invalidates_->add();
+}
+
+void CachedFs::invalidate_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!entries_.empty()) {
+    gen_[entries_.begin()->first]++;
+    if (drop_locked(entries_.begin()->first)) invalidates_->add();
+  }
+}
+
+uint64_t CachedFs::cached_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+void CachedFs::evict_over_capacity_locked() {
+  while (bytes_ > options_.capacity_bytes && !entries_.empty()) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second->last_use < victim->second->last_use) victim = it;
+    }
+    std::string path = victim->first;
+    if (drop_locked(path)) evicts_->add();
+  }
+}
+
+Result<std::shared_ptr<const std::string>> CachedFs::load_validated(
+    const std::shared_ptr<Entry>& entry) {
+  std::shared_ptr<const std::string> image = entry->content;
+  if (!image) {
+    auto data = options_.store->read_file(entry->store_path);
+    if (!data.ok()) return std::move(data).take_error();
+    image = std::make_shared<const std::string>(std::move(data).value());
+  }
+  if (fnv1a64(*image) != entry->digest) {
+    // At-rest rot: the blocks no longer match the digest recorded at fetch
+    // time. Counted, discarded by the caller, never served.
+    integrity_mismatch_->add();
+    return Error(EBADMSG, "cached blocks failed digest validation");
+  }
+  return image;
+}
+
+Result<std::shared_ptr<const std::string>> CachedFs::fetch_and_publish(
+    const std::string& path, bool* bypassed) {
+  uint64_t fetch_gen;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fetch_gen = gen_[path];
+  }
+  auto data = source_->read_file(path);
+  if (!data.ok()) {
+    if (data.error().code == EBADMSG) {
+      // A wire-integrity failure must bypass — not poison — the cache.
+      bypasses_->add();
+      *bypassed = true;
+    }
+    return std::move(data).take_error();
+  }
+  auto image =
+      std::make_shared<const std::string>(std::move(data).value());
+  if (image->size() > options_.max_file_bytes ||
+      image->size() > options_.capacity_bytes) {
+    bypasses_->add();
+    return image;  // served, never cached
+  }
+  misses_->add();
+
+  // Metadata for the cache entry; identity fields drive lease revalidation.
+  StatInfo info;
+  if (auto stat = source_->stat(path); stat.ok()) info = stat.value();
+  info.size = image->size();
+
+  auto entry = std::make_shared<Entry>();
+  entry->info = info;
+  entry->digest = fnv1a64(*image);
+  entry->bytes = image->size();
+  entry->lease_expiry.store(clock_->now() + options_.lease_ttl,
+                            std::memory_order_release);
+  if (options_.store) {
+    entry->store_path = store_name(path);
+    if (!options_.store->write_file(entry->store_path, *image, 0600).ok()) {
+      return image;  // cache home unavailable: serve uncached
+    }
+  } else {
+    entry->content = image;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (gen_[path] != fetch_gen) {
+    // The path was mutated while we fetched; publishing would hand later
+    // opens a fresh lease on stale bytes. Serve this image, cache nothing.
+    if (!entry->store_path.empty()) {
+      (void)options_.store->unlink(entry->store_path);
+    }
+    return image;
+  }
+  if (drop_locked(path)) invalidates_->add();  // racing fetch published first
+  entry->last_use = ++tick_;
+  bytes_ += entry->bytes;
+  entries_[path] = entry;
+  evict_over_capacity_locked();
+  update_bytes_gauge_locked();
+  return image;
+}
+
+Result<std::unique_ptr<File>> CachedFs::open_cached(const std::string& path,
+                                                    const OpenFlags& flags,
+                                                    uint32_t mode) {
+  Nanos now = clock_->now();
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(path);
+    if (it != entries_.end()) entry = it->second;
+  }
+  if (entry && !entry->invalidated.load(std::memory_order_acquire)) {
+    bool live = now < entry->lease_expiry.load(std::memory_order_acquire);
+    if (!live) {
+      // Lease expired: revalidate the metadata against the source. The same
+      // identity (size, mtime, inode) renews the lease; any change means
+      // the file moved on without us — refetch.
+      auto info = source_->stat(path);
+      if (info.ok() && info.value().size == entry->info.size &&
+          info.value().mtime == entry->info.mtime &&
+          info.value().inode == entry->info.inode) {
+        entry->lease_expiry.store(now + options_.lease_ttl,
+                                  std::memory_order_release);
+        live = true;
+      }
+    }
+    if (live) {
+      auto image = load_validated(entry);
+      if (image.ok()) {
+        hits_->add();
+        touch(entry);
+        return std::unique_ptr<File>(new CachedFile(
+            this, path, entry, image.value(), flags, mode));
+      }
+    }
+    // Expired-and-changed, unloadable, or corrupt: discard and refetch.
+    invalidate(path);
+    entry.reset();
+  }
+
+  bool bypassed = false;
+  auto image = fetch_and_publish(path, &bypassed);
+  if (!image.ok()) {
+    if (bypassed) return source_->open(path, flags, mode);
+    return std::move(image).take_error();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(path);
+    if (it != entries_.end()) entry = it->second;
+  }
+  return std::unique_ptr<File>(
+      new CachedFile(this, path, entry, image.value(), flags, mode));
+}
+
+Result<std::unique_ptr<File>> CachedFs::open(const std::string& path,
+                                             const OpenFlags& flags,
+                                             uint32_t mode) {
+  if (flags.write || flags.create || flags.truncate || flags.append) {
+    auto inner = source_->open(path, flags, mode);
+    if (!inner.ok()) return inner;
+    // create/truncate mutate at open time; writes invalidate per-pwrite too.
+    invalidate(path);
+    return std::unique_ptr<File>(new CacheInvalidatingFile(
+        this, path, std::move(inner).value()));
+  }
+  return open_cached(path, flags, mode);
+}
+
+Result<StatInfo> CachedFs::stat(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(path);
+    if (it != entries_.end() && entry_live(*it->second)) {
+      hits_->add();
+      it->second->last_use = ++tick_;
+      return it->second->info;
+    }
+  }
+  return source_->stat(path);
+}
+
+Result<void> CachedFs::unlink(const std::string& path) {
+  auto rc = source_->unlink(path);
+  invalidate(path);
+  return rc;
+}
+
+Result<void> CachedFs::rename(const std::string& from, const std::string& to) {
+  auto rc = source_->rename(from, to);
+  invalidate(from);
+  invalidate(to);
+  return rc;
+}
+
+Result<void> CachedFs::mkdir(const std::string& path, uint32_t mode) {
+  return source_->mkdir(path, mode);
+}
+
+Result<void> CachedFs::rmdir(const std::string& path) {
+  return source_->rmdir(path);
+}
+
+Result<void> CachedFs::truncate(const std::string& path, uint64_t size) {
+  auto rc = source_->truncate(path, size);
+  invalidate(path);
+  return rc;
+}
+
+Result<std::vector<DirEntry>> CachedFs::readdir(const std::string& path) {
+  return source_->readdir(path);
+}
+
+Result<void> CachedFs::write_file(const std::string& path,
+                                  std::string_view data, uint32_t mode) {
+  auto rc = source_->write_file(path, data, mode);
+  invalidate(path);
+  return rc;
+}
+
+}  // namespace tss::fs

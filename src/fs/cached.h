@@ -1,0 +1,169 @@
+// CachedFs: a cooperative read cache over any FileSystem.
+//
+// The paper benchmarks with caching disabled (§5: CFS "dispenses with
+// buffering and caching"), but a read-heavy hot set served to thousands of
+// clients demands the opposite — cctools' GROW-FS serves huge clusters from
+// a read-only checksum-cataloged cache, and AliEnFS layers exactly this kind
+// of client-side cache under a POSIX view of grid storage. CachedFs is that
+// layer, recursive like every other abstraction here: it decorates any
+// FileSystem (a CfsFs mount, a LocalFs, a FaultyFs in tests).
+//
+// What is cached: whole-file content blocks plus the file's metadata
+// (StatInfo), keyed by path. A read-only open of a cached path within its
+// lease is served entirely from local blocks — zero RPCs to the source. The
+// cache is bounded (`capacity_bytes`, LRU eviction) and validating:
+//
+//  * Fetch: a miss pulls the whole file through source->read_file() — over a
+//    CfsFs source that is one getfile, wire-verified end to end when the
+//    `checksum` capability is negotiated — and records its FNV-1a64 digest.
+//  * Open validation: every cache-served open re-digests the cached blocks
+//    against the recorded digest. At-rest rot (a flipped bit in the store)
+//    is caught here: counted in fs.integrity.mismatch, the entry is
+//    discarded and refetched, and the corrupt bytes are NEVER served.
+//  * Lease/TTL: an entry is trusted for `lease_ttl`. Past that, the next
+//    open revalidates the metadata against the source (stat: same size,
+//    mtime, inode renews the lease; any change refetches).
+//  * Invalidation: every mutation through this filesystem (write-opens,
+//    pwrite, write_file, unlink, rename, truncate) invalidates the entry
+//    immediately — a reader holding an open cached handle falls through to
+//    the source rather than serve bytes it knows are stale.
+//  * EBADMSG from the source (a wire-integrity failure) bypasses the cache
+//    entirely — the open falls through to the source and nothing is cached,
+//    so a corrupt fetch can never poison later readers.
+//
+// Content lives in `store` when one is configured (a LocalFs scratch
+// directory — the cache survives as at-rest blocks, and tests can corrupt
+// them through a FaultyFs), or in memory otherwise. Either way the digest
+// check guards every serve.
+//
+// Counters (docs/OBSERVABILITY.md): fs.cache.{hit,miss,evict,invalidate,
+// bypass} and the fs.cache.bytes gauge; digest failures land in the shared
+// fs.integrity.mismatch. The client half of the cooperative story —
+// following server `redirect` hints to sibling caches — lives in
+// chirp::Client (fs.cache.redirect); see docs/ARCHITECTURE-CLIENT.md.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "fs/filesystem.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace tss::fs {
+
+class CachedFs final : public FileSystem {
+ public:
+  struct Options {
+    // Total cached content bound; LRU entries are evicted past it.
+    uint64_t capacity_bytes = 256ull << 20;
+    // Files larger than this bypass the cache (served straight from the
+    // source; whole-file caching of a giant file would evict everything).
+    uint64_t max_file_bytes = 16ull << 20;
+    // How long an entry is trusted before the next open revalidates its
+    // metadata against the source.
+    Nanos lease_ttl = 2 * kSecond;
+    // At-rest home for cached blocks (one file per cached path). Null keeps
+    // blocks in memory. Not owned.
+    FileSystem* store = nullptr;
+    // Clock for lease arithmetic; null = RealClock. Tests inject a
+    // VirtualClock for deterministic expiry.
+    Clock* clock = nullptr;
+    // fs.cache.* counters and the bytes gauge. Null = the process-wide
+    // registry; tests inject their own for exact accounting.
+    obs::Registry* metrics = nullptr;
+  };
+
+  CachedFs(FileSystem* source, Options options);
+  ~CachedFs() override;
+
+  CachedFs(const CachedFs&) = delete;
+  CachedFs& operator=(const CachedFs&) = delete;
+
+  Result<std::unique_ptr<File>> open(const std::string& path,
+                                     const OpenFlags& flags,
+                                     uint32_t mode) override;
+  using FileSystem::open;
+  Result<StatInfo> stat(const std::string& path) override;
+  Result<void> unlink(const std::string& path) override;
+  Result<void> rename(const std::string& from, const std::string& to) override;
+  Result<void> mkdir(const std::string& path, uint32_t mode) override;
+  using FileSystem::mkdir;
+  Result<void> rmdir(const std::string& path) override;
+  Result<void> truncate(const std::string& path, uint64_t size) override;
+  Result<std::vector<DirEntry>> readdir(const std::string& path) override;
+  Result<void> write_file(const std::string& path, std::string_view data,
+                          uint32_t mode) override;
+  using FileSystem::write_file;
+
+  // Drops the entry for `path` (if any); every mutation path calls this.
+  // Public so a layer above (the adapter, tests) can invalidate explicitly.
+  void invalidate(const std::string& path);
+  void invalidate_all();
+
+  // Currently cached content bytes (mirrors the fs.cache.bytes gauge).
+  uint64_t cached_bytes() const;
+
+ private:
+  friend class CachedFile;
+  friend class CacheInvalidatingFile;
+
+  struct Entry {
+    StatInfo info;
+    uint64_t digest = 0;
+    // In-memory blocks (null when store-backed). Immutable once published;
+    // concurrent opens share it.
+    std::shared_ptr<const std::string> content;
+    std::string store_path;  // "" when in-memory
+    std::atomic<Nanos> lease_expiry{0};
+    std::atomic<bool> invalidated{false};
+    uint64_t bytes = 0;
+    uint64_t last_use = 0;  // LRU tick; guarded by mutex_
+  };
+
+  // Read-only open served (when possible) from validated cached blocks.
+  Result<std::unique_ptr<File>> open_cached(const std::string& path,
+                                            const OpenFlags& flags,
+                                            uint32_t mode);
+  // Loads an entry's blocks (store or memory) and verifies the digest.
+  // Failure means the entry must be discarded, never served.
+  Result<std::shared_ptr<const std::string>> load_validated(
+      const std::shared_ptr<Entry>& entry);
+  // Fetches from the source and publishes a new entry (unless the path was
+  // invalidated while we fetched). Returns the image to serve.
+  Result<std::shared_ptr<const std::string>> fetch_and_publish(
+      const std::string& path, bool* bypassed);
+  // True while a reader may trust the entry's blocks and metadata.
+  bool entry_live(const Entry& entry) const;
+  void touch(const std::shared_ptr<Entry>& entry);
+  // Drops `path` under mutex_; returns true if an entry actually existed.
+  bool drop_locked(const std::string& path);
+  void evict_over_capacity_locked();
+  void update_bytes_gauge_locked();
+
+  FileSystem* source_;
+  Options options_;
+  Clock* clock_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  // Per-path invalidation generation: bumped by every invalidation even when
+  // no entry exists, so a fetch that raced a mutation is never published.
+  std::unordered_map<std::string, uint64_t> gen_;
+  uint64_t bytes_ = 0;
+  uint64_t tick_ = 0;
+
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evicts_ = nullptr;
+  obs::Counter* invalidates_ = nullptr;
+  obs::Counter* bypasses_ = nullptr;
+  obs::Counter* integrity_mismatch_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
+};
+
+}  // namespace tss::fs

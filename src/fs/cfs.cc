@@ -364,11 +364,28 @@ Result<std::pair<uint64_t, uint64_t>> CfsFs::statfs() {
 CfsFs::ConnectFn chirp_connector(
     net::Endpoint server,
     std::vector<std::shared_ptr<auth::ClientCredential>> credentials,
-    Nanos timeout) {
+    chirp::Client::Options client_options) {
+  // A cooperative mount follows server deflections to sibling caches; the
+  // dialer connects-and-authenticates with the same credentials, but with
+  // cooperative *off* so a misbehaving sibling cannot chain deflections.
+  if (client_options.cooperative && !client_options.redirect_dialer) {
+    auto peer_options = client_options;
+    peer_options.cooperative = false;
+    client_options.redirect_dialer =
+        [credentials, peer_options](
+            const net::Endpoint& peer) -> Result<chirp::Client> {
+      TSS_ASSIGN_OR_RETURN(chirp::Client client,
+                           chirp::Client::connect(peer, peer_options));
+      std::vector<auth::ClientCredential*> raw;
+      raw.reserve(credentials.size());
+      for (const auto& c : credentials) raw.push_back(c.get());
+      auto subject = client.authenticate_any(raw);
+      if (!subject.ok()) return std::move(subject).take_error();
+      return client;
+    };
+  }
   return [server, credentials = std::move(credentials),
-          timeout]() -> Result<chirp::Client> {
-    chirp::Client::Options options;
-    options.timeout = timeout;
+          options = std::move(client_options)]() -> Result<chirp::Client> {
     TSS_ASSIGN_OR_RETURN(chirp::Client client,
                          chirp::Client::connect(server, options));
     std::vector<auth::ClientCredential*> raw;
@@ -378,6 +395,16 @@ CfsFs::ConnectFn chirp_connector(
     if (!subject.ok()) return std::move(subject).take_error();
     return client;
   };
+}
+
+CfsFs::ConnectFn chirp_connector(
+    net::Endpoint server,
+    std::vector<std::shared_ptr<auth::ClientCredential>> credentials,
+    Nanos timeout) {
+  chirp::Client::Options options;
+  options.timeout = timeout;
+  return chirp_connector(std::move(server), std::move(credentials),
+                         std::move(options));
 }
 
 }  // namespace tss::fs

@@ -142,4 +142,13 @@ CfsFs::ConnectFn chirp_connector(
     std::vector<std::shared_ptr<auth::ClientCredential>> credentials,
     Nanos timeout = 30 * kSecond);
 
+// Full-options variant. When `client_options.cooperative` is set and no
+// redirect_dialer is supplied, one is synthesized that dials sibling caches
+// with the same credentials (cooperative off on the peer leg, so deflections
+// cannot chain).
+CfsFs::ConnectFn chirp_connector(
+    net::Endpoint server,
+    std::vector<std::shared_ptr<auth::ClientCredential>> credentials,
+    chirp::Client::Options client_options);
+
 }  // namespace tss::fs

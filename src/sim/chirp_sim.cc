@@ -18,6 +18,7 @@ SimChirpServer::SimChirpServer(Cluster& cluster, Options options)
   auto acl = acl::Acl::parse(options_.root_acl_text);
   config_.root_acl = acl.ok() ? acl.value() : acl::Acl();
   config_.auth = auth_.get();
+  config_.redirect = options_.redirect;
   // config_.metrics stays null: the sim records engine-time latencies via
   // record_rpc instead of wall-clock ones inside SessionCore.
   for (int i = 0; i < chirp::kOpCount; i++) {
@@ -59,11 +60,13 @@ class NullChallengeIo final : public auth::ChallengeIo {
 }  // namespace
 
 SimChirpClient::SimChirpClient(Cluster& cluster, int client_node,
-                               SimChirpServer& server, std::string client_host)
+                               SimChirpServer& server, std::string client_host,
+                               bool cooperative)
     : cluster_(cluster),
       client_node_(client_node),
       server_(server),
-      client_host_(std::move(client_host)) {
+      client_host_(std::move(client_host)),
+      cooperative_(cooperative) {
   session_ = std::make_unique<chirp::SessionCore>(
       server_.config(), server_.backend(),
       auth::PeerInfo{client_host_, client_host_});
@@ -77,6 +80,7 @@ Task<Result<void>> SimChirpClient::connect() {
   // version exchange.
   chirp::Request version;
   version.op = chirp::Op::kVersion;
+  if (cooperative_) version.caps.push_back(chirp::kCapRedirect);
   auto vr = co_await call(version, 0);
   if (!vr.ok()) co_return std::move(vr).take_error();
 
@@ -250,6 +254,25 @@ Task<Result<std::string>> SimChirpClient::getfile(std::string path) {
     co_return Error(r.value().response.err, r.value().response.message);
   }
   co_return std::move(r.value().payload);
+}
+
+Task<Result<SimChirpClient::Fetch>> SimChirpClient::getfile_hint(
+    std::string path) {
+  chirp::Request req;
+  req.op = chirp::Op::kGetfile;
+  req.path = std::move(path);
+  auto r = co_await call(req, 0);
+  if (!r.ok()) co_return std::move(r).take_error();
+  Fetch fetch;
+  if (r.value().response.redirect) {
+    fetch.redirect = r.value().response.redirect;
+    co_return fetch;
+  }
+  if (!r.value().response.ok()) {
+    co_return Error(r.value().response.err, r.value().response.message);
+  }
+  fetch.data = std::move(r.value().payload);
+  co_return fetch;
 }
 
 Task<Result<void>> SimChirpClient::putfile(std::string path,

@@ -30,6 +30,11 @@ class SimChirpServer {
     // CPU charged per RPC on top of backend time (request parsing,
     // dispatch, response marshalling in the user-level server).
     Nanos rpc_cpu_cost = 15 * kMicrosecond;
+    // Cooperative-cache deflection policy (see chirp/redirect.h). Not
+    // owned; null = never redirect. A cooperative sim client that offers
+    // the redirect capability gets hot-file getfiles deflected exactly as
+    // a TCP client would.
+    chirp::RedirectPolicy* redirect = nullptr;
   };
 
   SimChirpServer(Cluster& cluster, Options options);
@@ -72,8 +77,10 @@ class SimChirpClient {
  public:
   // `client_node` is the cluster node the client runs on. `client_host` is
   // the identity the hostname method will see ("node3" etc.).
+  // `cooperative` offers the redirect capability at the version handshake,
+  // so the server may deflect hot getfiles (see getfile_hint).
   SimChirpClient(Cluster& cluster, int client_node, SimChirpServer& server,
-                 std::string client_host);
+                 std::string client_host, bool cooperative = false);
 
   // Establishes the session: TCP handshake + version + auth, all charged as
   // message exchanges.
@@ -95,6 +102,14 @@ class SimChirpClient {
   // Whole-file fetch returning real content — used for stub files, whose
   // bytes matter to the client.
   Task<Result<std::string>> getfile(std::string path);
+  // Cooperative whole-file fetch: either the bytes or the server's
+  // deflection hint (never both). Callers follow the hint themselves by
+  // fetching from the named sibling — the sim bench's fan-out loop.
+  struct Fetch {
+    std::string data;
+    std::optional<chirp::Redirect> redirect;
+  };
+  Task<Result<Fetch>> getfile_hint(std::string path);
   // Whole-file store of real content (stubs, configs).
   Task<Result<void>> putfile(std::string path, std::string data);
   // Whole-file synthetic store of `size` bytes (bulk data).
@@ -121,6 +136,7 @@ class SimChirpClient {
   std::unique_ptr<chirp::SessionCore> session_;
   uint64_t rpcs_ = 0;
   bool connected_ = false;
+  bool cooperative_ = false;
 };
 
 }  // namespace tss::sim

@@ -1,0 +1,226 @@
+// Cooperative-cache wire tests over live TCP servers (both engines via
+// TSS_NET_MODE, as scripts/check.sh runs them): a hot file crossing the
+// redirect threshold deflects capability-offering clients to a sibling
+// cache, which serves the identical bytes; clients that never offered the
+// capability are always served directly; a hint without a dialer surfaces
+// as EREMOTE; and the adapter's CachedFs layer turns repeat reads of a
+// mounted /cfs path into local hits with zero RPCs.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "adapter/adapter.h"
+#include "auth/hostname.h"
+#include "chirp/client.h"
+#include "chirp/posix_backend.h"
+#include "chirp/server.h"
+#include "fs/local.h"
+#include "obs/metrics.h"
+
+namespace tss::chirp {
+namespace {
+
+// Two live servers — an origin that deflects hot getfiles and a sibling
+// cache holding the same content — each exporting its own temp root.
+class CacheWireTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "/cachewire_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    origin_root_ = base_ + "/origin";
+    peer_root_ = base_ + "/peer";
+    std::filesystem::create_directories(origin_root_);
+    std::filesystem::create_directories(peer_root_);
+  }
+
+  void TearDown() override {
+    if (origin_) origin_->stop();
+    if (peer_) peer_->stop();
+    std::filesystem::remove_all(base_);
+  }
+
+  std::unique_ptr<Server> start_one(const std::string& root,
+                                    obs::Registry* registry,
+                                    ServerOptions options) {
+    options.owner = "unix:testowner";
+    options.root_acl = acl::Acl::parse("hostname:localhost rwldav(rwlda)\n")
+                           .value();
+    options.metrics = registry;
+    auto auth = std::make_unique<auth::ServerAuth>();
+    auth->add(std::make_unique<auth::HostnameServerMethod>());
+    auto server = std::make_unique<Server>(
+        std::move(options), std::make_unique<PosixBackend>(root),
+        std::move(auth));
+    EXPECT_TRUE(server->start().ok());
+    return server;
+  }
+
+  // Starts the sibling first (its port seeds the origin's peer list).
+  void start_cluster(uint64_t threshold) {
+    peer_ = start_one(peer_root_, &peer_metrics_, ServerOptions{});
+    ServerOptions origin_options;
+    origin_options.cache_peers = {
+        {"127.0.0.1", peer_->port(), /*ttl_ms=*/0}};
+    origin_options.redirect_hot_threshold = threshold;
+    origin_options.redirect_ttl_ms = 60'000;
+    origin_ = start_one(origin_root_, &origin_metrics_, origin_options);
+  }
+
+  // A dialer that connects-and-authenticates to whatever endpoint the hint
+  // names (non-cooperative, as a real sibling leg must be).
+  static Client::Options::Dialer test_dialer() {
+    return [](const net::Endpoint& endpoint) -> Result<Client> {
+      TSS_ASSIGN_OR_RETURN(Client peer,
+                           Client::connect(endpoint, Client::Options{}));
+      auth::HostnameClientCredential credential;
+      auto subject = peer.authenticate(credential);
+      if (!subject.ok()) return std::move(subject).take_error();
+      return peer;
+    };
+  }
+
+  Client connect(Client::Options options, Server& server) {
+    auto client = Client::connect(server.endpoint(), std::move(options));
+    EXPECT_TRUE(client.ok()) << client.error().to_string();
+    auth::HostnameClientCredential credential;
+    auto subject = client.value().authenticate(credential);
+    EXPECT_TRUE(subject.ok()) << subject.error().to_string();
+    return std::move(client).value();
+  }
+
+  uint64_t origin_requests() {
+    return origin_metrics_.counter("chirp.server.requests")->value();
+  }
+
+  std::string base_, origin_root_, peer_root_;
+  obs::Registry origin_metrics_, peer_metrics_;
+  std::unique_ptr<Server> origin_, peer_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(CacheWireTest, HotGetfileDeflectsToSiblingAndLeaseSticksThere) {
+  start_cluster(/*threshold=*/2);
+  const std::string payload = "hot bytes, identical on both servers";
+  fs::LocalFs origin_fs(origin_root_), peer_fs(peer_root_);
+  ASSERT_TRUE(origin_fs.write_file("/hot", payload).ok());
+  ASSERT_TRUE(peer_fs.write_file("/hot", payload).ok());
+
+  obs::Registry client_metrics;
+  Client::Options options;
+  options.cooperative = true;
+  options.redirect_dialer = test_dialer();
+  options.metrics = &client_metrics;
+  Client client = connect(options, *origin_);
+
+  // Under the threshold: the origin serves directly.
+  EXPECT_EQ(client.getfile("/hot").value(), payload);
+  EXPECT_EQ(client.getfile("/hot").value(), payload);
+  EXPECT_FALSE(client.last_redirect().has_value());
+
+  // Over it: a deflection, followed transparently to the sibling — the
+  // caller still sees the bytes, plus the hint in last_redirect().
+  EXPECT_EQ(client.getfile("/hot").value(), payload);
+  ASSERT_TRUE(client.last_redirect().has_value());
+  EXPECT_EQ(client.last_redirect()->port, peer_->port());
+  EXPECT_EQ(origin_metrics_.counter("chirp.server.redirects")->value(), 1u);
+  EXPECT_EQ(client_metrics.counter("fs.cache.redirect")->value(), 1u);
+
+  // While the lease lives, fetches go straight to the sibling: the origin
+  // sees no further traffic for the path.
+  uint64_t origin_before = origin_requests();
+  EXPECT_EQ(client.getfile("/hot").value(), payload);
+  EXPECT_EQ(client.getfile("/hot").value(), payload);
+  EXPECT_EQ(origin_requests(), origin_before);
+}
+
+TEST_F(CacheWireTest, NonCooperativeClientIsAlwaysServedDirectly) {
+  start_cluster(/*threshold=*/1);
+  const std::string payload = "served straight, no capability offered";
+  fs::LocalFs origin_fs(origin_root_);
+  ASSERT_TRUE(origin_fs.write_file("/hot", payload).ok());
+
+  Client client = connect(Client::Options{}, *origin_);
+  for (int i = 0; i < 5; i++) {
+    EXPECT_EQ(client.getfile("/hot").value(), payload) << i;
+  }
+  EXPECT_EQ(origin_metrics_.counter("chirp.server.redirects")->value(), 0u);
+}
+
+TEST_F(CacheWireTest, HintWithoutDialerSurfacesAsEremote) {
+  start_cluster(/*threshold=*/1);
+  fs::LocalFs origin_fs(origin_root_);
+  ASSERT_TRUE(origin_fs.write_file("/hot", "bytes").ok());
+
+  Client::Options options;
+  options.cooperative = true;  // offers the capability, cannot follow hints
+  Client client = connect(options, *origin_);
+  EXPECT_EQ(client.getfile("/hot").value(), "bytes");
+  auto deflected = client.getfile("/hot");
+  ASSERT_FALSE(deflected.ok());
+  EXPECT_EQ(deflected.error().code, EREMOTE);
+  ASSERT_TRUE(client.last_redirect().has_value());
+  EXPECT_EQ(client.last_redirect()->port, peer_->port());
+}
+
+TEST_F(CacheWireTest, StreamingGetfileFollowsTheHintToo) {
+  start_cluster(/*threshold=*/1);
+  const std::string payload(8192, 's');
+  fs::LocalFs origin_fs(origin_root_), peer_fs(peer_root_);
+  ASSERT_TRUE(origin_fs.write_file("/hot", payload).ok());
+  ASSERT_TRUE(peer_fs.write_file("/hot", payload).ok());
+
+  Client::Options options;
+  options.cooperative = true;
+  options.redirect_dialer = test_dialer();
+  Client client = connect(options, *origin_);
+
+  std::string streamed;
+  auto sink = [&](std::string_view chunk) -> Result<void> {
+    streamed.append(chunk);
+    return Result<void>::success();
+  };
+  ASSERT_EQ(client.getfile_to("/hot", sink).value(), payload.size());
+  streamed.clear();
+  // Second fetch crosses the threshold: deflected, followed, identical.
+  ASSERT_EQ(client.getfile_to("/hot", sink).value(), payload.size());
+  EXPECT_EQ(streamed, payload);
+  ASSERT_TRUE(client.last_redirect().has_value());
+}
+
+// The client half of the tentpole end to end: an adapter mount over the
+// origin with the CachedFs layer on — the first read misses through to the
+// server, the repeat is served from local blocks with zero RPCs.
+TEST_F(CacheWireTest, AdapterCachedMountServesRepeatsLocally) {
+  start_cluster(/*threshold=*/1000);  // redirects off for this one
+  const std::string payload = "adapter-cached contents";
+  fs::LocalFs origin_fs(origin_root_);
+  ASSERT_TRUE(origin_fs.write_file("/doc", payload).ok());
+
+  obs::Registry cache_metrics;
+  adapter::Adapter::Options options;
+  options.credentials.push_back(
+      std::make_shared<auth::HostnameClientCredential>());
+  options.cache_capacity_bytes = 1 << 20;
+  options.cache_metrics = &cache_metrics;
+  adapter::Adapter adapter(options);
+
+  std::string mount = "/cfs/127.0.0.1:" + std::to_string(origin_->port());
+  EXPECT_EQ(adapter.read_file(mount + "/doc").value(), payload);
+  uint64_t rpcs_after_first = origin_requests();
+  EXPECT_EQ(adapter.read_file(mount + "/doc").value(), payload);
+  EXPECT_EQ(origin_requests(), rpcs_after_first);  // zero RPCs on the hit
+  EXPECT_EQ(cache_metrics.counter("fs.cache.miss")->value(), 1u);
+  EXPECT_EQ(cache_metrics.counter("fs.cache.hit")->value(), 1u);
+
+  // Writes through the same mount invalidate, and reads see them.
+  ASSERT_TRUE(adapter.write_file(mount + "/doc", "rewritten").ok());
+  EXPECT_EQ(adapter.read_file(mount + "/doc").value(), "rewritten");
+  EXPECT_GE(cache_metrics.counter("fs.cache.invalidate")->value(), 1u);
+}
+
+}  // namespace
+}  // namespace tss::chirp

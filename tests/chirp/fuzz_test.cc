@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <thread>
 
 #include "auth/hostname.h"
 #include "chirp/client.h"
@@ -306,6 +307,113 @@ TEST_F(FuzzTest, ChecksumPeerOmittingTheTrailerIsReapedNotServed) {
   auto reply = peer.value().stream().read_line();
   EXPECT_FALSE(reply.ok());
   expect_server_alive();
+}
+
+// A scripted hostile *server* for the redirect-reply fuzz below: accepts one
+// real Client, answers its version hello (echoing the redirect capability),
+// then replays a fixed list of reply lines — one per subsequent request —
+// without ever looking at what the request was.
+class HostileRedirectServer {
+ public:
+  explicit HostileRedirectServer(std::vector<std::string> replies)
+      : replies_(std::move(replies)) {
+    auto listener = net::TcpListener::listen("127.0.0.1", 0);
+    EXPECT_TRUE(listener.ok());
+    listener_ = std::make_unique<net::TcpListener>(std::move(listener).value());
+    serve_ = std::thread([this] { serve(); });
+  }
+
+  ~HostileRedirectServer() {
+    if (serve_.joinable()) serve_.join();
+  }
+
+  net::Endpoint endpoint() const {
+    return net::Endpoint{"127.0.0.1", listener_->port()};
+  }
+
+ private:
+  void serve() {
+    auto sock = listener_->accept(5 * kSecond);
+    if (!sock.ok()) return;
+    net::LineStream stream(std::move(sock).value(), 5 * kSecond);
+    if (!stream.read_line().ok()) return;  // the version hello
+    if (!stream.send_line("ok 1 redirect").ok()) return;
+    for (const std::string& reply : replies_) {
+      if (!stream.read_line().ok()) return;
+      if (!stream.send_line(reply).ok()) return;
+    }
+  }
+
+  std::vector<std::string> replies_;
+  std::unique_ptr<net::TcpListener> listener_;
+  std::thread serve_;
+};
+
+TEST_F(FuzzTest, GarbledRedirectRepliesAreCleanProtocolErrors) {
+  // Every way a peer can garble a deflection: wrong arity (short and long),
+  // port zero, port out of range, non-numeric port and ttl, negative ttl.
+  // Each must surface as a clean EPROTO from the strict parse — never a
+  // crash, a hang, or a half-parsed redirect the client tries to follow.
+  const std::vector<std::string> hostile = {
+      "redirect",
+      "redirect onlyhost",
+      "redirect onlyhost 80",
+      "redirect host 80 1000 extra trailing junk",
+      "redirect host 0 1000",
+      "redirect host 70000 1000",
+      "redirect host notaport 1000",
+      "redirect host 80 notattl",
+      "redirect host 80 -1",
+  };
+  HostileRedirectServer server(hostile);
+  Client::Options options;
+  options.cooperative = true;
+  auto client = Client::connect(server.endpoint(), options);
+  ASSERT_TRUE(client.ok()) << client.error().to_string();
+  for (const std::string& line : hostile) {
+    auto r = client.value().getfile("/x");
+    ASSERT_FALSE(r.ok()) << line;
+    EXPECT_EQ(r.error().code, EPROTO) << line;
+    // A garbled hint is no hint: nothing to remember, nothing to follow.
+    EXPECT_FALSE(client.value().last_redirect().has_value()) << line;
+  }
+}
+
+TEST_F(FuzzTest, WellFormedRedirectWithoutADialerIsEremote) {
+  HostileRedirectServer server({"redirect 127.0.0.1 9 60000"});
+  Client::Options options;
+  options.cooperative = true;  // offers the capability, cannot follow
+  auto client = Client::connect(server.endpoint(), options);
+  ASSERT_TRUE(client.ok());
+  auto r = client.value().getfile("/x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, EREMOTE);
+  ASSERT_TRUE(client.value().last_redirect().has_value());
+  EXPECT_EQ(client.value().last_redirect()->port, 9);
+}
+
+TEST_F(FuzzTest, RedirectReplyToANonGetfileIsRejected) {
+  // Deflection is a getfile-only answer; a server trying to redirect a
+  // mutation must be refused at the roundtrip layer, not obeyed.
+  HostileRedirectServer server({"redirect 127.0.0.1 9 60000"});
+  Client::Options options;
+  options.cooperative = true;
+  auto client = Client::connect(server.endpoint(), options);
+  ASSERT_TRUE(client.ok());
+  auto r = client.value().putfile("/x", "payload");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, EPROTO);
+}
+
+TEST_F(FuzzTest, RedirectReplyToANonCooperativeSessionIsRejected) {
+  // The session never offered the capability, so a redirect reply is a
+  // protocol violation even on getfile — old clients must not be deflected.
+  HostileRedirectServer server({"redirect 127.0.0.1 9 60000"});
+  auto client = Client::connect(server.endpoint(), Client::Options{});
+  ASSERT_TRUE(client.ok());
+  auto r = client.value().getfile("/x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, EPROTO);
 }
 
 TEST_F(FuzzTest, DbServerSurvivesGarbageToo) {

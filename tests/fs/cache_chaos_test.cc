@@ -1,0 +1,169 @@
+// Cache/integrity chaos: seeded FaultyFs corruption of cached blocks at
+// rest must be caught by the digest validation on open — counted, refetched,
+// and NEVER served — and a wire-integrity failure (EBADMSG) from the source
+// must bypass, not poison, the cache. Counter accounting is asserted
+// exactly: every injected fault maps to a specific fs.cache.* /
+// fs.integrity.* increment.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <string>
+
+#include "fs/cached.h"
+#include "fs/faulty.h"
+#include "fs/local.h"
+
+namespace tss::fs {
+namespace {
+
+class CacheChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "/cachechaos_" +
+            std::to_string(::getpid()) + "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(base_);
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  std::string make_root(const std::string& name) {
+    std::string root = base_ + "/" + name;
+    std::filesystem::create_directories(root);
+    return root;
+  }
+
+  std::string base_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(CacheChaosTest, AtRestBitFlipIsCaughtOnOpenAndNeverServed) {
+  LocalFs source(make_root("src"));
+  LocalFs store_disk(make_root("store"));
+  // The at-rest store is a flaky disk: every pread of cached blocks flips
+  // one bit, silently. Writes (publishing) stay clean.
+  FaultSchedule schedule(/*seed=*/7);
+  schedule.corrupt_bit_flip("pread");
+  FaultyFs store(&store_disk, &schedule);
+
+  obs::Registry registry;
+  CachedFs::Options options;
+  options.store = &store;
+  options.metrics = &registry;
+  CachedFs cache(&source, options);
+
+  const std::string payload = "precious bytes that must never rot";
+  ASSERT_TRUE(source.write_file("/doc", payload).ok());
+
+  // First read: a clean miss, published to the (flaky) store.
+  EXPECT_EQ(cache.read_file("/doc").value(), payload);
+  EXPECT_EQ(registry.counter("fs.cache.miss")->value(), 1u);
+  EXPECT_EQ(registry.counter("fs.integrity.mismatch")->value(), 0u);
+
+  // Second read: the cached blocks come back corrupted. The digest check on
+  // open must catch it, discard the entry, refetch from the source, and
+  // serve the *correct* bytes — corrupt blocks are never served.
+  EXPECT_EQ(cache.read_file("/doc").value(), payload);
+  EXPECT_EQ(registry.counter("fs.integrity.mismatch")->value(), 1u);
+  EXPECT_EQ(registry.counter("fs.cache.invalidate")->value(), 1u);
+  EXPECT_EQ(registry.counter("fs.cache.miss")->value(), 2u);
+  EXPECT_EQ(registry.counter("fs.cache.hit")->value(), 0u);
+  EXPECT_EQ(registry.counter("fs.cache.bypass")->value(), 0u);
+
+  // Repair the disk: with corruption gone, the refetched entry serves hits.
+  schedule.clear();
+  EXPECT_EQ(cache.read_file("/doc").value(), payload);
+  EXPECT_EQ(registry.counter("fs.cache.hit")->value(), 1u);
+  EXPECT_EQ(registry.counter("fs.integrity.mismatch")->value(), 1u);
+  EXPECT_EQ(registry.counter("fs.cache.miss")->value(), 2u);
+}
+
+TEST_F(CacheChaosTest, SourceEbadmsgBypassesAndNeverPoisonsTheCache) {
+  LocalFs source_disk(make_root("src"));
+  // The *source* reports a wire-integrity failure on the next fetch — the
+  // shape a checksum-verified CfsFs mount produces when payload bytes fail
+  // their digest.
+  FaultSchedule schedule(/*seed=*/11);
+  FaultyFs source(&source_disk, &schedule);
+
+  obs::Registry registry;
+  CachedFs::Options options;
+  options.metrics = &registry;
+  CachedFs cache(&source, options);
+
+  const std::string payload = "verified payload";
+  ASSERT_TRUE(source_disk.write_file("/doc", payload).ok());
+
+  // The cache's whole-file fetch fails with EBADMSG; the open must bypass
+  // the cache (passthrough to the source) and cache nothing. The passthrough
+  // read then succeeds — the fault was one-shot — so the caller still gets
+  // correct bytes, and crucially nothing corrupt was published.
+  schedule.fail_once(EBADMSG, "pread");
+  EXPECT_EQ(cache.read_file("/doc").value(), payload);
+  EXPECT_EQ(registry.counter("fs.cache.bypass")->value(), 1u);
+  EXPECT_EQ(registry.counter("fs.cache.miss")->value(), 0u);
+  EXPECT_EQ(registry.counter("fs.cache.hit")->value(), 0u);
+  EXPECT_EQ(cache.cached_bytes(), 0u);
+
+  // With the fault gone the next read is an ordinary miss, then hits.
+  EXPECT_EQ(cache.read_file("/doc").value(), payload);
+  EXPECT_EQ(registry.counter("fs.cache.miss")->value(), 1u);
+  EXPECT_EQ(cache.read_file("/doc").value(), payload);
+  EXPECT_EQ(registry.counter("fs.cache.hit")->value(), 1u);
+  EXPECT_EQ(registry.counter("fs.integrity.mismatch")->value(), 0u);
+}
+
+TEST_F(CacheChaosTest, PersistentSourceErrorSurfacesWithoutCorruptingState) {
+  LocalFs source_disk(make_root("src"));
+  FaultSchedule schedule(/*seed=*/13);
+  FaultyFs source(&source_disk, &schedule);
+
+  obs::Registry registry;
+  CachedFs::Options options;
+  options.metrics = &registry;
+  CachedFs cache(&source, options);
+
+  ASSERT_TRUE(source_disk.write_file("/doc", "payload").ok());
+
+  // A hard source failure (EIO, not an integrity errno) is NOT a bypass:
+  // the open fails exactly as the source would, and nothing is cached.
+  schedule.fail_always(EIO, "pread");
+  auto r = cache.read_file("/doc");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, EIO);
+  EXPECT_EQ(registry.counter("fs.cache.bypass")->value(), 0u);
+  EXPECT_EQ(cache.cached_bytes(), 0u);
+
+  schedule.clear();
+  EXPECT_EQ(cache.read_file("/doc").value(), "payload");
+  EXPECT_EQ(registry.counter("fs.cache.miss")->value(), 1u);
+}
+
+// Eviction accounting: filling past capacity evicts LRU entries, the bytes
+// gauge tracks the entry set exactly, and evicted store blocks are removed.
+TEST_F(CacheChaosTest, EvictionAccountingIsExact) {
+  LocalFs source(make_root("src"));
+  LocalFs store(make_root("store"));
+  obs::Registry registry;
+  CachedFs::Options options;
+  options.capacity_bytes = 256;
+  options.store = &store;
+  options.metrics = &registry;
+  CachedFs cache(&source, options);
+
+  std::string block(100, 'x');
+  for (int f = 0; f < 3; f++) {
+    std::string path = "/f" + std::to_string(f);
+    ASSERT_TRUE(source.write_file(path, block).ok());
+    EXPECT_EQ(cache.read_file(path).value(), block);
+  }
+  // Three 100-byte entries against a 256-byte capacity: one eviction.
+  EXPECT_EQ(registry.counter("fs.cache.evict")->value(), 1u);
+  EXPECT_EQ(cache.cached_bytes(), 200u);
+  EXPECT_EQ(registry.gauge("fs.cache.bytes")->value(), 200);
+  // The store holds exactly the two live entries' blocks.
+  EXPECT_EQ(store.readdir("/").value().size(), 2u);
+}
+
+}  // namespace
+}  // namespace tss::fs

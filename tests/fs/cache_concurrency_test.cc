@@ -1,0 +1,163 @@
+// CachedFs under concurrent fan-out: readers racing eviction, invalidation,
+// and refetch on the same hot file through an IoScheduler. Every read must
+// deliver a *complete* published version — never a torn mix — while a
+// mutator atomically replaces the hot file and an antagonist invalidates
+// and churns the capacity. Also compiled into cache_tsan_test with
+// -fsanitize=thread (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fs/cached.h"
+#include "fs/local.h"
+#include "par/executor.h"
+
+namespace tss::fs {
+namespace {
+
+#ifdef TSS_TSAN_BUILD
+constexpr int kReaders = 6;
+constexpr int kReadsEach = 40;
+constexpr int kMutations = 40;
+#else
+constexpr int kReaders = 10;
+constexpr int kReadsEach = 120;
+constexpr int kMutations = 120;
+#endif
+
+class CacheConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "/cachecc_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(base_);
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  std::string base_;
+  static inline int counter_ = 0;
+};
+
+// One published version: 512 bytes, all the same character, so torn reads
+// are detectable by inspection.
+std::string version_payload(int v) {
+  return std::string(512, static_cast<char>('A' + (v % 26)));
+}
+
+// A read is valid iff it is some complete version: uniform content of full
+// length. (ENOENT is also legal — the reader can race the rename window.)
+bool complete_version(const std::string& data) {
+  if (data.size() != 512) return false;
+  for (char c : data) {
+    if (c != data[0]) return false;
+  }
+  return data[0] >= 'A' && data[0] <= 'Z';
+}
+
+TEST_F(CacheConcurrencyTest, ReadersRacingEvictionInvalidationAndRefetch) {
+  LocalFs source(base_);
+  obs::Registry registry;
+  CachedFs::Options options;
+  // Tight capacity: the hot entry and the churn files evict each other.
+  options.capacity_bytes = 2048;
+  options.metrics = &registry;
+  CachedFs cache(&source, options);
+
+  ASSERT_TRUE(cache.write_file("/hot", version_payload(0)).ok());
+
+  IoScheduler::Options scheduler_options;
+  scheduler_options.workers = kReaders + 2;
+  IoScheduler scheduler(scheduler_options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::atomic<uint64_t> good_reads{0};
+
+  auto results = fan_out(
+      &scheduler, static_cast<size_t>(kReaders + 2),
+      [&](size_t job) -> Result<void> {
+        if (job == 0) {
+          // Mutator: atomically replace the hot file version by version.
+          // write-to-temp + rename keeps every published version complete,
+          // and both ops invalidate the cache entry.
+          for (int v = 1; v <= kMutations; v++) {
+            auto w = cache.write_file("/hot.tmp", version_payload(v));
+            if (!w.ok()) return w;
+            auto r = cache.rename("/hot.tmp", "/hot");
+            if (!r.ok()) return r;
+          }
+          stop.store(true, std::memory_order_release);
+          return Result<void>::success();
+        }
+        if (job == 1) {
+          // Antagonist: explicit invalidations plus capacity churn that
+          // forces evictions of the hot entry from under the readers.
+          int round = 0;
+          while (!stop.load(std::memory_order_acquire)) {
+            cache.invalidate("/hot");
+            std::string churn = "/churn" + std::to_string(round++ % 4);
+            auto w = cache.write_file(churn, std::string(900, 'z'));
+            if (!w.ok()) return w;
+            auto r = cache.read_file(churn);
+            if (!r.ok()) return std::move(r).take_error();
+          }
+          return Result<void>::success();
+        }
+        // Readers: every successful read must be a complete version.
+        for (int i = 0; i < kReadsEach; i++) {
+          auto r = cache.read_file("/hot");
+          if (!r.ok()) continue;  // raced the rename window
+          if (complete_version(r.value())) {
+            good_reads.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        return Result<void>::success();
+      });
+
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok()) << r.error().to_string();
+  }
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(good_reads.load(), 0u);
+  // The counters kept pace with the churn.
+  EXPECT_GT(registry.counter("fs.cache.invalidate")->value(), 0u);
+  EXPECT_GT(registry.counter("fs.cache.miss")->value(), 0u);
+  EXPECT_LE(cache.cached_bytes(), options.capacity_bytes);
+}
+
+// Concurrent opens of the same cold file: every reader gets the full bytes,
+// and the entry set stays bounded (racing fetches must not double-count).
+TEST_F(CacheConcurrencyTest, ConcurrentColdOpensPublishExactlyOneEntry) {
+  LocalFs source(base_);
+  obs::Registry registry;
+  CachedFs::Options options;
+  options.metrics = &registry;
+  CachedFs cache(&source, options);
+
+  const std::string payload(2048, 'q');
+  ASSERT_TRUE(source.write_file("/cold", payload).ok());
+
+  IoScheduler::Options scheduler_options;
+  scheduler_options.workers = 8;
+  IoScheduler scheduler(scheduler_options);
+  auto results = fan_out(&scheduler, 8, [&](size_t) -> Result<void> {
+    auto r = cache.read_file("/cold");
+    if (!r.ok()) return std::move(r).take_error();
+    if (r.value() != payload) return Error(EIO, "short or wrong read");
+    return Result<void>::success();
+  });
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok()) << r.error().to_string();
+  }
+  EXPECT_EQ(cache.cached_bytes(), payload.size());
+  EXPECT_GE(registry.counter("fs.cache.miss")->value(), 1u);
+}
+
+}  // namespace
+}  // namespace tss::fs

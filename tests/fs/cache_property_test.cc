@@ -1,0 +1,320 @@
+// CachedFs consistency properties: seed-deterministic randomized
+// interleavings of reads, writes, truncates, renames, unlinks, explicit
+// invalidations, and lease expirations through a CachedFs must be
+// byte-identical to a plain LocalFs oracle — in-memory and store-backed —
+// and a stale lease must never serve bytes newer than their invalidation.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/cached.h"
+#include "fs/local.h"
+#include "util/rand.h"
+
+namespace tss::fs {
+namespace {
+
+class CachePropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "/cacheprop_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(base_);
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  std::string make_root(const std::string& name) {
+    std::string root = base_ + "/" + name;
+    std::filesystem::create_directories(root);
+    return root;
+  }
+
+  std::string base_;
+  static inline int counter_ = 0;
+};
+
+std::string random_payload(Rng& rng, size_t max_len) {
+  size_t len = 1 + static_cast<size_t>(rng.below(max_len));
+  std::string payload;
+  payload.reserve(len);
+  for (size_t i = 0; i < len; i++) {
+    payload.push_back(static_cast<char>('a' + rng.below(26)));
+  }
+  return payload;
+}
+
+// One randomized round: a dense interleaving applied to the cache and the
+// oracle, compared op by op. All mutations flow *through* the cache (that is
+// the consistency contract CachedFs makes; external writers are the lease
+// tests' subject below).
+void run_round(const std::string& cache_base, const std::string& oracle_base,
+               uint64_t seed, bool store_backed, uint64_t capacity) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               (store_backed ? " store" : " memory") +
+               " capacity=" + std::to_string(capacity));
+  LocalFs oracle(oracle_base);
+  LocalFs source(cache_base + "/src");
+  std::filesystem::create_directories(cache_base + "/src");
+  std::unique_ptr<LocalFs> store;
+  if (store_backed) {
+    std::filesystem::create_directories(cache_base + "/store");
+    store = std::make_unique<LocalFs>(cache_base + "/store");
+  }
+  VirtualClock clock;
+  obs::Registry registry;
+  CachedFs::Options options;
+  options.capacity_bytes = capacity;
+  options.lease_ttl = 10 * kSecond;
+  options.store = store.get();
+  options.clock = &clock;
+  options.metrics = &registry;
+  CachedFs cache(&source, options);
+
+  const std::vector<std::string> paths = {"/f0", "/f1", "/f2", "/f3"};
+  Rng rng(seed);
+  for (int op = 0; op < 120; op++) {
+    const std::string& path = paths[rng.below(paths.size())];
+    switch (rng.below(8)) {
+      case 0: {  // whole-file write
+        std::string payload = random_payload(rng, 4000);
+        auto cw = cache.write_file(path, payload);
+        auto ow = oracle.write_file(path, payload);
+        ASSERT_EQ(cw.ok(), ow.ok());
+        break;
+      }
+      case 1: {  // write through an open handle
+        auto cf = cache.open(path, OpenFlags::parse("rwc").value());
+        auto of = oracle.open(path, OpenFlags::parse("rwc").value());
+        ASSERT_EQ(cf.ok(), of.ok());
+        if (!cf.ok()) break;
+        std::string payload = random_payload(rng, 800);
+        uint64_t offset = rng.below(512);
+        auto cn = cf.value()->pwrite(payload.data(), payload.size(),
+                                     static_cast<int64_t>(offset));
+        auto on = of.value()->pwrite(payload.data(), payload.size(),
+                                     static_cast<int64_t>(offset));
+        ASSERT_TRUE(cn.ok()) << cn.error().to_string();
+        ASSERT_TRUE(on.ok());
+        ASSERT_EQ(cn.value(), on.value());
+        ASSERT_TRUE(cf.value()->close().ok());
+        ASSERT_TRUE(of.value()->close().ok());
+        break;
+      }
+      case 2: {  // whole-file read
+        auto cr = cache.read_file(path);
+        auto orr = oracle.read_file(path);
+        ASSERT_EQ(cr.ok(), orr.ok()) << path;
+        if (cr.ok()) {
+          ASSERT_EQ(cr.value(), orr.value()) << path;
+        }
+        break;
+      }
+      case 3: {  // ranged reads through a read-only open
+        auto cf = cache.open(path, OpenFlags::parse("r").value());
+        auto of = oracle.open(path, OpenFlags::parse("r").value());
+        ASSERT_EQ(cf.ok(), of.ok()) << path;
+        if (!cf.ok()) break;
+        for (int r = 0; r < 3; r++) {
+          uint64_t offset = rng.below(5000);
+          size_t len = 1 + static_cast<size_t>(rng.below(700));
+          std::vector<char> got(len, '\0'), want(len, '\1');
+          auto cn = cf.value()->pread(got.data(), len,
+                                      static_cast<int64_t>(offset));
+          auto on = of.value()->pread(want.data(), len,
+                                      static_cast<int64_t>(offset));
+          ASSERT_TRUE(cn.ok()) << cn.error().to_string();
+          ASSERT_TRUE(on.ok());
+          ASSERT_EQ(cn.value(), on.value()) << path << " off=" << offset;
+          ASSERT_EQ(0, std::memcmp(got.data(), want.data(), cn.value()));
+        }
+        ASSERT_TRUE(cf.value()->close().ok());
+        ASSERT_TRUE(of.value()->close().ok());
+        break;
+      }
+      case 4: {  // truncate
+        uint64_t size = rng.below(2000);
+        auto ct = cache.truncate(path, size);
+        auto ot = oracle.truncate(path, size);
+        ASSERT_EQ(ct.ok(), ot.ok());
+        break;
+      }
+      case 5: {  // rename to another slot
+        const std::string& to = paths[rng.below(paths.size())];
+        if (to == path) break;
+        auto cr = cache.rename(path, to);
+        auto orr = oracle.rename(path, to);
+        ASSERT_EQ(cr.ok(), orr.ok());
+        break;
+      }
+      case 6: {  // unlink or explicit invalidation
+        if (rng.below(2) == 0) {
+          auto cu = cache.unlink(path);
+          auto ou = oracle.unlink(path);
+          ASSERT_EQ(cu.ok(), ou.ok());
+        } else {
+          cache.invalidate(path);  // no oracle effect: purely local state
+        }
+        break;
+      }
+      default: {  // stat comparison and the occasional lease expiry
+        if (rng.below(3) == 0) clock.advance(11 * kSecond);
+        auto cs = cache.stat(path);
+        auto os = oracle.stat(path);
+        ASSERT_EQ(cs.ok(), os.ok()) << path;
+        if (cs.ok()) {
+          ASSERT_EQ(cs.value().size, os.value().size) << path;
+        }
+        break;
+      }
+    }
+  }
+
+  // Final sweep: every slot byte-identical.
+  for (const std::string& path : paths) {
+    auto cr = cache.read_file(path);
+    auto orr = oracle.read_file(path);
+    ASSERT_EQ(cr.ok(), orr.ok()) << path;
+    if (cr.ok()) {
+      EXPECT_EQ(cr.value(), orr.value()) << path;
+    }
+  }
+  // The cache actually cached: the workload must have produced both hits
+  // and misses, or the round proved nothing.
+  EXPECT_GT(registry.counter("fs.cache.hit")->value() +
+                registry.counter("fs.cache.miss")->value(),
+            0u);
+  EXPECT_LE(cache.cached_bytes(), capacity);
+}
+
+TEST_F(CachePropertyTest, RandomInterleavingsMatchLocalOracleInMemory) {
+  Rng rng(20260808);
+  for (int round = 0; round < 6; round++) {
+    std::string tag = "mem" + std::to_string(round);
+    run_round(make_root(tag + "_c"), make_root(tag + "_o"), rng.next(),
+              /*store_backed=*/false, /*capacity=*/1 << 20);
+  }
+}
+
+TEST_F(CachePropertyTest, RandomInterleavingsMatchLocalOracleStoreBacked) {
+  Rng rng(20260809);
+  for (int round = 0; round < 6; round++) {
+    std::string tag = "store" + std::to_string(round);
+    run_round(make_root(tag + "_c"), make_root(tag + "_o"), rng.next(),
+              /*store_backed=*/true, /*capacity=*/1 << 20);
+  }
+}
+
+TEST_F(CachePropertyTest, TinyCapacityForcesEvictionYetStaysConsistent) {
+  Rng rng(20260810);
+  for (int round = 0; round < 3; round++) {
+    std::string tag = "tiny" + std::to_string(round);
+    // Capacity fits roughly one entry, so slots continually evict each other.
+    run_round(make_root(tag + "_c"), make_root(tag + "_o"), rng.next(),
+              /*store_backed=*/round % 2 == 0, /*capacity=*/4096);
+  }
+}
+
+// The invalidation half of the contract, directly: a reader holding an open
+// cached handle across a mutation must observe the *new* bytes — a stale
+// lease can never serve bytes newer than their invalidation.
+TEST_F(CachePropertyTest, HeldHandleNeverServesInvalidatedBytes) {
+  LocalFs source(make_root("src"));
+  VirtualClock clock;
+  obs::Registry registry;
+  CachedFs::Options options;
+  options.clock = &clock;
+  options.metrics = &registry;
+  CachedFs cache(&source, options);
+
+  ASSERT_TRUE(cache.write_file("/doc", "version-one").ok());
+  auto file = cache.open("/doc", OpenFlags::parse("r").value());
+  ASSERT_TRUE(file.ok());
+  char buf[64] = {};
+  auto n = file.value()->pread(buf, sizeof buf, 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, n.value()), "version-one");
+
+  // Mutate through the cache while the handle is held.
+  ASSERT_TRUE(cache.write_file("/doc", "version-TWO!").ok());
+  n = file.value()->pread(buf, sizeof buf, 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, n.value()), "version-TWO!");
+  ASSERT_TRUE(file.value()->close().ok());
+  EXPECT_GE(registry.counter("fs.cache.invalidate")->value(), 1u);
+}
+
+// Lease semantics against an *external* writer (one that bypasses the
+// cache): within the lease the cache may serve the cached bytes; past it,
+// the next open revalidates against the source and must refetch when the
+// file's identity changed.
+TEST_F(CachePropertyTest, ExpiredLeaseRevalidatesAgainstTheSource) {
+  LocalFs source(make_root("src"));
+  VirtualClock clock;
+  obs::Registry registry;
+  CachedFs::Options options;
+  options.lease_ttl = 5 * kSecond;
+  options.clock = &clock;
+  options.metrics = &registry;
+  CachedFs cache(&source, options);
+
+  ASSERT_TRUE(source.write_file("/doc", "cached contents").ok());
+  EXPECT_EQ(cache.read_file("/doc").value(), "cached contents");
+  EXPECT_EQ(registry.counter("fs.cache.miss")->value(), 1u);
+
+  // External mutation the cache cannot see; a different size so the stat
+  // revalidation detects it deterministically.
+  ASSERT_TRUE(source.write_file("/doc", "rewritten behind the cache").ok());
+  // Within the lease: served from cache, zero source traffic.
+  EXPECT_EQ(cache.read_file("/doc").value(), "cached contents");
+  EXPECT_EQ(registry.counter("fs.cache.hit")->value(), 1u);
+
+  // Past the lease: stat identity changed -> refetch.
+  clock.advance(6 * kSecond);
+  EXPECT_EQ(cache.read_file("/doc").value(), "rewritten behind the cache");
+  EXPECT_EQ(registry.counter("fs.cache.miss")->value(), 2u);
+}
+
+// An unchanged file renews its lease from one stat instead of refetching.
+TEST_F(CachePropertyTest, ExpiredLeaseWithUnchangedIdentityRenews) {
+  LocalFs source(make_root("src"));
+  VirtualClock clock;
+  obs::Registry registry;
+  CachedFs::Options options;
+  options.lease_ttl = 5 * kSecond;
+  options.clock = &clock;
+  options.metrics = &registry;
+  CachedFs cache(&source, options);
+
+  ASSERT_TRUE(source.write_file("/doc", "steady contents").ok());
+  EXPECT_EQ(cache.read_file("/doc").value(), "steady contents");
+  clock.advance(6 * kSecond);
+  EXPECT_EQ(cache.read_file("/doc").value(), "steady contents");
+  EXPECT_EQ(registry.counter("fs.cache.miss")->value(), 1u);
+  EXPECT_EQ(registry.counter("fs.cache.hit")->value(), 1u);
+}
+
+// Oversize files are served but never cached (they would evict everything).
+TEST_F(CachePropertyTest, OversizeFilesBypassTheCache) {
+  LocalFs source(make_root("src"));
+  obs::Registry registry;
+  CachedFs::Options options;
+  options.max_file_bytes = 16;
+  options.metrics = &registry;
+  CachedFs cache(&source, options);
+
+  std::string big(64, 'x');
+  ASSERT_TRUE(source.write_file("/big", big).ok());
+  EXPECT_EQ(cache.read_file("/big").value(), big);
+  EXPECT_EQ(cache.read_file("/big").value(), big);
+  EXPECT_EQ(registry.counter("fs.cache.bypass")->value(), 2u);
+  EXPECT_EQ(registry.counter("fs.cache.hit")->value(), 0u);
+  EXPECT_EQ(cache.cached_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace tss::fs

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "chirp/protocol.h"
+#include "fs/cached.h"
 #include "fs/local.h"
 #include "fs/replicated.h"
 #include "fs/scrubber.h"
@@ -165,6 +166,59 @@ TEST_F(StatsRpcTest, IntegrityCountersSurfaceInTheStatsSnapshot) {
       << text;
   EXPECT_NE(text.find("counter fs.scrub.files 1"), std::string::npos) << text;
   EXPECT_NE(text.find("counter fs.integrity.scrub_bytes"), std::string::npos)
+      << text;
+}
+
+TEST_F(StatsRpcTest, CacheCounterInventorySurfacesInTheStatsSnapshot) {
+  start_server();
+  // The client half of the cooperative-cache inventory: connecting registers
+  // fs.cache.redirect (deflections received) in the client's registry.
+  obs::Registry client_metrics;
+  Client::Options client_options;
+  client_options.metrics = &client_metrics;
+  auto connected = Client::connect(server_->endpoint(), client_options);
+  ASSERT_TRUE(connected.ok());
+  Client client = std::move(connected).value();
+  auth::HostnameClientCredential credential;
+  ASSERT_TRUE(client.authenticate(credential).ok());
+  EXPECT_EQ(client_metrics.counter_value("fs.cache.redirect"), 0u);
+
+  // A CachedFs sharing the server's registry: one scripted pass that touches
+  // every counter in the fs.cache.* inventory with a known count.
+  std::filesystem::create_directories(root_ + "/cache_src");
+  fs::LocalFs source(root_ + "/cache_src");
+  fs::CachedFs::Options options;
+  options.capacity_bytes = 200;
+  options.max_file_bytes = 100;
+  options.metrics = &metrics_;
+  fs::CachedFs cache(&source, options);
+
+  std::string small(80, 's');
+  ASSERT_TRUE(source.write_file("/a", small).ok());
+  ASSERT_TRUE(source.write_file("/b", small).ok());
+  ASSERT_TRUE(source.write_file("/c", small).ok());
+  ASSERT_TRUE(source.write_file("/big", std::string(200, 'B')).ok());
+  EXPECT_TRUE(cache.read_file("/a").ok());    // miss 1
+  EXPECT_TRUE(cache.read_file("/a").ok());    // hit 1
+  EXPECT_TRUE(cache.read_file("/big").ok());  // bypass 1 (oversize)
+  EXPECT_TRUE(cache.read_file("/b").ok());    // miss 2
+  EXPECT_TRUE(cache.read_file("/c").ok());    // miss 3, evicts LRU /a
+  cache.invalidate("/b");                     // invalidate 1
+
+  // The whole inventory comes back over the same stats RPC operators use,
+  // with the exact counts of the pass above (and the server half of the
+  // redirect feature registered alongside).
+  auto snapshot = client.stats();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.error().to_string();
+  const std::string& text = snapshot.value();
+  EXPECT_NE(text.find("counter fs.cache.hit 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("counter fs.cache.miss 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("counter fs.cache.evict 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("counter fs.cache.invalidate 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("counter fs.cache.bypass 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("gauge fs.cache.bytes 80"), std::string::npos) << text;
+  EXPECT_NE(text.find("counter chirp.server.redirects 0"), std::string::npos)
       << text;
 }
 
