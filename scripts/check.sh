@@ -50,6 +50,18 @@ echo "== cooperative-cache suite (ctest -L cache, incl. TSan) on both engines ==
 (cd "$root/build" && ctest -L cache --output-on-failure -j "$jobs")
 (cd "$root/build" && TSS_NET_MODE=thread ctest -L cache --output-on-failure -j "$jobs")
 
+echo "== multi-tenant isolation suite (ctest -L tenant, incl. TSan) on both engines =="
+# The AllocTracker randomized oracle + journal crash-recovery, quota and
+# fair-queue units (the same races again under TSan as tenant_tsan_test),
+# and the live hog-vs-meek fairness chaos suite over GSI-authenticated
+# tenants — on both net engines (the fairness tests run live servers).
+(cd "$root/build" && ctest -L tenant --output-on-failure -j "$jobs")
+(cd "$root/build" && TSS_NET_MODE=thread ctest -L tenant --output-on-failure -j "$jobs")
+
+echo "== tenant-isolation ablation smoke: meek retains >=80% of solo + hog excess refused =="
+(cd "$root/build" && bench/bench_ablation_tenant_isolation --smoke /tmp/tss_check_tenant.json)
+rm -f /tmp/tss_check_tenant.json
+
 echo "== hot-read fan-in ablation smoke: warm>=5x cold + sublinear fan-in gate =="
 (cd "$root/build" && bench/bench_ablation_hot_read_fanin --smoke /tmp/tss_check_fanin.json)
 rm -f /tmp/tss_check_fanin.json
@@ -69,5 +81,8 @@ echo "== sanitizers: ASan/UBSan build + ctest =="
 cmake -B "$root/build-asan" -S "$root" -DTSS_SANITIZE=ON
 cmake --build "$root/build-asan" -j "$jobs"
 (cd "$root/build-asan" && ctest --output-on-failure -j "$jobs")
+# The tenant label again, explicitly, in the instrumented tree: the tracker
+# journal and the admission queue must be clean under ASan/UBSan too.
+(cd "$root/build-asan" && ctest -L tenant --output-on-failure -j "$jobs")
 
 echo "== all checks passed =="

@@ -1,0 +1,444 @@
+#include "chirp/alloc.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <optional>
+#include <utility>
+
+#include "util/checksum.h"
+#include "util/path.h"
+#include "util/strings.h"
+
+namespace tss::chirp {
+
+namespace {
+
+// Snapshot rewrite threshold: a journal carrying this many records since the
+// last compaction is folded into an A+U snapshot.
+constexpr uint64_t kCompactThreshold = 4096;
+
+std::string record_line(const std::string& body) {
+  return body + " " + hash_to_hex(fnv1a64(body)) + "\n";
+}
+
+// Body of a journal line whose trailing checksum verifies; nullopt for a
+// torn or corrupt record.
+std::optional<std::string> checked_body(std::string_view line) {
+  size_t space = line.rfind(' ');
+  if (space == std::string_view::npos) return std::nullopt;
+  std::string_view body = line.substr(0, space);
+  auto want = hex_to_hash(line.substr(space + 1));
+  if (!want || *want != fnv1a64(body)) return std::nullopt;
+  return std::string(body);
+}
+
+}  // namespace
+
+AllocTracker::AllocTracker(Options options) : options_(std::move(options)) {
+  allocs_["/"] = Alloc{options_.root_limit, 0, 0};
+  if (options_.metrics != nullptr) {
+    mkallocs_ = options_.metrics->counter("tenant.alloc.mkalloc");
+    enospc_ = options_.metrics->counter("tenant.alloc.enospc");
+    journal_appends_ = options_.metrics->counter("tenant.alloc.journal_records");
+    journal_replayed_ =
+        options_.metrics->counter("tenant.alloc.journal_replayed");
+    journal_compactions_ =
+        options_.metrics->counter("tenant.alloc.journal_compactions");
+    inuse_gauge_ = options_.metrics->gauge("tenant.alloc.inuse");
+  }
+}
+
+AllocTracker::~AllocTracker() {
+  if (journal_fd_ >= 0) ::close(journal_fd_);
+}
+
+Result<std::unique_ptr<AllocTracker>> AllocTracker::open(Options options) {
+  std::unique_ptr<AllocTracker> tracker(new AllocTracker(std::move(options)));
+  if (!tracker->options_.journal_path.empty()) {
+    TSS_ASSIGN_OR_RETURN(uint64_t replayed, tracker->replay());
+    if (tracker->journal_replayed_ != nullptr) {
+      tracker->journal_replayed_->add(replayed);
+    }
+    std::lock_guard<std::mutex> lock(tracker->mutex_);
+    TSS_RETURN_IF_ERROR(tracker->compact_locked());
+    tracker->update_gauge_locked();
+  }
+  return tracker;
+}
+
+Result<uint64_t> AllocTracker::replay() {
+  int fd = ::open(options_.journal_path.c_str(),
+                  O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Error(errno, "alloc journal open: " + options_.journal_path);
+  }
+  journal_fd_ = fd;
+  std::string contents;
+  char buf[1 << 16];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) contents.append(buf, n);
+  if (n < 0) return Error(errno, "alloc journal read");
+
+  // Applies one verified record body; false = structurally invalid (treated
+  // exactly like a bad checksum: the tail from here is dropped).
+  auto apply = [&](const std::string& body) -> bool {
+    std::vector<std::string> words = split_words(body);
+    if (words.size() < 2) return false;
+    const std::string root = url_decode(words[1]);
+    if (words[0] == "A" && words.size() == 3) {
+      auto limit = parse_u64(words[2]);
+      if (!limit || *limit == 0 || root == "/") return false;
+      if (allocs_.count(root)) return false;
+      allocs_[enclosing_root(root)].inuse += *limit;
+      allocs_[root] = Alloc{*limit, 0, 0};
+      return true;
+    }
+    if (words[0] == "C" && words.size() == 3) {
+      auto delta = parse_i64(words[2]);
+      if (!delta) return false;
+      Alloc& a = allocs_[enclosing_root(root)];
+      if (*delta >= 0) {
+        a.inuse += static_cast<uint64_t>(*delta);
+      } else {
+        a.inuse -= std::min(a.inuse, static_cast<uint64_t>(-*delta));
+      }
+      return true;
+    }
+    if (words[0] == "U" && words.size() == 3) {
+      auto inuse = parse_u64(words[2]);
+      if (!inuse) return false;
+      allocs_[enclosing_root(root)].inuse = *inuse;
+      return true;
+    }
+    if (words[0] == "R" && words.size() == 2) {
+      auto it = allocs_.find(root);
+      if (it == allocs_.end() || root == "/") return false;
+      uint64_t limit = it->second.limit;
+      allocs_.erase(it);
+      Alloc& parent = allocs_[enclosing_root(root)];
+      parent.inuse -= std::min(parent.inuse, limit);
+      return true;
+    }
+    return false;
+  };
+
+  uint64_t applied = 0;
+  size_t good_end = 0;
+  size_t pos = 0;
+  bool torn = false;
+  while (pos < contents.size()) {
+    size_t nl = contents.find('\n', pos);
+    if (nl == std::string::npos) {
+      torn = true;  // partial final line: a write cut short by a crash
+      break;
+    }
+    auto body = checked_body(std::string_view(contents).substr(pos, nl - pos));
+    if (!body || !apply(*body)) {
+      torn = true;
+      break;
+    }
+    applied++;
+    pos = nl + 1;
+    good_end = pos;
+  }
+  if (torn && ::ftruncate(fd, static_cast<off_t>(good_end)) != 0) {
+    return Error(errno, "alloc journal truncate");
+  }
+
+  // Committed file bytes = total inuse minus the child-limit pre-charges.
+  uint64_t inuse_total = 0;
+  uint64_t precharges = 0;
+  for (const auto& [root, a] : allocs_) {
+    inuse_total += a.inuse;
+    if (root != "/") precharges += a.limit;
+  }
+  file_bytes_ = inuse_total - std::min(inuse_total, precharges);
+  total_records_ = applied;
+  return applied;
+}
+
+const std::string& AllocTracker::enclosing_root(
+    const std::string& path) const {
+  std::string p = path::sanitize(path);
+  for (;;) {
+    auto it = allocs_.find(p);
+    if (it != allocs_.end()) return it->first;
+    p = path::dirname(p);
+  }
+}
+
+bool AllocTracker::fits(const Alloc& a, uint64_t bytes) {
+  return a.limit == 0 || a.inuse + a.pending + bytes <= a.limit;
+}
+
+void AllocTracker::append_record(const std::string& body) {
+  total_records_++;
+  records_since_compact_++;
+  if (journal_appends_ != nullptr) journal_appends_->add(1);
+  if (journal_fd_ < 0) return;
+  std::string line = record_line(body);
+  // One write() per record: either the whole line lands or the replay
+  // checksum rejects the tail. A failed append degrades to in-memory
+  // accounting rather than blocking the data path.
+  if (::write(journal_fd_, line.data(), line.size()) !=
+      static_cast<ssize_t>(line.size())) {
+    ::close(journal_fd_);
+    journal_fd_ = -1;
+  }
+}
+
+void AllocTracker::update_gauge_locked() {
+  if (inuse_gauge_ != nullptr) {
+    inuse_gauge_->set(static_cast<int64_t>(file_bytes_));
+  }
+}
+
+void AllocTracker::maybe_compact_locked() {
+  if (journal_fd_ >= 0 && records_since_compact_ >= kCompactThreshold) {
+    // Best-effort: a failed compaction leaves the (valid) long journal.
+    auto rc = compact_locked();
+    (void)rc;
+  }
+}
+
+Result<void> AllocTracker::compact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return compact_locked();
+}
+
+Result<void> AllocTracker::compact_locked() {
+  if (journal_fd_ < 0) return Result<void>::success();
+  // std::map iterates parents before descendants ("/a" < "/a/b"), which is
+  // the order A-record replay needs.
+  std::string out;
+  for (const auto& [root, a] : allocs_) {
+    if (root == "/") continue;
+    out += record_line("A " + url_encode(root) + " " + std::to_string(a.limit));
+  }
+  for (const auto& [root, a] : allocs_) {
+    out += record_line("U " + url_encode(root) + " " + std::to_string(a.inuse));
+  }
+  std::string tmp = options_.journal_path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Error(errno, "alloc journal compact open: " + tmp);
+  if (::write(fd, out.data(), out.size()) !=
+          static_cast<ssize_t>(out.size()) ||
+      ::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Error(err, "alloc journal compact write");
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), options_.journal_path.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return Error(err, "alloc journal compact rename");
+  }
+  ::close(journal_fd_);
+  journal_fd_ = ::open(options_.journal_path.c_str(),
+                       O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (journal_fd_ < 0) return Error(errno, "alloc journal reopen");
+  records_since_compact_ = 0;
+  if (journal_compactions_ != nullptr) journal_compactions_->add(1);
+  return Result<void>::success();
+}
+
+Result<void> AllocTracker::mkalloc(const std::string& dir, uint64_t limit) {
+  if (limit == 0) return Error(EINVAL, "mkalloc: limit must be positive");
+  std::string d = path::sanitize(dir);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (d == "/" || allocs_.count(d)) {
+    return Error(EEXIST, "allocation exists at " + d);
+  }
+  Alloc& parent = allocs_[enclosing_root(d)];
+  if (!fits(parent, limit)) {
+    if (enospc_ != nullptr) enospc_->add(1);
+    return Error(ENOSPC, "mkalloc: enclosing allocation lacks " +
+                             std::to_string(limit) + " bytes");
+  }
+  parent.inuse += limit;
+  allocs_[d] = Alloc{limit, 0, 0};
+  append_record("A " + url_encode(d) + " " + std::to_string(limit));
+  if (mkallocs_ != nullptr) mkallocs_->add(1);
+  maybe_compact_locked();
+  return Result<void>::success();
+}
+
+Result<AllocInfo> AllocTracker::lsalloc(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string& root = enclosing_root(path);
+  const Alloc& a = allocs_.at(root);
+  return AllocInfo{root, a.limit, a.inuse};
+}
+
+Result<void> AllocTracker::charge(const std::string& path, uint64_t bytes) {
+  if (bytes == 0) return Result<void>::success();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string root = enclosing_root(path);
+  Alloc& a = allocs_[root];
+  if (!fits(a, bytes)) {
+    if (enospc_ != nullptr) enospc_->add(1);
+    return Error(ENOSPC, "allocation exceeded at " + root);
+  }
+  a.inuse += bytes;
+  file_bytes_ += bytes;
+  append_record("C " + url_encode(root) + " +" + std::to_string(bytes));
+  update_gauge_locked();
+  maybe_compact_locked();
+  return Result<void>::success();
+}
+
+void AllocTracker::release(const std::string& path, uint64_t bytes) {
+  if (bytes == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string root = enclosing_root(path);
+  Alloc& a = allocs_[root];
+  uint64_t given = std::min(a.inuse, bytes);
+  if (given == 0) return;
+  a.inuse -= given;
+  file_bytes_ -= std::min(file_bytes_, given);
+  append_record("C " + url_encode(root) + " -" + std::to_string(given));
+  update_gauge_locked();
+  maybe_compact_locked();
+}
+
+Result<void> AllocTracker::transfer(const std::string& from,
+                                    const std::string& to, uint64_t bytes) {
+  if (bytes == 0) return Result<void>::success();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string src = enclosing_root(from);
+  const std::string dst = enclosing_root(to);
+  if (src == dst) return Result<void>::success();
+  Alloc& d = allocs_[dst];
+  if (!fits(d, bytes)) {
+    if (enospc_ != nullptr) enospc_->add(1);
+    return Error(ENOSPC, "allocation exceeded at " + dst);
+  }
+  Alloc& s = allocs_[src];
+  uint64_t taken = std::min(s.inuse, bytes);
+  s.inuse -= taken;
+  d.inuse += bytes;
+  append_record("C " + url_encode(src) + " -" + std::to_string(taken));
+  append_record("C " + url_encode(dst) + " +" + std::to_string(bytes));
+  maybe_compact_locked();
+  return Result<void>::success();
+}
+
+void AllocTracker::note_rmdir(const std::string& dir) {
+  std::string d = path::sanitize(dir);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = allocs_.find(d);
+  if (it == allocs_.end() || d == "/") return;
+  uint64_t limit = it->second.limit;
+  // rmdir only succeeds on an empty directory, so any residual inuse is
+  // stale accounting; drop it along with the allocation.
+  file_bytes_ -= std::min(file_bytes_, it->second.inuse);
+  allocs_.erase(it);
+  Alloc& parent = allocs_[enclosing_root(d)];
+  parent.inuse -= std::min(parent.inuse, limit);
+  append_record("R " + url_encode(d));
+  update_gauge_locked();
+  maybe_compact_locked();
+}
+
+void AllocTracker::sync_inuse(const std::string& path, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string root = enclosing_root(path);
+  Alloc& a = allocs_[root];
+  file_bytes_ -= std::min(file_bytes_, a.inuse);
+  file_bytes_ += bytes;
+  a.inuse = bytes;
+  append_record("U " + url_encode(root) + " " + std::to_string(bytes));
+  update_gauge_locked();
+  maybe_compact_locked();
+}
+
+Result<AllocTracker::Reservation> AllocTracker::reserve(
+    const std::string& path, uint64_t bytes) {
+  if (bytes == 0) return Reservation();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string root = enclosing_root(path);
+  Alloc& a = allocs_[root];
+  if (!fits(a, bytes)) {
+    if (enospc_ != nullptr) enospc_->add(1);
+    return Error(ENOSPC, "allocation exceeded at " + root);
+  }
+  a.pending += bytes;
+  return Reservation(this, root, bytes);
+}
+
+void AllocTracker::reservation_commit(const std::string& root,
+                                      uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The root may have been removed (note_rmdir) while the hold was live;
+  // settling must not resurrect it as a phantom allocation — the tree the
+  // charge belonged to is gone, so the commit degrades to a no-op.
+  auto it = allocs_.find(root);
+  if (it == allocs_.end()) return;
+  Alloc& a = it->second;
+  a.pending -= std::min(a.pending, bytes);
+  a.inuse += bytes;
+  file_bytes_ += bytes;
+  append_record("C " + url_encode(root) + " +" + std::to_string(bytes));
+  update_gauge_locked();
+  maybe_compact_locked();
+}
+
+void AllocTracker::reservation_drop(const std::string& root, uint64_t bytes,
+                                    bool /*external*/) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = allocs_.find(root);
+  if (it == allocs_.end()) return;  // removed while the hold was live
+  Alloc& a = it->second;
+  a.pending -= std::min(a.pending, bytes);
+}
+
+AllocTracker::Reservation& AllocTracker::Reservation::operator=(
+    Reservation&& other) noexcept {
+  if (this != &other) {
+    abort();
+    tracker_ = std::exchange(other.tracker_, nullptr);
+    root_ = std::move(other.root_);
+    bytes_ = other.bytes_;
+  }
+  return *this;
+}
+
+void AllocTracker::Reservation::commit() {
+  if (tracker_ == nullptr) return;
+  tracker_->reservation_commit(root_, bytes_);
+  tracker_ = nullptr;
+}
+
+void AllocTracker::Reservation::commit_external() {
+  if (tracker_ == nullptr) return;
+  tracker_->reservation_drop(root_, bytes_, true);
+  tracker_ = nullptr;
+}
+
+void AllocTracker::Reservation::abort() {
+  if (tracker_ == nullptr) return;
+  tracker_->reservation_drop(root_, bytes_, false);
+  tracker_ = nullptr;
+}
+
+std::vector<AllocTracker::Entry> AllocTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(allocs_.size());
+  for (const auto& [root, a] : allocs_) {
+    out.push_back(Entry{root, a.limit, a.inuse, a.pending});
+  }
+  return out;
+}
+
+uint64_t AllocTracker::journal_records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_records_;
+}
+
+}  // namespace tss::chirp

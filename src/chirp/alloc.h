@@ -1,0 +1,199 @@
+// Hierarchical space allocation with a crash-safe recovery journal.
+//
+// The paper's file server enforces "storage space allocated by the owner";
+// cctools' chirp realizes that as per-directory allocations: mkalloc(dir,
+// limit) carves `limit` bytes out of the nearest enclosing allocation, and
+// every byte written under `dir` is charged against `dir`'s own budget. The
+// tracker here is that accountant, shared by the Chirp POSIX backend (which
+// enforces it at pwrite/putfile time with a typed ENOSPC) and by GEMS (which
+// uses it as the reserve-then-commit arbiter for its replica space budget).
+//
+// Model (matching chirp_alloc.c):
+//  - The export root "/" always holds an allocation (limit 0 = unlimited).
+//  - mkalloc(dir, limit) pre-charges the FULL `limit` to the enclosing
+//    allocation's inuse; bytes written under `dir` then charge only `dir`.
+//    A child exceeding its own limit is ENOSPC even if the parent has room.
+//  - rmdir of an allocation root refunds its limit to the parent.
+//  - rename across allocation roots transfers the byte charge (and can
+//    itself be refused with ENOSPC if the destination lacks room).
+//
+// Durability: every state change is a checksummed record appended to a text
+// journal (written BEFORE the backend write it authorizes, so a crash between
+// the two overcounts conservatively — budgets are never silently violated).
+// Replay stops at the first torn/corrupt record and truncates the tail; a
+// compaction snapshot (A records for every allocation, then absolute U
+// records) is rewritten on open and when the journal grows past a threshold.
+// Records are not fsync'd individually: recovery from a process kill is exact
+// via the page cache; whole-OS-crash durability rides on the compaction
+// fsync. See docs/MULTITENANCY.md for the record grammar.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace tss::chirp {
+
+// The allocation journal file name, reserved at the export root (its
+// ".tmp" compaction sibling is reserved too). Hidden from listings and
+// refused by direct file operations, like the ACL files.
+inline constexpr const char* kAllocJournalName = ".__alloc__";
+
+// One allocation as reported by lsalloc: the governing root, its limit
+// (0 = unlimited) and the bytes currently charged against it (file bytes
+// plus the pre-charged limits of child allocations).
+struct AllocInfo {
+  std::string root;
+  uint64_t limit = 0;
+  uint64_t inuse = 0;
+};
+
+class AllocTracker {
+ public:
+  struct Options {
+    // Journal file on the host filesystem. Empty = in-memory only (no
+    // durability; GEMS uses this — its catalog is the durable record).
+    std::string journal_path;
+    // Budget of the root allocation "/". 0 = unlimited.
+    uint64_t root_limit = 0;
+    // Registry for tenant.alloc.* metrics. Null = no metrics.
+    obs::Registry* metrics = nullptr;
+  };
+
+  // Opens the tracker, replaying (and truncating a torn tail of) the journal
+  // when one is configured, then compacting it.
+  static Result<std::unique_ptr<AllocTracker>> open(Options options);
+
+  ~AllocTracker();
+  AllocTracker(const AllocTracker&) = delete;
+  AllocTracker& operator=(const AllocTracker&) = delete;
+
+  // Creates an allocation of `limit` bytes at canonical directory `dir`,
+  // pre-charging `limit` to the enclosing allocation. EEXIST if `dir`
+  // already holds one (or is "/"), EINVAL for limit 0, ENOSPC if the
+  // enclosing allocation lacks room.
+  Result<void> mkalloc(const std::string& dir, uint64_t limit);
+
+  // The allocation governing `path` (the path itself if it is a root).
+  Result<AllocInfo> lsalloc(const std::string& path) const;
+
+  // Charges `bytes` against the allocation governing `path`; journaled
+  // before returning so a crash after the grant overcounts, never under.
+  // Typed ENOSPC when the budget lacks room.
+  Result<void> charge(const std::string& path, uint64_t bytes);
+
+  // Returns `bytes` to the allocation governing `path` (clamped at zero).
+  void release(const std::string& path, uint64_t bytes);
+
+  // Moves a byte charge between the allocations governing `from` and `to`
+  // (rename support). No-op when both share a root; ENOSPC when the
+  // destination lacks room — the caller must then refuse the rename.
+  Result<void> transfer(const std::string& from, const std::string& to,
+                        uint64_t bytes);
+
+  // The directory at `dir` was removed: drop its allocation (if any) and
+  // refund its limit to the enclosing allocation.
+  void note_rmdir(const std::string& dir);
+
+  // Sets the committed inuse of the allocation governing `path` absolutely.
+  // For callers with an external source of truth (GEMS' catalog) that
+  // re-derive usage before reserving.
+  void sync_inuse(const std::string& path, uint64_t bytes);
+
+  // Two-phase charge: reserve() holds `bytes` as pending (counted against
+  // the limit, visible to racing reservers), then either commit() converts
+  // the hold into a committed charge, commit_external() drops the hold
+  // because an external accountant (sync_inuse) now owns the bytes, or
+  // abort()/destruction releases it.
+  class Reservation {
+   public:
+    Reservation() = default;
+    Reservation(Reservation&& other) noexcept { *this = std::move(other); }
+    Reservation& operator=(Reservation&& other) noexcept;
+    ~Reservation() { abort(); }
+    Reservation(const Reservation&) = delete;
+    Reservation& operator=(const Reservation&) = delete;
+
+    void commit();
+    void commit_external();
+    void abort();
+    bool held() const { return tracker_ != nullptr; }
+    uint64_t bytes() const { return bytes_; }
+
+   private:
+    friend class AllocTracker;
+    Reservation(AllocTracker* tracker, std::string root, uint64_t bytes)
+        : tracker_(tracker), root_(std::move(root)), bytes_(bytes) {}
+    AllocTracker* tracker_ = nullptr;
+    std::string root_;
+    uint64_t bytes_ = 0;
+  };
+  Result<Reservation> reserve(const std::string& path, uint64_t bytes);
+
+  // Full accountant state, for tests and the model oracle.
+  struct Entry {
+    std::string root;
+    uint64_t limit = 0;
+    uint64_t inuse = 0;
+    uint64_t pending = 0;
+  };
+  std::vector<Entry> snapshot() const;
+
+  // Rewrites the journal as a compaction snapshot (no-op in-memory).
+  Result<void> compact();
+
+  // Journal records appended since open (tests).
+  uint64_t journal_records() const;
+
+ private:
+  struct Alloc {
+    uint64_t limit = 0;    // 0 = unlimited (root only)
+    uint64_t inuse = 0;    // committed bytes + child-limit pre-charges
+    uint64_t pending = 0;  // reserved, not yet committed
+  };
+
+  explicit AllocTracker(Options options);
+
+  // Replays the journal at options_.journal_path into allocs_, truncating a
+  // torn or corrupt tail. Returns the number of records applied.
+  Result<uint64_t> replay();
+
+  // Nearest enclosing allocation root of canonical `path` (locked).
+  const std::string& enclosing_root(const std::string& path) const;
+  // Free room in `a`, with `extra` uncommitted bytes on top of pending.
+  static bool fits(const Alloc& a, uint64_t bytes);
+
+  // Appends one checksummed record line; body is e.g. "C /data +4096".
+  void append_record(const std::string& body);
+  void maybe_compact_locked();
+  Result<void> compact_locked();
+  void update_gauge_locked();
+
+  // Reservation plumbing (lock taken inside).
+  void reservation_commit(const std::string& root, uint64_t bytes);
+  void reservation_drop(const std::string& root, uint64_t bytes,
+                        bool external);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Alloc> allocs_;  // canonical dir -> allocation
+  int journal_fd_ = -1;
+  uint64_t records_since_compact_ = 0;
+  uint64_t total_records_ = 0;
+  uint64_t file_bytes_ = 0;  // committed file bytes across all allocations
+
+  obs::Counter* mkallocs_ = nullptr;
+  obs::Counter* enospc_ = nullptr;
+  obs::Counter* journal_appends_ = nullptr;
+  obs::Counter* journal_replayed_ = nullptr;
+  obs::Counter* journal_compactions_ = nullptr;
+  obs::Gauge* inuse_gauge_ = nullptr;
+};
+
+}  // namespace tss::chirp

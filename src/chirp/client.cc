@@ -27,12 +27,14 @@ Result<Client> Client::connect(const net::Endpoint& server, Options options) {
   version.version = kProtocolVersion;
   if (options.integrity) version.caps.push_back(kCapChecksum);
   if (options.cooperative) version.caps.push_back(kCapRedirect);
+  if (options.alloc_ops) version.caps.push_back(kCapAlloc);
   TSS_ASSIGN_OR_RETURN(Response resp, client.roundtrip(version));
   if (!resp.ok()) return Error(resp.err, resp.message);
   // args[0] is the server's version; capability echoes follow. An old server
   // simply never echoes, leaving the feature off for the session.
   for (size_t i = 1; i < resp.args.size(); i++) {
     if (resp.args[i] == kCapChecksum) client.checksum_ = true;
+    if (resp.args[i] == kCapAlloc) client.alloc_ = true;
   }
   return client;
 }
@@ -344,6 +346,32 @@ Result<void> Client::truncate(const std::string& path, uint64_t size) {
   req.length = size;
   TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
   return ok_void(resp);
+}
+
+Result<void> Client::mkalloc(const std::string& path, uint64_t limit) {
+  Request req;
+  req.op = Op::kMkalloc;
+  req.path = path;
+  req.length = limit;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  return ok_void(resp);
+}
+
+Result<AllocInfo> Client::lsalloc(const std::string& path) {
+  Request req;
+  req.op = Op::kLsalloc;
+  req.path = path;
+  TSS_ASSIGN_OR_RETURN(Response resp, roundtrip(req));
+  if (!resp.ok()) return Error(resp.err, resp.message);
+  if (resp.args.size() < 3) return Error(EPROTO, "short lsalloc reply");
+  auto limit = parse_u64(resp.args[1]);
+  auto inuse = parse_u64(resp.args[2]);
+  if (!limit || !inuse) return Error(EPROTO, "bad lsalloc reply");
+  AllocInfo info;
+  info.root = url_decode(resp.args[0]);
+  info.limit = *limit;
+  info.inuse = *inuse;
+  return info;
 }
 
 Result<std::vector<DirEntry>> Client::getdir(const std::string& path) {

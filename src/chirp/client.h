@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "auth/auth.h"
+#include "chirp/alloc.h"
 #include "chirp/protocol.h"
 #include "net/line_stream.h"
 #include "obs/metrics.h"
@@ -56,6 +57,11 @@ class Client {
     using Dialer = std::function<Result<Client>(const net::Endpoint&)>;
     Dialer redirect_dialer;
     int max_redirect_hops = 2;
+    // Offer the "alloc" capability: when the server tracks space
+    // allocations it echoes the token and the mkalloc/lsalloc RPCs become
+    // available. Off (the default), this client is byte-for-byte identical
+    // on the wire to a pre-allocation one.
+    bool alloc_ops = false;
   };
 
   // Connects and performs the version handshake.
@@ -74,6 +80,9 @@ class Client {
 
   // True when the server accepted the checksum capability at handshake.
   bool checksum_enabled() const { return checksum_; }
+
+  // True when the server accepted the alloc capability at handshake.
+  bool alloc_enabled() const { return alloc_; }
 
   // The last redirect hint received (tests; valid after an EREMOTE getfile).
   const std::optional<Redirect>& last_redirect() const {
@@ -109,6 +118,12 @@ class Client {
   Result<void> rmdir(const std::string& path);
   Result<void> truncate(const std::string& path, uint64_t size);
   Result<std::vector<DirEntry>> getdir(const std::string& path);
+
+  // --- Space allocations (alloc capability; docs/MULTITENANCY.md) ----------
+  // Carves a `limit`-byte allocation out of the one enclosing `path`.
+  Result<void> mkalloc(const std::string& path, uint64_t limit);
+  // The allocation governing `path`: its root, limit, and bytes in use.
+  Result<AllocInfo> lsalloc(const std::string& path);
 
   // --- Streaming and management RPCs ---------------------------------------
   Result<std::string> getfile(const std::string& path);
@@ -160,6 +175,7 @@ class Client {
   net::LineStream stream_;
   net::Endpoint server_;
   bool checksum_ = false;
+  bool alloc_ = false;
   Options options_;
 
   // Cooperative-cache state: per-path redirect leases and the sibling-cache

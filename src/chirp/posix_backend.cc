@@ -6,7 +6,10 @@
 #include <sys/statvfs.h>
 #include <unistd.h>
 
+#include <algorithm>
+
 #include "util/path.h"
+#include "util/strings.h"
 
 namespace tss::chirp {
 
@@ -20,6 +23,14 @@ StatInfo stat_from_host(const struct stat& st) {
   info.is_dir = S_ISDIR(st.st_mode);
   return info;
 }
+
+// Reserved bookkeeping files (".__acl__", ".__alloc__", ".__alloc__.tmp")
+// are never charged against an allocation: their bytes are the server's,
+// not the tenant's, and exempting them keeps the accounting model closed
+// under the server's own metadata writes.
+bool bookkeeping_name(const std::string& canonical) {
+  return starts_with(path::basename(canonical), ".__");
+}
 }  // namespace
 
 PosixBackend::PosixBackend(std::string root) : root_(std::move(root)) {
@@ -27,7 +38,7 @@ PosixBackend::PosixBackend(std::string root) : root_(std::move(root)) {
 }
 
 PosixBackend::~PosixBackend() {
-  for (auto& [handle, fd] : handles_) ::close(fd);
+  for (auto& [handle, h] : handles_) ::close(h.fd);
 }
 
 std::string PosixBackend::host_path(const std::string& canonical) const {
@@ -38,19 +49,81 @@ Result<int> PosixBackend::host_fd(int handle) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = handles_.find(handle);
   if (it == handles_.end()) return Error(EBADF, "bad backend handle");
+  return it->second.fd;
+}
+
+Result<PosixBackend::OpenHandle> PosixBackend::handle_of(int handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return Error(EBADF, "bad backend handle");
   return it->second;
 }
 
 Result<int> PosixBackend::stream_fd(int handle) { return host_fd(handle); }
 
+bool PosixBackend::charged(const std::string& path) const {
+  return alloc_ != nullptr && !bookkeeping_name(path);
+}
+
+uint64_t PosixBackend::file_size(const std::string& path) const {
+  struct stat st{};
+  if (::lstat(host_path(path).c_str(), &st) != 0) return 0;
+  if (!S_ISREG(st.st_mode)) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+uint64_t PosixBackend::scan_bytes(const std::string& canonical_dir) const {
+  std::string host = host_path(canonical_dir);
+  DIR* dir = ::opendir(host.c_str());
+  if (!dir) return 0;
+  uint64_t total = 0;
+  while (dirent* de = ::readdir(dir)) {
+    std::string name = de->d_name;
+    if (name == "." || name == ".." || starts_with(name, ".__")) continue;
+    struct stat st{};
+    if (::lstat((host + "/" + name).c_str(), &st) != 0) continue;
+    std::string child = path::join(canonical_dir, name);
+    if (S_ISDIR(st.st_mode)) {
+      total += scan_bytes(child);
+    } else if (S_ISREG(st.st_mode)) {
+      total += static_cast<uint64_t>(st.st_size);
+    }
+  }
+  ::closedir(dir);
+  return total;
+}
+
+Result<void> PosixBackend::enable_alloc_tracking(uint64_t root_limit,
+                                                 obs::Registry* metrics) {
+  std::string journal = root_ + "/" + kAllocJournalName;
+  struct stat st{};
+  bool fresh = ::lstat(journal.c_str(), &st) != 0;
+  AllocTracker::Options opts;
+  opts.journal_path = journal;
+  opts.root_limit = root_limit;
+  opts.metrics = metrics;
+  TSS_ASSIGN_OR_RETURN(alloc_, AllocTracker::open(std::move(opts)));
+  if (fresh) {
+    // First enable on this export: charge pre-existing data once. From here
+    // on the journal is the authority.
+    uint64_t existing = scan_bytes("/");
+    if (existing > 0) alloc_->sync_inuse("/", existing);
+  }
+  return Result<void>::success();
+}
+
 Result<int> PosixBackend::open(const std::string& path, const OpenFlags& flags,
                                uint32_t mode) {
+  // O_TRUNC frees the file's current bytes; size them before the open.
+  uint64_t truncated = 0;
+  if (flags.truncate && charged(path)) truncated = file_size(path);
   int fd = ::open(host_path(path).c_str(), flags.to_posix(),
                   static_cast<mode_t>(mode));
   if (fd < 0) return Error::from_errno("open " + path);
+  if (truncated > 0) alloc_->release(path, truncated);
   std::lock_guard<std::mutex> lock(mutex_);
   int handle = next_handle_++;
-  handles_[handle] = fd;
+  handles_[handle] = OpenHandle{fd, path::sanitize(path)};
   return handle;
 }
 
@@ -64,9 +137,38 @@ Result<size_t> PosixBackend::pread(int handle, void* data, size_t size,
 
 Result<size_t> PosixBackend::pwrite(int handle, const void* data, size_t size,
                                     int64_t offset) {
-  TSS_ASSIGN_OR_RETURN(int fd, host_fd(handle));
-  ssize_t n = ::pwrite(fd, data, size, offset);
-  if (n < 0) return Error::from_errno("pwrite");
+  TSS_ASSIGN_OR_RETURN(OpenHandle h, handle_of(handle));
+  // Charge the extension (bytes past the current end) before the host
+  // write: the journal record precedes the data, so a crash in between
+  // overcounts, never undercounts.
+  uint64_t extension = 0;
+  if (charged(h.path) && size > 0) {
+    struct stat st{};
+    if (::fstat(h.fd, &st) != 0) return Error::from_errno("fstat");
+    uint64_t end = static_cast<uint64_t>(st.st_size);
+    uint64_t want_end = static_cast<uint64_t>(offset) + size;
+    if (offset >= 0 && want_end > end) {
+      extension = want_end - end;
+      TSS_RETURN_IF_ERROR(alloc_->charge(h.path, extension));
+    }
+  }
+  ssize_t n = ::pwrite(h.fd, data, size, offset);
+  if (n < 0) {
+    int e = errno;
+    if (extension > 0) alloc_->release(h.path, extension);
+    return Error::from_errno(e, "pwrite");
+  }
+  if (extension > 0 && static_cast<size_t>(n) < size) {
+    // Short write: refund the part of the extension that never landed.
+    struct stat st{};
+    uint64_t actual_end =
+        ::fstat(h.fd, &st) == 0 ? static_cast<uint64_t>(st.st_size) : 0;
+    uint64_t want_end = static_cast<uint64_t>(offset) + size;
+    uint64_t unused =
+        want_end > actual_end ? std::min(extension, want_end - actual_end)
+                              : 0;
+    if (unused > 0) alloc_->release(h.path, unused);
+  }
   return static_cast<size_t>(n);
 }
 
@@ -80,7 +182,7 @@ Result<void> PosixBackend::close(int handle) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = handles_.find(handle);
   if (it == handles_.end()) return Error(EBADF, "bad backend handle");
-  ::close(it->second);
+  ::close(it->second.fd);
   handles_.erase(it);
   return Result<void>::success();
 }
@@ -101,17 +203,50 @@ Result<StatInfo> PosixBackend::stat(const std::string& path) {
 }
 
 Result<void> PosixBackend::unlink(const std::string& path) {
+  uint64_t size = charged(path) ? file_size(path) : 0;
   if (::unlink(host_path(path).c_str()) < 0) {
     return Error::from_errno("unlink " + path);
   }
+  if (size > 0) alloc_->release(path, size);
   return Result<void>::success();
 }
 
 Result<void> PosixBackend::rename(const std::string& from,
                                   const std::string& to) {
-  if (::rename(host_path(from).c_str(), host_path(to).c_str()) < 0) {
-    return Error::from_errno("rename " + from);
+  uint64_t moved = 0;
+  bool transferred = false;
+  if (alloc_ != nullptr && charged(from) && charged(to)) {
+    struct stat st{};
+    if (::lstat(host_path(from).c_str(), &st) == 0) {
+      if (S_ISDIR(st.st_mode)) {
+        // Directory moves across allocation roots would need a recursive
+        // re-charge; refuse them (and refuse moving a root itself), like
+        // a cross-device rename.
+        auto fr = alloc_->lsalloc(from);
+        auto tr = alloc_->lsalloc(to);
+        if (fr.ok() && fr.value().root == path::sanitize(from)) {
+          return Error(EBUSY, "cannot rename an allocation root");
+        }
+        if (fr.ok() && tr.ok() && fr.value().root != tr.value().root) {
+          return Error(EXDEV, "rename across allocations");
+        }
+      } else if (S_ISREG(st.st_mode)) {
+        moved = static_cast<uint64_t>(st.st_size);
+        if (moved > 0) {
+          TSS_RETURN_IF_ERROR(alloc_->transfer(from, to, moved));
+          transferred = true;
+        }
+      }
+    }
   }
+  // Rename over an existing target replaces it: its bytes come free.
+  uint64_t replaced = charged(to) ? file_size(to) : 0;
+  if (::rename(host_path(from).c_str(), host_path(to).c_str()) < 0) {
+    int e = errno;
+    if (transferred) (void)alloc_->transfer(to, from, moved);
+    return Error::from_errno(e, "rename " + from);
+  }
+  if (replaced > 0) alloc_->release(to, replaced);
   return Result<void>::success();
 }
 
@@ -126,13 +261,20 @@ Result<void> PosixBackend::rmdir(const std::string& path) {
   if (::rmdir(host_path(path).c_str()) < 0) {
     return Error::from_errno("rmdir " + path);
   }
+  if (alloc_ != nullptr) alloc_->note_rmdir(path);
   return Result<void>::success();
 }
 
 Result<void> PosixBackend::truncate(const std::string& path, uint64_t size) {
+  uint64_t old = charged(path) ? file_size(path) : 0;
+  uint64_t grow = charged(path) && size > old ? size - old : 0;
+  if (grow > 0) TSS_RETURN_IF_ERROR(alloc_->charge(path, grow));
   if (::truncate(host_path(path).c_str(), static_cast<off_t>(size)) < 0) {
-    return Error::from_errno("truncate " + path);
+    int e = errno;
+    if (grow > 0) alloc_->release(path, grow);
+    return Error::from_errno(e, "truncate " + path);
   }
+  if (charged(path) && size < old) alloc_->release(path, old - size);
   return Result<void>::success();
 }
 
@@ -173,20 +315,31 @@ Result<std::string> PosixBackend::read_file(const std::string& path) {
 
 Result<void> PosixBackend::write_file(const std::string& path,
                                       std::string_view data, uint32_t mode) {
+  uint64_t old = charged(path) ? file_size(path) : 0;
+  uint64_t grow = charged(path) && data.size() > old ? data.size() - old : 0;
+  if (grow > 0) TSS_RETURN_IF_ERROR(alloc_->charge(path, grow));
   int fd = ::open(host_path(path).c_str(), O_WRONLY | O_CREAT | O_TRUNC,
                   static_cast<mode_t>(mode));
-  if (fd < 0) return Error::from_errno("open " + path);
+  if (fd < 0) {
+    int e = errno;
+    if (grow > 0) alloc_->release(path, grow);
+    return Error::from_errno(e, "open " + path);
+  }
   size_t written = 0;
   while (written < data.size()) {
     ssize_t n = ::write(fd, data.data() + written, data.size() - written);
     if (n < 0) {
       int e = errno;
       ::close(fd);
+      if (grow > 0) alloc_->release(path, grow);
       return Error::from_errno(e, "write " + path);
     }
     written += static_cast<size_t>(n);
   }
   ::close(fd);
+  if (charged(path) && data.size() < old) {
+    alloc_->release(path, old - data.size());
+  }
   return Result<void>::success();
 }
 
@@ -195,6 +348,16 @@ Result<std::pair<uint64_t, uint64_t>> PosixBackend::statfs() {
   if (::statvfs(root_.c_str(), &sv) < 0) return Error::from_errno("statvfs");
   uint64_t total = static_cast<uint64_t>(sv.f_blocks) * sv.f_frsize;
   uint64_t free_bytes = static_cast<uint64_t>(sv.f_bavail) * sv.f_frsize;
+  if (alloc_ != nullptr) {
+    // A capped export advertises its allocation, not the whole host disk.
+    auto info = alloc_->lsalloc("/");
+    if (info.ok() && info.value().limit != 0) {
+      uint64_t limit = info.value().limit;
+      uint64_t used = std::min(info.value().inuse, limit);
+      total = std::min(total, limit);
+      free_bytes = std::min(free_bytes, limit - used);
+    }
+  }
   return std::make_pair(total, free_bytes);
 }
 

@@ -4,12 +4,23 @@
 // user to export fresh space or existing data", §4). Virtual paths map under
 // the root; callers have already applied path::sanitize, so nothing here can
 // escape it.
+//
+// With enable_alloc_tracking() the backend enforces hierarchical space
+// allocations (chirp/alloc.h): every byte a write would add is charged to
+// the nearest enclosing allocation *before* the host write happens, and a
+// budget overrun is the typed ENOSPC. The tracker's journal lives at
+// "<root>/.__alloc__"; reserved bookkeeping files (ACL files, the journal
+// itself) are exempt from charging. Two concurrent writers extending the
+// same file may transiently overcount (each charges its own extension) —
+// conservative by design, never an undercount.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
+#include "chirp/alloc.h"
 #include "chirp/backend.h"
 
 namespace tss::chirp {
@@ -21,6 +32,15 @@ class PosixBackend final : public Backend {
 
   PosixBackend(const PosixBackend&) = delete;
   PosixBackend& operator=(const PosixBackend&) = delete;
+
+  // Turns on allocation tracking with the given root budget (0 = track but
+  // do not cap the root). Replays the journal at "<root>/.__alloc__" when
+  // one exists; on the very first enable (no journal yet) the export tree
+  // is scanned once so pre-existing data is charged. Idempotent per backend
+  // instance only by virtue of replacing the tracker.
+  Result<void> enable_alloc_tracking(uint64_t root_limit,
+                                     obs::Registry* metrics = nullptr);
+  AllocTracker* alloc_tracker() const { return alloc_.get(); }
 
   Result<int> open(const std::string& path, const OpenFlags& flags,
                    uint32_t mode) override;
@@ -50,13 +70,29 @@ class PosixBackend final : public Backend {
   const std::string& root() const { return root_; }
 
  private:
+  struct OpenHandle {
+    int fd = -1;
+    std::string path;  // canonical virtual path, for charge attribution
+  };
+
   std::string host_path(const std::string& canonical) const;
   Result<int> host_fd(int handle);
+  Result<OpenHandle> handle_of(int handle);
+
+  // True when `path` is charged against its allocation (tracking on and the
+  // path is not a reserved bookkeeping file).
+  bool charged(const std::string& path) const;
+  // Size of the regular file at `path`, 0 if absent/not regular.
+  uint64_t file_size(const std::string& path) const;
+  // One-time seed scan: total regular-file bytes under `canonical_dir`,
+  // excluding reserved names.
+  uint64_t scan_bytes(const std::string& canonical_dir) const;
 
   std::string root_;
   std::mutex mutex_;
-  std::map<int, int> handles_;  // backend handle -> host fd
+  std::map<int, OpenHandle> handles_;
   int next_handle_ = 1;
+  std::unique_ptr<AllocTracker> alloc_;
 };
 
 }  // namespace tss::chirp

@@ -53,6 +53,10 @@ const char* op_name(Op op) {
       return "truncate";
     case Op::kStats:
       return "stats";
+    case Op::kMkalloc:
+      return "mkalloc";
+    case Op::kLsalloc:
+      return "lsalloc";
   }
   return "?";
 }
@@ -242,6 +246,14 @@ std::string encode_request(const Request& r) {
       add(url_encode(r.path));
       add(std::to_string(r.length));
       break;
+    case Op::kMkalloc:
+      // The allocation limit travels in `length`, like truncate's size.
+      add(url_encode(r.path));
+      add(std::to_string(r.length));
+      break;
+    case Op::kLsalloc:
+      add(url_encode(r.path));
+      break;
   }
   return line;
 }
@@ -372,6 +384,18 @@ Result<Request> parse_request_line(const std::string& line) {
     r.op = Op::kTruncate;
     TSS_ASSIGN_OR_RETURN(r.path, arg_path(words, 1));
     TSS_ASSIGN_OR_RETURN(r.length, arg_u64(words, 2));
+    return r;
+  }
+  if (cmd == "mkalloc") {
+    r.op = Op::kMkalloc;
+    TSS_ASSIGN_OR_RETURN(r.path, arg_path(words, 1));
+    TSS_ASSIGN_OR_RETURN(r.length, arg_u64(words, 2));
+    if (r.length == 0) return Error(EPROTO, "mkalloc needs a positive limit");
+    return r;
+  }
+  if (cmd == "lsalloc") {
+    r.op = Op::kLsalloc;
+    TSS_ASSIGN_OR_RETURN(r.path, arg_path(words, 1));
     return r;
   }
   return Error(ENOSYS, "unknown rpc: " + cmd);

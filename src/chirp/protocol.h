@@ -41,6 +41,8 @@
 //   truncate <path> <size>                -> ok
 //   stats                                 -> ok <bytes>  + metrics snapshot
 //                                            (text; see docs/OBSERVABILITY.md)
+//   mkalloc <path> <limit>                -> ok
+//   lsalloc <path>                        -> ok <urlenc root> <limit> <inuse>
 //
 // Capabilities: `version` may carry capability tokens after the number; the
 // server echoes back the subset it supports and both sides enable them for
@@ -61,6 +63,14 @@
 //    that offered the capability; anywhere else it is EPROTO. Clients that
 //    never offer the capability are always served directly. See
 //    docs/ARCHITECTURE-CLIENT.md for the cooperative-cache lifecycle.
+//
+//  * "alloc": the server tracks hierarchical space allocations (see
+//    docs/MULTITENANCY.md) and accepts the mkalloc/lsalloc RPCs; a writer
+//    exceeding its allocation is refused with a typed ENOSPC. The server
+//    echoes the token only when an allocation tracker is actually enabled;
+//    peers that never offer it see an unchanged protocol (mkalloc/lsalloc
+//    without the negotiated capability are ENOSYS, exactly like an unknown
+//    RPC on an old server).
 #pragma once
 
 #include <cstdint>
@@ -80,6 +90,9 @@ inline constexpr const char* kCapChecksum = "checksum";
 
 // Capability token: the server may deflect hot getfiles to a sibling cache.
 inline constexpr const char* kCapRedirect = "redirect";
+
+// Capability token: space allocations are tracked; mkalloc/lsalloc enabled.
+inline constexpr const char* kCapAlloc = "alloc";
 
 // A getfile deflection: fetch this path from `host:port` instead, and trust
 // the hint for `ttl_ms` before asking the origin again.
@@ -116,10 +129,12 @@ enum class Op {
   kStatfs,
   kTruncate,
   kStats,
+  kMkalloc,
+  kLsalloc,
 };
 
-// Number of RPC ops (kStats is last); sized for per-op metric tables.
-constexpr int kOpCount = static_cast<int>(Op::kStats) + 1;
+// Number of RPC ops (kLsalloc is last); sized for per-op metric tables.
+constexpr int kOpCount = static_cast<int>(Op::kLsalloc) + 1;
 
 const char* op_name(Op op);
 

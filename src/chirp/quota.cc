@@ -1,0 +1,85 @@
+#include "chirp/quota.h"
+
+#include <algorithm>
+
+namespace tss::chirp {
+
+namespace {
+
+double burst_of(uint64_t burst, uint64_t rate) {
+  if (burst != 0) return static_cast<double>(burst);
+  return static_cast<double>(std::max<uint64_t>(rate, 1));
+}
+
+}  // namespace
+
+QuotaManager::QuotaManager(Options options) : options_(std::move(options)) {
+  if (options_.clock == nullptr) options_.clock = &RealClock::instance();
+  if (options_.metrics != nullptr) {
+    admitted_ = options_.metrics->counter("tenant.quota.admitted");
+    rejected_ = options_.metrics->counter("tenant.quota.rejected");
+  }
+}
+
+QuotaManager::Bucket& QuotaManager::bucket_locked(const std::string& subject) {
+  auto it = buckets_.find(subject);
+  if (it != buckets_.end()) return it->second;
+  Bucket b;
+  auto limits_it = options_.per_subject.find(subject);
+  b.limits = limits_it != options_.per_subject.end() ? limits_it->second
+                                                     : options_.default_limits;
+  // Buckets start full: a new subject gets its burst up front.
+  b.ops = burst_of(b.limits.ops_burst, b.limits.ops_per_sec);
+  b.bytes = burst_of(b.limits.bytes_burst, b.limits.bytes_per_sec);
+  b.last_refill = options_.clock->now();
+  return buckets_.emplace(subject, std::move(b)).first->second;
+}
+
+void QuotaManager::refill_locked(Bucket& b) {
+  Nanos now = options_.clock->now();
+  if (now <= b.last_refill) return;
+  double dt = static_cast<double>(now - b.last_refill) / kSecond;
+  b.last_refill = now;
+  if (b.limits.ops_per_sec != 0) {
+    b.ops = std::min(b.ops + dt * static_cast<double>(b.limits.ops_per_sec),
+                     burst_of(b.limits.ops_burst, b.limits.ops_per_sec));
+  }
+  if (b.limits.bytes_per_sec != 0) {
+    b.bytes =
+        std::min(b.bytes + dt * static_cast<double>(b.limits.bytes_per_sec),
+                 burst_of(b.limits.bytes_burst, b.limits.bytes_per_sec));
+  }
+}
+
+Result<void> QuotaManager::admit(const std::string& subject) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& b = bucket_locked(subject);
+  if (b.limits.unlimited()) return Result<void>::success();
+  refill_locked(b);
+  if ((b.limits.ops_per_sec != 0 && b.ops <= 0) ||
+      (b.limits.bytes_per_sec != 0 && b.bytes <= 0)) {
+    if (rejected_ != nullptr) rejected_->add(1);
+    return Error(EDQUOT, "quota exceeded for " + subject);
+  }
+  if (admitted_ != nullptr) admitted_->add(1);
+  return Result<void>::success();
+}
+
+void QuotaManager::charge(const std::string& subject, uint64_t ops,
+                          uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& b = bucket_locked(subject);
+  if (b.limits.unlimited()) return;
+  refill_locked(b);
+  if (b.limits.ops_per_sec != 0) b.ops -= static_cast<double>(ops);
+  if (b.limits.bytes_per_sec != 0) b.bytes -= static_cast<double>(bytes);
+}
+
+QuotaManager::Balance QuotaManager::balance(const std::string& subject) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& b = bucket_locked(subject);
+  refill_locked(b);
+  return Balance{b.ops, b.bytes};
+}
+
+}  // namespace tss::chirp

@@ -1,0 +1,80 @@
+// Per-subject request quotas: token buckets for ops/sec and bytes/sec.
+//
+// The allocation tracker bounds how much a tenant may *store*; this bounds
+// how fast a tenant may *ask*. Each authenticated subject gets two buckets
+// (operations and payload bytes) refilled continuously at the configured
+// rate up to a burst ceiling. Enforcement uses a debt model: admission only
+// requires a positive balance, and the completed request is then charged at
+// its true cost (which may drive the balance negative — necessary because a
+// getfile's size is unknown until served). A subject in debt is refused with
+// the typed errno EDQUOT until refill pays the debt off, so sustained
+// throughput converges on the configured rate regardless of request sizes.
+//
+// Thread-safe; sized for the reactor's worker pool, not for per-op lock-free
+// operation (one mutex, map lookup per admit/charge).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace tss::chirp {
+
+class QuotaManager {
+ public:
+  struct Limits {
+    uint64_t ops_per_sec = 0;    // 0 = unlimited
+    uint64_t bytes_per_sec = 0;  // 0 = unlimited
+    // Bucket ceilings; 0 = one second's worth of the matching rate.
+    uint64_t ops_burst = 0;
+    uint64_t bytes_burst = 0;
+
+    bool unlimited() const { return ops_per_sec == 0 && bytes_per_sec == 0; }
+  };
+
+  struct Options {
+    Limits default_limits;                       // applies to every subject
+    std::map<std::string, Limits> per_subject;   // overrides by subject name
+    Clock* clock = nullptr;                      // null = RealClock
+    obs::Registry* metrics = nullptr;            // tenant.quota.* counters
+  };
+
+  explicit QuotaManager(Options options);
+
+  // Admission check for one request from `subject`: refills the buckets and
+  // refuses with EDQUOT while either balance is non-positive.
+  Result<void> admit(const std::string& subject);
+
+  // Charges a completed request at its true cost.
+  void charge(const std::string& subject, uint64_t ops, uint64_t bytes);
+
+  // Current balances (tests). Unlimited dimensions report burst.
+  struct Balance {
+    double ops = 0;
+    double bytes = 0;
+  };
+  Balance balance(const std::string& subject);
+
+ private:
+  struct Bucket {
+    Limits limits;
+    double ops = 0;
+    double bytes = 0;
+    Nanos last_refill = 0;
+  };
+
+  Bucket& bucket_locked(const std::string& subject);
+  void refill_locked(Bucket& b);
+
+  Options options_;
+  std::mutex mutex_;
+  std::map<std::string, Bucket> buckets_;
+  obs::Counter* admitted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+};
+
+}  // namespace tss::chirp

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "net/buffer_pool.h"
+#include "net/fair_queue.h"
 
 #include "util/logging.h"
 #include "util/path.h"
@@ -81,6 +82,25 @@ void AuthExecutor::run() {
 // --- AuthBridge -------------------------------------------------------------
 
 namespace detail {
+
+// Owns one granted-but-not-yet-claimed fair-share slot. The resume closure
+// captures a shared_ptr to one of these: if the closure is destroyed without
+// running (connection gone, driver stopped), the destructor returns the slot
+// so the queue's accounting stays balanced. disarm() transfers ownership to
+// the session (which then releases via FairQueue::finish itself).
+class SlotGuard {
+ public:
+  explicit SlotGuard(net::FairQueue* fair) : fair_(fair) {}
+  ~SlotGuard() {
+    if (fair_ != nullptr) fair_->finish();
+  }
+  SlotGuard(const SlotGuard&) = delete;
+  SlotGuard& operator=(const SlotGuard&) = delete;
+  void disarm() { fair_ = nullptr; }
+
+ private:
+  net::FairQueue* fair_;
+};
 
 // ChallengeIo whose server side lives on the loop thread: challenges are
 // posted to the connection's output buffer, responses arrive via deliver()
@@ -172,16 +192,17 @@ void ServerSession::on_close(net::Conn& c) {
         offset_ = pending >= size_ ? 0 : size_ - pending;
       }
       core_->stream_close(handle_);
-      core_->record_op(Op::kGetfile, op_start_, 0, offset_, EPIPE);
+      finish_stream_op(Op::kGetfile, 0, offset_, EPIPE);
     } else if (state_ == State::kRecvFile) {
       core_->stream_close(handle_);
-      core_->record_op(Op::kPutfile, op_start_, offset_, 0, EPIPE);
+      finish_stream_op(Op::kPutfile, offset_, 0, EPIPE);
     } else if (state_ == State::kRecvSum) {
       // Body landed but the trailer never arrived; the handle is already
       // closed, only the op record is outstanding.
-      core_->record_op(Op::kPutfile, op_start_, offset_, 0, EPIPE);
+      finish_stream_op(Op::kPutfile, offset_, 0, EPIPE);
     }
   }
+  release_slot();
   state_ = State::kRequestLine;
   sendfile_mode_ = false;
   if (active_gauge_) {
@@ -213,6 +234,7 @@ void ServerSession::respond(net::Conn& c, const Response& resp) {
 }
 
 void ServerSession::to_request_line(net::Conn& c) {
+  release_slot();  // the request that held it is fully answered
   state_ = State::kRequestLine;
   c.set_timeout(idle_wait());
 }
@@ -243,6 +265,12 @@ bool ServerSession::step(net::Conn& c) {
         dispatch_buffered(c, payload);
         continue;
       }
+
+      case State::kAdmitPending:
+        // Parked for a fair-share slot: nothing is consumed, so a flooding
+        // key backs up its own TCP stream. EOF while parked is a clean
+        // disconnect (the queued grant self-returns via its guard).
+        return !c.input_eof();
 
       case State::kAuthPending: {
         // Challenge responses ride the control stream; hand complete lines
@@ -310,7 +338,7 @@ bool ServerSession::step(net::Conn& c) {
         }
         Response resp = write_rc_.ok() ? Response{}
                                        : Response::failure(write_rc_.error());
-        core_->record_op(Op::kPutfile, op_start_, offset_, 0, resp.err);
+        finish_stream_op(Op::kPutfile, offset_, 0, resp.err);
         respond(c, resp);
         to_request_line(c);
         continue;
@@ -339,7 +367,7 @@ bool ServerSession::step(net::Conn& c) {
                      ? Response::failure(EBADMSG, "putfile checksum mismatch")
                      : Response::failure(digest.error());
         }
-        core_->record_op(Op::kPutfile, op_start_, offset_, 0, resp.err);
+        finish_stream_op(Op::kPutfile, offset_, 0, resp.err);
         respond(c, resp);
         to_request_line(c);
         continue;
@@ -352,12 +380,13 @@ bool ServerSession::step(net::Conn& c) {
         if (drain_remaining_ > 0) {
           return !c.input_eof();
         }
-        if (core_->checksum_negotiated()) {
+        // Only putfile sends a trailer line after its body (pwrite's digest
+        // rides on the request line itself).
+        if (req_.op == Op::kPutfile && core_->checksum_negotiated()) {
           state_ = State::kDrainSum;
           continue;
         }
-        core_->record_op(Op::kPutfile, op_start_, size_, 0,
-                         pending_resp_.err);
+        finish_stream_op(req_.op, size_, 0, pending_resp_.err);
         respond(c, pending_resp_);
         to_request_line(c);
         continue;
@@ -368,8 +397,7 @@ bool ServerSession::step(net::Conn& c) {
         auto line = c.input().try_line();
         if (!line.ok()) return false;
         if (!line.value()) return !c.input_eof();
-        core_->record_op(Op::kPutfile, op_start_, size_, 0,
-                         pending_resp_.err);
+        finish_stream_op(req_.op, size_, 0, pending_resp_.err);
         respond(c, pending_resp_);
         to_request_line(c);
         continue;
@@ -386,6 +414,42 @@ bool ServerSession::begin_request(net::Conn& c, const std::string& line) {
   }
   req_ = std::move(parsed).value();
 
+  // Weighted fair-share admission. version/auth are exempt — they establish
+  // the identity fairness is keyed on, and parking them would deadlock the
+  // handshake. A large promised body costs more than a control op, so a hog
+  // uploading in bulk drains its deficit faster.
+  net::FairQueue* fair = params_.config->fair;
+  if (fair != nullptr && req_.op != Op::kVersion && req_.op != Op::kAuth) {
+    uint64_t cost = 1 + req_.payload_len() / kStreamChunk;
+    auto guard = std::make_shared<detail::SlotGuard>(fair);
+    auto verdict = fair->admit(
+        admit_key(), cost,
+        [self = shared_from_this(), guard, ref = c.ref()] {
+          ref.post([self, guard](net::Conn& conn) {
+            self->resume_admitted(conn, guard);
+          });
+        });
+    switch (verdict) {
+      case net::FairQueue::Verdict::kRun:
+        guard->disarm();  // the session owns the slot now
+        slot_held_ = true;
+        break;
+      case net::FairQueue::Verdict::kQueued:
+        // The queue holds the resume closure (and with it the armed guard);
+        // input stays buffered until the key wins a slot.
+        state_ = State::kAdmitPending;
+        c.set_timeout(params_.io_timeout);
+        return true;
+      case net::FairQueue::Verdict::kRejected:
+        guard->disarm();  // no slot was granted
+        return refuse_request(
+            c, Response::failure(EBUSY, "fair-share backlog full"));
+    }
+  }
+  return continue_request(c);
+}
+
+bool ServerSession::continue_request(net::Conn& c) {
   if (req_.op == Op::kAuth) return begin_auth(c);
   if (req_.op == Op::kGetfile) return begin_getfile(c);
   if (req_.op == Op::kPutfile) return begin_putfile(c);
@@ -400,6 +464,58 @@ bool ServerSession::begin_request(net::Conn& c, const std::string& line) {
     return true;
   }
   dispatch_buffered(c, SessionCore::Payload{});
+  return true;
+}
+
+void ServerSession::resume_admitted(
+    net::Conn& c, const std::shared_ptr<detail::SlotGuard>& guard) {
+  if (state_ != State::kAdmitPending) return;  // guard returns the slot
+  guard->disarm();
+  slot_held_ = true;
+  state_ = State::kRequestLine;  // continue_request sets the real state
+  if (!continue_request(c)) {
+    c.close();
+    return;
+  }
+  // The rest of the pipeline may already be buffered behind the parked
+  // request.
+  if (!step(c)) c.close();
+}
+
+std::string ServerSession::admit_key() const {
+  return core_->authenticated() ? core_->subject().to_string()
+                                : "ip:" + peer_ip_;
+}
+
+void ServerSession::release_slot() {
+  if (!slot_held_) return;
+  slot_held_ = false;
+  params_.config->fair->finish();
+}
+
+void ServerSession::finish_stream_op(Op op, uint64_t bytes_in,
+                                     uint64_t bytes_out, int err) {
+  core_->record_op(op, op_start_, bytes_in, bytes_out, err);
+  core_->quota_account(op, bytes_in + bytes_out,
+                       err == EDQUOT || err == EBUSY);
+}
+
+bool ServerSession::refuse_request(net::Conn& c, Response resp) {
+  op_start_ = core_->clock().now();
+  uint64_t body = req_.payload_len();
+  bool sum_trailer =
+      req_.op == Op::kPutfile && core_->checksum_negotiated();
+  if (body > 0 || sum_trailer) {
+    pending_resp_ = std::move(resp);
+    size_ = body;
+    drain_remaining_ = body;
+    state_ = body > 0 ? State::kDrainBody : State::kDrainSum;
+    c.set_timeout(params_.io_timeout);
+    return true;
+  }
+  finish_stream_op(req_.op, 0, 0, resp.err);
+  respond(c, resp);
+  to_request_line(c);
   return true;
 }
 
@@ -475,20 +591,27 @@ void ServerSession::finish_auth(net::Conn& c,
 
 bool ServerSession::begin_getfile(net::Conn& c) {
   op_start_ = core_->clock().now();
+  // Streamed ops bypass SessionCore::handle, so the quota gate is applied
+  // here — same token buckets, same typed EDQUOT as the buffered engine.
+  if (auto refusal = core_->quota_admit(Op::kGetfile)) {
+    return refuse_request(c, *refusal);
+  }
   // Hot-set deflection: a redirect reply is control only — one line, no
   // payload, no backend open. Same decision point as the buffered engine's
   // do_getfile.
   if (auto deflect = core_->getfile_redirect(req_.path)) {
-    core_->record_op(Op::kGetfile, op_start_, 0, 0, 0);
+    finish_stream_op(Op::kGetfile, 0, 0, 0);
     respond(c, *deflect);
+    to_request_line(c);
     return true;
   }
   uint64_t size = 0;
   auto handle = core_->stream_open_read(req_.path, &size);
   if (!handle.ok()) {
     Response resp = Response::failure(handle.error());
-    core_->record_op(Op::kGetfile, op_start_, 0, 0, resp.err);
+    finish_stream_op(Op::kGetfile, 0, 0, resp.err);
     respond(c, resp);
+    to_request_line(c);
     return true;
   }
   Response resp;
@@ -501,7 +624,8 @@ bool ServerSession::begin_getfile(net::Conn& c) {
       c.write("\n");
     }
     core_->stream_close(handle.value());
-    core_->record_op(Op::kGetfile, op_start_, 0, 0, 0);
+    finish_stream_op(Op::kGetfile, 0, 0, 0);
+    to_request_line(c);
     return true;
   }
   handle_ = handle.value();
@@ -545,7 +669,7 @@ bool ServerSession::on_output_space(net::Conn& c) {
     sendfile_mode_ = false;
     c.want_output_space(false);
     core_->stream_close(handle_);
-    core_->record_op(Op::kGetfile, op_start_, 0, size_, 0);
+    finish_stream_op(Op::kGetfile, 0, size_, 0);
     to_request_line(c);
     // Pipelined requests may already be buffered behind the transfer.
     return step(c);
@@ -595,7 +719,7 @@ bool ServerSession::on_output_space(net::Conn& c) {
     }
     c.want_output_space(false);
     core_->stream_close(handle_);
-    core_->record_op(Op::kGetfile, op_start_, 0, offset_, 0);
+    finish_stream_op(Op::kGetfile, 0, offset_, 0);
     to_request_line(c);
     // Pipelined requests may already be buffered behind the transfer.
     return step(c);
@@ -608,21 +732,14 @@ bool ServerSession::begin_putfile(net::Conn& c) {
   size_ = req_.length;
   offset_ = 0;
   stream_sum_ = Fnv1a64();
+  if (auto refusal = core_->quota_admit(Op::kPutfile)) {
+    return refuse_request(c, *refusal);
+  }
   auto handle = core_->stream_open_write(req_.path, req_.mode);
   if (!handle.ok()) {
     // Drain the promised body (and sum trailer) so the connection stays
     // usable.
-    pending_resp_ = Response::failure(handle.error());
-    drain_remaining_ = size_;
-    if (drain_remaining_ == 0 && !core_->checksum_negotiated()) {
-      core_->record_op(Op::kPutfile, op_start_, 0, 0, pending_resp_.err);
-      respond(c, pending_resp_);
-      return true;
-    }
-    state_ =
-        drain_remaining_ > 0 ? State::kDrainBody : State::kDrainSum;
-    c.set_timeout(params_.io_timeout);
-    return true;
+    return refuse_request(c, Response::failure(handle.error()));
   }
   handle_ = handle.value();
   write_rc_ = Result<void>::success();
@@ -633,8 +750,9 @@ bool ServerSession::begin_putfile(net::Conn& c) {
       c.set_timeout(params_.io_timeout);
       return true;
     }
-    core_->record_op(Op::kPutfile, op_start_, 0, 0, 0);
+    finish_stream_op(Op::kPutfile, 0, 0, 0);
     respond(c, Response{});
+    to_request_line(c);
     return true;
   }
   state_ = State::kRecvFile;

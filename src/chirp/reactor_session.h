@@ -62,6 +62,7 @@ class AuthExecutor {
 
 namespace detail {
 class AuthBridge;
+class SlotGuard;
 }
 
 // Everything a session needs from its server. Pointers are not owned and
@@ -92,9 +93,10 @@ class ServerSession final : public net::ReactorSession,
 
  private:
   enum class State {
-    kRequestLine,  // waiting for the next request line
-    kReadBody,     // buffering a bounded RPC payload (pwrite, setacl, ...)
-    kAuthPending,  // interactive auth running on the executor
+    kRequestLine,   // waiting for the next request line
+    kReadBody,      // buffering a bounded RPC payload (pwrite, setacl, ...)
+    kAdmitPending,  // parked in the fair-share queue; input stays buffered
+    kAuthPending,   // interactive auth running on the executor
     kSendFile,     // streaming getfile: refill on output space
     kRecvFile,     // streaming putfile: consume body chunks into the backend
     kRecvSum,      // putfile body done: verify the client's checksum trailer
@@ -104,6 +106,24 @@ class ServerSession final : public net::ReactorSession,
 
   bool step(net::Conn& c);
   bool begin_request(net::Conn& c, const std::string& line);
+  // The post-admission half of begin_request: body read / auth / streams /
+  // buffered dispatch. Runs immediately on kRun, or from resume_admitted
+  // once a parked request wins its fair-share slot.
+  bool continue_request(net::Conn& c);
+  // Invoked (via ConnRef::post) when the fair queue grants a parked request.
+  void resume_admitted(net::Conn& c,
+                       const std::shared_ptr<detail::SlotGuard>& guard);
+  // Refuses the current request with `resp`, draining any promised body so
+  // the connection stays usable. Used for fair-share EBUSY and quota EDQUOT.
+  bool refuse_request(net::Conn& c, Response resp);
+  // record_op + per-subject quota accounting for ops the transport streams
+  // (or drains) around SessionCore::handle.
+  void finish_stream_op(Op op, uint64_t bytes_in, uint64_t bytes_out,
+                        int err);
+  // Returns this request's fair-share slot, if one is held.
+  void release_slot();
+  // Fair-share key: the authenticated subject, else the peer address.
+  std::string admit_key() const;
   bool begin_auth(net::Conn& c);
   void finish_auth(net::Conn& c, const Result<auth::Subject>& result);
   bool begin_getfile(net::Conn& c);
@@ -132,6 +152,9 @@ class ServerSession final : public net::ReactorSession,
   // connection's output queue (an fd + counters, not bytes) and completion
   // is observed as the queue draining to empty.
   bool sendfile_mode_ = false;
+  // This request holds a fair-share concurrency slot (released when the
+  // response is complete or the connection dies).
+  bool slot_held_ = false;
   uint64_t size_ = 0;
   uint64_t offset_ = 0;
   uint64_t drain_remaining_ = 0;

@@ -2,6 +2,7 @@
 
 #include "auth/hostname.h"
 #include "auth/unix.h"
+#include "chirp/posix_backend.h"
 #include "util/logging.h"
 
 namespace tss::chirp {
@@ -24,6 +25,40 @@ Server::Server(ServerOptions options, std::unique_ptr<Backend> backend,
     policy.ttl_ms = options_.redirect_ttl_ms;
     redirect_policy_ = std::make_unique<RedirectPolicy>(std::move(policy));
     config_.redirect = redirect_policy_.get();
+  }
+  if (options_.enable_allocations) {
+    // Only the POSIX backend can journal allocations; a synthetic backend
+    // simply runs without the capability (the version handshake never
+    // advertises "alloc", so clients see an unchanged protocol).
+    if (auto* posix = dynamic_cast<PosixBackend*>(backend_.get())) {
+      auto rc = posix->enable_alloc_tracking(options_.root_space_limit,
+                                             config_.metrics);
+      if (rc.ok()) {
+        config_.alloc = posix->alloc_tracker();
+      } else {
+        TSS_WARN("chirp") << "allocation tracking disabled: "
+                          << rc.error().to_string();
+      }
+    }
+  }
+  if (!options_.default_quota.unlimited() ||
+      !options_.per_subject_quota.empty()) {
+    QuotaManager::Options q;
+    q.default_limits = options_.default_quota;
+    q.per_subject = options_.per_subject_quota;
+    q.metrics = config_.metrics;
+    quotas_ = std::make_unique<QuotaManager>(std::move(q));
+    config_.quotas = quotas_.get();
+  }
+  if (options_.fair_share_slots > 0) {
+    net::FairQueue::Options f;
+    f.max_active = options_.fair_share_slots;
+    f.max_queued_per_key = options_.fair_share_backlog;
+    f.weights = options_.fair_share_weights;
+    f.metrics = config_.metrics;
+    f.metric_prefix = "tenant.admit";
+    fair_ = std::make_unique<net::FairQueue>(std::move(f));
+    config_.fair = fair_.get();
   }
 }
 

@@ -16,9 +16,11 @@
 
 #include "auth/auth.h"
 #include "chirp/backend.h"
+#include "chirp/quota.h"
 #include "chirp/reactor_session.h"
 #include "chirp/redirect.h"
 #include "chirp/session.h"
+#include "net/fair_queue.h"
 #include "net/server_loop.h"
 
 namespace tss::chirp {
@@ -60,6 +62,21 @@ struct ServerOptions {
   std::vector<Redirect> cache_peers;
   uint64_t redirect_hot_threshold = 0;  // 0 = never deflect
   uint64_t redirect_ttl_ms = 2000;
+  // --- Multi-tenancy (docs/MULTITENANCY.md) -------------------------------
+  // Space allocations: when true, the server asks its backend to track
+  // hierarchical per-directory budgets (journal at "<root>/.__alloc__"),
+  // advertises the "alloc" capability, and serves mkalloc/lsalloc.
+  // Only PosixBackend supports this; other backends ignore the request.
+  bool enable_allocations = false;
+  uint64_t root_space_limit = 0;  // 0 = track usage but do not cap the root
+  // Per-subject request quotas: zero limits = quotas disabled entirely.
+  QuotaManager::Limits default_quota;
+  std::map<std::string, QuotaManager::Limits> per_subject_quota;
+  // Weighted fair-share admission across subjects: 0 = disabled (the global
+  // max_connections EBUSY remains the only backpressure).
+  int fair_share_slots = 0;
+  int fair_share_backlog = 64;  // queued requests allowed per subject
+  std::map<std::string, uint64_t> fair_share_weights;
 };
 
 class Server {
@@ -102,6 +119,10 @@ class Server {
   std::unique_ptr<Backend> backend_;
   std::unique_ptr<auth::ServerAuth> auth_;
   std::unique_ptr<RedirectPolicy> redirect_policy_;
+  // Tenancy state shared by all sessions; declared before loop_ so sessions
+  // never outlive the queue/buckets they point at.
+  std::unique_ptr<QuotaManager> quotas_;
+  std::unique_ptr<net::FairQueue> fair_;
   ServerConfig config_;
   // Destroyed after loop_ (declared before it): the loop stops first, then
   // the executor joins, and only then do auth_/backend_ go away — no session

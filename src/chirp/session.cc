@@ -1,5 +1,7 @@
 #include "chirp/session.h"
 
+#include "chirp/alloc.h"
+#include "chirp/quota.h"
 #include "util/checksum.h"
 #include "util/logging.h"
 #include "util/path.h"
@@ -9,6 +11,11 @@ namespace tss::chirp {
 
 bool names_acl_file(const std::string& canonical_path) {
   return path::basename(canonical_path) == kAclFileName;
+}
+
+bool names_reserved(const std::string& canonical_path) {
+  std::string base = path::basename(canonical_path);
+  return base == kAclFileName || starts_with(base, kAllocJournalName);
 }
 
 SessionCore::SessionCore(const ServerConfig& config, Backend& backend,
@@ -67,9 +74,41 @@ Result<auth::Subject> SessionCore::authenticate(const std::string& method,
   auto subject = config_.auth->attempt(method, peer_, arg, io);
   if (subject.ok()) {
     subject_ = subject.value();
+    resolve_subject_metrics();
     TSS_DEBUG("chirp") << "authenticated " << subject_->to_string();
   }
   return subject;
+}
+
+void SessionCore::resolve_subject_metrics() {
+  if (!config_.metrics || !subject_) return;
+  std::string base = "tenant.subject." + url_encode(subject_->to_string());
+  subject_requests_ = config_.metrics->counter(base + ".requests");
+  subject_bytes_ = config_.metrics->counter(base + ".bytes");
+  subject_rejected_ = config_.metrics->counter(base + ".rejected");
+}
+
+std::optional<Response> SessionCore::quota_admit(Op op) {
+  if (op == Op::kVersion || op == Op::kAuth) return std::nullopt;
+  if (config_.quotas == nullptr || !authenticated() || is_owner()) {
+    return std::nullopt;
+  }
+  auto rc = config_.quotas->admit(subject_->to_string());
+  if (rc.ok()) return std::nullopt;
+  return Response::failure(rc.error());
+}
+
+void SessionCore::quota_account(Op op, uint64_t bytes, bool refused) {
+  if (op == Op::kVersion || op == Op::kAuth || !authenticated()) return;
+  if (subject_requests_ != nullptr) subject_requests_->add(1);
+  if (refused) {
+    if (subject_rejected_ != nullptr) subject_rejected_->add(1);
+    return;  // a refusal does no work, so it costs no tokens
+  }
+  if (subject_bytes_ != nullptr && bytes > 0) subject_bytes_->add(bytes);
+  if (config_.quotas != nullptr && !is_owner()) {
+    config_.quotas->charge(subject_->to_string(), 1, bytes);
+  }
 }
 
 bool SessionCore::is_owner() const {
@@ -80,7 +119,7 @@ Result<int> SessionCore::stream_open_read(const std::string& p,
                                           uint64_t* size_out) {
   std::string canonical = path::sanitize(p);
   if (!authenticated()) return Error(EACCES, "not authenticated");
-  if (names_acl_file(canonical)) return Error(EACCES, "reserved name");
+  if (names_reserved(canonical)) return Error(EACCES, "reserved name");
   if (!permits(path::dirname(canonical), acl::kRead)) {
     return Error(EACCES, "permission denied");
   }
@@ -104,7 +143,7 @@ Result<int> SessionCore::stream_open_write(const std::string& p,
                                            uint32_t mode) {
   std::string canonical = path::sanitize(p);
   if (!authenticated()) return Error(EACCES, "not authenticated");
-  if (names_acl_file(canonical)) return Error(EACCES, "reserved name");
+  if (names_reserved(canonical)) return Error(EACCES, "reserved name");
   if (!permits(path::dirname(canonical), acl::kWrite)) {
     return Error(EACCES, "permission denied");
   }
@@ -140,13 +179,22 @@ bool SessionCore::permits(const std::string& dir, acl::Rights rights) {
 
 Response SessionCore::handle(const Request& raw, Payload payload,
                              std::string* response_payload) {
-  if (!config_.metrics) return dispatch(raw, payload, response_payload);
   Nanos start = clock_->now();
   size_t out_before = response_payload ? response_payload->size() : 0;
-  Response resp = dispatch(raw, payload, response_payload);
+  Response resp;
+  bool refused = false;
+  if (auto quota = quota_admit(raw.op)) {
+    resp = *quota;
+    refused = true;
+  } else {
+    resp = dispatch(raw, payload, response_payload);
+  }
   uint64_t out_bytes =
       response_payload ? response_payload->size() - out_before : 0;
-  record_op(raw.op, start, payload.size, out_bytes, resp.err);
+  quota_account(raw.op, payload.size + out_bytes, refused);
+  if (config_.metrics) {
+    record_op(raw.op, start, payload.size, out_bytes, resp.err);
+  }
   return resp;
 }
 
@@ -169,6 +217,9 @@ Response SessionCore::dispatch(const Request& raw, Payload payload,
       } else if (cap == kCapRedirect && config_.redirect != nullptr) {
         redirect_ = true;
         resp.args.push_back(cap);
+      } else if (cap == kCapAlloc && config_.alloc != nullptr) {
+        alloc_ = true;
+        resp.args.push_back(cap);
       }
     }
     return resp;
@@ -176,7 +227,8 @@ Response SessionCore::dispatch(const Request& raw, Payload payload,
   if (!authenticated()) {
     return Response::failure(EACCES, "not authenticated");
   }
-  // Reserved-name guard: the ACL file is only reachable via getacl/setacl.
+  // Reserved-name guard: the ACL file is only reachable via getacl/setacl,
+  // and the allocation journal not at all.
   switch (r.op) {
     case Op::kOpen:
     case Op::kStat:
@@ -184,12 +236,12 @@ Response SessionCore::dispatch(const Request& raw, Payload payload,
     case Op::kGetfile:
     case Op::kPutfile:
     case Op::kTruncate:
-      if (names_acl_file(r.path)) {
+      if (names_reserved(r.path)) {
         return Response::failure(EACCES, "reserved name");
       }
       break;
     case Op::kRename:
-      if (names_acl_file(r.path) || names_acl_file(r.path2)) {
+      if (names_reserved(r.path) || names_reserved(r.path2)) {
         return Response::failure(EACCES, "reserved name");
       }
       break;
@@ -251,6 +303,10 @@ Response SessionCore::dispatch(const Request& raw, Payload payload,
       return do_truncate(r);
     case Op::kStats:
       return do_stats(response_payload);
+    case Op::kMkalloc:
+      return do_mkalloc(r);
+    case Op::kLsalloc:
+      return do_lsalloc(r);
     case Op::kVersion:
     case Op::kAuth:
       break;
@@ -424,7 +480,9 @@ Response SessionCore::do_getdir(const Request& r, std::string* out) {
   uint64_t count = 0;
   std::string body;
   for (const DirEntry& e : entries.value()) {
-    if (e.name == kAclFileName) continue;
+    if (e.name == kAclFileName || starts_with(e.name, kAllocJournalName)) {
+      continue;
+    }
     body += encode_dirent(e);
     body += '\n';
     count++;
@@ -539,6 +597,42 @@ Response SessionCore::do_stats(std::string* out) {
   resp.args.push_back(std::to_string(text.size()));
   resp.payload_size = text.size();
   out->append(text);
+  return resp;
+}
+
+Response SessionCore::do_mkalloc(const Request& r) {
+  // Like an unknown RPC on an old server: without the negotiated capability
+  // (or a tracker at all) the op simply does not exist.
+  if (!alloc_ || config_.alloc == nullptr) {
+    return Response::failure(ENOSYS, "alloc capability not negotiated");
+  }
+  auto info = backend_.stat(r.path);
+  if (!info.ok()) return Response::failure(info.error());
+  if (!info.value().is_dir) {
+    return Response::failure(ENOTDIR, "mkalloc target must be a directory");
+  }
+  // Carving out space is a policy change on the directory, like setacl.
+  if (!permits(r.path, acl::kAdmin)) {
+    return Response::failure(EACCES, "permission denied");
+  }
+  auto rc = config_.alloc->mkalloc(r.path, r.length);
+  if (!rc.ok()) return Response::failure(rc.error());
+  return Response{};
+}
+
+Response SessionCore::do_lsalloc(const Request& r) {
+  if (!alloc_ || config_.alloc == nullptr) {
+    return Response::failure(ENOSYS, "alloc capability not negotiated");
+  }
+  if (!permits(path::dirname(r.path), acl::kList)) {
+    return Response::failure(EACCES, "permission denied");
+  }
+  auto info = config_.alloc->lsalloc(r.path);
+  if (!info.ok()) return Response::failure(info.error());
+  Response resp;
+  resp.args.push_back(url_encode(info.value().root));
+  resp.args.push_back(std::to_string(info.value().limit));
+  resp.args.push_back(std::to_string(info.value().inuse));
   return resp;
 }
 

@@ -42,9 +42,18 @@
 #include "obs/metrics.h"
 #include "util/clock.h"
 
+namespace tss::net {
+class FairQueue;
+}  // namespace tss::net
+
 namespace tss::chirp {
 
-// The ACL file name reserved inside every directory.
+class AllocTracker;
+class QuotaManager;
+
+// The ACL file name reserved inside every directory. (The allocation
+// journal name, kAllocJournalName, lives in chirp/alloc.h; both are hidden
+// from listings and refused by direct file ops — see names_reserved.)
 inline constexpr const char* kAclFileName = ".__acl__";
 
 // Server-wide configuration shared by all sessions.
@@ -66,6 +75,16 @@ struct ServerConfig {
   // Cooperative-cache deflection for hot getfiles (chirp/redirect.h). Null
   // disables the "redirect" capability entirely. Not owned.
   RedirectPolicy* redirect = nullptr;
+  // Space allocation tracker (chirp/alloc.h). Null disables the "alloc"
+  // capability and the mkalloc/lsalloc RPCs. Not owned.
+  AllocTracker* alloc = nullptr;
+  // Per-subject request quotas (chirp/quota.h). Null disables quota
+  // enforcement; the server owner is always exempt. Not owned.
+  QuotaManager* quotas = nullptr;
+  // Weighted fair-share admission across subjects (net/fair_queue.h). Used
+  // by the reactor transport, not by SessionCore itself; carried here so
+  // every engine sees one tenancy configuration. Null disables. Not owned.
+  net::FairQueue* fair = nullptr;
 };
 
 class SessionCore {
@@ -122,6 +141,21 @@ class SessionCore {
   // True once the client offered "redirect" AND the server has a policy.
   bool redirect_negotiated() const { return redirect_; }
 
+  // True once the client offered "alloc" AND the server has a tracker.
+  bool alloc_negotiated() const { return alloc_; }
+
+  // --- Tenancy ---------------------------------------------------------------
+  // Token-bucket admission for one request from this session's subject.
+  // Returns the typed EDQUOT refusal to send, or nullopt to proceed. No-op
+  // (nullopt) for version/auth, unauthenticated sessions, the owner, or when
+  // no QuotaManager is configured. handle() applies this to every buffered
+  // op; the streaming transport calls it around the ops it streams itself.
+  std::optional<Response> quota_admit(Op op);
+  // Per-subject accounting for one finished request: bumps the subject's
+  // tenant.subject.* counters and, unless `refused`, charges the completed
+  // work to the subject's token buckets.
+  void quota_account(Op op, uint64_t bytes, bool refused);
+
   // Consults the redirect policy for one getfile of `path`. Returns the
   // control-only redirect Response when the session negotiated the
   // capability and the path is over threshold; nullopt means serve the data.
@@ -170,6 +204,11 @@ class SessionCore {
   Response do_truncate(const Request& r);
   Response do_statfs();
   Response do_stats(std::string* out);
+  Response do_mkalloc(const Request& r);
+  Response do_lsalloc(const Request& r);
+
+  // Resolves the per-subject tenant.subject.* counters once after auth.
+  void resolve_subject_metrics();
 
   const ServerConfig& config_;
   Backend& backend_;
@@ -187,8 +226,15 @@ class SessionCore {
   obs::Counter* integrity_mismatch_ = nullptr;
   obs::Counter* redirects_ = nullptr;
 
+  // Per-subject tenancy counters, resolved lazily once authenticated (the
+  // names embed the url-encoded subject).
+  obs::Counter* subject_requests_ = nullptr;
+  obs::Counter* subject_bytes_ = nullptr;
+  obs::Counter* subject_rejected_ = nullptr;
+
   bool checksum_ = false;
   bool redirect_ = false;
+  bool alloc_ = false;
 
   struct OpenFile {
     int backend_handle = -1;
@@ -200,5 +246,9 @@ class SessionCore {
 
 // True if `path`'s final component is the reserved ACL file name.
 bool names_acl_file(const std::string& canonical_path);
+
+// True if `path` names any reserved bookkeeping file: the per-directory ACL
+// file or the allocation journal (including its compaction temp file).
+bool names_reserved(const std::string& canonical_path);
 
 }  // namespace tss::chirp

@@ -42,6 +42,23 @@ Gems::Gems(db::Store* catalog, std::map<std::string, fs::FileSystem*> servers,
                               : static_cast<uint64_t>(::time(nullptr))) {
   for (const auto& [name, fs] : servers_) server_names_.push_back(name);
   options_.volume = path::sanitize(options_.volume);
+  if (options_.space_budget != 0) {
+    chirp::AllocTracker::Options topts;
+    topts.root_limit = options_.space_budget;  // in-memory: no journal_path
+    if (auto t = chirp::AllocTracker::open(std::move(topts)); t.ok()) {
+      tracker_ = std::move(t).value();
+    }
+  }
+}
+
+Result<chirp::AllocTracker::Reservation> Gems::reserve_space(uint64_t bytes) {
+  // The catalog is the committed truth; pending reservations layered on top
+  // make racing writers visible to each other before either's record lands.
+  // (A racer observed between its put and its commit is double-counted for
+  // a moment — conservative, never an undercount.)
+  TSS_ASSIGN_OR_RETURN(uint64_t stored, stored_bytes());
+  tracker_->sync_inuse("/", stored);
+  return tracker_->reserve("/", bytes);
 }
 
 Result<void> Gems::format() {
@@ -63,11 +80,17 @@ Result<void> Gems::ingest(const std::string& logical_name,
   if (catalog_->get(logical_name).ok()) {
     return Error(EEXIST, "gems: dataset exists: " + logical_name);
   }
-  if (options_.space_budget != 0) {
-    TSS_ASSIGN_OR_RETURN(uint64_t stored, stored_bytes());
-    if (stored + data.size() > options_.space_budget) {
+  // Reserve-then-commit: the hold is counted against the budget for the
+  // whole write+register window, so two racing ingests cannot both pass a
+  // stale check and overshoot together. The hold self-releases on any
+  // failure path below.
+  chirp::AllocTracker::Reservation hold;
+  if (tracker_ != nullptr) {
+    auto r = reserve_space(data.size());
+    if (!r.ok()) {
       return Error(ENOSPC, "gems: space budget exceeded");
     }
+    hold = std::move(r).value();
   }
 
   const std::string& server_name =
@@ -89,7 +112,10 @@ Result<void> Gems::ingest(const std::string& logical_name,
     }
     record[key] = value;
   }
-  return catalog_->put(record);
+  TSS_RETURN_IF_ERROR(catalog_->put(record));
+  // The catalog now owns the bytes; future reserve_space syncs pick them up.
+  hold.commit_external();
+  return Result<void>::success();
 }
 
 Result<std::string> Gems::fetch(const std::string& logical_name) {
@@ -224,11 +250,19 @@ Result<bool> Gems::replicate_step() {
 
   auto size = parse_u64(chosen->at("size"));
   if (!size) return Error(EINVAL, "gems: bad size in record");
-  if (options_.space_budget != 0) {
-    TSS_ASSIGN_OR_RETURN(uint64_t stored, stored_bytes());
-    if (stored + *size > options_.space_budget) {
-      return false;  // budget reached; nothing to do
+  // Same reserve-then-commit discipline as ingest: the hold spans the copy
+  // and the catalog update, so concurrent replicators (or a racing ingest)
+  // cannot jointly overrun the budget.
+  chirp::AllocTracker::Reservation hold;
+  if (tracker_ != nullptr) {
+    auto r = reserve_space(*size);
+    if (!r.ok()) {
+      if (r.error().code == ENOSPC) {
+        return false;  // budget reached; nothing to do
+      }
+      return std::move(r).take_error();
     }
+    hold = std::move(r).value();
   }
 
   std::vector<Replica> live = decode_replicas(chosen->at("replicas"));
@@ -271,6 +305,7 @@ Result<bool> Gems::replicate_step() {
   // compensated; the dead paths are gone for good).
   if (chosen_has_problem) updated["problems"] = "";
   TSS_RETURN_IF_ERROR(catalog_->put(updated));
+  hold.commit_external();
   TSS_INFO("gems") << "replicated " << chosen->at("id") << " -> " << target
                    << " (" << live.size() << " replicas)";
   return true;

@@ -23,9 +23,11 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "chirp/alloc.h"
 #include "db/store.h"
 #include "fs/filesystem.h"
 #include "util/rand.h"
@@ -95,7 +97,14 @@ class Gems {
   // Number of live replicas of one dataset.
   Result<int> replica_count(const std::string& logical_name) const;
 
+  // The space-budget arbiter (tests). Null when no budget is configured.
+  chirp::AllocTracker* space_tracker() const { return tracker_.get(); }
+
  private:
+  // Reserve-then-commit space admission: syncs the tracker to the catalog's
+  // committed total, then holds `bytes` as pending so racing writers see
+  // each other before either commits. ENOSPC when the budget lacks room.
+  Result<chirp::AllocTracker::Reservation> reserve_space(uint64_t bytes);
   Result<void> verify_replica(const db::Record& record,
                               const Replica& replica);
   std::string new_data_path(const std::string& logical_name);
@@ -105,6 +114,9 @@ class Gems {
   std::vector<std::string> server_names_;
   GemsOptions options_;
   Rng rng_;
+  // In-memory allocation tracker (chirp/alloc.h) arbitrating the space
+  // budget; the catalog remains the durable record (commit_external).
+  std::unique_ptr<chirp::AllocTracker> tracker_;
 };
 
 }  // namespace tss::gems

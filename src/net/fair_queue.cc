@@ -1,0 +1,129 @@
+#include "net/fair_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tss::net {
+
+FairQueue::FairQueue(Options options) : options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    const std::string& p = options_.metric_prefix;
+    granted_ = options_.metrics->counter(p + ".granted");
+    queued_ctr_ = options_.metrics->counter(p + ".queued");
+    rejected_ = options_.metrics->counter(p + ".rejected");
+    active_gauge_ = options_.metrics->gauge(p + ".active");
+    waiting_gauge_ = options_.metrics->gauge(p + ".waiting");
+  }
+}
+
+FairQueue::~FairQueue() {
+  // Drop all queued work without running it. The closures may hold RAII
+  // guards whose destructors call finish(); with stopped_ set those calls
+  // no-op, and the destruction happens outside the lock.
+  std::map<std::string, Key> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+    doomed.swap(keys_);
+    ring_.clear();
+    waiting_ = 0;
+  }
+}
+
+uint64_t FairQueue::weight_of(const std::string& key) const {
+  auto it = options_.weights.find(key);
+  uint64_t w = it != options_.weights.end() ? it->second
+                                            : options_.default_weight;
+  return std::max<uint64_t>(w, 1);
+}
+
+FairQueue::Verdict FairQueue::admit(const std::string& key, uint64_t cost,
+                                    std::function<void()> resume) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopped_ || options_.max_active <= 0) return Verdict::kRun;
+  auto it = keys_.find(key);
+  bool has_backlog = it != keys_.end() && !it->second.waiters.empty();
+  // Free slots imply no backlog anywhere (finish() drains eagerly), so
+  // bypassing the queue here cannot overtake queued work for this key.
+  if (active_ < options_.max_active && !has_backlog) {
+    active_++;
+    if (granted_ != nullptr) granted_->add(1);
+    if (active_gauge_ != nullptr) active_gauge_->set(active_);
+    return Verdict::kRun;
+  }
+  if (it == keys_.end()) {
+    it = keys_.emplace(key, Key{{}, 0, weight_of(key)}).first;
+  }
+  Key& k = it->second;
+  if (k.waiters.size() >=
+      static_cast<size_t>(std::max(options_.max_queued_per_key, 1))) {
+    if (rejected_ != nullptr) rejected_->add(1);
+    return Verdict::kRejected;
+  }
+  if (k.waiters.empty()) ring_.push_back(key);
+  k.waiters.push_back(Waiter{std::max<uint64_t>(cost, 1), std::move(resume)});
+  waiting_++;
+  if (queued_ctr_ != nullptr) queued_ctr_->add(1);
+  if (waiting_gauge_ != nullptr) {
+    waiting_gauge_->set(static_cast<int64_t>(waiting_));
+  }
+  return Verdict::kQueued;
+}
+
+void FairQueue::finish() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_ || options_.max_active <= 0) return;
+    if (active_ > 0) active_--;
+    if (active_gauge_ != nullptr) active_gauge_->set(active_);
+  }
+  dispatch();
+}
+
+void FairQueue::dispatch() {
+  std::vector<std::function<void()>> runnable;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_ || dispatching_) return;
+    dispatching_ = true;
+    while (active_ < options_.max_active && !ring_.empty()) {
+      if (cursor_ >= ring_.size()) cursor_ = 0;
+      Key& k = keys_[ring_[cursor_]];
+      k.deficit += options_.quantum * k.weight;
+      while (!k.waiters.empty() && active_ < options_.max_active &&
+             k.deficit >= k.waiters.front().cost) {
+        Waiter w = std::move(k.waiters.front());
+        k.waiters.pop_front();
+        k.deficit -= w.cost;
+        active_++;
+        waiting_--;
+        if (granted_ != nullptr) granted_->add(1);
+        runnable.push_back(std::move(w.resume));
+      }
+      if (k.waiters.empty()) {
+        k.deficit = 0;  // an idle key accrues no credit
+        ring_.erase(ring_.begin() + static_cast<ptrdiff_t>(cursor_));
+      } else {
+        cursor_++;
+      }
+    }
+    dispatching_ = false;
+    if (active_gauge_ != nullptr) active_gauge_->set(active_);
+    if (waiting_gauge_ != nullptr) {
+      waiting_gauge_->set(static_cast<int64_t>(waiting_));
+    }
+  }
+  for (auto& r : runnable) r();
+}
+
+int FairQueue::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+size_t FairQueue::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return waiting_;
+}
+
+}  // namespace tss::net

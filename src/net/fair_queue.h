@@ -1,0 +1,105 @@
+// Weighted fair-share admission: deficit round-robin across keys.
+//
+// The server loop's global connection limit answers "how much work total";
+// this answers "whose work next". Callers present each unit of work with a
+// key (the authenticated subject), a cost (request weight), and a resume
+// closure. While concurrency slots are free the work runs immediately; once
+// they fill, work queues per key and slots freed by finish() are handed out
+// by deficit round-robin — each key's deficit grows by quantum x weight per
+// scheduling round and pays for the queued costs it releases — so a key
+// flooding the queue only lengthens its own backlog. A key whose backlog is
+// full is refused outright (the caller maps that to a typed EBUSY).
+//
+// Resume closures run outside the queue lock, on whatever thread called
+// finish(). The destructor drops all queued closures without running them;
+// finish() after shutdown is a no-op, so RAII slot guards held by dying
+// callers remain safe.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tss::net {
+
+class FairQueue {
+ public:
+  enum class Verdict {
+    kRun,       // a slot was granted; call finish() when the work completes
+    kQueued,    // the resume closure will be invoked when a slot frees
+    kRejected,  // the key's backlog is full; no slot, no callback
+  };
+
+  struct Options {
+    // Concurrency slots. 0 disables the queue entirely: admit() always
+    // returns kRun and finish() is a no-op.
+    int max_active = 0;
+    // Backlog bound per key; admissions beyond it are kRejected.
+    int max_queued_per_key = 64;
+    // Deficit added to a key per scheduling round, scaled by its weight.
+    uint64_t quantum = 4;
+    uint64_t default_weight = 1;
+    std::map<std::string, uint64_t> weights;
+    // Registry for <metric_prefix>.{granted,queued,rejected} counters and
+    // .{active,waiting} gauges. Null = no metrics.
+    obs::Registry* metrics = nullptr;
+    std::string metric_prefix = "fair";
+  };
+
+  explicit FairQueue(Options options);
+  ~FairQueue();
+  FairQueue(const FairQueue&) = delete;
+  FairQueue& operator=(const FairQueue&) = delete;
+
+  // Requests a slot for one unit of work. kRun grants immediately; kQueued
+  // parks `resume` to be invoked (from a later finish() call) when the key
+  // wins a slot — the grant is already counted when `resume` runs, so the
+  // work must still be balanced by finish().
+  Verdict admit(const std::string& key, uint64_t cost,
+                std::function<void()> resume);
+
+  // Releases one slot and dispatches queued work by deficit round-robin.
+  void finish();
+
+  int active() const;
+  size_t queued() const;
+
+ private:
+  struct Waiter {
+    uint64_t cost = 0;
+    std::function<void()> resume;
+  };
+  struct Key {
+    std::deque<Waiter> waiters;
+    uint64_t deficit = 0;
+    uint64_t weight = 1;
+  };
+
+  uint64_t weight_of(const std::string& key) const;
+  void dispatch();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  bool stopped_ = false;
+  bool dispatching_ = false;
+  int active_ = 0;
+  size_t waiting_ = 0;
+  std::map<std::string, Key> keys_;
+  // Round-robin ring of keys with non-empty backlogs.
+  std::vector<std::string> ring_;
+  size_t cursor_ = 0;
+
+  obs::Counter* granted_ = nullptr;
+  obs::Counter* queued_ctr_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::Gauge* waiting_gauge_ = nullptr;
+};
+
+}  // namespace tss::net

@@ -19,6 +19,8 @@ SimChirpServer::SimChirpServer(Cluster& cluster, Options options)
   config_.root_acl = acl.ok() ? acl.value() : acl::Acl();
   config_.auth = auth_.get();
   config_.redirect = options_.redirect;
+  config_.alloc = options_.alloc;
+  config_.quotas = options_.quotas;
   // config_.metrics stays null: the sim records engine-time latencies via
   // record_rpc instead of wall-clock ones inside SessionCore.
   for (int i = 0; i < chirp::kOpCount; i++) {

@@ -35,6 +35,12 @@ class SimChirpServer {
     // the redirect capability gets hot-file getfiles deflected exactly as
     // a TCP client would.
     chirp::RedirectPolicy* redirect = nullptr;
+    // Tenancy, enforced by SessionCore exactly as on the TCP server: a
+    // space allocation tracker enabling the "alloc" capability, and
+    // per-subject request quotas (inject a Sim clock for determinism).
+    // Both borrowed, null = off.
+    chirp::AllocTracker* alloc = nullptr;
+    chirp::QuotaManager* quotas = nullptr;
   };
 
   SimChirpServer(Cluster& cluster, Options options);

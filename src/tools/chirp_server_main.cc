@@ -25,6 +25,14 @@
 //                       0 = unlimited)
 //   --idle-timeout SECS drop sessions idle for this long (default 0 = only
 //                       the I/O timeout applies)
+//   --allocations BYTES track per-directory space budgets (journal at
+//                       <root>/.__alloc__, mkalloc/lsalloc RPCs); BYTES caps
+//                       the root, 0 = track but do not cap
+//   --quota-ops N       per-subject request quota, operations/sec
+//   --quota-bytes N     per-subject request quota, payload bytes/sec
+//   --fair-share N      bound concurrently running requests at N slots,
+//                       handed out per-subject deficit round-robin
+//                       (see docs/MULTITENANCY.md for all four)
 //   --log-level LEVEL   debug|info|warn|error (default info)
 #include <pwd.h>
 #include <signal.h>
@@ -63,7 +71,9 @@ int usage() {
                "         [--owner SUBJECT] [--acl TEXT] [--gsi-ca NAME:KEY]\n"
                "         [--catalog HOST:PORT] [--report-period SECS]\n"
                "         [--name NAME] [--max-connections N]\n"
-               "         [--idle-timeout SECS] [--log-level LEVEL]\n");
+               "         [--idle-timeout SECS] [--allocations BYTES]\n"
+               "         [--quota-ops N] [--quota-bytes N] [--fair-share N]\n"
+               "         [--log-level LEVEL]\n");
   return 2;
 }
 
@@ -75,6 +85,7 @@ int main(int argc, char** argv) {
       argc, argv,
       {"root", "port", "host", "owner", "acl", "gsi-ca", "catalog",
        "report-period", "name", "max-connections", "idle-timeout",
+       "allocations", "quota-ops", "quota-bytes", "fair-share",
        "log-level"});
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().to_string().c_str());
@@ -131,6 +142,29 @@ int main(int argc, char** argv) {
   }
   options.max_connections = static_cast<size_t>(max_connections.value());
   options.idle_timeout = idle_timeout.value() * kSecond;
+
+  // Multi-tenancy knobs (docs/MULTITENANCY.md). --allocations present at all
+  // (even as 0) enables budget tracking; its value caps the root.
+  auto quota_ops = f.get_int("quota-ops", 0);
+  auto quota_bytes = f.get_int("quota-bytes", 0);
+  auto fair_share = f.get_int("fair-share", 0);
+  auto allocations = f.get_int("allocations", 0);
+  if (!quota_ops.ok() || !quota_bytes.ok() || !fair_share.ok() ||
+      !allocations.ok() || quota_ops.value() < 0 || quota_bytes.value() < 0 ||
+      fair_share.value() < 0 || allocations.value() < 0) {
+    std::fprintf(stderr,
+                 "--allocations, --quota-ops, --quota-bytes and --fair-share "
+                 "expect a non-negative integer\n");
+    return 2;
+  }
+  if (f.get("allocations")) {
+    options.enable_allocations = true;
+    options.root_space_limit = static_cast<uint64_t>(allocations.value());
+  }
+  options.default_quota.ops_per_sec = static_cast<uint64_t>(quota_ops.value());
+  options.default_quota.bytes_per_sec =
+      static_cast<uint64_t>(quota_bytes.value());
+  options.fair_share_slots = static_cast<int>(fair_share.value());
 
   chirp::Server server(options,
                        std::make_unique<chirp::PosixBackend>(*root),

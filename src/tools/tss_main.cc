@@ -15,6 +15,9 @@
 //   tss setacl  chirp://h:p/dir SUBJECT RIGHTS
 //   tss whoami  chirp://h:p/
 //   tss df      chirp://h:p/
+//   tss mkalloc chirp://h:p/dir BYTES        carve a space budget (needs a
+//                                            server started with --allocations)
+//   tss lsalloc chirp://h:p/path             the budget governing path
 //   tss catalog HOST:PORT                    query a catalog
 //
 // Authentication: tries --gsi-credential (if given), then unix, then
@@ -41,7 +44,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: tss <ls|cat|put|get|mkdir|rm|rmdir|mv|stat|getacl|setacl|"
-      "whoami|df|catalog> args...\n"
+      "whoami|df|mkalloc|lsalloc|catalog> args...\n"
       "       remote paths: chirp://HOST:PORT/PATH\n"
       "       options: --gsi-credential TOKEN\n");
   return 2;
@@ -67,8 +70,12 @@ Result<RemotePath> parse_remote(const std::string& url) {
 }
 
 Result<chirp::Client> connect_and_auth(const net::Endpoint& server,
-                                       const std::optional<std::string>& gsi) {
-  TSS_ASSIGN_OR_RETURN(chirp::Client client, chirp::Client::connect(server));
+                                       const std::optional<std::string>& gsi,
+                                       bool alloc_ops = false) {
+  chirp::Client::Options options;
+  options.alloc_ops = alloc_ops;
+  TSS_ASSIGN_OR_RETURN(chirp::Client client,
+                       chirp::Client::connect(server, options));
   std::vector<std::unique_ptr<auth::ClientCredential>> owned;
   if (gsi) owned.push_back(std::make_unique<auth::GsiClientCredential>(*gsi));
   owned.push_back(std::make_unique<auth::UnixClientCredential>());
@@ -117,7 +124,8 @@ int main(int argc, char** argv) {
   if (command == "put" && args.size() < 3) return usage();
   auto remote = parse_remote(command == "put" ? args[2] : args[1]);
   if (!remote.ok()) return fail(remote.error());
-  auto client = connect_and_auth(remote.value().server, gsi);
+  auto client = connect_and_auth(remote.value().server, gsi,
+                                 command == "mkalloc" || command == "lsalloc");
   if (!client.ok()) return fail(client.error());
   chirp::Client& c = client.value();
   const std::string& p = remote.value().path;
@@ -198,6 +206,20 @@ int main(int argc, char** argv) {
     std::printf("total %s, free %s\n",
                 format_bytes(space.value().first).c_str(),
                 format_bytes(space.value().second).c_str());
+  } else if (command == "mkalloc") {
+    if (args.size() < 3) return usage();
+    auto limit = parse_u64(args[2]);
+    if (!limit || *limit == 0) {
+      return fail(Error(EINVAL, "mkalloc limit must be a positive byte count"));
+    }
+    auto rc = c.mkalloc(p, *limit);
+    if (!rc.ok()) return fail(rc.error());
+  } else if (command == "lsalloc") {
+    auto info = c.lsalloc(p);
+    if (!info.ok()) return fail(info.error());
+    std::printf("root %s limit %llu inuse %llu\n", info.value().root.c_str(),
+                static_cast<unsigned long long>(info.value().limit),
+                static_cast<unsigned long long>(info.value().inuse));
   } else {
     return usage();
   }

@@ -1,0 +1,608 @@
+// AllocTracker suite: hierarchy semantics against the documented model, a
+// randomized oracle property test (tracker vs a plain-map accountant, with
+// periodic crash-replay through the journal), torn-tail truncation, and the
+// Reservation two-phase protocol.
+#include "chirp/alloc.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/path.h"
+#include "util/rand.h"
+
+namespace tss::chirp {
+namespace {
+
+std::string temp_journal(const std::string& tag) {
+  static int counter = 0;
+  return ::testing::TempDir() + "/alloc_" + tag + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(counter++) +
+         ".journal";
+}
+
+std::unique_ptr<AllocTracker> open_or_die(AllocTracker::Options options) {
+  auto t = AllocTracker::open(std::move(options));
+  EXPECT_TRUE(t.ok()) << t.error().to_string();
+  return std::move(t).value();
+}
+
+// --- Hierarchy semantics ----------------------------------------------------
+
+TEST(AllocTracker, RootAlwaysExistsAndUnlimitedByDefault) {
+  auto t = open_or_die({});
+  auto info = t->lsalloc("/any/deep/path");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().root, "/");
+  EXPECT_EQ(info.value().limit, 0u);
+  EXPECT_EQ(info.value().inuse, 0u);
+  // Unlimited root accepts any charge.
+  EXPECT_TRUE(t->charge("/any/deep/path", 1ull << 40).ok());
+}
+
+TEST(AllocTracker, MkallocValidation) {
+  AllocTracker::Options options;
+  options.root_limit = 1000;
+  auto t = open_or_die(std::move(options));
+  EXPECT_EQ(t->mkalloc("/a", 0).error().code, EINVAL);
+  EXPECT_EQ(t->mkalloc("/", 100).error().code, EEXIST);
+  ASSERT_TRUE(t->mkalloc("/a", 600).ok());
+  EXPECT_EQ(t->mkalloc("/a", 100).error().code, EEXIST);
+  // The full limit was pre-charged to the root: only 400 remain there.
+  EXPECT_EQ(t->mkalloc("/b", 500).error().code, ENOSPC);
+  ASSERT_TRUE(t->mkalloc("/b", 400).ok());
+  auto root = t->lsalloc("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value().inuse, 1000u);
+}
+
+TEST(AllocTracker, ChildEnospcEvenWithParentRoom) {
+  AllocTracker::Options options;
+  options.root_limit = 10000;
+  auto t = open_or_die(std::move(options));
+  ASSERT_TRUE(t->mkalloc("/small", 100).ok());
+  // The child's own budget governs writes under it, not the parent's.
+  EXPECT_EQ(t->charge("/small/file", 101).error().code, ENOSPC);
+  EXPECT_TRUE(t->charge("/small/file", 100).ok());
+  EXPECT_EQ(t->charge("/small/file", 1).error().code, ENOSPC);
+  // The parent still has plenty of room for its own files.
+  EXPECT_TRUE(t->charge("/other", 5000).ok());
+}
+
+TEST(AllocTracker, NestedAllocationsChargeNearestRoot) {
+  AllocTracker::Options options;
+  options.root_limit = 1000;
+  auto t = open_or_die(std::move(options));
+  ASSERT_TRUE(t->mkalloc("/a", 500).ok());
+  ASSERT_TRUE(t->mkalloc("/a/b", 200).ok());
+  ASSERT_TRUE(t->charge("/a/b/file", 50).ok());
+  auto b = t->lsalloc("/a/b/file");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().root, "/a/b");
+  EXPECT_EQ(b.value().inuse, 50u);
+  // /a holds the pre-charged 200 of /a/b but not /a/b's file bytes.
+  auto a = t->lsalloc("/a/other");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().root, "/a");
+  EXPECT_EQ(a.value().inuse, 200u);
+}
+
+TEST(AllocTracker, RmdirRefundsLimit) {
+  AllocTracker::Options options;
+  options.root_limit = 1000;
+  auto t = open_or_die(std::move(options));
+  ASSERT_TRUE(t->mkalloc("/a", 900).ok());
+  EXPECT_EQ(t->mkalloc("/b", 900).error().code, ENOSPC);
+  t->note_rmdir("/a");
+  EXPECT_TRUE(t->mkalloc("/b", 900).ok());
+  auto root = t->lsalloc("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value().inuse, 900u);
+}
+
+TEST(AllocTracker, TransferMovesChargeAndRefusesOverflow) {
+  AllocTracker::Options options;
+  options.root_limit = 0;
+  auto t = open_or_die(std::move(options));
+  ASSERT_TRUE(t->mkalloc("/src", 500).ok());
+  ASSERT_TRUE(t->mkalloc("/dst", 100).ok());
+  ASSERT_TRUE(t->charge("/src/f", 300).ok());
+  // Destination lacks room: the rename must be refused.
+  EXPECT_EQ(t->transfer("/src/f", "/dst/f", 300).error().code, ENOSPC);
+  ASSERT_TRUE(t->transfer("/src/f", "/dst/f", 80).ok());
+  EXPECT_EQ(t->lsalloc("/src/x").value().inuse, 220u);
+  EXPECT_EQ(t->lsalloc("/dst/x").value().inuse, 80u);
+  // Same-root transfer is a no-op.
+  ASSERT_TRUE(t->transfer("/dst/f", "/dst/g", 80).ok());
+  EXPECT_EQ(t->lsalloc("/dst/x").value().inuse, 80u);
+}
+
+TEST(AllocTracker, ReleaseClampsAtZero) {
+  auto t = open_or_die({});
+  ASSERT_TRUE(t->charge("/f", 100).ok());
+  t->release("/f", 1000);
+  EXPECT_EQ(t->lsalloc("/").value().inuse, 0u);
+}
+
+// --- Reservation protocol ---------------------------------------------------
+
+TEST(AllocTracker, ReservationHoldsAgainstLimit) {
+  AllocTracker::Options options;
+  options.root_limit = 100;
+  auto t = open_or_die(std::move(options));
+  auto r = t->reserve("/f", 60);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().held());
+  // A racing reserver sees the hold before any commit.
+  EXPECT_EQ(t->reserve("/g", 60).error().code, ENOSPC);
+  EXPECT_EQ(t->charge("/g", 60).error().code, ENOSPC);
+  r.value().commit();
+  EXPECT_EQ(t->lsalloc("/").value().inuse, 60u);
+  EXPECT_TRUE(t->charge("/g", 40).ok());
+}
+
+TEST(AllocTracker, ReservationAbortAndDestructionRelease) {
+  AllocTracker::Options options;
+  options.root_limit = 100;
+  auto t = open_or_die(std::move(options));
+  {
+    auto r = t->reserve("/f", 100);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(t->reserve("/g", 1).error().code, ENOSPC);
+  }  // destruction aborts the hold
+  EXPECT_TRUE(t->reserve("/g", 100).ok());
+  auto r = t->reserve("/h", 100);
+  ASSERT_TRUE(r.ok());
+  r.value().abort();
+  EXPECT_FALSE(r.value().held());
+  r.value().abort();  // double-abort is a safe no-op
+  EXPECT_TRUE(t->charge("/h", 100).ok());
+}
+
+TEST(AllocTracker, RmdirUnderALiveHoldDoesNotResurrectTheRoot) {
+  // Found by the randomized oracle below: settling a reservation whose root
+  // was removed while the hold was live must be a no-op — not an accidental
+  // re-creation of the root as a phantom limit-0 allocation (which a later
+  // journal replay would then silently disagree with).
+  AllocTracker::Options options;
+  options.journal_path = temp_journal("rmdir_hold");
+  options.root_limit = 10000;
+  auto t = open_or_die(options);
+  ASSERT_TRUE(t->mkalloc("/a", 1000).ok());
+  auto held = t->reserve("/a/f", 400);
+  ASSERT_TRUE(held.ok());
+  t->note_rmdir("/a");  // the tree is deleted out from under the hold
+  held.value().commit();
+  auto snap = t->snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].root, "/");
+  EXPECT_EQ(snap[0].inuse, 0u);  // the mkalloc pre-charge was refunded
+  // An aborted orphan hold is equally inert, and replay agrees.
+  ASSERT_TRUE(t->mkalloc("/b", 1000).ok());
+  auto orphan = t->reserve("/b/f", 300);
+  ASSERT_TRUE(orphan.ok());
+  t->note_rmdir("/b");
+  orphan.value().abort();
+  EXPECT_EQ(t->snapshot().size(), 1u);
+  t.reset();
+  t = open_or_die(options);
+  snap = t->snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].inuse, 0u);
+}
+
+TEST(AllocTracker, CommitExternalDropsHoldWithoutCharging) {
+  AllocTracker::Options options;
+  options.root_limit = 100;
+  auto t = open_or_die(std::move(options));
+  auto r = t->reserve("/f", 80);
+  ASSERT_TRUE(r.ok());
+  r.value().commit_external();
+  // The external accountant owns the bytes now; inuse is untouched until a
+  // sync_inuse re-derives it.
+  EXPECT_EQ(t->lsalloc("/").value().inuse, 0u);
+  t->sync_inuse("/", 80);
+  EXPECT_EQ(t->lsalloc("/").value().inuse, 80u);
+}
+
+TEST(AllocTracker, ZeroByteReservationIsEmpty) {
+  auto t = open_or_die({});
+  auto r = t->reserve("/f", 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().held());
+  r.value().commit();  // all operations are safe no-ops on an empty hold
+}
+
+// --- Journal durability -----------------------------------------------------
+
+TEST(AllocTrackerJournal, ReplayRecoversExactState) {
+  std::string journal = temp_journal("replay");
+  AllocTracker::Options options;
+  options.journal_path = journal;
+  options.root_limit = 10000;
+  {
+    auto t = open_or_die(options);
+    ASSERT_TRUE(t->mkalloc("/a", 4000).ok());
+    ASSERT_TRUE(t->mkalloc("/a/b", 1000).ok());
+    ASSERT_TRUE(t->charge("/a/x", 123).ok());
+    ASSERT_TRUE(t->charge("/a/b/y", 456).ok());
+    t->release("/a/x", 23);
+    t->note_rmdir("/a/b");
+  }  // process "dies"; no clean shutdown path exists to lose state in
+  auto t = open_or_die(options);
+  auto snap = t->snapshot();
+  std::map<std::string, AllocTracker::Entry> byroot;
+  for (auto& e : snap) byroot[e.root] = e;
+  ASSERT_EQ(byroot.size(), 2u);
+  EXPECT_EQ(byroot["/"].limit, 10000u);
+  EXPECT_EQ(byroot["/"].inuse, 4000u);  // /a's pre-charge
+  EXPECT_EQ(byroot["/a"].limit, 4000u);
+  EXPECT_EQ(byroot["/a"].inuse, 100u);  // 123 - 23; /a/b refunded by rmdir
+  // Budgets are enforced identically after the replay.
+  EXPECT_EQ(t->charge("/a/z", 3901).error().code, ENOSPC);
+  EXPECT_TRUE(t->charge("/a/z", 3900).ok());
+  std::remove(journal.c_str());
+}
+
+TEST(AllocTrackerJournal, TornLastRecordIsTruncatedNotFatal) {
+  std::string journal = temp_journal("torn");
+  AllocTracker::Options options;
+  options.journal_path = journal;
+  options.root_limit = 1000;
+  {
+    auto t = open_or_die(options);
+    ASSERT_TRUE(t->mkalloc("/a", 600).ok());
+    ASSERT_TRUE(t->charge("/a/f", 100).ok());
+  }
+  // Simulate a mid-write kill: a torn, checksum-less fragment at the tail.
+  {
+    std::ofstream f(journal, std::ios::app | std::ios::binary);
+    f << "C %2Fa +99999";  // no checksum, no newline
+  }
+  auto t = open_or_die(options);
+  auto info = t->lsalloc("/a/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().inuse, 100u);  // the torn record did not apply
+  // The tracker can keep journaling after the truncation.
+  ASSERT_TRUE(t->charge("/a/g", 50).ok());
+  t.reset();
+  auto t2 = open_or_die(options);
+  EXPECT_EQ(t2->lsalloc("/a/f").value().inuse, 150u);
+  std::remove(journal.c_str());
+}
+
+TEST(AllocTrackerJournal, CorruptMiddleRecordStopsReplayAtFirstBadLine) {
+  std::string journal = temp_journal("corrupt");
+  AllocTracker::Options options;
+  options.journal_path = journal;
+  {
+    auto t = open_or_die(options);
+    ASSERT_TRUE(t->charge("/f", 100).ok());
+    ASSERT_TRUE(t->charge("/g", 200).ok());
+  }
+  // Flip one byte inside the file: everything from the damaged record on is
+  // discarded, leaving a consistent (if older) state.
+  {
+    std::fstream f(journal, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    auto size = static_cast<long>(f.tellg());
+    ASSERT_GT(size, 10);
+    f.seekp(size / 2);
+    f.put('~');
+  }
+  auto t = open_or_die(options);
+  auto info = t->lsalloc("/");
+  ASSERT_TRUE(info.ok());
+  EXPECT_LE(info.value().inuse, 300u);
+  // Whatever survived, the accountant still enforces and still journals.
+  ASSERT_TRUE(t->charge("/h", 10).ok());
+  uint64_t before = t->lsalloc("/").value().inuse;
+  t.reset();
+  auto t2 = open_or_die(options);
+  EXPECT_EQ(t2->lsalloc("/").value().inuse, before);
+  std::remove(journal.c_str());
+}
+
+TEST(AllocTrackerJournal, CompactionPreservesStateAndShrinksJournal) {
+  std::string journal = temp_journal("compact");
+  AllocTracker::Options options;
+  options.journal_path = journal;
+  options.root_limit = 1 << 20;
+  auto t = open_or_die(options);
+  ASSERT_TRUE(t->mkalloc("/a", 1 << 16).ok());
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(t->charge("/a/f", 1).ok());
+    t->release("/a/f", 1);
+  }
+  ASSERT_TRUE(t->compact().ok());
+  t.reset();
+  auto t2 = open_or_die(options);
+  // After compaction + reopen the journal is a snapshot: a handful of
+  // records, not thousands.
+  std::ifstream f(journal);
+  int lines = 0;
+  std::string line;
+  while (std::getline(f, line)) lines++;
+  EXPECT_LT(lines, 10);
+  EXPECT_EQ(t2->lsalloc("/").value().inuse, static_cast<uint64_t>(1 << 16));
+  EXPECT_EQ(t2->lsalloc("/a/x").value().limit, static_cast<uint64_t>(1 << 16));
+  std::remove(journal.c_str());
+}
+
+TEST(AllocTrackerJournal, AutoCompactionKeepsJournalBounded) {
+  std::string journal = temp_journal("auto");
+  AllocTracker::Options options;
+  options.journal_path = journal;
+  auto t = open_or_die(options);
+  // Far past the 4096-record threshold; the journal must stay bounded.
+  for (int i = 0; i < 10000; i++) {
+    ASSERT_TRUE(t->charge("/f", 1).ok());
+  }
+  struct stat st {};
+  ASSERT_EQ(::stat(journal.c_str(), &st), 0);
+  // Each record is ~30 bytes; 10000 un-compacted records would be ~300 KB.
+  EXPECT_LT(st.st_size, 200 * 1024);
+  EXPECT_EQ(t->lsalloc("/").value().inuse, 10000u);
+  t.reset();
+  auto t2 = open_or_die(options);
+  EXPECT_EQ(t2->lsalloc("/").value().inuse, 10000u);
+  std::remove(journal.c_str());
+}
+
+// --- Oracle property test ---------------------------------------------------
+
+// The model accountant: the documented semantics in ~60 lines of plain map
+// code, no journal, no locking. The tracker must agree with it after every
+// operation and after every crash-replay cycle.
+struct ModelAlloc {
+  uint64_t limit = 0;
+  uint64_t inuse = 0;
+  uint64_t pending = 0;
+};
+
+class Model {
+ public:
+  explicit Model(uint64_t root_limit) { allocs_["/"] = {root_limit, 0, 0}; }
+
+  const std::string& root_of(const std::string& p) const {
+    auto best = allocs_.find("/");
+    for (auto it = allocs_.begin(); it != allocs_.end(); ++it) {
+      const std::string& r = it->first;
+      if (r == "/" || p == r ||
+          (p.size() > r.size() && p.compare(0, r.size(), r) == 0 &&
+           p[r.size()] == '/')) {
+        if (r.size() > best->first.size()) best = it;
+      }
+    }
+    return best->first;
+  }
+
+  static bool fits(const ModelAlloc& a, uint64_t bytes) {
+    return a.limit == 0 || a.inuse + a.pending + bytes <= a.limit;
+  }
+
+  bool mkalloc(const std::string& dir, uint64_t limit) {
+    if (limit == 0 || dir == "/" || allocs_.count(dir)) return false;
+    ModelAlloc& parent = allocs_[root_of(dir)];
+    if (!fits(parent, limit)) return false;
+    parent.inuse += limit;
+    allocs_[dir] = {limit, 0, 0};
+    return true;
+  }
+
+  bool charge(const std::string& p, uint64_t bytes) {
+    if (bytes == 0) return true;
+    ModelAlloc& a = allocs_[root_of(p)];
+    if (!fits(a, bytes)) return false;
+    a.inuse += bytes;
+    return true;
+  }
+
+  void release(const std::string& p, uint64_t bytes) {
+    ModelAlloc& a = allocs_[root_of(p)];
+    a.inuse -= std::min(a.inuse, bytes);
+  }
+
+  void rmdir(const std::string& dir) {
+    auto it = allocs_.find(dir);
+    if (it == allocs_.end() || dir == "/") return;
+    uint64_t limit = it->second.limit;
+    allocs_.erase(it);
+    ModelAlloc& parent = allocs_[root_of(dir)];
+    parent.inuse -= std::min(parent.inuse, limit);
+  }
+
+  bool reserve(const std::string& p, uint64_t bytes) {
+    ModelAlloc& a = allocs_[root_of(p)];
+    if (!fits(a, bytes)) return false;
+    a.pending += bytes;
+    return true;
+  }
+
+  void settle(const std::string& root, uint64_t bytes, bool commit) {
+    // Mirrors the tracker: a hold whose root was rmdir'd while it was live
+    // settles as a no-op instead of resurrecting a phantom allocation.
+    auto it = allocs_.find(root);
+    if (it == allocs_.end()) return;
+    it->second.pending -= std::min(it->second.pending, bytes);
+    if (commit) it->second.inuse += bytes;
+  }
+
+  void drop_pending() {
+    for (auto& [_, a] : allocs_) a.pending = 0;
+  }
+
+  const std::map<std::string, ModelAlloc>& allocs() const { return allocs_; }
+
+ private:
+  std::map<std::string, ModelAlloc> allocs_;
+};
+
+void expect_agreement(const AllocTracker& t, const Model& m,
+                      const std::string& context) {
+  auto snap = t.snapshot();
+  std::map<std::string, AllocTracker::Entry> got;
+  for (auto& e : snap) got[e.root] = e;
+  // On a size mismatch, show both sides — a property test's counterexample
+  // is worthless without the diverging state.
+  std::string dump = context;
+  for (auto& [root, e] : got) {
+    dump += "\n  tracker " + root + " limit=" + std::to_string(e.limit) +
+            " inuse=" + std::to_string(e.inuse) +
+            " pending=" + std::to_string(e.pending);
+  }
+  for (auto& [root, a] : m.allocs()) {
+    dump += "\n  model   " + root + " limit=" + std::to_string(a.limit) +
+            " inuse=" + std::to_string(a.inuse) +
+            " pending=" + std::to_string(a.pending);
+  }
+  ASSERT_EQ(got.size(), m.allocs().size()) << dump;
+  for (const auto& [root, want] : m.allocs()) {
+    ASSERT_TRUE(got.count(root)) << context << ": missing " << root;
+    EXPECT_EQ(got[root].limit, want.limit) << context << " at " << root;
+    EXPECT_EQ(got[root].inuse, want.inuse) << context << " at " << root;
+    EXPECT_EQ(got[root].pending, want.pending) << context << " at " << root;
+  }
+}
+
+TEST(AllocTrackerOracle, RandomizedInterleavingsMatchModelAcrossReplays) {
+  const uint64_t kSeed = 0xA110C*7;  // deterministic; change to explore
+  const std::vector<std::string> kDirs = {"/a", "/a/b", "/a/b/c", "/d", "/d/e"};
+  const std::vector<std::string> kFiles = {"/f0",      "/a/f1",   "/a/b/f2",
+                                           "/a/b/c/f3", "/d/f4",  "/d/e/f5"};
+  std::string journal = temp_journal("oracle");
+  AllocTracker::Options options;
+  options.journal_path = journal;
+  options.root_limit = 100000;
+
+  Rng rng(kSeed);
+  Model model(options.root_limit);
+  auto t = open_or_die(options);
+  struct Hold {
+    AllocTracker::Reservation res;
+    std::string root;
+    uint64_t bytes;
+  };
+  std::vector<Hold> holds;
+
+  for (int step = 0; step < 2000; step++) {
+    std::string context = "step " + std::to_string(step);
+    switch (rng.below(8)) {
+      case 0: {  // mkalloc
+        const std::string& dir = kDirs[rng.below(kDirs.size())];
+        uint64_t limit = 1 + rng.below(20000);
+        bool want = model.mkalloc(dir, limit);
+        auto got = t->mkalloc(dir, limit);
+        ASSERT_EQ(got.ok(), want) << context << " mkalloc " << dir;
+        break;
+      }
+      case 1:
+      case 2: {  // charge
+        const std::string& f = kFiles[rng.below(kFiles.size())];
+        uint64_t bytes = 1 + rng.below(5000);
+        bool want = model.charge(f, bytes);
+        auto got = t->charge(f, bytes);
+        ASSERT_EQ(got.ok(), want) << context << " charge " << f;
+        if (!got.ok()) {
+          EXPECT_EQ(got.error().code, ENOSPC) << context;
+        }
+        break;
+      }
+      case 3: {  // release
+        const std::string& f = kFiles[rng.below(kFiles.size())];
+        uint64_t bytes = 1 + rng.below(5000);
+        model.release(f, bytes);
+        t->release(f, bytes);
+        break;
+      }
+      case 4: {  // rmdir an allocation
+        const std::string& dir = kDirs[rng.below(kDirs.size())];
+        // Only meaningful when no child allocation remains; mirror exactly.
+        bool has_child = false;
+        for (const auto& [root, _] : model.allocs()) {
+          if (root.size() > dir.size() &&
+              root.compare(0, dir.size(), dir) == 0 && root[dir.size()] == '/') {
+            has_child = true;
+          }
+        }
+        if (has_child) break;
+        model.rmdir(dir);
+        t->note_rmdir(dir);
+        break;
+      }
+      case 5: {  // reserve
+        const std::string& f = kFiles[rng.below(kFiles.size())];
+        uint64_t bytes = 1 + rng.below(3000);
+        bool want = model.reserve(f, bytes);
+        auto got = t->reserve(f, bytes);
+        ASSERT_EQ(got.ok(), want) << context << " reserve " << f;
+        if (got.ok()) {
+          std::string root = t->lsalloc(f).value().root;
+          holds.push_back(Hold{std::move(got).value(), root, bytes});
+        }
+        break;
+      }
+      case 6: {  // settle a hold (commit or abort)
+        if (holds.empty()) break;
+        size_t i = rng.below(holds.size());
+        bool commit = rng.below(2) == 0;
+        if (commit) {
+          holds[i].res.commit();
+        } else {
+          holds[i].res.abort();
+        }
+        model.settle(holds[i].root, holds[i].bytes, commit);
+        holds.erase(holds.begin() + i);
+        break;
+      }
+      case 7: {  // crash: drop all holds, destroy, replay the journal
+        for (auto& h : holds) {
+          h.res.abort();
+          model.settle(h.root, h.bytes, false);
+        }
+        holds.clear();
+        model.drop_pending();
+        t.reset();
+        t = open_or_die(options);
+        break;
+      }
+    }
+    expect_agreement(*t, model, context);
+  }
+  // Final crash-replay must also agree.
+  for (auto& h : holds) {
+    h.res.abort();
+    model.settle(h.root, h.bytes, false);
+  }
+  holds.clear();
+  t.reset();
+  t = open_or_die(options);
+  expect_agreement(*t, model, "final replay");
+  std::remove(journal.c_str());
+}
+
+TEST(AllocTracker, MetricsAreRecorded) {
+  obs::Registry registry;
+  AllocTracker::Options options;
+  options.root_limit = 100;
+  options.metrics = &registry;
+  auto t = open_or_die(std::move(options));
+  ASSERT_TRUE(t->mkalloc("/a", 50).ok());
+  ASSERT_TRUE(t->charge("/b", 50).ok());
+  EXPECT_EQ(t->charge("/b", 50).error().code, ENOSPC);
+  EXPECT_EQ(registry.counter("tenant.alloc.mkalloc")->value(), 1u);
+  EXPECT_EQ(registry.counter("tenant.alloc.enospc")->value(), 1u);
+  EXPECT_EQ(registry.gauge("tenant.alloc.inuse")->value(), 50);
+}
+
+}  // namespace
+}  // namespace tss::chirp

@@ -309,14 +309,141 @@ TEST_F(FuzzTest, ChecksumPeerOmittingTheTrailerIsReapedNotServed) {
   expect_server_alive();
 }
 
-// A scripted hostile *server* for the redirect-reply fuzz below: accepts one
-// real Client, answers its version hello (echoing the redirect capability),
-// then replays a fixed list of reply lines — one per subsequent request —
-// without ever looking at what the request was.
+// Fuzzing the allocation RPCs needs a tenancy-enabled server; the base
+// fixture keeps allocations off so capability-less behaviour stays covered.
+class AllocFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/allocfuzz_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter_++);
+    std::filesystem::create_directories(root_);
+    ServerOptions options;
+    options.owner = "unix:testowner";
+    options.root_acl =
+        acl::Acl::parse("hostname:localhost rwldav(rwlda)\n").value();
+    options.io_timeout = 2 * kSecond;
+    options.enable_allocations = true;
+    auto auth = std::make_unique<auth::ServerAuth>();
+    auth->add(std::make_unique<auth::HostnameServerMethod>());
+    server_ = std::make_unique<Server>(
+        options, std::make_unique<PosixBackend>(root_), std::move(auth));
+    ASSERT_TRUE(server_->start().ok());
+  }
+  void TearDown() override {
+    server_->stop();
+    std::filesystem::remove_all(root_);
+  }
+
+  AllocTracker& tracker() {
+    return *static_cast<PosixBackend&>(server_->backend()).alloc_tracker();
+  }
+
+  // Verifies a fresh, well-behaved client still gets full service.
+  void expect_server_alive() {
+    auto client = Client::connect(server_->endpoint());
+    ASSERT_TRUE(client.ok()) << client.error().to_string();
+    auth::HostnameClientCredential credential;
+    ASSERT_TRUE(client.value().authenticate(credential).ok());
+    ASSERT_TRUE(client.value().putfile("/alive", "still here").ok());
+    EXPECT_EQ(client.value().getfile("/alive").value(), "still here");
+  }
+
+  std::string root_;
+  std::unique_ptr<Server> server_;
+  static inline int counter_ = 0;
+};
+
+TEST_F(AllocFuzzTest, GarbledMkallocLinesLeaveNoPhantomAllocation) {
+  auto peer = RawPeer::connect(server_->endpoint());
+  ASSERT_TRUE(peer.ok());
+  auto hello = peer.value().rpc("version 1 alloc");
+  ASSERT_TRUE(hello.ok());
+  ASSERT_EQ(hello.value().err, 0);
+  bool echoed = false;
+  for (const std::string& arg : hello.value().args) {
+    if (arg == kCapAlloc) echoed = true;
+  }
+  ASSERT_TRUE(echoed);
+  ASSERT_EQ(peer.value().rpc("auth hostname -").value().err, 0);
+
+  // Every way to garble an allocation request. `want == 0` means "any
+  // error": the line parses (the arg extractor ignores trailing junk) but
+  // must still be refused downstream — and never create state.
+  struct Garble {
+    const char* line;
+    int want;
+  };
+  const Garble garbles[] = {
+      {"mkalloc", EPROTO},
+      {"mkalloc /x", EPROTO},
+      {"mkalloc /x 0", EPROTO},  // a zero limit is the absence of a budget
+      {"mkalloc /x notanumber", EPROTO},
+      {"mkalloc /x -5", EPROTO},
+      {"mkalloc /x 184467440737095516160", EPROTO},  // > UINT64_MAX
+      {"lsalloc", EPROTO},
+      {"mkalloc /nosuchdir 1000", ENOENT},
+      {"mkalloc /x 100 extra trailing junk", 0},
+  };
+  for (const Garble& g : garbles) {
+    auto resp = peer.value().rpc(g.line);
+    ASSERT_TRUE(resp.ok()) << g.line;
+    EXPECT_NE(resp.value().err, 0) << g.line;
+    if (g.want != 0) EXPECT_EQ(resp.value().err, g.want) << g.line;
+  }
+
+  // None of that minted an allocation: the tracker still knows only "/".
+  auto entries = tracker().snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].root, "/");
+  EXPECT_EQ(entries[0].inuse, 0u);
+
+  // The connection is not poisoned: a well-formed mkalloc still works.
+  ASSERT_EQ(peer.value().rpc("mkdir /real 493").value().err, 0);
+  EXPECT_EQ(peer.value().rpc("mkalloc /real 1000").value().err, 0);
+  EXPECT_EQ(tracker().snapshot().size(), 2u);
+  expect_server_alive();
+}
+
+TEST_F(AllocFuzzTest, AllocRpcsWithoutTheNegotiatedCapabilityAreUnknown) {
+  // The session never offered "alloc", so the RPCs do not exist for it —
+  // even though the server tracks allocations for capable peers.
+  auto peer = RawPeer::connect(server_->endpoint());
+  ASSERT_TRUE(peer.ok());
+  ASSERT_EQ(peer.value().rpc("version 1").value().err, 0);
+  ASSERT_EQ(peer.value().rpc("auth hostname -").value().err, 0);
+  EXPECT_EQ(peer.value().rpc("mkalloc / 1000").value().err, ENOSYS);
+  EXPECT_EQ(peer.value().rpc("lsalloc /").value().err, ENOSYS);
+  EXPECT_EQ(tracker().snapshot().size(), 1u);
+  expect_server_alive();
+}
+
+TEST_F(FuzzTest, AllocCapabilityIsNotEchoedByATenancyDisabledServer) {
+  // The base fixture's server has no tracker: offering "alloc" must not get
+  // it echoed, and the RPCs stay unknown — byte-compatible degradation.
+  auto peer = RawPeer::connect(server_->endpoint());
+  ASSERT_TRUE(peer.ok());
+  auto hello = peer.value().rpc("version 1 alloc");
+  ASSERT_TRUE(hello.ok());
+  ASSERT_EQ(hello.value().err, 0);
+  for (const std::string& arg : hello.value().args) {
+    EXPECT_NE(arg, kCapAlloc);
+  }
+  ASSERT_EQ(peer.value().rpc("auth hostname -").value().err, 0);
+  EXPECT_EQ(peer.value().rpc("mkalloc / 1000").value().err, ENOSYS);
+  EXPECT_EQ(peer.value().rpc("lsalloc /").value().err, ENOSYS);
+  expect_server_alive();
+}
+
+// A scripted hostile *server* for the reply fuzz below: accepts one real
+// Client, answers its version hello with a fixed greeting (echoing whatever
+// capability the test wants the client to believe in), then replays a fixed
+// list of reply lines — one per subsequent request — without ever looking at
+// what the request was.
 class HostileRedirectServer {
  public:
-  explicit HostileRedirectServer(std::vector<std::string> replies)
-      : replies_(std::move(replies)) {
+  explicit HostileRedirectServer(std::vector<std::string> replies,
+                                 std::string hello = "ok 1 redirect")
+      : replies_(std::move(replies)), hello_(std::move(hello)) {
     auto listener = net::TcpListener::listen("127.0.0.1", 0);
     EXPECT_TRUE(listener.ok());
     listener_ = std::make_unique<net::TcpListener>(std::move(listener).value());
@@ -337,7 +464,7 @@ class HostileRedirectServer {
     if (!sock.ok()) return;
     net::LineStream stream(std::move(sock).value(), 5 * kSecond);
     if (!stream.read_line().ok()) return;  // the version hello
-    if (!stream.send_line("ok 1 redirect").ok()) return;
+    if (!stream.send_line(hello_).ok()) return;
     for (const std::string& reply : replies_) {
       if (!stream.read_line().ok()) return;
       if (!stream.send_line(reply).ok()) return;
@@ -345,6 +472,7 @@ class HostileRedirectServer {
   }
 
   std::vector<std::string> replies_;
+  std::string hello_;
   std::unique_ptr<net::TcpListener> listener_;
   std::thread serve_;
 };
@@ -414,6 +542,51 @@ TEST_F(FuzzTest, RedirectReplyToANonCooperativeSessionIsRejected) {
   auto r = client.value().getfile("/x");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.error().code, EPROTO);
+}
+
+TEST_F(FuzzTest, ScriptedQuotaRejectRepliesSurfaceAsCleanEdquot) {
+  // A throttling server answers over-quota requests with a typed error
+  // reply; the client must surface it verbatim as EDQUOT — and stay usable
+  // for the next request, because a quota refusal is not a broken session.
+  const std::string reject =
+      "error " + std::to_string(EDQUOT) + " quota%20exceeded";
+  HostileRedirectServer server({reject, reject, reject}, "ok 1");
+  auto client = Client::connect(server.endpoint(), Client::Options{});
+  ASSERT_TRUE(client.ok()) << client.error().to_string();
+  auto got = client.value().getfile("/x");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code, EDQUOT);
+  EXPECT_EQ(got.error().message, "quota exceeded");
+  auto info = client.value().stat("/x");
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.error().code, EDQUOT);
+  auto again = client.value().getfile("/x");
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code, EDQUOT);
+}
+
+TEST_F(FuzzTest, GarbledLsallocRepliesAreCleanProtocolErrors) {
+  // Every way a peer can garble an allocation listing: empty, short, and
+  // non-numeric limit/inuse fields. The strict client parse must refuse
+  // each with EPROTO — never hand back a half-parsed budget.
+  const std::vector<std::string> hostile = {
+      "ok",
+      "ok %2Fx",
+      "ok %2Fx 5",
+      "ok %2Fx notanum 7",
+      "ok %2Fx 7 notanum",
+  };
+  HostileRedirectServer server(hostile, "ok 1 alloc");
+  Client::Options options;
+  options.alloc_ops = true;
+  auto client = Client::connect(server.endpoint(), options);
+  ASSERT_TRUE(client.ok()) << client.error().to_string();
+  EXPECT_TRUE(client.value().alloc_enabled());
+  for (const std::string& line : hostile) {
+    auto r = client.value().lsalloc("/x");
+    ASSERT_FALSE(r.ok()) << line;
+    EXPECT_EQ(r.error().code, EPROTO) << line;
+  }
 }
 
 TEST_F(FuzzTest, DbServerSurvivesGarbageToo) {

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
+#include <mutex>
+#include <thread>
 
 #include "fs/local.h"
 #include "util/strings.h"
@@ -241,6 +244,103 @@ TEST_F(GemsTest, CatalogRecoveryByRescanSurvivesDbLoss) {
   auto record = rebuilt.get("ds 1");
   ASSERT_TRUE(record.ok());
   EXPECT_EQ(decode_replicas(record.value().at("replicas")).size(), 2u);
+}
+
+// db::TableStore is not thread-safe; racing writers go through a mutexed
+// wrapper so the test exercises GEMS' reserve-then-commit admission, not
+// catalog data races.
+class LockedStore final : public db::Store {
+ public:
+  explicit LockedStore(db::Store* inner) : inner_(inner) {}
+  Result<void> put(const db::Record& record) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->put(record);
+  }
+  Result<db::Record> get(const std::string& id) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->get(id);
+  }
+  Result<void> remove(const std::string& id) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->remove(id);
+  }
+  Result<std::vector<db::Record>> query(const std::string& field,
+                                        const std::string& value) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->query(field, value);
+  }
+  Result<std::vector<db::Record>> scan() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->scan();
+  }
+
+ private:
+  db::Store* inner_;
+  std::mutex mutex_;
+};
+
+TEST_F(GemsTest, RacingIngestsCannotJointlyOverrunTheBudget) {
+  // Regression: the space check used to be check-then-act against the
+  // catalog total, so two ingests racing through the gap both passed a
+  // stale check and together overshot the budget. The reservation layer
+  // makes each racer's pending bytes visible to the others.
+  constexpr uint64_t kBudget = 10000;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10;
+  constexpr size_t kSize = 1000;  // budget holds exactly 10 datasets
+
+  LockedStore locked(store_.get());
+  GemsOptions options;
+  options.volume = "/gems";
+  options.space_budget = kBudget;
+  options.name_seed = 7;
+  Gems gems(&locked, servers_, options);
+  ASSERT_TRUE(gems.format().ok());
+
+  std::atomic<int> accepted{0}, refused{0}, errors{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        std::string name =
+            "ds-" + std::to_string(t) + "-" + std::to_string(i);
+        auto rc = gems.ingest(name, std::string(kSize, 'g'));
+        if (rc.ok()) {
+          accepted++;
+        } else if (rc.error().code == ENOSPC) {
+          refused++;
+        } else {
+          errors++;
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(accepted.load() + refused.load(), kThreads * kPerThread);
+  // The invariant under attack: committed bytes never exceed the budget,
+  // no matter how the ingests interleaved.
+  auto stored = gems.stored_bytes();
+  ASSERT_TRUE(stored.ok());
+  EXPECT_LE(stored.value(), kBudget);
+  EXPECT_EQ(stored.value(), static_cast<uint64_t>(accepted.load()) * kSize);
+  // And the budget is actually usable, not just safe: everything fits.
+  EXPECT_EQ(accepted.load(), 10);
+}
+
+TEST_F(GemsTest, ReplicatorHoldsReservationAcrossCopyAndRegister) {
+  // One dataset of 3000 bytes, budget 7000: the replicator may add exactly
+  // one more copy (6000 total); the next attempt must see ENOSPC-as-done,
+  // not overshoot.
+  auto gems = make_gems(/*budget=*/7000);
+  ASSERT_TRUE(gems->ingest("ds", std::string(3000, 'r')).ok());
+  auto copies = gems->replicate_until_stable();
+  ASSERT_TRUE(copies.ok());
+  EXPECT_EQ(copies.value(), 1);
+  EXPECT_EQ(gems->stored_bytes().value(), 6000u);
+  EXPECT_EQ(gems->replica_count("ds").value(), 2);
 }
 
 }  // namespace
